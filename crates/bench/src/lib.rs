@@ -1,0 +1,27 @@
+//! Benchmark support for the Jacob & Mudge (ASPLOS 1998) reproduction.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper table/figure, running the
+//!   corresponding `vm-experiments` driver at a micro scale. These keep
+//!   the *regeneration machinery* honest and measured; the full-scale
+//!   numbers come from the `repro` binary (`cargo run -p vm-experiments
+//!   --bin repro --release`).
+//! * `components` — microbenchmarks of the substrates (cache access, TLB
+//!   lookup/insert, each organization's walk, trace generation) and the
+//!   end-to-end simulator throughput per system.
+//!
+//! This library crate only hosts shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vm_experiments::RunScale;
+
+/// The micro scale used by the figure benches: small enough that a full
+/// `cargo bench` stays in minutes on one core, large enough to exercise
+/// warm steady-state behaviour.
+pub const BENCH_SCALE: RunScale = RunScale { warmup: 20_000, measure: 60_000 };
+
+/// Instructions per iteration for the simulator-throughput benches.
+pub const SIM_INSTRS: u64 = 50_000;

@@ -1,0 +1,235 @@
+//! Cache geometry configuration and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How lines are placed within a [`CacheConfig`]'s sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Associativity {
+    /// One line per set — the organization the paper simulates throughout
+    /// ("to avoid obscuring performance differences", Section 3).
+    DirectMapped,
+    /// `n`-way set-associative with LRU replacement. Provided for the
+    /// associativity ablation (`ablC` in DESIGN.md).
+    Ways(u32),
+}
+
+impl Associativity {
+    /// Number of ways per set.
+    #[inline]
+    pub fn ways(self) -> u32 {
+        match self {
+            Associativity::DirectMapped => 1,
+            Associativity::Ways(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for Associativity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Associativity::DirectMapped => f.write_str("direct-mapped"),
+            Associativity::Ways(n) => write!(f, "{n}-way"),
+        }
+    }
+}
+
+/// Validated geometry of one cache level.
+///
+/// Construct with [`CacheConfig::direct_mapped`] or
+/// [`CacheConfig::set_associative`]; both enforce the power-of-two
+/// geometry the index/tag arithmetic relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    line_bytes: u64,
+    associativity: Associativity,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache of `size_bytes` capacity with `line_bytes`
+    /// lines — the paper's configuration (Table 1 uses sizes 1 KB–2 MB and
+    /// lines 16–128 B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheGeometryError`] if either quantity is zero or not a
+    /// power of two, or if the line is larger than the cache.
+    pub fn direct_mapped(
+        size_bytes: u64,
+        line_bytes: u64,
+    ) -> Result<CacheConfig, CacheGeometryError> {
+        CacheConfig::set_associative(size_bytes, line_bytes, Associativity::DirectMapped)
+    }
+
+    /// A set-associative cache (LRU within each set).
+    ///
+    /// # Errors
+    ///
+    /// As [`CacheConfig::direct_mapped`], plus the way count must be a
+    /// power of two no larger than the number of lines.
+    pub fn set_associative(
+        size_bytes: u64,
+        line_bytes: u64,
+        associativity: Associativity,
+    ) -> Result<CacheConfig, CacheGeometryError> {
+        let config = CacheConfig { size_bytes, line_bytes, associativity };
+        let fail = |what| Err(CacheGeometryError { config, what });
+        if size_bytes == 0 || !size_bytes.is_power_of_two() {
+            return fail("cache size must be a non-zero power of two");
+        }
+        if line_bytes == 0 || !line_bytes.is_power_of_two() {
+            return fail("line size must be a non-zero power of two");
+        }
+        if line_bytes > size_bytes {
+            return fail("line size must not exceed cache size");
+        }
+        let ways = u64::from(associativity.ways());
+        if ways == 0 || !ways.is_power_of_two() {
+            return fail("way count must be a non-zero power of two");
+        }
+        if ways > size_bytes / line_bytes {
+            return fail("way count must not exceed the number of lines");
+        }
+        Ok(config)
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    #[inline]
+    pub fn line_bytes(self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Placement policy.
+    #[inline]
+    pub fn associativity(self) -> Associativity {
+        self.associativity
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn lines(self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets (`lines / ways`).
+    #[inline]
+    pub fn sets(self) -> u64 {
+        self.lines() / u64::from(self.associativity.ways())
+    }
+
+    /// Log2 of the line size; the low `line_shift` address bits are the
+    /// line offset.
+    #[inline]
+    pub fn line_shift(self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B {} cache, {} B lines", self.size_bytes, self.associativity, self.line_bytes)
+    }
+}
+
+/// Error returned when a cache geometry is internally inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheGeometryError {
+    config: CacheConfig,
+    what: &'static str,
+}
+
+impl CacheGeometryError {
+    /// The offending configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+impl fmt::Display for CacheGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry ({}): {}", self.config, self.what)
+    }
+}
+
+impl Error for CacheGeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        // The full Table 1 cross-product of L1 sizes and line sizes.
+        for size_kb in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            for line in [16u64, 32, 64, 128] {
+                let c = CacheConfig::direct_mapped(size_kb * 1024, line).unwrap();
+                assert_eq!(c.lines(), size_kb * 1024 / line);
+                assert_eq!(c.sets(), c.lines());
+            }
+        }
+        for size in [512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024] {
+            for line in [16u64, 32, 64, 128] {
+                CacheConfig::direct_mapped(size, line).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_size() {
+        let err = CacheConfig::direct_mapped(3000, 32).unwrap_err();
+        assert!(err.to_string().contains("cache size"));
+    }
+
+    #[test]
+    fn rejects_zero_line() {
+        assert!(CacheConfig::direct_mapped(1024, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_line_larger_than_cache() {
+        assert!(CacheConfig::direct_mapped(64, 128).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_ways() {
+        let err = CacheConfig::set_associative(1024, 64, Associativity::Ways(32)).unwrap_err();
+        assert!(err.to_string().contains("way count"));
+        assert_eq!(err.config().size_bytes(), 1024);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_ways() {
+        assert!(CacheConfig::set_associative(1024, 32, Associativity::Ways(3)).is_err());
+    }
+
+    #[test]
+    fn set_count_divides_by_ways() {
+        let c = CacheConfig::set_associative(8192, 32, Associativity::Ways(4)).unwrap();
+        assert_eq!(c.lines(), 256);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.associativity().ways(), 4);
+    }
+
+    #[test]
+    fn line_shift_matches_line_bytes() {
+        let c = CacheConfig::direct_mapped(4096, 64).unwrap();
+        assert_eq!(c.line_shift(), 6);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = CacheConfig::direct_mapped(4096, 64).unwrap();
+        assert_eq!(c.to_string(), "4096 B direct-mapped cache, 64 B lines");
+        let c = CacheConfig::set_associative(4096, 64, Associativity::Ways(2)).unwrap();
+        assert!(c.to_string().contains("2-way"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The two-level L1 → L2 → memory lookup path of one cache "side".
+
+use serde::{Deserialize, Serialize};
+use vm_types::{MAddr, MissClass};
+
+use crate::single::{Cache, CacheCounters};
+
+/// Counters for a full hierarchy, by level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyCounters {
+    /// The L1 level's counters.
+    pub l1: CacheCounters,
+    /// The L2 level's counters (only probed on L1 misses).
+    pub l2: CacheCounters,
+}
+
+impl HierarchyCounters {
+    /// References that went to main memory.
+    #[inline]
+    pub fn memory_accesses(&self) -> u64 {
+        self.l2.misses()
+    }
+}
+
+/// One side (instruction or data) of the paper's split memory hierarchy:
+/// a small L1 backed by a large L2, both virtually addressed, blocking,
+/// write-allocate and write-through.
+///
+/// An access probes the L1; on a miss it fills the L1 and probes the L2;
+/// on an L2 miss it fills the L2 from memory. The returned
+/// [`MissClass`] is exactly the event class the paper's cost tables
+/// (Tables 2 and 3) charge for.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl CacheHierarchy {
+    /// Composes two levels into a hierarchy.
+    pub fn new(l1: Cache, l2: Cache) -> CacheHierarchy {
+        CacheHierarchy { l1, l2 }
+    }
+
+    /// The L1 level.
+    #[inline]
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 level.
+    #[inline]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Accesses one address through the hierarchy, filling lines on the
+    /// way (inclusive hierarchy), and classifies where it was satisfied.
+    pub fn access(&mut self, addr: MAddr) -> MissClass {
+        if self.l1.access(addr) {
+            MissClass::L1Hit
+        } else if self.l2.access(addr) {
+            MissClass::L2Hit
+        } else {
+            MissClass::Memory
+        }
+    }
+
+    /// Accesses a `bytes`-wide datum that may straddle lines; returns the
+    /// *worst* miss class over the covered lines, since a blocking cache
+    /// serializes the fills and the slowest one dominates the event class.
+    pub fn access_span(&mut self, addr: MAddr, bytes: u64) -> MissClass {
+        let bytes = bytes.max(1);
+        let shift = self.l1.config().line_shift().min(self.l2.config().line_shift());
+        let step = 1u64 << shift;
+        let first = addr.raw() >> shift;
+        let last = (addr.raw() + bytes - 1) >> shift;
+        let mut worst = MissClass::L1Hit;
+        let line_base = addr.offset() & !(step - 1);
+        for (i, _line) in (first..=last).enumerate() {
+            let probe = if i == 0 { addr } else { addr.with_offset(line_base + i as u64 * step) };
+            worst = worst.max(self.access(probe));
+        }
+        worst
+    }
+
+    /// Probes without filling or counting; `Some(class)` of the level that
+    /// would satisfy the access.
+    pub fn peek(&self, addr: MAddr) -> MissClass {
+        if self.l1.peek(addr) {
+            MissClass::L1Hit
+        } else if self.l2.peek(addr) {
+            MissClass::L2Hit
+        } else {
+            MissClass::Memory
+        }
+    }
+
+    /// Both levels' counters.
+    pub fn counters(&self) -> HierarchyCounters {
+        HierarchyCounters { l1: self.l1.counters(), l2: self.l2.counters() }
+    }
+
+    /// Resets both levels' counters, keeping contents (for warm-up).
+    pub fn reset_counters(&mut self) {
+        self.l1.reset_counters();
+        self.l2.reset_counters();
+    }
+
+    /// Invalidates both levels.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn side(l1: u64, l1_line: u64, l2: u64, l2_line: u64) -> CacheHierarchy {
+        CacheHierarchy::new(
+            Cache::new(CacheConfig::direct_mapped(l1, l1_line).unwrap()),
+            Cache::new(CacheConfig::direct_mapped(l2, l2_line).unwrap()),
+        )
+    }
+
+    #[test]
+    fn cold_goes_to_memory_then_l1() {
+        let mut h = side(1024, 32, 16 * 1024, 64);
+        let a = MAddr::user(0x1000);
+        assert_eq!(h.access(a), MissClass::Memory);
+        assert_eq!(h.access(a), MissClass::L1Hit);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = side(1024, 32, 64 * 1024, 32);
+        let a = MAddr::user(0);
+        let b = MAddr::user(1024); // conflicts with a in L1, not in L2
+        assert_eq!(h.access(a), MissClass::Memory);
+        assert_eq!(h.access(b), MissClass::Memory);
+        assert_eq!(h.access(a), MissClass::L2Hit); // L1 conflict, L2 holds it
+    }
+
+    #[test]
+    fn counters_track_levels() {
+        let mut h = side(1024, 32, 64 * 1024, 32);
+        h.access(MAddr::user(0)); // mem
+        h.access(MAddr::user(0)); // L1 hit
+        h.access(MAddr::user(1024)); // mem
+        h.access(MAddr::user(0)); // L2 hit
+        let c = h.counters();
+        assert_eq!(c.l1.accesses, 4);
+        assert_eq!(c.l1.hits, 1);
+        assert_eq!(c.l2.accesses, 3); // only L1 misses reach L2
+        assert_eq!(c.l2.hits, 1);
+        assert_eq!(c.memory_accesses(), 2);
+    }
+
+    #[test]
+    fn peek_matches_future_access_class() {
+        let mut h = side(1024, 32, 64 * 1024, 64);
+        let a = MAddr::user(0x2000);
+        assert_eq!(h.peek(a), MissClass::Memory);
+        h.access(a);
+        assert_eq!(h.peek(a), MissClass::L1Hit);
+    }
+
+    #[test]
+    fn span_reports_worst_class() {
+        let mut h = side(1024, 16, 64 * 1024, 16);
+        // Warm first line only.
+        h.access(MAddr::user(0x40));
+        // 16-byte span starting mid-line: first line is L1 hit, second cold.
+        assert_eq!(h.access_span(MAddr::user(0x48), 16), MissClass::Memory);
+        // Now both lines are resident.
+        assert_eq!(h.access_span(MAddr::user(0x48), 16), MissClass::L1Hit);
+    }
+
+    #[test]
+    fn flush_restores_cold_behaviour() {
+        let mut h = side(1024, 32, 64 * 1024, 64);
+        let a = MAddr::user(0x80);
+        h.access(a);
+        h.flush();
+        assert_eq!(h.access(a), MissClass::Memory);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the cache models' invariants.
+
+use proptest::prelude::*;
+use vm_cache::{Associativity, Cache, CacheConfig, CacheHierarchy};
+use vm_types::{AddressSpace, MAddr, MissClass};
+
+fn any_space() -> impl Strategy<Value = AddressSpace> {
+    prop_oneof![Just(AddressSpace::User), Just(AddressSpace::Kernel), Just(AddressSpace::Physical),]
+}
+
+fn any_addr() -> impl Strategy<Value = MAddr> {
+    (any_space(), 0u64..(1 << 22)).prop_map(|(s, o)| MAddr::new(s, o))
+}
+
+fn any_geometry() -> impl Strategy<Value = CacheConfig> {
+    (0u32..4, 4u32..8, 0u32..3).prop_map(|(size_pow, line_pow, ways_pow)| {
+        let size = 1u64 << (10 + size_pow); // 1K..8K
+        let line = 1u64 << line_pow; // 16..128
+        let ways = 1u32 << ways_pow; // 1..4
+        CacheConfig::set_associative(
+            size,
+            line,
+            if ways == 1 { Associativity::DirectMapped } else { Associativity::Ways(ways) },
+        )
+        .expect("generated geometry is valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn hits_plus_misses_equals_accesses(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..400)) {
+        let mut c = Cache::new(cfg);
+        for a in &addrs {
+            c.access(*a);
+        }
+        let k = c.counters();
+        prop_assert_eq!(k.accesses, addrs.len() as u64);
+        prop_assert_eq!(k.hits + k.misses(), k.accesses);
+    }
+
+    #[test]
+    fn immediate_reaccess_always_hits(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..200)) {
+        let mut c = Cache::new(cfg);
+        for a in &addrs {
+            c.access(*a);
+            prop_assert!(c.access(*a), "re-access of {a} must hit");
+            prop_assert!(c.peek(*a));
+        }
+    }
+
+    #[test]
+    fn cold_first_touches_bound_misses_from_below(
+        cfg in any_geometry(),
+        addrs in prop::collection::vec(any_addr(), 1..300),
+    ) {
+        // Every distinct line's first access must miss a cold cache, so
+        // misses >= distinct lines touched (conflict misses only add).
+        let mut c = Cache::new(cfg);
+        let mut distinct = std::collections::HashSet::new();
+        for a in &addrs {
+            distinct.insert(a.raw() >> cfg.line_shift());
+            c.access(*a);
+        }
+        prop_assert!(c.counters().misses() >= distinct.len() as u64);
+        prop_assert!(c.counters().misses() <= c.counters().accesses);
+    }
+
+    #[test]
+    fn flush_restores_cold_state(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..100)) {
+        let mut c = Cache::new(cfg);
+        for a in &addrs {
+            c.access(*a);
+        }
+        c.flush();
+        for a in &addrs {
+            prop_assert!(!c.peek(*a));
+        }
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_counters(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..300)) {
+        let mut a = Cache::new(cfg);
+        let mut b = Cache::new(cfg);
+        for x in &addrs {
+            a.access(*x);
+            b.access(*x);
+        }
+        prop_assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn higher_associativity_never_hurts_at_fixed_size(
+        addrs in prop::collection::vec(0u64..(1 << 14), 50..400),
+    ) {
+        // LRU set-associative caches of the same size: more ways -> the
+        // same or fewer misses is NOT a theorem (Belady anomalies apply to
+        // FIFO, LRU stack property applies within a set), but full LRU
+        // associativity vs direct-mapped of equal size on a *small* probe
+        // set strongly tends to win; we assert the weaker stack property:
+        // a 2-way LRU cache never misses on an immediate re-reference.
+        let cfg = CacheConfig::set_associative(2048, 32, Associativity::Ways(2)).unwrap();
+        let mut c = Cache::new(cfg);
+        for &o in &addrs {
+            let a = MAddr::user(o);
+            c.access(a);
+            prop_assert!(c.peek(a));
+        }
+    }
+
+    #[test]
+    fn hierarchy_l2_sees_only_l1_misses(addrs in prop::collection::vec(any_addr(), 1..300)) {
+        let l1 = Cache::new(CacheConfig::direct_mapped(1 << 10, 32).unwrap());
+        let l2 = Cache::new(CacheConfig::direct_mapped(1 << 14, 64).unwrap());
+        let mut h = CacheHierarchy::new(l1, l2);
+        for a in &addrs {
+            h.access(*a);
+        }
+        let k = h.counters();
+        prop_assert_eq!(k.l2.accesses, k.l1.misses());
+        prop_assert!(k.memory_accesses() <= k.l2.accesses);
+    }
+
+    #[test]
+    fn hierarchy_classes_are_consistent_with_counters(addrs in prop::collection::vec(any_addr(), 1..300)) {
+        let l1 = Cache::new(CacheConfig::direct_mapped(1 << 10, 32).unwrap());
+        let l2 = Cache::new(CacheConfig::direct_mapped(1 << 13, 32).unwrap());
+        let mut h = CacheHierarchy::new(l1, l2);
+        let (mut n_l1, mut n_l2, mut n_mem) = (0u64, 0u64, 0u64);
+        for a in &addrs {
+            match h.access(*a) {
+                MissClass::L1Hit => n_l1 += 1,
+                MissClass::L2Hit => n_l2 += 1,
+                MissClass::Memory => n_mem += 1,
+            }
+        }
+        let k = h.counters();
+        prop_assert_eq!(n_l1, k.l1.hits);
+        prop_assert_eq!(n_l2, k.l2.hits);
+        prop_assert_eq!(n_mem, k.l2.misses());
+    }
+
+    #[test]
+    fn span_access_covers_every_line(start in 0u64..(1 << 16), bytes in 1u64..64) {
+        let l1 = Cache::new(CacheConfig::direct_mapped(1 << 12, 16).unwrap());
+        let l2 = Cache::new(CacheConfig::direct_mapped(1 << 14, 16).unwrap());
+        let mut h = CacheHierarchy::new(l1, l2);
+        let a = MAddr::user(start);
+        h.access_span(a, bytes);
+        for b in (0..bytes).step_by(4) {
+            prop_assert_eq!(h.peek(a.add(b)), MissClass::L1Hit, "byte {} of span not resident", b);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's cost model (Tables 2 and 3).
+//!
+//! Every miss-event class has a fixed cycle cost: a reference that misses
+//! an L1 cache and is satisfied by the L2 costs 20 cycles; one that also
+//! misses the L2 and goes to main memory costs a further 500 cycles.
+//! Handler executions cost their instruction count (a 1-CPI machine), and
+//! each precise interrupt costs a configurable 10, 50 or 200 cycles
+//! (Table 1) — the sweep that quantifies how interrupt handling scales
+//! with processor concurrency.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs applied to raw event counts.
+///
+/// The simulator records *counts*; CPI figures are derived by applying a
+/// `CostModel` afterwards, so the interrupt-cost sweep re-uses one
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles for a reference satisfied by the L2 cache (Table 2: 20).
+    pub l1_miss_cycles: u64,
+    /// Additional cycles for a reference that goes to memory (Table 2: 500).
+    pub l2_miss_cycles: u64,
+    /// Cycles per precise interrupt (Table 1: 10, 50 or 200).
+    pub interrupt_cycles: u64,
+}
+
+impl CostModel {
+    /// The paper's cost model with the chosen interrupt cost.
+    pub fn paper(interrupt_cycles: u64) -> CostModel {
+        CostModel { l1_miss_cycles: 20, l2_miss_cycles: 500, interrupt_cycles }
+    }
+
+    /// The paper's three interrupt costs (Table 1).
+    pub const INTERRUPT_COSTS: [u64; 3] = [10, 50, 200];
+}
+
+impl Default for CostModel {
+    /// The paper's costs with the middle (50-cycle) interrupt cost.
+    fn default() -> CostModel {
+        CostModel::paper(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs_match_table2() {
+        let c = CostModel::paper(10);
+        assert_eq!(c.l1_miss_cycles, 20);
+        assert_eq!(c.l2_miss_cycles, 500);
+        assert_eq!(c.interrupt_cycles, 10);
+    }
+
+    #[test]
+    fn default_uses_middle_interrupt_cost() {
+        assert_eq!(CostModel::default(), CostModel::paper(50));
+    }
+
+    #[test]
+    fn interrupt_sweep_is_table1() {
+        assert_eq!(CostModel::INTERRUPT_COSTS, [10, 50, 200]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Raw event counts and the derived MCPI / VMCPI breakdowns.
+
+use serde::{Deserialize, Serialize};
+use vm_cache::HierarchyCounters;
+use vm_tlb::TlbCounters;
+use vm_types::HandlerLevel;
+
+use crate::cost::CostModel;
+
+/// Index of a handler level in the per-level count arrays.
+#[inline]
+pub(crate) fn lvl(level: HandlerLevel) -> usize {
+    match level {
+        HandlerLevel::User => 0,
+        HandlerLevel::Kernel => 1,
+        HandlerLevel::Root => 2,
+    }
+}
+
+/// Raw event counts gathered during simulation.
+///
+/// Everything a cost model needs is a count here; CPI values are derived
+/// by [`SimReport::mcpi`] / [`SimReport::vmcpi`] so the same run can be
+/// priced under different interrupt costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawCounts {
+    /// User instructions executed (the CPI denominator).
+    pub user_instrs: u64,
+    /// User loads executed.
+    pub user_loads: u64,
+    /// User stores executed.
+    pub user_stores: u64,
+    /// User instruction fetches that missed the L1 I-cache.
+    pub l1i_misses: u64,
+    /// User instruction fetches that also missed the L2 I-cache.
+    pub l2i_misses: u64,
+    /// User data references that missed the L1 D-cache.
+    pub l1d_misses: u64,
+    /// User data references that also missed the L2 D-cache.
+    pub l2d_misses: u64,
+    /// Handler invocations, by level (user/kernel/root).
+    pub handler_invocations: [u64; 3],
+    /// Handler instruction cycles (1 CPI base cost), by level.
+    pub handler_instr_cycles: [u64; 3],
+    /// Hardware state-machine cycles, by level.
+    pub inline_cycles: [u64; 3],
+    /// PTE loads issued, by level.
+    pub pte_loads: [u64; 3],
+    /// PTE loads that missed the L1 D-cache, by level (`upte-L2` /
+    /// `kpte-L2` / `rpte-L2`). Inclusive: a load that goes to memory
+    /// counts here *and* in `pte_mem`, mirroring the user-reference
+    /// counters (total memory-trip cost 20 + 500).
+    pub pte_l2: [u64; 3],
+    /// PTE loads that also missed the L2 D-cache, by level (`*pte-MEM`).
+    pub pte_mem: [u64; 3],
+    /// Handler instruction fetches that missed the L1 I-cache
+    /// (`handler-L2`; inclusive, see `pte_l2`).
+    pub handler_ifetch_l2: u64,
+    /// Handler instruction fetches that also missed the L2 I-cache
+    /// (`handler-MEM`).
+    pub handler_ifetch_mem: u64,
+    /// Precise interrupts taken, by dispatching level.
+    pub interrupts: [u64; 3],
+    /// Whole-TLB flushes performed (context switches under an untagged
+    /// TLB, plus any periodic `flush_tlb_every` flushes).
+    pub tlb_flushes: u64,
+}
+
+impl RawCounts {
+    /// Total precise interrupts.
+    pub fn total_interrupts(&self) -> u64 {
+        self.interrupts.iter().sum()
+    }
+
+    /// Total handler invocations across levels.
+    pub fn total_handler_invocations(&self) -> u64 {
+        self.handler_invocations.iter().sum()
+    }
+}
+
+/// The memory-system overhead breakdown (Table 2), in cycles per user
+/// instruction. Covers **user references only** — but measured in caches
+/// the VM handlers also live in, so handler pollution shows up here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct McpiBreakdown {
+    /// L1 I-cache miss cycles per instruction (`L1i-miss` × 20).
+    pub l1i: f64,
+    /// L1 D-cache miss cycles per instruction (`L1d-miss` × 20).
+    pub l1d: f64,
+    /// L2 I-cache miss cycles per instruction (`L2i-miss` × 500).
+    pub l2i: f64,
+    /// L2 D-cache miss cycles per instruction (`L2d-miss` × 500).
+    pub l2d: f64,
+}
+
+impl McpiBreakdown {
+    /// Total MCPI.
+    pub fn total(&self) -> f64 {
+        self.l1i + self.l1d + self.l2i + self.l2d
+    }
+}
+
+/// The virtual-memory overhead breakdown (Table 3), in cycles per user
+/// instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmcpiBreakdown {
+    /// User-level handler base cost (`uhandlers`).
+    pub uhandler: f64,
+    /// User-level PTE loads satisfied by the L2 (`upte-L2`).
+    pub upte_l2: f64,
+    /// User-level PTE loads that went to memory (`upte-MEM`).
+    pub upte_mem: f64,
+    /// Kernel-level handler base cost (`khandlers`).
+    pub khandler: f64,
+    /// Kernel-level PTE loads satisfied by the L2 (`kpte-L2`).
+    pub kpte_l2: f64,
+    /// Kernel-level PTE loads that went to memory (`kpte-MEM`).
+    pub kpte_mem: f64,
+    /// Root-level handler base cost (`rhandlers`).
+    pub rhandler: f64,
+    /// Root-level PTE loads satisfied by the L2 (`rpte-L2`).
+    pub rpte_l2: f64,
+    /// Root-level PTE loads that went to memory (`rpte-MEM`).
+    pub rpte_mem: f64,
+    /// Handler instruction fetches satisfied by the L2 (`handler-L2`).
+    pub handler_l2: f64,
+    /// Handler instruction fetches that went to memory (`handler-MEM`).
+    pub handler_mem: f64,
+}
+
+impl VmcpiBreakdown {
+    /// Total VMCPI (excluding interrupt cost, as in the paper's Figures
+    /// 6–9; interrupt cost is reported separately).
+    pub fn total(&self) -> f64 {
+        self.uhandler
+            + self.upte_l2
+            + self.upte_mem
+            + self.khandler
+            + self.kpte_l2
+            + self.kpte_mem
+            + self.rhandler
+            + self.rpte_l2
+            + self.rpte_mem
+            + self.handler_l2
+            + self.handler_mem
+    }
+
+    /// The component names in Table 3 order, paired with values. Useful
+    /// for rendering the stacked-bar figures (Figures 8–9).
+    pub fn components(&self) -> [(&'static str, f64); 11] {
+        [
+            ("uhandler", self.uhandler),
+            ("upte-L2", self.upte_l2),
+            ("upte-MEM", self.upte_mem),
+            ("khandler", self.khandler),
+            ("kpte-L2", self.kpte_l2),
+            ("kpte-MEM", self.kpte_mem),
+            ("rhandler", self.rhandler),
+            ("rpte-L2", self.rpte_l2),
+            ("rpte-MEM", self.rpte_mem),
+            ("handler-L2", self.handler_l2),
+            ("handler-MEM", self.handler_mem),
+        ]
+    }
+}
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// System label (e.g. `"ULTRIX"`).
+    pub system: String,
+    /// Raw event counts.
+    pub counts: RawCounts,
+    /// Final I-TLB counters (absent for NOTLB/BASE).
+    pub itlb: Option<TlbCounters>,
+    /// Final D-TLB counters (absent for NOTLB/BASE).
+    pub dtlb: Option<TlbCounters>,
+    /// I-side cache counters (all traffic, user + handlers).
+    pub icache: HierarchyCounters,
+    /// D-side cache counters (all traffic, user + PTE loads).
+    pub dcache: HierarchyCounters,
+    /// Whether the L2 was unified (in which case `icache.l2` and
+    /// `dcache.l2` are the same shared cache's counters).
+    pub unified_l2: bool,
+}
+
+impl SimReport {
+    /// The MCPI breakdown under `cost`.
+    pub fn mcpi(&self, cost: &CostModel) -> McpiBreakdown {
+        let n = self.counts.user_instrs.max(1) as f64;
+        McpiBreakdown {
+            l1i: (self.counts.l1i_misses * cost.l1_miss_cycles) as f64 / n,
+            l1d: (self.counts.l1d_misses * cost.l1_miss_cycles) as f64 / n,
+            l2i: (self.counts.l2i_misses * cost.l2_miss_cycles) as f64 / n,
+            l2d: (self.counts.l2d_misses * cost.l2_miss_cycles) as f64 / n,
+        }
+    }
+
+    /// The VMCPI breakdown under `cost`.
+    pub fn vmcpi(&self, cost: &CostModel) -> VmcpiBreakdown {
+        let n = self.counts.user_instrs.max(1) as f64;
+        let c = &self.counts;
+        let handler = |i: usize| (c.handler_instr_cycles[i] + c.inline_cycles[i]) as f64 / n;
+        let pl2 = |i: usize| (c.pte_l2[i] * cost.l1_miss_cycles) as f64 / n;
+        let pmem = |i: usize| (c.pte_mem[i] * cost.l2_miss_cycles) as f64 / n;
+        VmcpiBreakdown {
+            uhandler: handler(0),
+            upte_l2: pl2(0),
+            upte_mem: pmem(0),
+            khandler: handler(1),
+            kpte_l2: pl2(1),
+            kpte_mem: pmem(1),
+            rhandler: handler(2),
+            rpte_l2: pl2(2),
+            rpte_mem: pmem(2),
+            handler_l2: (c.handler_ifetch_l2 * cost.l1_miss_cycles) as f64 / n,
+            handler_mem: (c.handler_ifetch_mem * cost.l2_miss_cycles) as f64 / n,
+        }
+    }
+
+    /// Combined I+D TLB miss ratio, or 0 for TLB-less systems.
+    pub fn tlb_miss_ratio(&self) -> f64 {
+        let (lookups, hits) = self
+            .itlb
+            .iter()
+            .chain(self.dtlb.iter())
+            .fold((0u64, 0u64), |(l, h), t| (l + t.lookups, h + t.hits));
+        if lookups == 0 {
+            0.0
+        } else {
+            (lookups - hits) as f64 / lookups as f64
+        }
+    }
+
+    /// Precise interrupts per thousand user instructions.
+    pub fn interrupts_per_kilo_instr(&self) -> f64 {
+        self.counts.total_interrupts() as f64 * 1000.0 / self.counts.user_instrs.max(1) as f64
+    }
+
+    /// Interrupt cycles per user instruction under `cost`.
+    pub fn interrupt_cpi(&self, cost: &CostModel) -> f64 {
+        (self.counts.total_interrupts() * cost.interrupt_cycles) as f64
+            / self.counts.user_instrs.max(1) as f64
+    }
+
+    /// Full CPI: the 1.0 base of the paper's 1-CPI machine plus MCPI,
+    /// VMCPI and interrupt overhead.
+    pub fn total_cpi(&self, cost: &CostModel) -> f64 {
+        1.0 + self.mcpi(cost).total() + self.vmcpi(cost).total() + self.interrupt_cpi(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(counts: RawCounts) -> SimReport {
+        SimReport {
+            system: "TEST".into(),
+            counts,
+            itlb: None,
+            dtlb: None,
+            icache: HierarchyCounters::default(),
+            dcache: HierarchyCounters::default(),
+            unified_l2: false,
+        }
+    }
+
+    #[test]
+    fn level_index_covers_all_levels() {
+        assert_eq!(lvl(HandlerLevel::User), 0);
+        assert_eq!(lvl(HandlerLevel::Kernel), 1);
+        assert_eq!(lvl(HandlerLevel::Root), 2);
+    }
+
+    #[test]
+    fn mcpi_prices_misses_per_table2() {
+        let counts = RawCounts {
+            user_instrs: 1000,
+            l1i_misses: 10,
+            l2i_misses: 2,
+            l1d_misses: 5,
+            l2d_misses: 1,
+            ..RawCounts::default()
+        };
+        let m = report_with(counts).mcpi(&CostModel::paper(50));
+        assert!((m.l1i - 10.0 * 20.0 / 1000.0).abs() < 1e-12);
+        assert!((m.l2i - 2.0 * 500.0 / 1000.0).abs() < 1e-12);
+        assert!((m.l1d - 5.0 * 20.0 / 1000.0).abs() < 1e-12);
+        assert!((m.l2d - 1.0 * 500.0 / 1000.0).abs() < 1e-12);
+        assert!((m.total() - (m.l1i + m.l1d + m.l2i + m.l2d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vmcpi_prices_components_per_table3() {
+        let counts = RawCounts {
+            user_instrs: 1000,
+            handler_instr_cycles: [100, 40, 500],
+            inline_cycles: [7, 0, 0],
+            pte_l2: [3, 2, 1],
+            pte_mem: [1, 0, 2],
+            handler_ifetch_l2: 4,
+            handler_ifetch_mem: 1,
+            ..RawCounts::default()
+        };
+        let v = report_with(counts).vmcpi(&CostModel::paper(50));
+        assert!((v.uhandler - 107.0 / 1000.0).abs() < 1e-12);
+        assert!((v.khandler - 40.0 / 1000.0).abs() < 1e-12);
+        assert!((v.rhandler - 500.0 / 1000.0).abs() < 1e-12);
+        assert!((v.upte_l2 - 60.0 / 1000.0).abs() < 1e-12);
+        assert!((v.upte_mem - 500.0 / 1000.0).abs() < 1e-12);
+        assert!((v.rpte_mem - 1000.0 / 1000.0).abs() < 1e-12);
+        assert!((v.handler_l2 - 80.0 / 1000.0).abs() < 1e-12);
+        assert!((v.handler_mem - 500.0 / 1000.0).abs() < 1e-12);
+        let sum: f64 = v.components().iter().map(|(_, x)| x).sum();
+        assert!((v.total() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interrupt_cost_scales_post_hoc() {
+        let counts = RawCounts { user_instrs: 1000, interrupts: [5, 1, 0], ..RawCounts::default() };
+        let r = report_with(counts);
+        assert!((r.interrupt_cpi(&CostModel::paper(10)) - 60.0 / 1000.0).abs() < 1e-12);
+        assert!((r.interrupt_cpi(&CostModel::paper(200)) - 1200.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_cpi_starts_at_one() {
+        let r = report_with(RawCounts { user_instrs: 100, ..RawCounts::default() });
+        assert!((r.total_cpi(&CostModel::default()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instruction_report_does_not_divide_by_zero() {
+        let r = report_with(RawCounts::default());
+        assert_eq!(r.mcpi(&CostModel::default()).total(), 0.0);
+        assert_eq!(r.vmcpi(&CostModel::default()).total(), 0.0);
+        assert_eq!(r.interrupt_cpi(&CostModel::default()), 0.0);
+    }
+
+    #[test]
+    fn component_names_match_table3() {
+        let v = VmcpiBreakdown::default();
+        let names: Vec<_> = v.components().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "uhandler",
+                "upte-L2",
+                "upte-MEM",
+                "khandler",
+                "kpte-L2",
+                "kpte-MEM",
+                "rhandler",
+                "rpte-L2",
+                "rpte-MEM",
+                "handler-L2",
+                "handler-MEM"
+            ]
+        );
+    }
+}
+
+impl std::fmt::Display for McpiBreakdown {
+    /// One-line summary: `MCPI 1.2345 (l1i 0.1 l1d 0.2 l2i 0.3 l2d 0.6)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MCPI {:.4} (l1i {:.4} l1d {:.4} l2i {:.4} l2d {:.4})",
+            self.total(),
+            self.l1i,
+            self.l1d,
+            self.l2i,
+            self.l2d
+        )
+    }
+}
+
+impl std::fmt::Display for VmcpiBreakdown {
+    /// One-line summary listing only the non-zero Table 3 components.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VMCPI {:.4}", self.total())?;
+        let mut sep = " (";
+        for (name, value) in self.components() {
+            if value > 1e-9 {
+                write!(f, "{sep}{name} {value:.4}")?;
+                sep = " ";
+            }
+        }
+        if sep == " " {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn mcpi_display_is_one_line_and_complete() {
+        let m = McpiBreakdown { l1i: 0.1, l1d: 0.2, l2i: 0.3, l2d: 0.4 };
+        let s = m.to_string();
+        assert!(s.starts_with("MCPI 1.0000"));
+        assert!(s.contains("l2d 0.4000"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn vmcpi_display_lists_only_nonzero_components() {
+        let v = VmcpiBreakdown { uhandler: 0.01, upte_mem: 0.02, ..VmcpiBreakdown::default() };
+        let s = v.to_string();
+        assert!(s.contains("uhandler 0.0100"), "{s}");
+        assert!(s.contains("upte-MEM 0.0200"), "{s}");
+        assert!(!s.contains("khandler"), "{s}");
+    }
+
+    #[test]
+    fn vmcpi_display_of_zero_is_nonempty() {
+        let s = VmcpiBreakdown::default().to_string();
+        assert_eq!(s, "VMCPI 0.0000");
+    }
+}

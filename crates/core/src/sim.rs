@@ -1,0 +1,625 @@
+//! The memory system simulator: the paper's Section 3.1 algorithm.
+
+use serde::{Deserialize, Serialize};
+use vm_cache::CacheSystem;
+use vm_ptable::{TlbRefill, WalkContext};
+use vm_tlb::Tlb;
+use vm_trace::InstrRecord;
+use vm_types::{AccessKind, HandlerLevel, MAddr, MissClass, Vpn};
+
+use crate::report::{lvl, RawCounts, SimReport};
+use crate::system::{BuildError, SimConfig};
+
+/// How TLB entries relate to address-space identifiers.
+///
+/// With multiprogramming traces ([`vm_trace::Multiprogram`]) the choice
+/// matters enormously; on single-process traces the modes are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsidMode {
+    /// Entries are tagged with the owning process's ASID (MIPS-style):
+    /// translations survive context switches.
+    Tagged,
+    /// Entries carry no ASID (period x86-style): the OS must flush both
+    /// TLBs on every context switch, which the simulator performs
+    /// automatically when the running ASID changes.
+    Untagged,
+}
+
+/// The MMU configuration of a [`MemorySystem`].
+///
+/// (The TLB variant is much larger than `Bare`; exactly one `Mmu` exists
+/// per simulation, so boxing would buy nothing.)
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Mmu {
+    /// Split I/D TLBs refilled by a walker (ULTRIX, MACH, INTEL, PA-RISC,
+    /// and the hardware-walk ablations).
+    Tlb {
+        /// Instruction TLB.
+        itlb: Tlb,
+        /// Data TLB.
+        dtlb: Tlb,
+        /// The refill procedure.
+        walker: Box<dyn TlbRefill>,
+    },
+    /// No TLB; the walker runs on user L2 cache misses (NOTLB/softvm).
+    NoTlb {
+        /// The cache-miss handler.
+        walker: Box<dyn TlbRefill>,
+    },
+    /// No VM at all (BASE).
+    Bare,
+}
+
+impl std::fmt::Debug for Mmu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mmu::Tlb { itlb, dtlb, walker } => f
+                .debug_struct("Mmu::Tlb")
+                .field("itlb", itlb)
+                .field("dtlb", dtlb)
+                .field("walker", &walker.name())
+                .finish(),
+            Mmu::NoTlb { walker } => {
+                f.debug_struct("Mmu::NoTlb").field("walker", &walker.name()).finish()
+            }
+            Mmu::Bare => f.write_str("Mmu::Bare"),
+        }
+    }
+}
+
+/// The complete simulated memory system: split two-level caches, the
+/// MMU (TLBs + walker, walker only, or nothing), and event counters.
+///
+/// Feed it a trace with [`MemorySystem::run`] (or instruction-by-
+/// instruction with [`MemorySystem::step`]) and extract a [`SimReport`].
+/// Most users never construct one directly — see [`crate::simulate`] and
+/// [`SimConfig::build`] — but custom page-table organizations can be
+/// plugged in through [`MemorySystem::with_tlb_walker`].
+#[derive(Debug)]
+pub struct MemorySystem {
+    label: String,
+    caches: CacheSystem,
+    mmu: Mmu,
+    counts: RawCounts,
+    /// Context-switch model: flush the TLBs every `n` instructions.
+    flush_tlb_every: Option<u64>,
+    instrs_since_flush: u64,
+    asid_mode: AsidMode,
+    last_asid: Option<u16>,
+}
+
+/// The [`WalkContext`] the simulator hands to walkers: it routes handler
+/// fetches through the I-caches, PTE loads through the D-caches, and TLB
+/// traffic to the D-TLB, classifying every event into [`RawCounts`].
+struct WalkCtx<'a> {
+    caches: &'a mut CacheSystem,
+    dtlb: Option<&'a mut Tlb>,
+    counts: &'a mut RawCounts,
+    asid_mode: AsidMode,
+}
+
+impl WalkContext for WalkCtx<'_> {
+    fn exec_handler(&mut self, level: HandlerLevel, base: MAddr, instrs: u32) {
+        let i = lvl(level);
+        self.counts.handler_invocations[i] += 1;
+        self.counts.handler_instr_cycles[i] += u64::from(instrs);
+        for n in 0..u64::from(instrs) {
+            // Miss events are counted inclusively, as for user references:
+            // a fetch that goes to memory missed the L1 *and* the L2, so
+            // it costs 20 + 500 cycles (Tables 2-3 applied uniformly).
+            let class = self.caches.fetch(base.add(n * 4));
+            if class.missed_l1() {
+                self.counts.handler_ifetch_l2 += 1;
+            }
+            if class.missed_l2() {
+                self.counts.handler_ifetch_mem += 1;
+            }
+        }
+    }
+
+    fn exec_inline(&mut self, level: HandlerLevel, cycles: u32) {
+        let i = lvl(level);
+        self.counts.handler_invocations[i] += 1;
+        self.counts.inline_cycles[i] += u64::from(cycles);
+    }
+
+    fn pte_load(&mut self, level: HandlerLevel, addr: MAddr, bytes: u64) -> MissClass {
+        let i = lvl(level);
+        self.counts.pte_loads[i] += 1;
+        let class = self.caches.data_span(addr, bytes);
+        // Inclusive events, as for user references: a load that goes to
+        // memory missed both levels and pays 20 + 500 cycles.
+        if class.missed_l1() {
+            self.counts.pte_l2[i] += 1;
+        }
+        if class.missed_l2() {
+            self.counts.pte_mem[i] += 1;
+        }
+        class
+    }
+
+    fn dtlb_probe(&mut self, vpn: Vpn) -> bool {
+        let key = tlb_key(vpn, self.asid_mode);
+        match &mut self.dtlb {
+            Some(tlb) => tlb.lookup(key),
+            // A system without a TLB cannot take a TLB miss; treat every
+            // probe as resident so custom walkers degrade gracefully.
+            None => true,
+        }
+    }
+
+    fn dtlb_insert_protected(&mut self, vpn: Vpn) {
+        if let Some(tlb) = &mut self.dtlb {
+            tlb.insert_protected(tlb_key(vpn, self.asid_mode));
+        }
+    }
+
+    fn dtlb_insert(&mut self, vpn: Vpn) {
+        if let Some(tlb) = &mut self.dtlb {
+            tlb.insert_user(tlb_key(vpn, self.asid_mode));
+        }
+    }
+
+    fn interrupt(&mut self, level: HandlerLevel) {
+        self.counts.interrupts[lvl(level)] += 1;
+    }
+}
+
+/// The page-number key an entry occupies in the TLB: the full tagged
+/// number for ASID-tagged TLBs, the ASID-stripped number for untagged
+/// ones (whence the aliasing hazard that forces flush-on-switch).
+fn tlb_key(vpn: Vpn, mode: AsidMode) -> Vpn {
+    match mode {
+        AsidMode::Tagged => vpn,
+        AsidMode::Untagged => vpn.strip_asid(),
+    }
+}
+
+impl MemorySystem {
+    pub(crate) fn from_parts(
+        label: String,
+        caches: CacheSystem,
+        mmu: Mmu,
+        flush_tlb_every: Option<u64>,
+        asid_mode: AsidMode,
+    ) -> MemorySystem {
+        MemorySystem {
+            label,
+            caches,
+            mmu,
+            counts: RawCounts::default(),
+            flush_tlb_every,
+            instrs_since_flush: 0,
+            asid_mode,
+            last_asid: None,
+        }
+    }
+
+    /// Assembles a TLB-based system around a custom [`TlbRefill`] walker.
+    pub fn with_tlb_walker(
+        label: impl Into<String>,
+        caches: CacheSystem,
+        itlb: Tlb,
+        dtlb: Tlb,
+        walker: Box<dyn TlbRefill>,
+    ) -> MemorySystem {
+        MemorySystem::from_parts(
+            label.into(),
+            caches,
+            Mmu::Tlb { itlb, dtlb, walker },
+            None,
+            AsidMode::Tagged,
+        )
+    }
+
+    /// Assembles a TLB-less (softvm-style) system around a custom walker
+    /// invoked on user L2 misses.
+    pub fn with_no_tlb_walker(
+        label: impl Into<String>,
+        caches: CacheSystem,
+        walker: Box<dyn TlbRefill>,
+    ) -> MemorySystem {
+        MemorySystem::from_parts(
+            label.into(),
+            caches,
+            Mmu::NoTlb { walker },
+            None,
+            AsidMode::Tagged,
+        )
+    }
+
+    /// Assembles a VM-less baseline system (the BASE simulation).
+    pub fn bare(label: impl Into<String>, caches: CacheSystem) -> MemorySystem {
+        MemorySystem::from_parts(label.into(), caches, Mmu::Bare, None, AsidMode::Tagged)
+    }
+
+    /// The system's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The raw counts accumulated so far.
+    pub fn counts(&self) -> &RawCounts {
+        &self.counts
+    }
+
+    /// Enables or disables the context-switch model after construction:
+    /// flush both TLBs every `n` user instructions.
+    pub fn set_flush_tlb_every(&mut self, every: Option<u64>) {
+        self.flush_tlb_every = every;
+    }
+
+    /// Executes one traced instruction: the body of the paper's
+    /// fundamental simulator loop.
+    pub fn step(&mut self, rec: &InstrRecord) {
+        // Untagged TLBs must be flushed whenever the running process
+        // changes (the OS reloads the page-table base).
+        let asid = rec.pc.asid();
+        if self.asid_mode == AsidMode::Untagged && self.last_asid.is_some_and(|a| a != asid) {
+            if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
+                self.counts.tlb_flushes += 1;
+                itlb.flush();
+                dtlb.flush();
+            }
+        }
+        self.last_asid = Some(asid);
+        if let Some(every) = self.flush_tlb_every {
+            self.instrs_since_flush += 1;
+            if self.instrs_since_flush >= every {
+                self.instrs_since_flush = 0;
+                if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
+                    self.counts.tlb_flushes += 1;
+                    itlb.flush();
+                    dtlb.flush();
+                }
+            }
+        }
+        self.counts.user_instrs += 1;
+        self.reference(rec.pc, AccessKind::Fetch);
+        if let Some(d) = rec.data {
+            match d.kind {
+                AccessKind::Load => self.counts.user_loads += 1,
+                AccessKind::Store => self.counts.user_stores += 1,
+                AccessKind::Fetch => {}
+            }
+            self.reference(d.addr, d.kind);
+        }
+    }
+
+    /// One user reference: translation (TLB systems), the cache lookup,
+    /// and softvm's L2-miss servicing (NOTLB systems).
+    fn reference(&mut self, addr: MAddr, kind: AccessKind) {
+        self.translate(addr, kind);
+        let class = self.count_cache_access(addr, kind);
+        if class == MissClass::Memory {
+            self.service_l2_miss(addr, kind);
+        }
+    }
+
+    /// TLB lookup, walking the page table on a miss (TLB systems only).
+    fn translate(&mut self, addr: MAddr, kind: AccessKind) {
+        if let Mmu::Tlb { itlb, dtlb, walker } = &mut self.mmu {
+            let key = tlb_key(addr.vpn(), self.asid_mode);
+            let hit = if kind == AccessKind::Fetch { itlb.lookup(key) } else { dtlb.lookup(key) };
+            if !hit {
+                // The handler's own data references go through the D-TLB
+                // regardless of which TLB missed. The walker always sees
+                // the full (tagged) page number: page tables are
+                // per-process even when the TLB is not.
+                let mut ctx = WalkCtx {
+                    caches: &mut self.caches,
+                    dtlb: Some(dtlb),
+                    counts: &mut self.counts,
+                    asid_mode: self.asid_mode,
+                };
+                walker.refill(&mut ctx, addr.vpn(), kind);
+                if kind == AccessKind::Fetch {
+                    itlb.insert_user(key);
+                } else {
+                    dtlb.insert_user(key);
+                }
+            }
+        }
+    }
+
+    /// softvm: the OS services every user-level L2 miss (NOTLB systems).
+    fn service_l2_miss(&mut self, addr: MAddr, kind: AccessKind) {
+        if let Mmu::NoTlb { walker } = &mut self.mmu {
+            let mut ctx = WalkCtx {
+                caches: &mut self.caches,
+                dtlb: None,
+                counts: &mut self.counts,
+                asid_mode: self.asid_mode,
+            };
+            walker.refill(&mut ctx, addr.vpn(), kind);
+        }
+    }
+
+    fn count_cache_access(&mut self, addr: MAddr, kind: AccessKind) -> MissClass {
+        let (class, l1_ctr, l2_ctr) = if kind == AccessKind::Fetch {
+            (self.caches.fetch(addr), &mut self.counts.l1i_misses, &mut self.counts.l2i_misses)
+        } else {
+            (self.caches.data(addr), &mut self.counts.l1d_misses, &mut self.counts.l2d_misses)
+        };
+        match class {
+            MissClass::L1Hit => {}
+            MissClass::L2Hit => *l1_ctr += 1,
+            MissClass::Memory => {
+                *l1_ctr += 1;
+                *l2_ctr += 1;
+            }
+        }
+        class
+    }
+
+    /// Runs at most `limit` instructions from `trace`; returns how many
+    /// actually executed.
+    pub fn run<I>(&mut self, trace: I, limit: u64) -> u64
+    where
+        I: IntoIterator<Item = InstrRecord>,
+    {
+        let mut executed = 0u64;
+        let mut iter = trace.into_iter();
+        while executed < limit {
+            let Some(rec) = iter.next() else { break };
+            self.step(&rec);
+            executed += 1;
+        }
+        executed
+    }
+
+    /// Clears all counters (caches, TLBs, raw counts) while keeping the
+    /// warmed cache/TLB/page-table state — the boundary between warm-up
+    /// and measurement.
+    pub fn reset_counters(&mut self) {
+        self.counts = RawCounts::default();
+        self.caches.reset_counters();
+        if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
+            itlb.reset_counters();
+            dtlb.reset_counters();
+        }
+    }
+
+    /// Snapshots a [`SimReport`] of everything counted so far.
+    pub fn report(&self) -> SimReport {
+        let (itlb, dtlb) = match &self.mmu {
+            Mmu::Tlb { itlb, dtlb, .. } => (Some(itlb.counters()), Some(dtlb.counters())),
+            _ => (None, None),
+        };
+        let cache_counters = self.caches.counters();
+        SimReport {
+            system: self.label.clone(),
+            counts: self.counts,
+            itlb,
+            dtlb,
+            icache: cache_counters.instruction_side(),
+            dcache: cache_counters.data_side(),
+            unified_l2: cache_counters.unified,
+        }
+    }
+}
+
+/// Builds the system described by `config`, warms it with `warmup`
+/// instructions of `trace`, measures the next `measure` instructions and
+/// returns the report.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if `config` is internally inconsistent.
+pub fn simulate<I>(
+    config: &SimConfig,
+    trace: I,
+    warmup: u64,
+    measure: u64,
+) -> Result<SimReport, BuildError>
+where
+    I: IntoIterator<Item = InstrRecord>,
+{
+    let mut system = config.build()?;
+    let mut iter = trace.into_iter();
+    system.run(&mut iter, warmup);
+    system.reset_counters();
+    system.run(&mut iter, measure);
+    Ok(system.report())
+}
+
+/// Error from [`simulate_spec`]: either side of the pipeline failed to
+/// build.
+#[derive(Debug)]
+pub enum SimulateError {
+    /// The system configuration was rejected.
+    System(BuildError),
+    /// The workload specification was rejected.
+    Workload(vm_trace::SpecError),
+}
+
+impl std::fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulateError::System(e) => write!(f, "{e}"),
+            SimulateError::Workload(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulateError::System(e) => Some(e),
+            SimulateError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for SimulateError {
+    fn from(e: BuildError) -> SimulateError {
+        SimulateError::System(e)
+    }
+}
+
+impl From<vm_trace::SpecError> for SimulateError {
+    fn from(e: vm_trace::SpecError) -> SimulateError {
+        SimulateError::Workload(e)
+    }
+}
+
+/// As [`simulate`], but builds the trace from a workload spec and seed.
+///
+/// # Errors
+///
+/// Returns [`SimulateError::System`] for a bad `config` and
+/// [`SimulateError::Workload`] for an invalid `spec`.
+pub fn simulate_spec(
+    config: &SimConfig,
+    spec: &vm_trace::WorkloadSpec,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+) -> Result<SimReport, SimulateError> {
+    let trace = spec.build(seed)?;
+    let mut report = simulate(config, trace, warmup, measure)?;
+    report.system = format!("{}/{}", report.system, spec.name);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::system::SystemKind;
+    use vm_trace::presets;
+
+    fn quick(system: SystemKind, seed: u64) -> SimReport {
+        let config = SimConfig::paper_default(system);
+        simulate(&config, presets::gcc(seed), 30_000, 120_000).unwrap()
+    }
+
+    #[test]
+    fn base_system_has_zero_vm_overhead() {
+        let r = quick(SystemKind::Base, 1);
+        let cost = CostModel::default();
+        assert_eq!(r.vmcpi(&cost).total(), 0.0);
+        assert_eq!(r.interrupt_cpi(&cost), 0.0);
+        assert!(r.mcpi(&cost).total() > 0.0, "a real workload must miss sometimes");
+        assert!(r.itlb.is_none() && r.dtlb.is_none());
+    }
+
+    #[test]
+    fn instruction_counts_match_the_run_length() {
+        let r = quick(SystemKind::Ultrix, 1);
+        assert_eq!(r.counts.user_instrs, 120_000);
+        assert!(r.counts.user_loads > 0);
+        assert!(r.counts.user_stores > 0);
+    }
+
+    #[test]
+    fn software_systems_take_interrupts_intel_does_not() {
+        let ultrix = quick(SystemKind::Ultrix, 2);
+        let intel = quick(SystemKind::Intel, 2);
+        assert!(ultrix.counts.total_interrupts() > 0);
+        assert_eq!(intel.counts.total_interrupts(), 0);
+        // INTEL's handler never touches the I-caches.
+        assert_eq!(intel.counts.handler_ifetch_l2, 0);
+        assert_eq!(intel.counts.handler_ifetch_mem, 0);
+        assert_eq!(intel.counts.handler_instr_cycles, [0, 0, 0]);
+        assert!(intel.counts.inline_cycles[0] > 0);
+    }
+
+    #[test]
+    fn intel_walks_root_on_every_miss() {
+        let intel = quick(SystemKind::Intel, 3);
+        assert_eq!(intel.counts.pte_loads[0], intel.counts.pte_loads[2]);
+        assert!(intel.counts.pte_loads[0] > 0);
+    }
+
+    #[test]
+    fn ultrix_root_walks_are_rare() {
+        let r = quick(SystemKind::Ultrix, 3);
+        assert!(r.counts.handler_invocations[0] > 0);
+        assert!(
+            r.counts.handler_invocations[2] < r.counts.handler_invocations[0] / 2,
+            "root walks ({}) should be far rarer than user walks ({})",
+            r.counts.handler_invocations[2],
+            r.counts.handler_invocations[0]
+        );
+    }
+
+    #[test]
+    fn mach_uses_all_three_levels() {
+        let r = quick(SystemKind::Mach, 3);
+        assert!(r.counts.handler_invocations[0] > 0);
+        assert!(r.counts.handler_invocations[1] > 0, "kernel-level misses should occur");
+    }
+
+    #[test]
+    fn tlb_misses_equal_user_walks_for_tlb_systems() {
+        let r = quick(SystemKind::Ultrix, 4);
+        let tlb_misses = r.itlb.unwrap().misses() + r.dtlb.unwrap().misses();
+        // Every top-level walk is triggered by exactly one user TLB miss;
+        // nested (kernel/root) probes also count as D-TLB lookups, so
+        // compare against user-level handler invocations only.
+        assert_eq!(r.counts.handler_invocations[0], tlb_misses - nested_probe_misses(&r));
+    }
+
+    fn nested_probe_misses(r: &SimReport) -> u64 {
+        // Ultrix probes the D-TLB once per user walk; each probe miss
+        // equals one root-level invocation.
+        r.counts.handler_invocations[2]
+    }
+
+    #[test]
+    fn notlb_invokes_walker_on_l2_misses_only() {
+        let r = quick(SystemKind::NoTlb, 5);
+        assert!(r.itlb.is_none());
+        let user_l2_misses = r.counts.l2i_misses + r.counts.l2d_misses;
+        assert_eq!(r.counts.handler_invocations[0], user_l2_misses);
+        assert!(r.counts.total_interrupts() >= user_l2_misses);
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_counts() {
+        let config = SimConfig::paper_default(SystemKind::Ultrix);
+        let cold = simulate(&config, presets::gcc(7), 0, 50_000).unwrap();
+        let warm = simulate(&config, presets::gcc(7), 100_000, 50_000).unwrap();
+        let cost = CostModel::default();
+        assert!(
+            warm.mcpi(&cost).total() < cold.mcpi(&cost).total(),
+            "warmed caches must miss less: warm {} vs cold {}",
+            warm.mcpi(&cost).total(),
+            cold.mcpi(&cost).total()
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = quick(SystemKind::PaRisc, 9);
+        let b = quick(SystemKind::PaRisc, 9);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn hybrid_avoids_interrupts_but_walks_chains() {
+        let r = quick(SystemKind::Hybrid, 10);
+        assert_eq!(r.counts.total_interrupts(), 0);
+        assert!(r.counts.pte_loads[0] > 0);
+        assert!(r.counts.inline_cycles[0] > 0);
+    }
+
+    #[test]
+    fn simulate_spec_labels_the_workload() {
+        let config = SimConfig::paper_default(SystemKind::Intel);
+        let r = simulate_spec(&config, &presets::ijpeg_spec(), 1, 1_000, 5_000).unwrap();
+        assert_eq!(r.system, "INTEL/ijpeg");
+    }
+
+    #[test]
+    fn vmcpi_is_in_the_papers_ballpark() {
+        // Section 4.1: "the overheads are in the right ballpark to
+        // represent a 5-10% overhead for a 1 CPI machine". Allow a wide
+        // band: the workload model is synthetic.
+        let r = quick(SystemKind::Ultrix, 11);
+        let v = r.vmcpi(&CostModel::default()).total();
+        assert!(v > 0.001, "VMCPI {v} suspiciously small");
+        assert!(v < 0.6, "VMCPI {v} suspiciously large");
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the configuration extensions: the SPUR-like
+//! system, the TLB-partition override, and the context-switch model.
+
+use vm_core::cost::CostModel;
+use vm_core::{simulate, SimConfig, SystemKind};
+use vm_trace::presets;
+
+const WARMUP: u64 = 100_000;
+const MEASURE: u64 = 400_000;
+
+#[test]
+fn notlb_hw_is_notlb_without_interrupts() {
+    let sw =
+        simulate(&SimConfig::paper_default(SystemKind::NoTlb), presets::gcc(1), WARMUP, MEASURE)
+            .unwrap();
+    let hw =
+        simulate(&SimConfig::paper_default(SystemKind::NoTlbHw), presets::gcc(1), WARMUP, MEASURE)
+            .unwrap();
+    assert!(sw.counts.total_interrupts() > 0);
+    assert_eq!(hw.counts.total_interrupts(), 0);
+    assert_eq!(hw.system, "NOTLB-HW");
+    // Both walk on exactly the user L2 misses.
+    assert_eq!(hw.counts.handler_invocations[0], hw.counts.l2i_misses + hw.counts.l2d_misses);
+    // The hardware variant does no handler instruction fetches.
+    assert_eq!(hw.counts.handler_ifetch_l2, 0);
+    assert_eq!(hw.counts.handler_instr_cycles, [0, 0, 0]);
+    assert!(hw.counts.inline_cycles[0] > 0);
+    // And is consequently much cheaper.
+    let cost = CostModel::default();
+    let sw_total = sw.vmcpi(&cost).total() + sw.interrupt_cpi(&cost);
+    let hw_total = hw.vmcpi(&cost).total() + hw.interrupt_cpi(&cost);
+    assert!(hw_total < 0.7 * sw_total, "hw {hw_total:.5} vs sw {sw_total:.5}");
+}
+
+#[test]
+fn protected_override_changes_the_partition() {
+    let mut cfg = SimConfig::paper_default(SystemKind::Ultrix);
+    assert_eq!(cfg.protected_slots(), 16);
+    cfg.tlb_protected = Some(0);
+    assert_eq!(cfg.protected_slots(), 0);
+    cfg.tlb_protected = Some(64);
+    assert_eq!(cfg.protected_slots(), 64);
+    // Clamped to leave at least one user slot.
+    cfg.tlb_protected = Some(10_000);
+    assert_eq!(cfg.protected_slots(), cfg.tlb_entries - 1);
+    cfg.tlb_protected = Some(127);
+    cfg.build().expect("127 protected of 128 still leaves a user slot");
+}
+
+#[test]
+fn unpartitioned_ultrix_still_runs_and_differs() {
+    let mut flat = SimConfig::paper_default(SystemKind::Ultrix);
+    flat.tlb_protected = Some(0);
+    let part = simulate(
+        &SimConfig::paper_default(SystemKind::Ultrix),
+        presets::vortex(3),
+        WARMUP,
+        MEASURE,
+    )
+    .unwrap();
+    let unpart = simulate(&flat, presets::vortex(3), WARMUP, MEASURE).unwrap();
+    assert_ne!(part.counts, unpart.counts, "partitioning must change behaviour");
+}
+
+#[test]
+fn context_switches_raise_tlb_misses_monotonically() {
+    let mut misses = Vec::new();
+    for every in [None, Some(100_000u64), Some(10_000), Some(2_000)] {
+        let mut cfg = SimConfig::paper_default(SystemKind::Ultrix);
+        cfg.flush_tlb_every = every;
+        let r = simulate(&cfg, presets::gcc(5), WARMUP, MEASURE).unwrap();
+        misses.push(r.itlb.unwrap().misses() + r.dtlb.unwrap().misses());
+    }
+    for pair in misses.windows(2) {
+        assert!(pair[1] > pair[0], "more frequent flushes must cost more TLB misses: {misses:?}");
+    }
+}
+
+#[test]
+fn context_switches_do_not_affect_base_or_notlb() {
+    for system in [SystemKind::Base, SystemKind::NoTlb] {
+        let mut with = SimConfig::paper_default(system);
+        with.flush_tlb_every = Some(5_000);
+        let without = SimConfig::paper_default(system);
+        let a = simulate(&with, presets::gcc(6), WARMUP, MEASURE).unwrap();
+        let b = simulate(&without, presets::gcc(6), WARMUP, MEASURE).unwrap();
+        assert_eq!(a.counts, b.counts, "{system} has no TLBs to flush");
+    }
+}
+
+#[test]
+fn labels_round_trip_for_extension_systems() {
+    for kind in [SystemKind::NoTlbHw, SystemKind::UltrixHw, SystemKind::Hybrid] {
+        assert_eq!(SystemKind::from_label(kind.label()), Some(kind));
+        assert!(!kind.uses_tlb() || kind != SystemKind::NoTlbHw);
+    }
+    assert!(!SystemKind::NoTlbHw.uses_tlb());
+    assert!(SystemKind::NoTlbHw.has_vm());
+}
+
+#[test]
+fn hybrid_counts_one_invocation_per_walk() {
+    // The hardware-walked hashed table must record exactly one
+    // state-machine invocation per TLB miss, regardless of chain length
+    // (regression test: per-chain-entry exec_inline calls used to
+    // inflate handler_invocations ~2.25x).
+    let r =
+        simulate(&SimConfig::paper_default(SystemKind::Hybrid), presets::gcc(4), WARMUP, MEASURE)
+            .unwrap();
+    let tlb_misses = r.itlb.unwrap().misses() + r.dtlb.unwrap().misses();
+    assert_eq!(r.counts.handler_invocations[0], tlb_misses, "one hardware walk per TLB miss");
+    // ...and the chain traversal still costs more cycles than a fixed
+    // two-level walk would: cycles per walk > the x86 baseline.
+    assert!(r.counts.inline_cycles[0] >= 2 * 4 * r.counts.handler_invocations[0]);
+}

@@ -1,0 +1,155 @@
+use vm_core::cost::CostModel;
+use vm_core::{simulate, SimConfig, SystemKind};
+use vm_trace::presets;
+
+#[test]
+#[ignore]
+fn probe_vmcpi() {
+    let cost = CostModel::paper(50);
+    for (name, spec) in [
+        ("gcc", presets::gcc_spec()),
+        ("vortex", presets::vortex_spec()),
+        ("ijpeg", presets::ijpeg_spec()),
+    ] {
+        for sys in SystemKind::PAPER {
+            let cfg = SimConfig::paper_default(sys);
+            let trace = spec.build(1).unwrap();
+            let r = simulate(&cfg, trace, 1_000_000, 3_000_000).unwrap();
+            let v = r.vmcpi(&cost);
+            let m = r.mcpi(&cost);
+            let (il, dl) = (
+                r.itlb.map(|t| t.miss_ratio()).unwrap_or(0.0),
+                r.dtlb.map(|t| t.miss_ratio()).unwrap_or(0.0),
+            );
+            println!(
+                "{name:7} {:8} vmcpi={:.5} mcpi={:.4} int_cpi={:.4} itlb_mr={:.5} dtlb_mr={:.5}",
+                sys.label(),
+                v.total(),
+                m.total(),
+                r.interrupt_cpi(&cost),
+                il,
+                dl
+            );
+        }
+        println!();
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_breakdown() {
+    let cost = CostModel::paper(50);
+    for sys in [
+        SystemKind::Ultrix,
+        SystemKind::Mach,
+        SystemKind::Intel,
+        SystemKind::PaRisc,
+        SystemKind::NoTlb,
+    ] {
+        let cfg = SimConfig::paper_default(sys);
+        let r = simulate(&cfg, presets::vortex(1), 1_000_000, 3_000_000).unwrap();
+        let v = r.vmcpi(&cost);
+        print!("{:8}", sys.label());
+        for (n, x) in v.components() {
+            if x > 1e-6 {
+                print!(" {n}={x:.5}");
+            }
+        }
+        println!(
+            "\n   walks={:?} pte_loads={:?} pte_l2={:?} pte_mem={:?} if_l2={} if_mem={}",
+            r.counts.handler_invocations,
+            r.counts.pte_loads,
+            r.counts.pte_l2,
+            r.counts.pte_mem,
+            r.counts.handler_ifetch_l2,
+            r.counts.handler_ifetch_mem
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_mcpi() {
+    let cost = CostModel::paper(50);
+    for (name, spec) in [
+        ("gcc", presets::gcc_spec()),
+        ("vortex", presets::vortex_spec()),
+        ("ijpeg", presets::ijpeg_spec()),
+    ] {
+        let cfg = SimConfig::paper_default(SystemKind::Base);
+        let trace = spec.build(1).unwrap();
+        let r = simulate(&cfg, trace, 1_000_000, 3_000_000).unwrap();
+        let m = r.mcpi(&cost);
+        println!("{name:7} l1i={:.3} l1d={:.3} l2i={:.3} l2d={:.3} | l1i_m={} l1d_m={} l2i_m={} l2d_m={}",
+            m.l1i, m.l1d, m.l2i, m.l2d,
+            r.counts.l1i_misses, r.counts.l1d_misses, r.counts.l2i_misses, r.counts.l2d_misses);
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_region_misses() {
+    use vm_cache::{Cache, CacheConfig, CacheHierarchy};
+    use vm_types::MissClass;
+    for (name, spec) in [
+        ("gcc", presets::gcc_spec()),
+        ("vortex", presets::vortex_spec()),
+        ("ijpeg", presets::ijpeg_spec()),
+    ] {
+        let mut d = CacheHierarchy::new(
+            Cache::new(CacheConfig::direct_mapped(16 << 10, 64).unwrap()),
+            Cache::new(CacheConfig::direct_mapped(1 << 20, 128).unwrap()),
+        );
+        let trace = spec.build(1).unwrap();
+        let mut by_region: std::collections::BTreeMap<u64, (u64, u64)> = Default::default(); // base -> (accesses, l2d)
+        let mut n = 0u64;
+        for rec in trace.take(1_000_000) {
+            n += 1;
+            if let Some(dr) = rec.data {
+                let class = d.access(dr.addr);
+                let base = dr.addr.offset() >> 24 << 24;
+                let e = by_region.entry(base).or_default();
+                e.0 += 1;
+                if n > 200_000 && class == MissClass::Memory {
+                    e.1 += 1;
+                }
+            }
+        }
+        print!("{name:7}");
+        for (b, (a, m)) in &by_region {
+            print!("  {:#x}:acc={} l2d={}", b, a, m);
+        }
+        println!();
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_inflicted() {
+    let cost = CostModel::paper(50);
+    for l1 in [4u64 << 10, 8 << 10, 16 << 10, 32 << 10] {
+        for l2 in [512u64 << 10, 1 << 20] {
+            for (name, spec) in [("gcc", presets::gcc_spec()), ("vortex", presets::vortex_spec())] {
+                let mut base_cfg = SimConfig::paper_default(SystemKind::Base);
+                base_cfg.l1_bytes = l1;
+                base_cfg.l2_bytes = l2;
+                let base =
+                    simulate(&base_cfg, spec.build(1).unwrap(), 1_000_000, 2_000_000).unwrap();
+                let mut cfg = SimConfig::paper_default(SystemKind::Ultrix);
+                cfg.l1_bytes = l1;
+                cfg.l2_bytes = l2;
+                let r = simulate(&cfg, spec.build(1).unwrap(), 1_000_000, 2_000_000).unwrap();
+                let inflicted = r.mcpi(&cost).total() - base.mcpi(&cost).total();
+                let v = r.vmcpi(&cost).total();
+                println!(
+                    "{name:7} l1={:3}K l2={:4}K inflicted={:.4} vmcpi={:.4} ratio={:.2}",
+                    l1 >> 10,
+                    l2 >> 10,
+                    inflicted,
+                    v,
+                    inflicted / v
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! `repro` — regenerate every table and figure of Jacob & Mudge
+//! (ASPLOS 1998).
+//!
+//! ```text
+//! repro <experiment>... [--quick|--full] [--threads N] [--out DIR] [--strict]
+//!
+//! experiments:
+//!   tables                    Tables 1-4
+//!   fig6 fig7                 VMCPI vs cache organization (gcc / vortex)
+//!   fig8 fig9                 VMCPI component breakdowns (gcc / vortex)
+//!   fig10                     interrupt-cost sensitivity (all benchmarks)
+//!   fig11                     TLB-size sensitivity
+//!   fig12                     MCPI inflicted on the application
+//!   fig13                     total VM overhead (the 5-10% -> 10-30% result)
+//!   abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp
+//!   suite                     six workloads x five systems, seed-replicated
+//!   figs                      fig6..fig13
+//!   all                       everything above
+//!
+//! one-off simulation:
+//!   run [--system S] [--workload W] [--l1 16K] [--l1-line 64]
+//!       [--l2 1M] [--l2-line 128] [--tlb-entries 128] [--unified]
+//!       [--instrs N] [--seed N]
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vm_core::cost::CostModel;
+use vm_core::{simulate, SimConfig, SystemKind};
+use vm_experiments::{
+    ablations, fig6, fig8, interrupts, mcpi, multiprog, suite, tables, tlbsize, total,
+};
+use vm_experiments::{Claim, RunScale};
+use vm_trace::presets;
+
+/// Parses "16K" / "1M" / "512" style size strings into bytes.
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// The `run` subcommand: one custom simulation, full report.
+fn run_one(args: &[String]) -> Result<(), String> {
+    let mut config = SimConfig::paper_default(SystemKind::Ultrix);
+    let mut workload = presets::gcc_spec();
+    let mut instrs: u64 = 2_000_000;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--system" => {
+                let v = value("--system")?;
+                config.system =
+                    SystemKind::from_label(&v).ok_or_else(|| format!("unknown system `{v}`"))?;
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                workload = presets::by_name(&v).ok_or_else(|| format!("unknown workload `{v}`"))?;
+            }
+            "--l1" => config.l1_bytes = parse_size(&value("--l1")?).ok_or("bad --l1 size")?,
+            "--l2" => config.l2_bytes = parse_size(&value("--l2")?).ok_or("bad --l2 size")?,
+            "--l1-line" => {
+                config.l1_line = value("--l1-line")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--l2-line" => {
+                config.l2_line = value("--l2-line")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tlb-entries" => {
+                config.tlb_entries = value("--tlb-entries")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--unified" => config.unified_l2 = true,
+            "--instrs" => instrs = value("--instrs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag `{other}` for run")),
+        }
+    }
+    let trace = workload.build(seed).map_err(|e| e.to_string())?;
+    let report = simulate(&config, trace, instrs / 4, instrs).map_err(|e| e.to_string())?;
+    let cost = CostModel::default();
+    println!(
+        "{} on {} — {} measured instructions (seed {seed})",
+        config.system, workload.name, instrs
+    );
+    println!(
+        "caches: {}K/{}B L1, {}K/{}B L2{}; TLBs: 2 x {} entries
+",
+        config.l1_bytes >> 10,
+        config.l1_line,
+        config.l2_bytes >> 10,
+        config.l2_line,
+        if config.unified_l2 { " (unified, 2x capacity)" } else { " (split)" },
+        config.tlb_entries
+    );
+    let m = report.mcpi(&cost);
+    println!(
+        "MCPI  = {:.5}  (l1i {:.5}, l1d {:.5}, l2i {:.5}, l2d {:.5})",
+        m.total(),
+        m.l1i,
+        m.l1d,
+        m.l2i,
+        m.l2d
+    );
+    let v = report.vmcpi(&cost);
+    print!("VMCPI = {:.5}  (", v.total());
+    let mut first = true;
+    for (name, x) in v.components() {
+        if x > 1e-6 {
+            if !first {
+                print!(", ");
+            }
+            print!("{name} {x:.5}");
+            first = false;
+        }
+    }
+    println!(")");
+    for c in vm_core::cost::CostModel::INTERRUPT_COSTS {
+        println!(
+            "interrupt CPI @{c:>3} cycles = {:.5}",
+            report.interrupt_cpi(&CostModel::paper(c))
+        );
+    }
+    if let (Some(i), Some(d)) = (report.itlb, report.dtlb) {
+        println!(
+            "TLBs: I {} lookups / {:.5} miss ratio; D {} lookups / {:.5} miss ratio",
+            i.lookups,
+            i.miss_ratio(),
+            d.lookups,
+            d.miss_ratio()
+        );
+    }
+    println!("total CPI @50-cycle interrupts = {:.4}", report.total_cpi(&cost));
+    Ok(())
+}
+
+struct Options {
+    scale: RunScale,
+    threads: usize,
+    out: Option<PathBuf>,
+    strict: bool,
+    workload: Option<String>,
+}
+
+/// Restores the default SIGPIPE disposition so piping into `head`/`less`
+/// terminates the process quietly instead of panicking on a broken-pipe
+/// write error (Rust ignores SIGPIPE by default).
+fn reset_sigpipe() {
+    // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
+    // performed once before any other work.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+}
+
+fn parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn save(opts: &Options, name: &str, csv: &str) {
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Applies the global `--workload` override, falling back to the
+/// experiment's paper default.
+fn resolve_workload(
+    opts: &Options,
+    default: vm_trace::WorkloadSpec,
+) -> Option<vm_trace::WorkloadSpec> {
+    match &opts.workload {
+        None => Some(default),
+        Some(name) => match presets::by_name(name) {
+            Some(w) => Some(w),
+            None => {
+                eprintln!("unknown workload `{name}` (gcc|vortex|ijpeg|li|compress|perl)");
+                None
+            }
+        },
+    }
+}
+
+fn report_claims(all: &mut Vec<Claim>, claims: Vec<Claim>) {
+    print!("{}", Claim::render_all(&claims));
+    all.extend(claims);
+}
+
+fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bool {
+    match name {
+        "tables" => {
+            println!("{}", tables::render_all());
+        }
+        "fig6" | "fig7" => {
+            let default = if name == "fig6" { presets::gcc_spec() } else { presets::vortex_spec() };
+            let Some(workload) = resolve_workload(opts, default) else { return false };
+            println!("== {name}: VMCPI vs L1/L2 cache size and line size — {} ==", workload.name);
+            let mut cfg = if opts.scale == RunScale::QUICK {
+                fig6::Config::quick(workload)
+            } else {
+                fig6::Config::paper(workload)
+            };
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = fig6::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "fig8" | "fig9" => {
+            let default = if name == "fig8" { presets::gcc_spec() } else { presets::vortex_spec() };
+            let Some(workload) = resolve_workload(opts, default) else { return false };
+            println!("== {name}: VMCPI break-downs — {} (64/128-byte lines) ==", workload.name);
+            let mut cfg = if opts.scale == RunScale::QUICK {
+                fig8::Config::quick(workload)
+            } else {
+                fig8::Config::paper(workload)
+            };
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = fig8::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "fig10" => {
+            println!("== fig10: the cost of precise interrupts ==");
+            let mut cfg = interrupts::Config::paper(presets::paper_benchmarks());
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = interrupts::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "fig11" => {
+            println!("== fig11: TLB-size sensitivity ==");
+            let mut cfg = tlbsize::Config::paper(vec![presets::gcc_spec(), presets::vortex_spec()]);
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = tlbsize::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "fig12" => {
+            println!("== fig12: cache misses inflicted on the application ==");
+            let mut cfg = mcpi::Config::paper(presets::paper_benchmarks());
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = mcpi::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "fig13" => {
+            println!("== fig13: total VM overhead ==");
+            let mut cfg = total::Config::paper(presets::paper_benchmarks());
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = total::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "abl-mp" => {
+            println!("== abl-mp: multiprogramming — ASID-tagged vs untagged TLBs ==");
+            let mut cfg = multiprog::Config::default_mix(vec![
+                presets::gcc_spec(),
+                presets::vortex_spec(),
+                presets::ijpeg_spec(),
+            ]);
+            cfg.scale = opts.scale;
+            let r = multiprog::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "suite" => {
+            println!("== suite: six workloads x five systems, seed-replicated ==");
+            let mut cfg = suite::Config::default_suite(presets::all_benchmarks());
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = suite::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        "abl-hybrid" | "abl-walkmode" | "abl-assoc" | "abl-tlb" | "abl-ctx" | "abl-unified" => {
+            let ablation = ablations::Ablation::ALL
+                .into_iter()
+                .find(|a| a.name() == name)
+                .expect("matched above");
+            println!("== {name} ==");
+            let mut cfg =
+                ablations::Config::new(ablation, vec![presets::gcc_spec(), presets::vortex_spec()]);
+            cfg.scale = opts.scale;
+            cfg.threads = opts.threads;
+            let r = ablations::run(&cfg);
+            println!("{}", r.render());
+            save(opts, name, &r.to_csv());
+            report_claims(all_claims, r.claims());
+        }
+        other => {
+            eprintln!("unknown experiment `{other}` (try: tables figs all)");
+            return false;
+        }
+    }
+    println!();
+    true
+}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run") {
+        return match run_one(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("repro run: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut opts = Options {
+        scale: RunScale::DEFAULT,
+        threads: parallelism(),
+        out: None,
+        strict: false,
+        workload: None,
+    };
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.scale = RunScale::QUICK,
+            "--strict" => opts.strict = true,
+            "--workload" => match it.next() {
+                Some(w) => opts.workload = Some(w),
+                None => {
+                    eprintln!("--workload needs a name (gcc|vortex|ijpeg|li|compress|perl)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--full" => opts.scale = RunScale::FULL,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.threads = n,
+                None => {
+                    eprintln!("--threads needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => opts.out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro <experiment>... [--quick|--full] [--threads N] [--out DIR] [--strict]\n\
+                     experiments: tables fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
+                                  abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp suite figs all\n\
+                     one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".to_owned());
+    }
+
+    let figs = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"];
+    let mut expanded = Vec::new();
+    for n in names {
+        match n.as_str() {
+            "figs" => expanded.extend(figs.iter().map(|s| s.to_string())),
+            "all" => {
+                expanded.push("tables".to_owned());
+                expanded.extend(figs.iter().map(|s| s.to_string()));
+                expanded.push("suite".to_owned());
+                expanded.extend(ablations::Ablation::ALL.iter().map(|a| a.name().to_owned()));
+                expanded.push("abl-mp".to_owned());
+            }
+            other => expanded.push(other.to_owned()),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let mut all_claims = Vec::new();
+    for name in &expanded {
+        if !run_experiment(name, &opts, &mut all_claims) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if !all_claims.is_empty() {
+        let passed = all_claims.iter().filter(|c| c.holds).count();
+        println!(
+            "== overall: {passed}/{} paper claims reproduced in {:.1}s ==",
+            all_claims.len(),
+            started.elapsed().as_secs_f64()
+        );
+        if opts.strict && passed != all_claims.len() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,225 @@
+//! Minimal ASCII line charts for terminal figure rendering.
+//!
+//! The paper's Figures 6–7 are families of VMCPI-vs-L1-size curves; the
+//! tables carry the exact numbers, and [`AsciiChart`] draws the same
+//! series as a quick visual so crossovers and scale differences (like
+//! NOTLB's famously different y-axis) are visible at a glance.
+
+use std::fmt;
+
+/// One named series of (x-label, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Y values, one per x position.
+    pub values: Vec<f64>,
+}
+
+/// A fixed-grid ASCII chart over shared x positions.
+///
+/// ```
+/// use vm_experiments::chart::{AsciiChart, Series};
+///
+/// let chart = AsciiChart::new(
+///     vec!["1K".into(), "4K".into(), "16K".into()],
+///     vec![Series { name: "a".into(), values: vec![3.0, 2.0, 1.0] }],
+///     24,
+///     8,
+/// );
+/// let drawing = chart.render();
+/// assert!(drawing.contains("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    x_labels: Vec<String>,
+    series: Vec<Series>,
+    width: usize,
+    height: usize,
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// Creates a chart. `width`/`height` are the plot-area dimensions in
+    /// characters (clamped to sane minimums).
+    pub fn new(
+        x_labels: Vec<String>,
+        series: Vec<Series>,
+        width: usize,
+        height: usize,
+    ) -> AsciiChart {
+        AsciiChart { x_labels, series, width: width.max(16), height: height.max(4) }
+    }
+
+    fn bounds(&self) -> (f64, f64) {
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for s in &self.series {
+            for &v in &s.values {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        if lo > hi {
+            (0.0, 1.0)
+        } else if (hi - lo).abs() < 1e-15 {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Renders the chart with a y-axis, glyph legend, and x labels.
+    pub fn render(&self) -> String {
+        let (lo, hi) = self.bounds();
+        let rows = self.height;
+        let cols = self.width;
+        let mut grid = vec![vec![' '; cols]; rows];
+
+        let n = self.x_labels.len().max(1);
+        let x_of = |i: usize| {
+            if n == 1 {
+                0
+            } else {
+                i * (cols - 1) / (n - 1)
+            }
+        };
+        let y_of = |v: f64| {
+            let t = (v - lo) / (hi - lo);
+            let r = ((1.0 - t) * (rows - 1) as f64).round();
+            (r as usize).min(rows - 1)
+        };
+
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (i, &v) in s.values.iter().enumerate().take(n) {
+                if v.is_finite() {
+                    grid[y_of(v)][x_of(i)] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{hi:>9.4} |")
+            } else if r == rows - 1 {
+                format!("{lo:>9.4} |")
+            } else {
+                format!("{:>9} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(cols)));
+        // X labels: first and last.
+        if !self.x_labels.is_empty() {
+            let first = &self.x_labels[0];
+            let last = self.x_labels.last().unwrap();
+            let pad = cols.saturating_sub(first.len() + last.len());
+            out.push_str(&format!("{:>9}  {first}{}{last}\n", "", " ".repeat(pad)));
+        }
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.name))
+            .collect();
+        out.push_str(&format!("{:>9}  {}\n", "", legend.join("   ")));
+        out
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn renders_all_series_glyphs_in_legend() {
+        let chart = AsciiChart::new(
+            labels(4),
+            vec![
+                Series { name: "alpha".into(), values: vec![1.0, 2.0, 3.0, 4.0] },
+                Series { name: "beta".into(), values: vec![4.0, 3.0, 2.0, 1.0] },
+            ],
+            30,
+            8,
+        );
+        let r = chart.render();
+        assert!(r.contains("* alpha"));
+        assert!(r.contains("o beta"));
+        assert!(r.contains("x0"));
+        assert!(r.contains("x3"));
+    }
+
+    #[test]
+    fn extremes_land_on_first_and_last_rows() {
+        let chart = AsciiChart::new(
+            labels(2),
+            vec![Series { name: "s".into(), values: vec![0.0, 10.0] }],
+            20,
+            6,
+        );
+        let r = chart.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].contains('*'), "max value on top row: {r}");
+        assert!(lines[5].contains('*'), "min value on bottom row: {r}");
+        assert!(lines[0].starts_with("  10.0000"));
+        assert!(lines[5].starts_with("   0.0000"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = AsciiChart::new(
+            labels(3),
+            vec![Series { name: "flat".into(), values: vec![2.0, 2.0, 2.0] }],
+            20,
+            5,
+        );
+        let r = chart.render();
+        assert!(r.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_renders_axes_only() {
+        let chart = AsciiChart::new(labels(3), vec![], 20, 5);
+        let r = chart.render();
+        assert!(r.contains('+'));
+        assert!(!r.contains('*'));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let chart = AsciiChart::new(
+            labels(3),
+            vec![Series { name: "s".into(), values: vec![1.0, f64::NAN, 3.0] }],
+            20,
+            5,
+        );
+        let r = chart.render();
+        // Two data points plus the legend's glyph.
+        assert_eq!(r.matches('*').count(), 3);
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let chart = AsciiChart::new(labels(2), vec![], 1, 1);
+        assert!(chart.render().lines().count() >= 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Machine-checked reproductions of the paper's qualitative findings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One qualitative claim from the paper, checked against this run.
+///
+/// Claims encode the *shape* of a result — orderings, crossovers, rough
+/// factors — rather than absolute numbers, since the workloads are
+/// synthetic models of the SPEC '95 traces (see DESIGN.md).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Claim {
+    /// The paper's statement, paraphrased.
+    pub statement: String,
+    /// What this run measured.
+    pub evidence: String,
+    /// Whether the measurement reproduces the statement.
+    pub holds: bool,
+}
+
+impl Claim {
+    /// Records a checked claim.
+    pub fn new(statement: impl Into<String>, holds: bool, evidence: impl Into<String>) -> Claim {
+        Claim { statement: statement.into(), evidence: evidence.into(), holds }
+    }
+
+    /// Renders a claim list as a PASS/FAIL report.
+    pub fn render_all(claims: &[Claim]) -> String {
+        let mut out = String::new();
+        for c in claims {
+            out.push_str(&format!("{c}\n"));
+        }
+        let passed = claims.iter().filter(|c| c.holds).count();
+        out.push_str(&format!("claims reproduced: {passed}/{}\n", claims.len()));
+        out
+    }
+}
+
+/// Mean of an iterator of samples; `None` when empty. Claims built on
+/// means should distinguish "no data" (skip the claim) from a mean of
+/// zero — see the callers in the experiment modules.
+pub(crate) fn mean_of<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+impl fmt::Display for Claim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — {}",
+            if self.holds { "PASS" } else { "FAIL" },
+            self.statement,
+            self.evidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_verdict() {
+        let c = Claim::new("x beats y", true, "x=1 y=2");
+        assert!(c.to_string().starts_with("[PASS]"));
+        let c = Claim::new("x beats y", false, "x=2 y=1");
+        assert!(c.to_string().starts_with("[FAIL]"));
+    }
+
+    #[test]
+    fn render_all_counts() {
+        let cs =
+            vec![Claim::new("a", true, ""), Claim::new("b", false, ""), Claim::new("c", true, "")];
+        let r = Claim::render_all(&cs);
+        assert!(r.contains("claims reproduced: 2/3"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Tables 1–4: the simulated parameter space, the cost components, and
+//! the per-system handler events, regenerated from the code that
+//! actually implements them (so drift between the documentation and the
+//! simulator is impossible).
+
+use vm_core::cost::CostModel;
+use vm_core::paper;
+use vm_ptable::{DisjunctWalker, HashedConfig, HashedWalker, MachWalker, UltrixWalker, X86Walker};
+
+use crate::table::{size_label, TextTable};
+
+/// Renders Table 1: the range of values simulated.
+pub fn table1() -> String {
+    let mut t = TextTable::new(["characteristic", "range of values simulated"]);
+    t.row(["benchmarks", "synthetic gcc / vortex / ijpeg models (see vm-trace)"]);
+    t.row([
+        "cache organization",
+        "split, direct-mapped, virtually-addressed; blocking, write-allocate, write-through",
+    ]);
+    t.row([
+        "L1 cache size".to_owned(),
+        paper::L1_SIZES.iter().map(|&s| size_label(s)).collect::<Vec<_>>().join(", ")
+            + " (per side)",
+    ]);
+    t.row([
+        "L2 cache size".to_owned(),
+        paper::L2_SIZES.iter().map(|&s| size_label(s)).collect::<Vec<_>>().join(", ")
+            + " (per side)",
+    ]);
+    t.row([
+        "cache line sizes".to_owned(),
+        paper::LINE_SIZES.iter().map(|s| format!("{s} bytes")).collect::<Vec<_>>().join(", "),
+    ]);
+    t.row([
+        "TLB organization".to_owned(),
+        format!(
+            "fully associative, random replacement; ULTRIX/MACH reserve {} protected slots",
+            paper::TLB_PROTECTED
+        ),
+    ]);
+    t.row([
+        "TLB size".to_owned(),
+        format!("{0}-entry I-TLB / {0}-entry D-TLB", paper::TLB_ENTRIES),
+    ]);
+    t.row(["page size", "4 KB"]);
+    t.row([
+        "cost of interrupt".to_owned(),
+        paper::INTERRUPT_COSTS.iter().map(|c| format!("{c}")).collect::<Vec<_>>().join(", ")
+            + " cycles",
+    ]);
+    t.row(["systems", "ULTRIX, MACH, INTEL, PA-RISC, NOTLB, BASE"]);
+    format!("Table 1: simulation details\n{}", t.render())
+}
+
+/// Renders Table 2: components of MCPI and their costs.
+pub fn table2() -> String {
+    let c = CostModel::default();
+    let mut t = TextTable::new(["tag", "cost per occurrence"]);
+    t.row(["L1i-miss".to_owned(), format!("{} cycles", c.l1_miss_cycles)]);
+    t.row(["L1d-miss".to_owned(), format!("{} cycles", c.l1_miss_cycles)]);
+    t.row(["L2i-miss".to_owned(), format!("{} cycles", c.l2_miss_cycles)]);
+    t.row(["L2d-miss".to_owned(), format!("{} cycles", c.l2_miss_cycles)]);
+    format!("Table 2: components of MCPI\n{}", t.render())
+}
+
+/// Renders Table 3: components of VMCPI and their costs.
+pub fn table3() -> String {
+    let c = CostModel::default();
+    let l2 = format!("{} cycles", c.l1_miss_cycles);
+    let mem = format!("{} cycles", c.l2_miss_cycles);
+    let mut t = TextTable::new(["tag", "cost per", "description"]);
+    t.row(["uhandler", "variable", "a TLB miss (or NOTLB L2 miss) during application processing invokes the user-level handler"]);
+    t.row([
+        "upte-L2".to_owned(),
+        l2.clone(),
+        "the UPTE lookup misses the L1 data cache; goes to L2".to_owned(),
+    ]);
+    t.row([
+        "upte-MEM".to_owned(),
+        mem.clone(),
+        "the UPTE lookup misses the L2 data cache; goes to memory".to_owned(),
+    ]);
+    t.row([
+        "khandler",
+        "variable",
+        "a TLB miss during the user-level handler invokes the kernel-level handler",
+    ]);
+    t.row([
+        "kpte-L2".to_owned(),
+        l2.clone(),
+        "the KPTE lookup misses the L1 data cache".to_owned(),
+    ]);
+    t.row([
+        "kpte-MEM".to_owned(),
+        mem.clone(),
+        "the KPTE lookup misses the L2 data cache".to_owned(),
+    ]);
+    t.row(["rhandler", "variable", "a miss during either handler invokes the root-level handler"]);
+    t.row([
+        "rpte-L2".to_owned(),
+        l2.clone(),
+        "the RPTE lookup misses the L1 data cache".to_owned(),
+    ]);
+    t.row([
+        "rpte-MEM".to_owned(),
+        mem.clone(),
+        "the RPTE lookup misses the L2 data cache".to_owned(),
+    ]);
+    t.row(["handler-L2".to_owned(), l2, "handler code misses the L1 instruction cache".to_owned()]);
+    t.row([
+        "handler-MEM".to_owned(),
+        mem,
+        "handler code misses the L2 instruction cache".to_owned(),
+    ]);
+    format!("Table 3: components of VMCPI\n{}", t.render())
+}
+
+/// Renders Table 4: simulated page-table events, straight from the
+/// walker constants.
+pub fn table4() -> String {
+    let mut t = TextTable::new(["VM sim", "user handler", "kernel handler", "root handler"]);
+    t.row([
+        "ULTRIX".to_owned(),
+        format!("{} instrs, 1 PTE load", UltrixWalker::USER_HANDLER_INSTRS),
+        "n.a.".to_owned(),
+        format!("{} instrs, 1 PTE load", UltrixWalker::ROOT_HANDLER_INSTRS),
+    ]);
+    t.row([
+        "MACH".to_owned(),
+        format!("{} instrs, 1 PTE load", MachWalker::USER_HANDLER_INSTRS),
+        format!("{} instrs, 1 PTE load", MachWalker::KERNEL_HANDLER_INSTRS),
+        format!(
+            "{} instrs, {} \"admin\" loads + 1 PTE load",
+            MachWalker::ROOT_HANDLER_INSTRS,
+            MachWalker::ADMIN_LOADS
+        ),
+    ]);
+    t.row([
+        "INTEL".to_owned(),
+        format!("{} cycles, 2 PTE loads", X86Walker::WALK_CYCLES),
+        "n.a.".to_owned(),
+        "n.a.".to_owned(),
+    ]);
+    t.row([
+        "PA-RISC".to_owned(),
+        format!("{} instrs, variable # PTE loads", HashedWalker::HANDLER_INSTRS),
+        "n.a.".to_owned(),
+        "n.a.".to_owned(),
+    ]);
+    t.row([
+        "NOTLB".to_owned(),
+        format!("{} instrs, 1 PTE load", DisjunctWalker::USER_HANDLER_INSTRS),
+        "n.a.".to_owned(),
+        format!("{} instrs, 1 PTE load", DisjunctWalker::ROOT_HANDLER_INSTRS),
+    ]);
+    format!("Table 4: simulated page-table events\n{}", t.render())
+}
+
+/// Extra substrate facts worth checking at a glance: the PA-RISC hashed
+/// table geometry (Section 3.1's "2:1 ratio ... average collision-chain
+/// length 1.25").
+pub fn hashed_geometry() -> String {
+    let paper_cfg = HashedConfig::paper();
+    let scaled = HashedConfig::scaled(16 << 20);
+    let mut t = TextTable::new(["configuration", "phys mem", "entries", "entry:frame"]);
+    for (name, c) in [("paper (8 MB)", paper_cfg), ("default (16 MB)", scaled)] {
+        t.row([
+            name.to_owned(),
+            size_label(c.phys_mem_bytes),
+            c.entries.to_string(),
+            format!("{}:1", c.entries / (c.phys_mem_bytes >> 12)),
+        ]);
+    }
+    format!("PA-RISC hashed-table geometry\n{}", t.render())
+}
+
+/// All four tables plus the substrate geometry, concatenated.
+pub fn render_all() -> String {
+    format!("{}\n{}\n{}\n{}\n{}", table1(), table2(), table3(), table4(), hashed_geometry())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_the_sweep_space() {
+        let t = table1();
+        assert!(t.contains("1K, 2K, 4K, 8K, 16K, 32K, 64K, 128K"));
+        assert!(t.contains("512K, 1M, 2M"));
+        assert!(t.contains("10, 50, 200 cycles"));
+        assert!(t.contains("128-entry I-TLB / 128-entry D-TLB"));
+    }
+
+    #[test]
+    fn table2_has_paper_costs() {
+        let t = table2();
+        assert!(t.contains("20 cycles"));
+        assert!(t.contains("500 cycles"));
+    }
+
+    #[test]
+    fn table3_names_all_eleven_components() {
+        let t = table3();
+        for tag in [
+            "uhandler",
+            "upte-L2",
+            "upte-MEM",
+            "khandler",
+            "kpte-L2",
+            "kpte-MEM",
+            "rhandler",
+            "rpte-L2",
+            "rpte-MEM",
+            "handler-L2",
+            "handler-MEM",
+        ] {
+            assert!(t.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn table4_matches_the_paper() {
+        let t = table4();
+        assert!(t.contains("10 instrs, 1 PTE load"));
+        assert!(t.contains("20 instrs, 1 PTE load"));
+        assert!(t.contains("7 cycles, 2 PTE loads"));
+        assert!(t.contains("500 instrs, 10 \"admin\" loads + 1 PTE load"));
+        assert!(t.contains("20 instrs, variable # PTE loads"));
+    }
+
+    #[test]
+    fn hashed_geometry_shows_two_to_one() {
+        let t = hashed_geometry();
+        assert!(t.contains("2:1"));
+        assert!(t.contains("4096"));
+        assert!(t.contains("8192"));
+    }
+
+    #[test]
+    fn render_all_concatenates() {
+        let all = render_all();
+        for part in ["Table 1", "Table 2", "Table 3", "Table 4", "hashed-table"] {
+            assert!(all.contains(part));
+        }
+    }
+}

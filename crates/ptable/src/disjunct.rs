@@ -1,0 +1,200 @@
+//! The NOTLB "disjunct" page table (Figure 5) for software-managed
+//! caches.
+//!
+//! The NOTLB system (softvm / VMP-style) has no TLB: the processor runs
+//! on virtual caches and interrupts the operating system on every **L2
+//! cache miss**, whereupon software performs the page-table lookup and
+//! the cache fill. Its table is a two-tiered "disjunct" table —
+//! structurally an Ultrix/MIPS table over a segmented global address
+//! space, traversed bottom-up, with identical costs (Table 4: user
+//! handler 10 instructions + 1 PTE load, root handler 20 + 1).
+//!
+//! Because there is no TLB, the user-level PTE load cannot TLB-miss;
+//! instead, if it **misses the L2 cache**, the root-level handler runs
+//! (the "second code segment" of Section 3.1's NOTLB description). The
+//! paper stresses that since the ULTRIX and NOTLB tables are alike, "the
+//! differences between the measurements should be entirely due to the
+//! presence/absence of a TLB".
+
+use vm_types::{AccessKind, HandlerLevel, MAddr, MissClass, Vpn};
+
+use crate::layout::{HIER_PTE_BYTES, ROOT_HANDLER_BASE, USER_HANDLER_BASE};
+use crate::walker::{RefillMode, TlbRefill, WalkContext};
+
+/// The NOTLB / software-managed-cache organization's miss handler.
+///
+/// In [`RefillMode::Software`] this is the paper's NOTLB simulation; in
+/// [`RefillMode::Hardware`] it models the SPUR-style design Section 4.2
+/// mentions — "a system with no TLB but a hardware-walked page table" —
+/// where the state machine services L2 misses without interrupts or
+/// I-cache traffic.
+#[derive(Debug, Clone)]
+pub struct DisjunctWalker {
+    mode: RefillMode,
+}
+
+impl Default for DisjunctWalker {
+    fn default() -> DisjunctWalker {
+        DisjunctWalker::new()
+    }
+}
+
+impl DisjunctWalker {
+    /// User-level (cache-miss) handler length (Table 4).
+    pub const USER_HANDLER_INSTRS: u32 = 10;
+    /// Root-level handler length (Table 4).
+    pub const ROOT_HANDLER_INSTRS: u32 = 20;
+
+    /// The paper's software-managed configuration.
+    pub fn new() -> DisjunctWalker {
+        DisjunctWalker { mode: RefillMode::Software }
+    }
+
+    /// The same table under a chosen walk mode (hardware = SPUR-like).
+    pub fn with_mode(mode: RefillMode) -> DisjunctWalker {
+        DisjunctWalker { mode }
+    }
+
+    /// The global-virtual address of the page-group entry mapping `vpn`
+    /// (structurally the Ultrix table; see
+    /// [`crate::layout::two_tier_upt_entry`]).
+    pub fn upt_entry(vpn: Vpn) -> MAddr {
+        crate::layout::two_tier_upt_entry(vpn)
+    }
+
+    /// The physical address of the root entry mapping the page group that
+    /// holds `vpn`'s entry.
+    pub fn root_entry(vpn: Vpn) -> MAddr {
+        crate::layout::two_tier_root_entry(vpn)
+    }
+}
+
+impl TlbRefill for DisjunctWalker {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            RefillMode::Software => "notlb",
+            RefillMode::Hardware { .. } => "notlb-hw",
+        }
+    }
+
+    fn refill(&mut self, ctx: &mut dyn WalkContext, vpn: Vpn, _kind: AccessKind) {
+        self.mode.dispatch_level(
+            ctx,
+            HandlerLevel::User,
+            MAddr::physical(USER_HANDLER_BASE),
+            Self::USER_HANDLER_INSTRS,
+        );
+        let upt_entry = Self::upt_entry(vpn);
+        let class = ctx.pte_load(HandlerLevel::User, upt_entry, HIER_PTE_BYTES);
+        if class == MissClass::Memory {
+            // The PTE reference itself missed the L2 cache: the second
+            // handler (or another state-machine pass) performs the root
+            // lookup to service it.
+            self.mode.dispatch_level(
+                ctx,
+                HandlerLevel::Root,
+                MAddr::physical(ROOT_HANDLER_BASE),
+                Self::ROOT_HANDLER_INSTRS,
+            );
+            ctx.pte_load(HandlerLevel::Root, Self::root_entry(vpn), HIER_PTE_BYTES);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::{RecordingContext, WalkEvent};
+    use vm_types::AddressSpace;
+
+    fn uvpn(i: u64) -> Vpn {
+        Vpn::new(AddressSpace::User, i)
+    }
+
+    #[test]
+    fn pte_hit_needs_only_the_user_handler() {
+        let mut w = DisjunctWalker::new();
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::L1Hit);
+        w.refill(&mut ctx, uvpn(0x42), AccessKind::Load);
+        assert_eq!(ctx.interrupts(), 1);
+        assert_eq!(
+            ctx.handlers_at(HandlerLevel::User),
+            vec![(MAddr::physical(USER_HANDLER_BASE), 10)]
+        );
+        assert!(ctx.handlers_at(HandlerLevel::Root).is_empty());
+        assert_eq!(
+            ctx.pte_loads_at(HandlerLevel::User),
+            vec![(DisjunctWalker::upt_entry(uvpn(0x42)), 4)]
+        );
+    }
+
+    #[test]
+    fn pte_l2_hit_does_not_escalate() {
+        let mut w = DisjunctWalker::new();
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::L2Hit);
+        w.refill(&mut ctx, uvpn(0x42), AccessKind::Load);
+        assert_eq!(ctx.interrupts(), 1);
+        assert!(ctx.pte_loads_at(HandlerLevel::Root).is_empty());
+    }
+
+    #[test]
+    fn pte_memory_miss_invokes_root_handler() {
+        let mut w = DisjunctWalker::new();
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::Memory);
+        w.refill(&mut ctx, uvpn(0x42), AccessKind::Store);
+        assert_eq!(ctx.interrupts(), 2);
+        assert_eq!(
+            ctx.handlers_at(HandlerLevel::Root),
+            vec![(MAddr::physical(ROOT_HANDLER_BASE), 20)]
+        );
+        assert_eq!(
+            ctx.pte_loads_at(HandlerLevel::Root),
+            vec![(DisjunctWalker::root_entry(uvpn(0x42)), 4)]
+        );
+    }
+
+    #[test]
+    fn never_touches_the_tlb() {
+        let mut w = DisjunctWalker::new();
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::Memory);
+        w.refill(&mut ctx, uvpn(0x7), AccessKind::Load);
+        assert!(ctx.events.iter().all(|e| !matches!(
+            e,
+            WalkEvent::DtlbProbe { .. } | WalkEvent::DtlbInsertProtected { .. }
+        )));
+    }
+
+    #[test]
+    fn table_geometry_matches_ultrix() {
+        // Same cost, same structure as the Ultrix table (Section 3.1).
+        use crate::ultrix::UltrixWalker;
+        for i in [0u64, 1, 1023, 1024, (1 << 19) - 1] {
+            assert_eq!(DisjunctWalker::upt_entry(uvpn(i)), UltrixWalker::upt_entry(uvpn(i)));
+            assert_eq!(DisjunctWalker::root_entry(uvpn(i)), UltrixWalker::root_entry(uvpn(i)));
+        }
+        assert_eq!(DisjunctWalker::upt_entry(uvpn(0)).space(), AddressSpace::Kernel);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(DisjunctWalker::default().name(), "notlb");
+        assert_eq!(DisjunctWalker::with_mode(RefillMode::PAPER_HARDWARE).name(), "notlb-hw");
+    }
+
+    #[test]
+    fn hardware_mode_services_l2_misses_without_interrupts() {
+        let mut w = DisjunctWalker::with_mode(RefillMode::PAPER_HARDWARE);
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::Memory);
+        w.refill(&mut ctx, uvpn(0x42), AccessKind::Load);
+        assert_eq!(ctx.interrupts(), 0);
+        assert!(ctx.handlers_at(HandlerLevel::User).is_empty());
+        assert!(ctx.handlers_at(HandlerLevel::Root).is_empty());
+        // Both table levels are still walked.
+        assert_eq!(ctx.pte_loads_at(HandlerLevel::User).len(), 1);
+        assert_eq!(ctx.pte_loads_at(HandlerLevel::Root).len(), 1);
+        assert!(ctx
+            .events
+            .iter()
+            .any(|e| matches!(e, WalkEvent::Inline { level: HandlerLevel::Root, .. })));
+    }
+}

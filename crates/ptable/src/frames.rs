@@ -1,0 +1,122 @@
+//! A first-touch physical frame allocator.
+
+use std::collections::HashMap;
+
+use vm_types::{Pfn, Vpn, PAGE_SHIFT};
+
+/// Assigns physical frames to virtual pages in first-touch order,
+/// wrapping when the pool is exhausted.
+///
+/// The paper sizes physical memory at 8 MB for the PA-RISC simulation and
+/// notes that page placement does not otherwise matter because the caches
+/// are virtually addressed; the frame number only needs to *exist* (it is
+/// stored in the hashed table's 16-byte PTEs). Wrapping on exhaustion
+/// models an over-committed pool without affecting any measured quantity.
+#[derive(Debug, Clone)]
+pub struct FrameAlloc {
+    first_pfn: u32,
+    frames: u32,
+    next: u32,
+    map: HashMap<Vpn, Pfn>,
+}
+
+impl FrameAlloc {
+    /// A pool of `pool_bytes` starting at physical `base` (page aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is smaller than one page or `base` is not page
+    /// aligned.
+    pub fn new(base: u64, pool_bytes: u64) -> FrameAlloc {
+        assert_eq!(base % (1 << PAGE_SHIFT), 0, "frame pool base must be page aligned");
+        let frames = (pool_bytes >> PAGE_SHIFT) as u32;
+        assert!(frames > 0, "frame pool must hold at least one frame");
+        FrameAlloc { first_pfn: (base >> PAGE_SHIFT) as u32, frames, next: 0, map: HashMap::new() }
+    }
+
+    /// The frame backing `vpn`, allocating on first touch.
+    pub fn frame_of(&mut self, vpn: Vpn) -> Pfn {
+        if let Some(&pfn) = self.map.get(&vpn) {
+            return pfn;
+        }
+        let pfn = Pfn(self.first_pfn + (self.next % self.frames));
+        self.next += 1;
+        self.map.insert(vpn, pfn);
+        pfn
+    }
+
+    /// Number of pages that have been touched (and hence mapped).
+    pub fn touched_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Capacity of the pool in frames.
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// Forgets all assignments.
+    pub fn reset(&mut self) {
+        self.next = 0;
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::AddressSpace;
+
+    fn vpn(i: u64) -> Vpn {
+        Vpn::new(AddressSpace::User, i)
+    }
+
+    #[test]
+    fn first_touch_is_stable() {
+        let mut a = FrameAlloc::new(0x10_0000, 64 << 10);
+        let f1 = a.frame_of(vpn(5));
+        let f2 = a.frame_of(vpn(9));
+        assert_ne!(f1, f2);
+        assert_eq!(a.frame_of(vpn(5)), f1);
+        assert_eq!(a.touched_pages(), 2);
+    }
+
+    #[test]
+    fn frames_are_sequential_from_base() {
+        let mut a = FrameAlloc::new(0x10_0000, 64 << 10);
+        assert_eq!(a.frame_of(vpn(1)), Pfn(0x100));
+        assert_eq!(a.frame_of(vpn(2)), Pfn(0x101));
+    }
+
+    #[test]
+    fn pool_wraps_on_exhaustion() {
+        let mut a = FrameAlloc::new(0, 2 << 12); // two frames
+        assert_eq!(a.frames(), 2);
+        let f0 = a.frame_of(vpn(0));
+        let f1 = a.frame_of(vpn(1));
+        let f2 = a.frame_of(vpn(2)); // wraps onto f0's frame
+        assert_eq!(f0, f2);
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut a = FrameAlloc::new(0, 4 << 12);
+        let f0 = a.frame_of(vpn(7));
+        a.reset();
+        assert_eq!(a.touched_pages(), 0);
+        assert_eq!(a.frame_of(vpn(8)), f0); // allocation restarts
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_base_panics() {
+        let _ = FrameAlloc::new(0x123, 1 << 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_pool_panics() {
+        let _ = FrameAlloc::new(0, 100);
+    }
+}

@@ -1,0 +1,152 @@
+//! The simulated memory map: where handlers and page tables live.
+//!
+//! All handler code sits in unmapped (physical) space, as in every
+//! simulated system of the paper ("the handlers are located in unmapped
+//! space, so executing them cannot cause I-TLB misses"), each on its own
+//! page boundary ("the beginning of each section of handler code is
+//! aligned on a page boundary"). Page tables live where each
+//! organization's figure puts them: user tables in mapped virtual space
+//! for the bottom-up tables, and in physical space for the top-down and
+//! hashed tables.
+//!
+//! The exact values are model parameters, not magic: they only matter in
+//! that (a) distinct structures do not overlap and (b) everything still
+//! contends for the same virtually-indexed cache frames, which any choice
+//! of addresses produces.
+
+/// Physical base of the user-level TLB-miss handler code (one page).
+pub const USER_HANDLER_BASE: u64 = 0x0000_1000;
+/// Physical base of the kernel-level TLB-miss handler code (one page).
+pub const KERNEL_HANDLER_BASE: u64 = 0x0000_3000;
+/// Physical base of the root-level TLB-miss handler code. The Mach root
+/// path is 500 instructions (~2 KB), so give it room before the next
+/// structure.
+pub const ROOT_HANDLER_BASE: u64 = 0x0000_5000;
+
+/// Kernel-virtual base of the 2 MB linear user page table used by the
+/// Ultrix, Mach and NOTLB organizations (Figures 1, 2, 5). 2 MB-aligned.
+pub const UPT_BASE: u64 = 0x0020_0000;
+
+/// Kernel-virtual base of Mach's 4 MB kernel page table: the top 4 MB of
+/// the 4 GB kernel space (Figure 2).
+pub const MACH_KPT_BASE: u64 = 0xFFC0_0000;
+
+/// Physical base of the 2 KB Ultrix / NOTLB root page table (Figure 1).
+pub const ROOT_TABLE_BASE: u64 = 0x0001_0000;
+
+/// Physical base of Mach's 4 KB root page table (Figure 2).
+pub const MACH_ROOT_TABLE_BASE: u64 = 0x0001_2000;
+
+/// Physical base of the kernel "administrative" data the Mach root path
+/// churns through (the simulated general-vector bookkeeping).
+pub const MACH_ADMIN_BASE: u64 = 0x0002_0000;
+/// Bytes of administrative data the Mach root path cycles over.
+pub const MACH_ADMIN_BYTES: u64 = 0x1000;
+
+/// Physical base of the x86 page directories (4 KB per process; 256
+/// ASIDs reserve 1 MB).
+pub const X86_PD_BASE: u64 = 0x0010_0000;
+
+/// Physical base of the pool holding x86 4 KB PTE pages (2 MB per
+/// process, mirroring each process's 2 MB virtual table footprint; 256
+/// ASIDs reserve 512 MB, far above every other structure).
+pub const X86_PT_POOL_BASE: u64 = 0x4000_0000;
+
+/// Physical base of the PA-RISC hashed page table (Figure 4).
+pub const HPT_BASE: u64 = 0x0004_0000;
+
+/// Physical base of the PA-RISC collision-resolution table, from which
+/// overflow PTEs are allocated in first-touch order.
+pub const CRT_BASE: u64 = 0x0030_0000;
+
+/// Physical base of the classical inverted table's hash anchor table
+/// (one 4-byte slot per frame).
+pub const HAT_BASE: u64 = 0x0006_0000;
+
+/// Physical base of the classical inverted page table proper (one
+/// 8-byte entry per frame).
+pub const INVERTED_TABLE_BASE: u64 = 0x0040_0000;
+
+/// Physical base of the frame pool backing user pages (used by
+/// [`crate::FrameAlloc`]).
+pub const FRAME_POOL_BASE: u64 = 0x0080_0000;
+
+/// Size of a hierarchical page-table entry: 4 bytes ("a PTE for a
+/// hierarchical page table scales with the size of the physical
+/// address").
+pub const HIER_PTE_BYTES: u64 = 4;
+
+/// The kernel-virtual address of the two-tier user-page-table entry
+/// mapping `vpn` — shared by the Ultrix, Mach and NOTLB organizations,
+/// whose tables are structurally identical ("the Intel page table is
+/// similar to the MIPS and NOTLB page tables"). Each process's 2 MB
+/// table sits at `UPT_BASE + asid * 2 MB`.
+pub fn two_tier_upt_entry(vpn: vm_types::Vpn) -> vm_types::MAddr {
+    let table = UPT_BASE + u64::from(vpn.asid()) * (2 << 20);
+    vm_types::MAddr::kernel(table + vpn.index_in_space() * HIER_PTE_BYTES)
+}
+
+/// The physical address of the two-tier root entry mapping the UPT page
+/// that holds `vpn`'s entry (a 2 KB wired root table per process).
+pub fn two_tier_root_entry(vpn: vm_types::Vpn) -> vm_types::MAddr {
+    let upt_page = vpn.index_in_space() >> 10;
+    let table = ROOT_TABLE_BASE + u64::from(vpn.asid()) * 2048;
+    vm_types::MAddr::physical(table + upt_page * HIER_PTE_BYTES)
+}
+
+/// Size of a PA-RISC hashed-table entry: 16 bytes (Huck & Hays), which is
+/// why a PTE load in the PA-RISC simulation "impacts the data cache four
+/// times as much as in other simulations".
+pub const HASHED_PTE_BYTES: u64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_structures_do_not_overlap_within_any_one_system() {
+        // Exactly one walker exists per simulation, so disjointness is
+        // required only among the structures *one* system uses — each at
+        // its full 256-ASID extent. (Cross-system overlaps are fine:
+        // e.g. the Ultrix per-process root tables grow across addresses
+        // PA-RISC would use for its hashed table.)
+        let handlers: Vec<(u64, u64)> = vec![
+            (USER_HANDLER_BASE, 0x1000),
+            (KERNEL_HANDLER_BASE, 0x1000),
+            (ROOT_HANDLER_BASE, 0x1000),
+        ];
+        let systems: Vec<(&str, Vec<(u64, u64)>)> = vec![
+            ("ultrix/notlb", vec![(ROOT_TABLE_BASE, 256 * 0x800)]),
+            ("mach", vec![(MACH_ROOT_TABLE_BASE, 0x1000), (MACH_ADMIN_BASE, MACH_ADMIN_BYTES)]),
+            ("x86", vec![(X86_PD_BASE, 256 * 0x1000), (X86_PT_POOL_BASE, 256 * 0x20_0000)]),
+            ("pa-risc", vec![(HPT_BASE, 0x2_0000), (CRT_BASE, 0x10_0000)]),
+            ("inverted", vec![(HAT_BASE, 0x1_0000), (INVERTED_TABLE_BASE, 0x4_0000)]),
+        ];
+        for (name, structures) in systems {
+            let mut spans = handlers.clone();
+            spans.extend(structures);
+            for (i, &(a, asz)) in spans.iter().enumerate() {
+                for &(b, bsz) in &spans[i + 1..] {
+                    assert!(
+                        a + asz <= b || b + bsz <= a,
+                        "{name}: {a:#x}+{asz:#x} overlaps {b:#x}+{bsz:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handler_bases_are_page_aligned() {
+        for base in [USER_HANDLER_BASE, KERNEL_HANDLER_BASE, ROOT_HANDLER_BASE] {
+            assert_eq!(base % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn upt_base_is_2mb_aligned() {
+        assert_eq!(UPT_BASE % (2 << 20), 0);
+        // Mach's KPT occupies the top 4 MB of the 4 GB kernel space.
+        assert_eq!(MACH_KPT_BASE, (1u64 << 32) - (4 << 20));
+    }
+}

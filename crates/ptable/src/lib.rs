@@ -1,0 +1,54 @@
+//! Page-table organizations and TLB-refill walkers for the Jacob & Mudge
+//! (ASPLOS 1998) reproduction.
+//!
+//! The paper compares five memory-management organizations (Section 3.1,
+//! Figures 1–5, Table 4). Each is implemented here as a [`TlbRefill`]
+//! walker that expresses its refill procedure through the primitives of a
+//! [`WalkContext`] — execute handler code, load PTEs, probe/insert the
+//! data TLB, raise interrupts — so that *what a page table does* lives in
+//! this crate while *what it costs* (Tables 2–4) is accounted centrally
+//! by the simulator in `vm-core`:
+//!
+//! * [`UltrixWalker`] — Ultrix/MIPS two-tiered table walked bottom-up
+//!   (Figure 1): a 2 MB user page table in mapped kernel space, itself
+//!   mapped by a 2 KB root table in physical memory.
+//! * [`MachWalker`] — Mach/MIPS three-tiered table walked bottom-up
+//!   (Figure 2), with the deliberately expensive 500-instruction root
+//!   path standing in for Mach's general-purpose interrupt vector.
+//! * [`X86Walker`] — BSD/Intel two-tiered table walked **top-down** by a
+//!   hardware state machine (Figure 3): two physical-address PTE loads,
+//!   seven cycles, no interrupt, no I-cache traffic.
+//! * [`HashedWalker`] — the PA-RISC hashed (inverted) page table
+//!   (Figure 4): 16-byte PTEs, single-XOR hash, collision-resolution
+//!   table; also runs in hardware mode to model the PowerPC/PA-7200
+//!   hybrid the paper recommends in Section 4.2.
+//! * [`DisjunctWalker`] — the NOTLB/softvm two-tiered "disjunct" table
+//!   (Figure 5), whose handlers run on **L2 cache misses** because the
+//!   system has no TLB at all.
+//!
+//! Custom organizations plug in the same way; see the `RecordingContext`
+//! in [`mock`] for a test harness, and the repository's
+//! `examples/custom_page_table.rs` for a worked example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disjunct;
+mod frames;
+mod hashed;
+mod inverted;
+pub mod layout;
+mod mach;
+pub mod mock;
+mod ultrix;
+mod walker;
+mod x86;
+
+pub use disjunct::DisjunctWalker;
+pub use frames::FrameAlloc;
+pub use hashed::{HashedConfig, HashedWalker};
+pub use inverted::{InvertedConfig, InvertedWalker, HAT_SLOT_BYTES, INVERTED_PTE_BYTES};
+pub use mach::MachWalker;
+pub use ultrix::UltrixWalker;
+pub use walker::{RefillMode, TlbRefill, WalkContext};
+pub use x86::X86Walker;

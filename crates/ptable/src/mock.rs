@@ -1,0 +1,207 @@
+//! A recording [`WalkContext`] for testing walkers in isolation.
+
+use std::collections::HashSet;
+
+use vm_types::{HandlerLevel, MAddr, MissClass, Vpn};
+
+use crate::walker::WalkContext;
+
+/// One primitive invocation observed by a [`RecordingContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkEvent {
+    /// `exec_handler(level, base, instrs)`.
+    Handler {
+        /// Handler tier.
+        level: HandlerLevel,
+        /// Code base address.
+        base: MAddr,
+        /// Instructions executed.
+        instrs: u32,
+    },
+    /// `exec_inline(level, cycles)`.
+    Inline {
+        /// Handler tier the cycles are attributed to.
+        level: HandlerLevel,
+        /// Cycles charged.
+        cycles: u32,
+    },
+    /// `pte_load(level, addr, bytes)`.
+    PteLoad {
+        /// Handler tier.
+        level: HandlerLevel,
+        /// Entry address.
+        addr: MAddr,
+        /// Entry width.
+        bytes: u64,
+    },
+    /// `dtlb_probe(vpn)` and its outcome.
+    DtlbProbe {
+        /// Probed page.
+        vpn: Vpn,
+        /// Whether the probe hit.
+        hit: bool,
+    },
+    /// `dtlb_insert_protected(vpn)`.
+    DtlbInsertProtected {
+        /// Inserted page.
+        vpn: Vpn,
+    },
+    /// `dtlb_insert(vpn)` (user partition).
+    DtlbInsertUser {
+        /// Inserted page.
+        vpn: Vpn,
+    },
+    /// `interrupt(level)`.
+    Interrupt {
+        /// Handler tier the interrupt dispatched to.
+        level: HandlerLevel,
+    },
+}
+
+/// A scripted, recording implementation of [`WalkContext`].
+///
+/// PTE loads answer with a fixed [`MissClass`] (default
+/// [`MissClass::L1Hit`]); the data TLB is a plain set that
+/// [`WalkContext::dtlb_insert_protected`] adds to. Every call is appended
+/// to [`RecordingContext::events`], letting tests assert the *exact*
+/// sequence a walker performs — the Table 4 behaviour.
+#[derive(Debug)]
+pub struct RecordingContext {
+    /// Every primitive call, in order.
+    pub events: Vec<WalkEvent>,
+    /// Pages the mock D-TLB currently holds.
+    pub dtlb: HashSet<Vpn>,
+    /// The class every `pte_load` reports.
+    pub pte_class: MissClass,
+}
+
+impl Default for RecordingContext {
+    fn default() -> RecordingContext {
+        RecordingContext::new()
+    }
+}
+
+impl RecordingContext {
+    /// An empty context whose PTE loads hit the L1.
+    pub fn new() -> RecordingContext {
+        RecordingContext { events: Vec::new(), dtlb: HashSet::new(), pte_class: MissClass::L1Hit }
+    }
+
+    /// Pre-populates the mock D-TLB.
+    pub fn with_dtlb<I: IntoIterator<Item = Vpn>>(mut self, vpns: I) -> RecordingContext {
+        self.dtlb.extend(vpns);
+        self
+    }
+
+    /// Sets the class every PTE load reports.
+    pub fn with_pte_class(mut self, class: MissClass) -> RecordingContext {
+        self.pte_class = class;
+        self
+    }
+
+    /// Convenience: the number of recorded interrupts.
+    pub fn interrupts(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, WalkEvent::Interrupt { .. })).count()
+    }
+
+    /// Convenience: the PTE loads recorded at `level`.
+    pub fn pte_loads_at(&self, level: HandlerLevel) -> Vec<(MAddr, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                WalkEvent::PteLoad { level: l, addr, bytes } if *l == level => {
+                    Some((*addr, *bytes))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Convenience: handler executions recorded at `level`.
+    pub fn handlers_at(&self, level: HandlerLevel) -> Vec<(MAddr, u32)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                WalkEvent::Handler { level: l, base, instrs } if *l == level => {
+                    Some((*base, *instrs))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl WalkContext for RecordingContext {
+    fn exec_handler(&mut self, level: HandlerLevel, base: MAddr, instrs: u32) {
+        self.events.push(WalkEvent::Handler { level, base, instrs });
+    }
+
+    fn exec_inline(&mut self, level: HandlerLevel, cycles: u32) {
+        self.events.push(WalkEvent::Inline { level, cycles });
+    }
+
+    fn pte_load(&mut self, level: HandlerLevel, addr: MAddr, bytes: u64) -> MissClass {
+        self.events.push(WalkEvent::PteLoad { level, addr, bytes });
+        self.pte_class
+    }
+
+    fn dtlb_probe(&mut self, vpn: Vpn) -> bool {
+        let hit = self.dtlb.contains(&vpn);
+        self.events.push(WalkEvent::DtlbProbe { vpn, hit });
+        hit
+    }
+
+    fn dtlb_insert_protected(&mut self, vpn: Vpn) {
+        self.events.push(WalkEvent::DtlbInsertProtected { vpn });
+        self.dtlb.insert(vpn);
+    }
+
+    fn dtlb_insert(&mut self, vpn: Vpn) {
+        self.events.push(WalkEvent::DtlbInsertUser { vpn });
+        self.dtlb.insert(vpn);
+    }
+
+    fn interrupt(&mut self, level: HandlerLevel) {
+        self.events.push(WalkEvent::Interrupt { level });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::AddressSpace;
+
+    #[test]
+    fn records_in_order() {
+        let mut ctx = RecordingContext::new();
+        ctx.interrupt(HandlerLevel::User);
+        ctx.exec_handler(HandlerLevel::User, MAddr::physical(0x1000), 10);
+        let class = ctx.pte_load(HandlerLevel::User, MAddr::kernel(0x20), 4);
+        assert_eq!(class, MissClass::L1Hit);
+        assert_eq!(ctx.events.len(), 3);
+        assert_eq!(ctx.interrupts(), 1);
+        assert_eq!(ctx.handlers_at(HandlerLevel::User), vec![(MAddr::physical(0x1000), 10)]);
+    }
+
+    #[test]
+    fn dtlb_probe_reflects_inserts() {
+        let vpn = Vpn::new(AddressSpace::Kernel, 9);
+        let mut ctx = RecordingContext::new();
+        assert!(!ctx.dtlb_probe(vpn));
+        ctx.dtlb_insert_protected(vpn);
+        assert!(ctx.dtlb_probe(vpn));
+    }
+
+    #[test]
+    fn scripted_pte_class_is_returned() {
+        let mut ctx = RecordingContext::new().with_pte_class(MissClass::Memory);
+        assert_eq!(ctx.pte_load(HandlerLevel::Root, MAddr::physical(0), 4), MissClass::Memory);
+    }
+
+    #[test]
+    fn with_dtlb_preloads() {
+        let vpn = Vpn::new(AddressSpace::Kernel, 3);
+        let mut ctx = RecordingContext::new().with_dtlb([vpn]);
+        assert!(ctx.dtlb_probe(vpn));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the page-table walkers against a recording
+//! context: structural invariants that must hold for *any* faulting page.
+
+use proptest::prelude::*;
+use vm_ptable::mock::{RecordingContext, WalkEvent};
+use vm_ptable::{
+    DisjunctWalker, HashedConfig, HashedWalker, MachWalker, TlbRefill, UltrixWalker, X86Walker,
+};
+use vm_types::{AccessKind, AddressSpace, HandlerLevel, MissClass, Vpn};
+
+fn uvpn() -> impl Strategy<Value = Vpn> {
+    (0u64..(1 << 19)).prop_map(|i| Vpn::new(AddressSpace::User, i))
+}
+
+fn any_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![Just(AccessKind::Fetch), Just(AccessKind::Load), Just(AccessKind::Store)]
+}
+
+/// Interrupts precede their handler execution, pairwise, for software
+/// walkers.
+fn interrupts_precede_handlers(events: &[WalkEvent]) -> bool {
+    let mut pending: Vec<HandlerLevel> = Vec::new();
+    for e in events {
+        match e {
+            WalkEvent::Interrupt { level } => pending.push(*level),
+            WalkEvent::Handler { level, .. } => {
+                if pending.last() != Some(level) {
+                    return false;
+                }
+                pending.pop();
+            }
+            _ => {}
+        }
+    }
+    pending.is_empty()
+}
+
+proptest! {
+    #[test]
+    fn ultrix_walks_are_bounded_and_well_formed(vpns in prop::collection::vec(uvpn(), 1..50), kind in any_kind()) {
+        let mut w = UltrixWalker::new();
+        let mut ctx = RecordingContext::new();
+        for vpn in vpns {
+            let start = ctx.events.len();
+            w.refill(&mut ctx, vpn, kind);
+            let new = &ctx.events[start..];
+            // At most two levels, at most two PTE loads, ordered root->user.
+            let loads: Vec<_> = new.iter().filter(|e| matches!(e, WalkEvent::PteLoad { .. })).collect();
+            prop_assert!(loads.len() <= 2);
+            let last_is_user = matches!(loads.last().unwrap(), WalkEvent::PteLoad { level: HandlerLevel::User, .. });
+            prop_assert!(last_is_user);
+            prop_assert!(interrupts_precede_handlers(new));
+        }
+    }
+
+    #[test]
+    fn ultrix_second_walk_same_page_region_is_cheap(vpn in uvpn()) {
+        let mut w = UltrixWalker::new();
+        let mut ctx = RecordingContext::new();
+        w.refill(&mut ctx, vpn, AccessKind::Load);
+        let first = ctx.events.len();
+        w.refill(&mut ctx, vpn, AccessKind::Load);
+        let second = ctx.events.len() - first;
+        prop_assert!(second <= first, "warm walk must not exceed cold walk");
+        // The warm walk is exactly interrupt + handler + probe + PTE load.
+        prop_assert_eq!(second, 4);
+    }
+
+    #[test]
+    fn mach_nests_at_most_three_levels(vpns in prop::collection::vec(uvpn(), 1..50)) {
+        let mut w = MachWalker::new();
+        let mut ctx = RecordingContext::new();
+        for vpn in vpns {
+            let start = ctx.events.len();
+            w.refill(&mut ctx, vpn, AccessKind::Load);
+            let new = &ctx.events[start..];
+            let interrupts = new.iter().filter(|e| matches!(e, WalkEvent::Interrupt { .. })).count();
+            prop_assert!(interrupts <= 3);
+            prop_assert!(interrupts_precede_handlers(new));
+            // The user-level PTE load always concludes the walk.
+            let ends_with_user_load =
+                matches!(new.last().unwrap(), WalkEvent::PteLoad { level: HandlerLevel::User, .. });
+            prop_assert!(ends_with_user_load);
+        }
+    }
+
+    #[test]
+    fn x86_walks_are_always_exactly_three_events(vpns in prop::collection::vec(uvpn(), 1..80)) {
+        let mut w = X86Walker::new();
+        let mut ctx = RecordingContext::new();
+        for vpn in vpns {
+            let start = ctx.events.len();
+            w.refill(&mut ctx, vpn, AccessKind::Fetch);
+            let new = &ctx.events[start..];
+            prop_assert_eq!(new.len(), 3);
+            let shape = (
+                matches!(new[0], WalkEvent::Inline { cycles: 7, .. }),
+                matches!(new[1], WalkEvent::PteLoad { level: HandlerLevel::Root, bytes: 4, .. }),
+                matches!(new[2], WalkEvent::PteLoad { level: HandlerLevel::User, bytes: 4, .. }),
+            );
+            prop_assert_eq!(shape, (true, true, true));
+        }
+    }
+
+    #[test]
+    fn x86_leaf_matches_ultrix_upt_index(vpn in uvpn()) {
+        // The apples-to-apples placement property, for any page.
+        let mut w = X86Walker::new();
+        let intel = w.pt_entry(vpn).offset() - vm_ptable::layout::X86_PT_POOL_BASE;
+        let ultrix = UltrixWalker::upt_entry(vpn).offset() - vm_ptable::layout::UPT_BASE;
+        prop_assert_eq!(intel, ultrix);
+    }
+
+    #[test]
+    fn hashed_walk_load_count_equals_chain_position(vpns in prop::collection::vec(uvpn(), 1..60)) {
+        let mut w = HashedWalker::new(HashedConfig::paper());
+        let mut ctx = RecordingContext::new();
+        // Install all pages first (first walks), then verify re-walk costs.
+        for &vpn in &vpns {
+            w.refill(&mut ctx, vpn, AccessKind::Load);
+        }
+        for &vpn in &vpns {
+            let start = ctx.events.len();
+            w.refill(&mut ctx, vpn, AccessKind::Load);
+            let loads = ctx.events[start..]
+                .iter()
+                .filter(|e| matches!(e, WalkEvent::PteLoad { bytes: 16, .. }))
+                .count();
+            prop_assert!(loads >= 1);
+            prop_assert!(loads <= vpns.len(), "chain cannot exceed installed pages");
+            // The last load must be the matching entry; every load is
+            // 16 bytes (the Huck & Hays PTE).
+            let all_16b = ctx.events[start..]
+                .iter()
+                .filter(|e| matches!(e, WalkEvent::PteLoad { .. }))
+                .all(|e| matches!(e, WalkEvent::PteLoad { bytes: 16, .. }));
+            prop_assert!(all_16b);
+        }
+        prop_assert!(w.mean_chain_loads() >= 1.0);
+        prop_assert!(w.max_chain_len() <= vpns.len());
+    }
+
+    #[test]
+    fn hashed_hash_is_stable_and_in_range(vpn in uvpn()) {
+        let w = HashedWalker::new(HashedConfig::paper());
+        let h1 = w.hash(vpn);
+        let h2 = w.hash(vpn);
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1 < 4096);
+    }
+
+    #[test]
+    fn disjunct_escalates_iff_pte_misses_l2(vpn in uvpn(), class_sel in 0u8..3) {
+        let class = match class_sel {
+            0 => MissClass::L1Hit,
+            1 => MissClass::L2Hit,
+            _ => MissClass::Memory,
+        };
+        let mut w = DisjunctWalker::new();
+        let mut ctx = RecordingContext::new().with_pte_class(class);
+        w.refill(&mut ctx, vpn, AccessKind::Load);
+        let escalated = ctx
+            .events
+            .iter()
+            .any(|e| matches!(e, WalkEvent::Handler { level: HandlerLevel::Root, .. }));
+        prop_assert_eq!(escalated, class == MissClass::Memory);
+        prop_assert!(interrupts_precede_handlers(&ctx.events));
+    }
+
+    #[test]
+    fn walkers_never_touch_the_itlb_and_only_protect_mapped_pages(
+        vpns in prop::collection::vec(uvpn(), 1..40),
+    ) {
+        // All protected insertions must be kernel-space pages (the tables
+        // live in kernel virtual space); user pages are inserted by the
+        // simulator, not the walker.
+        let mut walkers: Vec<Box<dyn TlbRefill>> = vec![
+            Box::new(UltrixWalker::new()),
+            Box::new(MachWalker::new()),
+            Box::new(X86Walker::new()),
+            Box::new(HashedWalker::new(HashedConfig::paper())),
+        ];
+        for w in &mut walkers {
+            let mut ctx = RecordingContext::new();
+            for &vpn in &vpns {
+                w.refill(&mut ctx, vpn, AccessKind::Load);
+            }
+            for e in &ctx.events {
+                if let WalkEvent::DtlbInsertProtected { vpn } | WalkEvent::DtlbInsertUser { vpn } = e {
+                    prop_assert_eq!(vpn.space(), AddressSpace::Kernel, "{}", w.name());
+                }
+            }
+        }
+    }
+}

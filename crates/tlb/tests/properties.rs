@@ -1,0 +1,152 @@
+//! Property-based tests of the TLB models' invariants.
+
+use proptest::prelude::*;
+use vm_tlb::{Replacement, Tlb, TlbConfig};
+use vm_types::{AddressSpace, Vpn};
+
+fn any_policy() -> impl Strategy<Value = Replacement> {
+    prop_oneof![Just(Replacement::Random), Just(Replacement::Lru), Just(Replacement::Fifo)]
+}
+
+fn any_config() -> impl Strategy<Value = TlbConfig> {
+    (2usize..64, any_policy(), any::<bool>()).prop_map(|(entries, policy, partitioned)| {
+        let protected = if partitioned { (entries / 4).min(entries - 1) } else { 0 };
+        TlbConfig::new(entries, protected, policy).expect("generated geometry is valid")
+    })
+}
+
+/// An operation stream over a small VPN universe so collisions happen.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lookup(u64),
+    InsertUser(u64),
+    InsertProtected(u64),
+    Flush,
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64).prop_map(Op::Lookup),
+        (0u64..64).prop_map(Op::InsertUser),
+        (64u64..80).prop_map(Op::InsertProtected),
+        Just(Op::Flush),
+    ]
+}
+
+fn apply(tlb: &mut Tlb, op: Op) {
+    match op {
+        Op::Lookup(v) => {
+            tlb.lookup(Vpn::new(AddressSpace::User, v));
+        }
+        Op::InsertUser(v) => tlb.insert_user(Vpn::new(AddressSpace::User, v)),
+        Op::InsertProtected(v) => tlb.insert_protected(Vpn::new(AddressSpace::Kernel, v)),
+        Op::Flush => tlb.flush(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn occupancy_never_exceeds_capacity(cfg in any_config(), ops in prop::collection::vec(any_op(), 1..500), seed in any::<u64>()) {
+        let mut tlb = Tlb::new(cfg, seed);
+        for op in ops {
+            apply(&mut tlb, op);
+            prop_assert!(tlb.occupancy() <= cfg.entries());
+        }
+    }
+
+    #[test]
+    fn lookup_after_insert_hits_until_flush(cfg in any_config(), seed in any::<u64>(), v in 0u64..1000) {
+        let mut tlb = Tlb::new(cfg, seed);
+        let vpn = Vpn::new(AddressSpace::User, v);
+        tlb.insert_user(vpn);
+        prop_assert!(tlb.lookup(vpn));
+        tlb.flush();
+        prop_assert!(!tlb.lookup(vpn));
+    }
+
+    #[test]
+    fn counters_reconcile(cfg in any_config(), ops in prop::collection::vec(any_op(), 1..500), seed in any::<u64>()) {
+        let mut tlb = Tlb::new(cfg, seed);
+        let mut expected_lookups = 0u64;
+        let mut expected_inserts = 0u64;
+        for op in ops {
+            match op {
+                Op::Lookup(_) => expected_lookups += 1,
+                Op::InsertUser(_) | Op::InsertProtected(_) => expected_inserts += 1,
+                Op::Flush => {}
+            }
+            apply(&mut tlb, op);
+        }
+        let k = tlb.counters();
+        prop_assert_eq!(k.lookups, expected_lookups);
+        prop_assert_eq!(k.insertions, expected_inserts);
+        prop_assert!(k.hits <= k.lookups);
+        prop_assert!(k.evictions <= k.insertions);
+    }
+
+    #[test]
+    fn protected_entries_survive_arbitrary_user_traffic(
+        entries in 8usize..64,
+        seed in any::<u64>(),
+        user_traffic in prop::collection::vec(0u64..4096, 1..600),
+    ) {
+        let protected = entries / 4;
+        let cfg = TlbConfig::new(entries, protected.max(1), Replacement::Random).unwrap();
+        let mut tlb = Tlb::new(cfg, seed);
+        let kernel: Vec<Vpn> =
+            (0..protected.max(1) as u64).map(|i| Vpn::new(AddressSpace::Kernel, i)).collect();
+        for &k in &kernel {
+            tlb.insert_protected(k);
+        }
+        for v in user_traffic {
+            tlb.insert_user(Vpn::new(AddressSpace::User, v));
+        }
+        for &k in &kernel {
+            prop_assert!(tlb.contains(k), "protected {k} evicted by user traffic");
+        }
+    }
+
+    #[test]
+    fn user_partition_caps_user_residency(
+        entries in 8usize..64,
+        seed in any::<u64>(),
+        inserts in prop::collection::vec(0u64..4096, 1..600),
+    ) {
+        let protected = entries / 4;
+        let cfg = TlbConfig::new(entries, protected, Replacement::Random).unwrap();
+        let mut tlb = Tlb::new(cfg, seed);
+        let mut distinct = std::collections::HashSet::new();
+        for v in inserts {
+            distinct.insert(v);
+            tlb.insert_user(Vpn::new(AddressSpace::User, v));
+        }
+        prop_assert!(tlb.occupancy() <= cfg.user_slots().min(distinct.len()));
+    }
+
+    #[test]
+    fn lru_never_evicts_the_most_recent(seed in any::<u64>(), vs in prop::collection::vec(0u64..256, 2..200)) {
+        let cfg = TlbConfig::new(8, 0, Replacement::Lru).unwrap();
+        let mut tlb = Tlb::new(cfg, seed);
+        for &v in &vs {
+            let vpn = Vpn::new(AddressSpace::User, v);
+            tlb.insert_user(vpn);
+            prop_assert!(tlb.contains(vpn));
+        }
+    }
+
+    #[test]
+    fn random_replacement_is_seed_deterministic(
+        ops in prop::collection::vec(any_op(), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let cfg = TlbConfig::new(16, 4, Replacement::Random).unwrap();
+        let mut a = Tlb::new(cfg, seed);
+        let mut b = Tlb::new(cfg, seed);
+        for op in ops {
+            apply(&mut a, op);
+            apply(&mut b, op);
+        }
+        prop_assert_eq!(a.counters(), b.counters());
+        prop_assert_eq!(a.occupancy(), b.occupancy());
+    }
+}

@@ -1,0 +1,14 @@
+use vm_trace::{presets, TraceStats};
+fn main() {
+    for (n, t) in
+        [("gcc", presets::gcc(1)), ("vortex", presets::vortex(1)), ("ijpeg", presets::ijpeg(1))]
+    {
+        let s = TraceStats::analyze(t.take(300_000));
+        println!(
+            "{n}: reuse={:.2} data_pages={} code_pages={}",
+            s.data_block_reuse(),
+            s.data_pages,
+            s.code_pages
+        );
+    }
+}

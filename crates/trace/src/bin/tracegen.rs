@@ -1,0 +1,198 @@
+//! `tracegen` — generate, inspect, and convert workload traces.
+//!
+//! ```text
+//! tracegen gen   <workload> <instructions> <out.trace> [--seed N]
+//! tracegen stats <workload|file.trace> [instructions] [--seed N]
+//! tracegen head  <file.trace> [count]
+//! tracegen import <in.din> <out.trace>
+//! tracegen list
+//! ```
+//!
+//! `gen` writes the compact binary format `vm_trace::write_trace`
+//! produces; `stats` measures either a workload model or a recorded
+//! file; `head` dumps the first records of a file as text.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use vm_trace::{presets, read_dinero, read_trace, write_trace, InstrRecord, TraceStats};
+
+/// Restores the default SIGPIPE disposition so piping into `head`/`less`
+/// terminates the process quietly instead of panicking on a broken-pipe
+/// write error (Rust ignores SIGPIPE by default).
+fn reset_sigpipe() {
+    // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
+    // performed once before any other work.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tracegen: {msg}");
+    eprintln!(
+        "usage:\n  tracegen gen   <workload> <instructions> <out.trace> [--seed N]\n  \
+         tracegen stats <workload|file.trace> [instructions] [--seed N]\n  \
+         tracegen head  <file.trace> [count]\n  \
+         tracegen import <in.din> <out.trace>\n  tracegen list"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_seed(args: &mut Vec<String>) -> Result<u64, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            return Err("--seed needs a value".into());
+        }
+        let v = args[pos + 1].parse().map_err(|e| format!("bad seed: {e}"))?;
+        args.drain(pos..=pos + 1);
+        Ok(v)
+    } else {
+        Ok(42)
+    }
+}
+
+fn print_stats(name: &str, stats: &TraceStats) {
+    println!("{name}:");
+    println!("  instructions      {:>12}", stats.instructions);
+    println!("  loads             {:>12}", stats.loads);
+    println!("  stores            {:>12}", stats.stores);
+    println!(
+        "  data refs/instr   {:>12.3}",
+        stats.data_refs() as f64 / stats.instructions.max(1) as f64
+    );
+    println!("  code pages        {:>12}", stats.code_pages);
+    println!("  data pages        {:>12}", stats.data_pages);
+    println!("  code footprint    {:>10} KB", stats.code_footprint_bytes() >> 10);
+    println!("  data footprint    {:>10} KB", stats.data_footprint_bytes() >> 10);
+    println!("  data block reuse  {:>12.2}", stats.data_block_reuse());
+}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = match parse_seed(&mut args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("list") => {
+            println!("available workload models:");
+            for spec in presets::all_benchmarks() {
+                println!(
+                    "  {:9} code ~{:>5} KB  data ~{:>6} KB",
+                    spec.name,
+                    spec.code.approx_code_bytes() >> 10,
+                    spec.approx_data_bytes() >> 10
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") => {
+            let (Some(workload), Some(n), Some(out)) = (it.next(), it.next(), it.next()) else {
+                return fail("gen needs <workload> <instructions> <out.trace>");
+            };
+            let Some(spec) = presets::by_name(&workload) else {
+                return fail(&format!("unknown workload `{workload}` (try `tracegen list`)"));
+            };
+            let n: usize = match n.parse() {
+                Ok(n) => n,
+                Err(e) => return fail(&format!("bad instruction count: {e}")),
+            };
+            let trace = spec.build(seed).expect("presets are valid");
+            let file = match File::create(&out) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot create {out}: {e}")),
+            };
+            match write_trace(BufWriter::new(file), trace.take(n)) {
+                Ok(written) => {
+                    eprintln!("wrote {written} records to {out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("write failed: {e}")),
+            }
+        }
+        Some("stats") => {
+            let Some(target) = it.next() else {
+                return fail("stats needs <workload|file.trace>");
+            };
+            if let Some(spec) = presets::by_name(&target) {
+                let n: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+                let stats =
+                    TraceStats::analyze(spec.build(seed).expect("presets are valid").take(n));
+                print_stats(&format!("{target} (model, {n} instrs, seed {seed})"), &stats);
+                ExitCode::SUCCESS
+            } else {
+                let file = match File::open(&target) {
+                    Ok(f) => f,
+                    Err(e) => return fail(&format!("cannot open {target}: {e}")),
+                };
+                let replay = match read_trace(BufReader::new(file)) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&format!("cannot read {target}: {e}")),
+                };
+                let records: Result<Vec<InstrRecord>, _> = replay.collect();
+                match records {
+                    Ok(recs) => {
+                        let stats = TraceStats::analyze(recs);
+                        print_stats(&target, &stats);
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(&format!("corrupt trace: {e}")),
+                }
+            }
+        }
+        Some("import") => {
+            let (Some(input), Some(output)) = (it.next(), it.next()) else {
+                return fail("import needs <in.din> <out.trace>");
+            };
+            let din = match File::open(&input) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot open {input}: {e}")),
+            };
+            let records = match read_dinero(BufReader::new(din)) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("cannot parse {input}: {e}")),
+            };
+            let out = match File::create(&output) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot create {output}: {e}")),
+            };
+            match write_trace(BufWriter::new(out), records) {
+                Ok(n) => {
+                    eprintln!("imported {n} records from {input} to {output}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("write failed: {e}")),
+            }
+        }
+        Some("head") => {
+            let Some(path) = it.next() else {
+                return fail("head needs <file.trace>");
+            };
+            let count: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+            let file = match File::open(&path) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot open {path}: {e}")),
+            };
+            let replay = match read_trace(BufReader::new(file)) {
+                Ok(r) => r,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            for rec in replay.take(count) {
+                match rec {
+                    Ok(r) => match r.data {
+                        Some(d) => println!("{}  {} {}", r.pc, d.kind, d.addr),
+                        None => println!("{}", r.pc),
+                    },
+                    Err(e) => return fail(&format!("corrupt record: {e}")),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => fail("missing or unknown subcommand"),
+    }
+}

@@ -1,0 +1,227 @@
+//! Importing Dinero-format address traces.
+//!
+//! The `din` format (Dinero III/IV, the cache-simulator lineage the
+//! paper's methodology descends from) is the lingua franca of 1990s
+//! trace collections: one reference per line,
+//!
+//! ```text
+//! <label> <hex-address>
+//! ```
+//!
+//! with label `0` = data read, `1` = data write, `2` = instruction
+//! fetch. Anything after the address (some tools append a size column)
+//! is ignored, as are blank and `#`/`;` comment lines.
+//!
+//! The simulator consumes [`InstrRecord`]s — an instruction fetch plus at
+//! most one data reference — so the importer folds each fetch with the
+//! data references that follow it. A fetch followed by several data
+//! references (a CISC-ish pattern) is expanded into several records
+//! repeating the same PC, keeping every reference at the cost of
+//! slightly inflating the instruction count; data references before the
+//! first fetch are carried by a synthetic PC at the trace's first fetch
+//! address (or 0 when there is none).
+
+use std::io::{self, BufRead};
+
+use vm_types::{MAddr, USER_SPACE_BYTES};
+
+use crate::record::{DataRef, InstrRecord, TraceIoError};
+
+/// One parsed Dinero line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DinRef {
+    Read(u64),
+    Write(u64),
+    Fetch(u64),
+}
+
+/// Parses one Dinero line; `None` for blanks and comments.
+fn parse_line(line: &str, number: usize) -> Result<Option<DinRef>, TraceIoError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let bad = |what: &str| {
+        TraceIoError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("din line {number}: {what}: `{line}`"),
+        ))
+    };
+    let label = fields.next().ok_or_else(|| bad("missing label"))?;
+    let addr = fields.next().ok_or_else(|| bad("missing address"))?;
+    let addr = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
+        .map_err(|_| bad("bad hex address"))?;
+    // Clamp into the simulated 2 GB user space (traces from 32-bit
+    // machines with kernel halves fold into the modelled user region).
+    let addr = addr % USER_SPACE_BYTES;
+    match label {
+        "0" => Ok(Some(DinRef::Read(addr))),
+        "1" => Ok(Some(DinRef::Write(addr))),
+        "2" => Ok(Some(DinRef::Fetch(addr))),
+        _ => Err(bad("unknown label (want 0, 1 or 2)")),
+    }
+}
+
+/// Reads a Dinero-format trace into [`InstrRecord`]s.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] for unreadable input or malformed lines
+/// (bad label, non-hex address).
+///
+/// ```
+/// use vm_trace::read_dinero;
+///
+/// let din = "2 400\n0 1000\n2 404\n1 1004\n";
+/// let recs = read_dinero(din.as_bytes()).unwrap();
+/// assert_eq!(recs.len(), 2);
+/// assert!(recs[0].data.unwrap().kind == vm_types::AccessKind::Load);
+/// ```
+pub fn read_dinero<R: BufRead>(reader: R) -> Result<Vec<InstrRecord>, TraceIoError> {
+    let mut records: Vec<InstrRecord> = Vec::new();
+    let mut orphans: Vec<DinRef> = Vec::new();
+    let mut current_pc: Option<MAddr> = None;
+
+    let push_data = |records: &mut Vec<InstrRecord>, pc: MAddr, addr: u64, write: bool| {
+        let data = if write {
+            DataRef::store(MAddr::user(addr))
+        } else {
+            DataRef::load(MAddr::user(addr))
+        };
+        match records.last_mut() {
+            // Fold into the current instruction if it has no operand yet.
+            Some(last) if last.pc == pc && last.data.is_none() => last.data = Some(data),
+            // Otherwise repeat the PC (multi-operand instruction).
+            _ => records.push(InstrRecord { pc, data: Some(data) }),
+        }
+    };
+
+    let mut reader = reader;
+    let mut line = String::new();
+    let mut number = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(TraceIoError::Io)? == 0 {
+            break;
+        }
+        number += 1;
+        let Some(r) = parse_line(&line, number)? else { continue };
+        match r {
+            DinRef::Fetch(a) => {
+                let pc = MAddr::user(a & !3);
+                if current_pc.is_none() {
+                    // Attach any leading data references to the first PC.
+                    for o in orphans.drain(..) {
+                        match o {
+                            DinRef::Read(a) => push_data(&mut records, pc, a, false),
+                            DinRef::Write(a) => push_data(&mut records, pc, a, true),
+                            DinRef::Fetch(_) => unreachable!("fetches are handled eagerly"),
+                        }
+                    }
+                }
+                current_pc = Some(pc);
+                records.push(InstrRecord::plain(pc));
+            }
+            DinRef::Read(a) | DinRef::Write(a) => {
+                let write = matches!(r, DinRef::Write(_));
+                match current_pc {
+                    Some(pc) => push_data(&mut records, pc, a, write),
+                    None => orphans.push(r),
+                }
+            }
+        }
+    }
+    // A trace with no fetches at all: carry the data refs on PC 0.
+    let pc0 = MAddr::user(0);
+    for o in orphans {
+        match o {
+            DinRef::Read(a) => push_data(&mut records, pc0, a, false),
+            DinRef::Write(a) => push_data(&mut records, pc0, a, true),
+            DinRef::Fetch(_) => unreachable!(),
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use vm_types::AccessKind;
+
+    #[test]
+    fn folds_fetch_and_following_data() {
+        let din = "2 400\n0 1000\n2 404\n1 1004\n2 408\n";
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].pc, MAddr::user(0x400));
+        assert_eq!(recs[0].data.unwrap().kind, AccessKind::Load);
+        assert_eq!(recs[0].data.unwrap().addr, MAddr::user(0x1000));
+        assert_eq!(recs[1].data.unwrap().kind, AccessKind::Store);
+        assert!(recs[2].data.is_none());
+    }
+
+    #[test]
+    fn multi_operand_instructions_repeat_the_pc() {
+        let din = "2 400\n0 1000\n0 2000\n0 3000\n";
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.pc == MAddr::user(0x400)));
+        let addrs: Vec<u64> = recs.iter().map(|r| r.data.unwrap().addr.offset()).collect();
+        assert_eq!(addrs, [0x1000, 0x2000, 0x3000]);
+    }
+
+    #[test]
+    fn leading_data_attaches_to_first_fetch() {
+        let din = "0 1000\n2 400\n";
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].pc, MAddr::user(0x400));
+        assert!(recs[0].data.is_some());
+        assert!(recs[1].data.is_none());
+    }
+
+    #[test]
+    fn data_only_traces_use_pc_zero() {
+        let din = "0 1000\n1 2000\n";
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.pc == MAddr::user(0)));
+    }
+
+    #[test]
+    fn comments_blanks_and_0x_prefixes_are_accepted() {
+        let din = "# a comment\n\n; another\n2 0x400\n0 0xdeadbe0\n";
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].data.unwrap().addr.offset(), 0xdeadbe0);
+    }
+
+    #[test]
+    fn addresses_fold_into_user_space() {
+        let din = "2 ffffff00\n"; // above 2 GB: folds modulo user space
+        let recs = read_dinero(din.as_bytes()).unwrap();
+        assert!(recs[0].pc.offset() < USER_SPACE_BYTES);
+    }
+
+    #[test]
+    fn bad_label_is_an_error_with_line_number() {
+        let err = read_dinero("7 400\n".as_bytes()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 1"), "{text}");
+        assert!(text.contains("unknown label"), "{text}");
+    }
+
+    #[test]
+    fn bad_address_is_an_error() {
+        let err = read_dinero("2 zzz\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad hex address"));
+    }
+
+    #[test]
+    fn pcs_are_word_aligned() {
+        let recs = read_dinero("2 401\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].pc.offset(), 0x400);
+    }
+}

@@ -1,0 +1,55 @@
+//! Memory-reference traces and synthetic SPEC '95-like workloads for the
+//! Jacob & Mudge (ASPLOS 1998) reproduction.
+//!
+//! The paper drives its simulator with address traces of the SPEC '95
+//! integer suite, focusing on **gcc** and **vortex** (the benchmarks with
+//! the worst virtual-memory behaviour) and **ijpeg** (a counterexample
+//! with tiny VM overhead). Those traces are not redistributable, so this
+//! crate supplies *deterministic synthetic workload models* that expose
+//! the properties the paper's results actually depend on:
+//!
+//! * **instruction-footprint pressure** — how much code contends with the
+//!   1–128 KB L1 I-caches and with handler code;
+//! * **data-page working set** — how many distinct pages are live relative
+//!   to the 512 KB of TLB reach (128 entries × 4 KB);
+//! * **spatial locality** — how much of each cache line is useful, which
+//!   drives the line-size sensitivity results.
+//!
+//! A workload is described by a [`WorkloadSpec`] (code model + data model)
+//! and realized as a [`SyntheticTrace`], an `Iterator` of
+//! [`InstrRecord`]s. [`presets`] provides calibrated gcc/vortex/ijpeg
+//! models and micro-kernels; [`TraceStats`] measures any trace;
+//! [`write_trace`]/[`ReplayTrace`] record and replay traces in a compact
+//! binary format.
+//!
+//! # Example
+//!
+//! ```
+//! use vm_trace::{presets, TraceStats};
+//!
+//! let trace = presets::ijpeg(7).take(10_000);
+//! let stats = TraceStats::analyze(trace);
+//! assert_eq!(stats.instructions, 10_000);
+//! assert!(stats.data_refs() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dinero;
+mod multi;
+mod phased;
+mod record;
+mod spec;
+mod stats;
+mod synth;
+
+pub mod presets;
+
+pub use dinero::read_dinero;
+pub use multi::Multiprogram;
+pub use phased::Phased;
+pub use record::{read_trace, write_trace, DataRef, InstrRecord, ReplayTrace, TraceIoError};
+pub use spec::{AccessPattern, CodeSpec, DataRegion, DataSpec, SpecError, WorkloadSpec};
+pub use stats::TraceStats;
+pub use synth::SyntheticTrace;

@@ -1,0 +1,154 @@
+//! Phase behaviour: workloads whose character changes over time.
+//!
+//! Real programs run in phases — gcc parses, then optimizes, then emits;
+//! each phase has its own code and data working set, and phase changes
+//! are where TLBs and caches re-warm. [`Phased`] strings several
+//! [`WorkloadSpec`]s into one trace, switching models after a fixed
+//! instruction budget and cycling until the consumer stops.
+//!
+//! Unlike [`crate::Multiprogram`], all phases share one address space
+//! (ASID 0): this models one program changing behaviour, not a scheduler
+//! switching programs.
+
+use crate::record::InstrRecord;
+use crate::spec::{SpecError, WorkloadSpec};
+use crate::synth::SyntheticTrace;
+
+/// A trace that cycles through workload phases.
+///
+/// ```
+/// use vm_trace::{presets, Phased};
+///
+/// // A "compiler" that alternates gcc-like and ijpeg-like behaviour.
+/// let trace = Phased::new(
+///     vec![(300_000, presets::gcc_spec()), (200_000, presets::ijpeg_spec())],
+///     42,
+/// ).unwrap();
+/// assert_eq!(trace.phases(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Phased {
+    phases: Vec<(u64, SyntheticTrace)>,
+    current: usize,
+    left_in_phase: u64,
+    transitions: u64,
+}
+
+impl Phased {
+    /// Builds one generator per `(instructions, spec)` phase; phase `i`
+    /// uses `seed + i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if any phase's workload is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase length is zero.
+    pub fn new(phases: Vec<(u64, WorkloadSpec)>, seed: u64) -> Result<Phased, SpecError> {
+        assert!(!phases.is_empty(), "at least one phase required");
+        assert!(phases.iter().all(|&(n, _)| n > 0), "phase lengths must be positive");
+        let first_len = phases[0].0;
+        let built = phases
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, w))| w.build(seed.wrapping_add(i as u64)).map(|t| (n, t)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Phased { phases: built, current: 0, left_in_phase: first_len, transitions: 0 })
+    }
+
+    /// Number of phases in the cycle.
+    pub fn phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Phase transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Index of the phase the next instruction comes from.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Iterator for Phased {
+    type Item = InstrRecord;
+
+    fn next(&mut self) -> Option<InstrRecord> {
+        if self.left_in_phase == 0 {
+            self.current = (self.current + 1) % self.phases.len();
+            self.left_in_phase = self.phases[self.current].0;
+            self.transitions += 1;
+        }
+        self.left_in_phase -= 1;
+        self.phases[self.current].1.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn phases_cycle_with_their_lengths() {
+        let mut t =
+            Phased::new(vec![(100, presets::ijpeg_spec()), (50, presets::compress_spec())], 1)
+                .unwrap();
+        let _: Vec<_> = t.by_ref().take(100).collect();
+        assert_eq!(t.current_phase(), 0, "still inside phase 0 until its budget is spent");
+        let _ = t.next();
+        assert_eq!(t.current_phase(), 1);
+        let _: Vec<_> = t.by_ref().take(49).collect();
+        let _ = t.next();
+        assert_eq!(t.current_phase(), 0, "cycled back");
+        assert_eq!(t.transitions(), 2);
+    }
+
+    #[test]
+    fn phase_streams_resume_not_restart() {
+        // When phase 0 comes around again it continues its own stream,
+        // so a phase's working set persists across the cycle.
+        let mut phased =
+            Phased::new(vec![(10, presets::ijpeg_spec()), (10, presets::ijpeg_spec())], 3).unwrap();
+        let first_visit: Vec<_> = phased.by_ref().take(10).collect();
+        let _skip_other_phase: Vec<_> = phased.by_ref().take(10).collect();
+        let second_visit: Vec<_> = phased.by_ref().take(10).collect();
+        let mut solo = presets::ijpeg(3);
+        let expected_first: Vec<_> = solo.by_ref().take(10).collect();
+        let expected_second: Vec<_> = solo.by_ref().take(10).collect();
+        assert_eq!(first_visit, expected_first);
+        assert_eq!(second_visit, expected_second);
+    }
+
+    #[test]
+    fn single_phase_is_transparent() {
+        let direct: Vec<_> = presets::gcc(9).take(300).collect();
+        let phased: Vec<_> =
+            Phased::new(vec![(77, presets::gcc_spec())], 9).unwrap().take(300).collect();
+        assert_eq!(direct, phased);
+    }
+
+    #[test]
+    fn all_phases_stay_in_asid_zero() {
+        let t =
+            Phased::new(vec![(30, presets::gcc_spec()), (30, presets::vortex_spec())], 5).unwrap();
+        for rec in t.take(200) {
+            assert_eq!(rec.pc.asid(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        let _ = Phased::new(vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase lengths must be positive")]
+    fn zero_length_phase_panics() {
+        let _ = Phased::new(vec![(0, presets::gcc_spec())], 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Workload specifications: the tunable model behind [`crate::SyntheticTrace`].
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vm_types::USER_SPACE_BYTES;
+
+/// The instruction-stream model.
+///
+/// Code is laid out as `functions` contiguous functions starting at
+/// `code_base`. Execution walks a function linearly; each instruction may
+/// (with `call_prob`) call another function chosen by a Zipf distribution
+/// (a few hot callees, a long tail — the classic profile of integer
+/// codes), and at loop boundaries the walker branches back with
+/// `loop_backedge_prob`, giving geometric iteration counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodeSpec {
+    /// Base user-space address of the text segment.
+    pub code_base: u64,
+    /// Number of functions in the program.
+    pub functions: u32,
+    /// Mean function length in instructions; actual lengths vary
+    /// uniformly in `[avg/2, 3*avg/2]`.
+    pub avg_fn_instrs: u32,
+    /// Probability that an instruction is a call (when depth allows).
+    pub call_prob: f64,
+    /// Maximum simulated call depth.
+    pub max_depth: u32,
+    /// Probability of re-executing a loop body at its back edge.
+    pub loop_backedge_prob: f64,
+    /// Mean loop-body length in instructions.
+    pub avg_loop_instrs: u32,
+    /// Zipf skew for callee selection; larger values concentrate calls on
+    /// fewer hot functions (1.0 is the classical Zipf distribution).
+    pub call_zipf_s: f64,
+}
+
+impl CodeSpec {
+    /// Total text-segment size in bytes (4-byte instructions), using the
+    /// mean function length.
+    pub fn approx_code_bytes(&self) -> u64 {
+        u64::from(self.functions) * u64::from(self.avg_fn_instrs) * 4
+    }
+}
+
+/// How a data region is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// A streaming walk with the given byte stride, wrapping at the region
+    /// end. High spatial locality (ijpeg's image buffers).
+    Sequential {
+        /// Bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Pick a page by a Zipf distribution over the region's pages, stay
+    /// on it for `dwell` accesses (temporal page locality — what the TLB
+    /// sees), and within the dwell re-randomize the offset every
+    /// `run_len` accesses (spatial locality — what cache lines see).
+    ///
+    /// * `zipf_s = 0` — uniform page choice (vortex-like, poor temporal
+    ///   locality); larger values concentrate on hot pages.
+    /// * `run_len = 1` — pointer-chase-like, poor spatial locality;
+    ///   larger runs restore spatial locality.
+    /// * `dwell` — accesses per page visit; real programs dwell for
+    ///   hundreds of references, so small values model page thrash.
+    RandomPage {
+        /// Zipf skew across the region's pages.
+        zipf_s: f64,
+        /// Accesses per page visit before re-picking a page.
+        dwell: u32,
+        /// Consecutive 4-byte words accessed per offset pick.
+        run_len: u32,
+    },
+    /// Accesses near the simulated stack pointer, which tracks call depth.
+    Stack,
+}
+
+/// One weighted data region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataRegion {
+    /// Base user-space address.
+    pub base: u64,
+    /// Region length in bytes.
+    pub size: u64,
+    /// Access pattern within the region.
+    pub pattern: AccessPattern,
+    /// Relative selection weight against the workload's other regions.
+    pub weight: f64,
+}
+
+/// The data-reference model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSpec {
+    /// Fraction of instructions that reference data (loads + stores).
+    pub data_ref_frac: f64,
+    /// Fraction of data references that are stores.
+    pub store_share: f64,
+    /// Top-of-stack address; the stack grows down from here.
+    pub stack_top: u64,
+    /// Bytes per simulated stack frame.
+    pub frame_bytes: u64,
+    /// The weighted regions data references choose among.
+    pub regions: Vec<DataRegion>,
+}
+
+/// A complete synthetic workload: code model + data model.
+///
+/// Build one directly or start from a [`crate::presets`] model and tweak:
+///
+/// ```
+/// use vm_trace::presets;
+///
+/// let mut spec = presets::gcc_spec();
+/// spec.code.functions /= 2; // half the code footprint
+/// let trace = spec.build(99).unwrap();
+/// assert!(trace.take(100).count() == 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable workload name (used in experiment output).
+    pub name: String,
+    /// The instruction-stream model.
+    pub code: CodeSpec,
+    /// The data-reference model.
+    pub data: DataSpec,
+}
+
+impl WorkloadSpec {
+    /// Validates the specification and instantiates its deterministic
+    /// trace generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the model is degenerate (empty code, code
+    /// or data escaping the 2 GB user space, zero-size or weightless
+    /// regions, probabilities outside `[0, 1]`).
+    pub fn build(&self, seed: u64) -> Result<crate::SyntheticTrace, SpecError> {
+        self.validate()?;
+        Ok(crate::SyntheticTrace::new(self.clone(), seed))
+    }
+
+    /// Checks the model without building a generator.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkloadSpec::build`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let fail = |what: &'static str| Err(SpecError { name: self.name.clone(), what });
+        let c = &self.code;
+        if c.functions == 0 || c.avg_fn_instrs == 0 {
+            return fail(
+                "code model must have at least one function with at least one instruction",
+            );
+        }
+        if c.max_depth == 0 {
+            return fail("max call depth must be at least 1");
+        }
+        if c.avg_loop_instrs == 0 {
+            return fail("loop length must be at least 1");
+        }
+        if c.avg_loop_instrs > (1 << 24) || c.avg_fn_instrs > (1 << 24) {
+            return fail("function and loop lengths above 2^24 instructions are not meaningful");
+        }
+        let code_end = c.code_base.saturating_add(2 * c.approx_code_bytes());
+        if code_end > USER_SPACE_BYTES {
+            return fail("text segment exceeds the 2 GB user space");
+        }
+        for p in [c.call_prob, c.loop_backedge_prob, self.data.data_ref_frac, self.data.store_share]
+        {
+            if !(0.0..=1.0).contains(&p) {
+                return fail("probabilities must lie in [0, 1]");
+            }
+        }
+        if c.loop_backedge_prob >= 1.0 {
+            return fail("a certain back edge would loop forever");
+        }
+        if self.data.regions.is_empty() {
+            return fail("data model needs at least one region");
+        }
+        if self.data.stack_top > USER_SPACE_BYTES
+            || self.data.frame_bytes < 4
+            || !self.data.frame_bytes.is_multiple_of(4)
+        {
+            return fail(
+                "stack must fit in user space with word-multiple frames of at least 4 bytes",
+            );
+        }
+        if (u64::from(c.max_depth) + 1).saturating_mul(self.data.frame_bytes) > self.data.stack_top
+        {
+            return fail("stack would underflow below address zero at max depth");
+        }
+        for r in &self.data.regions {
+            if r.size < 4 || !r.size.is_multiple_of(4) {
+                return fail("regions must hold at least one 4-byte word and be word-multiple");
+            }
+            if r.base.saturating_add(r.size) > USER_SPACE_BYTES {
+                return fail("region exceeds the 2 GB user space");
+            }
+            if r.weight <= 0.0 || !r.weight.is_finite() {
+                return fail("region weights must be positive and finite");
+            }
+            match r.pattern {
+                AccessPattern::Sequential { stride } if stride == 0 || stride > r.size => {
+                    return fail("sequential stride must be in 1..=region size");
+                }
+                AccessPattern::RandomPage { zipf_s, dwell, run_len } => {
+                    if run_len == 0 || dwell == 0 {
+                        return fail("dwell and run length must be at least 1");
+                    }
+                    if zipf_s < 0.0 || !zipf_s.is_finite() {
+                        return fail("zipf skew must be non-negative and finite");
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate data footprint: the sum of region sizes.
+    pub fn approx_data_bytes(&self) -> u64 {
+        self.data.regions.iter().map(|r| r.size).sum()
+    }
+}
+
+/// Error describing why a [`WorkloadSpec`] is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    name: String,
+    what: &'static str,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload spec `{}`: {}", self.name, self.what)
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn presets_validate() {
+        for spec in [presets::gcc_spec(), presets::vortex_spec(), presets::ijpeg_spec()] {
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_zero_functions() {
+        let mut s = presets::ijpeg_spec();
+        s.code.functions = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_code() {
+        let mut s = presets::ijpeg_spec();
+        s.code.functions = u32::MAX;
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("2 GB"));
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let mut s = presets::ijpeg_spec();
+        s.code.call_prob = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = presets::ijpeg_spec();
+        s.data.store_share = -0.1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_certain_backedge() {
+        let mut s = presets::ijpeg_spec();
+        s.code.loop_backedge_prob = 1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_regions() {
+        let mut s = presets::ijpeg_spec();
+        s.data.regions.clear();
+        assert!(s.validate().is_err());
+        let mut s = presets::ijpeg_spec();
+        s.data.regions[0].size = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_weight() {
+        let mut s = presets::ijpeg_spec();
+        s.data.regions[0].weight = 0.0;
+        assert!(s.validate().is_err());
+        s.data.regions[0].weight = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        let mut s = presets::ijpeg_spec();
+        s.data.regions[0].pattern = AccessPattern::Sequential { stride: 0 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_run_len() {
+        let mut s = presets::vortex_spec();
+        s.data.regions[0].pattern = AccessPattern::RandomPage { zipf_s: 0.5, dwell: 8, run_len: 0 };
+        assert!(s.validate().is_err());
+        s.data.regions[0].pattern = AccessPattern::RandomPage { zipf_s: 0.5, dwell: 0, run_len: 1 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let mut s = presets::ijpeg_spec();
+        s.data.stack_top = 100;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn footprints_are_plausible() {
+        let gcc = presets::gcc_spec();
+        assert!(gcc.code.approx_code_bytes() > 512 * 1024, "gcc should have a big text segment");
+        let ijpeg = presets::ijpeg_spec();
+        assert!(ijpeg.code.approx_code_bytes() < 256 * 1024, "ijpeg text should be small");
+        assert!(presets::vortex_spec().approx_data_bytes() > 4 << 20);
+    }
+
+    #[test]
+    fn error_display_names_the_workload() {
+        let mut s = presets::gcc_spec();
+        s.code.functions = 0;
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("gcc"));
+    }
+}

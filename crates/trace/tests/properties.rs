@@ -1,0 +1,110 @@
+//! Property-based tests of the workload model and trace format.
+
+use proptest::prelude::*;
+use vm_trace::{
+    read_trace, write_trace, AccessPattern, CodeSpec, DataRegion, DataSpec, InstrRecord,
+    WorkloadSpec,
+};
+use vm_types::{AccessKind, AddressSpace, MAddr};
+
+fn any_record() -> impl Strategy<Value = InstrRecord> {
+    let addr = (0u64..(1 << 31)).prop_map(|o| MAddr::user(o & !3));
+    (addr.clone(), prop::option::of((addr, any::<bool>()))).prop_map(|(pc, data)| match data {
+        None => InstrRecord::plain(pc),
+        Some((a, true)) => InstrRecord::store(pc, a),
+        Some((a, false)) => InstrRecord::load(pc, a),
+    })
+}
+
+fn any_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        (1u64..64).prop_map(|stride| AccessPattern::Sequential { stride: stride * 4 }),
+        (0u32..20, 1u32..200, 1u32..64).prop_map(|(s, dwell, run_len)| {
+            AccessPattern::RandomPage { zipf_s: f64::from(s) / 10.0, dwell, run_len }
+        }),
+        Just(AccessPattern::Stack),
+    ]
+}
+
+fn any_spec() -> impl Strategy<Value = WorkloadSpec> {
+    let code = (1u32..64, 8u32..512, 0u32..50, 1u32..16, 0u32..95, 2u32..64, 0u32..20).prop_map(
+        |(functions, avg_fn, call_pm, depth, backedge_pct, loop_len, zipf)| CodeSpec {
+            code_base: 0x40_0000,
+            functions,
+            avg_fn_instrs: avg_fn,
+            call_prob: f64::from(call_pm) / 1000.0,
+            max_depth: depth,
+            loop_backedge_prob: f64::from(backedge_pct) / 100.0,
+            avg_loop_instrs: loop_len,
+            call_zipf_s: f64::from(zipf) / 10.0,
+        },
+    );
+    let region = (0u64..1024, 1u64..512, any_pattern(), 1u32..100).prop_map(
+        |(base_mb, size_kb, pattern, weight)| DataRegion {
+            base: 0x1000_0000 + base_mb * (1 << 20),
+            size: size_kb * 4096,
+            pattern,
+            weight: f64::from(weight),
+        },
+    );
+    let data = (prop::collection::vec(region, 1..5), 0u32..100, 0u32..100).prop_map(
+        |(regions, refs_pct, stores_pct)| DataSpec {
+            data_ref_frac: f64::from(refs_pct) / 100.0,
+            store_share: f64::from(stores_pct) / 100.0,
+            stack_top: 0x7FFF_F000,
+            frame_bytes: 128,
+            regions,
+        },
+    );
+    (code, data).prop_map(|(code, data)| WorkloadSpec { name: "prop".into(), code, data })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_format_round_trips(records in prop::collection::vec(any_record(), 0..300)) {
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, records.clone()).unwrap();
+        prop_assert_eq!(n, records.len() as u64);
+        let back: Vec<_> = read_trace(buf.as_slice()).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn generated_specs_validate_and_generate(spec in any_spec(), seed in any::<u64>()) {
+        // Every spec from the generator is structurally valid...
+        spec.validate().expect("generated spec must validate");
+        // ...and produces a well-formed, deterministic stream.
+        let a: Vec<_> = spec.build(seed).unwrap().take(2_000).collect();
+        let b: Vec<_> = spec.build(seed).unwrap().take(2_000).collect();
+        prop_assert_eq!(&a, &b);
+        for rec in &a {
+            prop_assert_eq!(rec.pc.space(), AddressSpace::User);
+            prop_assert_eq!(rec.pc.offset() % 4, 0);
+            if let Some(d) = rec.data {
+                prop_assert_eq!(d.addr.space(), AddressSpace::User);
+                prop_assert!(d.addr.offset() < 1 << 31);
+                prop_assert!(d.kind == AccessKind::Load || d.kind == AccessKind::Store);
+            }
+        }
+    }
+
+    #[test]
+    fn data_fraction_tracks_the_spec(spec in any_spec(), seed in any::<u64>()) {
+        let n = 20_000usize;
+        let refs = spec.build(seed).unwrap().take(n).filter(|r| r.data.is_some()).count();
+        let frac = refs as f64 / n as f64;
+        // Binomial noise at n=20k is well under 0.02.
+        prop_assert!((frac - spec.data.data_ref_frac).abs() < 0.03,
+            "observed {} wanted {}", frac, spec.data.data_ref_frac);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ(spec in any_spec(), seed in any::<u64>()) {
+        prop_assume!(spec.data.data_ref_frac > 0.05);
+        let a: Vec<_> = spec.build(seed).unwrap().take(500).collect();
+        let b: Vec<_> = spec.build(seed ^ 0xDEAD_BEEF).unwrap().take(500).collect();
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Access and event classification enums shared across the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a simulated memory reference.
+///
+/// The paper's simulator algorithm (Section 3.1) distinguishes instruction
+/// fetches — which consult the I-TLB and I-caches — from loads and stores,
+/// which consult the D-TLB and D-caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An instruction fetch (I-TLB + I-cache path).
+    Fetch,
+    /// A data load (D-TLB + D-cache path).
+    Load,
+    /// A data store. The simulated caches are write-allocate/write-through,
+    /// so stores probe and fill exactly like loads.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for stores.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// Returns `true` for loads and stores (the D-side of the machine).
+    #[inline]
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::Fetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::Fetch => "fetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Which miss-handler level a VM event belongs to.
+///
+/// Mirrors the three handler tiers of Table 4: the *user-level* handler
+/// fields a TLB miss (or, in NOTLB, an L2 miss) on an application
+/// reference; the *kernel-level* handler fields a miss taken while the
+/// user-level handler ran; the *root-level* handler fields a miss taken in
+/// either of the others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HandlerLevel {
+    /// The user-level miss handler (`uhandler` / `upte-*` events).
+    User,
+    /// The kernel-level miss handler (`khandler` / `kpte-*` events).
+    Kernel,
+    /// The root-level miss handler (`rhandler` / `rpte-*` events).
+    Root,
+}
+
+impl HandlerLevel {
+    /// All levels in nesting order, outermost first.
+    pub const ALL: [HandlerLevel; 3] =
+        [HandlerLevel::User, HandlerLevel::Kernel, HandlerLevel::Root];
+
+    /// The Table 3 event-tag prefix (`u`, `k`, `r`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            HandlerLevel::User => "u",
+            HandlerLevel::Kernel => "k",
+            HandlerLevel::Root => "r",
+        }
+    }
+}
+
+impl fmt::Display for HandlerLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            HandlerLevel::User => "user",
+            HandlerLevel::Kernel => "kernel",
+            HandlerLevel::Root => "root",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where in the hierarchy a reference was satisfied.
+///
+/// The cost model of Tables 2 and 3 charges nothing for an L1 hit,
+/// 20 cycles for a reference that falls through to the L2 cache, and
+/// 500 cycles for one that falls through to main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// Satisfied by the L1 cache: no penalty.
+    L1Hit,
+    /// Missed L1, satisfied by the L2 cache (`*-L2` events).
+    L2Hit,
+    /// Missed both levels, satisfied by main memory (`*-MEM` events).
+    Memory,
+}
+
+impl MissClass {
+    /// Returns `true` unless the reference hit in the L1.
+    #[inline]
+    pub fn missed_l1(self) -> bool {
+        !matches!(self, MissClass::L1Hit)
+    }
+
+    /// Returns `true` when the reference went all the way to memory.
+    #[inline]
+    pub fn missed_l2(self) -> bool {
+        matches!(self, MissClass::Memory)
+    }
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MissClass::L1Hit => "L1-hit",
+            MissClass::L2Hit => "L2-hit",
+            MissClass::Memory => "memory",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_is_write_and_data() {
+        assert!(AccessKind::Store.is_write());
+        assert!(AccessKind::Store.is_data());
+        assert!(!AccessKind::Load.is_write());
+        assert!(AccessKind::Load.is_data());
+        assert!(!AccessKind::Fetch.is_data());
+    }
+
+    #[test]
+    fn miss_class_ordering_matches_severity() {
+        assert!(MissClass::L1Hit < MissClass::L2Hit);
+        assert!(MissClass::L2Hit < MissClass::Memory);
+        assert!(MissClass::Memory.missed_l1());
+        assert!(MissClass::Memory.missed_l2());
+        assert!(MissClass::L2Hit.missed_l1());
+        assert!(!MissClass::L2Hit.missed_l2());
+        assert!(!MissClass::L1Hit.missed_l1());
+    }
+
+    #[test]
+    fn handler_prefixes_match_table3_tags() {
+        assert_eq!(HandlerLevel::User.prefix(), "u");
+        assert_eq!(HandlerLevel::Kernel.prefix(), "k");
+        assert_eq!(HandlerLevel::Root.prefix(), "r");
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for k in [AccessKind::Fetch, AccessKind::Load, AccessKind::Store] {
+            assert!(!k.to_string().is_empty());
+        }
+        for l in HandlerLevel::ALL {
+            assert!(!l.to_string().is_empty());
+        }
+        for m in [MissClass::L1Hit, MissClass::L2Hit, MissClass::Memory] {
+            assert!(!m.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Model addresses, page numbers, and the simulated address-space map.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Log2 of the simulated page size. The paper fixes pages at 4 KB (Table 1).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// The simulated page size in bytes (4 KB, Table 1 of the paper).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Size of the simulated user virtual address space: 2 GB, as on MIPS,
+/// where the bottom half of the 4 GB space belongs to the user process.
+pub const USER_SPACE_BYTES: u64 = 1 << 31;
+
+/// Bit position of the address-space tag inside an [`MAddr`].
+const SPACE_SHIFT: u32 = 32;
+
+/// Bit position of the address-space identifier (ASID) inside an
+/// [`MAddr`]. ASIDs distinguish the *user* spaces of different processes
+/// in multiprogramming simulations; kernel and physical space are shared.
+const ASID_SHIFT: u32 = 34;
+
+/// The largest supported address-space identifier (8 ASID bits, like the
+/// 6–8-bit ASIDs of period MIPS parts).
+pub const MAX_ASID: u16 = 255;
+
+/// Which of the three simulated address spaces an [`MAddr`] lives in.
+///
+/// The paper's machines overlay these onto one 32-bit space (MIPS kuseg /
+/// kseg0 / kseg2); we keep them disjoint via a tag so that page numbers
+/// never collide, while the *cache index* still uses the low address bits
+/// of all three spaces uniformly (virtually-indexed caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AddressSpace {
+    /// User virtual addresses: `0 .. 2 GB`. Translated by the TLB.
+    User,
+    /// Mapped kernel virtual addresses (user page tables live here in the
+    /// Ultrix/Mach/NOTLB organizations). Translated by the TLB.
+    Kernel,
+    /// Unmapped physical addresses (root tables, hashed page tables,
+    /// handler code). Never translated; still cached.
+    Physical,
+}
+
+impl AddressSpace {
+    /// The tag value stored above bit 32 of an [`MAddr`].
+    #[inline]
+    const fn tag(self) -> u64 {
+        match self {
+            AddressSpace::User => 0,
+            AddressSpace::Kernel => 1,
+            AddressSpace::Physical => 2,
+        }
+    }
+
+    #[inline]
+    fn from_tag(tag: u64) -> AddressSpace {
+        match tag & 0b11 {
+            0 => AddressSpace::User,
+            1 => AddressSpace::Kernel,
+            2 => AddressSpace::Physical,
+            _ => unreachable!("invalid address-space tag {tag}"),
+        }
+    }
+
+    /// Returns `true` for spaces whose references require address
+    /// translation (and can therefore miss a TLB).
+    #[inline]
+    pub fn is_mapped(self) -> bool {
+        !matches!(self, AddressSpace::Physical)
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AddressSpace::User => "user",
+            AddressSpace::Kernel => "kernel",
+            AddressSpace::Physical => "physical",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A model address: a 32-bit offset within one of the three simulated
+/// [`AddressSpace`]s.
+///
+/// All simulated memory traffic — user fetches, loads and stores, handler
+/// instruction fetches, and PTE loads — is expressed as `MAddr`s, so the
+/// cache and TLB models need exactly one address type.
+///
+/// ```
+/// use vm_types::{AddressSpace, MAddr};
+///
+/// let pte = MAddr::physical(0x3000);
+/// assert!(!pte.space().is_mapped());
+/// assert_eq!(pte.offset(), 0x3000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MAddr(u64);
+
+impl MAddr {
+    /// Creates an address in the given space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in 32 bits — model addresses are
+    /// offsets within a 4 GB space, matching the paper's machines.
+    #[inline]
+    pub fn new(space: AddressSpace, offset: u64) -> MAddr {
+        assert!(offset < (1 << SPACE_SHIFT), "address offset {offset:#x} exceeds 32 bits");
+        MAddr(space.tag() << SPACE_SHIFT | offset)
+    }
+
+    /// Creates a user virtual address. See [`MAddr::new`] for panics.
+    #[inline]
+    pub fn user(offset: u64) -> MAddr {
+        MAddr::new(AddressSpace::User, offset)
+    }
+
+    /// Creates a mapped kernel virtual address. See [`MAddr::new`] for panics.
+    #[inline]
+    pub fn kernel(offset: u64) -> MAddr {
+        MAddr::new(AddressSpace::Kernel, offset)
+    }
+
+    /// Creates an unmapped physical address. See [`MAddr::new`] for panics.
+    #[inline]
+    pub fn physical(offset: u64) -> MAddr {
+        MAddr::new(AddressSpace::Physical, offset)
+    }
+
+    /// Creates a user virtual address in process `asid`'s address space.
+    /// `user_in(0, x)` is identical to `user(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asid` exceeds [`MAX_ASID`] or `offset` exceeds 32 bits.
+    #[inline]
+    pub fn user_in(asid: u16, offset: u64) -> MAddr {
+        assert!(asid <= MAX_ASID, "asid {asid} exceeds {MAX_ASID}");
+        let base = MAddr::new(AddressSpace::User, offset);
+        MAddr(base.0 | (u64::from(asid) << ASID_SHIFT))
+    }
+
+    /// The address-space identifier (0 for single-process traffic and
+    /// for the shared kernel/physical spaces).
+    #[inline]
+    pub fn asid(self) -> u16 {
+        (self.0 >> ASID_SHIFT) as u16
+    }
+
+    /// The address space this address lives in.
+    #[inline]
+    pub fn space(self) -> AddressSpace {
+        AddressSpace::from_tag(self.0 >> SPACE_SHIFT)
+    }
+
+    /// The 32-bit offset within the address space.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & ((1 << SPACE_SHIFT) - 1)
+    }
+
+    /// The raw 64-bit model value (space tag above bit 32). Cache models
+    /// index and tag on this value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number of this address, retaining the space tag so
+    /// that pages in different spaces never alias in a TLB.
+    #[inline]
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The byte offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the same-space (and same-ASID) address at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in 32 bits.
+    #[inline]
+    pub fn with_offset(self, offset: u64) -> MAddr {
+        assert!(offset < (1 << SPACE_SHIFT), "address offset {offset:#x} exceeds 32 bits");
+        MAddr(self.0 & !((1 << SPACE_SHIFT) - 1) | offset)
+    }
+
+    /// Returns this address advanced by `bytes`.
+    ///
+    /// (Named `add` deliberately for call-site readability; it is an
+    /// owned, infallible-by-construction advance, not an `Add` impl —
+    /// mixed-type `MAddr + u64` operator overloading would be more
+    /// surprising than helpful here.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result leaves the 32-bit space.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> MAddr {
+        self.with_offset(self.offset() + bytes)
+    }
+}
+
+impl fmt::Debug for MAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.asid() != 0 {
+            write!(f, "{}.{}:{:#010x}", self.space(), self.asid(), self.offset())
+        } else {
+            write!(f, "{}:{:#010x}", self.space(), self.offset())
+        }
+    }
+}
+
+impl fmt::Display for MAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A virtual page number, tagged with its address space (see [`MAddr::vpn`]).
+///
+/// `Vpn` is the key type of the TLB models: two pages at the same offset in
+/// different spaces compare unequal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vpn(u64);
+
+impl Vpn {
+    /// Reconstructs a page number from a space and an in-space page index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` addresses beyond the 4 GB space.
+    #[inline]
+    pub fn new(space: AddressSpace, index: u64) -> Vpn {
+        MAddr::new(space, index << PAGE_SHIFT).vpn()
+    }
+
+    /// The address space this page belongs to.
+    #[inline]
+    pub fn space(self) -> AddressSpace {
+        AddressSpace::from_tag(self.0 >> (SPACE_SHIFT - PAGE_SHIFT))
+    }
+
+    /// The page's address-space identifier.
+    #[inline]
+    pub fn asid(self) -> u16 {
+        (self.0 >> (ASID_SHIFT - PAGE_SHIFT)) as u16
+    }
+
+    /// The same page number with the ASID cleared — the key an
+    /// *untagged* TLB uses, which is why such TLBs must be flushed on
+    /// every context switch.
+    #[inline]
+    pub fn strip_asid(self) -> Vpn {
+        Vpn(self.0 & ((1 << (ASID_SHIFT - PAGE_SHIFT)) - 1))
+    }
+
+    /// The page index within its own address space (offset / 4 KB).
+    #[inline]
+    pub fn index_in_space(self) -> u64 {
+        self.0 & ((1 << (SPACE_SHIFT - PAGE_SHIFT)) - 1)
+    }
+
+    /// The address of the first byte of the page.
+    #[inline]
+    pub fn base(self) -> MAddr {
+        MAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The raw tagged page number. Useful for hashing.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn({}:{:#x})", self.space(), self.index_in_space())
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A physical page-frame number.
+///
+/// Frames matter to the PA-RISC organization (the hashed table stores the
+/// PFN in each 16-byte PTE and sizes itself from physical memory) and to
+/// the frame allocator; the virtually-addressed caches never see them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pfn(pub u32);
+
+impl Pfn {
+    /// The physical address of the first byte of the frame.
+    #[inline]
+    pub fn base(self) -> MAddr {
+        MAddr::physical(u64::from(self.0) << PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_round_trip_through_tags() {
+        for space in [AddressSpace::User, AddressSpace::Kernel, AddressSpace::Physical] {
+            assert_eq!(AddressSpace::from_tag(space.tag()), space);
+        }
+    }
+
+    #[test]
+    fn user_address_decomposes() {
+        let a = MAddr::user(0x1234_5678);
+        assert_eq!(a.space(), AddressSpace::User);
+        assert_eq!(a.offset(), 0x1234_5678);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.vpn().index_in_space(), 0x12345);
+    }
+
+    #[test]
+    fn same_offset_different_space_is_distinct() {
+        let u = MAddr::user(0x8000);
+        let k = MAddr::kernel(0x8000);
+        let p = MAddr::physical(0x8000);
+        assert_ne!(u, k);
+        assert_ne!(k, p);
+        assert_ne!(u.vpn(), k.vpn());
+        assert_ne!(k.vpn(), p.vpn());
+        // ...but their in-space offsets agree, so they index caches alike.
+        assert_eq!(u.offset(), k.offset());
+        assert_eq!(u.page_offset(), p.page_offset());
+    }
+
+    #[test]
+    fn vpn_base_round_trips() {
+        let a = MAddr::kernel(0xdead_b000);
+        assert_eq!(a.vpn().base(), a);
+        let b = MAddr::kernel(0xdead_b123);
+        assert_eq!(b.vpn().base(), a);
+    }
+
+    #[test]
+    fn vpn_new_round_trips() {
+        let vpn = Vpn::new(AddressSpace::Kernel, 0x1_0000);
+        assert_eq!(vpn.space(), AddressSpace::Kernel);
+        assert_eq!(vpn.index_in_space(), 0x1_0000);
+    }
+
+    #[test]
+    fn add_stays_in_space() {
+        let a = MAddr::physical(0x1000).add(0x234);
+        assert_eq!(a.space(), AddressSpace::Physical);
+        assert_eq!(a.offset(), 0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32 bits")]
+    fn oversized_offset_panics() {
+        let _ = MAddr::user(1 << 32);
+    }
+
+    #[test]
+    fn pfn_base_is_physical() {
+        let f = Pfn(3);
+        assert_eq!(f.base(), MAddr::physical(3 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn mapped_spaces() {
+        assert!(AddressSpace::User.is_mapped());
+        assert!(AddressSpace::Kernel.is_mapped());
+        assert!(!AddressSpace::Physical.is_mapped());
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", MAddr::user(0x10)), "user:0x00000010");
+        assert_eq!(format!("{}", Pfn(1)), "pfn(0x1)");
+        assert!(!format!("{}", MAddr::kernel(0).vpn()).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod asid_tests {
+    use super::*;
+
+    #[test]
+    fn asid_round_trips_and_defaults_to_zero() {
+        let a = MAddr::user_in(7, 0x1234);
+        assert_eq!(a.asid(), 7);
+        assert_eq!(a.offset(), 0x1234);
+        assert_eq!(a.space(), AddressSpace::User);
+        assert_eq!(MAddr::user(0x1234).asid(), 0);
+        assert_eq!(MAddr::user_in(0, 0x1234), MAddr::user(0x1234));
+        assert_eq!(MAddr::kernel(0x99).asid(), 0);
+    }
+
+    #[test]
+    fn same_offset_different_asid_is_distinct() {
+        let p0 = MAddr::user_in(0, 0x4000);
+        let p1 = MAddr::user_in(1, 0x4000);
+        assert_ne!(p0, p1);
+        assert_ne!(p0.vpn(), p1.vpn());
+        // ...but they index caches identically (same low bits) and the
+        // untagged-TLB key collapses them (the aliasing hazard flushing
+        // protects against).
+        assert_eq!(p0.offset(), p1.offset());
+        assert_eq!(p0.vpn().strip_asid(), p1.vpn().strip_asid());
+        assert_eq!(p1.vpn().asid(), 1);
+        assert_eq!(p1.vpn().index_in_space(), 4);
+    }
+
+    #[test]
+    fn vpn_space_survives_asid_bits() {
+        let v = MAddr::user_in(255, 0x7FFF_F000).vpn();
+        assert_eq!(v.space(), AddressSpace::User);
+        assert_eq!(v.asid(), 255);
+        assert_eq!(v.base().asid(), 255);
+    }
+
+    #[test]
+    fn display_shows_asid_when_nonzero() {
+        assert_eq!(format!("{}", MAddr::user_in(3, 0x10)), "user.3:0x00000010");
+        assert_eq!(format!("{}", MAddr::user(0x10)), "user:0x00000010");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 255")]
+    fn oversized_asid_panics() {
+        let _ = MAddr::user_in(300, 0);
+    }
+}
+
+#[cfg(test)]
+mod offset_tests {
+    use super::*;
+
+    #[test]
+    fn with_offset_preserves_space_and_asid() {
+        let a = MAddr::user_in(9, 0x1234);
+        let b = a.with_offset(0x4000);
+        assert_eq!(b.asid(), 9);
+        assert_eq!(b.space(), AddressSpace::User);
+        assert_eq!(b.offset(), 0x4000);
+    }
+
+    #[test]
+    fn add_preserves_asid() {
+        let a = MAddr::user_in(5, 0x1000).add(0x40);
+        assert_eq!(a.asid(), 5);
+        assert_eq!(a.offset(), 0x1040);
+    }
+}

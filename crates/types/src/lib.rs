@@ -1,0 +1,45 @@
+//! Common address, page, and access types shared by every crate in the
+//! Jacob & Mudge (ASPLOS 1998) virtual-memory study reproduction.
+//!
+//! The paper simulates 32-bit machines (MIPS, x86, PA-RISC) whose memory
+//! traffic flows through *virtually addressed* caches. Handler code and
+//! page-table data live partly in mapped virtual space and partly in
+//! unmapped ("physical") space, yet all of it contends for the same cache
+//! frames. To model that faithfully with zero ambiguity this crate defines
+//! a single 64-bit *model address* ([`MAddr`]) that carries an explicit
+//! [`AddressSpace`] tag in its upper bits:
+//!
+//! * [`AddressSpace::User`] — the 2 GB user virtual address space,
+//! * [`AddressSpace::Kernel`] — the mapped kernel virtual space
+//!   (Mach's 4 GB kernel space, Ultrix's kseg2, ...),
+//! * [`AddressSpace::Physical`] — unmapped physical memory (kseg0-style
+//!   window; root page tables, hashed page tables, handler code).
+//!
+//! Caches index and tag on the full model address, so a PTE load from
+//! physical space genuinely displaces user data that maps to the same
+//! direct-mapped cache frame — the mechanism behind the paper's
+//! cache-pollution results — while never falsely aliasing with it.
+//!
+//! # Example
+//!
+//! ```
+//! use vm_types::{AddressSpace, MAddr, PAGE_SIZE};
+//!
+//! let va = MAddr::user(0x0040_1234);
+//! assert_eq!(va.space(), AddressSpace::User);
+//! assert_eq!(va.page_offset(), 0x234);
+//! assert_eq!(va.vpn().index_in_space(), 0x401);
+//! assert_eq!(va.vpn().base().offset(), 0x0040_1000);
+//! assert_eq!(PAGE_SIZE, 4096);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod rng;
+
+pub use access::{AccessKind, HandlerLevel, MissClass};
+pub use addr::{AddressSpace, MAddr, Pfn, Vpn, MAX_ASID, PAGE_SHIFT, PAGE_SIZE, USER_SPACE_BYTES};
+pub use rng::SplitMix64;

@@ -1,0 +1,78 @@
+//! Property-based tests for the address and RNG primitives.
+
+use proptest::prelude::*;
+use vm_types::{AddressSpace, MAddr, SplitMix64, Vpn, PAGE_SIZE};
+
+fn any_space() -> impl Strategy<Value = AddressSpace> {
+    prop_oneof![Just(AddressSpace::User), Just(AddressSpace::Kernel), Just(AddressSpace::Physical),]
+}
+
+proptest! {
+    #[test]
+    fn address_decomposition_round_trips(space in any_space(), offset in 0u64..(1 << 32)) {
+        let a = MAddr::new(space, offset);
+        prop_assert_eq!(a.space(), space);
+        prop_assert_eq!(a.offset(), offset);
+        // vpn * page + page_offset reconstructs the address.
+        prop_assert_eq!(a.vpn().base().offset() + a.page_offset(), offset);
+        prop_assert_eq!(a.vpn().space(), space);
+    }
+
+    #[test]
+    fn raw_encoding_is_injective(
+        s1 in any_space(), o1 in 0u64..(1 << 32),
+        s2 in any_space(), o2 in 0u64..(1 << 32),
+    ) {
+        let a = MAddr::new(s1, o1);
+        let b = MAddr::new(s2, o2);
+        prop_assert_eq!(a.raw() == b.raw(), a == b);
+    }
+
+    #[test]
+    fn same_page_iff_same_vpn(space in any_space(), base in 0u64..(1 << 20), d1 in 0u64..4096, d2 in 0u64..4096) {
+        let a = MAddr::new(space, base * PAGE_SIZE + d1);
+        let b = MAddr::new(space, base * PAGE_SIZE + d2);
+        prop_assert_eq!(a.vpn(), b.vpn());
+    }
+
+    #[test]
+    fn vpn_new_round_trips(space in any_space(), index in 0u64..(1 << 20)) {
+        let vpn = Vpn::new(space, index);
+        prop_assert_eq!(vpn.index_in_space(), index);
+        prop_assert_eq!(vpn.space(), space);
+        prop_assert_eq!(vpn.base().vpn(), vpn);
+    }
+
+    #[test]
+    fn add_preserves_space_and_advances(space in any_space(), offset in 0u64..(1 << 31), delta in 0u64..(1 << 20)) {
+        let a = MAddr::new(space, offset).add(delta);
+        prop_assert_eq!(a.space(), space);
+        prop_assert_eq!(a.offset(), offset + delta);
+    }
+
+    #[test]
+    fn rng_bounded_draws_stay_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_unit_floats_stay_unit(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_seed_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

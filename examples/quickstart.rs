@@ -1,0 +1,63 @@
+//! Quickstart: simulate one workload on all six systems and print the
+//! paper's headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [instructions]
+//! ```
+//!
+//! `workload` is `gcc`, `vortex` or `ijpeg` (default `gcc`);
+//! `instructions` defaults to 2,000,000.
+
+use std::error::Error;
+
+use jacob_mudge_vm::core::cost::CostModel;
+use jacob_mudge_vm::core::{simulate, SimConfig, SystemKind};
+use jacob_mudge_vm::trace::presets;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let workload_name = args.next().unwrap_or_else(|| "gcc".to_owned());
+    let instructions: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2_000_000);
+    let workload = presets::by_name(&workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}` (gcc|vortex|ijpeg)"))?;
+
+    println!(
+        "Simulating {instructions} instructions of the `{}` model on every system",
+        workload.name
+    );
+    println!("(16 KB L1s, 1 MB-per-side L2s, 64/128-byte lines, 128-entry TLBs)\n");
+
+    let cost = CostModel::default(); // 50-cycle interrupts
+    println!(
+        "{:8}  {:>8}  {:>8}  {:>8}  {:>9}  {:>10}",
+        "system", "MCPI", "VMCPI", "int CPI", "total CPI", "VM overhead"
+    );
+    let mut base_cpi = None;
+    let order = std::iter::once(SystemKind::Base).chain(SystemKind::VM_SYSTEMS);
+    for system in order {
+        let config = SimConfig::paper_default(system);
+        let trace = workload.build(42)?;
+        let report = simulate(&config, trace, instructions / 4, instructions)?;
+        let total = report.total_cpi(&cost);
+        if system == SystemKind::Base {
+            base_cpi = Some(total);
+        }
+        let overhead =
+            base_cpi.map(|b| format!("{:+.1}%", 100.0 * (total - b) / b)).unwrap_or_default();
+        println!(
+            "{:8}  {:8.4}  {:8.4}  {:8.4}  {:9.4}  {:>10}",
+            system.label(),
+            report.mcpi(&cost).total(),
+            report.vmcpi(&cost).total(),
+            report.interrupt_cpi(&cost),
+            total,
+            if system == SystemKind::Base { "baseline".to_owned() } else { overhead },
+        );
+    }
+
+    println!(
+        "\nNote: BASE runs the same trace with no VM at all; every other row's\n\
+         MCPI excess over BASE is cache pollution inflicted by the VM handlers."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Exploring how workload character drives VM overhead.
+//!
+//! The paper's three benchmarks differ in exactly the properties a VM
+//! system cares about: code footprint, data-page working set, and
+//! spatial locality. This example builds a *parameter ladder* between
+//! ijpeg-like and vortex-like behaviour by shrinking one knob at a time —
+//! page dwell (temporal page locality) — and shows VM overhead climbing
+//! as the TLB loses its grip, for both a software-managed and a
+//! hardware-managed MMU.
+//!
+//! ```text
+//! cargo run --release --example workload_explorer
+//! ```
+
+use std::error::Error;
+
+use jacob_mudge_vm::core::cost::CostModel;
+use jacob_mudge_vm::core::{simulate, SimConfig, SystemKind};
+use jacob_mudge_vm::trace::presets;
+use jacob_mudge_vm::trace::{AccessPattern, TraceStats};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cost = CostModel::default();
+    println!("How temporal page locality (dwell) drives VM overhead\n");
+    println!(
+        "{:>6}  {:>10}  {:>14}  {:>14}  {:>14}",
+        "dwell", "data pages", "ULTRIX VM+int", "INTEL VM+int", "NOTLB VM+int"
+    );
+
+    for dwell in [512u32, 160, 64, 24, 8] {
+        // Start from the vortex model and set the object store's dwell.
+        let mut spec = presets::vortex_spec();
+        spec.name = format!("vortex-dwell{dwell}");
+        for region in &mut spec.data.regions {
+            if let AccessPattern::RandomPage { dwell: d, .. } = &mut region.pattern {
+                *d = dwell;
+            }
+        }
+
+        let stats = TraceStats::analyze(spec.build(7)?.take(500_000));
+        let mut row = format!("{dwell:>6}  {:>10}", stats.data_pages);
+        for system in [SystemKind::Ultrix, SystemKind::Intel, SystemKind::NoTlb] {
+            let report =
+                simulate(&SimConfig::paper_default(system), spec.build(7)?, 400_000, 1_200_000)?;
+            let overhead = report.vmcpi(&cost).total() + report.interrupt_cpi(&cost);
+            row.push_str(&format!("  {overhead:>14.5}"));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nShorter dwells mean more page transitions per instruction: the\n\
+         software-managed TLB pays an interrupt and handler per transition,\n\
+         the hardware walker only its seven cycles, and the TLB-less system\n\
+         reacts only through its caches — three different slopes, one knob."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # jacob-mudge-vm
+//!
+//! A reproduction of Bruce L. Jacob and Trevor N. Mudge, *"A Look at
+//! Several Memory Management Units, TLB-Refill Mechanisms, and Page Table
+//! Organizations"*, ASPLOS VIII, 1998.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`types`] — addresses, pages, access kinds ([`vm_types`]),
+//! * [`trace`] — workloads and traces ([`vm_trace`]),
+//! * [`cache`] — cache models ([`vm_cache`]),
+//! * [`tlb`] — TLB models ([`vm_tlb`]),
+//! * [`ptable`] — page-table organizations ([`vm_ptable`]),
+//! * [`core`] — the simulator ([`vm_core`]),
+//! * [`experiments`] — figure/table drivers ([`vm_experiments`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use jacob_mudge_vm::core::{simulate, SimConfig, SystemKind};
+//! use jacob_mudge_vm::core::cost::CostModel;
+//! use jacob_mudge_vm::trace::presets;
+//!
+//! # fn main() -> Result<(), jacob_mudge_vm::core::BuildError> {
+//! let config = SimConfig::paper_default(SystemKind::Intel);
+//! let report = simulate(&config, presets::gcc(42), 50_000, 200_000)?;
+//! println!("INTEL VMCPI on gcc: {:.4}", report.vmcpi(&CostModel::default()).total());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `repro` binary in
+//! [`experiments`] for the full evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vm_cache as cache;
+pub use vm_core as core;
+pub use vm_experiments as experiments;
+pub use vm_ptable as ptable;
+pub use vm_tlb as tlb;
+pub use vm_trace as trace;
+pub use vm_types as types;

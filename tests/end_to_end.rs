@@ -1,0 +1,145 @@
+//! End-to-end integration tests: workload generation through simulation
+//! to reported metrics, across every crate boundary.
+
+use jacob_mudge_vm::core::cost::CostModel;
+use jacob_mudge_vm::core::{simulate, SimConfig, SystemKind};
+use jacob_mudge_vm::trace::{presets, read_trace, write_trace};
+
+const WARMUP: u64 = 100_000;
+const MEASURE: u64 = 400_000;
+
+fn run(system: SystemKind, seed: u64) -> jacob_mudge_vm::core::SimReport {
+    simulate(&SimConfig::paper_default(system), presets::gcc(seed), WARMUP, MEASURE).unwrap()
+}
+
+#[test]
+fn all_paper_systems_run_to_completion() {
+    for system in SystemKind::PAPER {
+        let report = run(system, 1);
+        assert_eq!(report.counts.user_instrs, MEASURE, "{system}");
+        assert_eq!(report.system, system.label());
+    }
+}
+
+#[test]
+fn base_is_the_floor_for_every_metric() {
+    let cost = CostModel::default();
+    let base = run(SystemKind::Base, 2);
+    assert_eq!(base.counts.total_interrupts(), 0);
+    assert_eq!(base.vmcpi(&cost).total(), 0.0);
+    for system in SystemKind::VM_SYSTEMS {
+        let report = run(system, 2);
+        assert!(
+            report.total_cpi(&cost) > base.total_cpi(&cost),
+            "{system} should cost more than BASE"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    for system in [SystemKind::Ultrix, SystemKind::PaRisc, SystemKind::NoTlb] {
+        let a = run(system, 3);
+        let b = run(system, 3);
+        assert_eq!(a.counts, b.counts, "{system}");
+        assert_eq!(a.itlb, b.itlb);
+        assert_eq!(a.dtlb, b.dtlb);
+    }
+}
+
+#[test]
+fn recorded_trace_replays_identically_through_the_simulator() {
+    // Record a slice of the gcc model to the binary format, replay it,
+    // and verify the simulator sees exactly the same workload.
+    let n = 120_000usize;
+    let mut buf = Vec::new();
+    write_trace(&mut buf, presets::gcc(11).take(n)).unwrap();
+    let replayed: Vec<_> = read_trace(buf.as_slice()).unwrap().collect::<Result<_, _>>().unwrap();
+    let config = SimConfig::paper_default(SystemKind::Ultrix);
+    let direct = simulate(&config, presets::gcc(11).take(n), 0, n as u64).unwrap();
+    let from_file = simulate(&config, replayed, 0, n as u64).unwrap();
+    assert_eq!(direct.counts, from_file.counts);
+}
+
+#[test]
+fn interrupt_counts_reconcile_with_handler_invocations() {
+    // Every software handler invocation takes exactly one precise
+    // interrupt; hardware walks take none.
+    let ultrix = run(SystemKind::Ultrix, 4);
+    assert_eq!(
+        ultrix.counts.total_interrupts(),
+        ultrix.counts.total_handler_invocations(),
+        "ULTRIX: one interrupt per handler"
+    );
+    let intel = run(SystemKind::Intel, 4);
+    assert_eq!(intel.counts.total_interrupts(), 0);
+    assert!(intel.counts.total_handler_invocations() > 0);
+}
+
+#[test]
+fn pte_load_classes_nest_inclusively() {
+    for system in SystemKind::VM_SYSTEMS {
+        let r = run(system, 5);
+        for lvl in 0..3 {
+            assert!(
+                r.counts.pte_mem[lvl] <= r.counts.pte_l2[lvl],
+                "{system} level {lvl}: a memory-bound load also missed the L1"
+            );
+            assert!(
+                r.counts.pte_l2[lvl] <= r.counts.pte_loads[lvl],
+                "{system} level {lvl}: L1 misses cannot exceed total loads"
+            );
+        }
+    }
+}
+
+#[test]
+fn tlb_lookup_counts_match_reference_counts() {
+    // For INTEL (no nested probes), TLB lookups equal user references:
+    // one I-TLB lookup per instruction, one D-TLB lookup per load/store.
+    let r = run(SystemKind::Intel, 6);
+    let itlb = r.itlb.unwrap();
+    let dtlb = r.dtlb.unwrap();
+    assert_eq!(itlb.lookups, r.counts.user_instrs);
+    assert_eq!(dtlb.lookups, r.counts.user_loads + r.counts.user_stores);
+}
+
+#[test]
+fn mcpi_reconciles_with_cache_counters_for_base() {
+    // With no VM, the report's user-side miss counts are exactly the
+    // cache hierarchies' counters.
+    let r = run(SystemKind::Base, 7);
+    assert_eq!(r.counts.l1i_misses, r.icache.l1.misses());
+    assert_eq!(r.counts.l2i_misses, r.icache.l2.misses());
+    assert_eq!(r.counts.l1d_misses, r.dcache.l1.misses());
+    assert_eq!(r.counts.l2d_misses, r.dcache.l2.misses());
+}
+
+#[test]
+fn notlb_handler_rate_tracks_l2_misses() {
+    let r = run(SystemKind::NoTlb, 8);
+    assert_eq!(
+        r.counts.handler_invocations[0],
+        r.counts.l2i_misses + r.counts.l2d_misses,
+        "NOTLB user handlers fire exactly on user L2 misses"
+    );
+}
+
+#[test]
+fn interrupt_cost_is_a_pure_post_hoc_scaling() {
+    let r = run(SystemKind::Mach, 9);
+    let i10 = r.interrupt_cpi(&CostModel::paper(10));
+    let i200 = r.interrupt_cpi(&CostModel::paper(200));
+    assert!((i200 - 20.0 * i10).abs() < 1e-12);
+    // ...and does not perturb VMCPI.
+    assert_eq!(r.vmcpi(&CostModel::paper(10)).total(), r.vmcpi(&CostModel::paper(200)).total());
+}
+
+#[test]
+fn reports_serialize_to_json_and_back() {
+    let r = run(SystemKind::PaRisc, 10);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: jacob_mudge_vm::core::SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.counts, r.counts);
+    assert_eq!(back.system, r.system);
+}

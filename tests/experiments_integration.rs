@@ -1,0 +1,127 @@
+//! Integration tests over the experiment drivers: every figure/table
+//! module runs end-to-end at a reduced scale and its structural output
+//! stays well-formed. (The full-scale claim checks live in the `repro`
+//! binary and EXPERIMENTS.md; `tests/paper_shapes.rs` pins the headline
+//! orderings.)
+
+use vm_core::SystemKind;
+use vm_experiments::RunScale;
+use vm_experiments::{
+    ablations, fig6, fig8, interrupts, mcpi, multiprog, suite, tables, tlbsize, total,
+};
+use vm_trace::presets;
+
+const TINY: RunScale = RunScale { warmup: 30_000, measure: 120_000 };
+
+#[test]
+fn tables_render_consistently() {
+    let all = tables::render_all();
+    for needle in ["Table 1", "Table 2", "Table 3", "Table 4", "500 instrs", "7 cycles"] {
+        assert!(all.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn fig6_end_to_end() {
+    let mut cfg = fig6::Config::quick(presets::gcc_spec());
+    cfg.l1_sizes = vec![4 << 10, 32 << 10];
+    cfg.line_pairs = vec![(64, 128)];
+    cfg.l2_sizes = vec![512 << 10];
+    cfg.scale = TINY;
+    let r = fig6::run(&cfg);
+    assert_eq!(r.points.len(), cfg.systems.len() * 2);
+    let rendered = r.render();
+    for system in SystemKind::VM_SYSTEMS {
+        assert!(rendered.contains(system.label()), "missing {system}");
+    }
+    // Charts are embedded: axis and legend markers present.
+    assert!(rendered.contains("+----"));
+    assert!(rendered.contains("* 64/128"));
+    assert_eq!(r.to_csv().lines().count(), r.points.len() + 1);
+}
+
+#[test]
+fn fig8_end_to_end() {
+    let mut cfg = fig8::Config::quick(presets::vortex_spec());
+    cfg.l1_sizes = vec![16 << 10];
+    cfg.systems = vec![SystemKind::Ultrix, SystemKind::Intel, SystemKind::NoTlb];
+    cfg.scale = TINY;
+    let r = fig8::run(&cfg);
+    assert_eq!(r.bars.len(), 3);
+    let claims = r.claims();
+    assert!(
+        claims.iter().any(|c| c.statement.contains("INTEL takes no interrupts") && c.holds),
+        "{claims:?}"
+    );
+}
+
+#[test]
+fn fig10_through_fig13_end_to_end() {
+    let workloads = vec![presets::gcc_spec()];
+
+    let mut c10 = interrupts::Config::paper(workloads.clone());
+    c10.systems = vec![SystemKind::Ultrix, SystemKind::Intel];
+    c10.scale = TINY;
+    let r10 = interrupts::run(&c10);
+    assert!(r10.claims().iter().any(|c| c.holds));
+
+    let mut c11 = tlbsize::Config::paper(workloads.clone());
+    c11.systems = vec![SystemKind::Ultrix];
+    c11.entries = vec![32, 128];
+    c11.scale = TINY;
+    let r11 = tlbsize::run(&c11);
+    assert_eq!(r11.points.len(), 2);
+    assert!(r11.points[0].vmcpi > r11.points[1].vmcpi, "32-entry TLB must cost more");
+
+    let mut c12 = mcpi::Config::paper(workloads.clone());
+    c12.systems = vec![SystemKind::Ultrix];
+    c12.scale = TINY;
+    let r12 = mcpi::run(&c12);
+    assert_eq!(r12.rows.len(), 1);
+    assert!(r12.rows[0].inflicted() > 0.0, "handlers must pollute the caches");
+
+    let mut c13 = total::Config::paper(workloads);
+    c13.systems = vec![SystemKind::Ultrix];
+    c13.scale = TINY;
+    let r13 = total::run(&c13);
+    assert!(r13.rows[0].with_inflicted_pct >= r13.rows[0].direct_pct);
+    assert!(r13.rows[0].with_interrupts_pct[2] > r13.rows[0].with_interrupts_pct[0]);
+}
+
+#[test]
+fn every_ablation_runs_and_renders() {
+    for ablation in ablations::Ablation::ALL {
+        let mut cfg = ablations::Config::new(ablation, vec![presets::gcc_spec()]);
+        cfg.scale = TINY;
+        let r = ablations::run(&cfg);
+        assert!(!r.rows.is_empty(), "{}", ablation.name());
+        assert!(r.render().contains(ablation.name()));
+        assert!(r.to_csv().lines().count() > 1);
+    }
+}
+
+#[test]
+fn suite_aggregates_multiple_workloads() {
+    let mut cfg =
+        suite::Config::default_suite(vec![presets::compress_spec(), presets::ijpeg_spec()]);
+    cfg.systems = vec![SystemKind::Ultrix, SystemKind::Intel];
+    cfg.seeds = vec![1, 2];
+    cfg.scale = TINY;
+    let r = suite::run(&cfg);
+    assert_eq!(r.cells.len(), 4);
+    assert!(r.render().contains("compress"));
+}
+
+#[test]
+fn multiprogramming_experiment_shows_the_flush_cost() {
+    let mut cfg =
+        multiprog::Config::default_mix(vec![presets::ijpeg_spec(), presets::compress_spec()]);
+    cfg.quanta = vec![5_000];
+    cfg.systems = vec![SystemKind::Ultrix];
+    cfg.scale = TINY;
+    let r = multiprog::run(&cfg);
+    assert_eq!(r.rows.len(), 2);
+    let tagged = r.rows.iter().find(|x| x.flushes == 0).unwrap();
+    let untagged = r.rows.iter().find(|x| x.flushes > 0).unwrap();
+    assert!(untagged.vm_total > tagged.vm_total);
+}

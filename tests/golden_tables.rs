@@ -1,0 +1,68 @@
+//! Golden tests pinning the regenerated Tables 1–4 to the paper's
+//! published values. These are pure-constant renders (no simulation), so
+//! any drift means the simulator's parameters no longer match the paper.
+
+use jacob_mudge_vm::experiments::tables;
+
+#[test]
+fn table1_matches_the_paper_verbatim_facts() {
+    let t = tables::table1();
+    // Table 1's rows, as printed in the paper.
+    let facts = [
+        "1K, 2K, 4K, 8K, 16K, 32K, 64K, 128K (per side)",
+        "512K, 1M, 2M (per side)",
+        "16 bytes, 32 bytes, 64 bytes, 128 bytes",
+        "128-entry I-TLB / 128-entry D-TLB",
+        "4 KB",
+        "10, 50, 200 cycles",
+        "ULTRIX, MACH, INTEL, PA-RISC, NOTLB, BASE",
+        "16 protected slots",
+    ];
+    for fact in facts {
+        assert!(t.contains(fact), "Table 1 drifted: missing `{fact}`\n{t}");
+    }
+}
+
+#[test]
+fn table2_matches_the_papers_costs() {
+    let t = tables::table2();
+    for row in ["L1i-miss", "L1d-miss", "L2i-miss", "L2d-miss"] {
+        assert!(t.contains(row), "missing {row}");
+    }
+    assert_eq!(t.matches("20 cycles").count(), 2, "two L1 rows at 20 cycles");
+    assert_eq!(t.matches("500 cycles").count(), 2, "two L2 rows at 500 cycles");
+}
+
+#[test]
+fn table3_matches_the_papers_event_taxonomy() {
+    let t = tables::table3();
+    // All eleven tags, with the handler rows marked variable.
+    assert_eq!(t.matches("variable").count(), 3);
+    assert_eq!(t.matches("-L2").count(), 4, "upte/kpte/rpte/handler L2 rows");
+    assert_eq!(t.matches("-MEM").count(), 4);
+}
+
+#[test]
+fn table4_matches_the_papers_handler_costs() {
+    let t = tables::table4();
+    let facts = [
+        ("ULTRIX", "10 instrs, 1 PTE load"),
+        ("MACH", "500 instrs, 10 \"admin\" loads + 1 PTE load"),
+        ("INTEL", "7 cycles, 2 PTE loads"),
+        ("PA-RISC", "20 instrs, variable # PTE loads"),
+        ("NOTLB", "20 instrs, 1 PTE load"),
+    ];
+    for (system, cost) in facts {
+        assert!(t.contains(system) && t.contains(cost), "Table 4 drifted for {system}: {t}");
+    }
+    // Systems without kernel/root handlers say so.
+    assert!(t.matches("n.a.").count() >= 6);
+}
+
+#[test]
+fn hashed_geometry_preserves_the_papers_ratio() {
+    let t = tables::hashed_geometry();
+    assert!(t.contains("8M"));
+    assert!(t.contains("4096"));
+    assert_eq!(t.matches("2:1").count(), 2, "both configurations keep the paper's ratio");
+}

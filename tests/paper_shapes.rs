@@ -1,0 +1,129 @@
+//! Shape-level reproduction tests: the paper's headline orderings and
+//! crossovers must hold on moderate-length runs. These are the same
+//! statements the `repro` binary checks as [`vm_experiments::Claim`]s,
+//! pinned here so `cargo test` guards them.
+
+use jacob_mudge_vm::core::cost::CostModel;
+use jacob_mudge_vm::core::{simulate, SimConfig, SystemKind};
+use jacob_mudge_vm::trace::presets;
+use jacob_mudge_vm::trace::WorkloadSpec;
+
+const WARMUP: u64 = 500_000;
+const MEASURE: u64 = 1_500_000;
+
+fn vm_total(system: SystemKind, workload: &WorkloadSpec) -> f64 {
+    let cost = CostModel::default();
+    let report =
+        simulate(&SimConfig::paper_default(system), workload.build(42).unwrap(), WARMUP, MEASURE)
+            .unwrap();
+    report.vmcpi(&cost).total() + report.interrupt_cpi(&cost)
+}
+
+#[test]
+fn intel_beats_the_software_schemes_on_gcc() {
+    // Section 1: "The x86 memory-management organization ... outperforms
+    // other schemes" (once interrupt cost is counted).
+    let gcc = presets::gcc_spec();
+    let intel = vm_total(SystemKind::Intel, &gcc);
+    for system in [SystemKind::Ultrix, SystemKind::Mach, SystemKind::PaRisc, SystemKind::NoTlb] {
+        let other = vm_total(system, &gcc);
+        assert!(intel < other, "INTEL ({intel:.5}) should beat {system} ({other:.5}) on gcc");
+    }
+}
+
+#[test]
+fn inverted_table_wins_on_vortex_hierarchical_on_gcc() {
+    // Section 4.2: the PA-RISC inverted table fits the caches better than
+    // the hierarchical tables for vortex, while gcc shows the opposite.
+    let vortex = presets::vortex_spec();
+    let gcc = presets::gcc_spec();
+    let pa_vortex = vm_total(SystemKind::PaRisc, &vortex);
+    let ux_vortex = vm_total(SystemKind::Ultrix, &vortex);
+    assert!(
+        pa_vortex < ux_vortex,
+        "PA-RISC ({pa_vortex:.5}) should beat ULTRIX ({ux_vortex:.5}) on vortex"
+    );
+    let pa_gcc = vm_total(SystemKind::PaRisc, &gcc);
+    let ux_gcc = vm_total(SystemKind::Ultrix, &gcc);
+    assert!(pa_gcc > ux_gcc, "ULTRIX ({ux_gcc:.5}) should beat PA-RISC ({pa_gcc:.5}) on gcc");
+}
+
+#[test]
+fn mach_tracks_ultrix_closely_from_above() {
+    // Section 4.1: "The ULTRIX and MACH virtual memory systems have
+    // surprisingly similar overheads, despite the extremely high cost of
+    // managing the root-level table in the MACH simulation."
+    for workload in [presets::gcc_spec(), presets::vortex_spec()] {
+        let ultrix = vm_total(SystemKind::Ultrix, &workload);
+        let mach = vm_total(SystemKind::Mach, &workload);
+        assert!(mach >= ultrix * 0.95, "{}: MACH {mach:.5} vs ULTRIX {ultrix:.5}", workload.name);
+        assert!(
+            mach < ultrix * 1.5,
+            "{}: MACH {mach:.5} should stay near ULTRIX {ultrix:.5}",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn notlb_is_the_most_expensive_vm_system_at_small_l2() {
+    // With 1 MB total L2 the software-managed-cache scheme suffers; the
+    // paper prints its 1 MB panel on its own scale.
+    let gcc = presets::gcc_spec();
+    let notlb = vm_total(SystemKind::NoTlb, &gcc);
+    for system in [SystemKind::Ultrix, SystemKind::Mach, SystemKind::Intel, SystemKind::PaRisc] {
+        let other = vm_total(system, &gcc);
+        assert!(notlb > other, "NOTLB ({notlb:.5}) should exceed {system} ({other:.5})");
+    }
+}
+
+#[test]
+fn ijpeg_is_the_counterexample() {
+    // ijpeg's working set sits inside TLB reach: VM overhead stays tiny
+    // for every TLB-based scheme.
+    let ijpeg = presets::ijpeg_spec();
+    for system in [SystemKind::Ultrix, SystemKind::Mach, SystemKind::Intel, SystemKind::PaRisc] {
+        let total = vm_total(system, &ijpeg);
+        assert!(total < 0.05, "{system} on ijpeg should be tiny, got {total:.5}");
+    }
+    // ...and clearly below the same systems on gcc.
+    let gcc = presets::gcc_spec();
+    assert!(vm_total(SystemKind::Ultrix, &ijpeg) < 0.5 * vm_total(SystemKind::Ultrix, &gcc));
+}
+
+#[test]
+fn hardware_walking_removes_interrupt_and_icache_cost() {
+    // The Section 4.2 interpolations, built rather than interpolated.
+    let gcc = presets::gcc_spec();
+    let hw = vm_total(SystemKind::UltrixHw, &gcc);
+    let sw = vm_total(SystemKind::Ultrix, &gcc);
+    assert!(hw < sw, "ULTRIX-HW ({hw:.5}) should beat ULTRIX ({sw:.5})");
+    let hybrid = vm_total(SystemKind::Hybrid, &gcc);
+    let parisc = vm_total(SystemKind::PaRisc, &gcc);
+    assert!(hybrid < parisc, "HYBRID ({hybrid:.5}) should beat PA-RISC ({parisc:.5})");
+}
+
+#[test]
+fn vm_overhead_is_in_the_papers_band_for_the_stressing_workloads() {
+    // Abstract: traditional view 5-10%... our direct VMCPI lands in the
+    // single-digit percent range on a >1 CPI machine.
+    let cost = CostModel::default();
+    for workload in [presets::gcc_spec(), presets::vortex_spec()] {
+        for system in [SystemKind::Ultrix, SystemKind::Mach, SystemKind::Intel] {
+            let report = simulate(
+                &SimConfig::paper_default(system),
+                workload.build(42).unwrap(),
+                WARMUP,
+                MEASURE,
+            )
+            .unwrap();
+            let base = 1.0 + report.mcpi(&cost).total();
+            let pct = 100.0 * (report.vmcpi(&cost).total() + report.interrupt_cpi(&cost)) / base;
+            assert!(
+                (0.2..15.0).contains(&pct),
+                "{system}/{}: VM overhead {pct:.1}% out of plausible band",
+                workload.name
+            );
+        }
+    }
+}
