@@ -1,64 +1,53 @@
 //! Microbenchmarks of the simulator substrates and end-to-end simulator
 //! throughput per VM organization.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use vm_bench::SIM_INSTRS;
+use vm_bench::{Runner, SIM_INSTRS};
 use vm_core::{SimConfig, SystemKind};
 use vm_trace::presets;
 use vm_types::{AccessKind, AddressSpace, MAddr, SplitMix64, Vpn};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(r: &mut Runner) {
     use vm_cache::{Cache, CacheConfig, CacheHierarchy};
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
+    r.group("cache");
     let cfg = CacheConfig::direct_mapped(16 << 10, 64).unwrap();
     let mut cache = Cache::new(cfg);
     let mut rng = SplitMix64::new(1);
-    group.bench_function("l1_access_random", |b| {
-        b.iter(|| {
-            let a = MAddr::user(rng.next_below(1 << 20) & !3);
-            black_box(cache.access(a))
-        })
+    r.bench("l1_access_random", 1, || {
+        let a = MAddr::user(rng.next_below(1 << 20) & !3);
+        black_box(cache.access(a))
     });
     let mut hierarchy = CacheHierarchy::new(
         Cache::new(CacheConfig::direct_mapped(16 << 10, 64).unwrap()),
         Cache::new(CacheConfig::direct_mapped(1 << 20, 128).unwrap()),
     );
-    group.bench_function("hierarchy_access_random", |b| {
-        b.iter(|| {
-            let a = MAddr::user(rng.next_below(1 << 22) & !3);
-            black_box(hierarchy.access(a))
-        })
+    let mut rng = SplitMix64::new(1);
+    r.bench("hierarchy_access_random", 1, || {
+        let a = MAddr::user(rng.next_below(1 << 22) & !3);
+        black_box(hierarchy.access(a))
     });
-    group.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb(r: &mut Runner) {
     use vm_tlb::{Tlb, TlbConfig};
-    let mut group = c.benchmark_group("tlb");
-    group.throughput(Throughput::Elements(1));
+    r.group("tlb");
     let mut tlb = Tlb::new(TlbConfig::paper_mips().unwrap(), 1);
     let mut rng = SplitMix64::new(2);
-    group.bench_function("lookup_insert_mixed", |b| {
-        b.iter(|| {
-            let vpn = Vpn::new(AddressSpace::User, rng.next_below(512));
-            if !tlb.lookup(vpn) {
-                tlb.insert_user(vpn);
-            }
-        })
+    r.bench("lookup_insert_mixed", 1, || {
+        let vpn = Vpn::new(AddressSpace::User, rng.next_below(512));
+        if !tlb.lookup(vpn) {
+            tlb.insert_user(vpn);
+        }
     });
-    group.finish();
 }
 
-fn bench_walkers(c: &mut Criterion) {
+fn bench_walkers(r: &mut Runner) {
     use vm_ptable::mock::RecordingContext;
     use vm_ptable::{
         DisjunctWalker, HashedConfig, HashedWalker, InvertedConfig, InvertedWalker, MachWalker,
         TlbRefill, UltrixWalker, X86Walker,
     };
-    let mut group = c.benchmark_group("walkers");
-    group.throughput(Throughput::Elements(1));
+    r.group("walkers");
     let mut walkers: Vec<Box<dyn TlbRefill>> = vec![
         Box::new(UltrixWalker::new()),
         Box::new(MachWalker::new()),
@@ -71,86 +60,86 @@ fn bench_walkers(c: &mut Criterion) {
         let name = walker.name().to_owned();
         let mut ctx = RecordingContext::new();
         let mut rng = SplitMix64::new(3);
-        group.bench_function(format!("refill_{name}"), |b| {
-            b.iter(|| {
-                let vpn = Vpn::new(AddressSpace::User, rng.next_below(1 << 19));
-                walker.refill(&mut ctx, vpn, AccessKind::Load);
-                ctx.events.clear();
-            })
+        r.bench(&format!("refill_{name}"), 1, || {
+            let vpn = Vpn::new(AddressSpace::User, rng.next_below(1 << 19));
+            walker.refill(&mut ctx, vpn, AccessKind::Load);
+            ctx.events.clear();
         });
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace");
-    group.throughput(Throughput::Elements(SIM_INSTRS));
+fn bench_trace_generation(r: &mut Runner) {
+    r.group("trace");
     for (name, spec) in [
         ("gcc", presets::gcc_spec()),
         ("vortex", presets::vortex_spec()),
         ("ijpeg", presets::ijpeg_spec()),
     ] {
-        group.bench_function(format!("generate_{name}"), |b| {
-            b.iter(|| {
-                let trace = spec.build(1).unwrap();
-                black_box(trace.take(SIM_INSTRS as usize).count())
-            })
+        r.bench(&format!("generate_{name}"), SIM_INSTRS, || {
+            let trace = spec.build(1).unwrap();
+            black_box(trace.take(SIM_INSTRS as usize).count())
         });
     }
-    group.finish();
 }
 
-fn bench_multiprogram_trace(c: &mut Criterion) {
+fn bench_multiprogram_trace(r: &mut Runner) {
     use vm_trace::Multiprogram;
-    let mut group = c.benchmark_group("trace_combinators");
-    group.throughput(Throughput::Elements(SIM_INSTRS));
-    group.bench_function("multiprogram_3way", |b| {
-        b.iter(|| {
-            let mp = Multiprogram::new(
-                vec![presets::gcc_spec(), presets::vortex_spec(), presets::ijpeg_spec()],
-                10_000,
-                1,
-            )
-            .unwrap();
-            black_box(mp.take(SIM_INSTRS as usize).count())
-        })
+    r.group("trace_combinators");
+    r.bench("multiprogram_3way", SIM_INSTRS, || {
+        let mp = Multiprogram::new(
+            vec![presets::gcc_spec(), presets::vortex_spec(), presets::ijpeg_spec()],
+            10_000,
+            1,
+        )
+        .unwrap();
+        black_box(mp.take(SIM_INSTRS as usize).count())
     });
-    group.bench_function("phased_2way", |b| {
-        b.iter(|| {
-            let t = vm_trace::Phased::new(
-                vec![(20_000, presets::gcc_spec()), (20_000, presets::ijpeg_spec())],
-                1,
-            )
-            .unwrap();
-            black_box(t.take(SIM_INSTRS as usize).count())
-        })
+    r.bench("phased_2way", SIM_INSTRS, || {
+        let t = vm_trace::Phased::new(
+            vec![(20_000, presets::gcc_spec()), (20_000, presets::ijpeg_spec())],
+            1,
+        )
+        .unwrap();
+        black_box(t.take(SIM_INSTRS as usize).count())
     });
-    group.finish();
 }
 
-fn bench_simulator_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(SIM_INSTRS));
+fn bench_simulator_throughput(r: &mut Runner) {
+    r.group("simulator");
     for system in SystemKind::PAPER {
-        group.bench_function(format!("step_{}", system.label()), |b| {
-            b.iter(|| {
-                let mut sys = SimConfig::paper_default(system).build().unwrap();
-                let n = sys.run(presets::gcc(1), SIM_INSTRS);
-                black_box(n)
-            })
+        r.bench(&format!("step_{}", system.label()), SIM_INSTRS, || {
+            let mut sys = SimConfig::paper_default(system).build().unwrap();
+            black_box(sys.run(presets::gcc(1), SIM_INSTRS))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    components,
-    bench_cache,
-    bench_tlb,
-    bench_walkers,
-    bench_trace_generation,
-    bench_multiprogram_trace,
-    bench_simulator_throughput
-);
-criterion_main!(components);
+fn bench_instrumented_throughput(r: &mut Runner) {
+    // The guard for the zero-cost claim: NopSink runs must track the
+    // un-instrumented baseline above, StatsSink shows the observer cost.
+    use vm_core::simulate_with_sink;
+    use vm_obs::{NopSink, StatsSink};
+    r.group("simulator_instrumented");
+    let config = SimConfig::paper_default(SystemKind::Ultrix);
+    r.bench("step_ULTRIX_nop_sink", SIM_INSTRS, || {
+        let out = simulate_with_sink(&config, presets::gcc(1), 0, SIM_INSTRS, NopSink).unwrap();
+        black_box(out.0.counts.user_instrs)
+    });
+    r.bench("step_ULTRIX_stats_sink", SIM_INSTRS, || {
+        let out = simulate_with_sink(&config, presets::gcc(1), 0, SIM_INSTRS, StatsSink::default())
+            .unwrap();
+        black_box(out.0.counts.user_instrs)
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_args();
+    bench_cache(&mut r);
+    bench_tlb(&mut r);
+    bench_walkers(&mut r);
+    bench_trace_generation(&mut r);
+    bench_multiprogram_trace(&mut r);
+    bench_simulator_throughput(&mut r);
+    bench_instrumented_throughput(&mut r);
+    r.finish();
+}

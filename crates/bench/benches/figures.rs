@@ -1,21 +1,20 @@
-//! One Criterion group per paper table/figure: each bench runs the
+//! One benchmark group per paper table/figure: each bench runs the
 //! corresponding experiment driver end-to-end at micro scale, so every
 //! artefact of the evaluation has an executable, timed regeneration path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use vm_bench::BENCH_SCALE;
+use vm_bench::{Runner, BENCH_SCALE};
 use vm_core::SystemKind;
 use vm_experiments::{ablations, fig6, fig8, interrupts, mcpi, tables, tlbsize, total};
 use vm_trace::presets;
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("tables_1_to_4", |b| b.iter(|| black_box(tables::render_all())));
+fn bench_tables(r: &mut Runner) {
+    r.group("tables");
+    r.bench("tables_1_to_4", 0, || black_box(tables::render_all()));
 }
 
-fn bench_fig6_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_fig7_vmcpi_vs_cache_org");
-    group.sample_size(10);
+fn bench_fig6_fig7(r: &mut Runner) {
+    r.group("fig6_fig7_vmcpi_vs_cache_org");
     for (name, spec) in [("fig6_gcc", presets::gcc_spec()), ("fig7_vortex", presets::vortex_spec())]
     {
         let mut cfg = fig6::Config::quick(spec);
@@ -23,85 +22,72 @@ fn bench_fig6_fig7(c: &mut Criterion) {
         cfg.line_pairs = vec![(64, 128)];
         cfg.l2_sizes = vec![512 << 10];
         cfg.scale = BENCH_SCALE;
-        group.bench_function(name, |b| b.iter(|| black_box(fig6::run(&cfg))));
+        r.bench(name, 0, || black_box(fig6::run(&cfg)));
     }
-    group.finish();
 }
 
-fn bench_fig8_fig9(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_fig9_breakdowns");
-    group.sample_size(10);
+fn bench_fig8_fig9(r: &mut Runner) {
+    r.group("fig8_fig9_breakdowns");
     for (name, spec) in [("fig8_gcc", presets::gcc_spec()), ("fig9_vortex", presets::vortex_spec())]
     {
         let mut cfg = fig8::Config::quick(spec);
         cfg.l1_sizes = vec![16 << 10];
         cfg.scale = BENCH_SCALE;
-        group.bench_function(name, |b| b.iter(|| black_box(fig8::run(&cfg))));
+        r.bench(name, 0, || black_box(fig8::run(&cfg)));
     }
-    group.finish();
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_interrupt_costs");
-    group.sample_size(10);
+fn bench_fig10(r: &mut Runner) {
+    r.group("fig10_interrupt_costs");
     let mut cfg = interrupts::Config::paper(vec![presets::gcc_spec()]);
     cfg.systems = vec![SystemKind::Ultrix, SystemKind::Intel];
     cfg.scale = BENCH_SCALE;
-    group.bench_function("fig10_gcc", |b| b.iter(|| black_box(interrupts::run(&cfg))));
-    group.finish();
+    r.bench("fig10_gcc", 0, || black_box(interrupts::run(&cfg)));
 }
 
-fn bench_fig11(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_tlb_size");
-    group.sample_size(10);
+fn bench_fig11(r: &mut Runner) {
+    r.group("fig11_tlb_size");
     let mut cfg = tlbsize::Config::paper(vec![presets::gcc_spec()]);
     cfg.systems = vec![SystemKind::Ultrix];
     cfg.entries = vec![32, 128];
     cfg.scale = BENCH_SCALE;
-    group.bench_function("fig11_gcc_ultrix", |b| b.iter(|| black_box(tlbsize::run(&cfg))));
-    group.finish();
+    r.bench("fig11_gcc_ultrix", 0, || black_box(tlbsize::run(&cfg)));
 }
 
-fn bench_fig12(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_inflicted_mcpi");
-    group.sample_size(10);
+fn bench_fig12(r: &mut Runner) {
+    r.group("fig12_inflicted_mcpi");
     let mut cfg = mcpi::Config::paper(vec![presets::gcc_spec()]);
     cfg.systems = vec![SystemKind::Ultrix, SystemKind::Intel];
     cfg.scale = BENCH_SCALE;
-    group.bench_function("fig12_gcc", |b| b.iter(|| black_box(mcpi::run(&cfg))));
-    group.finish();
+    r.bench("fig12_gcc", 0, || black_box(mcpi::run(&cfg)));
 }
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_total_overhead");
-    group.sample_size(10);
+fn bench_fig13(r: &mut Runner) {
+    r.group("fig13_total_overhead");
     let mut cfg = total::Config::paper(vec![presets::gcc_spec()]);
     cfg.systems = vec![SystemKind::Ultrix, SystemKind::Intel];
     cfg.scale = BENCH_SCALE;
-    group.bench_function("fig13_gcc", |b| b.iter(|| black_box(total::run(&cfg))));
-    group.finish();
+    r.bench("fig13_gcc", 0, || black_box(total::run(&cfg)));
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+fn bench_ablations(r: &mut Runner) {
+    r.group("ablations");
     for ablation in ablations::Ablation::ALL {
         let mut cfg = ablations::Config::new(ablation, vec![presets::gcc_spec()]);
         cfg.scale = BENCH_SCALE;
-        group.bench_function(ablation.name(), |b| b.iter(|| black_box(ablations::run(&cfg))));
+        r.bench(ablation.name(), 0, || black_box(ablations::run(&cfg)));
     }
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_tables,
-    bench_fig6_fig7,
-    bench_fig8_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_ablations
-);
-criterion_main!(figures);
+fn main() {
+    let mut r = Runner::from_args();
+    bench_tables(&mut r);
+    bench_fig6_fig7(&mut r);
+    bench_fig8_fig9(&mut r);
+    bench_fig10(&mut r);
+    bench_fig11(&mut r);
+    bench_fig12(&mut r);
+    bench_fig13(&mut r);
+    bench_ablations(&mut r);
+    r.finish();
+}

@@ -3,10 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// How lines are placed within a [`CacheConfig`]'s sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Associativity {
     /// One line per set — the organization the paper simulates throughout
     /// ("to avoid obscuring performance differences", Section 3).
@@ -41,7 +39,7 @@ impl fmt::Display for Associativity {
 /// Construct with [`CacheConfig::direct_mapped`] or
 /// [`CacheConfig::set_associative`]; both enforce the power-of-two
 /// geometry the index/tag arithmetic relies on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     size_bytes: u64,
     line_bytes: u64,

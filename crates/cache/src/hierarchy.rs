@@ -1,12 +1,11 @@
 //! The two-level L1 → L2 → memory lookup path of one cache "side".
 
-use serde::{Deserialize, Serialize};
 use vm_types::{MAddr, MissClass};
 
 use crate::single::{Cache, CacheCounters};
 
 /// Counters for a full hierarchy, by level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyCounters {
     /// The L1 level's counters.
     pub l1: CacheCounters,

@@ -49,4 +49,4 @@ mod system;
 pub use config::{Associativity, CacheConfig, CacheGeometryError};
 pub use hierarchy::{CacheHierarchy, HierarchyCounters};
 pub use single::{Cache, CacheCounters};
-pub use system::{CacheSystem, CacheSystemCounters};
+pub use system::{CacheSystem, CacheSystemCounters, FillInfo};

@@ -1,6 +1,5 @@
 //! A single cache level.
 
-use serde::{Deserialize, Serialize};
 use vm_types::MAddr;
 
 use crate::config::CacheConfig;
@@ -9,7 +8,7 @@ use crate::config::CacheConfig;
 const EMPTY: u64 = u64::MAX;
 
 /// Hit/miss counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Total probe count.
     pub accesses: u64,
@@ -111,7 +110,17 @@ impl Cache {
 
     /// Probes for `addr`, filling the line on a miss (write-allocate) and
     /// promoting it to most-recently-used. Returns `true` on a hit.
+    #[inline]
     pub fn access(&mut self, addr: MAddr) -> bool {
+        self.access_observed(addr).0
+    }
+
+    /// As [`Cache::access`], additionally reporting whether the fill
+    /// displaced a *valid* line (`(hit, evicted)`); a fill into a
+    /// never-used frame is not an eviction. Identical side effects to
+    /// `access` — the extra bool exists for the observability layer.
+    #[inline]
+    pub fn access_observed(&mut self, addr: MAddr) -> (bool, bool) {
         let line = self.line_of(addr);
         let set = (line & self.set_mask) as usize;
         let base = set * self.ways_per_set;
@@ -121,19 +130,20 @@ impl Cache {
         match ways.iter().position(|&t| t == line) {
             Some(0) => {
                 self.counters.hits += 1;
-                true
+                (true, false)
             }
             Some(pos) => {
                 // Promote to MRU.
                 ways[..=pos].rotate_right(1);
                 self.counters.hits += 1;
-                true
+                (true, false)
             }
             None => {
                 // Evict LRU (the last way) and install at MRU.
+                let evicted = ways[self.ways_per_set - 1] != EMPTY;
                 ways.rotate_right(1);
                 ways[0] = line;
-                false
+                (false, evicted)
             }
         }
     }
@@ -280,6 +290,17 @@ mod tests {
         let mut c = dm(1024, 64);
         assert!(!c.access_span(MAddr::user(0x40), 16));
         assert_eq!(c.counters().accesses, 1);
+    }
+
+    #[test]
+    fn observed_access_reports_evictions() {
+        let mut c = dm(1024, 32); // 32 lines
+        let a = MAddr::user(0x0);
+        let b = MAddr::user(1024); // same index, different tag
+        assert_eq!(c.access_observed(a), (false, false)); // cold fill
+        assert_eq!(c.access_observed(a), (true, false)); // hit
+        assert_eq!(c.access_observed(b), (false, true)); // displaces a
+        assert_eq!(c.access_observed(a), (false, true)); // displaces b
     }
 
     #[test]

@@ -6,11 +6,30 @@
 //! interpret behavior") — the unified variant exists here precisely to
 //! run that set-aside comparison as an ablation.
 
-use serde::{Deserialize, Serialize};
 use vm_types::{MAddr, MissClass};
 
 use crate::hierarchy::HierarchyCounters;
 use crate::single::{Cache, CacheCounters};
+
+/// Eviction report from an observed access: whether the fill at each
+/// level displaced a valid line. Produced by the `*_observed` access
+/// variants for the observability layer; a level that was not probed (or
+/// hit) reports `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillInfo {
+    /// The L1 fill displaced a valid line.
+    pub l1_evicted: bool,
+    /// The L2 fill displaced a valid line.
+    pub l2_evicted: bool,
+}
+
+impl FillInfo {
+    /// Accumulates another access's evictions (used for spanning loads).
+    fn merge(&mut self, other: FillInfo) {
+        self.l1_evicted |= other.l1_evicted;
+        self.l2_evicted |= other.l2_evicted;
+    }
+}
 
 /// The second-level organization.
 #[derive(Debug, Clone)]
@@ -27,7 +46,7 @@ enum L2 {
 }
 
 /// Counters for a [`CacheSystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSystemCounters {
     /// L1 instruction cache counters.
     pub l1i: CacheCounters,
@@ -121,6 +140,24 @@ impl CacheSystem {
         }
     }
 
+    /// As [`CacheSystem::fetch`], additionally reporting which levels'
+    /// fills displaced valid lines. Identical side effects to `fetch`.
+    pub fn fetch_observed(&mut self, addr: MAddr) -> (MissClass, FillInfo) {
+        let mut fill = FillInfo::default();
+        let (l1_hit, l1_evicted) = self.l1i.access_observed(addr);
+        fill.l1_evicted = l1_evicted;
+        if l1_hit {
+            return (MissClass::L1Hit, fill);
+        }
+        let (l2_hit, l2_evicted) = self.l2_for_fetch().access_observed(addr);
+        fill.l2_evicted = l2_evicted;
+        if l2_hit {
+            (MissClass::L2Hit, fill)
+        } else {
+            (MissClass::Memory, fill)
+        }
+    }
+
     /// A data reference: L1D, then the (split or unified) L2.
     pub fn data(&mut self, addr: MAddr) -> MissClass {
         if self.l1d.access(addr) {
@@ -129,6 +166,24 @@ impl CacheSystem {
             MissClass::L2Hit
         } else {
             MissClass::Memory
+        }
+    }
+
+    /// As [`CacheSystem::data`], additionally reporting which levels'
+    /// fills displaced valid lines. Identical side effects to `data`.
+    pub fn data_observed(&mut self, addr: MAddr) -> (MissClass, FillInfo) {
+        let mut fill = FillInfo::default();
+        let (l1_hit, l1_evicted) = self.l1d.access_observed(addr);
+        fill.l1_evicted = l1_evicted;
+        if l1_hit {
+            return (MissClass::L1Hit, fill);
+        }
+        let (l2_hit, l2_evicted) = self.l2_for_data().access_observed(addr);
+        fill.l2_evicted = l2_evicted;
+        if l2_hit {
+            (MissClass::L2Hit, fill)
+        } else {
+            (MissClass::Memory, fill)
         }
     }
 
@@ -151,6 +206,30 @@ impl CacheSystem {
             worst = worst.max(self.data(probe));
         }
         worst
+    }
+
+    /// As [`CacheSystem::data_span`], additionally reporting whether any
+    /// covered line's fill displaced a valid line at each level.
+    /// Identical side effects to `data_span`.
+    pub fn data_span_observed(&mut self, addr: MAddr, bytes: u64) -> (MissClass, FillInfo) {
+        let bytes = bytes.max(1);
+        let shift = self.l1d.config().line_shift().min(match &self.l2 {
+            L2::Split { d, .. } => d.config().line_shift(),
+            L2::Unified(u) => u.config().line_shift(),
+        });
+        let step = 1u64 << shift;
+        let first = addr.raw() >> shift;
+        let last = (addr.raw() + bytes - 1) >> shift;
+        let line_base = addr.offset() & !(step - 1);
+        let mut worst = MissClass::L1Hit;
+        let mut fill = FillInfo::default();
+        for i in 0..=(last - first) {
+            let probe = if i == 0 { addr } else { addr.with_offset(line_base + i * step) };
+            let (class, f) = self.data_observed(probe);
+            worst = worst.max(class);
+            fill.merge(f);
+        }
+        (worst, fill)
     }
 
     /// All counters.
@@ -278,6 +357,29 @@ mod tests {
         assert_eq!(s.data_span(MAddr::user(0x48), 16), MissClass::Memory);
         assert_eq!(s.data(MAddr::user(0x40)), MissClass::L1Hit);
         assert_eq!(s.data(MAddr::user(0x50)), MissClass::L1Hit);
+    }
+
+    #[test]
+    fn observed_variants_match_plain_access() {
+        let mut plain = split_sys();
+        let mut observed = split_sys();
+        for n in 0..256u64 {
+            let a = MAddr::user((n * 97) % 0x3000);
+            assert_eq!(plain.fetch(a), observed.fetch_observed(a).0);
+            assert_eq!(plain.data(a), observed.data_observed(a).0);
+        }
+        assert_eq!(plain.counters(), observed.counters());
+    }
+
+    #[test]
+    fn observed_span_reports_evictions() {
+        // 1 KB direct-mapped L1s (32 lines of 32 B): stride by 1 KB to
+        // force conflicts, then check the span variant flags the victim.
+        let mut s = split_sys();
+        let (_, cold) = s.data_span_observed(MAddr::user(0x48), 16);
+        assert!(!cold.l1_evicted && !cold.l2_evicted, "cold fills evict nothing");
+        let (_, conflict) = s.data_span_observed(MAddr::user(0x48 + 1024), 16);
+        assert!(conflict.l1_evicted, "same-index refill must displace the line");
     }
 
     #[test]

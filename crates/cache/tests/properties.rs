@@ -1,153 +1,196 @@
-//! Property-based tests of the cache models' invariants.
+//! Randomized tests of the cache models' invariants, driven by a seeded
+//! [`SplitMix64`] stream (the workspace carries no third-party
+//! property-testing framework).
 
-use proptest::prelude::*;
 use vm_cache::{Associativity, Cache, CacheConfig, CacheHierarchy};
-use vm_types::{AddressSpace, MAddr, MissClass};
+use vm_types::{AddressSpace, MAddr, MissClass, SplitMix64};
 
-fn any_space() -> impl Strategy<Value = AddressSpace> {
-    prop_oneof![Just(AddressSpace::User), Just(AddressSpace::Kernel), Just(AddressSpace::Physical),]
+const CASES: usize = 60;
+
+fn any_space(rng: &mut SplitMix64) -> AddressSpace {
+    match rng.next_below(3) {
+        0 => AddressSpace::User,
+        1 => AddressSpace::Kernel,
+        _ => AddressSpace::Physical,
+    }
 }
 
-fn any_addr() -> impl Strategy<Value = MAddr> {
-    (any_space(), 0u64..(1 << 22)).prop_map(|(s, o)| MAddr::new(s, o))
+fn any_addr(rng: &mut SplitMix64) -> MAddr {
+    let space = any_space(rng);
+    MAddr::new(space, rng.next_below(1 << 22))
 }
 
-fn any_geometry() -> impl Strategy<Value = CacheConfig> {
-    (0u32..4, 4u32..8, 0u32..3).prop_map(|(size_pow, line_pow, ways_pow)| {
-        let size = 1u64 << (10 + size_pow); // 1K..8K
-        let line = 1u64 << line_pow; // 16..128
-        let ways = 1u32 << ways_pow; // 1..4
-        CacheConfig::set_associative(
-            size,
-            line,
-            if ways == 1 { Associativity::DirectMapped } else { Associativity::Ways(ways) },
-        )
-        .expect("generated geometry is valid")
-    })
+fn any_addrs(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<MAddr> {
+    let n = min + rng.next_below(max - min);
+    (0..n).map(|_| any_addr(rng)).collect()
 }
 
-proptest! {
-    #[test]
-    fn hits_plus_misses_equals_accesses(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..400)) {
+fn any_geometry(rng: &mut SplitMix64) -> CacheConfig {
+    let size = 1u64 << (10 + rng.next_below(4)); // 1K..8K
+    let line = 1u64 << (4 + rng.next_below(4)); // 16..128
+    let ways = 1u32 << rng.next_below(3); // 1..4
+    CacheConfig::set_associative(
+        size,
+        line,
+        if ways == 1 { Associativity::DirectMapped } else { Associativity::Ways(ways) },
+    )
+    .expect("generated geometry is valid")
+}
+
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    let mut rng = SplitMix64::new(0xacc);
+    for case in 0..CASES {
+        let cfg = any_geometry(&mut rng);
+        let addrs = any_addrs(&mut rng, 1, 400);
         let mut c = Cache::new(cfg);
         for a in &addrs {
             c.access(*a);
         }
         let k = c.counters();
-        prop_assert_eq!(k.accesses, addrs.len() as u64);
-        prop_assert_eq!(k.hits + k.misses(), k.accesses);
+        assert_eq!(k.accesses, addrs.len() as u64, "case {case}");
+        assert_eq!(k.hits + k.misses(), k.accesses, "case {case}");
     }
+}
 
-    #[test]
-    fn immediate_reaccess_always_hits(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..200)) {
+#[test]
+fn immediate_reaccess_always_hits() {
+    let mut rng = SplitMix64::new(0x1e);
+    for case in 0..CASES {
+        let cfg = any_geometry(&mut rng);
+        let addrs = any_addrs(&mut rng, 1, 200);
         let mut c = Cache::new(cfg);
         for a in &addrs {
             c.access(*a);
-            prop_assert!(c.access(*a), "re-access of {a} must hit");
-            prop_assert!(c.peek(*a));
+            assert!(c.access(*a), "case {case}: re-access of {a} must hit");
+            assert!(c.peek(*a));
         }
     }
+}
 
-    #[test]
-    fn cold_first_touches_bound_misses_from_below(
-        cfg in any_geometry(),
-        addrs in prop::collection::vec(any_addr(), 1..300),
-    ) {
-        // Every distinct line's first access must miss a cold cache, so
-        // misses >= distinct lines touched (conflict misses only add).
+#[test]
+fn cold_first_touches_bound_misses_from_below() {
+    // Every distinct line's first access must miss a cold cache, so
+    // misses >= distinct lines touched (conflict misses only add).
+    let mut rng = SplitMix64::new(0xc01d);
+    for case in 0..CASES {
+        let cfg = any_geometry(&mut rng);
+        let addrs = any_addrs(&mut rng, 1, 300);
         let mut c = Cache::new(cfg);
         let mut distinct = std::collections::HashSet::new();
         for a in &addrs {
             distinct.insert(a.raw() >> cfg.line_shift());
             c.access(*a);
         }
-        prop_assert!(c.counters().misses() >= distinct.len() as u64);
-        prop_assert!(c.counters().misses() <= c.counters().accesses);
+        assert!(c.counters().misses() >= distinct.len() as u64, "case {case}");
+        assert!(c.counters().misses() <= c.counters().accesses, "case {case}");
     }
+}
 
-    #[test]
-    fn flush_restores_cold_state(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..100)) {
+#[test]
+fn flush_restores_cold_state() {
+    let mut rng = SplitMix64::new(0xf1);
+    for case in 0..CASES {
+        let cfg = any_geometry(&mut rng);
+        let addrs = any_addrs(&mut rng, 1, 100);
         let mut c = Cache::new(cfg);
         for a in &addrs {
             c.access(*a);
         }
         c.flush();
         for a in &addrs {
-            prop_assert!(!c.peek(*a));
+            assert!(!c.peek(*a), "case {case}: {a} survived a flush");
         }
     }
+}
 
-    #[test]
-    fn determinism_same_sequence_same_counters(cfg in any_geometry(), addrs in prop::collection::vec(any_addr(), 1..300)) {
+#[test]
+fn determinism_same_sequence_same_counters() {
+    let mut rng = SplitMix64::new(0xde7);
+    for case in 0..CASES {
+        let cfg = any_geometry(&mut rng);
+        let addrs = any_addrs(&mut rng, 1, 300);
         let mut a = Cache::new(cfg);
         let mut b = Cache::new(cfg);
         for x in &addrs {
             a.access(*x);
             b.access(*x);
         }
-        prop_assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.counters(), b.counters(), "case {case}");
     }
+}
 
-    #[test]
-    fn higher_associativity_never_hurts_at_fixed_size(
-        addrs in prop::collection::vec(0u64..(1 << 14), 50..400),
-    ) {
-        // LRU set-associative caches of the same size: more ways -> the
-        // same or fewer misses is NOT a theorem (Belady anomalies apply to
-        // FIFO, LRU stack property applies within a set), but full LRU
-        // associativity vs direct-mapped of equal size on a *small* probe
-        // set strongly tends to win; we assert the weaker stack property:
-        // a 2-way LRU cache never misses on an immediate re-reference.
+#[test]
+fn lru_stack_property_immediate_reference_is_resident() {
+    // A 2-way LRU cache never misses on an immediate re-reference.
+    let mut rng = SplitMix64::new(0x57ac);
+    for case in 0..CASES {
         let cfg = CacheConfig::set_associative(2048, 32, Associativity::Ways(2)).unwrap();
         let mut c = Cache::new(cfg);
-        for &o in &addrs {
-            let a = MAddr::user(o);
+        let n = 50 + rng.next_below(350);
+        for _ in 0..n {
+            let a = MAddr::user(rng.next_below(1 << 14));
             c.access(a);
-            prop_assert!(c.peek(a));
+            assert!(c.peek(a), "case {case}: {a} not MRU-resident");
         }
     }
+}
 
-    #[test]
-    fn hierarchy_l2_sees_only_l1_misses(addrs in prop::collection::vec(any_addr(), 1..300)) {
+#[test]
+fn hierarchy_l2_sees_only_l1_misses() {
+    let mut rng = SplitMix64::new(0x12);
+    for case in 0..CASES {
         let l1 = Cache::new(CacheConfig::direct_mapped(1 << 10, 32).unwrap());
         let l2 = Cache::new(CacheConfig::direct_mapped(1 << 14, 64).unwrap());
         let mut h = CacheHierarchy::new(l1, l2);
-        for a in &addrs {
-            h.access(*a);
+        for a in any_addrs(&mut rng, 1, 300) {
+            h.access(a);
         }
         let k = h.counters();
-        prop_assert_eq!(k.l2.accesses, k.l1.misses());
-        prop_assert!(k.memory_accesses() <= k.l2.accesses);
+        assert_eq!(k.l2.accesses, k.l1.misses(), "case {case}");
+        assert!(k.memory_accesses() <= k.l2.accesses, "case {case}");
     }
+}
 
-    #[test]
-    fn hierarchy_classes_are_consistent_with_counters(addrs in prop::collection::vec(any_addr(), 1..300)) {
+#[test]
+fn hierarchy_classes_are_consistent_with_counters() {
+    let mut rng = SplitMix64::new(0xc1a5);
+    for case in 0..CASES {
         let l1 = Cache::new(CacheConfig::direct_mapped(1 << 10, 32).unwrap());
         let l2 = Cache::new(CacheConfig::direct_mapped(1 << 13, 32).unwrap());
         let mut h = CacheHierarchy::new(l1, l2);
         let (mut n_l1, mut n_l2, mut n_mem) = (0u64, 0u64, 0u64);
-        for a in &addrs {
-            match h.access(*a) {
+        for a in any_addrs(&mut rng, 1, 300) {
+            match h.access(a) {
                 MissClass::L1Hit => n_l1 += 1,
                 MissClass::L2Hit => n_l2 += 1,
                 MissClass::Memory => n_mem += 1,
             }
         }
         let k = h.counters();
-        prop_assert_eq!(n_l1, k.l1.hits);
-        prop_assert_eq!(n_l2, k.l2.hits);
-        prop_assert_eq!(n_mem, k.l2.misses());
+        assert_eq!(n_l1, k.l1.hits, "case {case}");
+        assert_eq!(n_l2, k.l2.hits, "case {case}");
+        assert_eq!(n_mem, k.l2.misses(), "case {case}");
     }
+}
 
-    #[test]
-    fn span_access_covers_every_line(start in 0u64..(1 << 16), bytes in 1u64..64) {
+#[test]
+fn span_access_covers_every_line() {
+    let mut rng = SplitMix64::new(0x59a);
+    for case in 0..200 {
         let l1 = Cache::new(CacheConfig::direct_mapped(1 << 12, 16).unwrap());
         let l2 = Cache::new(CacheConfig::direct_mapped(1 << 14, 16).unwrap());
         let mut h = CacheHierarchy::new(l1, l2);
+        let start = rng.next_below(1 << 16);
+        let bytes = 1 + rng.next_below(63);
         let a = MAddr::user(start);
         h.access_span(a, bytes);
         for b in (0..bytes).step_by(4) {
-            prop_assert_eq!(h.peek(a.add(b)), MissClass::L1Hit, "byte {} of span not resident", b);
+            assert_eq!(
+                h.peek(a.add(b)),
+                MissClass::L1Hit,
+                "case {case}: byte {b} of span not resident"
+            );
         }
     }
 }

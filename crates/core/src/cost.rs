@@ -8,14 +8,12 @@
 //! (Table 1) — the sweep that quantifies how interrupt handling scales
 //! with processor concurrency.
 
-use serde::{Deserialize, Serialize};
-
 /// Cycle costs applied to raw event counts.
 ///
 /// The simulator records *counts*; CPI figures are derived by applying a
 /// `CostModel` afterwards, so the interrupt-cost sweep re-uses one
 /// simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// Cycles for a reference satisfied by the L2 cache (Table 2: 20).
     pub l1_miss_cycles: u64,

@@ -58,5 +58,5 @@ mod sim;
 mod system;
 
 pub use report::{McpiBreakdown, RawCounts, SimReport, VmcpiBreakdown};
-pub use sim::{simulate, simulate_spec, AsidMode, MemorySystem, SimulateError};
+pub use sim::{simulate, simulate_spec, simulate_with_sink, AsidMode, MemorySystem, SimulateError};
 pub use system::{paper, BuildError, SimConfig, SystemKind};

@@ -1,7 +1,7 @@
 //! Raw event counts and the derived MCPI / VMCPI breakdowns.
 
-use serde::{Deserialize, Serialize};
 use vm_cache::HierarchyCounters;
+use vm_obs::json::Value;
 use vm_tlb::TlbCounters;
 use vm_types::HandlerLevel;
 
@@ -22,7 +22,7 @@ pub(crate) fn lvl(level: HandlerLevel) -> usize {
 /// Everything a cost model needs is a count here; CPI values are derived
 /// by [`SimReport::mcpi`] / [`SimReport::vmcpi`] so the same run can be
 /// priced under different interrupt costs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RawCounts {
     /// User instructions executed (the CPI denominator).
     pub user_instrs: u64,
@@ -76,12 +76,81 @@ impl RawCounts {
     pub fn total_handler_invocations(&self) -> u64 {
         self.handler_invocations.iter().sum()
     }
+
+    /// The counts as a JSON object (stable key names, per-level arrays).
+    pub fn to_json(&self) -> Value {
+        let arr = |a: &[u64; 3]| Value::Arr(a.iter().map(|&x| Value::from(x)).collect());
+        Value::obj(vec![
+            ("user_instrs", Value::from(self.user_instrs)),
+            ("user_loads", Value::from(self.user_loads)),
+            ("user_stores", Value::from(self.user_stores)),
+            ("l1i_misses", Value::from(self.l1i_misses)),
+            ("l2i_misses", Value::from(self.l2i_misses)),
+            ("l1d_misses", Value::from(self.l1d_misses)),
+            ("l2d_misses", Value::from(self.l2d_misses)),
+            ("handler_invocations", arr(&self.handler_invocations)),
+            ("handler_instr_cycles", arr(&self.handler_instr_cycles)),
+            ("inline_cycles", arr(&self.inline_cycles)),
+            ("pte_loads", arr(&self.pte_loads)),
+            ("pte_l2", arr(&self.pte_l2)),
+            ("pte_mem", arr(&self.pte_mem)),
+            ("handler_ifetch_l2", Value::from(self.handler_ifetch_l2)),
+            ("handler_ifetch_mem", Value::from(self.handler_ifetch_mem)),
+            ("interrupts", arr(&self.interrupts)),
+            ("tlb_flushes", Value::from(self.tlb_flushes)),
+        ])
+    }
+
+    /// Parse counts back from the object produced by [`Self::to_json`].
+    /// Returns `None` if any expected key is missing or mistyped.
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let num = |k: &str| v.get(k)?.as_u64();
+        let arr3 = |k: &str| -> Option<[u64; 3]> {
+            let a = v.get(k)?.as_array()?;
+            Some([a.first()?.as_u64()?, a.get(1)?.as_u64()?, a.get(2)?.as_u64()?])
+        };
+        Some(RawCounts {
+            user_instrs: num("user_instrs")?,
+            user_loads: num("user_loads")?,
+            user_stores: num("user_stores")?,
+            l1i_misses: num("l1i_misses")?,
+            l2i_misses: num("l2i_misses")?,
+            l1d_misses: num("l1d_misses")?,
+            l2d_misses: num("l2d_misses")?,
+            handler_invocations: arr3("handler_invocations")?,
+            handler_instr_cycles: arr3("handler_instr_cycles")?,
+            inline_cycles: arr3("inline_cycles")?,
+            pte_loads: arr3("pte_loads")?,
+            pte_l2: arr3("pte_l2")?,
+            pte_mem: arr3("pte_mem")?,
+            handler_ifetch_l2: num("handler_ifetch_l2")?,
+            handler_ifetch_mem: num("handler_ifetch_mem")?,
+            interrupts: arr3("interrupts")?,
+            tlb_flushes: num("tlb_flushes")?,
+        })
+    }
+}
+
+fn tlb_json(t: &TlbCounters) -> Value {
+    Value::obj(vec![
+        ("lookups", Value::from(t.lookups)),
+        ("hits", Value::from(t.hits)),
+        ("insertions", Value::from(t.insertions)),
+        ("evictions", Value::from(t.evictions)),
+    ])
+}
+
+fn hierarchy_json(h: &HierarchyCounters) -> Value {
+    let cache = |c: &vm_cache::CacheCounters| {
+        Value::obj(vec![("accesses", Value::from(c.accesses)), ("hits", Value::from(c.hits))])
+    };
+    Value::obj(vec![("l1", cache(&h.l1)), ("l2", cache(&h.l2))])
 }
 
 /// The memory-system overhead breakdown (Table 2), in cycles per user
 /// instruction. Covers **user references only** — but measured in caches
 /// the VM handlers also live in, so handler pollution shows up here.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct McpiBreakdown {
     /// L1 I-cache miss cycles per instruction (`L1i-miss` × 20).
     pub l1i: f64,
@@ -102,7 +171,7 @@ impl McpiBreakdown {
 
 /// The virtual-memory overhead breakdown (Table 3), in cycles per user
 /// instruction.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VmcpiBreakdown {
     /// User-level handler base cost (`uhandlers`).
     pub uhandler: f64,
@@ -165,7 +234,7 @@ impl VmcpiBreakdown {
 }
 
 /// Everything one simulation run produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// System label (e.g. `"ULTRIX"`).
     pub system: String,
@@ -182,6 +251,10 @@ pub struct SimReport {
     /// Whether the L2 was unified (in which case `icache.l2` and
     /// `dcache.l2` are the same shared cache's counters).
     pub unified_l2: bool,
+    /// Aggregated observability statistics, when a stats-computing sink
+    /// was attached (see [`crate::simulate_with_sink`]); `None` for
+    /// un-instrumented runs.
+    pub obs: Option<vm_obs::ObsSnapshot>,
 }
 
 impl SimReport {
@@ -248,6 +321,25 @@ impl SimReport {
     pub fn total_cpi(&self, cost: &CostModel) -> f64 {
         1.0 + self.mcpi(cost).total() + self.vmcpi(cost).total() + self.interrupt_cpi(cost)
     }
+
+    /// The whole report as a JSON object: raw counts, TLB/cache counters
+    /// and (when present) the observability snapshot. Written by the
+    /// `repro` binary's run summaries; stable key names.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("system", Value::from(self.system.as_str())),
+            ("counts", self.counts.to_json()),
+            ("itlb", self.itlb.as_ref().map_or(Value::Null, tlb_json)),
+            ("dtlb", self.dtlb.as_ref().map_or(Value::Null, tlb_json)),
+            ("icache", hierarchy_json(&self.icache)),
+            ("dcache", hierarchy_json(&self.dcache)),
+            ("unified_l2", Value::Bool(self.unified_l2)),
+        ];
+        if let Some(obs) = &self.obs {
+            pairs.push(("obs", obs.to_json()));
+        }
+        Value::obj(pairs)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +355,7 @@ mod tests {
             icache: HierarchyCounters::default(),
             dcache: HierarchyCounters::default(),
             unified_l2: false,
+            obs: None,
         }
     }
 
@@ -336,6 +429,34 @@ mod tests {
         assert_eq!(r.mcpi(&CostModel::default()).total(), 0.0);
         assert_eq!(r.vmcpi(&CostModel::default()).total(), 0.0);
         assert_eq!(r.interrupt_cpi(&CostModel::default()), 0.0);
+    }
+
+    #[test]
+    fn raw_counts_json_round_trips() {
+        let counts = RawCounts {
+            user_instrs: 12345,
+            user_loads: 234,
+            user_stores: 56,
+            l1i_misses: 7,
+            handler_invocations: [3, 2, 1],
+            pte_mem: [9, 8, 7],
+            tlb_flushes: 4,
+            ..RawCounts::default()
+        };
+        let text = counts.to_json().to_string();
+        let parsed = vm_obs::json::parse(&text).unwrap();
+        assert_eq!(RawCounts::from_json(&parsed), Some(counts));
+    }
+
+    #[test]
+    fn report_json_carries_system_and_optional_sections() {
+        let mut r = report_with(RawCounts { user_instrs: 10, ..RawCounts::default() });
+        let v = r.to_json();
+        assert_eq!(v.get("system").unwrap().as_str(), Some("TEST"));
+        assert!(matches!(v.get("itlb"), Some(Value::Null)));
+        assert!(v.get("obs").is_none());
+        r.obs = Some(vm_obs::ObsSnapshot::default());
+        assert!(r.to_json().get("obs").is_some());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The memory system simulator: the paper's Section 3.1 algorithm.
 
-use serde::{Deserialize, Serialize};
 use vm_cache::CacheSystem;
+use vm_obs::{CacheId, Event, NopSink, Sink};
 use vm_ptable::{TlbRefill, WalkContext};
 use vm_tlb::Tlb;
 use vm_trace::InstrRecord;
@@ -14,7 +14,7 @@ use crate::system::{BuildError, SimConfig};
 ///
 /// With multiprogramming traces ([`vm_trace::Multiprogram`]) the choice
 /// matters enormously; on single-process traces the modes are identical.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AsidMode {
     /// Entries are tagged with the owning process's ASID (MIPS-style):
     /// translations survive context switches.
@@ -75,8 +75,15 @@ impl std::fmt::Debug for Mmu {
 /// Most users never construct one directly — see [`crate::simulate`] and
 /// [`SimConfig::build`] — but custom page-table organizations can be
 /// plugged in through [`MemorySystem::with_tlb_walker`].
+///
+/// The system is generic over an event [`Sink`]. The default,
+/// [`NopSink`], has `Sink::ENABLED == false`, so every instrumentation
+/// site compiles away and the un-instrumented simulator is exactly as
+/// fast (and behaves identically) as before the observability layer
+/// existed. Attach a real sink with [`MemorySystem::with_sink`] to
+/// receive typed [`Event`]s.
 #[derive(Debug)]
-pub struct MemorySystem {
+pub struct MemorySystem<S: Sink = NopSink> {
     label: String,
     caches: CacheSystem,
     mmu: Mmu,
@@ -86,19 +93,21 @@ pub struct MemorySystem {
     instrs_since_flush: u64,
     asid_mode: AsidMode,
     last_asid: Option<u16>,
+    sink: S,
 }
 
 /// The [`WalkContext`] the simulator hands to walkers: it routes handler
 /// fetches through the I-caches, PTE loads through the D-caches, and TLB
 /// traffic to the D-TLB, classifying every event into [`RawCounts`].
-struct WalkCtx<'a> {
+struct WalkCtx<'a, S: Sink> {
     caches: &'a mut CacheSystem,
     dtlb: Option<&'a mut Tlb>,
     counts: &'a mut RawCounts,
     asid_mode: AsidMode,
+    sink: &'a mut S,
 }
 
-impl WalkContext for WalkCtx<'_> {
+impl<S: Sink> WalkContext for WalkCtx<'_, S> {
     fn exec_handler(&mut self, level: HandlerLevel, base: MAddr, instrs: u32) {
         let i = lvl(level);
         self.counts.handler_invocations[i] += 1;
@@ -107,7 +116,19 @@ impl WalkContext for WalkCtx<'_> {
             // Miss events are counted inclusively, as for user references:
             // a fetch that goes to memory missed the L1 *and* the L2, so
             // it costs 20 + 500 cycles (Tables 2-3 applied uniformly).
-            let class = self.caches.fetch(base.add(n * 4));
+            let class = if S::ENABLED {
+                let (class, fill) = self.caches.fetch_observed(base.add(n * 4));
+                let now = self.counts.user_instrs;
+                if fill.l1_evicted {
+                    self.sink.emit(now, &Event::HandlerEviction { which_cache: CacheId::L1I });
+                }
+                if fill.l2_evicted {
+                    self.sink.emit(now, &Event::HandlerEviction { which_cache: CacheId::L2I });
+                }
+                class
+            } else {
+                self.caches.fetch(base.add(n * 4))
+            };
             if class.missed_l1() {
                 self.counts.handler_ifetch_l2 += 1;
             }
@@ -126,7 +147,19 @@ impl WalkContext for WalkCtx<'_> {
     fn pte_load(&mut self, level: HandlerLevel, addr: MAddr, bytes: u64) -> MissClass {
         let i = lvl(level);
         self.counts.pte_loads[i] += 1;
-        let class = self.caches.data_span(addr, bytes);
+        let class = if S::ENABLED {
+            let (class, fill) = self.caches.data_span_observed(addr, bytes);
+            let now = self.counts.user_instrs;
+            if fill.l1_evicted {
+                self.sink.emit(now, &Event::HandlerEviction { which_cache: CacheId::L1D });
+            }
+            if fill.l2_evicted {
+                self.sink.emit(now, &Event::HandlerEviction { which_cache: CacheId::L2D });
+            }
+            class
+        } else {
+            self.caches.data_span(addr, bytes)
+        };
         // Inclusive events, as for user references: a load that goes to
         // memory missed both levels and pays 20 + 500 cycles.
         if class.missed_l1() {
@@ -141,7 +174,24 @@ impl WalkContext for WalkCtx<'_> {
     fn dtlb_probe(&mut self, vpn: Vpn) -> bool {
         let key = tlb_key(vpn, self.asid_mode);
         match &mut self.dtlb {
-            Some(tlb) => tlb.lookup(key),
+            Some(tlb) => {
+                let hit = tlb.lookup(key);
+                // Nested misses (taken by a running handler on its own
+                // data reference) are attributed to the Kernel nesting
+                // tier, distinguishing them from top-level User misses.
+                if S::ENABLED && !hit {
+                    self.sink.emit(
+                        self.counts.user_instrs,
+                        &Event::TlbMiss {
+                            class: AccessKind::Load,
+                            level: HandlerLevel::Kernel,
+                            vpn,
+                            asid: vpn.asid(),
+                        },
+                    );
+                }
+                hit
+            }
             // A system without a TLB cannot take a TLB miss; treat every
             // probe as resident so custom walkers degrade gracefully.
             None => true,
@@ -150,18 +200,74 @@ impl WalkContext for WalkCtx<'_> {
 
     fn dtlb_insert_protected(&mut self, vpn: Vpn) {
         if let Some(tlb) = &mut self.dtlb {
-            tlb.insert_protected(tlb_key(vpn, self.asid_mode));
+            let victim = tlb.insert_protected(tlb_key(vpn, self.asid_mode));
+            if S::ENABLED {
+                if let Some(victim) = victim {
+                    self.sink.emit(
+                        self.counts.user_instrs,
+                        &Event::TlbEviction { class: AccessKind::Load, victim },
+                    );
+                }
+            }
         }
     }
 
     fn dtlb_insert(&mut self, vpn: Vpn) {
         if let Some(tlb) = &mut self.dtlb {
-            tlb.insert_user(tlb_key(vpn, self.asid_mode));
+            let victim = tlb.insert_user(tlb_key(vpn, self.asid_mode));
+            if S::ENABLED {
+                if let Some(victim) = victim {
+                    self.sink.emit(
+                        self.counts.user_instrs,
+                        &Event::TlbEviction { class: AccessKind::Load, victim },
+                    );
+                }
+            }
         }
     }
 
     fn interrupt(&mut self, level: HandlerLevel) {
         self.counts.interrupts[lvl(level)] += 1;
+        if S::ENABLED {
+            self.sink.emit(self.counts.user_instrs, &Event::Interrupt { level });
+        }
+    }
+}
+
+/// Snapshot of the [`RawCounts`] fields a walk can change, used to price
+/// one walk by differencing before/after ([`WalkCostSnapshot::charge`]).
+#[derive(Clone, Copy)]
+struct WalkCostSnapshot {
+    instr_cycles: u64,
+    inline_cycles: u64,
+    l2_events: u64,
+    mem_events: u64,
+    pte_loads: u64,
+}
+
+impl WalkCostSnapshot {
+    fn of(c: &RawCounts) -> WalkCostSnapshot {
+        WalkCostSnapshot {
+            instr_cycles: c.handler_instr_cycles.iter().sum(),
+            inline_cycles: c.inline_cycles.iter().sum(),
+            l2_events: c.handler_ifetch_l2 + c.pte_l2.iter().sum::<u64>(),
+            mem_events: c.handler_ifetch_mem + c.pte_mem.iter().sum::<u64>(),
+            pte_loads: c.pte_loads.iter().sum(),
+        }
+    }
+
+    /// Cycles and memory references charged since `self` was taken:
+    /// handler/inline work at one cycle per instruction plus the Table
+    /// 2/3 hierarchy penalties (20 per L2 event, 500 per memory event).
+    /// Interrupt costs are priced post-hoc by the cost model and are not
+    /// included.
+    fn charge(self, after: WalkCostSnapshot) -> (u64, u64) {
+        let cycles = (after.instr_cycles - self.instr_cycles)
+            + (after.inline_cycles - self.inline_cycles)
+            + 20 * (after.l2_events - self.l2_events)
+            + 500 * (after.mem_events - self.mem_events);
+        let memrefs = (after.pte_loads - self.pte_loads) + (after.instr_cycles - self.instr_cycles);
+        (cycles, memrefs)
     }
 }
 
@@ -192,6 +298,7 @@ impl MemorySystem {
             instrs_since_flush: 0,
             asid_mode,
             last_asid: None,
+            sink: NopSink,
         }
     }
 
@@ -232,6 +339,40 @@ impl MemorySystem {
     pub fn bare(label: impl Into<String>, caches: CacheSystem) -> MemorySystem {
         MemorySystem::from_parts(label.into(), caches, Mmu::Bare, None, AsidMode::Tagged)
     }
+}
+
+impl<S: Sink> MemorySystem<S> {
+    /// Replaces the event sink, monomorphizing an instrumented copy of
+    /// the simulator. Counters and warmed state carry over.
+    pub fn with_sink<S2: Sink>(self, sink: S2) -> MemorySystem<S2> {
+        MemorySystem {
+            label: self.label,
+            caches: self.caches,
+            mmu: self.mmu,
+            counts: self.counts,
+            flush_tlb_every: self.flush_tlb_every,
+            instrs_since_flush: self.instrs_since_flush,
+            asid_mode: self.asid_mode,
+            last_asid: self.last_asid,
+            sink,
+        }
+    }
+
+    /// The attached event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The attached event sink, mutably (e.g. to drain a recording).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the system, returning its sink (e.g. to `finish()` an
+    /// export sink after the run).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
 
     /// The system's display label.
     pub fn label(&self) -> &str {
@@ -256,22 +397,14 @@ impl MemorySystem {
         // changes (the OS reloads the page-table base).
         let asid = rec.pc.asid();
         if self.asid_mode == AsidMode::Untagged && self.last_asid.is_some_and(|a| a != asid) {
-            if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
-                self.counts.tlb_flushes += 1;
-                itlb.flush();
-                dtlb.flush();
-            }
+            self.flush_tlbs();
         }
         self.last_asid = Some(asid);
         if let Some(every) = self.flush_tlb_every {
             self.instrs_since_flush += 1;
             if self.instrs_since_flush >= every {
                 self.instrs_since_flush = 0;
-                if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
-                    self.counts.tlb_flushes += 1;
-                    itlb.flush();
-                    dtlb.flush();
-                }
+                self.flush_tlbs();
             }
         }
         self.counts.user_instrs += 1;
@@ -283,6 +416,21 @@ impl MemorySystem {
                 AccessKind::Fetch => {}
             }
             self.reference(d.addr, d.kind);
+        }
+    }
+
+    /// Flushes both TLBs for a simulated context switch (counted once per
+    /// flush, not per TLB).
+    fn flush_tlbs(&mut self) {
+        if let Mmu::Tlb { itlb, dtlb, .. } = &mut self.mmu {
+            self.counts.tlb_flushes += 1;
+            if S::ENABLED {
+                let entries_lost = (itlb.occupancy() + dtlb.occupancy()) as u32;
+                self.sink
+                    .emit(self.counts.user_instrs, &Event::ContextSwitchFlush { entries_lost });
+            }
+            itlb.flush();
+            dtlb.flush();
         }
     }
 
@@ -302,6 +450,19 @@ impl MemorySystem {
             let key = tlb_key(addr.vpn(), self.asid_mode);
             let hit = if kind == AccessKind::Fetch { itlb.lookup(key) } else { dtlb.lookup(key) };
             if !hit {
+                let now = self.counts.user_instrs;
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        &Event::TlbMiss {
+                            class: kind,
+                            level: HandlerLevel::User,
+                            vpn: addr.vpn(),
+                            asid: addr.vpn().asid(),
+                        },
+                    );
+                }
+                let before = S::ENABLED.then(|| WalkCostSnapshot::of(&self.counts));
                 // The handler's own data references go through the D-TLB
                 // regardless of which TLB missed. The walker always sees
                 // the full (tagged) page number: page tables are
@@ -311,12 +472,27 @@ impl MemorySystem {
                     dtlb: Some(dtlb),
                     counts: &mut self.counts,
                     asid_mode: self.asid_mode,
+                    sink: &mut self.sink,
                 };
                 walker.refill(&mut ctx, addr.vpn(), kind);
-                if kind == AccessKind::Fetch {
-                    itlb.insert_user(key);
+                if S::ENABLED {
+                    if let Some(before) = before {
+                        let (cycles, memrefs) = before.charge(WalkCostSnapshot::of(&self.counts));
+                        self.sink.emit(
+                            now,
+                            &Event::WalkComplete { level: HandlerLevel::User, cycles, memrefs },
+                        );
+                    }
+                }
+                let victim = if kind == AccessKind::Fetch {
+                    itlb.insert_user(key)
                 } else {
-                    dtlb.insert_user(key);
+                    dtlb.insert_user(key)
+                };
+                if S::ENABLED {
+                    if let Some(victim) = victim {
+                        self.sink.emit(now, &Event::TlbEviction { class: kind, victim });
+                    }
                 }
             }
         }
@@ -325,13 +501,25 @@ impl MemorySystem {
     /// softvm: the OS services every user-level L2 miss (NOTLB systems).
     fn service_l2_miss(&mut self, addr: MAddr, kind: AccessKind) {
         if let Mmu::NoTlb { walker } = &mut self.mmu {
+            let now = self.counts.user_instrs;
+            let before = S::ENABLED.then(|| WalkCostSnapshot::of(&self.counts));
             let mut ctx = WalkCtx {
                 caches: &mut self.caches,
                 dtlb: None,
                 counts: &mut self.counts,
                 asid_mode: self.asid_mode,
+                sink: &mut self.sink,
             };
             walker.refill(&mut ctx, addr.vpn(), kind);
+            if S::ENABLED {
+                if let Some(before) = before {
+                    let (cycles, memrefs) = before.charge(WalkCostSnapshot::of(&self.counts));
+                    self.sink.emit(
+                        now,
+                        &Event::WalkComplete { level: HandlerLevel::User, cycles, memrefs },
+                    );
+                }
+            }
         }
     }
 
@@ -348,6 +536,12 @@ impl MemorySystem {
                 *l1_ctr += 1;
                 *l2_ctr += 1;
             }
+        }
+        if S::ENABLED && class.missed_l1() {
+            self.sink.emit(
+                self.counts.user_instrs,
+                &Event::CacheMiss { class: kind, filled_from: class },
+            );
         }
         class
     }
@@ -378,6 +572,11 @@ impl MemorySystem {
             itlb.reset_counters();
             dtlb.reset_counters();
         }
+        // Keep the sink in lock-step with the counters so recorded events
+        // reconcile exactly with what the report measures.
+        if S::ENABLED {
+            self.sink.reset();
+        }
     }
 
     /// Snapshots a [`SimReport`] of everything counted so far.
@@ -395,6 +594,7 @@ impl MemorySystem {
             icache: cache_counters.instruction_side(),
             dcache: cache_counters.data_side(),
             unified_l2: cache_counters.unified,
+            obs: self.sink.snapshot(),
         }
     }
 }
@@ -415,12 +615,36 @@ pub fn simulate<I>(
 where
     I: IntoIterator<Item = InstrRecord>,
 {
-    let mut system = config.build()?;
+    simulate_with_sink(config, trace, warmup, measure, NopSink).map(|(report, _)| report)
+}
+
+/// As [`simulate`], but with an event sink attached: every TLB miss,
+/// walk, interrupt, flush and eviction during the *measurement* phase is
+/// emitted into `sink` (the sink is reset at the warm-up boundary, so
+/// events reconcile with the report's counters). Returns the report and
+/// the sink, the latter so export sinks can be `finish()`ed.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if `config` is internally inconsistent.
+pub fn simulate_with_sink<I, S>(
+    config: &SimConfig,
+    trace: I,
+    warmup: u64,
+    measure: u64,
+    sink: S,
+) -> Result<(SimReport, S), BuildError>
+where
+    I: IntoIterator<Item = InstrRecord>,
+    S: Sink,
+{
+    let mut system = config.build()?.with_sink(sink);
     let mut iter = trace.into_iter();
     system.run(&mut iter, warmup);
     system.reset_counters();
     system.run(&mut iter, measure);
-    Ok(system.report())
+    let report = system.report();
+    Ok((report, system.into_sink()))
 }
 
 /// Error from [`simulate_spec`]: either side of the pipeline failed to
@@ -603,6 +827,36 @@ mod tests {
         assert_eq!(r.counts.total_interrupts(), 0);
         assert!(r.counts.pte_loads[0] > 0);
         assert!(r.counts.inline_cycles[0] > 0);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_reconciles() {
+        let config = SimConfig::paper_default(SystemKind::Ultrix);
+        let plain = simulate(&config, presets::gcc(3), 30_000, 120_000).unwrap();
+        let (instr, sink) =
+            simulate_with_sink(&config, presets::gcc(3), 30_000, 120_000, vm_obs::StatsSink::new())
+                .unwrap();
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.counts, instr.counts);
+        assert_eq!(plain.itlb, instr.itlb);
+        assert_eq!(plain.dtlb, instr.dtlb);
+        // Events reconcile exactly with the measured counters.
+        let snap = sink.into_snapshot();
+        assert_eq!(
+            snap.total_tlb_misses(),
+            instr.itlb.unwrap().misses() + instr.dtlb.unwrap().misses()
+        );
+        assert_eq!(snap.counters.interrupts.iter().sum::<u64>(), instr.counts.total_interrupts());
+        assert_eq!(snap.counters.flushes, instr.counts.tlb_flushes);
+        assert_eq!(snap.walk_cycles.count(), snap.counters.walks[0]);
+        assert_eq!(instr.obs.as_ref(), Some(&snap));
+        assert!(snap.walk_cycles.count() > 0, "gcc must take TLB misses");
+    }
+
+    #[test]
+    fn nop_sink_report_carries_no_snapshot() {
+        let r = quick(SystemKind::Ultrix, 12);
+        assert!(r.obs.is_none());
     }
 
     #[test]

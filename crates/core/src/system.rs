@@ -4,7 +4,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use vm_cache::{Associativity, Cache, CacheConfig, CacheGeometryError, CacheSystem};
 use vm_ptable::{
     DisjunctWalker, HashedConfig, HashedWalker, InvertedConfig, InvertedWalker, MachWalker,
@@ -37,7 +36,7 @@ pub mod paper {
 /// The first six are the paper's Table 1 systems; the remainder are the
 /// hypothetical designs Section 4.2 invites the reader to interpolate,
 /// implemented here as ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Ultrix (BSD-like) on MIPS: software-managed TLB, two-tiered table.
     Ultrix,
@@ -154,7 +153,7 @@ impl fmt::Display for SystemKind {
 /// let system = cfg.build()?;
 /// # Ok::<(), vm_core::BuildError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Which architecture/OS combination to simulate.
     pub system: SystemKind,

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick|--full] [--threads N] [--out DIR] [--strict]
+//!                       [--events FILE] [--chrome-trace FILE]
+//!                       [--verbosity 0|1|2 | -q | -v]
 //!
 //! experiments:
 //!   tables                    Tables 1-4
@@ -14,25 +16,30 @@
 //!   fig13                     total VM overhead (the 5-10% -> 10-30% result)
 //!   abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp
 //!   suite                     six workloads x five systems, seed-replicated
+//!   telemetry                 instrumented pass: walk-latency histograms
+//!                             per system (implied by --events/--chrome-trace)
 //!   figs                      fig6..fig13
 //!   all                       everything above
 //!
 //! one-off simulation:
 //!   run [--system S] [--workload W] [--l1 16K] [--l1-line 64]
 //!       [--l2 1M] [--l2-line 128] [--tlb-entries 128] [--unified]
-//!       [--instrs N] [--seed N]
+//!       [--instrs N] [--seed N] [--events FILE] [--chrome-trace FILE]
+//!
+//! Results (tables, claims, CSV) go to stdout; progress (headings,
+//! heartbeats, timings) goes to stderr, gated by --verbosity.
 //! ```
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vm_core::cost::CostModel;
-use vm_core::{simulate, SimConfig, SystemKind};
+use vm_core::{SimConfig, SystemKind};
 use vm_experiments::{
-    ablations, fig6, fig8, interrupts, mcpi, multiprog, suite, tables, tlbsize, total,
+    ablations, fig6, fig8, interrupts, mcpi, multiprog, suite, tables, telemetry, tlbsize, total,
 };
-use vm_experiments::{Claim, RunScale};
+use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
 use vm_trace::presets;
 
 /// Parses "16K" / "1M" / "512" style size strings into bytes.
@@ -46,12 +53,22 @@ fn parse_size(s: &str) -> Option<u64> {
     num.parse::<u64>().ok().map(|n| n * mult)
 }
 
+/// Writes an export buffer to `path`, reporting the outcome on stderr.
+fn write_export(reporter: &Reporter, path: &Path, bytes: &[u8]) {
+    match std::fs::write(path, bytes) {
+        Ok(()) => reporter.progress(format!("wrote {} ({} bytes)", path.display(), bytes.len())),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
 /// The `run` subcommand: one custom simulation, full report.
 fn run_one(args: &[String]) -> Result<(), String> {
     let mut config = SimConfig::paper_default(SystemKind::Ultrix);
     let mut workload = presets::gcc_spec();
     let mut instrs: u64 = 2_000_000;
     let mut seed: u64 = 42;
+    let mut events: Option<PathBuf> = None;
+    let mut chrome: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -80,11 +97,32 @@ fn run_one(args: &[String]) -> Result<(), String> {
             "--unified" => config.unified_l2 = true,
             "--instrs" => instrs = value("--instrs")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
+            "--chrome-trace" => chrome = Some(PathBuf::from(value("--chrome-trace")?)),
+            "--verbosity" => {
+                let v = value("--verbosity")?;
+                set_global_verbosity(
+                    Verbosity::parse(&v).ok_or_else(|| format!("bad --verbosity `{v}`"))?,
+                );
+            }
+            "-q" | "--quiet" => set_global_verbosity(Verbosity::Quiet),
+            "-v" | "--verbose" => set_global_verbosity(Verbosity::Verbose),
             other => return Err(format!("unknown flag `{other}` for run")),
         }
     }
-    let trace = workload.build(seed).map_err(|e| e.to_string())?;
-    let report = simulate(&config, trace, instrs / 4, instrs).map_err(|e| e.to_string())?;
+    // Validate CLI-supplied geometry and workload up front so errors
+    // surface as messages instead of telemetry-pass panics.
+    config.build().map_err(|e| e.to_string())?;
+    workload.build(seed).map_err(|e| e.to_string())?;
+    let reporter = Reporter::global();
+    let scale = RunScale { warmup: instrs / 4, measure: instrs };
+    let tele = telemetry::run(
+        &telemetry::Config::single(config, workload.clone(), seed, scale),
+        events.is_some(),
+        chrome.is_some(),
+        &reporter,
+    );
+    let report = &tele.runs[0].report;
     let cost = CostModel::default();
     println!(
         "{} on {} — {} measured instructions (seed {seed})",
@@ -138,6 +176,24 @@ fn run_one(args: &[String]) -> Result<(), String> {
         );
     }
     println!("total CPI @50-cycle interrupts = {:.4}", report.total_cpi(&cost));
+    let s = &tele.runs[0].snapshot;
+    let wc = s.walk_cycles.summary();
+    let im = s.inter_miss.summary();
+    println!(
+        "walk latency (cycles): n={} p50={} p90={} p99={} max={}",
+        wc.count, wc.p50, wc.p90, wc.p99, wc.max
+    );
+    println!(
+        "handler footprint {:.2} memrefs/walk; inter-miss distance p50 = {} instrs",
+        s.walk_memrefs.mean(),
+        im.p50
+    );
+    if let (Some(path), Some(buf)) = (&events, &tele.events_jsonl) {
+        write_export(&reporter, path, buf);
+    }
+    if let (Some(path), Some(buf)) = (&chrome, &tele.chrome_trace) {
+        write_export(&reporter, path, buf);
+    }
     Ok(())
 }
 
@@ -147,17 +203,26 @@ struct Options {
     out: Option<PathBuf>,
     strict: bool,
     workload: Option<String>,
+    events: Option<PathBuf>,
+    chrome: Option<PathBuf>,
 }
 
 /// Restores the default SIGPIPE disposition so piping into `head`/`less`
 /// terminates the process quietly instead of panicking on a broken-pipe
 /// write error (Rust ignores SIGPIPE by default).
 fn reset_sigpipe() {
-    // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
-    // performed once before any other work.
     #[cfg(unix)]
-    unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGPIPE: i32 = 13;
+        const SIG_DFL: usize = 0;
+        // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
+        // performed once before any other work.
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
     }
 }
 
@@ -173,7 +238,7 @@ fn save(opts: &Options, name: &str, csv: &str) {
         }
         let path = dir.join(format!("{name}.csv"));
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
+            Ok(()) => Reporter::global().progress(format!("wrote {}", path.display())),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
     }
@@ -202,15 +267,24 @@ fn report_claims(all: &mut Vec<Claim>, claims: Vec<Claim>) {
     all.extend(claims);
 }
 
-fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bool {
+fn run_experiment(
+    name: &str,
+    opts: &Options,
+    reporter: &Reporter,
+    all_claims: &mut Vec<Claim>,
+) -> bool {
     match name {
         "tables" => {
+            reporter.progress("== tables: cost parameters and system survey ==");
             println!("{}", tables::render_all());
         }
         "fig6" | "fig7" => {
             let default = if name == "fig6" { presets::gcc_spec() } else { presets::vortex_spec() };
             let Some(workload) = resolve_workload(opts, default) else { return false };
-            println!("== {name}: VMCPI vs L1/L2 cache size and line size — {} ==", workload.name);
+            reporter.progress(format!(
+                "== {name}: VMCPI vs L1/L2 cache size and line size — {} ==",
+                workload.name
+            ));
             let mut cfg = if opts.scale == RunScale::QUICK {
                 fig6::Config::quick(workload)
             } else {
@@ -226,7 +300,10 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
         "fig8" | "fig9" => {
             let default = if name == "fig8" { presets::gcc_spec() } else { presets::vortex_spec() };
             let Some(workload) = resolve_workload(opts, default) else { return false };
-            println!("== {name}: VMCPI break-downs — {} (64/128-byte lines) ==", workload.name);
+            reporter.progress(format!(
+                "== {name}: VMCPI break-downs — {} (64/128-byte lines) ==",
+                workload.name
+            ));
             let mut cfg = if opts.scale == RunScale::QUICK {
                 fig8::Config::quick(workload)
             } else {
@@ -240,7 +317,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "fig10" => {
-            println!("== fig10: the cost of precise interrupts ==");
+            reporter.progress("== fig10: the cost of precise interrupts ==");
             let mut cfg = interrupts::Config::paper(presets::paper_benchmarks());
             cfg.scale = opts.scale;
             cfg.threads = opts.threads;
@@ -250,7 +327,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "fig11" => {
-            println!("== fig11: TLB-size sensitivity ==");
+            reporter.progress("== fig11: TLB-size sensitivity ==");
             let mut cfg = tlbsize::Config::paper(vec![presets::gcc_spec(), presets::vortex_spec()]);
             cfg.scale = opts.scale;
             cfg.threads = opts.threads;
@@ -260,7 +337,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "fig12" => {
-            println!("== fig12: cache misses inflicted on the application ==");
+            reporter.progress("== fig12: cache misses inflicted on the application ==");
             let mut cfg = mcpi::Config::paper(presets::paper_benchmarks());
             cfg.scale = opts.scale;
             cfg.threads = opts.threads;
@@ -270,7 +347,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "fig13" => {
-            println!("== fig13: total VM overhead ==");
+            reporter.progress("== fig13: total VM overhead ==");
             let mut cfg = total::Config::paper(presets::paper_benchmarks());
             cfg.scale = opts.scale;
             cfg.threads = opts.threads;
@@ -280,7 +357,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "abl-mp" => {
-            println!("== abl-mp: multiprogramming — ASID-tagged vs untagged TLBs ==");
+            reporter.progress("== abl-mp: multiprogramming — ASID-tagged vs untagged TLBs ==");
             let mut cfg = multiprog::Config::default_mix(vec![
                 presets::gcc_spec(),
                 presets::vortex_spec(),
@@ -293,7 +370,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             report_claims(all_claims, r.claims());
         }
         "suite" => {
-            println!("== suite: six workloads x five systems, seed-replicated ==");
+            reporter.progress("== suite: six workloads x five systems, seed-replicated ==");
             let mut cfg = suite::Config::default_suite(presets::all_benchmarks());
             cfg.scale = opts.scale;
             cfg.threads = opts.threads;
@@ -307,7 +384,7 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
                 .into_iter()
                 .find(|a| a.name() == name)
                 .expect("matched above");
-            println!("== {name} ==");
+            reporter.progress(format!("== {name} =="));
             let mut cfg =
                 ablations::Config::new(ablation, vec![presets::gcc_spec(), presets::vortex_spec()]);
             cfg.scale = opts.scale;
@@ -316,6 +393,22 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
             println!("{}", r.render());
             save(opts, name, &r.to_csv());
             report_claims(all_claims, r.claims());
+        }
+        "telemetry" => {
+            let Some(workload) = resolve_workload(opts, presets::gcc_spec()) else { return false };
+            reporter.progress(format!(
+                "== telemetry: instrumented pass over the paper systems — {} ==",
+                workload.name
+            ));
+            let cfg = telemetry::Config::paper_systems(workload, opts.scale);
+            let t = telemetry::run(&cfg, opts.events.is_some(), opts.chrome.is_some(), reporter);
+            println!("{}", t.render_summary());
+            if let (Some(path), Some(buf)) = (&opts.events, &t.events_jsonl) {
+                write_export(reporter, path, buf);
+            }
+            if let (Some(path), Some(buf)) = (&opts.chrome, &t.chrome_trace) {
+                write_export(reporter, path, buf);
+            }
         }
         other => {
             eprintln!("unknown experiment `{other}` (try: tables figs all)");
@@ -328,6 +421,9 @@ fn run_experiment(name: &str, opts: &Options, all_claims: &mut Vec<Claim>) -> bo
 
 fn main() -> ExitCode {
     reset_sigpipe();
+    // Binaries default to Normal (library callers stay Quiet); the
+    // verbosity flags below override.
+    set_global_verbosity(Verbosity::Normal);
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("run") {
         return match run_one(&args[1..]) {
@@ -344,13 +440,39 @@ fn main() -> ExitCode {
         out: None,
         strict: false,
         workload: None,
+        events: None,
+        chrome: None,
     };
+    let mut verbosity = Verbosity::Normal;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => opts.scale = RunScale::QUICK,
             "--strict" => opts.strict = true,
+            "--events" => match it.next() {
+                Some(p) => opts.events = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--events needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--chrome-trace" => match it.next() {
+                Some(p) => opts.chrome = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--chrome-trace needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verbosity" => match it.next().as_deref().and_then(Verbosity::parse) {
+                Some(v) => verbosity = v,
+                None => {
+                    eprintln!("--verbosity needs 0|1|2 (or quiet|normal|verbose)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-q" | "--quiet" => verbosity = Verbosity::Quiet,
+            "-v" | "--verbose" => verbosity = Verbosity::Verbose,
             "--workload" => match it.next() {
                 Some(w) => opts.workload = Some(w),
                 None => {
@@ -376,8 +498,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro <experiment>... [--quick|--full] [--threads N] [--out DIR] [--strict]\n\
+                     \x20                       [--events FILE] [--chrome-trace FILE] [--verbosity 0|1|2 | -q | -v]\n\
                      experiments: tables fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
-                                  abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp suite figs all\n\
+                                  abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp suite telemetry figs all\n\
+                     telemetry:   --events writes a JSONL event stream, --chrome-trace a chrome://tracing\n\
+                                  document; either implies the `telemetry` experiment\n\
                      one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)"
                 );
                 return ExitCode::SUCCESS;
@@ -385,6 +510,8 @@ fn main() -> ExitCode {
             name => names.push(name.to_owned()),
         }
     }
+    set_global_verbosity(verbosity);
+    let reporter = Reporter::global();
     if names.is_empty() {
         names.push("all".to_owned());
     }
@@ -404,13 +531,21 @@ fn main() -> ExitCode {
             other => expanded.push(other.to_owned()),
         }
     }
+    // --events/--chrome-trace imply the instrumented pass.
+    if (opts.events.is_some() || opts.chrome.is_some())
+        && !expanded.iter().any(|n| n == "telemetry")
+    {
+        expanded.push("telemetry".to_owned());
+    }
 
     let started = std::time::Instant::now();
     let mut all_claims = Vec::new();
     for name in &expanded {
-        if !run_experiment(name, &opts, &mut all_claims) {
+        let t = std::time::Instant::now();
+        if !run_experiment(name, &opts, &reporter, &mut all_claims) {
             return ExitCode::FAILURE;
         }
+        reporter.progress(format!("[{name}] finished in {:.1}s", t.elapsed().as_secs_f64()));
     }
     if !all_claims.is_empty() {
         let passed = all_claims.iter().filter(|c| c.holds).count();

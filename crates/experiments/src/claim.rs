@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One qualitative claim from the paper, checked against this run.
 ///
 /// Claims encode the *shape* of a result — orderings, crossovers, rough
 /// factors — rather than absolute numbers, since the workloads are
 /// synthetic models of the SPEC '95 traces (see DESIGN.md).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Claim {
     /// The paper's statement, paraphrased.
     pub statement: String,

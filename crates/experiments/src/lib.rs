@@ -47,13 +47,16 @@ pub mod mcpi;
 pub mod multiprog;
 pub mod suite;
 pub mod tables;
+pub mod telemetry;
 pub mod tlbsize;
 pub mod total;
 
 mod claim;
+mod reporter;
 mod runner;
 mod table;
 
 pub use claim::Claim;
-pub use runner::{run_jobs, Job, Outcome, RunScale};
+pub use reporter::{set_global_verbosity, Reporter, Verbosity};
+pub use runner::{run_jobs, run_jobs_reported, Job, Outcome, RunScale};
 pub use table::TextTable;

@@ -1,0 +1,140 @@
+//! Verbosity-aware progress and result reporting for the experiment
+//! drivers.
+//!
+//! The convention throughout `repro` and the runner:
+//!
+//! * **stdout** carries results — tables, claims, CSV — and nothing
+//!   else, so output stays pipeable and diffable.
+//! * **stderr** carries progress — headings, heartbeats, wall-clock
+//!   timings, file-written notices — gated by [`Verbosity`].
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide verbosity, consulted by [`Reporter::global`]. Defaults to
+/// [`Verbosity::Quiet`] so library callers (and tests) stay silent unless
+/// a binary opts in.
+static GLOBAL_VERBOSITY: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide verbosity used by [`Reporter::global`] — called
+/// once by the `repro` binary after parsing `--verbosity`.
+pub fn set_global_verbosity(v: Verbosity) {
+    GLOBAL_VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+/// How chatty progress reporting should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Results only: nothing on stderr except errors.
+    Quiet,
+    /// Per-experiment headings, timings, and heartbeats (the default).
+    #[default]
+    Normal,
+    /// Everything, including per-job completion lines.
+    Verbose,
+}
+
+impl Verbosity {
+    /// Parses `0`/`1`/`2` or `quiet`/`normal`/`verbose`.
+    pub fn parse(s: &str) -> Option<Verbosity> {
+        match s {
+            "0" | "quiet" | "q" => Some(Verbosity::Quiet),
+            "1" | "normal" | "n" => Some(Verbosity::Normal),
+            "2" | "verbose" | "v" => Some(Verbosity::Verbose),
+            _ => None,
+        }
+    }
+}
+
+/// Routes experiment output to the right stream at the right verbosity.
+///
+/// Shared by reference across runner worker threads; all methods take
+/// `&self`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reporter {
+    verbosity: Verbosity,
+}
+
+impl Reporter {
+    /// A reporter at the given verbosity.
+    pub fn new(verbosity: Verbosity) -> Reporter {
+        Reporter { verbosity }
+    }
+
+    /// A reporter that never writes to stderr (used by library callers
+    /// that want the legacy silent behaviour).
+    pub fn silent() -> Reporter {
+        Reporter { verbosity: Verbosity::Quiet }
+    }
+
+    /// A reporter at the process-wide verbosity (see
+    /// [`set_global_verbosity`]); quiet unless a binary opted in.
+    pub fn global() -> Reporter {
+        Reporter {
+            verbosity: match GLOBAL_VERBOSITY.load(Ordering::Relaxed) {
+                0 => Verbosity::Quiet,
+                1 => Verbosity::Normal,
+                _ => Verbosity::Verbose,
+            },
+        }
+    }
+
+    /// The configured verbosity.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// A result line: stdout, always.
+    pub fn result(&self, msg: impl Display) {
+        println!("{msg}");
+    }
+
+    /// A progress line: stderr, at Normal verbosity and above.
+    pub fn progress(&self, msg: impl Display) {
+        if self.verbosity >= Verbosity::Normal {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// A detail line (per-job completions, heartbeats): stderr, at
+    /// Verbose only.
+    pub fn detail(&self, msg: impl Display) {
+        if self.verbosity >= Verbosity::Verbose {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// A heartbeat line: stderr, at Normal and above. Kept distinct from
+    /// [`Reporter::detail`] so long sweeps stay visible by default.
+    pub fn heartbeat(&self, msg: impl Display) {
+        if self.verbosity >= Verbosity::Normal {
+            eprintln!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_parses_names_and_digits() {
+        assert_eq!(Verbosity::parse("0"), Some(Verbosity::Quiet));
+        assert_eq!(Verbosity::parse("quiet"), Some(Verbosity::Quiet));
+        assert_eq!(Verbosity::parse("1"), Some(Verbosity::Normal));
+        assert_eq!(Verbosity::parse("verbose"), Some(Verbosity::Verbose));
+        assert_eq!(Verbosity::parse("3"), None);
+    }
+
+    #[test]
+    fn verbosity_orders_quiet_below_verbose() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert_eq!(Verbosity::default(), Verbosity::Normal);
+    }
+
+    #[test]
+    fn silent_reporter_is_quiet() {
+        assert_eq!(Reporter::silent().verbosity(), Verbosity::Quiet);
+    }
+}

@@ -1,7 +1,14 @@
-//! Parallel execution of simulation jobs.
+//! Parallel execution of simulation jobs, with an optional heartbeat
+//! reporting throughput (instructions/second) and the fraction of the
+//! planned trace consumed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use vm_core::{simulate, SimConfig, SimReport};
-use vm_trace::WorkloadSpec;
+use vm_trace::{InstrRecord, WorkloadSpec};
+
+use crate::reporter::Reporter;
 
 /// Run-length presets trading fidelity against wall-clock time.
 ///
@@ -67,8 +74,61 @@ pub struct Outcome {
     pub report: SimReport,
 }
 
+/// Wraps a trace iterator, periodically flushing the number of records
+/// consumed into a shared counter the heartbeat thread reads.
+struct CountedTrace<'a, I> {
+    inner: I,
+    consumed: &'a AtomicU64,
+    local: u64,
+}
+
+/// Flush granularity for [`CountedTrace`]: coarse enough that the shared
+/// counter stays off the simulation's hot path.
+const FLUSH_EVERY: u64 = 8192;
+
+impl<I: Iterator<Item = InstrRecord>> Iterator for CountedTrace<'_, I> {
+    type Item = InstrRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<InstrRecord> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.local += 1;
+            if self.local == FLUSH_EVERY {
+                self.consumed.fetch_add(self.local, Ordering::Relaxed);
+                self.local = 0;
+            }
+        }
+        item
+    }
+}
+
+impl<I> Drop for CountedTrace<'_, I> {
+    fn drop(&mut self) {
+        if self.local > 0 {
+            self.consumed.fetch_add(self.local, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Renders an instruction count as `1.2M` / `340k` / `999`.
+fn fmt_instrs(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
 /// Runs `jobs` on up to `threads` worker threads, returning outcomes in
 /// job order. Results are deterministic regardless of thread count.
+///
+/// Equivalent to [`run_jobs_reported`] with the process-global reporter
+/// (silent unless a binary raised the global verbosity).
 ///
 /// # Panics
 ///
@@ -76,26 +136,89 @@ pub struct Outcome {
 /// are constructed from validated presets, so a failure is a programming
 /// error in the experiment definition, not an input error.
 pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<Outcome> {
+    run_jobs_reported(jobs, threads, &Reporter::global(), "sweep")
+}
+
+/// [`run_jobs`] with progress reporting: a heartbeat line roughly every
+/// two seconds giving cumulative instructions simulated, simulation
+/// throughput, and the percentage of the planned trace consumed, plus a
+/// per-job completion line at Verbose.
+pub fn run_jobs_reported(
+    jobs: Vec<Job>,
+    threads: usize,
+    reporter: &Reporter,
+    label: &str,
+) -> Vec<Outcome> {
     let threads = threads.max(1).min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let planned: u64 = jobs.iter().map(|j| j.scale.warmup + j.scale.measure).sum();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let consumed = AtomicU64::new(0);
+    let finished = AtomicBool::new(false);
+    let started = Instant::now();
     let results: Vec<std::sync::Mutex<Option<Outcome>>> =
         jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            workers.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let job = &jobs[i];
+                let job_start = Instant::now();
                 let trace = job
                     .workload
                     .build(job.trace_seed)
                     .unwrap_or_else(|e| panic!("job `{}`: {e}", job.label));
-                let report = simulate(&job.config, trace, job.scale.warmup, job.scale.measure)
+                let counted = CountedTrace { inner: trace, consumed: &consumed, local: 0 };
+                let report = simulate(&job.config, counted, job.scale.warmup, job.scale.measure)
                     .unwrap_or_else(|e| panic!("job `{}`: {e}", job.label));
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                reporter.detail(format!(
+                    "  [{label}] {k}/{} `{}` done in {:.2}s",
+                    jobs.len(),
+                    job.label,
+                    job_start.elapsed().as_secs_f64()
+                ));
                 *results[i].lock().unwrap() = Some(Outcome { job: job.clone(), report });
-            });
+            }));
+        }
+        // Heartbeat: silent for short sweeps (first beat after ~2s),
+        // periodic progress for long ones.
+        scope.spawn(|| {
+            let mut waited = Duration::ZERO;
+            let step = Duration::from_millis(100);
+            loop {
+                std::thread::sleep(step);
+                if finished.load(Ordering::Relaxed) {
+                    break;
+                }
+                waited += step;
+                if waited < Duration::from_secs(2) {
+                    continue;
+                }
+                waited = Duration::ZERO;
+                let instrs = consumed.load(Ordering::Relaxed);
+                let elapsed = started.elapsed().as_secs_f64();
+                let pct = if planned == 0 { 100.0 } else { 100.0 * instrs as f64 / planned as f64 };
+                reporter.heartbeat(format!(
+                    "  [{label}] {}/{} jobs, {} instrs ({:.0}% of trace) at {}/s",
+                    done.load(Ordering::Relaxed),
+                    jobs.len(),
+                    fmt_instrs(instrs),
+                    pct.min(100.0),
+                    fmt_instrs((instrs as f64 / elapsed.max(1e-9)) as u64),
+                ));
+            }
+        });
+        let worker_panic = workers.into_iter().find_map(|w| w.join().err());
+        // Stop the heartbeat before (possibly) re-panicking, or the scope
+        // would block forever joining it.
+        finished.store(true, Ordering::Relaxed);
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     results.into_iter().map(|m| m.into_inner().unwrap().expect("every job ran")).collect()

@@ -1,0 +1,202 @@
+//! Typed simulation events.
+//!
+//! Events describe *what happened* in the simulated memory system; sinks
+//! decide what to do with them (count, histogram, serialize, drop). The
+//! enum is deliberately small and `Copy` so emitting into a recording
+//! sink is cheap and the no-op path can discard events for free.
+
+use vm_types::{AccessKind, HandlerLevel, MissClass, Vpn};
+
+use crate::json::Value;
+
+/// Which simulated cache an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheId {
+    /// Level-1 instruction cache.
+    L1I,
+    /// Level-1 data cache.
+    L1D,
+    /// Level-2 instruction cache (or the unified L2 on I-side fills).
+    L2I,
+    /// Level-2 data cache (or the unified L2 on D-side fills).
+    L2D,
+}
+
+impl CacheId {
+    /// Short lower-case label (`l1i`, `l1d`, `l2i`, `l2d`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheId::L1I => "l1i",
+            CacheId::L1D => "l1d",
+            CacheId::L2I => "l2i",
+            CacheId::L2D => "l2d",
+        }
+    }
+}
+
+/// A single observable occurrence inside the simulator.
+///
+/// The `now` timestamp (user instructions retired so far) is passed
+/// alongside the event by [`crate::Sink::emit`] rather than stored here,
+/// so events stay `Copy` and timestamp handling lives in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A TLB lookup missed and a refill was started.
+    TlbMiss {
+        /// Which reference class took the miss.
+        class: AccessKind,
+        /// Handler nesting level the miss was taken at.
+        level: HandlerLevel,
+        /// The virtual page that missed.
+        vpn: Vpn,
+        /// Address-space identifier of the missing page.
+        asid: u16,
+    },
+    /// A page-table walk (one TLB refill) finished.
+    WalkComplete {
+        /// Handler nesting level of the walk.
+        level: HandlerLevel,
+        /// Estimated machine cycles the walk cost (handler instructions
+        /// plus memory-hierarchy penalties at Table 2/3 prices).
+        cycles: u64,
+        /// Memory references the walk itself issued (PTE loads plus
+        /// handler instruction fetches).
+        memrefs: u64,
+    },
+    /// A miss-handler code fetch evicted a line from a cache.
+    HandlerEviction {
+        /// The cache the victim line lived in.
+        which_cache: CacheId,
+    },
+    /// The TLB was flushed on a simulated context switch.
+    ContextSwitchFlush {
+        /// Entries that were valid (and lost) at flush time.
+        entries_lost: u32,
+    },
+    /// A precise interrupt was charged (e.g. for a hardware-walker miss
+    /// or a protection fault into the OS).
+    Interrupt {
+        /// Handler nesting level the interrupt was charged at.
+        level: HandlerLevel,
+    },
+    /// A memory reference was satisfied somewhere in the hierarchy.
+    /// Only emitted for references that missed the L1 (hit volume would
+    /// swamp any stream; L1 hits are reconstructable from counters).
+    CacheMiss {
+        /// Which reference class missed.
+        class: AccessKind,
+        /// Where the reference was finally satisfied.
+        filled_from: MissClass,
+    },
+    /// A TLB insertion displaced a live entry.
+    TlbEviction {
+        /// Which reference class's TLB (Fetch = I-TLB, Load/Store = D-TLB).
+        class: AccessKind,
+        /// The virtual page that was displaced.
+        victim: Vpn,
+    },
+}
+
+impl Event {
+    /// Stable machine-readable event name (the `ev` field in JSONL).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::TlbMiss { .. } => "tlb_miss",
+            Event::WalkComplete { .. } => "walk_complete",
+            Event::HandlerEviction { .. } => "handler_eviction",
+            Event::ContextSwitchFlush { .. } => "context_switch_flush",
+            Event::Interrupt { .. } => "interrupt",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::TlbEviction { .. } => "tlb_eviction",
+        }
+    }
+
+    /// Serializes the event (with its timestamp) to the stable JSONL
+    /// object schema: `{"t":…,"ev":…, …payload}`.
+    pub fn to_json(&self, now: u64) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            vec![("t".to_owned(), now.into()), ("ev".to_owned(), self.name().into())];
+        let mut put = |k: &str, v: Value| pairs.push((k.to_owned(), v));
+        match *self {
+            Event::TlbMiss { class, level, vpn, asid } => {
+                put("class", class.to_string().into());
+                put("level", level.to_string().into());
+                put("vpn", vpn.raw().into());
+                put("asid", asid.into());
+            }
+            Event::WalkComplete { level, cycles, memrefs } => {
+                put("level", level.to_string().into());
+                put("cycles", cycles.into());
+                put("memrefs", memrefs.into());
+            }
+            Event::HandlerEviction { which_cache } => {
+                put("cache", which_cache.label().into());
+            }
+            Event::ContextSwitchFlush { entries_lost } => {
+                put("entries_lost", entries_lost.into());
+            }
+            Event::Interrupt { level } => {
+                put("level", level.to_string().into());
+            }
+            Event::CacheMiss { class, filled_from } => {
+                put("class", class.to_string().into());
+                put("filled_from", filled_from.to_string().into());
+            }
+            Event::TlbEviction { class, victim } => {
+                put("class", class.to_string().into());
+                put("victim", victim.raw().into());
+            }
+        }
+        Value::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use vm_types::AddressSpace;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::TlbMiss {
+                class: AccessKind::Load,
+                level: HandlerLevel::User,
+                vpn: Vpn::new(AddressSpace::User, 0x1234),
+                asid: 3,
+            },
+            Event::WalkComplete { level: HandlerLevel::User, cycles: 42, memrefs: 3 },
+            Event::HandlerEviction { which_cache: CacheId::L1I },
+            Event::ContextSwitchFlush { entries_lost: 17 },
+            Event::Interrupt { level: HandlerLevel::Kernel },
+            Event::CacheMiss { class: AccessKind::Fetch, filled_from: MissClass::Memory },
+            Event::TlbEviction {
+                class: AccessKind::Store,
+                victim: Vpn::new(AddressSpace::User, 9),
+            },
+        ]
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let names: Vec<_> = sample_events().iter().map(|e| e.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+        }
+    }
+
+    #[test]
+    fn json_always_has_t_and_ev() {
+        for (i, ev) in sample_events().into_iter().enumerate() {
+            let v = ev.to_json(i as u64);
+            assert_eq!(v.get("t").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(v.get("ev").unwrap().as_str(), Some(ev.name()));
+            // Every line the simulator writes must be parseable.
+            assert_eq!(json::parse(&v.to_string()).unwrap(), v);
+        }
+    }
+}

@@ -1,19 +1,31 @@
-//! Property-based tests of the page-table walkers against a recording
+//! Randomized tests of the page-table walkers against a recording
 //! context: structural invariants that must hold for *any* faulting page.
+//! Driven by a seeded [`SplitMix64`] stream (the workspace carries no
+//! third-party property-testing framework).
 
-use proptest::prelude::*;
 use vm_ptable::mock::{RecordingContext, WalkEvent};
 use vm_ptable::{
     DisjunctWalker, HashedConfig, HashedWalker, MachWalker, TlbRefill, UltrixWalker, X86Walker,
 };
-use vm_types::{AccessKind, AddressSpace, HandlerLevel, MissClass, Vpn};
+use vm_types::{AccessKind, AddressSpace, HandlerLevel, MissClass, SplitMix64, Vpn};
 
-fn uvpn() -> impl Strategy<Value = Vpn> {
-    (0u64..(1 << 19)).prop_map(|i| Vpn::new(AddressSpace::User, i))
+const CASES: usize = 40;
+
+fn uvpn(rng: &mut SplitMix64) -> Vpn {
+    Vpn::new(AddressSpace::User, rng.next_below(1 << 19))
 }
 
-fn any_kind() -> impl Strategy<Value = AccessKind> {
-    prop_oneof![Just(AccessKind::Fetch), Just(AccessKind::Load), Just(AccessKind::Store)]
+fn uvpns(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<Vpn> {
+    let n = min + rng.next_below(max - min);
+    (0..n).map(|_| uvpn(rng)).collect()
+}
+
+fn any_kind(rng: &mut SplitMix64) -> AccessKind {
+    match rng.next_below(3) {
+        0 => AccessKind::Fetch,
+        1 => AccessKind::Load,
+        _ => AccessKind::Store,
+    }
 }
 
 /// Interrupts precede their handler execution, pairwise, for software
@@ -35,9 +47,12 @@ fn interrupts_precede_handlers(events: &[WalkEvent]) -> bool {
     pending.is_empty()
 }
 
-proptest! {
-    #[test]
-    fn ultrix_walks_are_bounded_and_well_formed(vpns in prop::collection::vec(uvpn(), 1..50), kind in any_kind()) {
+#[test]
+fn ultrix_walks_are_bounded_and_well_formed() {
+    let mut rng = SplitMix64::new(0x317);
+    for case in 0..CASES {
+        let vpns = uvpns(&mut rng, 1, 50);
+        let kind = any_kind(&mut rng);
         let mut w = UltrixWalker::new();
         let mut ctx = RecordingContext::new();
         for vpn in vpns {
@@ -45,74 +60,102 @@ proptest! {
             w.refill(&mut ctx, vpn, kind);
             let new = &ctx.events[start..];
             // At most two levels, at most two PTE loads, ordered root->user.
-            let loads: Vec<_> = new.iter().filter(|e| matches!(e, WalkEvent::PteLoad { .. })).collect();
-            prop_assert!(loads.len() <= 2);
-            let last_is_user = matches!(loads.last().unwrap(), WalkEvent::PteLoad { level: HandlerLevel::User, .. });
-            prop_assert!(last_is_user);
-            prop_assert!(interrupts_precede_handlers(new));
+            let loads: Vec<_> =
+                new.iter().filter(|e| matches!(e, WalkEvent::PteLoad { .. })).collect();
+            assert!(loads.len() <= 2, "case {case}");
+            let last_is_user = matches!(
+                loads.last().unwrap(),
+                WalkEvent::PteLoad { level: HandlerLevel::User, .. }
+            );
+            assert!(last_is_user, "case {case}");
+            assert!(interrupts_precede_handlers(new), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ultrix_second_walk_same_page_region_is_cheap(vpn in uvpn()) {
+#[test]
+fn ultrix_second_walk_same_page_region_is_cheap() {
+    let mut rng = SplitMix64::new(0x2e9);
+    for case in 0..CASES {
+        let vpn = uvpn(&mut rng);
         let mut w = UltrixWalker::new();
         let mut ctx = RecordingContext::new();
         w.refill(&mut ctx, vpn, AccessKind::Load);
         let first = ctx.events.len();
         w.refill(&mut ctx, vpn, AccessKind::Load);
         let second = ctx.events.len() - first;
-        prop_assert!(second <= first, "warm walk must not exceed cold walk");
+        assert!(second <= first, "case {case}: warm walk must not exceed cold walk");
         // The warm walk is exactly interrupt + handler + probe + PTE load.
-        prop_assert_eq!(second, 4);
+        assert_eq!(second, 4, "case {case}");
     }
+}
 
-    #[test]
-    fn mach_nests_at_most_three_levels(vpns in prop::collection::vec(uvpn(), 1..50)) {
+#[test]
+fn mach_nests_at_most_three_levels() {
+    let mut rng = SplitMix64::new(0x3ac4);
+    for case in 0..CASES {
+        let vpns = uvpns(&mut rng, 1, 50);
         let mut w = MachWalker::new();
         let mut ctx = RecordingContext::new();
         for vpn in vpns {
             let start = ctx.events.len();
             w.refill(&mut ctx, vpn, AccessKind::Load);
             let new = &ctx.events[start..];
-            let interrupts = new.iter().filter(|e| matches!(e, WalkEvent::Interrupt { .. })).count();
-            prop_assert!(interrupts <= 3);
-            prop_assert!(interrupts_precede_handlers(new));
+            let interrupts =
+                new.iter().filter(|e| matches!(e, WalkEvent::Interrupt { .. })).count();
+            assert!(interrupts <= 3, "case {case}");
+            assert!(interrupts_precede_handlers(new), "case {case}");
             // The user-level PTE load always concludes the walk.
             let ends_with_user_load =
                 matches!(new.last().unwrap(), WalkEvent::PteLoad { level: HandlerLevel::User, .. });
-            prop_assert!(ends_with_user_load);
+            assert!(ends_with_user_load, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn x86_walks_are_always_exactly_three_events(vpns in prop::collection::vec(uvpn(), 1..80)) {
+#[test]
+fn x86_walks_are_always_exactly_three_events() {
+    let mut rng = SplitMix64::new(0x86);
+    for case in 0..CASES {
+        let vpns = uvpns(&mut rng, 1, 80);
         let mut w = X86Walker::new();
         let mut ctx = RecordingContext::new();
         for vpn in vpns {
             let start = ctx.events.len();
             w.refill(&mut ctx, vpn, AccessKind::Fetch);
             let new = &ctx.events[start..];
-            prop_assert_eq!(new.len(), 3);
-            let shape = (
-                matches!(new[0], WalkEvent::Inline { cycles: 7, .. }),
+            assert_eq!(new.len(), 3, "case {case}");
+            assert!(matches!(new[0], WalkEvent::Inline { cycles: 7, .. }), "case {case}");
+            assert!(
                 matches!(new[1], WalkEvent::PteLoad { level: HandlerLevel::Root, bytes: 4, .. }),
-                matches!(new[2], WalkEvent::PteLoad { level: HandlerLevel::User, bytes: 4, .. }),
+                "case {case}"
             );
-            prop_assert_eq!(shape, (true, true, true));
+            assert!(
+                matches!(new[2], WalkEvent::PteLoad { level: HandlerLevel::User, bytes: 4, .. }),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn x86_leaf_matches_ultrix_upt_index(vpn in uvpn()) {
-        // The apples-to-apples placement property, for any page.
+#[test]
+fn x86_leaf_matches_ultrix_upt_index() {
+    // The apples-to-apples placement property, for any page.
+    let mut rng = SplitMix64::new(0xa11);
+    for case in 0..200 {
+        let vpn = uvpn(&mut rng);
         let mut w = X86Walker::new();
         let intel = w.pt_entry(vpn).offset() - vm_ptable::layout::X86_PT_POOL_BASE;
         let ultrix = UltrixWalker::upt_entry(vpn).offset() - vm_ptable::layout::UPT_BASE;
-        prop_assert_eq!(intel, ultrix);
+        assert_eq!(intel, ultrix, "case {case}");
     }
+}
 
-    #[test]
-    fn hashed_walk_load_count_equals_chain_position(vpns in prop::collection::vec(uvpn(), 1..60)) {
+#[test]
+fn hashed_walk_load_count_equals_chain_position() {
+    let mut rng = SplitMix64::new(0x4a54);
+    for case in 0..CASES {
+        let vpns = uvpns(&mut rng, 1, 60);
         let mut w = HashedWalker::new(HashedConfig::paper());
         let mut ctx = RecordingContext::new();
         // Install all pages first (first walks), then verify re-walk costs.
@@ -126,32 +169,39 @@ proptest! {
                 .iter()
                 .filter(|e| matches!(e, WalkEvent::PteLoad { bytes: 16, .. }))
                 .count();
-            prop_assert!(loads >= 1);
-            prop_assert!(loads <= vpns.len(), "chain cannot exceed installed pages");
-            // The last load must be the matching entry; every load is
-            // 16 bytes (the Huck & Hays PTE).
+            assert!(loads >= 1, "case {case}");
+            assert!(loads <= vpns.len(), "case {case}: chain cannot exceed installed pages");
+            // Every load is 16 bytes (the Huck & Hays PTE).
             let all_16b = ctx.events[start..]
                 .iter()
                 .filter(|e| matches!(e, WalkEvent::PteLoad { .. }))
                 .all(|e| matches!(e, WalkEvent::PteLoad { bytes: 16, .. }));
-            prop_assert!(all_16b);
+            assert!(all_16b, "case {case}");
         }
-        prop_assert!(w.mean_chain_loads() >= 1.0);
-        prop_assert!(w.max_chain_len() <= vpns.len());
+        assert!(w.mean_chain_loads() >= 1.0, "case {case}");
+        assert!(w.max_chain_len() <= vpns.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn hashed_hash_is_stable_and_in_range(vpn in uvpn()) {
+#[test]
+fn hashed_hash_is_stable_and_in_range() {
+    let mut rng = SplitMix64::new(0x4a5);
+    for case in 0..200 {
+        let vpn = uvpn(&mut rng);
         let w = HashedWalker::new(HashedConfig::paper());
         let h1 = w.hash(vpn);
         let h2 = w.hash(vpn);
-        prop_assert_eq!(h1, h2);
-        prop_assert!(h1 < 4096);
+        assert_eq!(h1, h2, "case {case}");
+        assert!(h1 < 4096, "case {case}");
     }
+}
 
-    #[test]
-    fn disjunct_escalates_iff_pte_misses_l2(vpn in uvpn(), class_sel in 0u8..3) {
-        let class = match class_sel {
+#[test]
+fn disjunct_escalates_iff_pte_misses_l2() {
+    let mut rng = SplitMix64::new(0xd15);
+    for case in 0..120 {
+        let vpn = uvpn(&mut rng);
+        let class = match rng.next_below(3) {
             0 => MissClass::L1Hit,
             1 => MissClass::L2Hit,
             _ => MissClass::Memory,
@@ -163,17 +213,19 @@ proptest! {
             .events
             .iter()
             .any(|e| matches!(e, WalkEvent::Handler { level: HandlerLevel::Root, .. }));
-        prop_assert_eq!(escalated, class == MissClass::Memory);
-        prop_assert!(interrupts_precede_handlers(&ctx.events));
+        assert_eq!(escalated, class == MissClass::Memory, "case {case}");
+        assert!(interrupts_precede_handlers(&ctx.events), "case {case}");
     }
+}
 
-    #[test]
-    fn walkers_never_touch_the_itlb_and_only_protect_mapped_pages(
-        vpns in prop::collection::vec(uvpn(), 1..40),
-    ) {
-        // All protected insertions must be kernel-space pages (the tables
-        // live in kernel virtual space); user pages are inserted by the
-        // simulator, not the walker.
+#[test]
+fn walkers_never_touch_the_itlb_and_only_protect_mapped_pages() {
+    // All protected insertions must be kernel-space pages (the tables
+    // live in kernel virtual space); user pages are inserted by the
+    // simulator, not the walker.
+    let mut rng = SplitMix64::new(0x9a9);
+    for case in 0..CASES {
+        let vpns = uvpns(&mut rng, 1, 40);
         let mut walkers: Vec<Box<dyn TlbRefill>> = vec![
             Box::new(UltrixWalker::new()),
             Box::new(MachWalker::new()),
@@ -186,8 +238,10 @@ proptest! {
                 w.refill(&mut ctx, vpn, AccessKind::Load);
             }
             for e in &ctx.events {
-                if let WalkEvent::DtlbInsertProtected { vpn } | WalkEvent::DtlbInsertUser { vpn } = e {
-                    prop_assert_eq!(vpn.space(), AddressSpace::Kernel, "{}", w.name());
+                if let WalkEvent::DtlbInsertProtected { vpn } | WalkEvent::DtlbInsertUser { vpn } =
+                    e
+                {
+                    assert_eq!(vpn.space(), AddressSpace::Kernel, "case {case}: {}", w.name());
                 }
             }
         }

@@ -38,11 +38,10 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use vm_types::{SplitMix64, Vpn};
 
 /// Replacement policy for a fully-associative [`Tlb`] partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Replacement {
     /// Uniform random choice among the partition's slots — the paper's
     /// policy ("fully associative with random replacement", Table 1).
@@ -65,7 +64,7 @@ impl fmt::Display for Replacement {
 }
 
 /// Validated TLB geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     entries: usize,
     protected_slots: usize,
@@ -168,7 +167,7 @@ impl fmt::Display for TlbConfigError {
 impl Error for TlbConfigError {}
 
 /// Lookup / insertion counters for one TLB.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbCounters {
     /// Translations attempted.
     pub lookups: u64,
@@ -285,35 +284,37 @@ impl Tlb {
         self.index.contains_key(&vpn)
     }
 
-    /// Installs a user-level entry in the user partition.
-    pub fn insert_user(&mut self, vpn: Vpn) {
+    /// Installs a user-level entry in the user partition. Returns the
+    /// valid entry displaced to make room, if any.
+    pub fn insert_user(&mut self, vpn: Vpn) -> Option<Vpn> {
         let lo = self.config.protected_slots();
         let hi = self.config.entries();
-        self.insert_in(vpn, lo, hi);
+        self.insert_in(vpn, lo, hi)
     }
 
-    /// Installs a protected (kernel-level) entry.
+    /// Installs a protected (kernel-level) entry. Returns the valid entry
+    /// displaced to make room, if any.
     ///
     /// With a partitioned configuration this uses the reserved lower
     /// slots, mirroring the ULTRIX/MACH simulations; with no protected
     /// partition it falls back to the whole array.
-    pub fn insert_protected(&mut self, vpn: Vpn) {
+    pub fn insert_protected(&mut self, vpn: Vpn) -> Option<Vpn> {
         let hi = if self.config.protected_slots() > 0 {
             self.config.protected_slots()
         } else {
             self.config.entries()
         };
-        self.insert_in(vpn, 0, hi);
+        self.insert_in(vpn, 0, hi)
     }
 
-    fn insert_in(&mut self, vpn: Vpn, lo: usize, hi: usize) {
+    fn insert_in(&mut self, vpn: Vpn, lo: usize, hi: usize) -> Option<Vpn> {
         self.counters.insertions += 1;
         self.tick += 1;
         if let Some(&slot) = self.index.get(&vpn) {
             if (lo..hi).contains(&slot) {
                 // Refresh an already-resident entry in place.
                 self.slots[slot].stamp = self.tick;
-                return;
+                return None;
             }
             // Resident in the other partition: migrate, so a promotion to
             // the protected partition actually protects (and vice versa).
@@ -338,11 +339,13 @@ impl Tlb {
                 }
             }
         };
-        if let Some(old) = self.slots[victim].vpn.take() {
+        let displaced = self.slots[victim].vpn.take();
+        if let Some(old) = displaced {
             self.index.remove(&old);
         }
         self.slots[victim] = Slot { vpn: Some(vpn), stamp: self.tick };
         self.index.insert(vpn, victim);
+        displaced
     }
 }
 
@@ -399,9 +402,12 @@ mod tests {
     #[test]
     fn capacity_eviction_occurs() {
         let mut t = tiny(4, 0, Replacement::Random);
-        for i in 0..5 {
-            t.insert_user(vpn(i));
+        for i in 0..4 {
+            assert_eq!(t.insert_user(vpn(i)), None, "cold fills displace nothing");
         }
+        let victim = t.insert_user(vpn(4));
+        assert!(victim.is_some(), "a full partition must report its victim");
+        assert!(!t.contains(victim.unwrap()));
         assert_eq!(t.occupancy(), 4);
         assert_eq!(t.counters().evictions, 1);
         // Exactly one of the first five pages is gone.

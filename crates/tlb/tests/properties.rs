@@ -1,18 +1,24 @@
-//! Property-based tests of the TLB models' invariants.
+//! Randomized tests of the TLB models' invariants, driven by a seeded
+//! [`SplitMix64`] stream (the workspace carries no third-party
+//! property-testing framework).
 
-use proptest::prelude::*;
 use vm_tlb::{Replacement, Tlb, TlbConfig};
-use vm_types::{AddressSpace, Vpn};
+use vm_types::{AddressSpace, SplitMix64, Vpn};
 
-fn any_policy() -> impl Strategy<Value = Replacement> {
-    prop_oneof![Just(Replacement::Random), Just(Replacement::Lru), Just(Replacement::Fifo)]
+const CASES: usize = 60;
+
+fn any_policy(rng: &mut SplitMix64) -> Replacement {
+    match rng.next_below(3) {
+        0 => Replacement::Random,
+        1 => Replacement::Lru,
+        _ => Replacement::Fifo,
+    }
 }
 
-fn any_config() -> impl Strategy<Value = TlbConfig> {
-    (2usize..64, any_policy(), any::<bool>()).prop_map(|(entries, policy, partitioned)| {
-        let protected = if partitioned { (entries / 4).min(entries - 1) } else { 0 };
-        TlbConfig::new(entries, protected, policy).expect("generated geometry is valid")
-    })
+fn any_config(rng: &mut SplitMix64) -> TlbConfig {
+    let entries = 2 + rng.next_below(62) as usize;
+    let protected = if rng.chance(0.5) { (entries / 4).min(entries - 1) } else { 0 };
+    TlbConfig::new(entries, protected, any_policy(rng)).expect("generated geometry is valid")
 }
 
 /// An operation stream over a small VPN universe so collisions happen.
@@ -24,13 +30,13 @@ enum Op {
     Flush,
 }
 
-fn any_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64).prop_map(Op::Lookup),
-        (0u64..64).prop_map(Op::InsertUser),
-        (64u64..80).prop_map(Op::InsertProtected),
-        Just(Op::Flush),
-    ]
+fn any_op(rng: &mut SplitMix64) -> Op {
+    match rng.next_below(8) {
+        0..=2 => Op::Lookup(rng.next_below(64)),
+        3..=5 => Op::InsertUser(rng.next_below(64)),
+        6 => Op::InsertProtected(64 + rng.next_below(16)),
+        _ => Op::Flush,
+    }
 }
 
 fn apply(tlb: &mut Tlb, op: Op) {
@@ -38,115 +44,163 @@ fn apply(tlb: &mut Tlb, op: Op) {
         Op::Lookup(v) => {
             tlb.lookup(Vpn::new(AddressSpace::User, v));
         }
-        Op::InsertUser(v) => tlb.insert_user(Vpn::new(AddressSpace::User, v)),
-        Op::InsertProtected(v) => tlb.insert_protected(Vpn::new(AddressSpace::Kernel, v)),
+        Op::InsertUser(v) => {
+            tlb.insert_user(Vpn::new(AddressSpace::User, v));
+        }
+        Op::InsertProtected(v) => {
+            tlb.insert_protected(Vpn::new(AddressSpace::Kernel, v));
+        }
         Op::Flush => tlb.flush(),
     }
 }
 
-proptest! {
-    #[test]
-    fn occupancy_never_exceeds_capacity(cfg in any_config(), ops in prop::collection::vec(any_op(), 1..500), seed in any::<u64>()) {
-        let mut tlb = Tlb::new(cfg, seed);
-        for op in ops {
-            apply(&mut tlb, op);
-            prop_assert!(tlb.occupancy() <= cfg.entries());
+#[test]
+fn occupancy_never_exceeds_capacity() {
+    let mut rng = SplitMix64::new(0x0cc);
+    for case in 0..CASES {
+        let cfg = any_config(&mut rng);
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
+        let ops = 1 + rng.next_below(499);
+        for _ in 0..ops {
+            apply(&mut tlb, any_op(&mut rng));
+            assert!(tlb.occupancy() <= cfg.entries(), "case {case}: {cfg:?}");
         }
     }
+}
 
-    #[test]
-    fn lookup_after_insert_hits_until_flush(cfg in any_config(), seed in any::<u64>(), v in 0u64..1000) {
-        let mut tlb = Tlb::new(cfg, seed);
-        let vpn = Vpn::new(AddressSpace::User, v);
+#[test]
+fn lookup_after_insert_hits_until_flush() {
+    let mut rng = SplitMix64::new(0x100c);
+    for case in 0..CASES {
+        let cfg = any_config(&mut rng);
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
+        let vpn = Vpn::new(AddressSpace::User, rng.next_below(1000));
         tlb.insert_user(vpn);
-        prop_assert!(tlb.lookup(vpn));
+        assert!(tlb.lookup(vpn), "case {case}: fresh insert must hit");
         tlb.flush();
-        prop_assert!(!tlb.lookup(vpn));
+        assert!(!tlb.lookup(vpn), "case {case}: flush must invalidate");
     }
+}
 
-    #[test]
-    fn counters_reconcile(cfg in any_config(), ops in prop::collection::vec(any_op(), 1..500), seed in any::<u64>()) {
-        let mut tlb = Tlb::new(cfg, seed);
+#[test]
+fn counters_reconcile() {
+    let mut rng = SplitMix64::new(0xc0);
+    for case in 0..CASES {
+        let cfg = any_config(&mut rng);
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
         let mut expected_lookups = 0u64;
         let mut expected_inserts = 0u64;
-        for op in ops {
+        let mut observed_victims = 0u64;
+        let ops = 1 + rng.next_below(499);
+        for _ in 0..ops {
+            let op = any_op(&mut rng);
             match op {
-                Op::Lookup(_) => expected_lookups += 1,
-                Op::InsertUser(_) | Op::InsertProtected(_) => expected_inserts += 1,
-                Op::Flush => {}
+                Op::Lookup(v) => {
+                    expected_lookups += 1;
+                    tlb.lookup(Vpn::new(AddressSpace::User, v));
+                }
+                Op::InsertUser(v) => {
+                    expected_inserts += 1;
+                    if tlb.insert_user(Vpn::new(AddressSpace::User, v)).is_some() {
+                        observed_victims += 1;
+                    }
+                }
+                Op::InsertProtected(v) => {
+                    expected_inserts += 1;
+                    if tlb.insert_protected(Vpn::new(AddressSpace::Kernel, v)).is_some() {
+                        observed_victims += 1;
+                    }
+                }
+                Op::Flush => tlb.flush(),
             }
-            apply(&mut tlb, op);
         }
         let k = tlb.counters();
-        prop_assert_eq!(k.lookups, expected_lookups);
-        prop_assert_eq!(k.insertions, expected_inserts);
-        prop_assert!(k.hits <= k.lookups);
-        prop_assert!(k.evictions <= k.insertions);
+        assert_eq!(k.lookups, expected_lookups, "case {case}");
+        assert_eq!(k.insertions, expected_inserts, "case {case}");
+        assert!(k.hits <= k.lookups);
+        assert!(k.evictions <= k.insertions);
+        // The reported victims are exactly the counted evictions — the
+        // observability layer depends on this equivalence.
+        assert_eq!(k.evictions, observed_victims, "case {case}");
     }
+}
 
-    #[test]
-    fn protected_entries_survive_arbitrary_user_traffic(
-        entries in 8usize..64,
-        seed in any::<u64>(),
-        user_traffic in prop::collection::vec(0u64..4096, 1..600),
-    ) {
-        let protected = entries / 4;
-        let cfg = TlbConfig::new(entries, protected.max(1), Replacement::Random).unwrap();
-        let mut tlb = Tlb::new(cfg, seed);
+#[test]
+fn protected_entries_survive_arbitrary_user_traffic() {
+    let mut rng = SplitMix64::new(0x960);
+    for case in 0..CASES {
+        let entries = 8 + rng.next_below(56) as usize;
+        let protected = (entries / 4).max(1);
+        let cfg = TlbConfig::new(entries, protected, Replacement::Random).unwrap();
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
         let kernel: Vec<Vpn> =
-            (0..protected.max(1) as u64).map(|i| Vpn::new(AddressSpace::Kernel, i)).collect();
+            (0..protected as u64).map(|i| Vpn::new(AddressSpace::Kernel, i)).collect();
         for &k in &kernel {
             tlb.insert_protected(k);
         }
-        for v in user_traffic {
-            tlb.insert_user(Vpn::new(AddressSpace::User, v));
+        let traffic = 1 + rng.next_below(599);
+        for _ in 0..traffic {
+            tlb.insert_user(Vpn::new(AddressSpace::User, rng.next_below(4096)));
         }
         for &k in &kernel {
-            prop_assert!(tlb.contains(k), "protected {k} evicted by user traffic");
+            assert!(tlb.contains(k), "case {case}: protected {k} evicted by user traffic");
         }
     }
+}
 
-    #[test]
-    fn user_partition_caps_user_residency(
-        entries in 8usize..64,
-        seed in any::<u64>(),
-        inserts in prop::collection::vec(0u64..4096, 1..600),
-    ) {
+#[test]
+fn user_partition_caps_user_residency() {
+    let mut rng = SplitMix64::new(0xca9);
+    for case in 0..CASES {
+        let entries = 8 + rng.next_below(56) as usize;
         let protected = entries / 4;
         let cfg = TlbConfig::new(entries, protected, Replacement::Random).unwrap();
-        let mut tlb = Tlb::new(cfg, seed);
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
         let mut distinct = std::collections::HashSet::new();
-        for v in inserts {
+        let inserts = 1 + rng.next_below(599);
+        for _ in 0..inserts {
+            let v = rng.next_below(4096);
             distinct.insert(v);
             tlb.insert_user(Vpn::new(AddressSpace::User, v));
         }
-        prop_assert!(tlb.occupancy() <= cfg.user_slots().min(distinct.len()));
+        assert!(
+            tlb.occupancy() <= cfg.user_slots().min(distinct.len()),
+            "case {case}: occupancy {} exceeds user capacity",
+            tlb.occupancy()
+        );
     }
+}
 
-    #[test]
-    fn lru_never_evicts_the_most_recent(seed in any::<u64>(), vs in prop::collection::vec(0u64..256, 2..200)) {
+#[test]
+fn lru_never_evicts_the_most_recent() {
+    let mut rng = SplitMix64::new(0x124);
+    for case in 0..CASES {
         let cfg = TlbConfig::new(8, 0, Replacement::Lru).unwrap();
-        let mut tlb = Tlb::new(cfg, seed);
-        for &v in &vs {
-            let vpn = Vpn::new(AddressSpace::User, v);
+        let mut tlb = Tlb::new(cfg, rng.next_u64());
+        let inserts = 2 + rng.next_below(198);
+        for _ in 0..inserts {
+            let vpn = Vpn::new(AddressSpace::User, rng.next_below(256));
             tlb.insert_user(vpn);
-            prop_assert!(tlb.contains(vpn));
+            assert!(tlb.contains(vpn), "case {case}: MRU entry missing");
         }
     }
+}
 
-    #[test]
-    fn random_replacement_is_seed_deterministic(
-        ops in prop::collection::vec(any_op(), 1..300),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_replacement_is_seed_deterministic() {
+    let mut rng = SplitMix64::new(0xd7e);
+    for case in 0..CASES {
         let cfg = TlbConfig::new(16, 4, Replacement::Random).unwrap();
+        let seed = rng.next_u64();
         let mut a = Tlb::new(cfg, seed);
         let mut b = Tlb::new(cfg, seed);
-        for op in ops {
+        let ops = 1 + rng.next_below(299);
+        for _ in 0..ops {
+            let op = any_op(&mut rng);
             apply(&mut a, op);
             apply(&mut b, op);
         }
-        prop_assert_eq!(a.counters(), b.counters());
-        prop_assert_eq!(a.occupancy(), b.occupancy());
+        assert_eq!(a.counters(), b.counters(), "case {case}");
+        assert_eq!(a.occupancy(), b.occupancy(), "case {case}");
     }
 }

@@ -22,11 +22,18 @@ use vm_trace::{presets, read_dinero, read_trace, write_trace, InstrRecord, Trace
 /// terminates the process quietly instead of panicking on a broken-pipe
 /// write error (Rust ignores SIGPIPE by default).
 fn reset_sigpipe() {
-    // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
-    // performed once before any other work.
     #[cfg(unix)]
-    unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGPIPE: i32 = 13;
+        const SIG_DFL: usize = 0;
+        // SAFETY: signal(2) with SIG_DFL is async-signal-safe process setup
+        // performed once before any other work.
+        unsafe {
+            signal(SIGPIPE, SIG_DFL);
+        }
     }
 }
 

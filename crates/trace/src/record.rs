@@ -4,11 +4,10 @@ use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use serde::{Deserialize, Serialize};
 use vm_types::{AccessKind, MAddr};
 
 /// One data reference made by an instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DataRef {
     /// The referenced address (user space for application traces).
     pub addr: MAddr,
@@ -32,7 +31,7 @@ impl DataRef {
 /// reference — the reference model of the paper's simulator pseudocode
 /// (Section 3.1), which performs an I-side lookup for every instruction
 /// and a D-side lookup for loads and stores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrRecord {
     /// The instruction's fetch address.
     pub pc: MAddr,

@@ -3,7 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use vm_types::USER_SPACE_BYTES;
 
 /// The instruction-stream model.
@@ -14,7 +13,7 @@ use vm_types::USER_SPACE_BYTES;
 /// (a few hot callees, a long tail — the classic profile of integer
 /// codes), and at loop boundaries the walker branches back with
 /// `loop_backedge_prob`, giving geometric iteration counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodeSpec {
     /// Base user-space address of the text segment.
     pub code_base: u64,
@@ -45,7 +44,7 @@ impl CodeSpec {
 }
 
 /// How a data region is accessed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// A streaming walk with the given byte stride, wrapping at the region
     /// end. High spatial locality (ijpeg's image buffers).
@@ -77,7 +76,7 @@ pub enum AccessPattern {
 }
 
 /// One weighted data region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataRegion {
     /// Base user-space address.
     pub base: u64,
@@ -90,7 +89,7 @@ pub struct DataRegion {
 }
 
 /// The data-reference model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataSpec {
     /// Fraction of instructions that reference data (loads + stores).
     pub data_ref_frac: f64,
@@ -116,7 +115,7 @@ pub struct DataSpec {
 /// let trace = spec.build(99).unwrap();
 /// assert!(trace.take(100).count() == 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Human-readable workload name (used in experiment output).
     pub name: String,

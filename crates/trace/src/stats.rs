@@ -2,7 +2,6 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
 use vm_types::{AccessKind, PAGE_SIZE};
 
 use crate::record::InstrRecord;
@@ -10,7 +9,7 @@ use crate::record::InstrRecord;
 /// Summary statistics of a trace, as used to sanity-check the synthetic
 /// workload models against the benchmark characteristics the paper's
 /// results depend on.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     /// Instructions observed.
     pub instructions: u64,

@@ -1,110 +1,140 @@
-//! Property-based tests of the workload model and trace format.
+//! Randomized tests of the workload model and trace format, driven by a
+//! seeded [`SplitMix64`] stream (the workspace carries no third-party
+//! property-testing framework).
 
-use proptest::prelude::*;
 use vm_trace::{
     read_trace, write_trace, AccessPattern, CodeSpec, DataRegion, DataSpec, InstrRecord,
     WorkloadSpec,
 };
-use vm_types::{AccessKind, AddressSpace, MAddr};
+use vm_types::{AccessKind, AddressSpace, MAddr, SplitMix64};
 
-fn any_record() -> impl Strategy<Value = InstrRecord> {
-    let addr = (0u64..(1 << 31)).prop_map(|o| MAddr::user(o & !3));
-    (addr.clone(), prop::option::of((addr, any::<bool>()))).prop_map(|(pc, data)| match data {
-        None => InstrRecord::plain(pc),
-        Some((a, true)) => InstrRecord::store(pc, a),
-        Some((a, false)) => InstrRecord::load(pc, a),
-    })
-}
+const CASES: usize = 64;
 
-fn any_pattern() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        (1u64..64).prop_map(|stride| AccessPattern::Sequential { stride: stride * 4 }),
-        (0u32..20, 1u32..200, 1u32..64).prop_map(|(s, dwell, run_len)| {
-            AccessPattern::RandomPage { zipf_s: f64::from(s) / 10.0, dwell, run_len }
-        }),
-        Just(AccessPattern::Stack),
-    ]
-}
-
-fn any_spec() -> impl Strategy<Value = WorkloadSpec> {
-    let code = (1u32..64, 8u32..512, 0u32..50, 1u32..16, 0u32..95, 2u32..64, 0u32..20).prop_map(
-        |(functions, avg_fn, call_pm, depth, backedge_pct, loop_len, zipf)| CodeSpec {
-            code_base: 0x40_0000,
-            functions,
-            avg_fn_instrs: avg_fn,
-            call_prob: f64::from(call_pm) / 1000.0,
-            max_depth: depth,
-            loop_backedge_prob: f64::from(backedge_pct) / 100.0,
-            avg_loop_instrs: loop_len,
-            call_zipf_s: f64::from(zipf) / 10.0,
-        },
-    );
-    let region = (0u64..1024, 1u64..512, any_pattern(), 1u32..100).prop_map(
-        |(base_mb, size_kb, pattern, weight)| DataRegion {
-            base: 0x1000_0000 + base_mb * (1 << 20),
-            size: size_kb * 4096,
-            pattern,
-            weight: f64::from(weight),
-        },
-    );
-    let data = (prop::collection::vec(region, 1..5), 0u32..100, 0u32..100).prop_map(
-        |(regions, refs_pct, stores_pct)| DataSpec {
-            data_ref_frac: f64::from(refs_pct) / 100.0,
-            store_share: f64::from(stores_pct) / 100.0,
-            stack_top: 0x7FFF_F000,
-            frame_bytes: 128,
-            regions,
-        },
-    );
-    (code, data).prop_map(|(code, data)| WorkloadSpec { name: "prop".into(), code, data })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn record_format_round_trips(records in prop::collection::vec(any_record(), 0..300)) {
-        let mut buf = Vec::new();
-        let n = write_trace(&mut buf, records.clone()).unwrap();
-        prop_assert_eq!(n, records.len() as u64);
-        let back: Vec<_> = read_trace(buf.as_slice()).unwrap().collect::<Result<_, _>>().unwrap();
-        prop_assert_eq!(back, records);
+fn any_record(rng: &mut SplitMix64) -> InstrRecord {
+    let pc = MAddr::user(rng.next_below(1 << 31) & !3);
+    if rng.chance(0.5) {
+        let a = MAddr::user(rng.next_below(1 << 31) & !3);
+        if rng.chance(0.5) {
+            InstrRecord::store(pc, a)
+        } else {
+            InstrRecord::load(pc, a)
+        }
+    } else {
+        InstrRecord::plain(pc)
     }
+}
 
-    #[test]
-    fn generated_specs_validate_and_generate(spec in any_spec(), seed in any::<u64>()) {
+fn any_pattern(rng: &mut SplitMix64) -> AccessPattern {
+    match rng.next_below(3) {
+        0 => AccessPattern::Sequential { stride: (1 + rng.next_below(63)) * 4 },
+        1 => AccessPattern::RandomPage {
+            zipf_s: rng.next_below(20) as f64 / 10.0,
+            dwell: 1 + rng.next_below(199) as u32,
+            run_len: 1 + rng.next_below(63) as u32,
+        },
+        _ => AccessPattern::Stack,
+    }
+}
+
+fn any_spec(rng: &mut SplitMix64) -> WorkloadSpec {
+    let code = CodeSpec {
+        code_base: 0x40_0000,
+        functions: 1 + rng.next_below(63) as u32,
+        avg_fn_instrs: 8 + rng.next_below(504) as u32,
+        call_prob: rng.next_below(50) as f64 / 1000.0,
+        max_depth: 1 + rng.next_below(15) as u32,
+        loop_backedge_prob: rng.next_below(95) as f64 / 100.0,
+        avg_loop_instrs: 2 + rng.next_below(62) as u32,
+        call_zipf_s: rng.next_below(20) as f64 / 10.0,
+    };
+    let n_regions = 1 + rng.next_below(4) as usize;
+    let regions = (0..n_regions)
+        .map(|_| DataRegion {
+            base: 0x1000_0000 + rng.next_below(1024) * (1 << 20),
+            size: (1 + rng.next_below(511)) * 4096,
+            pattern: any_pattern(rng),
+            weight: (1 + rng.next_below(99)) as f64,
+        })
+        .collect();
+    let data = DataSpec {
+        data_ref_frac: rng.next_below(100) as f64 / 100.0,
+        store_share: rng.next_below(100) as f64 / 100.0,
+        stack_top: 0x7FFF_F000,
+        frame_bytes: 128,
+        regions,
+    };
+    WorkloadSpec { name: "prop".into(), code, data }
+}
+
+#[test]
+fn record_format_round_trips() {
+    let mut rng = SplitMix64::new(0x2ec);
+    for case in 0..CASES {
+        let n = rng.next_below(300) as usize;
+        let records: Vec<_> = (0..n).map(|_| any_record(&mut rng)).collect();
+        let mut buf = Vec::new();
+        let written = write_trace(&mut buf, records.iter().copied()).unwrap();
+        assert_eq!(written, records.len() as u64, "case {case}");
+        let back: Vec<_> = read_trace(buf.as_slice()).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(back, records, "case {case}");
+    }
+}
+
+#[test]
+fn generated_specs_validate_and_generate() {
+    let mut rng = SplitMix64::new(0x59ec);
+    for case in 0..CASES {
+        let spec = any_spec(&mut rng);
+        let seed = rng.next_u64();
         // Every spec from the generator is structurally valid...
         spec.validate().expect("generated spec must validate");
         // ...and produces a well-formed, deterministic stream.
         let a: Vec<_> = spec.build(seed).unwrap().take(2_000).collect();
         let b: Vec<_> = spec.build(seed).unwrap().take(2_000).collect();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b, "case {case}");
         for rec in &a {
-            prop_assert_eq!(rec.pc.space(), AddressSpace::User);
-            prop_assert_eq!(rec.pc.offset() % 4, 0);
+            assert_eq!(rec.pc.space(), AddressSpace::User, "case {case}");
+            assert_eq!(rec.pc.offset() % 4, 0, "case {case}");
             if let Some(d) = rec.data {
-                prop_assert_eq!(d.addr.space(), AddressSpace::User);
-                prop_assert!(d.addr.offset() < 1 << 31);
-                prop_assert!(d.kind == AccessKind::Load || d.kind == AccessKind::Store);
+                assert_eq!(d.addr.space(), AddressSpace::User, "case {case}");
+                assert!(d.addr.offset() < 1 << 31, "case {case}");
+                assert!(d.kind == AccessKind::Load || d.kind == AccessKind::Store, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn data_fraction_tracks_the_spec(spec in any_spec(), seed in any::<u64>()) {
+#[test]
+fn data_fraction_tracks_the_spec() {
+    let mut rng = SplitMix64::new(0xf2ac);
+    for case in 0..16 {
+        let spec = any_spec(&mut rng);
+        let seed = rng.next_u64();
         let n = 20_000usize;
         let refs = spec.build(seed).unwrap().take(n).filter(|r| r.data.is_some()).count();
         let frac = refs as f64 / n as f64;
         // Binomial noise at n=20k is well under 0.02.
-        prop_assert!((frac - spec.data.data_ref_frac).abs() < 0.03,
-            "observed {} wanted {}", frac, spec.data.data_ref_frac);
+        assert!(
+            (frac - spec.data.data_ref_frac).abs() < 0.03,
+            "case {case}: observed {frac} wanted {}",
+            spec.data.data_ref_frac
+        );
     }
+}
 
-    #[test]
-    fn different_seeds_usually_differ(spec in any_spec(), seed in any::<u64>()) {
-        prop_assume!(spec.data.data_ref_frac > 0.05);
+#[test]
+fn different_seeds_usually_differ() {
+    let mut rng = SplitMix64::new(0xd1f);
+    let mut tried = 0;
+    while tried < 32 {
+        let spec = any_spec(&mut rng);
+        let seed = rng.next_u64();
+        if spec.data.data_ref_frac <= 0.05 {
+            continue; // nearly-pure instruction streams can collide; skip
+        }
+        tried += 1;
         let a: Vec<_> = spec.build(seed).unwrap().take(500).collect();
         let b: Vec<_> = spec.build(seed ^ 0xDEAD_BEEF).unwrap().take(500).collect();
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b, "distinct seeds produced identical streams");
     }
 }

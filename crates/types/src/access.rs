@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a simulated memory reference.
 ///
 /// The paper's simulator algorithm (Section 3.1) distinguishes instruction
 /// fetches — which consult the I-TLB and I-caches — from loads and stores,
 /// which consult the D-TLB and D-caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// An instruction fetch (I-TLB + I-cache path).
     Fetch,
@@ -52,7 +50,7 @@ impl fmt::Display for AccessKind {
 /// reference; the *kernel-level* handler fields a miss taken while the
 /// user-level handler ran; the *root-level* handler fields a miss taken in
 /// either of the others.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HandlerLevel {
     /// The user-level miss handler (`uhandler` / `upte-*` events).
     User,
@@ -93,7 +91,7 @@ impl fmt::Display for HandlerLevel {
 /// The cost model of Tables 2 and 3 charges nothing for an L1 hit,
 /// 20 cycles for a reference that falls through to the L2 cache, and
 /// 500 cycles for one that falls through to main memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MissClass {
     /// Satisfied by the L1 cache: no penalty.
     L1Hit,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Log2 of the simulated page size. The paper fixes pages at 4 KB (Table 1).
 pub const PAGE_SHIFT: u32 = 12;
 
@@ -32,7 +30,7 @@ pub const MAX_ASID: u16 = 255;
 /// kseg0 / kseg2); we keep them disjoint via a tag so that page numbers
 /// never collide, while the *cache index* still uses the low address bits
 /// of all three spaces uniformly (virtually-indexed caches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AddressSpace {
     /// User virtual addresses: `0 .. 2 GB`. Translated by the TLB.
     User,
@@ -98,7 +96,7 @@ impl fmt::Display for AddressSpace {
 /// assert!(!pte.space().is_mapped());
 /// assert_eq!(pte.offset(), 0x3000);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MAddr(u64);
 
 impl MAddr {
@@ -232,7 +230,7 @@ impl fmt::Display for MAddr {
 ///
 /// `Vpn` is the key type of the TLB models: two pages at the same offset in
 /// different spaces compare unequal.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vpn(u64);
 
 impl Vpn {
@@ -302,7 +300,7 @@ impl fmt::Display for Vpn {
 /// Frames matter to the PA-RISC organization (the hashed table stores the
 /// PFN in each 16-byte PTE and sizes itself from physical memory) and to
 /// the frame allocator; the virtually-addressed caches never see them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pfn(pub u32);
 
 impl Pfn {

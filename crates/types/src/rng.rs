@@ -8,8 +8,6 @@
 //! this: one u64 of state, full 2^64 period over the state sequence, and
 //! excellent statistical quality for simulation use.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic SplitMix64 pseudo-random number generator.
 ///
 /// ```
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }

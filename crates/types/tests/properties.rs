@@ -1,78 +1,119 @@
-//! Property-based tests for the address and RNG primitives.
+//! Randomized tests for the address and RNG primitives.
+//!
+//! The workspace builds with no third-party crates, so instead of a
+//! property-testing framework these tests drive many random cases from a
+//! seeded [`SplitMix64`] — deterministic, reproducible, and shrink-free
+//! (a failure prints the offending inputs).
 
-use proptest::prelude::*;
 use vm_types::{AddressSpace, MAddr, SplitMix64, Vpn, PAGE_SIZE};
 
-fn any_space() -> impl Strategy<Value = AddressSpace> {
-    prop_oneof![Just(AddressSpace::User), Just(AddressSpace::Kernel), Just(AddressSpace::Physical),]
+const CASES: u64 = 500;
+
+fn any_space(rng: &mut SplitMix64) -> AddressSpace {
+    match rng.next_below(3) {
+        0 => AddressSpace::User,
+        1 => AddressSpace::Kernel,
+        _ => AddressSpace::Physical,
+    }
 }
 
-proptest! {
-    #[test]
-    fn address_decomposition_round_trips(space in any_space(), offset in 0u64..(1 << 32)) {
+#[test]
+fn address_decomposition_round_trips() {
+    let mut rng = SplitMix64::new(0xadd2);
+    for _ in 0..CASES {
+        let space = any_space(&mut rng);
+        let offset = rng.next_below(1 << 32);
         let a = MAddr::new(space, offset);
-        prop_assert_eq!(a.space(), space);
-        prop_assert_eq!(a.offset(), offset);
+        assert_eq!(a.space(), space, "space for {offset:#x}");
+        assert_eq!(a.offset(), offset);
         // vpn * page + page_offset reconstructs the address.
-        prop_assert_eq!(a.vpn().base().offset() + a.page_offset(), offset);
-        prop_assert_eq!(a.vpn().space(), space);
+        assert_eq!(a.vpn().base().offset() + a.page_offset(), offset);
+        assert_eq!(a.vpn().space(), space);
     }
+}
 
-    #[test]
-    fn raw_encoding_is_injective(
-        s1 in any_space(), o1 in 0u64..(1 << 32),
-        s2 in any_space(), o2 in 0u64..(1 << 32),
-    ) {
-        let a = MAddr::new(s1, o1);
-        let b = MAddr::new(s2, o2);
-        prop_assert_eq!(a.raw() == b.raw(), a == b);
+#[test]
+fn raw_encoding_is_injective() {
+    let mut rng = SplitMix64::new(0x1a1);
+    for _ in 0..CASES {
+        let a = MAddr::new(any_space(&mut rng), rng.next_below(1 << 32));
+        let b = MAddr::new(any_space(&mut rng), rng.next_below(1 << 32));
+        assert_eq!(a.raw() == b.raw(), a == b, "{a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn same_page_iff_same_vpn(space in any_space(), base in 0u64..(1 << 20), d1 in 0u64..4096, d2 in 0u64..4096) {
-        let a = MAddr::new(space, base * PAGE_SIZE + d1);
-        let b = MAddr::new(space, base * PAGE_SIZE + d2);
-        prop_assert_eq!(a.vpn(), b.vpn());
+#[test]
+fn same_page_iff_same_vpn() {
+    let mut rng = SplitMix64::new(0x9a9e);
+    for _ in 0..CASES {
+        let space = any_space(&mut rng);
+        let base = rng.next_below(1 << 20);
+        let a = MAddr::new(space, base * PAGE_SIZE + rng.next_below(4096));
+        let b = MAddr::new(space, base * PAGE_SIZE + rng.next_below(4096));
+        assert_eq!(a.vpn(), b.vpn(), "{a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn vpn_new_round_trips(space in any_space(), index in 0u64..(1 << 20)) {
+#[test]
+fn vpn_new_round_trips() {
+    let mut rng = SplitMix64::new(0x777);
+    for _ in 0..CASES {
+        let space = any_space(&mut rng);
+        let index = rng.next_below(1 << 20);
         let vpn = Vpn::new(space, index);
-        prop_assert_eq!(vpn.index_in_space(), index);
-        prop_assert_eq!(vpn.space(), space);
-        prop_assert_eq!(vpn.base().vpn(), vpn);
+        assert_eq!(vpn.index_in_space(), index);
+        assert_eq!(vpn.space(), space);
+        assert_eq!(vpn.base().vpn(), vpn);
     }
+}
 
-    #[test]
-    fn add_preserves_space_and_advances(space in any_space(), offset in 0u64..(1 << 31), delta in 0u64..(1 << 20)) {
+#[test]
+fn add_preserves_space_and_advances() {
+    let mut rng = SplitMix64::new(0xadd);
+    for _ in 0..CASES {
+        let space = any_space(&mut rng);
+        let offset = rng.next_below(1 << 31);
+        let delta = rng.next_below(1 << 20);
         let a = MAddr::new(space, offset).add(delta);
-        prop_assert_eq!(a.space(), space);
-        prop_assert_eq!(a.offset(), offset + delta);
+        assert_eq!(a.space(), space);
+        assert_eq!(a.offset(), offset + delta);
     }
+}
 
-    #[test]
-    fn rng_bounded_draws_stay_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn rng_bounded_draws_stay_bounded() {
+    let mut seeds = SplitMix64::new(0xb0);
+    for _ in 0..50 {
+        let mut rng = SplitMix64::new(seeds.next_u64());
+        let bound = 1 + seeds.next_below(1_000_000);
         for _ in 0..50 {
-            prop_assert!(rng.next_below(bound) < bound);
+            let draw = rng.next_below(bound);
+            assert!(draw < bound, "{draw} >= {bound}");
         }
     }
+}
 
-    #[test]
-    fn rng_unit_floats_stay_unit(seed in any::<u64>()) {
-        let mut rng = SplitMix64::new(seed);
+#[test]
+fn rng_unit_floats_stay_unit() {
+    let mut seeds = SplitMix64::new(0xf10a);
+    for _ in 0..50 {
+        let mut rng = SplitMix64::new(seeds.next_u64());
         for _ in 0..50 {
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f), "{f} out of unit range");
         }
     }
+}
 
-    #[test]
-    fn rng_streams_are_seed_deterministic(seed in any::<u64>()) {
+#[test]
+fn rng_streams_are_seed_deterministic() {
+    let mut seeds = SplitMix64::new(0xde7);
+    for _ in 0..50 {
+        let seed = seeds.next_u64();
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..20 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed:#x}");
         }
     }
 }

@@ -11,6 +11,7 @@
 //! * [`cache`] — cache models ([`vm_cache`]),
 //! * [`tlb`] — TLB models ([`vm_tlb`]),
 //! * [`ptable`] — page-table organizations ([`vm_ptable`]),
+//! * [`obs`] — zero-cost event tracing and run telemetry ([`vm_obs`]),
 //! * [`core`] — the simulator ([`vm_core`]),
 //! * [`experiments`] — figure/table drivers ([`vm_experiments`]).
 //!
@@ -38,6 +39,7 @@
 pub use vm_cache as cache;
 pub use vm_core as core;
 pub use vm_experiments as experiments;
+pub use vm_obs as obs;
 pub use vm_ptable as ptable;
 pub use vm_tlb as tlb;
 pub use vm_trace as trace;

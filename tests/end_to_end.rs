@@ -137,9 +137,17 @@ fn interrupt_cost_is_a_pure_post_hoc_scaling() {
 
 #[test]
 fn reports_serialize_to_json_and_back() {
+    use jacob_mudge_vm::core::RawCounts;
+    use jacob_mudge_vm::obs::json;
+
     let r = run(SystemKind::PaRisc, 10);
-    let json = serde_json::to_string(&r).unwrap();
-    let back: jacob_mudge_vm::core::SimReport = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.counts, r.counts);
-    assert_eq!(back.system, r.system);
+    let text = r.to_json().to_string();
+    let parsed = json::parse(&text).expect("report JSON must parse");
+    assert_eq!(parsed.get("system").unwrap().as_str(), Some(r.system.as_str()));
+    let back = RawCounts::from_json(parsed.get("counts").unwrap())
+        .expect("counts section must round-trip");
+    assert_eq!(back, r.counts);
+    // TLB counters survive the trip too.
+    let itlb = parsed.get("itlb").unwrap();
+    assert_eq!(itlb.get("lookups").unwrap().as_u64(), Some(r.itlb.unwrap().lookups));
 }

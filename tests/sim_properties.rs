@@ -1,121 +1,129 @@
-//! Property-based tests of whole-simulator invariants: accounting
-//! identities that must hold for any system on any (small, arbitrary)
-//! workload.
-
-use proptest::prelude::*;
+//! Randomized tests of whole-simulator invariants: accounting identities
+//! that must hold for any system on any (small, arbitrary) workload.
+//! Driven by a seeded [`SplitMix64`] stream (the workspace carries no
+//! third-party property-testing framework).
 
 use jacob_mudge_vm::core::cost::CostModel;
 use jacob_mudge_vm::core::{simulate, AsidMode, SimConfig, SystemKind};
 use jacob_mudge_vm::trace::{AccessPattern, CodeSpec, DataRegion, DataSpec, WorkloadSpec};
+use jacob_mudge_vm::types::SplitMix64;
 
-fn any_system() -> impl Strategy<Value = SystemKind> {
-    prop_oneof![
-        Just(SystemKind::Ultrix),
-        Just(SystemKind::Mach),
-        Just(SystemKind::Intel),
-        Just(SystemKind::PaRisc),
-        Just(SystemKind::NoTlb),
-        Just(SystemKind::Base),
-        Just(SystemKind::UltrixHw),
-        Just(SystemKind::Hybrid),
-        Just(SystemKind::NoTlbHw),
-    ]
+const ALL_SYSTEMS: [SystemKind; 9] = [
+    SystemKind::Ultrix,
+    SystemKind::Mach,
+    SystemKind::Intel,
+    SystemKind::PaRisc,
+    SystemKind::NoTlb,
+    SystemKind::Base,
+    SystemKind::UltrixHw,
+    SystemKind::Hybrid,
+    SystemKind::NoTlbHw,
+];
+
+fn any_system(rng: &mut SplitMix64) -> SystemKind {
+    ALL_SYSTEMS[rng.next_below(ALL_SYSTEMS.len() as u64) as usize]
 }
 
-/// Small but varied workloads so the property runs stay fast.
-fn any_workload() -> impl Strategy<Value = WorkloadSpec> {
-    (2u32..40, 16u32..200, 1u64..64, 0u32..100, 1u32..32, 1u32..128).prop_map(
-        |(functions, fn_len, region_mb, refs_pct, run_len, dwell)| WorkloadSpec {
-            name: "prop".into(),
-            code: CodeSpec {
-                code_base: 0x40_0000,
-                functions,
-                avg_fn_instrs: fn_len,
-                call_prob: 0.02,
-                max_depth: 8,
-                loop_backedge_prob: 0.8,
-                avg_loop_instrs: 8,
-                call_zipf_s: 1.0,
-            },
-            data: DataSpec {
-                data_ref_frac: f64::from(refs_pct) / 100.0,
-                store_share: 0.3,
-                stack_top: 0x7FFF_F000,
-                frame_bytes: 128,
-                regions: vec![
-                    DataRegion {
-                        base: 0x1000_0000,
-                        size: region_mb << 20,
-                        pattern: AccessPattern::RandomPage { zipf_s: 1.0, dwell, run_len },
-                        weight: 0.7,
-                    },
-                    DataRegion {
-                        base: 0x7FF0_0000,
-                        size: 64 << 10,
-                        pattern: AccessPattern::Stack,
-                        weight: 0.3,
-                    },
-                ],
-            },
+/// Small but varied workloads so the randomized runs stay fast.
+fn any_workload(rng: &mut SplitMix64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop".into(),
+        code: CodeSpec {
+            code_base: 0x40_0000,
+            functions: 2 + rng.next_below(38) as u32,
+            avg_fn_instrs: 16 + rng.next_below(184) as u32,
+            call_prob: 0.02,
+            max_depth: 8,
+            loop_backedge_prob: 0.8,
+            avg_loop_instrs: 8,
+            call_zipf_s: 1.0,
         },
-    )
+        data: DataSpec {
+            data_ref_frac: rng.next_below(100) as f64 / 100.0,
+            store_share: 0.3,
+            stack_top: 0x7FFF_F000,
+            frame_bytes: 128,
+            regions: vec![
+                DataRegion {
+                    base: 0x1000_0000,
+                    size: (1 + rng.next_below(63)) << 20,
+                    pattern: AccessPattern::RandomPage {
+                        zipf_s: 1.0,
+                        dwell: 1 + rng.next_below(127) as u32,
+                        run_len: 1 + rng.next_below(31) as u32,
+                    },
+                    weight: 0.7,
+                },
+                DataRegion {
+                    base: 0x7FF0_0000,
+                    size: 64 << 10,
+                    pattern: AccessPattern::Stack,
+                    weight: 0.3,
+                },
+            ],
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn accounting_identities_hold_for_any_system(
-        system in any_system(),
-        workload in any_workload(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn accounting_identities_hold_for_any_system() {
+    let mut rng = SplitMix64::new(0xacc7);
+    for case in 0..24 {
+        let system = any_system(&mut rng);
+        let workload = any_workload(&mut rng);
+        let seed = rng.next_u64();
         let config = SimConfig::paper_default(system);
         let trace = workload.build(seed).unwrap();
         let report = simulate(&config, trace, 2_000, 20_000).unwrap();
         let c = &report.counts;
 
         // Denominator exactness.
-        prop_assert_eq!(c.user_instrs, 20_000);
+        assert_eq!(c.user_instrs, 20_000, "case {case} {system}");
         // L2 misses cannot exceed L1 misses; both bounded by references.
-        prop_assert!(c.l2i_misses <= c.l1i_misses);
-        prop_assert!(c.l1i_misses <= c.user_instrs);
-        prop_assert!(c.l2d_misses <= c.l1d_misses);
-        prop_assert!(c.l1d_misses <= c.user_loads + c.user_stores);
+        assert!(c.l2i_misses <= c.l1i_misses, "case {case} {system}");
+        assert!(c.l1i_misses <= c.user_instrs, "case {case} {system}");
+        assert!(c.l2d_misses <= c.l1d_misses, "case {case} {system}");
+        assert!(c.l1d_misses <= c.user_loads + c.user_stores, "case {case} {system}");
         // PTE miss events nest inclusively per level.
         for lvl in 0..3 {
-            prop_assert!(c.pte_mem[lvl] <= c.pte_l2[lvl]);
-            prop_assert!(c.pte_l2[lvl] <= c.pte_loads[lvl]);
+            assert!(c.pte_mem[lvl] <= c.pte_l2[lvl], "case {case} {system}");
+            assert!(c.pte_l2[lvl] <= c.pte_loads[lvl], "case {case} {system}");
         }
         // Handler invocations nest: kernel/root never outnumber user.
-        prop_assert!(c.handler_invocations[1] <= c.handler_invocations[0]);
+        assert!(c.handler_invocations[1] <= c.handler_invocations[0], "case {case} {system}");
         // Interrupt counts: zero for hardware-walked systems, one per
         // software handler invocation otherwise.
         match system {
-            SystemKind::Intel | SystemKind::UltrixHw | SystemKind::Hybrid
-            | SystemKind::NoTlbHw | SystemKind::Base => {
-                prop_assert_eq!(c.total_interrupts(), 0)
+            SystemKind::Intel
+            | SystemKind::UltrixHw
+            | SystemKind::Hybrid
+            | SystemKind::NoTlbHw
+            | SystemKind::Base => {
+                assert_eq!(c.total_interrupts(), 0, "case {case} {system}")
             }
-            _ => prop_assert_eq!(c.total_interrupts(), c.total_handler_invocations()),
+            _ => assert_eq!(
+                c.total_interrupts(),
+                c.total_handler_invocations(),
+                "case {case} {system}"
+            ),
         }
         // CPI derivations are finite and non-negative.
         let cost = CostModel::default();
-        prop_assert!(report.mcpi(&cost).total() >= 0.0);
-        prop_assert!(report.vmcpi(&cost).total() >= 0.0);
-        prop_assert!(report.total_cpi(&cost).is_finite());
-        prop_assert!(report.total_cpi(&cost) >= 1.0);
+        assert!(report.mcpi(&cost).total() >= 0.0, "case {case} {system}");
+        assert!(report.vmcpi(&cost).total() >= 0.0, "case {case} {system}");
+        assert!(report.total_cpi(&cost).is_finite(), "case {case} {system}");
+        assert!(report.total_cpi(&cost) >= 1.0, "case {case} {system}");
     }
+}
 
-    #[test]
-    fn base_never_exceeds_vm_systems_in_total_cpi(
-        workload in any_workload(),
-        seed in any::<u64>(),
-        system in prop_oneof![
-            Just(SystemKind::Ultrix),
-            Just(SystemKind::Intel),
-            Just(SystemKind::PaRisc),
-        ],
-    ) {
+#[test]
+fn base_never_exceeds_vm_systems_in_total_cpi() {
+    let mut rng = SplitMix64::new(0xba5e);
+    let vm_systems = [SystemKind::Ultrix, SystemKind::Intel, SystemKind::PaRisc];
+    for case in 0..12 {
+        let workload = any_workload(&mut rng);
+        let seed = rng.next_u64();
+        let system = vm_systems[rng.next_below(3) as usize];
         let cost = CostModel::default();
         let base = simulate(
             &SimConfig::paper_default(SystemKind::Base),
@@ -132,14 +140,16 @@ proptest! {
         )
         .unwrap();
         // VM machinery can only add cycles relative to no VM at all.
-        prop_assert!(vm.total_cpi(&cost) >= base.total_cpi(&cost) - 1e-9);
+        assert!(vm.total_cpi(&cost) >= base.total_cpi(&cost) - 1e-9, "case {case} {system}");
     }
+}
 
-    #[test]
-    fn tagged_and_untagged_agree_on_single_process_traces(
-        workload in any_workload(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tagged_and_untagged_agree_on_single_process_traces() {
+    let mut rng = SplitMix64::new(0x7a9);
+    for case in 0..12 {
+        let workload = any_workload(&mut rng);
+        let seed = rng.next_u64();
         // Single-process traffic has one ASID, so the modes must be
         // bit-identical.
         let mut tagged = SimConfig::paper_default(SystemKind::Ultrix);
@@ -148,17 +158,19 @@ proptest! {
         untagged.asid_mode = AsidMode::Untagged;
         let a = simulate(&tagged, workload.build(seed).unwrap(), 1_000, 10_000).unwrap();
         let b = simulate(&untagged, workload.build(seed).unwrap(), 1_000, 10_000).unwrap();
-        prop_assert_eq!(a.counts, b.counts);
+        assert_eq!(a.counts, b.counts, "case {case}");
     }
+}
 
-    #[test]
-    fn interrupt_cost_scaling_is_exactly_linear(
-        system in any_system(),
-        workload in any_workload(),
-        seed in any::<u64>(),
-        cost_a in 1u64..500,
-        cost_b in 1u64..500,
-    ) {
+#[test]
+fn interrupt_cost_scaling_is_exactly_linear() {
+    let mut rng = SplitMix64::new(0x11ea);
+    for case in 0..16 {
+        let system = any_system(&mut rng);
+        let workload = any_workload(&mut rng);
+        let seed = rng.next_u64();
+        let cost_a = 1 + rng.next_below(499);
+        let cost_b = 1 + rng.next_below(499);
         let report = simulate(
             &SimConfig::paper_default(system),
             workload.build(seed).unwrap(),
@@ -168,6 +180,6 @@ proptest! {
         .unwrap();
         let a = report.interrupt_cpi(&CostModel::paper(cost_a));
         let b = report.interrupt_cpi(&CostModel::paper(cost_b));
-        prop_assert!((a * cost_b as f64 - b * cost_a as f64).abs() < 1e-9);
+        assert!((a * cost_b as f64 - b * cost_a as f64).abs() < 1e-9, "case {case} {system}");
     }
 }
