@@ -23,6 +23,21 @@ impl Associativity {
             Associativity::Ways(n) => n,
         }
     }
+
+    /// Resolves a spec-file spelling: `direct-mapped` (or `direct`, or
+    /// `1`) and `N-way` (or a bare way count `N`).
+    pub fn parse(s: &str) -> Option<Associativity> {
+        if s.eq_ignore_ascii_case("direct-mapped") || s.eq_ignore_ascii_case("direct") {
+            return Some(Associativity::DirectMapped);
+        }
+        let digits = s.strip_suffix("-way").or_else(|| s.strip_suffix("-WAY")).unwrap_or(s);
+        match digits.parse::<u32>() {
+            Ok(0) => None,
+            Ok(1) => Some(Associativity::DirectMapped),
+            Ok(n) => Some(Associativity::Ways(n)),
+            Err(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for Associativity {

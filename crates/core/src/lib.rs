@@ -59,4 +59,4 @@ mod system;
 
 pub use report::{McpiBreakdown, RawCounts, SimReport, VmcpiBreakdown};
 pub use sim::{simulate, simulate_spec, simulate_with_sink, AsidMode, MemorySystem, SimulateError};
-pub use system::{paper, BuildError, SimConfig, SystemKind};
+pub use system::{paper, BuildError, ComposeError, MmuClass, SimConfig, SystemKind, TableOrg};

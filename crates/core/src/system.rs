@@ -139,6 +139,192 @@ impl fmt::Display for SystemKind {
     }
 }
 
+/// The TLB-refill mechanism half of a system description: how (and
+/// whether) translations reach the processor.
+///
+/// Together with [`TableOrg`] this decomposes every [`SystemKind`] into
+/// the paper's two design axes, so declarative system specs (`vm-explore`)
+/// can name arbitrary points instead of hard-coded presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MmuClass {
+    /// Split TLBs refilled by a software miss handler (MIPS/PA-RISC style).
+    SoftwareTlb,
+    /// Split TLBs refilled by a hardware state machine (x86/PowerPC style).
+    HardwareTlb,
+    /// No TLB: virtual caches, software handles every L2 miss (softvm/VMP).
+    SoftwareNoTlb,
+    /// No TLB, but a hardware walker services L2 misses (SPUR-like).
+    HardwareNoTlb,
+    /// No VM machinery at all (the BASE measurement).
+    Bare,
+}
+
+impl MmuClass {
+    /// Every class, in the order specs document them.
+    pub const ALL: [MmuClass; 5] = [
+        MmuClass::SoftwareTlb,
+        MmuClass::HardwareTlb,
+        MmuClass::SoftwareNoTlb,
+        MmuClass::HardwareNoTlb,
+        MmuClass::Bare,
+    ];
+
+    /// The spec-file spelling (`software-tlb`, `hardware-tlb`, `no-tlb`,
+    /// `no-tlb-hw`, `none`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MmuClass::SoftwareTlb => "software-tlb",
+            MmuClass::HardwareTlb => "hardware-tlb",
+            MmuClass::SoftwareNoTlb => "no-tlb",
+            MmuClass::HardwareNoTlb => "no-tlb-hw",
+            MmuClass::Bare => "none",
+        }
+    }
+
+    /// Resolves a spec-file spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<MmuClass> {
+        MmuClass::ALL.into_iter().find(|c| c.label().eq_ignore_ascii_case(s))
+    }
+
+    /// Whether this class has TLBs whose geometry matters.
+    pub fn has_tlb(self) -> bool {
+        matches!(self, MmuClass::SoftwareTlb | MmuClass::HardwareTlb)
+    }
+}
+
+impl fmt::Display for MmuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The page-table-organization half of a system description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableOrg {
+    /// MIPS-style two-tiered hierarchical table, walked bottom-up.
+    TwoTier,
+    /// Mach-style three-tiered hierarchical table.
+    ThreeTier,
+    /// x86-style two-level table walked top-down by physical addresses.
+    TopDown,
+    /// PA-RISC hashed (clustered) translation table.
+    Hashed,
+    /// Classical inverted table with a hash anchor table.
+    Inverted,
+    /// No page table (the BASE measurement).
+    None,
+}
+
+impl TableOrg {
+    /// Every organization, in the order specs document them.
+    pub const ALL: [TableOrg; 6] = [
+        TableOrg::TwoTier,
+        TableOrg::ThreeTier,
+        TableOrg::TopDown,
+        TableOrg::Hashed,
+        TableOrg::Inverted,
+        TableOrg::None,
+    ];
+
+    /// The spec-file spelling (`two-tier`, `three-tier`, `top-down`,
+    /// `hashed`, `inverted`, `none`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TableOrg::TwoTier => "two-tier",
+            TableOrg::ThreeTier => "three-tier",
+            TableOrg::TopDown => "top-down",
+            TableOrg::Hashed => "hashed",
+            TableOrg::Inverted => "inverted",
+            TableOrg::None => "none",
+        }
+    }
+
+    /// Resolves a spec-file spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<TableOrg> {
+        TableOrg::ALL.into_iter().find(|t| t.label().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for TableOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error composing a refill mechanism with a page-table organization the
+/// simulator has no model for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposeError {
+    /// The requested refill mechanism.
+    pub mmu: MmuClass,
+    /// The requested table organization.
+    pub table: TableOrg,
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let valid: Vec<String> = TableOrg::ALL
+            .into_iter()
+            .filter(|&t| SystemKind::compose(self.mmu, t).is_ok())
+            .map(|t| format!("`{t}`"))
+            .collect();
+        write!(
+            f,
+            "no model for mmu `{}` over a `{}` page table; with `{}` the simulator supports: {}",
+            self.mmu,
+            self.table,
+            self.mmu,
+            if valid.is_empty() { "(nothing)".to_owned() } else { valid.join(", ") }
+        )
+    }
+}
+
+impl Error for ComposeError {}
+
+impl SystemKind {
+    /// Composes a refill mechanism and a table organization into the
+    /// system that implements the pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError`] (listing the valid organizations for the
+    /// requested MMU class) when the simulator has no model for the pair
+    /// — e.g. a hardware walker over Mach's three-tiered table.
+    pub fn compose(mmu: MmuClass, table: TableOrg) -> Result<SystemKind, ComposeError> {
+        use {MmuClass as M, TableOrg as T};
+        match (mmu, table) {
+            (M::SoftwareTlb, T::TwoTier) => Ok(SystemKind::Ultrix),
+            (M::SoftwareTlb, T::ThreeTier) => Ok(SystemKind::Mach),
+            (M::SoftwareTlb, T::Hashed) => Ok(SystemKind::PaRisc),
+            (M::SoftwareTlb, T::Inverted) => Ok(SystemKind::InvertedHat),
+            (M::HardwareTlb, T::TopDown) => Ok(SystemKind::Intel),
+            (M::HardwareTlb, T::TwoTier) => Ok(SystemKind::UltrixHw),
+            (M::HardwareTlb, T::Hashed) => Ok(SystemKind::Hybrid),
+            (M::SoftwareNoTlb, T::TwoTier) => Ok(SystemKind::NoTlb),
+            (M::HardwareNoTlb, T::TwoTier) => Ok(SystemKind::NoTlbHw),
+            (M::Bare, T::None) => Ok(SystemKind::Base),
+            _ => Err(ComposeError { mmu, table }),
+        }
+    }
+
+    /// The (refill mechanism, table organization) pair this system
+    /// implements — the inverse of [`SystemKind::compose`].
+    pub fn decompose(self) -> (MmuClass, TableOrg) {
+        match self {
+            SystemKind::Ultrix => (MmuClass::SoftwareTlb, TableOrg::TwoTier),
+            SystemKind::Mach => (MmuClass::SoftwareTlb, TableOrg::ThreeTier),
+            SystemKind::PaRisc => (MmuClass::SoftwareTlb, TableOrg::Hashed),
+            SystemKind::InvertedHat => (MmuClass::SoftwareTlb, TableOrg::Inverted),
+            SystemKind::Intel => (MmuClass::HardwareTlb, TableOrg::TopDown),
+            SystemKind::UltrixHw => (MmuClass::HardwareTlb, TableOrg::TwoTier),
+            SystemKind::Hybrid => (MmuClass::HardwareTlb, TableOrg::Hashed),
+            SystemKind::NoTlb => (MmuClass::SoftwareNoTlb, TableOrg::TwoTier),
+            SystemKind::NoTlbHw => (MmuClass::HardwareNoTlb, TableOrg::TwoTier),
+            SystemKind::Base => (MmuClass::Bare, TableOrg::None),
+        }
+    }
+}
+
 /// A complete simulation configuration: system + cache geometry + TLB
 /// geometry + substrate sizing.
 ///
@@ -414,6 +600,39 @@ mod tests {
         cfg.tlb_entries = 0;
         let err = cfg.build().unwrap_err();
         assert!(err.to_string().contains("TLB"));
+    }
+
+    #[test]
+    fn compose_and_decompose_are_inverses() {
+        let all = [
+            SystemKind::Ultrix,
+            SystemKind::Mach,
+            SystemKind::Intel,
+            SystemKind::PaRisc,
+            SystemKind::NoTlb,
+            SystemKind::Base,
+            SystemKind::UltrixHw,
+            SystemKind::Hybrid,
+            SystemKind::NoTlbHw,
+            SystemKind::InvertedHat,
+        ];
+        for kind in all {
+            let (mmu, table) = kind.decompose();
+            assert_eq!(SystemKind::compose(mmu, table), Ok(kind));
+            assert_eq!(MmuClass::parse(mmu.label()), Some(mmu));
+            assert_eq!(TableOrg::parse(table.label()), Some(table));
+        }
+    }
+
+    #[test]
+    fn invalid_compositions_list_alternatives() {
+        let err = SystemKind::compose(MmuClass::HardwareTlb, TableOrg::ThreeTier).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("hardware-tlb"), "{msg}");
+        assert!(msg.contains("three-tier"), "{msg}");
+        assert!(msg.contains("`two-tier`") && msg.contains("`hashed`"), "{msg}");
+        assert!(SystemKind::compose(MmuClass::Bare, TableOrg::TwoTier).is_err());
+        assert!(SystemKind::compose(MmuClass::SoftwareNoTlb, TableOrg::Inverted).is_err());
     }
 
     #[test]

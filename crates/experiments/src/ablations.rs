@@ -56,6 +56,20 @@ impl Ablation {
         }
     }
 
+    /// One-line description for `--help` (via the experiment registry).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Ablation::Hybrid => "hardware TLB over the hashed/inverted table (PowerPC, PA-7200)",
+            Ablation::WalkMode => "MIPS-style table walked by software vs a hardware state machine",
+            Ablation::Associativity => "cache associativity (the paper fixed direct-mapped)",
+            Ablation::TlbPolicy => "TLB replacement policy and the protected partition",
+            Ablation::ContextSwitch => {
+                "context-switch pressure: flush the TLBs every N instructions"
+            }
+            Ablation::UnifiedL2 => "split vs unified L2 at equal total capacity",
+        }
+    }
+
     /// All ablations.
     pub const ALL: [Ablation; 6] = [
         Ablation::Hybrid,

@@ -21,6 +21,10 @@
 //!   figs                      fig6..fig13
 //!   all                       everything above
 //!
+//! design-space exploration:
+//!   explore <spec.toml | dir>... [--sweep key=v1,v2,...]... [--jobs N]
+//!           [--check] [--quick|--full] [--out DIR] [--events FILE]
+//!
 //! one-off simulation:
 //!   run [--system S] [--workload W] [--l1 16K] [--l1-line 64]
 //!       [--l2 1M] [--l2-line 128] [--tlb-entries 128] [--unified]
@@ -37,9 +41,11 @@ use std::process::ExitCode;
 use vm_core::cost::CostModel;
 use vm_core::{SimConfig, SystemKind};
 use vm_experiments::{
-    ablations, fig6, fig8, interrupts, mcpi, multiprog, suite, tables, telemetry, tlbsize, total,
+    ablations, explore, fig6, fig8, interrupts, mcpi, multiprog, registry, suite, tables,
+    telemetry, tlbsize, total,
 };
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
+use vm_explore::{Axis, ExecConfig, SystemSpec};
 use vm_trace::presets;
 
 /// Parses "16K" / "1M" / "512" style size strings into bytes.
@@ -192,6 +198,153 @@ fn run_one(args: &[String]) -> Result<(), String> {
         write_export(&reporter, path, buf);
     }
     if let (Some(path), Some(buf)) = (&chrome, &tele.chrome_trace) {
+        write_export(&reporter, path, buf);
+    }
+    Ok(())
+}
+
+/// Collects spec files from a path argument: a `.toml` file itself, or
+/// every `*.toml` directly inside a directory (sorted by name).
+fn collect_specs(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_dir() {
+        let mut found = Vec::new();
+        let entries =
+            std::fs::read_dir(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for entry in entries {
+            let p = entry.map_err(|e| format!("{}: {e}", path.display()))?.path();
+            if p.extension().is_some_and(|x| x == "toml") {
+                found.push(p);
+            }
+        }
+        if found.is_empty() {
+            return Err(format!("{} contains no .toml spec files", path.display()));
+        }
+        found.sort();
+        out.extend(found);
+        Ok(())
+    } else if path.is_file() {
+        out.push(path.to_path_buf());
+        Ok(())
+    } else {
+        Err(format!("{}: no such file or directory", path.display()))
+    }
+}
+
+/// The `explore` subcommand: spec files in, sweep report out.
+fn explore_cmd(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut axes: Vec<Axis> = Vec::new();
+    let mut exec = ExecConfig { jobs: parallelism(), ..ExecConfig::DEFAULT };
+    let mut check = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--sweep" => axes.push(Axis::parse(&value("--sweep")?)?),
+            "--jobs" => {
+                exec.jobs = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--check" => check = true,
+            "--quick" => {
+                (exec.warmup, exec.measure) = (RunScale::QUICK.warmup, RunScale::QUICK.measure)
+            }
+            "--full" => {
+                (exec.warmup, exec.measure) = (RunScale::FULL.warmup, RunScale::FULL.measure)
+            }
+            "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
+            "--verbosity" => {
+                let v = value("--verbosity")?;
+                set_global_verbosity(
+                    Verbosity::parse(&v).ok_or_else(|| format!("bad --verbosity `{v}`"))?,
+                );
+            }
+            "-q" | "--quiet" => set_global_verbosity(Verbosity::Quiet),
+            "-v" | "--verbose" => set_global_verbosity(Verbosity::Verbose),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro explore <spec.toml | dir>... [--sweep key=v1,v2,...]... [--jobs N]\n\
+                     \x20                    [--check] [--quick|--full] [--out DIR] [--events FILE]\n\
+                     \x20                    [--verbosity 0|1|2 | -q | -v]\n\
+                     specs:  TOML-subset system descriptions (see docs/exploring.md and specs/)\n\
+                     sweep:  dotted spec keys, e.g. --sweep tlb.entries=32,64,128 --sweep mmu.table=two-tier,hashed\n\
+                     check:  parse and validate only; print each spec's lowered system and exit"
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for explore (try --help)"))
+            }
+            path => collect_specs(Path::new(path), &mut paths)?,
+        }
+    }
+    if paths.is_empty() {
+        return Err(
+            "explore needs at least one spec file or directory (e.g. `repro explore specs`)"
+                .to_owned(),
+        );
+    }
+    let mut bases = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let spec = SystemSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if check {
+            let config = spec.validate().map_err(|e| format!("{}: {e}", path.display()))?;
+            let tlbs = if config.system.uses_tlb() {
+                format!("{} entries x2 TLB", config.tlb_entries)
+            } else {
+                "no TLB".to_owned()
+            };
+            println!(
+                "{}: ok — {} on {} ({tlbs}, L1 {}K/L2 {}K)",
+                path.display(),
+                config.system.label(),
+                spec.workload_name(),
+                config.l1_bytes >> 10,
+                config.l2_bytes >> 10,
+            );
+        }
+        bases.push(spec);
+    }
+    if check {
+        // Axes still get a dry validation so `--check --sweep ...`
+        // catches bad keys without simulating.
+        if !axes.is_empty() {
+            let plan = explore::plan(&bases, &axes)?;
+            println!(
+                "sweep: {} runnable point(s), {} skipped",
+                plan.points.len(),
+                plan.skipped.len()
+            );
+            for s in &plan.skipped {
+                println!("  skipped {} — {}", s.label, s.reason);
+            }
+        }
+        return Ok(());
+    }
+    let reporter = Reporter::global();
+    let cfg = explore::Config { bases, axes, exec };
+    let run = explore::run(&cfg, events.is_some(), &reporter)?;
+    println!("{}", run.render());
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for (name, csv) in [
+            ("explore", run.to_csv()),
+            ("explore-frontier", run.frontier_to_csv()),
+            ("explore-sensitivity", run.sensitivity_to_csv()),
+        ] {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, csv.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            reporter.progress(format!("wrote {}", path.display()));
+        }
+    }
+    if let (Some(path), Some(buf)) = (&events, &run.events_jsonl) {
         write_export(&reporter, path, buf);
     }
     Ok(())
@@ -411,7 +564,9 @@ fn run_experiment(
             }
         }
         other => {
-            eprintln!("unknown experiment `{other}` (try: tables figs all)");
+            // Names are validated against the registry before dispatch,
+            // so this only fires if the registry and this match drift.
+            eprintln!("experiment `{other}` is registered but has no driver");
             return false;
         }
     }
@@ -430,6 +585,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("repro run: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("explore") {
+        return match explore_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("repro explore: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -496,14 +660,17 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
+                // The experiment list comes from the registry so this
+                // text cannot drift from what actually runs.
                 println!(
                     "usage: repro <experiment>... [--quick|--full] [--threads N] [--out DIR] [--strict]\n\
                      \x20                       [--events FILE] [--chrome-trace FILE] [--verbosity 0|1|2 | -q | -v]\n\
-                     experiments: tables fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13\n\
-                                  abl-hybrid abl-walkmode abl-assoc abl-tlb abl-ctx abl-unified abl-mp suite telemetry figs all\n\
+                     experiments:\n{}\
                      telemetry:   --events writes a JSONL event stream, --chrome-trace a chrome://tracing\n\
-                                  document; either implies the `telemetry` experiment\n\
-                     one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)"
+                     \x20            document; either implies the `telemetry` experiment\n\
+                     exploration: repro explore <spec.toml | dir> [--sweep key=v1,v2]... [--jobs N] (see explore --help)\n\
+                     one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)",
+                    registry::help_block()
                 );
                 return ExitCode::SUCCESS;
             }
@@ -516,19 +683,19 @@ fn main() -> ExitCode {
         names.push("all".to_owned());
     }
 
-    let figs = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"];
+    // Group aliases and name validation both come from the registry.
     let mut expanded = Vec::new();
     for n in names {
         match n.as_str() {
-            "figs" => expanded.extend(figs.iter().map(|s| s.to_string())),
-            "all" => {
-                expanded.push("tables".to_owned());
-                expanded.extend(figs.iter().map(|s| s.to_string()));
-                expanded.push("suite".to_owned());
-                expanded.extend(ablations::Ablation::ALL.iter().map(|a| a.name().to_owned()));
-                expanded.push("abl-mp".to_owned());
+            "figs" => expanded.extend(registry::fig_names()),
+            "all" => expanded.extend(registry::all_names()),
+            other => {
+                if !registry::is_known(other) {
+                    eprintln!("unknown experiment `{other}` (known: {})", registry::name_line());
+                    return ExitCode::FAILURE;
+                }
+                expanded.push(other.to_owned());
             }
-            other => expanded.push(other.to_owned()),
         }
     }
     // --events/--chrome-trace imply the instrumented pass.

@@ -1,0 +1,260 @@
+//! The `repro explore` driver: spec files + sweep axes in, tables,
+//! CSV, Pareto frontier and sensitivity report out.
+//!
+//! The heavy lifting (parsing, validation, the work-stealing executor,
+//! the analysis passes) lives in `vm-explore`; this module is the glue
+//! that renders its results in the same [`TextTable`]/CSV house style as
+//! the paper experiments.
+
+use vm_explore::{
+    pareto_frontier, run_sweep, sensitivity, Axis, AxisSensitivity, ExecConfig, PointResult,
+    SkippedPoint, SweepPlan, SystemSpec,
+};
+use vm_obs::{JsonlSink, Reporter};
+
+use crate::TextTable;
+
+/// Configuration for one `repro explore` invocation.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The base specs to sweep (one per spec file given).
+    pub bases: Vec<SystemSpec>,
+    /// The sweep axes, crossed over every base.
+    pub axes: Vec<Axis>,
+    /// Run lengths and worker count.
+    pub exec: ExecConfig,
+}
+
+/// Everything one exploration produced.
+#[derive(Debug, Clone)]
+pub struct ExploreRun {
+    /// Per-point measurements, in sweep order.
+    pub results: Vec<PointResult>,
+    /// Grid corners the validator rejected.
+    pub skipped: Vec<SkippedPoint>,
+    /// The Pareto frontier over (TLB area, total VM overhead).
+    pub frontier: Vec<PointResult>,
+    /// Per-axis sensitivity of total VM overhead.
+    pub sensitivity: Vec<AxisSensitivity>,
+    /// JSONL event stream (`sweep_started`/`sweep_point_done`), when
+    /// capture was requested.
+    pub events_jsonl: Option<Vec<u8>>,
+}
+
+/// Expands every base over the axes into one merged plan with globally
+/// unique point indices (so multi-spec runs merge deterministically).
+///
+/// # Errors
+///
+/// Returns a message if an axis key never applies to any base.
+pub fn plan(bases: &[SystemSpec], axes: &[Axis]) -> Result<SweepPlan, String> {
+    let mut merged = SweepPlan::default();
+    let mut last_err = None;
+    for base in bases {
+        match SweepPlan::expand(base, axes) {
+            Ok(mut plan) => {
+                for mut point in plan.points.drain(..) {
+                    point.index = merged.points.len();
+                    merged.points.push(point);
+                }
+                merged.skipped.append(&mut plan.skipped);
+            }
+            // A key may be meaningless for one base (e.g. `tlb.entries`
+            // on BASE) yet sweep the others; only fail if no base at all
+            // accepts it.
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if merged.points.is_empty() && merged.skipped.is_empty() {
+        if let Some(e) = last_err {
+            return Err(e);
+        }
+    }
+    Ok(merged)
+}
+
+/// Runs the exploration: expand, execute, analyse.
+///
+/// # Errors
+///
+/// Returns a message for an unusable plan (bad axis key) or a plan with
+/// zero runnable points.
+pub fn run(cfg: &Config, capture_events: bool, reporter: &Reporter) -> Result<ExploreRun, String> {
+    let plan = plan(&cfg.bases, &cfg.axes)?;
+    if plan.points.is_empty() {
+        let mut msg = "no runnable points in the sweep".to_owned();
+        if let Some(s) = plan.skipped.first() {
+            msg.push_str(&format!(" (all skipped; first reason: {})", s.reason));
+        }
+        return Err(msg);
+    }
+    reporter.progress(format!(
+        "exploring {} point{} ({} skipped) with {} job{}",
+        plan.points.len(),
+        if plan.points.len() == 1 { "" } else { "s" },
+        plan.skipped.len(),
+        cfg.exec.jobs.max(1),
+        if cfg.exec.jobs.max(1) == 1 { "" } else { "s" },
+    ));
+    let mut sink = capture_events.then(|| JsonlSink::new(Vec::new()));
+    let results = run_sweep(&plan, &cfg.exec, reporter, &mut sink);
+    let frontier = pareto_frontier(&results);
+    let sens = sensitivity(&results, &cfg.axes);
+    let events_jsonl = sink.and_then(|s| s.finish().ok());
+    Ok(ExploreRun { results, skipped: plan.skipped, frontier, sensitivity: sens, events_jsonl })
+}
+
+/// Formats a TLB area proxy for tables (`4.0K`, `-` for zero).
+fn area_cell(bytes: u64) -> String {
+    if bytes == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.1}K", bytes as f64 / 1024.0)
+    }
+}
+
+fn points_table(points: &[PointResult]) -> TextTable {
+    let mut t = TextTable::new([
+        "point", "system", "workload", "VMCPI", "int-CPI", "VM-total", "MCPI", "TLB-area",
+        "TLB-miss",
+    ]);
+    for r in points {
+        t.row([
+            r.label.clone(),
+            r.system.clone(),
+            r.workload.clone(),
+            format!("{:.5}", r.vmcpi),
+            format!("{:.5}", r.interrupt_cpi),
+            format!("{:.5}", r.vm_total),
+            format!("{:.5}", r.mcpi),
+            area_cell(r.tlb_area_bytes),
+            r.tlb_miss_ratio.map(|m| format!("{m:.5}")).unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    t
+}
+
+impl ExploreRun {
+    /// The full report: measured points, skipped corners, the Pareto
+    /// frontier, and the sensitivity ranking.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&points_table(&self.results).render());
+        if !self.skipped.is_empty() {
+            out.push_str(&format!("\nskipped {} grid corner(s):\n", self.skipped.len()));
+            for s in &self.skipped {
+                out.push_str(&format!("  {} — {}\n", s.label, s.reason));
+            }
+        }
+        out.push_str("\nPareto frontier (minimize TLB area and total VM overhead):\n");
+        out.push_str(&points_table(&self.frontier).render());
+        if !self.sensitivity.is_empty() {
+            out.push_str("\nper-axis sensitivity of total VM overhead (most influential first):\n");
+            let mut t = TextTable::new(["axis", "mean delta", "max delta", "groups", "worst at"]);
+            for s in &self.sensitivity {
+                let at = s
+                    .max_group
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                t.row([
+                    s.key.clone(),
+                    format!("{:.5}", s.mean_delta),
+                    format!("{:.5}", s.max_delta),
+                    s.groups.to_string(),
+                    if at.is_empty() { "(single axis)".to_owned() } else { at },
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// All measured points as CSV.
+    pub fn to_csv(&self) -> String {
+        points_table(&self.results).to_csv()
+    }
+
+    /// The Pareto frontier as CSV.
+    pub fn frontier_to_csv(&self) -> String {
+        points_table(&self.frontier).to_csv()
+    }
+
+    /// The sensitivity ranking as CSV.
+    pub fn sensitivity_to_csv(&self) -> String {
+        let mut t = TextTable::new(["axis", "mean_delta", "max_delta", "groups"]);
+        for s in &self.sensitivity {
+            t.row([
+                s.key.clone(),
+                format!("{:.6}", s.mean_delta),
+                format!("{:.6}", s.max_delta),
+                s.groups.to_string(),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_core::SystemKind;
+
+    fn quick_exec(jobs: usize) -> ExecConfig {
+        ExecConfig { warmup: 1_000, measure: 5_000, jobs }
+    }
+
+    #[test]
+    fn multi_base_plans_reindex_points() {
+        let bases =
+            [SystemSpec::for_kind(SystemKind::Ultrix), SystemSpec::for_kind(SystemKind::Intel)];
+        let axes = [Axis::parse("tlb.entries=32,64").unwrap()];
+        let plan = plan(&bases, &axes).unwrap();
+        assert_eq!(plan.points.len(), 4);
+        assert!(plan.points.iter().enumerate().all(|(i, p)| p.index == i));
+        assert!(plan.points[0].label.starts_with("ULTRIX"));
+        assert!(plan.points[2].label.starts_with("INTEL"));
+    }
+
+    #[test]
+    fn tlb_axis_on_base_system_skips_but_does_not_fail() {
+        // `tlb.entries` applies to ULTRIX but is nonsense for BASE; the
+        // merged plan keeps the valid half and records the rest.
+        let bases =
+            [SystemSpec::for_kind(SystemKind::Ultrix), SystemSpec::for_kind(SystemKind::Base)];
+        let axes = [Axis::parse("tlb.entries=32,64").unwrap()];
+        let plan = plan(&bases, &axes).unwrap();
+        assert_eq!(plan.points.len(), 2);
+        assert_eq!(plan.skipped.len(), 2);
+    }
+
+    #[test]
+    fn run_produces_frontier_sensitivity_and_events() {
+        let cfg = Config {
+            bases: vec![SystemSpec::for_kind(SystemKind::Ultrix)],
+            axes: vec![
+                Axis::parse("tlb.entries=32,64").unwrap(),
+                Axis::parse("mmu.table=two-tier,hashed").unwrap(),
+            ],
+            exec: quick_exec(2),
+        };
+        let run = run(&cfg, true, &Reporter::silent()).unwrap();
+        assert_eq!(run.results.len(), 4);
+        assert!(!run.frontier.is_empty());
+        assert_eq!(run.sensitivity.len(), 2);
+        let events = String::from_utf8(run.events_jsonl.unwrap()).unwrap();
+        assert!(events.contains("sweep_started"), "{events}");
+        assert_eq!(events.matches("sweep_point_done").count(), 4);
+    }
+
+    #[test]
+    fn bad_axis_key_is_an_error() {
+        let cfg = Config {
+            bases: vec![SystemSpec::for_kind(SystemKind::Ultrix)],
+            axes: vec![Axis::parse("tlb.banana=1").unwrap()],
+            exec: quick_exec(1),
+        };
+        assert!(run(&cfg, false, &Reporter::silent()).is_err());
+    }
+}

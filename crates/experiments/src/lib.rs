@@ -40,11 +40,13 @@
 
 pub mod ablations;
 pub mod chart;
+pub mod explore;
 pub mod fig6;
 pub mod fig8;
 pub mod interrupts;
 pub mod mcpi;
 pub mod multiprog;
+pub mod registry;
 pub mod suite;
 pub mod tables;
 pub mod telemetry;
@@ -52,11 +54,12 @@ pub mod tlbsize;
 pub mod total;
 
 mod claim;
-mod reporter;
 mod runner;
 mod table;
 
 pub use claim::Claim;
-pub use reporter::{set_global_verbosity, Reporter, Verbosity};
+// The reporter moved to `vm-obs` so lower layers (the `vm-explore` sweep
+// executor) can heartbeat through it; re-exported here for continuity.
 pub use runner::{run_jobs, run_jobs_reported, Job, Outcome, RunScale};
 pub use table::TextTable;
+pub use vm_obs::{set_global_verbosity, Reporter, Verbosity};

@@ -1,0 +1,125 @@
+//! The experiment registry: one authoritative list of every `repro`
+//! experiment, used to generate `--help`, validate names, and expand the
+//! `all`/`figs` groups.
+//!
+//! Before this existed the binary kept three hand-maintained copies of
+//! the experiment list (help text, `all` expansion, error hints) which
+//! drifted — `telemetry` was missing from `--help` for a while. Adding an
+//! experiment now means adding one [`ExperimentInfo`] row here.
+
+use crate::ablations::Ablation;
+
+/// One runnable experiment name and how the CLI should present it.
+#[derive(Debug, Clone)]
+pub struct ExperimentInfo {
+    /// The CLI name (`fig6`, `abl-tlb`, `telemetry`, ...).
+    pub name: String,
+    /// One-line description for `--help`.
+    pub help: &'static str,
+    /// Whether `repro all` includes it. (`telemetry` is excluded: it is
+    /// implied by `--events`/`--chrome-trace` instead.)
+    pub in_all: bool,
+}
+
+impl ExperimentInfo {
+    fn new(name: impl Into<String>, help: &'static str, in_all: bool) -> ExperimentInfo {
+        ExperimentInfo { name: name.into(), help, in_all }
+    }
+}
+
+/// Every experiment, in `repro all` execution order (entries with
+/// `in_all = false` sort last).
+pub fn experiments() -> Vec<ExperimentInfo> {
+    let mut list = vec![
+        ExperimentInfo::new("tables", "Tables 1-4: cost parameters and system survey", true),
+        ExperimentInfo::new("fig6", "VMCPI vs cache organization (gcc)", true),
+        ExperimentInfo::new("fig7", "VMCPI vs cache organization (vortex)", true),
+        ExperimentInfo::new("fig8", "VMCPI component breakdown (gcc)", true),
+        ExperimentInfo::new("fig9", "VMCPI component breakdown (vortex)", true),
+        ExperimentInfo::new("fig10", "interrupt-cost sensitivity (all benchmarks)", true),
+        ExperimentInfo::new("fig11", "TLB-size sensitivity", true),
+        ExperimentInfo::new("fig12", "MCPI inflicted on the application", true),
+        ExperimentInfo::new("fig13", "total VM overhead (the 5-10% -> 10-30% result)", true),
+        ExperimentInfo::new("suite", "six workloads x five systems, seed-replicated", true),
+    ];
+    for ablation in Ablation::ALL {
+        list.push(ExperimentInfo::new(ablation.name(), ablation.describe(), true));
+    }
+    list.push(ExperimentInfo::new(
+        "abl-mp",
+        "multiprogramming: ASID-tagged vs untagged TLBs",
+        true,
+    ));
+    list.push(ExperimentInfo::new(
+        "telemetry",
+        "instrumented pass: walk-latency histograms per system",
+        false,
+    ));
+    list
+}
+
+/// The names of the `figN` experiments, in order (the `figs` group).
+pub fn fig_names() -> Vec<String> {
+    experiments().into_iter().map(|e| e.name).filter(|n| n.starts_with("fig")).collect()
+}
+
+/// The names `repro all` runs, in order.
+pub fn all_names() -> Vec<String> {
+    experiments().into_iter().filter(|e| e.in_all).map(|e| e.name).collect()
+}
+
+/// Whether `name` is a runnable experiment (group aliases like `figs`
+/// and `all` are not included).
+pub fn is_known(name: &str) -> bool {
+    experiments().iter().any(|e| e.name == name)
+}
+
+/// The one-line experiment list for usage/error messages.
+pub fn name_line() -> String {
+    let names: Vec<String> = experiments().into_iter().map(|e| e.name).collect();
+    format!("{} figs all", names.join(" "))
+}
+
+/// The indented per-experiment help block for `--help`.
+pub fn help_block() -> String {
+    let list = experiments();
+    let width = list.iter().map(|e| e.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for e in &list {
+        out.push_str(&format!("  {:<width$}  {}\n", e.name, e.help));
+    }
+    out.push_str(&format!("  {:<width$}  fig6..fig13\n", "figs"));
+    out.push_str(&format!("  {:<width$}  every experiment above except telemetry\n", "all"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ablation_is_registered() {
+        for ablation in Ablation::ALL {
+            assert!(is_known(ablation.name()), "{} missing from registry", ablation.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_is_listed_but_not_in_all() {
+        assert!(is_known("telemetry"));
+        assert!(!all_names().contains(&"telemetry".to_owned()));
+        assert!(help_block().contains("telemetry"));
+        assert!(name_line().contains("telemetry"));
+    }
+
+    #[test]
+    fn all_order_is_tables_figs_suite_ablations_mp() {
+        let all = all_names();
+        assert_eq!(all[0], "tables");
+        assert_eq!(&all[1..9], fig_names().as_slice());
+        assert_eq!(all[9], "suite");
+        assert_eq!(all[10..16].to_vec(), Ablation::ALL.map(|a| a.name().to_owned()).to_vec());
+        assert_eq!(all[16], "abl-mp");
+        assert_eq!(all.len(), 17);
+    }
+}

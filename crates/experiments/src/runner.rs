@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use vm_core::{simulate, SimConfig, SimReport};
 use vm_trace::{InstrRecord, WorkloadSpec};
 
-use crate::reporter::Reporter;
+use vm_obs::Reporter;
 
 /// Run-length presets trading fidelity against wall-clock time.
 ///

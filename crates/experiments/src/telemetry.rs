@@ -14,9 +14,9 @@ use vm_obs::json::Value;
 use vm_obs::{summary_line, ChromeTraceSink, JsonlSink, ObsSnapshot, Sink, StatsSink, Tee};
 use vm_trace::WorkloadSpec;
 
-use crate::reporter::Reporter;
 use crate::runner::RunScale;
 use crate::TextTable;
+use vm_obs::Reporter;
 
 /// Shifts every event's timestamp by a fixed base, so several sequential
 /// runs can share one Chrome-trace timeline without overlapping.

@@ -1,0 +1,183 @@
+//! Analysis passes over sweep results.
+//!
+//! Two questions a design-space sweep should answer directly, without
+//! the reader eyeballing a CSV:
+//!
+//! * **Which configurations are worth building?** The [`pareto_frontier`]
+//!   keeps the points where no other point is both cheaper in translation
+//!   hardware (the TLB area proxy) *and* faster (total VM overhead CPI).
+//! * **Which knobs matter?** [`sensitivity`] reports, per swept axis, how
+//!   much total VM overhead moves when only that axis varies — averaged
+//!   and worst-cased over every combination of the other axes.
+
+use std::collections::BTreeMap;
+
+use crate::exec::PointResult;
+use crate::sweep::Axis;
+
+/// The Pareto-optimal subset of `results`, minimizing both
+/// `tlb_area_bytes` and `vm_total`.
+///
+/// Returned sorted by area ascending (so `vm_total` is strictly
+/// descending along the frontier). Ties on both objectives keep the
+/// earliest point in sweep order; a point that merely *equals* a
+/// frontier point on both axes is dominated, keeping the frontier
+/// minimal.
+pub fn pareto_frontier(results: &[PointResult]) -> Vec<PointResult> {
+    let mut sorted: Vec<&PointResult> = results.iter().collect();
+    // Area ascending, then overhead ascending, then sweep order: the
+    // first point seen at each area is the best candidate there.
+    sorted.sort_by(|a, b| {
+        a.tlb_area_bytes
+            .cmp(&b.tlb_area_bytes)
+            .then(a.vm_total.total_cmp(&b.vm_total))
+            .then(a.index.cmp(&b.index))
+    });
+    let mut frontier: Vec<PointResult> = Vec::new();
+    for point in sorted {
+        let dominated = frontier.last().is_some_and(|f| f.vm_total <= point.vm_total);
+        if !dominated {
+            // Same area as the previous frontier point but strictly
+            // faster can't happen (sort order), so this is a new area
+            // tier with a strict overhead improvement.
+            frontier.push(point.clone());
+        }
+    }
+    frontier
+}
+
+/// How much one swept axis moves the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSensitivity {
+    /// The axis key (`tlb.entries`, ...).
+    pub key: String,
+    /// Mean over groups of (max − min) `vm_total` within the group.
+    pub mean_delta: f64,
+    /// The largest such delta, with the group it occurred in.
+    pub max_delta: f64,
+    /// The fixed settings of the other axes for the worst group (empty
+    /// when this is the only axis).
+    pub max_group: Vec<(String, String)>,
+    /// How many groups (combinations of the other axes) were measured.
+    pub groups: usize,
+}
+
+/// Per-axis sensitivity of `vm_total`: for each axis, results are grouped
+/// by the settings of every *other* axis, and each group's spread
+/// (max − min `vm_total`) measures what that axis alone changes.
+///
+/// Axes with fewer than two measured values in every group — or absent
+/// from the results entirely — are omitted.
+pub fn sensitivity(results: &[PointResult], axes: &[Axis]) -> Vec<AxisSensitivity> {
+    let mut out = Vec::new();
+    for axis in axes {
+        // Group key: the other axes' (key, value) pairs, in axis order.
+        let mut groups: BTreeMap<Vec<(String, String)>, Vec<f64>> = BTreeMap::new();
+        for r in results {
+            if !r.settings.iter().any(|(k, _)| k == &axis.key) {
+                continue;
+            }
+            let rest: Vec<(String, String)> =
+                r.settings.iter().filter(|(k, _)| k != &axis.key).cloned().collect();
+            groups.entry(rest).or_default().push(r.vm_total);
+        }
+        let mut deltas: Vec<(f64, Vec<(String, String)>)> = groups
+            .into_iter()
+            .filter(|(_, vs)| vs.len() >= 2)
+            .map(|(rest, vs)| {
+                let lo = vs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                (hi - lo, rest)
+            })
+            .collect();
+        if deltas.is_empty() {
+            continue;
+        }
+        let mean = deltas.iter().map(|(d, _)| d).sum::<f64>() / deltas.len() as f64;
+        deltas.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let (max_delta, max_group) = deltas[0].clone();
+        out.push(AxisSensitivity {
+            key: axis.key.clone(),
+            mean_delta: mean,
+            max_delta,
+            max_group,
+            groups: deltas.len(),
+        });
+    }
+    // Most influential axis first.
+    out.sort_by(|a, b| b.mean_delta.total_cmp(&a.mean_delta));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(index: usize, settings: &[(&str, &str)], area: u64, vm_total: f64) -> PointResult {
+        PointResult {
+            index,
+            label: format!("P{index}"),
+            settings: settings.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+            system: "ULTRIX".to_owned(),
+            workload: "gcc".to_owned(),
+            vmcpi: vm_total,
+            interrupt_cpi: 0.0,
+            mcpi: 0.0,
+            vm_total,
+            tlb_area_bytes: area,
+            tlb_miss_ratio: None,
+            user_instrs: 1,
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_undominated_points() {
+        let results = [
+            point(0, &[], 1024, 0.30),
+            point(1, &[], 2048, 0.10), // frontier
+            point(2, &[], 2048, 0.20), // dominated by 1
+            point(3, &[], 512, 0.50),  // frontier (cheapest)
+            point(4, &[], 4096, 0.10), // dominated by 1 (equal vm, more area)
+            point(5, &[], 4096, 0.05), // frontier
+        ];
+        let frontier = pareto_frontier(&results);
+        let labels: Vec<&str> = frontier.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["P3", "P0", "P1", "P5"]);
+        assert!(frontier.windows(2).all(|w| w[0].tlb_area_bytes < w[1].tlb_area_bytes));
+        assert!(frontier.windows(2).all(|w| w[0].vm_total > w[1].vm_total));
+    }
+
+    #[test]
+    fn sensitivity_ranks_the_influential_axis_first() {
+        // 2×2 grid: `big` moves vm_total by 1.0 in both groups, `small`
+        // by 0.1 in both.
+        let results = [
+            point(0, &[("big", "a"), ("small", "x")], 0, 1.0),
+            point(1, &[("big", "a"), ("small", "y")], 0, 1.1),
+            point(2, &[("big", "b"), ("small", "x")], 0, 2.0),
+            point(3, &[("big", "b"), ("small", "y")], 0, 2.1),
+        ];
+        let axes = [
+            Axis { key: "small".to_owned(), values: vec!["x".into(), "y".into()] },
+            Axis { key: "big".to_owned(), values: vec!["a".into(), "b".into()] },
+        ];
+        let sens = sensitivity(&results, &axes);
+        assert_eq!(sens.len(), 2);
+        assert_eq!(sens[0].key, "big");
+        assert!((sens[0].mean_delta - 1.0).abs() < 1e-9);
+        assert!((sens[0].max_delta - 1.0).abs() < 1e-9);
+        assert_eq!(sens[0].groups, 2);
+        assert_eq!(sens[1].key, "small");
+        assert!((sens[1].mean_delta - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_skips_axes_absent_from_results() {
+        let results = [point(0, &[("only", "x")], 0, 1.0)];
+        let axes = [
+            Axis { key: "only".to_owned(), values: vec!["x".into()] },
+            Axis { key: "ghost".to_owned(), values: vec!["a".into(), "b".into()] },
+        ];
+        assert!(sensitivity(&results, &axes).is_empty());
+    }
+}

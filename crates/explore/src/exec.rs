@@ -1,0 +1,356 @@
+//! The parallel sweep executor.
+//!
+//! Points are distributed round-robin over per-worker deques; a worker
+//! that drains its own queue **steals** from the back of the fullest
+//! other queue (victim scan order is randomized per worker with a
+//! deterministic [`SplitMix64`] stream, so contention patterns vary but
+//! runs are reproducible). Every random stream a *result* depends on —
+//! the workload generator and the TLB replacement RNG — is seeded from
+//! the point's spec alone, never from worker identity, and outcomes are
+//! merged in point order; the same sweep therefore produces bit-identical
+//! results at any `--jobs` count.
+//!
+//! Progress goes through the `vm-obs` [`Reporter`] (a heartbeat line
+//! roughly every two seconds, per-point completions at Verbose), and the
+//! sweep's lifecycle is emitted into any [`Sink`] as
+//! [`Event::SweepStarted`] / [`Event::SweepPointDone`] pairs so `--events`
+//! captures exploration runs alongside simulation events.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use vm_core::cost::CostModel;
+use vm_core::{simulate, SimConfig};
+use vm_obs::{Event, Reporter, Sink};
+use vm_types::SplitMix64;
+
+use crate::sweep::{PlannedPoint, SweepPlan};
+
+/// Run lengths for one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Instructions executed before counters are reset.
+    pub warmup: u64,
+    /// Instructions measured.
+    pub measure: u64,
+    /// Worker threads (clamped to at least 1, at most the point count).
+    pub jobs: usize,
+}
+
+impl ExecConfig {
+    /// The default experiment scale (matches the runner's default).
+    pub const DEFAULT: ExecConfig = ExecConfig { warmup: 1_000_000, measure: 2_000_000, jobs: 1 };
+    /// Fast smoke-test scale.
+    pub const QUICK: ExecConfig = ExecConfig { warmup: 200_000, measure: 500_000, jobs: 1 };
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Position in sweep order.
+    pub index: usize,
+    /// The point's label (`NAME key=value ...`).
+    pub label: String,
+    /// The `(axis key, value)` pairs that distinguish this point.
+    pub settings: Vec<(String, String)>,
+    /// The composed system's paper-style label.
+    pub system: String,
+    /// The workload preset measured.
+    pub workload: String,
+    /// VM overhead CPI (Table 3 components).
+    pub vmcpi: f64,
+    /// Precise-interrupt CPI at the spec's interrupt cost.
+    pub interrupt_cpi: f64,
+    /// Baseline cache overhead CPI (Table 2 components).
+    pub mcpi: f64,
+    /// `vmcpi + interrupt_cpi` — the quantity the Pareto frontier and
+    /// sensitivity passes minimize.
+    pub vm_total: f64,
+    /// The TLB area proxy (see [`tlb_area_bytes`]).
+    pub tlb_area_bytes: u64,
+    /// Combined I+D TLB miss ratio, when the system has TLBs.
+    pub tlb_miss_ratio: Option<f64>,
+    /// User instructions measured.
+    pub user_instrs: u64,
+}
+
+/// A die-area proxy for the translation hardware: split I/D TLBs at 16
+/// bytes per fully-associative entry (~50 tag+data bits plus CAM
+/// overhead). The absolute scale is arbitrary; the Pareto frontier only
+/// consumes the ordering. TLB-less systems cost 0.
+pub fn tlb_area_bytes(config: &SimConfig) -> u64 {
+    if config.system.uses_tlb() {
+        2 * config.tlb_entries as u64 * 16
+    } else {
+        0
+    }
+}
+
+/// Runs every point of `plan`, returning results in point order.
+///
+/// `sink` receives the sweep lifecycle events ([`Event::SweepStarted`]
+/// up front, one [`Event::SweepPointDone`] per point, emitted after the
+/// order-independent merge so event streams are deterministic too); pass
+/// [`vm_obs::NopSink`] when nothing listens.
+///
+/// # Panics
+///
+/// Panics if a point's workload fails to build or the simulation rejects
+/// a config — both are validated during planning, so a failure here is a
+/// programming error.
+pub fn run_sweep<S: Sink>(
+    plan: &SweepPlan,
+    exec: &ExecConfig,
+    reporter: &Reporter,
+    sink: &mut S,
+) -> Vec<PointResult> {
+    let points = &plan.points;
+    if S::ENABLED {
+        sink.emit(
+            0,
+            &Event::SweepStarted {
+                points: points.len() as u64,
+                axes: points.first().map(|p| p.settings.len() as u32).unwrap_or(0),
+                jobs: exec.jobs.max(1) as u32,
+            },
+        );
+    }
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let jobs = exec.jobs.max(1).min(points.len());
+    let planned_instrs = (exec.warmup + exec.measure) * points.len() as u64;
+
+    // Round-robin deal into per-worker deques; idle workers steal from
+    // the back of the fullest queue.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|w| Mutex::new((w..points.len()).step_by(jobs).collect())).collect();
+    let results: Vec<Mutex<Option<PointResult>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let consumed = AtomicU64::new(0);
+    let finished = AtomicBool::new(false);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let done = &done;
+            let consumed = &consumed;
+            workers.push(scope.spawn(move || {
+                // Deterministic per-worker stream; only steers which
+                // victim is probed first, never anything a result
+                // depends on.
+                let mut rng = SplitMix64::new(steal_seed(w));
+                while let Some(ix) = next_point(w, queues, &mut rng) {
+                    let point = &points[ix];
+                    let t0 = Instant::now();
+                    let result = measure_point(point, exec);
+                    consumed.fetch_add(exec.warmup + exec.measure, Ordering::Relaxed);
+                    let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    reporter.detail(format!(
+                        "  [explore] {k}/{} `{}` done in {:.2}s",
+                        points.len(),
+                        point.label,
+                        t0.elapsed().as_secs_f64()
+                    ));
+                    *results[ix].lock().unwrap() = Some(result);
+                }
+            }));
+        }
+        // Heartbeat: silent for short sweeps, periodic progress for long
+        // ones, same cadence as the experiment runner.
+        scope.spawn(|| {
+            let step = Duration::from_millis(100);
+            let mut waited = Duration::ZERO;
+            loop {
+                std::thread::sleep(step);
+                if finished.load(Ordering::Relaxed) {
+                    break;
+                }
+                waited += step;
+                if waited < Duration::from_secs(2) {
+                    continue;
+                }
+                waited = Duration::ZERO;
+                let instrs = consumed.load(Ordering::Relaxed);
+                let elapsed = started.elapsed().as_secs_f64();
+                reporter.heartbeat(format!(
+                    "  [explore] {}/{} points ({:.0}% of planned instrs) at {:.1}M instrs/s",
+                    done.load(Ordering::Relaxed),
+                    points.len(),
+                    100.0 * instrs as f64 / planned_instrs.max(1) as f64,
+                    instrs as f64 / elapsed.max(1e-9) / 1e6,
+                ));
+            }
+        });
+        let worker_panic = workers.into_iter().find_map(|h| h.join().err());
+        finished.store(true, Ordering::Relaxed);
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    let merged: Vec<PointResult> =
+        results.into_iter().map(|m| m.into_inner().unwrap().expect("every point ran")).collect();
+    if S::ENABLED {
+        let mut now = 0;
+        for r in &merged {
+            now += r.user_instrs;
+            sink.emit(
+                now,
+                &Event::SweepPointDone {
+                    index: r.index as u64,
+                    instrs: r.user_instrs,
+                    vm_total_micro: (r.vm_total * 1e6).round() as u64,
+                },
+            );
+        }
+    }
+    merged
+}
+
+/// Mixes a worker id into a seed for its steal stream.
+fn steal_seed(w: usize) -> u64 {
+    0x5eed_ba5e_0000_0000 ^ w as u64
+}
+
+/// Pops the worker's own queue, or steals from the back of the fullest
+/// other queue (first probe randomized by the worker's stream).
+fn next_point(w: usize, queues: &[Mutex<VecDeque<usize>>], rng: &mut SplitMix64) -> Option<usize> {
+    if let Some(ix) = queues[w].lock().unwrap().pop_front() {
+        return Some(ix);
+    }
+    let n = queues.len();
+    let start = (rng.next_u64() as usize) % n;
+    // Two passes: find the fullest victim, then fall back to any victim
+    // (a queue may drain between the scan and the steal).
+    let mut best: Option<(usize, usize)> = None;
+    for off in 0..n {
+        let v = (start + off) % n;
+        if v == w {
+            continue;
+        }
+        let len = queues[v].lock().unwrap().len();
+        if len > best.map(|(_, l)| l).unwrap_or(0) {
+            best = Some((v, len));
+        }
+    }
+    if let Some((v, _)) = best {
+        if let Some(ix) = queues[v].lock().unwrap().pop_back() {
+            return Some(ix);
+        }
+    }
+    for off in 0..n {
+        let v = (start + off) % n;
+        if v == w {
+            continue;
+        }
+        if let Some(ix) = queues[v].lock().unwrap().pop_back() {
+            return Some(ix);
+        }
+    }
+    None
+}
+
+/// Simulates one point and derives its result row.
+fn measure_point(point: &PlannedPoint, exec: &ExecConfig) -> PointResult {
+    let workload = vm_trace::presets::by_name(point.spec.workload_name())
+        .unwrap_or_else(|| panic!("point `{}`: workload vanished after validation", point.label));
+    let trace = workload
+        .build(point.spec.trace_seed)
+        .unwrap_or_else(|e| panic!("point `{}`: {e}", point.label));
+    let report = simulate(&point.config, trace, exec.warmup, exec.measure)
+        .unwrap_or_else(|e| panic!("point `{}`: {e}", point.label));
+    let cost = CostModel::paper(point.spec.interrupt_cycles);
+    let vmcpi = report.vmcpi(&cost).total();
+    let interrupt_cpi = report.interrupt_cpi(&cost);
+    let tlb_miss_ratio =
+        (report.itlb.is_some() || report.dtlb.is_some()).then(|| report.tlb_miss_ratio());
+    PointResult {
+        index: point.index,
+        label: point.label.clone(),
+        settings: point.settings.clone(),
+        system: point.config.system.label().to_owned(),
+        workload: workload.name.clone(),
+        vmcpi,
+        interrupt_cpi,
+        mcpi: report.mcpi(&cost).total(),
+        vm_total: vmcpi + interrupt_cpi,
+        tlb_area_bytes: tlb_area_bytes(&point.config),
+        tlb_miss_ratio,
+        user_instrs: report.counts.user_instrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemSpec;
+    use crate::sweep::Axis;
+    use vm_core::SystemKind;
+    use vm_obs::{NopSink, RecordingSink};
+
+    fn tiny_exec(jobs: usize) -> ExecConfig {
+        ExecConfig { warmup: 2_000, measure: 10_000, jobs }
+    }
+
+    fn tiny_plan() -> SweepPlan {
+        let base = SystemSpec::for_kind(SystemKind::Ultrix);
+        let axes = [
+            Axis::parse("tlb.entries=32,64").unwrap(),
+            Axis::parse("mmu.table=two-tier,hashed").unwrap(),
+        ];
+        SweepPlan::expand(&base, &axes).unwrap()
+    }
+
+    #[test]
+    fn results_come_back_in_point_order() {
+        let plan = tiny_plan();
+        let out = run_sweep(&plan, &tiny_exec(2), &Reporter::silent(), &mut NopSink);
+        assert_eq!(out.len(), 4);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.user_instrs, 10_000);
+            assert!(r.vm_total >= 0.0);
+        }
+    }
+
+    #[test]
+    fn job_count_does_not_change_results() {
+        let plan = tiny_plan();
+        let one = run_sweep(&plan, &tiny_exec(1), &Reporter::silent(), &mut NopSink);
+        let many = run_sweep(&plan, &tiny_exec(4), &Reporter::silent(), &mut NopSink);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn sweep_events_are_emitted_in_order() {
+        let plan = tiny_plan();
+        let mut sink = RecordingSink::new();
+        let out = run_sweep(&plan, &tiny_exec(2), &Reporter::silent(), &mut sink);
+        let events = &sink.events;
+        assert!(matches!(events[0].1, Event::SweepStarted { points: 4, axes: 2, jobs: 2 }));
+        let indices: Vec<u64> = events[1..]
+            .iter()
+            .map(|(_, e)| match e {
+                Event::SweepPointDone { index, .. } => *index,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(indices, [0, 1, 2, 3]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn area_proxy_is_zero_without_tlbs() {
+        let with = SystemSpec::for_kind(SystemKind::Intel).validate().unwrap();
+        let without = SystemSpec::for_kind(SystemKind::NoTlb).validate().unwrap();
+        assert_eq!(tlb_area_bytes(&with), 2 * 128 * 16);
+        assert_eq!(tlb_area_bytes(&without), 0);
+    }
+}

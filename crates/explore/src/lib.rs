@@ -1,0 +1,37 @@
+//! Declarative system specs and parallel design-space exploration.
+//!
+//! The hard-coded `SystemKind` presets reproduce the paper's six systems;
+//! this crate makes the space *around* them explorable:
+//!
+//! * [`SystemSpec`] — a small declarative description (parsed from a TOML
+//!   subset, no external dependencies) of one simulated machine: MMU
+//!   class × page-table organization × TLB geometry × cache hierarchy ×
+//!   handler costs. A minimal spec (`[mmu] kind/table` only) lowers to
+//!   exactly the paper-default [`vm_core::SimConfig`] for that system,
+//!   so the shipped `specs/*.toml` reproduce the paper bit-for-bit.
+//! * [`SweepPlan`] — grid expansion of dotted-key axes
+//!   (`tlb.entries=32,64,128`) over a base spec, with invalid grid
+//!   corners recorded (not silently dropped) alongside the validator's
+//!   reason.
+//! * [`run_sweep`] — a work-stealing multi-threaded executor whose
+//!   merged results are bit-identical at any `--jobs` count, reporting
+//!   progress through the `vm-obs` [`vm_obs::Reporter`] and emitting
+//!   `SweepStarted`/`SweepPointDone` events.
+//! * [`pareto_frontier`] / [`sensitivity`] — which configurations are
+//!   worth building, and which knobs matter.
+//!
+//! The `repro explore` subcommand is the front end; this crate holds
+//! everything reusable behind it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod exec;
+pub mod spec;
+pub mod sweep;
+
+pub use analysis::{pareto_frontier, sensitivity, AxisSensitivity};
+pub use exec::{run_sweep, tlb_area_bytes, ExecConfig, PointResult};
+pub use spec::{SpecError, SystemSpec, ValidateError, PAGE_BYTES};
+pub use sweep::{Axis, PlannedPoint, SkippedPoint, SweepPlan};

@@ -1,0 +1,67 @@
+//! The shipped `specs/*.toml` files reproduce the hard-coded paper
+//! systems: structurally (the lowered `SimConfig` equals
+//! `SimConfig::paper_default`) and behaviourally (a short simulation
+//! produces bit-identical VMCPI).
+
+use std::fs;
+use std::path::PathBuf;
+
+use vm_core::cost::CostModel;
+use vm_core::{simulate, SimConfig, SystemKind};
+use vm_explore::SystemSpec;
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+const SHIPPED: &[(&str, SystemKind)] = &[
+    ("ultrix.toml", SystemKind::Ultrix),
+    ("mach.toml", SystemKind::Mach),
+    ("intel.toml", SystemKind::Intel),
+    ("pa-risc.toml", SystemKind::PaRisc),
+    ("notlb.toml", SystemKind::NoTlb),
+    ("base.toml", SystemKind::Base),
+];
+
+#[test]
+fn every_shipped_spec_lowers_to_its_paper_default() {
+    for &(file, kind) in SHIPPED {
+        let path = specs_dir().join(file);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let spec = SystemSpec::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(spec.display_name(), kind.label(), "{file}");
+        let config = spec.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(config, SimConfig::paper_default(kind), "{file} drifted from the preset");
+    }
+}
+
+#[test]
+fn spec_driven_simulation_is_bit_identical_to_the_preset() {
+    // Behavioural check on two representative systems (one software-,
+    // one hardware-refilled); the structural test above covers the rest.
+    for kind in [SystemKind::Ultrix, SystemKind::Intel] {
+        let file = SHIPPED.iter().find(|(_, k)| *k == kind).unwrap().0;
+        let text = fs::read_to_string(specs_dir().join(file)).unwrap();
+        let spec = SystemSpec::parse(&text).unwrap();
+        let config = spec.validate().unwrap();
+
+        let cost = CostModel::paper(spec.interrupt_cycles);
+        let run = |config: &SimConfig| {
+            let trace = vm_trace::presets::by_name(spec.workload_name())
+                .unwrap()
+                .build(spec.trace_seed)
+                .unwrap();
+            let report = simulate(config, trace, 20_000, 60_000).unwrap();
+            (
+                report.vmcpi(&cost).total().to_bits(),
+                report.mcpi(&cost).total().to_bits(),
+                report.interrupt_cpi(&cost).to_bits(),
+            )
+        };
+        assert_eq!(
+            run(&config),
+            run(&SimConfig::paper_default(kind)),
+            "{file}: spec-driven run diverged from the hard-coded preset"
+        );
+    }
+}

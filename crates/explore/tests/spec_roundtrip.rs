@@ -1,0 +1,73 @@
+//! Property test: `parse(to_toml(spec)) == spec` across a deterministic
+//! sample of the representable spec space.
+
+use vm_cache::Associativity;
+use vm_core::{MmuClass, SystemKind, TableOrg};
+use vm_explore::SystemSpec;
+use vm_tlb::Replacement;
+use vm_types::SplitMix64;
+
+/// Builds a pseudo-random (but valid-to-print) spec from one RNG stream.
+fn arbitrary_spec(rng: &mut SplitMix64) -> SystemSpec {
+    let mmu = MmuClass::ALL[(rng.next_u64() % MmuClass::ALL.len() as u64) as usize];
+    let table = TableOrg::ALL[(rng.next_u64() % TableOrg::ALL.len() as u64) as usize];
+    let mut spec = SystemSpec::new(mmu, table);
+    if rng.next_u64().is_multiple_of(2) {
+        spec.name = Some(format!("SPEC-{}", rng.next_u64() % 1000));
+    }
+    // TLB geometry only exists on TLB-ful systems; the canonical printer
+    // (correctly) drops the `[tlb]` section otherwise.
+    if mmu.has_tlb() {
+        spec.tlb_entries = 1 << (rng.next_u64() % 10);
+        spec.tlb_replacement = match rng.next_u64() % 3 {
+            0 => Replacement::Random,
+            1 => Replacement::Lru,
+            _ => Replacement::Fifo,
+        };
+        if rng.next_u64().is_multiple_of(3) {
+            spec.tlb_protected = Some((rng.next_u64() % 64) as usize);
+        }
+    }
+    spec.l1_bytes = 1 << (10 + rng.next_u64() % 8);
+    spec.l1_line = 1 << (4 + rng.next_u64() % 4);
+    spec.l2_bytes = 1 << (16 + rng.next_u64() % 8);
+    spec.l2_line = 1 << (5 + rng.next_u64() % 4);
+    spec.cache_assoc = match rng.next_u64() % 3 {
+        0 => Associativity::DirectMapped,
+        1 => Associativity::Ways(2),
+        _ => Associativity::Ways(4),
+    };
+    spec.unified_l2 = rng.next_u64().is_multiple_of(2);
+    spec.phys_mem_bytes = 1 << (22 + rng.next_u64() % 6);
+    spec.interrupt_cycles = 1 + rng.next_u64() % 300;
+    spec.seed = rng.next_u64();
+    if rng.next_u64().is_multiple_of(2) {
+        let names = ["gcc", "vortex", "ijpeg", "li", "compress", "perl"];
+        spec.workload = Some(names[(rng.next_u64() % 6) as usize].to_owned());
+    }
+    spec.trace_seed = 1 + rng.next_u64() % 100;
+    spec
+}
+
+#[test]
+fn parse_print_parse_is_identity() {
+    let mut rng = SplitMix64::new(0x0dd_b175);
+    for case in 0..500 {
+        let spec = arbitrary_spec(&mut rng);
+        let printed = spec.to_toml();
+        let reparsed = SystemSpec::parse(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{printed}"));
+        assert_eq!(reparsed, spec, "case {case} drifted through print/parse:\n{printed}");
+        // And printing is canonical: a second round trip is a fixpoint.
+        assert_eq!(reparsed.to_toml(), printed, "case {case}: printer not canonical");
+    }
+}
+
+#[test]
+fn shipped_kinds_round_trip_through_files() {
+    for kind in SystemKind::PAPER {
+        let spec = SystemSpec::for_kind(kind);
+        let reparsed = SystemSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(reparsed, spec, "{kind}");
+    }
+}

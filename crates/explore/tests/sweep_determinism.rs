@@ -1,0 +1,39 @@
+//! The sweep executor's merged results are independent of `--jobs`: the
+//! ISSUE-level acceptance grid (TLB entries × page-table organization,
+//! ≥ 24 points) must come back bit-identical at 1, 4, and 8 workers.
+
+use vm_core::SystemKind;
+use vm_explore::{run_sweep, Axis, ExecConfig, SweepPlan, SystemSpec};
+use vm_obs::{NopSink, Reporter};
+
+fn acceptance_plan() -> SweepPlan {
+    let base = SystemSpec::for_kind(SystemKind::Ultrix);
+    let axes = [
+        Axis::parse("tlb.entries=16,32,64,128,256,512").unwrap(),
+        Axis::parse("mmu.table=two-tier,three-tier,hashed,inverted").unwrap(),
+    ];
+    SweepPlan::expand(&base, &axes).unwrap()
+}
+
+#[test]
+fn job_count_never_changes_merged_results() {
+    let plan = acceptance_plan();
+    assert!(plan.points.len() >= 24, "acceptance grid shrank to {} points", plan.points.len());
+    let exec = |jobs| ExecConfig { warmup: 2_000, measure: 8_000, jobs };
+    let reporter = Reporter::silent();
+    let baseline = run_sweep(&plan, &exec(1), &reporter, &mut NopSink);
+    for jobs in [4, 8] {
+        let parallel = run_sweep(&plan, &exec(jobs), &reporter, &mut NopSink);
+        assert_eq!(baseline.len(), parallel.len());
+        for (a, b) in baseline.iter().zip(&parallel) {
+            assert_eq!(a.index, b.index, "order drifted at --jobs {jobs}");
+            assert_eq!(
+                a.vm_total.to_bits(),
+                b.vm_total.to_bits(),
+                "`{}` VMCPI differs at --jobs {jobs}",
+                a.label
+            );
+            assert_eq!(a, b, "`{}` result differs at --jobs {jobs}", a.label);
+        }
+    }
+}

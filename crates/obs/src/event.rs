@@ -95,6 +95,27 @@ pub enum Event {
         /// The virtual page that was displaced.
         victim: Vpn,
     },
+    /// A design-space sweep (`vm-explore`) started executing.
+    SweepStarted {
+        /// Number of valid points the sweep will simulate.
+        points: u64,
+        /// Number of swept axes (0 for a plain spec run).
+        axes: u32,
+        /// Worker threads the executor was given.
+        jobs: u32,
+    },
+    /// One sweep point finished simulating. Emitted in point order after
+    /// the order-independent merge, so event streams are deterministic
+    /// regardless of worker count.
+    SweepPointDone {
+        /// The point's index in sweep order.
+        index: u64,
+        /// User instructions measured at this point.
+        instrs: u64,
+        /// The point's VM overhead (VMCPI + interrupt CPI), in millionths
+        /// of a cycle per instruction (events carry integers only).
+        vm_total_micro: u64,
+    },
 }
 
 impl Event {
@@ -108,6 +129,8 @@ impl Event {
             Event::Interrupt { .. } => "interrupt",
             Event::CacheMiss { .. } => "cache_miss",
             Event::TlbEviction { .. } => "tlb_eviction",
+            Event::SweepStarted { .. } => "sweep_started",
+            Event::SweepPointDone { .. } => "sweep_point_done",
         }
     }
 
@@ -146,6 +169,16 @@ impl Event {
                 put("class", class.to_string().into());
                 put("victim", victim.raw().into());
             }
+            Event::SweepStarted { points, axes, jobs } => {
+                put("points", points.into());
+                put("axes", axes.into());
+                put("jobs", jobs.into());
+            }
+            Event::SweepPointDone { index, instrs, vm_total_micro } => {
+                put("index", index.into());
+                put("instrs", instrs.into());
+                put("vm_total_micro", vm_total_micro.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -174,6 +207,8 @@ mod tests {
                 class: AccessKind::Store,
                 victim: Vpn::new(AddressSpace::User, 9),
             },
+            Event::SweepStarted { points: 24, axes: 2, jobs: 4 },
+            Event::SweepPointDone { index: 3, instrs: 500_000, vm_total_micro: 81_230 },
         ]
     }
 

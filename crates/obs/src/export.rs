@@ -106,6 +106,7 @@ impl<W: Write> ChromeTraceSink<W> {
         (4, "interrupt"),
         (5, "flush+eviction"),
         (6, "cache_miss"),
+        (7, "sweep"),
     ];
 
     fn lane(ev: &Event) -> u64 {
@@ -117,6 +118,7 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::HandlerEviction { .. }
             | Event::TlbEviction { .. } => 5,
             Event::CacheMiss { .. } => 6,
+            Event::SweepStarted { .. } | Event::SweepPointDone { .. } => 7,
         }
     }
 

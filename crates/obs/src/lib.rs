@@ -49,10 +49,12 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod reporter;
 pub mod sink;
 pub mod stats;
 
 pub use event::{CacheId, Event};
 pub use export::{summary_line, ChromeTraceSink, JsonlSink};
+pub use reporter::{set_global_verbosity, Reporter, Verbosity};
 pub use sink::{NopSink, RecordingSink, SharedSink, Sink, Tee};
 pub use stats::{HistSummary, LogHist, ObsCounters, ObsSnapshot, StatsSink};

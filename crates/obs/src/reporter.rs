@@ -1,12 +1,17 @@
-//! Verbosity-aware progress and result reporting for the experiment
-//! drivers.
+//! Verbosity-aware progress and result reporting.
 //!
-//! The convention throughout `repro` and the runner:
+//! The convention throughout the experiment drivers and the sweep
+//! executors:
 //!
 //! * **stdout** carries results — tables, claims, CSV — and nothing
 //!   else, so output stays pipeable and diffable.
 //! * **stderr** carries progress — headings, heartbeats, wall-clock
 //!   timings, file-written notices — gated by [`Verbosity`].
+//!
+//! The reporter lives in `vm-obs` (rather than the experiment crate) so
+//! every layer that runs long work — the experiment runner, the
+//! `vm-explore` sweep executor — can report progress through one
+//! mechanism instead of ad-hoc stderr prints.
 
 use std::fmt::Display;
 use std::sync::atomic::{AtomicU8, Ordering};

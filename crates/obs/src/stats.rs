@@ -396,6 +396,10 @@ impl Sink for StatsSink {
             Event::TlbEviction { class, .. } => {
                 c.tlb_evictions[usize::from(class.is_data())] += 1;
             }
+            // Sweep lifecycle markers are emitted by the explore
+            // executor, outside any single simulation; there is nothing
+            // to aggregate per run.
+            Event::SweepStarted { .. } | Event::SweepPointDone { .. } => {}
         }
     }
 

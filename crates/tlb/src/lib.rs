@@ -52,6 +52,16 @@ pub enum Replacement {
     Fifo,
 }
 
+impl Replacement {
+    /// Resolves a policy name (case-insensitive: `random`, `lru`,
+    /// `fifo`) — the spellings system spec files use.
+    pub fn parse(s: &str) -> Option<Replacement> {
+        [Replacement::Random, Replacement::Lru, Replacement::Fifo]
+            .into_iter()
+            .find(|r| r.to_string().eq_ignore_ascii_case(s))
+    }
+}
+
 impl fmt::Display for Replacement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {

@@ -13,6 +13,8 @@
 //! * [`ptable`] — page-table organizations ([`vm_ptable`]),
 //! * [`obs`] — zero-cost event tracing and run telemetry ([`vm_obs`]),
 //! * [`core`] — the simulator ([`vm_core`]),
+//! * [`explore`] — declarative system specs and parallel design-space
+//!   sweeps with Pareto/sensitivity analysis ([`vm_explore`]),
 //! * [`experiments`] — figure/table drivers ([`vm_experiments`]).
 //!
 //! # Quick start
@@ -39,6 +41,7 @@
 pub use vm_cache as cache;
 pub use vm_core as core;
 pub use vm_experiments as experiments;
+pub use vm_explore as explore;
 pub use vm_obs as obs;
 pub use vm_ptable as ptable;
 pub use vm_tlb as tlb;
