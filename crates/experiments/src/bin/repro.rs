@@ -24,6 +24,8 @@
 //! design-space exploration:
 //!   explore <spec.toml | dir>... [--sweep key=v1,v2,...]... [--jobs N]
 //!           [--check] [--quick|--full] [--out DIR] [--events FILE]
+//!           [--retries N] [--point-budget CYCLES] [--journal FILE]
+//!           [--resume FILE] [--chaos fault@ix,...] [--chaos-seed N]
 //!
 //! one-off simulation:
 //!   run [--system S] [--workload W] [--l1 16K] [--l1-line 64]
@@ -45,7 +47,8 @@ use vm_experiments::{
     telemetry, tlbsize, total,
 };
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
-use vm_explore::{Axis, ExecConfig, SystemSpec};
+use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
+use vm_harden::{ChaosPlan, RetryPolicy};
 use vm_trace::presets;
 
 /// Parses "16K" / "1M" / "512" style size strings into bytes.
@@ -238,6 +241,11 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     let mut check = false;
     let mut out_dir: Option<PathBuf> = None;
     let mut events: Option<PathBuf> = None;
+    let mut harden = HardenPolicy::default();
+    let mut journal: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut chaos_spec: Option<String> = None;
+    let mut chaos_seed: u64 = 42;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
@@ -248,6 +256,25 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 exec.jobs = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
             }
             "--check" => check = true,
+            "--retries" => {
+                harden.retry = RetryPolicy::new(
+                    value("--retries")?.parse().map_err(|e| format!("bad --retries: {e}"))?,
+                )
+            }
+            "--point-budget" => {
+                harden.point_budget = Some(
+                    value("--point-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --point-budget: {e}"))?,
+                )
+            }
+            "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--resume" => resume = Some(PathBuf::from(value("--resume")?)),
+            "--chaos" => chaos_spec = Some(value("--chaos")?),
+            "--chaos-seed" => {
+                chaos_seed =
+                    value("--chaos-seed")?.parse().map_err(|e| format!("bad --chaos-seed: {e}"))?
+            }
             "--quick" => {
                 (exec.warmup, exec.measure) = (RunScale::QUICK.warmup, RunScale::QUICK.measure)
             }
@@ -268,10 +295,19 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                 println!(
                     "usage: repro explore <spec.toml | dir>... [--sweep key=v1,v2,...]... [--jobs N]\n\
                      \x20                    [--check] [--quick|--full] [--out DIR] [--events FILE]\n\
+                     \x20                    [--retries N] [--point-budget CYCLES]\n\
+                     \x20                    [--journal FILE] [--resume FILE]\n\
+                     \x20                    [--chaos fault@ix,...] [--chaos-seed N]\n\
                      \x20                    [--verbosity 0|1|2 | -q | -v]\n\
-                     specs:  TOML-subset system descriptions (see docs/exploring.md and specs/)\n\
-                     sweep:  dotted spec keys, e.g. --sweep tlb.entries=32,64,128 --sweep mmu.table=two-tier,hashed\n\
-                     check:  parse and validate only; print each spec's lowered system and exit"
+                     specs:   TOML-subset system descriptions (see docs/exploring.md and specs/)\n\
+                     sweep:   dotted spec keys, e.g. --sweep tlb.entries=32,64,128 --sweep mmu.table=two-tier,hashed\n\
+                     check:   parse and validate only; print each spec's lowered system and exit\n\
+                     robustness (see docs/robustness.md):\n\
+                     \x20 --retries       retry transient point failures with capped exponential backoff\n\
+                     \x20 --point-budget  walk-cycle budget per point; over-budget points become `timeout` outcomes\n\
+                     \x20 --journal       append finished points to a durable JSONL run journal\n\
+                     \x20 --resume        skip a journal's completed points, re-run the rest, keep appending\n\
+                     \x20 --chaos         inject faults (panic|io|corrupt|runaway) at point indices, e.g. panic@2,io@5"
                 );
                 return Ok(());
             }
@@ -326,10 +362,30 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
+    if let Some(spec) = &chaos_spec {
+        harden.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+    }
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive (resume keeps \
+                    appending to the journal it reads)"
+            .to_owned());
+    }
     let reporter = Reporter::global();
-    let cfg = explore::Config { bases, axes, exec };
+    let cfg = explore::Config { bases, axes, exec, harden, journal, resume };
     let run = explore::run(&cfg, events.is_some(), &reporter)?;
     println!("{}", run.render());
+    if !run.failures.is_empty() {
+        reporter.progress(format!(
+            "{} of {} point(s) failed (see report above{})",
+            run.failures.len(),
+            run.failures.len() + run.results.len(),
+            if cfg.journal.is_some() || cfg.resume.is_some() {
+                "; failures are journaled for --resume"
+            } else {
+                ""
+            }
+        ));
+    }
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;

@@ -1,21 +1,26 @@
 //! The `repro explore` driver: spec files + sweep axes in, tables,
 //! CSV, Pareto frontier and sensitivity report out.
 //!
-//! The heavy lifting (parsing, validation, the work-stealing executor,
-//! the analysis passes) lives in `vm-explore`; this module is the glue
-//! that renders its results in the same [`TextTable`]/CSV house style as
-//! the paper experiments.
+//! The heavy lifting (parsing, validation, the fault-isolated
+//! work-stealing executor, the analysis passes) lives in `vm-explore`
+//! and `vm-harden`; this module is the glue that renders their results
+//! in the same [`TextTable`]/CSV house style as the paper experiments,
+//! and that wires the durable run journal behind `--journal`/`--resume`.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 use vm_explore::{
-    pareto_frontier, run_sweep, sensitivity, Axis, AxisSensitivity, ExecConfig, PointResult,
-    SkippedPoint, SweepPlan, SystemSpec,
+    pareto_frontier, run_header, run_sweep_hardened, seeded_from_journal, sensitivity, Axis,
+    AxisSensitivity, ExecConfig, HardenPolicy, PointResult, SkippedPoint, SweepPlan, SystemSpec,
 };
+use vm_harden::{Journal, JournalWriter, SimError};
 use vm_obs::{JsonlSink, Reporter};
 
 use crate::TextTable;
 
 /// Configuration for one `repro explore` invocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Config {
     /// The base specs to sweep (one per spec file given).
     pub bases: Vec<SystemSpec>,
@@ -23,21 +28,32 @@ pub struct Config {
     pub axes: Vec<Axis>,
     /// Run lengths and worker count.
     pub exec: ExecConfig,
+    /// Fault handling: retries, walk-cycle budget, chaos injection.
+    pub harden: HardenPolicy,
+    /// Start a fresh run journal at this path.
+    pub journal: Option<PathBuf>,
+    /// Resume from (and keep appending to) the journal at this path,
+    /// skipping its completed points.
+    pub resume: Option<PathBuf>,
 }
 
 /// Everything one exploration produced.
 #[derive(Debug, Clone)]
 pub struct ExploreRun {
-    /// Per-point measurements, in sweep order.
+    /// Per-point measurements (completed points only), in sweep order.
     pub results: Vec<PointResult>,
+    /// Points that failed or timed out, in sweep order.
+    pub failures: Vec<SimError>,
+    /// Points restored from a resume journal instead of re-simulated.
+    pub resumed: usize,
     /// Grid corners the validator rejected.
     pub skipped: Vec<SkippedPoint>,
     /// The Pareto frontier over (TLB area, total VM overhead).
     pub frontier: Vec<PointResult>,
     /// Per-axis sensitivity of total VM overhead.
     pub sensitivity: Vec<AxisSensitivity>,
-    /// JSONL event stream (`sweep_started`/`sweep_point_done`), when
-    /// capture was requested.
+    /// JSONL event stream (`sweep_started`/`sweep_point_done`/
+    /// `point_failed`/...), when capture was requested.
     pub events_jsonl: Option<Vec<u8>>,
 }
 
@@ -73,12 +89,15 @@ pub fn plan(bases: &[SystemSpec], axes: &[Axis]) -> Result<SweepPlan, String> {
     Ok(merged)
 }
 
-/// Runs the exploration: expand, execute, analyse.
+/// Runs the exploration: expand, (maybe) resume, execute with fault
+/// isolation, journal, analyse.
 ///
 /// # Errors
 ///
-/// Returns a message for an unusable plan (bad axis key) or a plan with
-/// zero runnable points.
+/// Returns a message for an unusable plan (bad axis key), a plan with
+/// zero runnable points, or a resume journal that does not belong to
+/// this sweep. Point *failures* are not errors — they come back in
+/// [`ExploreRun::failures`].
 pub fn run(cfg: &Config, capture_events: bool, reporter: &Reporter) -> Result<ExploreRun, String> {
     let plan = plan(&cfg.bases, &cfg.axes)?;
     if plan.points.is_empty() {
@@ -88,6 +107,44 @@ pub fn run(cfg: &Config, capture_events: bool, reporter: &Reporter) -> Result<Ex
         }
         return Err(msg);
     }
+
+    // Resume: verify the journal matches this plan and scale, then seed
+    // its completed points (failed points get re-run).
+    let seeded = match &cfg.resume {
+        Some(path) => {
+            let journal = Journal::load(path)?;
+            let seeded = seeded_from_journal(&journal, &plan, &cfg.exec)?;
+            reporter.progress(format!(
+                "resuming from {}: {} of {} points already done",
+                path.display(),
+                seeded.len(),
+                plan.points.len()
+            ));
+            seeded
+        }
+        None => Default::default(),
+    };
+
+    // Journal target: `--resume` keeps appending to the same file;
+    // `--journal` starts a fresh one (truncating any stale run).
+    let writer = match (&cfg.resume, &cfg.journal) {
+        (Some(path), _) => {
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+            Some(Mutex::new(JournalWriter::boxed(file)))
+        }
+        (None, Some(path)) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let mut w = JournalWriter::boxed(file);
+            w.header(&run_header(&plan, &cfg.exec));
+            Some(Mutex::new(w))
+        }
+        (None, None) => None,
+    };
+
     reporter.progress(format!(
         "exploring {} point{} ({} skipped) with {} job{}",
         plan.points.len(),
@@ -97,11 +154,37 @@ pub fn run(cfg: &Config, capture_events: bool, reporter: &Reporter) -> Result<Ex
         if cfg.exec.jobs.max(1) == 1 { "" } else { "s" },
     ));
     let mut sink = capture_events.then(|| JsonlSink::new(Vec::new()));
-    let results = run_sweep(&plan, &cfg.exec, reporter, &mut sink);
+    let outcome = run_sweep_hardened(
+        &plan,
+        &cfg.exec,
+        &cfg.harden,
+        seeded,
+        reporter,
+        &mut sink,
+        writer.as_ref(),
+    );
+    if let Some(writer) = writer {
+        let w = writer.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = w.finish() {
+            // A broken journal must not discard a finished sweep; the
+            // results are still in hand, only resumability is lost.
+            reporter.progress(format!("warning: journal write failed: {e}"));
+        }
+    }
+    let resumed = outcome.resumed;
+    let (results, failures) = outcome.into_parts();
     let frontier = pareto_frontier(&results);
     let sens = sensitivity(&results, &cfg.axes);
     let events_jsonl = sink.and_then(|s| s.finish().ok());
-    Ok(ExploreRun { results, skipped: plan.skipped, frontier, sensitivity: sens, events_jsonl })
+    Ok(ExploreRun {
+        results,
+        failures,
+        resumed,
+        skipped: plan.skipped,
+        frontier,
+        sensitivity: sens,
+        events_jsonl,
+    })
 }
 
 /// Formats a TLB area proxy for tables (`4.0K`, `-` for zero).
@@ -140,6 +223,18 @@ impl ExploreRun {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&points_table(&self.results).render());
+        if self.resumed > 0 {
+            out.push_str(&format!(
+                "\nresumed: {} point(s) restored from the journal\n",
+                self.resumed
+            ));
+        }
+        if !self.failures.is_empty() {
+            out.push_str(&format!("\n{} point(s) FAILED:\n", self.failures.len()));
+            for e in &self.failures {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
         if !self.skipped.is_empty() {
             out.push_str(&format!("\nskipped {} grid corner(s):\n", self.skipped.len()));
             for s in &self.skipped {
@@ -238,6 +333,7 @@ mod tests {
                 Axis::parse("mmu.table=two-tier,hashed").unwrap(),
             ],
             exec: quick_exec(2),
+            ..Config::default()
         };
         let run = run(&cfg, true, &Reporter::silent()).unwrap();
         assert_eq!(run.results.len(), 4);
@@ -254,6 +350,7 @@ mod tests {
             bases: vec![SystemSpec::for_kind(SystemKind::Ultrix)],
             axes: vec![Axis::parse("tlb.banana=1").unwrap()],
             exec: quick_exec(1),
+            ..Config::default()
         };
         assert!(run(&cfg, false, &Reporter::silent()).is_err());
     }

@@ -1,14 +1,30 @@
 //! Parallel execution of simulation jobs, with an optional heartbeat
 //! reporting throughput (instructions/second) and the fraction of the
 //! planned trace consumed.
+//!
+//! [`run_jobs_checked`] is the fault-isolated entry point: each job runs
+//! under `catch_unwind`, failures come back as structured
+//! [`SimError`]s, and the remaining workers drain instead of dying.
+//! [`run_jobs`] / [`run_jobs_reported`] are the strict facades the
+//! experiment drivers use — their jobs are built from validated presets,
+//! so a failure is a programming error and panics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use vm_core::{simulate, SimConfig, SimReport};
+use vm_harden::{quiet_panics, FailureKind, SimError};
 use vm_trace::{InstrRecord, WorkloadSpec};
 
 use vm_obs::Reporter;
+
+/// Locks tolerating poisoning: a panicking sibling worker must not
+/// cascade into every later lock site.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Run-length presets trading fidelity against wall-clock time.
 ///
@@ -143,46 +159,95 @@ pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<Outcome> {
 /// two seconds giving cumulative instructions simulated, simulation
 /// throughput, and the percentage of the planned trace consumed, plus a
 /// per-job completion line at Verbose.
+///
+/// # Panics
+///
+/// As [`run_jobs`]: any job failure (bad config, bad workload, panic
+/// during simulation) panics with the classified error. Callers that
+/// must survive failures use [`run_jobs_checked`].
 pub fn run_jobs_reported(
     jobs: Vec<Job>,
     threads: usize,
     reporter: &Reporter,
     label: &str,
 ) -> Vec<Outcome> {
+    match run_jobs_checked(jobs, threads, reporter, label) {
+        Ok(outcomes) => outcomes,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs one job, mapping every failure mode — bad workload, rejected
+/// config, panic mid-simulation — to a structured [`SimError`].
+fn run_job_isolated(job: &Job, consumed: &AtomicU64) -> Result<Outcome, SimError> {
+    let trace = job
+        .workload
+        .build(job.trace_seed)
+        .map_err(|e| SimError::new(job.label.clone(), FailureKind::Workload, e.to_string()))?;
+    let counted = CountedTrace { inner: trace, consumed, local: 0 };
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        simulate(&job.config, counted, job.scale.warmup, job.scale.measure)
+            .map_err(|e| SimError::new(job.label.clone(), FailureKind::Build, e.to_string()))
+    }));
+    match run {
+        Ok(simulated) => Ok(Outcome { job: job.clone(), report: simulated? }),
+        Err(payload) => Err(SimError::from_panic(job.label.clone(), payload)),
+    }
+}
+
+/// Fault-isolated [`run_jobs_reported`]: outcomes in job order, or the
+/// failure with the lowest job index among those that ran. Remaining
+/// jobs are abandoned after the first failure (experiment tables need
+/// every cell, so partial sweeps have no value here — unlike `explore`
+/// sweeps, where each point stands alone).
+///
+/// # Errors
+///
+/// Returns the classified failure of the first failing job.
+pub fn run_jobs_checked(
+    jobs: Vec<Job>,
+    threads: usize,
+    reporter: &Reporter,
+    label: &str,
+) -> Result<Vec<Outcome>, SimError> {
     let threads = threads.max(1).min(jobs.len().max(1));
     let planned: u64 = jobs.iter().map(|j| j.scale.warmup + j.scale.measure).sum();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let consumed = AtomicU64::new(0);
     let finished = AtomicBool::new(false);
+    let failed = AtomicBool::new(false);
     let started = Instant::now();
-    let results: Vec<std::sync::Mutex<Option<Outcome>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<Outcome, SimError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
-            workers.push(scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+            workers.push(scope.spawn(|| {
+                // Job panics are caught and classified; keep the hook
+                // from printing a banner per isolated failure.
+                let _quiet = quiet_panics();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() || failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let job_start = Instant::now();
+                    let outcome = run_job_isolated(job, &consumed);
+                    if outcome.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    reporter.detail(format!(
+                        "  [{label}] {k}/{} `{}` {} in {:.2}s",
+                        jobs.len(),
+                        job.label,
+                        if outcome.is_ok() { "done" } else { "FAILED" },
+                        job_start.elapsed().as_secs_f64()
+                    ));
+                    *lock(&results[i]) = Some(outcome);
                 }
-                let job = &jobs[i];
-                let job_start = Instant::now();
-                let trace = job
-                    .workload
-                    .build(job.trace_seed)
-                    .unwrap_or_else(|e| panic!("job `{}`: {e}", job.label));
-                let counted = CountedTrace { inner: trace, consumed: &consumed, local: 0 };
-                let report = simulate(&job.config, counted, job.scale.warmup, job.scale.measure)
-                    .unwrap_or_else(|e| panic!("job `{}`: {e}", job.label));
-                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-                reporter.detail(format!(
-                    "  [{label}] {k}/{} `{}` done in {:.2}s",
-                    jobs.len(),
-                    job.label,
-                    job_start.elapsed().as_secs_f64()
-                ));
-                *results[i].lock().unwrap() = Some(Outcome { job: job.clone(), report });
             }));
         }
         // Heartbeat: silent for short sweeps (first beat after ~2s),
@@ -213,15 +278,28 @@ pub fn run_jobs_reported(
                 ));
             }
         });
-        let worker_panic = workers.into_iter().find_map(|w| w.join().err());
-        // Stop the heartbeat before (possibly) re-panicking, or the scope
-        // would block forever joining it.
-        finished.store(true, Ordering::Relaxed);
-        if let Some(payload) = worker_panic {
-            std::panic::resume_unwind(payload);
+        for w in workers {
+            // Workers catch job panics internally; a join error would be
+            // an infrastructure bug, which the facade's panic surfaces.
+            if let Err(payload) = w.join() {
+                finished.store(true, Ordering::Relaxed);
+                std::panic::resume_unwind(payload);
+            }
         }
+        finished.store(true, Ordering::Relaxed);
     });
-    results.into_iter().map(|m| m.into_inner().unwrap().expect("every job ran")).collect()
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for slot in results {
+        match lock(&slot).take() {
+            Some(Ok(outcome)) => outcomes.push(outcome),
+            Some(Err(e)) => return Err(e),
+            // Abandoned after a failure: jobs are claimed in index order,
+            // so abandoned slots form a suffix behind the failing slot
+            // that already returned above.
+            None => continue,
+        }
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -265,6 +343,24 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_jobs(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn checked_runner_classifies_a_bad_job_and_keeps_good_ones() {
+        let mut bad = tiny_job("broken", SystemKind::Intel);
+        bad.workload.code.functions = 0; // degenerate spec: build() rejects it
+        let jobs = vec![tiny_job("ok", SystemKind::Base), bad];
+        let reporter = Reporter::silent();
+        let err = run_jobs_checked(jobs, 2, &reporter, "test")
+            .expect_err("degenerate workload must surface as an error");
+        assert_eq!(err.label, "broken");
+        assert_eq!(err.kind, FailureKind::Workload);
+
+        // An all-good list still round-trips through the checked path.
+        let ok = run_jobs_checked(vec![tiny_job("ok", SystemKind::Base)], 1, &reporter, "test")
+            .expect("clean jobs must succeed");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].job.label, "ok");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The parallel sweep executor.
+//! The parallel, fault-isolated sweep executor.
 //!
 //! Points are distributed round-robin over per-worker deques; a worker
 //! that drains its own queue **steals** from the back of the fullest
@@ -10,22 +10,42 @@
 //! merged in point order; the same sweep therefore produces bit-identical
 //! results at any `--jobs` count.
 //!
+//! [`run_sweep_hardened`] is the full executor: each point runs inside
+//! `catch_unwind` so one panicking point becomes a
+//! [`PointOutcome::Failed`] data point instead of a dead run, transient
+//! I/O failures are retried under a [`RetryPolicy`], a walk-cycle
+//! [`HardenPolicy::point_budget`] degrades runaway points to
+//! [`PointOutcome::TimedOut`], finished points stream into an optional
+//! run journal for crash-safe resume, and a [`ChaosPlan`] can inject
+//! faults to prove all of it works. [`run_sweep`] is the strict facade:
+//! same machinery, but any failure is a panic (for callers that treat
+//! the plan as pre-validated).
+//!
 //! Progress goes through the `vm-obs` [`Reporter`] (a heartbeat line
 //! roughly every two seconds, per-point completions at Verbose), and the
-//! sweep's lifecycle is emitted into any [`Sink`] as
-//! [`Event::SweepStarted`] / [`Event::SweepPointDone`] pairs so `--events`
-//! captures exploration runs alongside simulation events.
+//! sweep's lifecycle is emitted into any [`Sink`]: an optional
+//! [`Event::RunResumed`], [`Event::SweepStarted`], then — in point
+//! order, after the order-independent merge, so event streams are
+//! deterministic at any worker count — [`Event::PointRetried`] per
+//! retry and one [`Event::SweepPointDone`] or [`Event::PointFailed`]
+//! per point.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use vm_core::cost::CostModel;
-use vm_core::{simulate, SimConfig};
+use vm_core::{simulate, simulate_with_sink, SimConfig, SimReport};
+use vm_harden::{
+    quiet_panics, with_retry, ChaosPlan, CheckedTrace, DeadlineSink, DynJournalWriter, FailureKind,
+    Fault, JournalEntry, PointOutcome, RetryPolicy, SimError,
+};
 use vm_obs::{Event, Reporter, Sink};
 use vm_types::SplitMix64;
 
+use crate::journal::result_to_value;
 use crate::sweep::{PlannedPoint, SweepPlan};
 
 /// Run lengths for one sweep point.
@@ -44,6 +64,24 @@ impl ExecConfig {
     pub const DEFAULT: ExecConfig = ExecConfig { warmup: 1_000_000, measure: 2_000_000, jobs: 1 };
     /// Fast smoke-test scale.
     pub const QUICK: ExecConfig = ExecConfig { warmup: 200_000, measure: 500_000, jobs: 1 };
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig::DEFAULT
+    }
+}
+
+/// Fault-handling knobs for a hardened sweep.
+#[derive(Debug, Clone, Default)]
+pub struct HardenPolicy {
+    /// Retry policy for transient (I/O) point failures.
+    pub retry: RetryPolicy,
+    /// Walk-cycle budget per point; exceeding it degrades the point to
+    /// [`PointOutcome::TimedOut`]. `None` = unlimited.
+    pub point_budget: Option<u64>,
+    /// Fault-injection plan (empty = no chaos).
+    pub chaos: ChaosPlan,
 }
 
 /// One measured sweep point.
@@ -76,6 +114,58 @@ pub struct PointResult {
     pub user_instrs: u64,
 }
 
+/// The per-point outcome a hardened sweep produces.
+pub type SweepPointOutcome = PointOutcome<PointResult>;
+
+/// Everything a hardened sweep produced: one outcome per planned point
+/// (in point order), attempt counts, and how many points came from a
+/// journal instead of being simulated.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One outcome per point, in point order.
+    pub outcomes: Vec<SweepPointOutcome>,
+    /// Attempts consumed per point (1 = first try; journaled points
+    /// keep 1).
+    pub attempts: Vec<u32>,
+    /// Points restored from a resume journal rather than simulated.
+    pub resumed: usize,
+}
+
+impl SweepOutcome {
+    /// The completed results, in point order.
+    pub fn results(&self) -> impl Iterator<Item = &PointResult> {
+        self.outcomes.iter().filter_map(PointOutcome::completed)
+    }
+
+    /// The failures (including timeouts), in point order.
+    pub fn failures(&self) -> impl Iterator<Item = &SimError> {
+        self.outcomes.iter().filter_map(PointOutcome::error)
+    }
+
+    /// How many points did not complete.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failure()).count()
+    }
+
+    /// Whether every point completed.
+    pub fn is_clean(&self) -> bool {
+        self.failed_count() == 0
+    }
+
+    /// Splits into completed results and failures, both in point order.
+    pub fn into_parts(self) -> (Vec<PointResult>, Vec<SimError>) {
+        let mut results = Vec::new();
+        let mut failures = Vec::new();
+        for outcome in self.outcomes {
+            match outcome {
+                PointOutcome::Completed(r) => results.push(r),
+                PointOutcome::Failed(e) | PointOutcome::TimedOut(e) => failures.push(e),
+            }
+        }
+        (results, failures)
+    }
+}
+
 /// A die-area proxy for the translation hardware: split I/D TLBs at 16
 /// bytes per fully-associative entry (~50 tag+data bits plus CAM
 /// overhead). The absolute scale is arbitrary; the Pareto frontier only
@@ -89,6 +179,9 @@ pub fn tlb_area_bytes(config: &SimConfig) -> u64 {
 }
 
 /// Runs every point of `plan`, returning results in point order.
+///
+/// The strict facade over [`run_sweep_hardened`]: no retries, no budget,
+/// no chaos, no journal — and any point failure panics.
 ///
 /// `sink` receives the sweep lifecycle events ([`Event::SweepStarted`]
 /// up front, one [`Event::SweepPointDone`] per point, emitted after the
@@ -106,29 +199,154 @@ pub fn run_sweep<S: Sink>(
     reporter: &Reporter,
     sink: &mut S,
 ) -> Vec<PointResult> {
+    let outcome = run_sweep_hardened(
+        plan,
+        exec,
+        &HardenPolicy::default(),
+        BTreeMap::new(),
+        reporter,
+        sink,
+        None,
+    );
+    outcome
+        .outcomes
+        .into_iter()
+        .map(|o| match o {
+            PointOutcome::Completed(r) => r,
+            PointOutcome::Failed(e) | PointOutcome::TimedOut(e) => panic!("{e}"),
+        })
+        .collect()
+}
+
+/// Runs `plan` with per-point fault isolation, returning one
+/// [`SweepPointOutcome`] per point in point order.
+///
+/// * Points whose index appears in `seeded` (results restored from a
+///   resume journal) are not re-simulated; they are merged back in
+///   place, bit-identical to an uninterrupted run, and counted in
+///   [`SweepOutcome::resumed`].
+/// * Each simulated point runs under `catch_unwind` with the panic hook
+///   quieted: a panic, corrupt trace record, or blown walk-cycle budget
+///   becomes that point's [`PointOutcome`], never the run's death.
+/// * Transient ([`FailureKind::Io`]) failures retry under
+///   `policy.retry` with capped exponential backoff.
+/// * Every finished point (completed or failed) is appended to
+///   `journal` when one is given, so a killed run can resume.
+pub fn run_sweep_hardened<S: Sink>(
+    plan: &SweepPlan,
+    exec: &ExecConfig,
+    policy: &HardenPolicy,
+    seeded: BTreeMap<usize, PointResult>,
+    reporter: &Reporter,
+    sink: &mut S,
+    journal: Option<&Mutex<DynJournalWriter>>,
+) -> SweepOutcome {
     let points = &plan.points;
+    let total = points.len();
+    let resumed = seeded.keys().filter(|&&ix| ix < total).count();
     if S::ENABLED {
+        if resumed > 0 {
+            sink.emit(
+                0,
+                &Event::RunResumed {
+                    completed: resumed as u64,
+                    remaining: (total - resumed) as u64,
+                },
+            );
+        }
         sink.emit(
             0,
             &Event::SweepStarted {
-                points: points.len() as u64,
+                points: total as u64,
                 axes: points.first().map(|p| p.settings.len() as u32).unwrap_or(0),
                 jobs: exec.jobs.max(1) as u32,
             },
         );
     }
-    if points.is_empty() {
-        return Vec::new();
+
+    let slots: Vec<Mutex<Option<(SweepPointOutcome, u32)>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let mut pending: Vec<usize> = Vec::with_capacity(total - resumed);
+    for (ix, slot) in slots.iter().enumerate() {
+        match seeded.get(&ix) {
+            Some(r) => *lock_slot(slot) = Some((PointOutcome::Completed(r.clone()), 1)),
+            None => pending.push(ix),
+        }
     }
-    let jobs = exec.jobs.max(1).min(points.len());
-    let planned_instrs = (exec.warmup + exec.measure) * points.len() as u64;
+
+    if !pending.is_empty() {
+        run_pending(points, &pending, exec, policy, reporter, journal, &slots);
+    }
+
+    let mut outcomes = Vec::with_capacity(total);
+    let mut attempts = Vec::with_capacity(total);
+    for slot in slots {
+        let (outcome, tries) =
+            slot.into_inner().unwrap_or_else(|e| e.into_inner()).expect("every point ran");
+        outcomes.push(outcome);
+        attempts.push(tries);
+    }
+
+    if S::ENABLED {
+        let mut now = 0;
+        for (ix, outcome) in outcomes.iter().enumerate() {
+            for retry in 2..=attempts[ix] {
+                sink.emit(now, &Event::PointRetried { index: ix as u64, attempt: retry });
+            }
+            match outcome {
+                PointOutcome::Completed(r) => {
+                    now += r.user_instrs;
+                    sink.emit(
+                        now,
+                        &Event::SweepPointDone {
+                            index: ix as u64,
+                            instrs: r.user_instrs,
+                            vm_total_micro: (r.vm_total * 1e6).round() as u64,
+                        },
+                    );
+                }
+                PointOutcome::Failed(_) | PointOutcome::TimedOut(_) => {
+                    sink.emit(
+                        now,
+                        &Event::PointFailed {
+                            index: ix as u64,
+                            attempts: attempts[ix],
+                            timed_out: matches!(outcome, PointOutcome::TimedOut(_)),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    SweepOutcome { outcomes, attempts, resumed }
+}
+
+/// Locks a result slot, tolerating poisoning (a worker that panicked
+/// between store and unlock must not cascade).
+fn lock_slot<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Simulates the `pending` points of `plan` over the work-stealing
+/// worker pool, storing `(outcome, attempts)` into `slots`.
+#[allow(clippy::too_many_arguments)]
+fn run_pending(
+    points: &[PlannedPoint],
+    pending: &[usize],
+    exec: &ExecConfig,
+    policy: &HardenPolicy,
+    reporter: &Reporter,
+    journal: Option<&Mutex<DynJournalWriter>>,
+    slots: &[Mutex<Option<(SweepPointOutcome, u32)>>],
+) {
+    let jobs = exec.jobs.max(1).min(pending.len());
+    let planned_instrs = (exec.warmup + exec.measure) * pending.len() as u64;
 
     // Round-robin deal into per-worker deques; idle workers steal from
     // the back of the fullest queue.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..jobs).map(|w| Mutex::new((w..points.len()).step_by(jobs).collect())).collect();
-    let results: Vec<Mutex<Option<PointResult>>> =
-        points.iter().map(|_| Mutex::new(None)).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new(pending.iter().copied().skip(w).step_by(jobs).collect()))
+        .collect();
     let done = AtomicUsize::new(0);
     let consumed = AtomicU64::new(0);
     let finished = AtomicBool::new(false);
@@ -138,10 +356,13 @@ pub fn run_sweep<S: Sink>(
         let mut workers = Vec::with_capacity(jobs);
         for w in 0..jobs {
             let queues = &queues;
-            let results = &results;
             let done = &done;
             let consumed = &consumed;
             workers.push(scope.spawn(move || {
+                // Expected unwinds (chaos, deadlines, corrupt records)
+                // are caught and classified; keep the hook from spraying
+                // a backtrace banner per isolated failure.
+                let _quiet = quiet_panics();
                 // Deterministic per-worker stream; only steers which
                 // victim is probed first, never anything a result
                 // depends on.
@@ -149,16 +370,27 @@ pub fn run_sweep<S: Sink>(
                 while let Some(ix) = next_point(w, queues, &mut rng) {
                     let point = &points[ix];
                     let t0 = Instant::now();
-                    let result = measure_point(point, exec);
+                    let (outcome, tries) = measure_point_isolated(point, exec, policy);
+                    if let Some(journal) = journal {
+                        let entry = JournalEntry::from_outcome(
+                            ix as u64,
+                            &point.label,
+                            &outcome,
+                            tries,
+                            result_to_value,
+                        );
+                        lock_slot(journal).record(&entry);
+                    }
                     consumed.fetch_add(exec.warmup + exec.measure, Ordering::Relaxed);
                     let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                     reporter.detail(format!(
-                        "  [explore] {k}/{} `{}` done in {:.2}s",
-                        points.len(),
+                        "  [explore] {k}/{} `{}` {} in {:.2}s",
+                        pending.len(),
                         point.label,
+                        outcome.status_label(),
                         t0.elapsed().as_secs_f64()
                     ));
-                    *results[ix].lock().unwrap() = Some(result);
+                    *lock_slot(&slots[ix]) = Some((outcome, tries));
                 }
             }));
         }
@@ -182,7 +414,7 @@ pub fn run_sweep<S: Sink>(
                 reporter.heartbeat(format!(
                     "  [explore] {}/{} points ({:.0}% of planned instrs) at {:.1}M instrs/s",
                     done.load(Ordering::Relaxed),
-                    points.len(),
+                    pending.len(),
                     100.0 * instrs as f64 / planned_instrs.max(1) as f64,
                     instrs as f64 / elapsed.max(1e-9) / 1e6,
                 ));
@@ -191,27 +423,11 @@ pub fn run_sweep<S: Sink>(
         let worker_panic = workers.into_iter().find_map(|h| h.join().err());
         finished.store(true, Ordering::Relaxed);
         if let Some(payload) = worker_panic {
+            // Only infrastructure bugs reach here — point panics are
+            // caught and classified inside measure_point_isolated.
             std::panic::resume_unwind(payload);
         }
     });
-
-    let merged: Vec<PointResult> =
-        results.into_iter().map(|m| m.into_inner().unwrap().expect("every point ran")).collect();
-    if S::ENABLED {
-        let mut now = 0;
-        for r in &merged {
-            now += r.user_instrs;
-            sink.emit(
-                now,
-                &Event::SweepPointDone {
-                    index: r.index as u64,
-                    instrs: r.user_instrs,
-                    vm_total_micro: (r.vm_total * 1e6).round() as u64,
-                },
-            );
-        }
-    }
-    merged
 }
 
 /// Mixes a worker id into a seed for its steal stream.
@@ -222,7 +438,7 @@ fn steal_seed(w: usize) -> u64 {
 /// Pops the worker's own queue, or steals from the back of the fullest
 /// other queue (first probe randomized by the worker's stream).
 fn next_point(w: usize, queues: &[Mutex<VecDeque<usize>>], rng: &mut SplitMix64) -> Option<usize> {
-    if let Some(ix) = queues[w].lock().unwrap().pop_front() {
+    if let Some(ix) = lock_slot(&queues[w]).pop_front() {
         return Some(ix);
     }
     let n = queues.len();
@@ -235,13 +451,13 @@ fn next_point(w: usize, queues: &[Mutex<VecDeque<usize>>], rng: &mut SplitMix64)
         if v == w {
             continue;
         }
-        let len = queues[v].lock().unwrap().len();
+        let len = lock_slot(&queues[v]).len();
         if len > best.map(|(_, l)| l).unwrap_or(0) {
             best = Some((v, len));
         }
     }
     if let Some((v, _)) = best {
-        if let Some(ix) = queues[v].lock().unwrap().pop_back() {
+        if let Some(ix) = lock_slot(&queues[v]).pop_back() {
             return Some(ix);
         }
     }
@@ -250,22 +466,90 @@ fn next_point(w: usize, queues: &[Mutex<VecDeque<usize>>], rng: &mut SplitMix64)
         if v == w {
             continue;
         }
-        if let Some(ix) = queues[v].lock().unwrap().pop_back() {
+        if let Some(ix) = lock_slot(&queues[v]).pop_back() {
             return Some(ix);
         }
     }
     None
 }
 
-/// Simulates one point and derives its result row.
-fn measure_point(point: &PlannedPoint, exec: &ExecConfig) -> PointResult {
-    let workload = vm_trace::presets::by_name(point.spec.workload_name())
-        .unwrap_or_else(|| panic!("point `{}`: workload vanished after validation", point.label));
+/// A [`SimError`] carrying the point's label and axis settings.
+fn point_error(point: &PlannedPoint, kind: FailureKind, detail: impl Into<String>) -> SimError {
+    let mut e = SimError::new(point.label.clone(), kind, detail);
+    e.settings = point.settings.clone();
+    e
+}
+
+/// Measures one point with full isolation: chaos injection, retries for
+/// transient failures, `catch_unwind` classification of panics and
+/// sentinels. Returns the outcome and the attempts consumed.
+fn measure_point_isolated(
+    point: &PlannedPoint,
+    exec: &ExecConfig,
+    policy: &HardenPolicy,
+) -> (SweepPointOutcome, u32) {
+    let (result, attempts) = with_retry(&policy.retry, |attempt| {
+        if policy.chaos.fault_for(point.index) == Some(Fault::Io) {
+            let failures = policy.chaos.io_failures(point.index);
+            if attempt <= failures {
+                return Err(point_error(
+                    point,
+                    FailureKind::Io,
+                    format!("chaos: injected I/O failure ({attempt} of {failures})"),
+                ));
+            }
+        }
+        try_measure_point(point, exec, policy)
+    });
+    match result {
+        Ok(r) => (PointOutcome::Completed(r), attempts),
+        Err(e) if e.kind == FailureKind::Timeout => (PointOutcome::TimedOut(e), attempts),
+        Err(e) => (PointOutcome::Failed(e), attempts),
+    }
+}
+
+/// One attempt at simulating a point, every failure mode mapped to a
+/// structured [`SimError`].
+fn try_measure_point(
+    point: &PlannedPoint,
+    exec: &ExecConfig,
+    policy: &HardenPolicy,
+) -> Result<PointResult, SimError> {
+    let workload = vm_trace::presets::by_name(point.spec.workload_name()).ok_or_else(|| {
+        point_error(point, FailureKind::Workload, "workload vanished after validation")
+    })?;
     let trace = workload
         .build(point.spec.trace_seed)
-        .unwrap_or_else(|e| panic!("point `{}`: {e}", point.label));
-    let report = simulate(&point.config, trace, exec.warmup, exec.measure)
-        .unwrap_or_else(|e| panic!("point `{}`: {e}", point.label));
+        .map_err(|e| point_error(point, FailureKind::Workload, e.to_string()))?;
+    let horizon = exec.warmup + exec.measure;
+    let checked = CheckedTrace::new(policy.chaos.wrap(point.index, horizon, trace));
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        match policy.point_budget {
+            Some(budget) => simulate_with_sink(
+                &point.config,
+                checked,
+                exec.warmup,
+                exec.measure,
+                DeadlineSink::new(budget),
+            )
+            .map(|(report, _)| report),
+            None => simulate(&point.config, checked, exec.warmup, exec.measure),
+        }
+        .map_err(|e| point_error(point, FailureKind::Build, e.to_string()))
+    }));
+    let report = match run {
+        Ok(simulated) => simulated?,
+        Err(payload) => {
+            let mut e = SimError::from_panic(point.label.clone(), payload);
+            e.settings = point.settings.clone();
+            return Err(e);
+        }
+    };
+    Ok(result_row(point, workload.name, report))
+}
+
+/// Derives a result row from a point's finished simulation.
+fn result_row(point: &PlannedPoint, workload: String, report: SimReport) -> PointResult {
     let cost = CostModel::paper(point.spec.interrupt_cycles);
     let vmcpi = report.vmcpi(&cost).total();
     let interrupt_cpi = report.interrupt_cpi(&cost);
@@ -276,7 +560,7 @@ fn measure_point(point: &PlannedPoint, exec: &ExecConfig) -> PointResult {
         label: point.label.clone(),
         settings: point.settings.clone(),
         system: point.config.system.label().to_owned(),
-        workload: workload.name.clone(),
+        workload,
         vmcpi,
         interrupt_cpi,
         mcpi: report.mcpi(&cost).total(),
@@ -352,5 +636,166 @@ mod tests {
         let without = SystemSpec::for_kind(SystemKind::NoTlb).validate().unwrap();
         assert_eq!(tlb_area_bytes(&with), 2 * 128 * 16);
         assert_eq!(tlb_area_bytes(&without), 0);
+    }
+
+    #[test]
+    fn injected_panic_isolates_to_one_failed_point() {
+        let plan = tiny_plan();
+        let policy = HardenPolicy {
+            chaos: ChaosPlan::parse("panic@1", 42).unwrap(),
+            ..HardenPolicy::default()
+        };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert_eq!(out.failed_count(), 1);
+        let e = out.outcomes[1].error().expect("point 1 failed");
+        assert_eq!(e.kind, FailureKind::Panic);
+        assert!(e.detail.contains("injected panic"), "{e}");
+        // The survivors match a clean run bit-for-bit.
+        let clean = run_sweep(&plan, &tiny_exec(1), &Reporter::silent(), &mut NopSink);
+        for ix in [0usize, 2, 3] {
+            assert_eq!(out.outcomes[ix].completed(), Some(&clean[ix]));
+        }
+    }
+
+    #[test]
+    fn corrupt_fault_is_classified_not_fatal() {
+        let plan = tiny_plan();
+        let policy = HardenPolicy {
+            chaos: ChaosPlan::parse("corrupt@2", 7).unwrap(),
+            ..HardenPolicy::default()
+        };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(1),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        let e = out.outcomes[2].error().expect("point 2 failed");
+        assert_eq!(e.kind, FailureKind::CorruptTrace);
+        assert!(e.detail.contains("corrupt trace record"), "{e}");
+    }
+
+    #[test]
+    fn runaway_fault_times_out_under_a_budget() {
+        let plan = tiny_plan();
+        let policy = HardenPolicy {
+            point_budget: Some(150_000),
+            chaos: ChaosPlan::parse("runaway@0", 11).unwrap(),
+            ..HardenPolicy::default()
+        };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(1),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert!(matches!(out.outcomes[0], PointOutcome::TimedOut(_)));
+        assert_eq!(out.outcomes[0].error().unwrap().kind, FailureKind::Timeout);
+        // Healthy points live comfortably inside the same budget.
+        assert!(out.outcomes[1].completed().is_some());
+    }
+
+    #[test]
+    fn io_faults_recover_with_retries_and_fail_without() {
+        let plan = tiny_plan();
+        let chaos = ChaosPlan::parse("io@3", 5).unwrap();
+        let with_retries = HardenPolicy {
+            retry: RetryPolicy { retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 },
+            chaos: chaos.clone(),
+            ..HardenPolicy::default()
+        };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(1),
+            &with_retries,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert!(out.is_clean());
+        assert_eq!(out.attempts[3], chaos.io_failures(3) + 1);
+
+        let no_retries = HardenPolicy { chaos, ..HardenPolicy::default() };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(1),
+            &no_retries,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert_eq!(out.outcomes[3].error().unwrap().kind, FailureKind::Io);
+    }
+
+    #[test]
+    fn seeded_points_are_not_resimulated_and_merge_identically() {
+        let plan = tiny_plan();
+        let clean = run_sweep(&plan, &tiny_exec(1), &Reporter::silent(), &mut NopSink);
+        let seeded: BTreeMap<usize, PointResult> =
+            [(0, clean[0].clone()), (2, clean[2].clone())].into();
+        let mut sink = RecordingSink::new();
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &HardenPolicy::default(),
+            seeded,
+            &Reporter::silent(),
+            &mut sink,
+            None,
+        );
+        assert_eq!(out.resumed, 2);
+        let merged: Vec<&PointResult> = out.results().collect();
+        assert_eq!(merged.len(), 4);
+        for (r, c) in merged.iter().zip(&clean) {
+            assert_eq!(*r, c);
+        }
+        assert!(matches!(sink.events[0].1, Event::RunResumed { completed: 2, remaining: 2 }));
+        assert!(matches!(sink.events[1].1, Event::SweepStarted { .. }));
+    }
+
+    #[test]
+    fn failure_events_are_deterministic() {
+        let plan = tiny_plan();
+        let policy = HardenPolicy {
+            chaos: ChaosPlan::parse("panic@1", 42).unwrap(),
+            ..HardenPolicy::default()
+        };
+        let mut sink = RecordingSink::new();
+        run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut sink,
+            None,
+        );
+        let names: Vec<&str> = sink.events.iter().map(|(_, e)| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "sweep_started",
+                "sweep_point_done",
+                "point_failed",
+                "sweep_point_done",
+                "sweep_point_done"
+            ]
+        );
     }
 }

@@ -13,10 +13,14 @@
 //!   (`tlb.entries=32,64,128`) over a base spec, with invalid grid
 //!   corners recorded (not silently dropped) alongside the validator's
 //!   reason.
-//! * [`run_sweep`] — a work-stealing multi-threaded executor whose
-//!   merged results are bit-identical at any `--jobs` count, reporting
-//!   progress through the `vm-obs` [`vm_obs::Reporter`] and emitting
-//!   `SweepStarted`/`SweepPointDone` events.
+//! * [`run_sweep`] / [`run_sweep_hardened`] — a work-stealing
+//!   multi-threaded executor whose merged results are bit-identical at
+//!   any `--jobs` count, reporting progress through the `vm-obs`
+//!   [`vm_obs::Reporter`] and emitting `SweepStarted`/`SweepPointDone`
+//!   events. The hardened variant isolates per-point faults into
+//!   [`SweepPointOutcome`]s, retries transient failures, enforces
+//!   walk-cycle budgets, streams finished points into a `vm-harden`
+//!   run journal, and resumes from one ([`seeded_from_journal`]).
 //! * [`pareto_frontier`] / [`sensitivity`] — which configurations are
 //!   worth building, and which knobs matter.
 //!
@@ -28,10 +32,17 @@
 
 pub mod analysis;
 pub mod exec;
+pub mod journal;
 pub mod spec;
 pub mod sweep;
 
 pub use analysis::{pareto_frontier, sensitivity, AxisSensitivity};
-pub use exec::{run_sweep, tlb_area_bytes, ExecConfig, PointResult};
+pub use exec::{
+    run_sweep, run_sweep_hardened, tlb_area_bytes, ExecConfig, HardenPolicy, PointResult,
+    SweepOutcome, SweepPointOutcome,
+};
+pub use journal::{
+    plan_fingerprint, result_from_value, result_to_value, run_header, seeded_from_journal,
+};
 pub use spec::{SpecError, SystemSpec, ValidateError, PAGE_BYTES};
 pub use sweep::{Axis, PlannedPoint, SkippedPoint, SweepPlan};

@@ -26,7 +26,7 @@
 //! take the paper's Table 1 defaults, so each of the six published
 //! systems is a ten-line file. [`SystemSpec::parse`] reads a document,
 //! [`SystemSpec::validate`] rejects nonsensical combinations with precise
-//! errors, and [`SystemSpec::lower`] produces the `vm-core`
+//! errors, and validation lowers the spec onto the `vm-core`
 //! [`SimConfig`] that drives the simulator. [`SystemSpec::set`] applies a
 //! dotted-key override (`tlb.entries=64`) — the primitive sweep axes are
 //! built on.

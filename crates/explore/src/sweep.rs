@@ -1,7 +1,7 @@
 //! Sweep axes and grid expansion.
 //!
 //! An [`Axis`] is one swept spec key with its candidate values
-//! (`tlb.entries=32,64,128`); [`expand`] crosses every axis over a base
+//! (`tlb.entries=32,64,128`); [`SweepPlan::expand`] crosses every axis over a base
 //! [`SystemSpec`] into a [`SweepPlan`] of validated points. Combinations
 //! the simulator has no model for (e.g. a hardware walker over a
 //! three-tiered table, mid-sweep) are not silently dropped: they land in

@@ -1,0 +1,294 @@
+//! Deterministic fault injection for sweep executors.
+//!
+//! A resilience mechanism that has never seen a fault is a guess. The
+//! chaos harness injects four fault classes into *chosen* sweep points
+//! so tests and CI can prove the isolation, retry, deadline, and journal
+//! machinery actually work:
+//!
+//! * [`Fault::Panic`] — the point's trace source panics mid-stream.
+//! * [`Fault::Io`] — the point's first build attempts fail with a
+//!   transient I/O error (succeeds once retries kick in).
+//! * [`Fault::Corrupt`] — a trace record is corrupted in flight (an
+//!   unaligned fetch address), for [`crate::CheckedTrace`] to catch.
+//! * [`Fault::Runaway`] — from the trigger record on, every data
+//!   reference touches a fresh page, detonating a TLB-miss storm that
+//!   blows any sane walk-cycle budget (pair with a deadline).
+//!
+//! Everything is seeded [`SplitMix64`]: which record triggers, how many
+//! I/O attempts fail — the same plan replays identically, with no clock
+//! or OS randomness anywhere.
+
+use std::collections::BTreeMap;
+
+use vm_trace::{DataRef, InstrRecord};
+use vm_types::{MAddr, SplitMix64, PAGE_SIZE, USER_SPACE_BYTES};
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Panic inside the point's trace iteration.
+    Panic,
+    /// Transient I/O failures while building the point's workload.
+    Io,
+    /// A corrupt trace record (unaligned fetch) mid-stream.
+    Corrupt,
+    /// A TLB-thrash storm that exceeds any walk-cycle budget.
+    Runaway,
+}
+
+impl Fault {
+    /// Every fault class.
+    pub const ALL: [Fault; 4] = [Fault::Panic, Fault::Io, Fault::Corrupt, Fault::Runaway];
+
+    /// Stable CLI/journal label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Io => "io",
+            Fault::Corrupt => "corrupt",
+            Fault::Runaway => "runaway",
+        }
+    }
+
+    /// Parses a [`Fault::label`] back.
+    pub fn from_label(s: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.label() == s)
+    }
+}
+
+/// Which fault (if any) hits which sweep-point index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seeds the per-point streams deciding trigger offsets and I/O
+    /// failure counts.
+    pub seed: u64,
+    targets: BTreeMap<usize, Fault>,
+}
+
+impl ChaosPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, targets: BTreeMap::new() }
+    }
+
+    /// Parses the CLI grammar `fault@index[,fault@index...]`, e.g.
+    /// `panic@2,io@5,runaway@7`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown fault names, bad indices, or a
+    /// duplicated index.
+    pub fn parse(s: &str, seed: u64) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::new(seed);
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let Some((fault, index)) = part.split_once('@') else {
+                return Err(format!("chaos fault `{part}` must be `fault@index` (e.g. panic@2)"));
+            };
+            let fault = Fault::from_label(fault.trim()).ok_or_else(|| {
+                format!("unknown chaos fault `{fault}` (panic|io|corrupt|runaway)")
+            })?;
+            let index: usize =
+                index.trim().parse().map_err(|e| format!("bad chaos index `{index}`: {e}"))?;
+            if plan.targets.insert(index, fault).is_some() {
+                return Err(format!("chaos point {index} given twice"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Adds a fault at a point index (replacing any previous one).
+    pub fn inject(&mut self, index: usize, fault: Fault) -> &mut ChaosPlan {
+        self.targets.insert(index, fault);
+        self
+    }
+
+    /// The fault targeting `index`, if any.
+    pub fn fault_for(&self, index: usize) -> Option<Fault> {
+        self.targets.get(&index).copied()
+    }
+
+    /// Number of targeted points.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether no point is targeted.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Iterates `(index, fault)` pairs in index order.
+    pub fn targets(&self) -> impl Iterator<Item = (usize, Fault)> + '_ {
+        self.targets.iter().map(|(&i, &f)| (i, f))
+    }
+
+    /// The point's private chaos stream (seed mixed with its index).
+    fn stream(&self, index: usize) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// How many build attempts fail for an [`Fault::Io`] point: 1 or 2,
+    /// deterministically — so `--retries 2` always recovers the point
+    /// and `--retries 0` always fails it.
+    pub fn io_failures(&self, index: usize) -> u32 {
+        1 + (self.stream(index).next_u64() % 2) as u32
+    }
+
+    /// The record offset at which the point's in-stream fault triggers:
+    /// deterministic, somewhere in `[horizon/8, horizon/2)` so it can
+    /// land in warm-up or measurement.
+    pub fn trigger_record(&self, index: usize, horizon: u64) -> u64 {
+        let lo = horizon / 8;
+        let span = (horizon / 2).saturating_sub(lo).max(1);
+        lo + self.stream(index).split().next_u64() % span
+    }
+
+    /// Wraps a point's trace in its injected fault, if the fault acts on
+    /// the stream ([`Fault::Io`] acts at build time and leaves the
+    /// stream alone).
+    pub fn wrap<I>(&self, index: usize, horizon: u64, inner: I) -> ChaosTrace<I>
+    where
+        I: Iterator<Item = InstrRecord>,
+    {
+        let armed = match self.fault_for(index) {
+            Some(f @ (Fault::Panic | Fault::Corrupt | Fault::Runaway)) => {
+                Some((f, self.trigger_record(index, horizon)))
+            }
+            Some(Fault::Io) | None => None,
+        };
+        ChaosTrace { inner, armed, seen: 0 }
+    }
+}
+
+/// A trace iterator with one armed in-stream fault.
+#[derive(Debug)]
+pub struct ChaosTrace<I> {
+    inner: I,
+    /// The fault and the record offset it triggers at; disarmed once
+    /// fired (except [`Fault::Runaway`], which keeps thrashing).
+    armed: Option<(Fault, u64)>,
+    seen: u64,
+}
+
+impl<I: Iterator<Item = InstrRecord>> Iterator for ChaosTrace<I> {
+    type Item = InstrRecord;
+
+    fn next(&mut self) -> Option<InstrRecord> {
+        let mut rec = self.inner.next()?;
+        let at = self.seen;
+        self.seen += 1;
+        if let Some((fault, trigger)) = self.armed {
+            if at >= trigger {
+                match fault {
+                    Fault::Panic => {
+                        panic!("chaos: injected panic at trace record {at}")
+                    }
+                    Fault::Corrupt => {
+                        // An unaligned fetch address, as a bit-flipped
+                        // import would produce; CheckedTrace reports it.
+                        self.armed = None;
+                        rec.pc = MAddr::user(rec.pc.offset() | 1);
+                    }
+                    Fault::Runaway => {
+                        // Every reference a fresh page: a thrash storm no
+                        // TLB can absorb, so walk cycles explode.
+                        let page = (at.wrapping_mul(PAGE_SIZE)) % USER_SPACE_BYTES;
+                        rec.data = Some(DataRef::load(MAddr::user(page)));
+                    }
+                    Fault::Io => unreachable!("io faults act at build time"),
+                }
+            }
+        }
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{check_record, quiet_panics};
+
+    fn straight_line(n: u64) -> impl Iterator<Item = InstrRecord> {
+        (0..n).map(|i| InstrRecord::plain(MAddr::user(i * 4)))
+    }
+
+    #[test]
+    fn grammar_parses_and_rejects() {
+        let plan = ChaosPlan::parse("panic@2, io@5 ,corrupt@7,runaway@11", 42).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.fault_for(5), Some(Fault::Io));
+        assert_eq!(plan.fault_for(3), None);
+        assert!(ChaosPlan::parse("panic", 0).is_err());
+        assert!(ChaosPlan::parse("fire@2", 0).is_err());
+        assert!(ChaosPlan::parse("panic@x", 0).is_err());
+        assert!(ChaosPlan::parse("panic@1,io@1", 0).is_err());
+        assert!(ChaosPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_index() {
+        let a = ChaosPlan::new(7);
+        let b = ChaosPlan::new(7);
+        let c = ChaosPlan::new(8);
+        assert_eq!(a.trigger_record(3, 12_000), b.trigger_record(3, 12_000));
+        assert_eq!(a.io_failures(5), b.io_failures(5));
+        // Different seeds or indices shift the streams (overwhelmingly).
+        assert!(
+            a.trigger_record(3, 12_000) != c.trigger_record(3, 12_000)
+                || a.trigger_record(4, 12_000) != c.trigger_record(4, 12_000)
+        );
+        let t = a.trigger_record(3, 12_000);
+        assert!((1_500..6_000).contains(&t), "{t}");
+        assert!((1..=2).contains(&a.io_failures(9)));
+    }
+
+    #[test]
+    fn untargeted_points_pass_through_unchanged() {
+        let plan = ChaosPlan::parse("panic@1", 42).unwrap();
+        let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
+        assert_eq!(out, straight_line(100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_fault_fires_at_the_trigger_record() {
+        let _quiet = quiet_panics();
+        let plan = ChaosPlan::parse("panic@0", 42).unwrap();
+        let trigger = plan.trigger_record(0, 100);
+        let payload = std::panic::catch_unwind(|| {
+            plan.wrap(0, 100, straight_line(100)).count();
+        })
+        .unwrap_err();
+        let msg = payload.downcast::<String>().unwrap();
+        assert_eq!(*msg, format!("chaos: injected panic at trace record {trigger}"));
+    }
+
+    #[test]
+    fn corrupt_fault_breaks_exactly_one_record() {
+        let plan = ChaosPlan::parse("corrupt@0", 42).unwrap();
+        let trigger = plan.trigger_record(0, 100) as usize;
+        let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
+        assert_eq!(out.len(), 100);
+        let bad: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| check_record(r).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(bad, [trigger]);
+    }
+
+    #[test]
+    fn runaway_fault_thrashes_every_record_from_the_trigger() {
+        let plan = ChaosPlan::parse("runaway@0", 42).unwrap();
+        let trigger = plan.trigger_record(0, 64) as usize;
+        let out: Vec<_> = plan.wrap(0, 64, straight_line(64)).collect();
+        let mut pages = std::collections::BTreeSet::new();
+        for rec in &out[trigger..] {
+            let d = rec.data.expect("runaway records carry data refs");
+            assert!(check_record(rec).is_ok());
+            pages.insert(d.addr.offset() / PAGE_SIZE);
+        }
+        assert_eq!(pages.len(), out.len() - trigger, "each record touches a fresh page");
+        assert!(out[..trigger].iter().all(|r| r.data.is_none()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-point budget deadlines in *simulated* time.
+//!
+//! The executor cannot kill a runaway worker thread, and wall-clock
+//! deadlines would make outcomes depend on machine load. Instead the
+//! budget is spent in deterministic simulated work: cumulative
+//! page-table-walk cycles, the quantity that explodes (by orders of
+//! magnitude) on pathological configurations and thrashing workloads
+//! while staying small and predictable on healthy points.
+//!
+//! [`DeadlineSink`] watches the event stream the simulator already
+//! emits; when the walk-cycle budget is exceeded it raises a
+//! [`DeadlineExceeded`] unwind, which a hardened executor catches and
+//! classifies as [`crate::FailureKind::Timeout`]. The sink deliberately
+//! ignores [`vm_obs::Sink::reset`]: the budget spans warm-up *and*
+//! measurement, because a runaway point burns most of its cycles during
+//! warm-up too.
+
+use std::fmt;
+
+use vm_obs::{Event, Sink};
+
+/// The unwind payload raised when a point blows its budget.
+///
+/// Carried through `catch_unwind` by hardened executors; never printed
+/// by the panic hook when the executor runs under
+/// [`crate::quiet_panics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// The configured walk-cycle budget.
+    pub budget: u64,
+    /// Cycles actually spent when the budget tripped.
+    pub spent: u64,
+    /// User instructions retired when the budget tripped.
+    pub at_instr: u64,
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "walk-cycle budget exceeded: {} cycles spent of {} budgeted, {} instructions in",
+            self.spent, self.budget, self.at_instr
+        )
+    }
+}
+
+/// A [`Sink`] that charges walk cycles against a budget and unwinds with
+/// [`DeadlineExceeded`] when the budget runs out.
+///
+/// Attaching it costs one enabled-sink pass over the simulator's emit
+/// sites, so the executor only uses it when a budget was requested.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineSink {
+    budget: u64,
+    spent: u64,
+}
+
+impl DeadlineSink {
+    /// A sink enforcing `budget` total walk cycles for the run.
+    pub fn new(budget: u64) -> DeadlineSink {
+        DeadlineSink { budget, spent: 0 }
+    }
+
+    /// Walk cycles charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+impl Sink for DeadlineSink {
+    fn emit(&mut self, now: u64, ev: &Event) {
+        if let Event::WalkComplete { cycles, .. } = ev {
+            self.spent += cycles;
+            if self.spent > self.budget {
+                std::panic::panic_any(DeadlineExceeded {
+                    budget: self.budget,
+                    spent: self.spent,
+                    at_instr: now,
+                });
+            }
+        }
+    }
+
+    // No `reset` override: the budget intentionally spans the warm-up
+    // phase, where a runaway point burns cycles just the same.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::HandlerLevel;
+
+    fn walk(cycles: u64) -> Event {
+        Event::WalkComplete { level: HandlerLevel::User, cycles, memrefs: 1 }
+    }
+
+    #[test]
+    fn within_budget_accumulates_quietly() {
+        let mut sink = DeadlineSink::new(100);
+        sink.emit(1, &walk(40));
+        sink.emit(2, &walk(60));
+        sink.reset(); // warm-up boundary must not forgive spent cycles
+        assert_eq!(sink.spent(), 100);
+    }
+
+    #[test]
+    fn exceeding_the_budget_unwinds_with_the_sentinel() {
+        let mut sink = DeadlineSink::new(100);
+        sink.emit(1, &walk(99));
+        let payload = std::panic::catch_unwind(move || sink.emit(2, &walk(2))).unwrap_err();
+        let d = payload.downcast::<DeadlineExceeded>().expect("sentinel payload");
+        assert_eq!((d.budget, d.spent, d.at_instr), (100, 101, 2));
+        assert!(d.to_string().contains("budget exceeded"));
+    }
+
+    #[test]
+    fn non_walk_events_are_free() {
+        let mut sink = DeadlineSink::new(1);
+        sink.emit(1, &Event::Interrupt { level: HandlerLevel::User });
+        sink.emit(2, &Event::ContextSwitchFlush { entries_lost: 64 });
+        assert_eq!(sink.spent(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace validation and panic-output suppression.
+//!
+//! [`CheckedTrace`] sits between a trace source (generator, importer, or
+//! chaos wrapper) and the simulator, validating every record against the
+//! invariants the simulator assumes. A violation raises a
+//! [`CorruptRecord`] unwind that hardened executors classify as
+//! [`crate::FailureKind::CorruptTrace`] — the point fails with a precise
+//! diagnosis instead of the simulator producing garbage (or dying
+//! somewhere deep in the cache model).
+//!
+//! [`quiet_panics`] suppresses the default panic hook's stderr banner
+//! for the current thread while a guard is alive. Hardened executors
+//! *expect* unwinds (injected faults, deadline sentinels) and report
+//! them as structured outcomes; the default hook would spray one
+//! backtrace banner per isolated failure over the progress output.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Once;
+
+use vm_trace::InstrRecord;
+use vm_types::{AddressSpace, USER_SPACE_BYTES};
+
+/// The unwind payload raised for an invalid trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptRecord {
+    /// Zero-based offset of the bad record in the stream.
+    pub at: u64,
+    /// Which invariant it violated.
+    pub why: &'static str,
+}
+
+impl fmt::Display for CorruptRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt trace record at offset {}: {}", self.at, self.why)
+    }
+}
+
+/// Validates one record against the simulator's input invariants.
+///
+/// # Errors
+///
+/// Returns the violated invariant for unaligned or out-of-range fetch
+/// addresses and out-of-range data references.
+pub fn check_record(rec: &InstrRecord) -> Result<(), &'static str> {
+    if rec.pc.space() != AddressSpace::User {
+        return Err("fetch outside user space");
+    }
+    if !rec.pc.offset().is_multiple_of(4) {
+        return Err("unaligned fetch address");
+    }
+    if rec.pc.offset() >= USER_SPACE_BYTES {
+        return Err("fetch beyond the 2 GB user space");
+    }
+    if let Some(d) = rec.data {
+        if d.addr.space() == AddressSpace::User && d.addr.offset() >= USER_SPACE_BYTES {
+            return Err("data reference beyond the 2 GB user space");
+        }
+    }
+    Ok(())
+}
+
+/// An iterator adaptor that validates every record with
+/// [`check_record`], unwinding with [`CorruptRecord`] on the first
+/// violation.
+#[derive(Debug)]
+pub struct CheckedTrace<I> {
+    inner: I,
+    seen: u64,
+}
+
+impl<I> CheckedTrace<I> {
+    /// Wraps a trace in validation.
+    pub fn new(inner: I) -> CheckedTrace<I> {
+        CheckedTrace { inner, seen: 0 }
+    }
+}
+
+impl<I: Iterator<Item = InstrRecord>> Iterator for CheckedTrace<I> {
+    type Item = InstrRecord;
+
+    fn next(&mut self) -> Option<InstrRecord> {
+        let rec = self.inner.next()?;
+        if let Err(why) = check_record(&rec) {
+            std::panic::panic_any(CorruptRecord { at: self.seen, why });
+        }
+        self.seen += 1;
+        Some(rec)
+    }
+}
+
+thread_local! {
+    /// Whether the current thread's panics should skip the default hook.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the wrapping hook exactly once, process-wide.
+static INSTALL_HOOK: Once = Once::new();
+
+/// Restores the thread's previous suppression state on drop.
+#[derive(Debug)]
+pub struct QuietPanicGuard {
+    previous: bool,
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        QUIET.with(|q| q.set(self.previous));
+    }
+}
+
+/// Suppresses panic-hook output on the *current thread* until the
+/// returned guard is dropped. Other threads keep the normal hook
+/// behaviour; nesting is safe. The panics themselves still unwind and
+/// must be caught (or they abort the thread as usual, just silently).
+pub fn quiet_panics() -> QuietPanicGuard {
+    INSTALL_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    QuietPanicGuard { previous: QUIET.with(|q| q.replace(true)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::MAddr;
+
+    fn ok_rec() -> InstrRecord {
+        InstrRecord::load(MAddr::user(0x400), MAddr::user(0x8000))
+    }
+
+    #[test]
+    fn valid_records_pass_through() {
+        let recs = vec![ok_rec(), InstrRecord::plain(MAddr::user(0x404))];
+        let out: Vec<_> = CheckedTrace::new(recs.clone().into_iter()).collect();
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn invariant_checks_cover_each_field() {
+        assert!(check_record(&ok_rec()).is_ok());
+        let unaligned = InstrRecord::plain(MAddr::user(0x401));
+        assert_eq!(check_record(&unaligned), Err("unaligned fetch address"));
+        let far = InstrRecord::plain(MAddr::user(USER_SPACE_BYTES + 4));
+        assert!(check_record(&far).unwrap_err().contains("2 GB"));
+        let kernel_fetch = InstrRecord::plain(MAddr::kernel(0x400));
+        assert_eq!(check_record(&kernel_fetch), Err("fetch outside user space"));
+        let bad_data = InstrRecord::load(MAddr::user(0x400), MAddr::user(USER_SPACE_BYTES + 8));
+        assert!(check_record(&bad_data).unwrap_err().contains("data reference"));
+    }
+
+    #[test]
+    fn corrupt_record_unwinds_with_offset() {
+        let _quiet = quiet_panics();
+        let recs = vec![ok_rec(), InstrRecord::plain(MAddr::user(0x401))];
+        let payload = std::panic::catch_unwind(|| {
+            CheckedTrace::new(recs.into_iter()).count();
+        })
+        .unwrap_err();
+        let c = payload.downcast::<CorruptRecord>().expect("sentinel payload");
+        assert_eq!(c.at, 1);
+        assert!(c.to_string().contains("offset 1"), "{c}");
+    }
+
+    #[test]
+    fn quiet_guard_restores_state_and_nests() {
+        assert!(!QUIET.with(Cell::get));
+        {
+            let _a = quiet_panics();
+            assert!(QUIET.with(Cell::get));
+            {
+                let _b = quiet_panics();
+                assert!(QUIET.with(Cell::get));
+            }
+            assert!(QUIET.with(Cell::get));
+        }
+        assert!(!QUIET.with(Cell::get));
+    }
+}

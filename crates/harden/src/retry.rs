@@ -1,0 +1,126 @@
+//! Retry policies with capped exponential backoff.
+//!
+//! Only [`FailureKind::is_transient`](crate::FailureKind::is_transient) errors (simulated or real I/O) are
+//! retried — a panic or a bad spec fails identically on every attempt,
+//! so retrying it would only waste sweep time. Backoff is wall-clock
+//! (it never feeds a result), so results stay bit-identical whatever the
+//! policy.
+
+use std::time::Duration;
+
+use crate::error::SimError;
+
+/// How often and how patiently to retry a transient point failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// First backoff sleep in milliseconds; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub const NONE: RetryPolicy = RetryPolicy { retries: 0, backoff_base_ms: 0, backoff_cap_ms: 0 };
+
+    /// `retries` attempts with the default 25 ms → 1 s backoff curve.
+    pub fn new(retries: u32) -> RetryPolicy {
+        RetryPolicy { retries, backoff_base_ms: 25, backoff_cap_ms: 1_000 }
+    }
+
+    /// The sleep before retry number `retry` (1-based): capped
+    /// exponential, `base * 2^(retry-1)` up to the cap.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let ms = self.backoff_base_ms.saturating_mul(1u64 << exp).min(self.backoff_cap_ms);
+        Duration::from_millis(ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::NONE
+    }
+}
+
+/// Runs `attempt(n)` (n = 1-based attempt number) until it succeeds, a
+/// non-transient error occurs, or the policy's retries are exhausted.
+/// Returns the final result with its `attempts` field set to the number
+/// of attempts actually consumed.
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(u32) -> Result<T, SimError>,
+) -> (Result<T, SimError>, u32) {
+    let mut n = 1u32;
+    loop {
+        match attempt(n) {
+            Ok(t) => return (Ok(t), n),
+            Err(mut e) => {
+                if !e.kind.is_transient() || n > policy.retries {
+                    e.attempts = n;
+                    return (Err(e), n);
+                }
+                std::thread::sleep(policy.backoff(n));
+                n += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FailureKind;
+
+    fn io_err() -> SimError {
+        SimError::new("p", FailureKind::Io, "flaky")
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy { retries: 10, backoff_base_ms: 10, backoff_cap_ms: 45 };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(45));
+        assert_eq!(p.backoff(30), Duration::from_millis(45));
+    }
+
+    #[test]
+    fn transient_errors_retry_until_success() {
+        let policy = RetryPolicy { retries: 3, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let (out, attempts) = with_retry(&policy, |n| if n < 3 { Err(io_err()) } else { Ok(n) });
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn exhausted_retries_report_attempts() {
+        let policy = RetryPolicy { retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let (out, attempts) = with_retry::<u32>(&policy, |_| Err(io_err()));
+        let e = out.unwrap_err();
+        assert_eq!(attempts, 3); // 1 try + 2 retries
+        assert_eq!(e.attempts, 3);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_fast() {
+        let policy = RetryPolicy::new(5);
+        let mut calls = 0;
+        let (out, attempts) = with_retry::<u32>(&policy, |_| {
+            calls += 1;
+            Err(SimError::new("p", FailureKind::Panic, "boom"))
+        });
+        assert!(out.is_err());
+        assert_eq!((calls, attempts), (1, 1));
+    }
+
+    #[test]
+    fn zero_retry_policy_is_one_attempt() {
+        let (out, attempts) = with_retry::<u32>(&RetryPolicy::NONE, |_| Err(io_err()));
+        assert!(out.is_err());
+        assert_eq!(attempts, 1);
+    }
+}

@@ -116,6 +116,30 @@ pub enum Event {
         /// of a cycle per instruction (events carry integers only).
         vm_total_micro: u64,
     },
+    /// One sweep point failed (or timed out) after all its attempts and
+    /// was isolated to a failure outcome instead of killing the run.
+    PointFailed {
+        /// The point's index in sweep order.
+        index: u64,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// Whether the failure was a budget timeout (vs an error/panic).
+        timed_out: bool,
+    },
+    /// One sweep point failed transiently and is being retried.
+    PointRetried {
+        /// The point's index in sweep order.
+        index: u64,
+        /// The retry attempt number just started (2 = first retry).
+        attempt: u32,
+    },
+    /// A sweep resumed from a run journal instead of starting cold.
+    RunResumed {
+        /// Points restored from the journal (not re-simulated).
+        completed: u64,
+        /// Points left to simulate (including journaled failures).
+        remaining: u64,
+    },
 }
 
 impl Event {
@@ -131,6 +155,9 @@ impl Event {
             Event::TlbEviction { .. } => "tlb_eviction",
             Event::SweepStarted { .. } => "sweep_started",
             Event::SweepPointDone { .. } => "sweep_point_done",
+            Event::PointFailed { .. } => "point_failed",
+            Event::PointRetried { .. } => "point_retried",
+            Event::RunResumed { .. } => "run_resumed",
         }
     }
 
@@ -179,6 +206,19 @@ impl Event {
                 put("instrs", instrs.into());
                 put("vm_total_micro", vm_total_micro.into());
             }
+            Event::PointFailed { index, attempts, timed_out } => {
+                put("index", index.into());
+                put("attempts", attempts.into());
+                put("timed_out", Value::Bool(timed_out));
+            }
+            Event::PointRetried { index, attempt } => {
+                put("index", index.into());
+                put("attempt", attempt.into());
+            }
+            Event::RunResumed { completed, remaining } => {
+                put("completed", completed.into());
+                put("remaining", remaining.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -209,6 +249,9 @@ mod tests {
             },
             Event::SweepStarted { points: 24, axes: 2, jobs: 4 },
             Event::SweepPointDone { index: 3, instrs: 500_000, vm_total_micro: 81_230 },
+            Event::PointFailed { index: 5, attempts: 3, timed_out: false },
+            Event::PointRetried { index: 5, attempt: 2 },
+            Event::RunResumed { completed: 19, remaining: 5 },
         ]
     }
 

@@ -118,7 +118,11 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::HandlerEviction { .. }
             | Event::TlbEviction { .. } => 5,
             Event::CacheMiss { .. } => 6,
-            Event::SweepStarted { .. } | Event::SweepPointDone { .. } => 7,
+            Event::SweepStarted { .. }
+            | Event::SweepPointDone { .. }
+            | Event::PointFailed { .. }
+            | Event::PointRetried { .. }
+            | Event::RunResumed { .. } => 7,
         }
     }
 

@@ -399,7 +399,11 @@ impl Sink for StatsSink {
             // Sweep lifecycle markers are emitted by the explore
             // executor, outside any single simulation; there is nothing
             // to aggregate per run.
-            Event::SweepStarted { .. } | Event::SweepPointDone { .. } => {}
+            Event::SweepStarted { .. }
+            | Event::SweepPointDone { .. }
+            | Event::PointFailed { .. }
+            | Event::PointRetried { .. }
+            | Event::RunResumed { .. } => {}
         }
     }
 

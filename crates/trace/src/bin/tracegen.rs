@@ -4,7 +4,7 @@
 //! tracegen gen   <workload> <instructions> <out.trace> [--seed N]
 //! tracegen stats <workload|file.trace> [instructions] [--seed N]
 //! tracegen head  <file.trace> [count]
-//! tracegen import <in.din> <out.trace>
+//! tracegen import <in.din> <out.trace> [--max-parse-errors N]
 //! tracegen list
 //! ```
 //!
@@ -16,7 +16,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use vm_trace::{presets, read_dinero, read_trace, write_trace, InstrRecord, TraceStats};
+use vm_trace::{
+    presets, read_dinero, read_dinero_recovering, read_trace, write_trace, InstrRecord, TraceStats,
+};
 
 /// Restores the default SIGPIPE disposition so piping into `head`/`less`
 /// terminates the process quietly instead of panicking on a broken-pipe
@@ -43,21 +45,36 @@ fn fail(msg: &str) -> ExitCode {
         "usage:\n  tracegen gen   <workload> <instructions> <out.trace> [--seed N]\n  \
          tracegen stats <workload|file.trace> [instructions] [--seed N]\n  \
          tracegen head  <file.trace> [count]\n  \
-         tracegen import <in.din> <out.trace>\n  tracegen list"
+         tracegen import <in.din> <out.trace> [--max-parse-errors N]\n  tracegen list"
     );
     ExitCode::FAILURE
 }
 
 fn parse_seed(args: &mut Vec<String>) -> Result<u64, String> {
-    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+    Ok(parse_flag(args, "--seed", |e| format!("bad seed: {e}"))?.unwrap_or(42))
+}
+
+/// Extracts `--max-parse-errors N` from the argument list.
+///
+/// `None` means the flag was absent — the import stays strict.
+fn parse_max_errors(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    parse_flag(args, "--max-parse-errors", |e| format!("bad --max-parse-errors: {e}"))
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    err: impl Fn(T::Err) -> String,
+) -> Result<Option<T>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
         if pos + 1 >= args.len() {
-            return Err("--seed needs a value".into());
+            return Err(format!("{flag} needs a value"));
         }
-        let v = args[pos + 1].parse().map_err(|e| format!("bad seed: {e}"))?;
+        let v = args[pos + 1].parse().map_err(err)?;
         args.drain(pos..=pos + 1);
-        Ok(v)
+        Ok(Some(v))
     } else {
-        Ok(42)
+        Ok(None)
     }
 }
 
@@ -82,6 +99,10 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = match parse_seed(&mut args) {
         Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let max_parse_errors = match parse_max_errors(&mut args) {
+        Ok(m) => m,
         Err(e) => return fail(&e),
     };
     let mut it = args.into_iter();
@@ -160,9 +181,27 @@ fn main() -> ExitCode {
                 Ok(f) => f,
                 Err(e) => return fail(&format!("cannot open {input}: {e}")),
             };
-            let records = match read_dinero(BufReader::new(din)) {
-                Ok(r) => r,
-                Err(e) => return fail(&format!("cannot parse {input}: {e}")),
+            let records = match max_parse_errors {
+                // Tolerant mode: skip (and report) up to N malformed lines.
+                Some(budget) => match read_dinero_recovering(BufReader::new(din), budget) {
+                    Ok(out) => {
+                        for diag in &out.skipped {
+                            eprintln!("tracegen: skipped {diag}");
+                        }
+                        if !out.skipped.is_empty() {
+                            eprintln!(
+                                "tracegen: skipped {} malformed line(s) in {input}",
+                                out.skipped.len()
+                            );
+                        }
+                        out.records
+                    }
+                    Err(e) => return fail(&format!("cannot parse {input}: {e}")),
+                },
+                None => match read_dinero(BufReader::new(din)) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&format!("cannot parse {input}: {e}")),
+                },
             };
             let out = match File::create(&output) {
                 Ok(f) => f,

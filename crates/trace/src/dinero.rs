@@ -20,7 +20,14 @@
 //! slightly inflating the instruction count; data references before the
 //! first fetch are carried by a synthetic PC at the trace's first fetch
 //! address (or 0 when there is none).
+//!
+//! [`read_dinero`] is strict: the first malformed line aborts the
+//! import. Real trace archives accumulate damage (truncated lines,
+//! tool banners mid-file), so [`read_dinero_recovering`] instead skips
+//! up to a caller-chosen number of malformed lines, reporting each with
+//! its line number, and only fails once that budget is exhausted.
 
+use std::fmt;
 use std::io::{self, BufRead};
 
 use vm_types::{MAddr, USER_SPACE_BYTES};
@@ -35,23 +42,18 @@ enum DinRef {
     Fetch(u64),
 }
 
-/// Parses one Dinero line; `None` for blanks and comments.
-fn parse_line(line: &str, number: usize) -> Result<Option<DinRef>, TraceIoError> {
+/// Parses one Dinero line; `None` for blanks and comments, `Err` with
+/// the reason (no line context) for malformed lines.
+fn parse_line(line: &str) -> Result<Option<DinRef>, &'static str> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
         return Ok(None);
     }
     let mut fields = line.split_whitespace();
-    let bad = |what: &str| {
-        TraceIoError::Io(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("din line {number}: {what}: `{line}`"),
-        ))
-    };
-    let label = fields.next().ok_or_else(|| bad("missing label"))?;
-    let addr = fields.next().ok_or_else(|| bad("missing address"))?;
-    let addr = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
-        .map_err(|_| bad("bad hex address"))?;
+    let label = fields.next().ok_or("missing label")?;
+    let addr = fields.next().ok_or("missing address")?;
+    let addr =
+        u64::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| "bad hex address")?;
     // Clamp into the simulated 2 GB user space (traces from 32-bit
     // machines with kernel halves fold into the modelled user region).
     let addr = addr % USER_SPACE_BYTES;
@@ -59,8 +61,154 @@ fn parse_line(line: &str, number: usize) -> Result<Option<DinRef>, TraceIoError>
         "0" => Ok(Some(DinRef::Read(addr))),
         "1" => Ok(Some(DinRef::Write(addr))),
         "2" => Ok(Some(DinRef::Fetch(addr))),
-        _ => Err(bad("unknown label (want 0, 1 or 2)")),
+        _ => Err("unknown label (want 0, 1 or 2)"),
     }
+}
+
+/// A malformed line skipped by [`read_dinero_recovering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DinDiagnostic {
+    /// 1-based line number within the input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub why: String,
+    /// The offending text, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for DinDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "din line {}: {}: `{}`", self.line, self.why, self.text)
+    }
+}
+
+/// The result of a tolerant import: the records that parsed, plus one
+/// diagnostic per malformed line that was skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredDinero {
+    /// Successfully folded instruction records.
+    pub records: Vec<InstrRecord>,
+    /// Skipped lines, in input order (empty for a clean trace).
+    pub skipped: Vec<DinDiagnostic>,
+}
+
+/// Folds a stream of Dinero references into [`InstrRecord`]s.
+struct Folder {
+    records: Vec<InstrRecord>,
+    orphans: Vec<DinRef>,
+    current_pc: Option<MAddr>,
+}
+
+impl Folder {
+    fn new() -> Folder {
+        Folder { records: Vec::new(), orphans: Vec::new(), current_pc: None }
+    }
+
+    fn push_data(&mut self, pc: MAddr, addr: u64, write: bool) {
+        let data = if write {
+            DataRef::store(MAddr::user(addr))
+        } else {
+            DataRef::load(MAddr::user(addr))
+        };
+        match self.records.last_mut() {
+            // Fold into the current instruction if it has no operand yet.
+            Some(last) if last.pc == pc && last.data.is_none() => last.data = Some(data),
+            // Otherwise repeat the PC (multi-operand instruction).
+            _ => self.records.push(InstrRecord { pc, data: Some(data) }),
+        }
+    }
+
+    fn push(&mut self, r: DinRef) {
+        match r {
+            DinRef::Fetch(a) => {
+                let pc = MAddr::user(a & !3);
+                if self.current_pc.is_none() {
+                    // Attach any leading data references to the first PC.
+                    let orphans = std::mem::take(&mut self.orphans);
+                    for o in orphans {
+                        match o {
+                            DinRef::Read(a) => self.push_data(pc, a, false),
+                            DinRef::Write(a) => self.push_data(pc, a, true),
+                            DinRef::Fetch(_) => unreachable!("fetches are handled eagerly"),
+                        }
+                    }
+                }
+                self.current_pc = Some(pc);
+                self.records.push(InstrRecord::plain(pc));
+            }
+            DinRef::Read(a) | DinRef::Write(a) => {
+                let write = matches!(r, DinRef::Write(_));
+                match self.current_pc {
+                    Some(pc) => self.push_data(pc, a, write),
+                    None => self.orphans.push(r),
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<InstrRecord> {
+        // A trace with no fetches at all: carry the data refs on PC 0.
+        let pc0 = MAddr::user(0);
+        let orphans = std::mem::take(&mut self.orphans);
+        for o in orphans {
+            match o {
+                DinRef::Read(a) => self.push_data(pc0, a, false),
+                DinRef::Write(a) => self.push_data(pc0, a, true),
+                DinRef::Fetch(_) => unreachable!(),
+            }
+        }
+        self.records
+    }
+}
+
+/// Shared reader loop. `max_errors = None` is strict (first malformed
+/// line aborts with its own message); `Some(n)` skips up to `n`
+/// malformed lines before giving up.
+fn read_dinero_inner<R: BufRead>(
+    mut reader: R,
+    max_errors: Option<usize>,
+) -> Result<RecoveredDinero, TraceIoError> {
+    let mut folder = Folder::new();
+    let mut skipped: Vec<DinDiagnostic> = Vec::new();
+    let mut line = String::new();
+    let mut number = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(TraceIoError::Io)? == 0 {
+            break;
+        }
+        number += 1;
+        match parse_line(&line) {
+            Ok(Some(r)) => folder.push(r),
+            Ok(None) => {}
+            Err(why) => {
+                let diag = DinDiagnostic {
+                    line: number,
+                    why: why.to_string(),
+                    text: line.trim().to_string(),
+                };
+                match max_errors {
+                    Some(budget) if skipped.len() < budget => skipped.push(diag),
+                    Some(budget) => {
+                        return Err(TraceIoError::Io(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "{diag} (already skipped {budget} malformed line(s); \
+                                 raise --max-parse-errors to keep going)"
+                            ),
+                        )));
+                    }
+                    None => {
+                        return Err(TraceIoError::Io(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            diag.to_string(),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(RecoveredDinero { records: folder.finish(), skipped })
 }
 
 /// Reads a Dinero-format trace into [`InstrRecord`]s.
@@ -68,7 +216,9 @@ fn parse_line(line: &str, number: usize) -> Result<Option<DinRef>, TraceIoError>
 /// # Errors
 ///
 /// Returns [`TraceIoError::Io`] for unreadable input or malformed lines
-/// (bad label, non-hex address).
+/// (bad label, non-hex address). For damaged archives where skipping a
+/// bounded number of bad lines is acceptable, use
+/// [`read_dinero_recovering`].
 ///
 /// ```
 /// use vm_trace::read_dinero;
@@ -79,69 +229,38 @@ fn parse_line(line: &str, number: usize) -> Result<Option<DinRef>, TraceIoError>
 /// assert!(recs[0].data.unwrap().kind == vm_types::AccessKind::Load);
 /// ```
 pub fn read_dinero<R: BufRead>(reader: R) -> Result<Vec<InstrRecord>, TraceIoError> {
-    let mut records: Vec<InstrRecord> = Vec::new();
-    let mut orphans: Vec<DinRef> = Vec::new();
-    let mut current_pc: Option<MAddr> = None;
+    read_dinero_inner(reader, None).map(|r| r.records)
+}
 
-    let push_data = |records: &mut Vec<InstrRecord>, pc: MAddr, addr: u64, write: bool| {
-        let data = if write {
-            DataRef::store(MAddr::user(addr))
-        } else {
-            DataRef::load(MAddr::user(addr))
-        };
-        match records.last_mut() {
-            // Fold into the current instruction if it has no operand yet.
-            Some(last) if last.pc == pc && last.data.is_none() => last.data = Some(data),
-            // Otherwise repeat the PC (multi-operand instruction).
-            _ => records.push(InstrRecord { pc, data: Some(data) }),
-        }
-    };
-
-    let mut reader = reader;
-    let mut line = String::new();
-    let mut number = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line).map_err(TraceIoError::Io)? == 0 {
-            break;
-        }
-        number += 1;
-        let Some(r) = parse_line(&line, number)? else { continue };
-        match r {
-            DinRef::Fetch(a) => {
-                let pc = MAddr::user(a & !3);
-                if current_pc.is_none() {
-                    // Attach any leading data references to the first PC.
-                    for o in orphans.drain(..) {
-                        match o {
-                            DinRef::Read(a) => push_data(&mut records, pc, a, false),
-                            DinRef::Write(a) => push_data(&mut records, pc, a, true),
-                            DinRef::Fetch(_) => unreachable!("fetches are handled eagerly"),
-                        }
-                    }
-                }
-                current_pc = Some(pc);
-                records.push(InstrRecord::plain(pc));
-            }
-            DinRef::Read(a) | DinRef::Write(a) => {
-                let write = matches!(r, DinRef::Write(_));
-                match current_pc {
-                    Some(pc) => push_data(&mut records, pc, a, write),
-                    None => orphans.push(r),
-                }
-            }
-        }
-    }
-    // A trace with no fetches at all: carry the data refs on PC 0.
-    let pc0 = MAddr::user(0);
-    for o in orphans {
-        match o {
-            DinRef::Read(a) => push_data(&mut records, pc0, a, false),
-            DinRef::Write(a) => push_data(&mut records, pc0, a, true),
-            DinRef::Fetch(_) => unreachable!(),
-        }
-    }
-    Ok(records)
+/// Reads a Dinero-format trace, skipping up to `max_errors` malformed
+/// lines instead of aborting on the first one.
+///
+/// Each skipped line is reported in [`RecoveredDinero::skipped`] with
+/// its 1-based line number, the reason, and the offending text, so
+/// callers can print diagnostics or refuse the import after the fact.
+/// `max_errors = 0` behaves like [`read_dinero`] except that the error
+/// message notes the exhausted budget.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] for unreadable input, or when a
+/// malformed line is found after `max_errors` have already been
+/// skipped.
+///
+/// ```
+/// use vm_trace::read_dinero_recovering;
+///
+/// let din = "2 400\nGARBAGE\n0 1000\n";
+/// let out = read_dinero_recovering(din.as_bytes(), 3).unwrap();
+/// assert_eq!(out.records.len(), 1);
+/// assert_eq!(out.skipped.len(), 1);
+/// assert_eq!(out.skipped[0].line, 2);
+/// ```
+pub fn read_dinero_recovering<R: BufRead>(
+    reader: R,
+    max_errors: usize,
+) -> Result<RecoveredDinero, TraceIoError> {
+    read_dinero_inner(reader, Some(max_errors))
 }
 
 #[cfg(test)]
@@ -223,5 +342,46 @@ mod tests {
     fn pcs_are_word_aligned() {
         let recs = read_dinero("2 401\n".as_bytes()).unwrap();
         assert_eq!(recs[0].pc.offset(), 0x400);
+    }
+
+    #[test]
+    fn recovering_skips_bad_lines_and_keeps_good_ones() {
+        let din = "2 400\nGARBAGE\n0 1000\n9 500\n2 404\n";
+        let out = read_dinero_recovering(din.as_bytes(), 5).unwrap();
+        // Surviving stream is `2 400 / 0 1000 / 2 404` — identical to
+        // parsing the clean subset strictly.
+        let clean = read_dinero("2 400\n0 1000\n2 404\n".as_bytes()).unwrap();
+        assert_eq!(out.records, clean);
+        assert_eq!(out.skipped.len(), 2);
+        assert_eq!(out.skipped[0].line, 2);
+        assert_eq!(out.skipped[0].why, "missing address");
+        assert_eq!(out.skipped[1].line, 4);
+        assert!(out.skipped[1].why.contains("unknown label"));
+        assert_eq!(out.skipped[1].text, "9 500");
+    }
+
+    #[test]
+    fn recovering_fails_once_the_budget_is_exhausted() {
+        let din = "x\ny\nz\n2 400\n";
+        let err = read_dinero_recovering(din.as_bytes(), 2).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("already skipped 2"), "{text}");
+        assert!(text.contains("--max-parse-errors"), "{text}");
+    }
+
+    #[test]
+    fn recovering_with_zero_budget_matches_strict_on_clean_input() {
+        let din = "2 400\n0 1000\n";
+        let out = read_dinero_recovering(din.as_bytes(), 0).unwrap();
+        assert_eq!(out.records, read_dinero(din.as_bytes()).unwrap());
+        assert!(out.skipped.is_empty());
+        assert!(read_dinero_recovering("BAD\n".as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn diagnostics_render_with_line_and_reason() {
+        let d = DinDiagnostic { line: 7, why: "missing address".into(), text: "0".into() };
+        assert_eq!(d.to_string(), "din line 7: missing address: `0`");
     }
 }

@@ -46,7 +46,7 @@ mod synth;
 
 pub mod presets;
 
-pub use dinero::read_dinero;
+pub use dinero::{read_dinero, read_dinero_recovering, DinDiagnostic, RecoveredDinero};
 pub use multi::Multiprogram;
 pub use phased::Phased;
 pub use record::{read_trace, write_trace, DataRef, InstrRecord, ReplayTrace, TraceIoError};

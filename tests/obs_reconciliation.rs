@@ -48,9 +48,13 @@ impl Sink for CountingSink {
             Event::ContextSwitchFlush { .. } => self.flush += 1,
             Event::HandlerEviction { .. } => self.handler_eviction += 1,
             Event::TlbEviction { .. } => self.tlb_eviction += 1,
-            // Sweep lifecycle markers come from the explore executor,
-            // never from a single simulation run.
-            Event::SweepStarted { .. } | Event::SweepPointDone { .. } => {}
+            // Sweep/harden lifecycle markers come from the explore
+            // executor, never from a single simulation run.
+            Event::SweepStarted { .. }
+            | Event::SweepPointDone { .. }
+            | Event::PointFailed { .. }
+            | Event::PointRetried { .. }
+            | Event::RunResumed { .. } => {}
         }
     }
 
