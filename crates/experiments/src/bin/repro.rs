@@ -32,6 +32,14 @@
 //!       [--l2 1M] [--l2-line 128] [--tlb-entries 128] [--unified]
 //!       [--instrs N] [--seed N] [--events FILE] [--chrome-trace FILE]
 //!
+//! simulation service (see docs/serving.md):
+//!   serve [--addr HOST:PORT] [--jobs N] [--queue N] [--degrade-depth N]
+//!         [--state-dir DIR] [--resume] [--events FILE]
+//!         [--io-timeout-ms N] [--max-request-bytes N]
+//!         [--chaos fault@ix,...] [--chaos-seed N]
+//!   serve-stats <events.jsonl>...
+//!   serve-bench [--batch N]
+//!
 //! Results (tables, claims, CSV) go to stdout; progress (headings,
 //! heartbeats, timings) goes to stderr, gated by --verbosity.
 //! ```
@@ -39,6 +47,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use vm_core::cost::CostModel;
 use vm_core::{SimConfig, SystemKind};
@@ -49,6 +58,7 @@ use vm_experiments::{
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
 use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
 use vm_harden::{ChaosPlan, RetryPolicy};
+use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server};
 use vm_trace::presets;
 
 /// Parses "16K" / "1M" / "512" style size strings into bytes.
@@ -406,6 +416,201 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Set by the SIGTERM/SIGINT handler; the daemon's accept loop polls it
+/// and treats it exactly like a `drain` request.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    // A relaxed atomic store is async-signal-safe.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Routes SIGTERM and SIGINT into [`SHUTDOWN`] so `repro serve` drains
+/// gracefully instead of dying mid-job. The vm-serve crate itself stays
+/// `forbid(unsafe_code)`; the binary owns the one `signal(2)` call.
+fn install_shutdown_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: signal(2) with a handler that only stores to a static
+        // atomic is async-signal-safe process setup, performed once
+        // before the listener starts.
+        unsafe {
+            signal(SIGTERM, request_shutdown as *const () as usize);
+            signal(SIGINT, request_shutdown as *const () as usize);
+        }
+    }
+}
+
+/// The `serve` subcommand: run the fault-tolerant simulation daemon
+/// until drained (by request, SIGTERM, or SIGINT).
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig { shutdown: Some(&SHUTDOWN), ..ServeConfig::default() };
+    let mut chaos_spec: Option<String> = None;
+    let mut chaos_seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--jobs" => {
+                config.workers = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--queue" => {
+                config.queue_cap =
+                    value("--queue")?.parse().map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--degrade-depth" => {
+                config.degrade_depth = value("--degrade-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --degrade-depth: {e}"))?
+            }
+            "--state-dir" => config.state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--resume" => config.resume = true,
+            "--events" => config.events = Some(PathBuf::from(value("--events")?)),
+            "--io-timeout-ms" => {
+                config.io_timeout = std::time::Duration::from_millis(
+                    value("--io-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --io-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-request-bytes" => {
+                config.max_request_bytes = value("--max-request-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-request-bytes: {e}"))?
+            }
+            "--chaos" => chaos_spec = Some(value("--chaos")?),
+            "--chaos-seed" => {
+                chaos_seed =
+                    value("--chaos-seed")?.parse().map_err(|e| format!("bad --chaos-seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro serve [--addr HOST:PORT] [--jobs N] [--queue N] [--degrade-depth N]\n\
+                     \x20                  [--state-dir DIR] [--resume] [--events FILE]\n\
+                     \x20                  [--io-timeout-ms N] [--max-request-bytes N]\n\
+                     \x20                  [--chaos fault@ix,...] [--chaos-seed N]\n\
+                     Runs the newline-delimited-JSON simulation service until drained\n\
+                     (drain request, SIGTERM, or SIGINT). See docs/serving.md.\n\
+                     \x20 --addr          bind address; port 0 picks an ephemeral port (default 127.0.0.1:0)\n\
+                     \x20 --jobs          worker threads running sweeps (default 2)\n\
+                     \x20 --queue         queued-job bound; submissions past it shed with 503 (default 8)\n\
+                     \x20 --degrade-depth queue depth at which new jobs clamp to quick scale (default 4)\n\
+                     \x20 --state-dir     persist job specs + journals here (enables --resume)\n\
+                     \x20 --resume        reload persisted jobs from --state-dir at startup\n\
+                     \x20 --events        append vm-obs lifecycle events (JSONL) for serve-stats\n\
+                     \x20 --chaos         inject faults into every job's sweep (chaos testing)"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}` for serve (try --help)")),
+        }
+    }
+    if let Some(spec) = &chaos_spec {
+        config.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+    }
+    if config.resume && config.state_dir.is_none() {
+        return Err("--resume needs --state-dir (that is where jobs persist)".to_owned());
+    }
+    install_shutdown_handler();
+    let server = Server::start(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("no local address: {e}"))?;
+    // CI and scripts scrape this exact line for the ephemeral port.
+    println!("vm-serve listening on {addr}");
+    std::io::stdout().flush().ok();
+    let s = server.serve().map_err(|e| format!("serve failed: {e}"))?;
+    eprintln!(
+        "vm-serve drained: {} admitted, {} done, {} failed, {} cancelled, {} shed, {} pending",
+        s.admitted, s.done, s.failed_jobs, s.cancelled, s.shed, s.pending
+    );
+    if s.pending > 0 {
+        eprintln!("restart with --state-dir ... --resume to finish the pending job(s)");
+    }
+    Ok(())
+}
+
+/// The `serve-stats` subcommand: fold daemon event streams (possibly
+/// spanning several lifetimes) into a lifecycle report.
+fn serve_stats_cmd(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro serve-stats <events.jsonl>...\n\
+                     Folds vm-serve --events streams into admission/shed/latency telemetry.\n\
+                     Several files (daemon lifetimes) concatenate naturally."
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for serve-stats (try --help)"))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if paths.is_empty() {
+        return Err("serve-stats needs at least one events JSONL file".to_owned());
+    }
+    let mut text = String::new();
+    for path in &paths {
+        text.push_str(
+            &std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+        );
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+    }
+    let report = EventReport::from_jsonl(&text)?;
+    print!("{}", report.render());
+    Ok(())
+}
+
+/// The `serve-bench` subcommand: throughput baseline at 1 and 4 workers
+/// (the committed `BENCH_serve.json` body goes to stdout).
+fn serve_bench_cmd(args: &[String]) -> Result<(), String> {
+    let mut batch: usize = 8;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => {
+                batch = it
+                    .next()
+                    .ok_or("--batch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro serve-bench [--batch N]\n\
+                     Boots an in-process daemon at 1 then 4 workers, pushes N small sweep\n\
+                     jobs through the wire protocol, and prints BENCH_serve.json to stdout."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}` for serve-bench (try --help)")),
+        }
+    }
+    let mut points = Vec::new();
+    for workers in [1usize, 4] {
+        let p = throughput(workers, batch)?;
+        eprintln!(
+            "serve-bench: {} worker(s), {} jobs -> {:.2} jobs/s ({} ms)",
+            p.workers, p.jobs, p.jobs_per_sec, p.wall_ms
+        );
+        points.push(p);
+    }
+    println!("{}", bench_json(&points));
+    Ok(())
+}
+
 struct Options {
     scale: RunScale,
     threads: usize,
@@ -654,6 +859,21 @@ fn main() -> ExitCode {
             }
         };
     }
+    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench")) = args.first().map(String::as_str)
+    {
+        let run = match cmd {
+            "serve" => serve_cmd(&args[1..]),
+            "serve-stats" => serve_stats_cmd(&args[1..]),
+            _ => serve_bench_cmd(&args[1..]),
+        };
+        return match run {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("repro {cmd}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut opts = Options {
         scale: RunScale::DEFAULT,
         threads: parallelism(),
@@ -725,7 +945,8 @@ fn main() -> ExitCode {
                      telemetry:   --events writes a JSONL event stream, --chrome-trace a chrome://tracing\n\
                      \x20            document; either implies the `telemetry` experiment\n\
                      exploration: repro explore <spec.toml | dir> [--sweep key=v1,v2]... [--jobs N] (see explore --help)\n\
-                     one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)",
+                     one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)\n\
+                     service:     repro serve | serve-stats | serve-bench (see serve --help and docs/serving.md)",
                     registry::help_block()
                 );
                 return ExitCode::SUCCESS;

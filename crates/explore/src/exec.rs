@@ -33,7 +33,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vm_core::cost::CostModel;
@@ -82,6 +82,11 @@ pub struct HardenPolicy {
     pub point_budget: Option<u64>,
     /// Fault-injection plan (empty = no chaos).
     pub chaos: ChaosPlan,
+    /// Cooperative cancellation flag, checked between points. Once set,
+    /// points that have not started become [`FailureKind::Cancelled`]
+    /// failures (never journaled, so a resume re-runs them); points
+    /// already simulating finish and are journaled normally.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 /// One measured sweep point.
@@ -369,6 +374,18 @@ fn run_pending(
                 let mut rng = SplitMix64::new(steal_seed(w));
                 while let Some(ix) = next_point(w, queues, &mut rng) {
                     let point = &points[ix];
+                    if policy.cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        // Drain without simulating or journaling: the
+                        // missing journal entry is what makes a resume
+                        // re-run the point.
+                        let e = point_error(
+                            point,
+                            FailureKind::Cancelled,
+                            "sweep cancelled before this point ran",
+                        );
+                        *lock_slot(&slots[ix]) = Some((PointOutcome::Failed(e), 1));
+                        continue;
+                    }
                     let t0 = Instant::now();
                     let (outcome, tries) = measure_point_isolated(point, exec, policy);
                     if let Some(journal) = journal {
@@ -707,6 +724,42 @@ mod tests {
         assert_eq!(out.outcomes[0].error().unwrap().kind, FailureKind::Timeout);
         // Healthy points live comfortably inside the same budget.
         assert!(out.outcomes[1].completed().is_some());
+    }
+
+    #[test]
+    fn cancelled_sweeps_drain_without_simulating() {
+        let plan = tiny_plan();
+        let policy = HardenPolicy {
+            cancel: Some(Arc::new(AtomicBool::new(true))), // cancelled up front
+            ..HardenPolicy::default()
+        };
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert_eq!(out.failed_count(), 4);
+        for o in &out.outcomes {
+            assert_eq!(o.error().unwrap().kind, FailureKind::Cancelled);
+        }
+        // Seeded points stay merged even under cancellation.
+        let clean = run_sweep(&plan, &tiny_exec(1), &Reporter::silent(), &mut NopSink);
+        let seeded: BTreeMap<usize, PointResult> = [(1, clean[1].clone())].into();
+        let out = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &policy,
+            seeded,
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        assert_eq!(out.failed_count(), 3);
+        assert_eq!(out.outcomes[1].completed(), Some(&clean[1]));
     }
 
     #[test]

@@ -35,11 +35,14 @@ pub enum FailureKind {
     Timeout,
     /// A trace record failed validation (corrupt import or generator).
     CorruptTrace,
+    /// The point never ran: its sweep was cancelled (operator request or
+    /// daemon drain) before the point was reached.
+    Cancelled,
 }
 
 impl FailureKind {
     /// Every kind, for exhaustive tests and documentation tables.
-    pub const ALL: [FailureKind; 7] = [
+    pub const ALL: [FailureKind; 8] = [
         FailureKind::Spec,
         FailureKind::Workload,
         FailureKind::Build,
@@ -47,6 +50,7 @@ impl FailureKind {
         FailureKind::Io,
         FailureKind::Timeout,
         FailureKind::CorruptTrace,
+        FailureKind::Cancelled,
     ];
 
     /// The stable snake-case label used in journals and reports.
@@ -59,6 +63,7 @@ impl FailureKind {
             FailureKind::Io => "io",
             FailureKind::Timeout => "timeout",
             FailureKind::CorruptTrace => "corrupt_trace",
+            FailureKind::Cancelled => "cancelled",
         }
     }
 

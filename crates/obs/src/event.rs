@@ -140,6 +140,36 @@ pub enum Event {
         /// Points left to simulate (including journaled failures).
         remaining: u64,
     },
+    /// A `vm-serve` job passed admission control and entered the queue.
+    JobAdmitted {
+        /// The job's daemon-assigned id.
+        job: u64,
+        /// Jobs waiting in the queue at admission (this one included).
+        queue_depth: u64,
+        /// Whether the watermark downgraded the job to quick fidelity.
+        degraded: bool,
+    },
+    /// A `vm-serve` submission was shed (queue full or daemon draining).
+    JobShed {
+        /// Jobs waiting in the queue when the submission was refused.
+        queue_depth: u64,
+    },
+    /// A `vm-serve` job finished running (its points may have failed).
+    JobDone {
+        /// The job's daemon-assigned id.
+        job: u64,
+        /// Sweep points that completed.
+        points: u64,
+        /// Sweep points that failed, timed out, or were cancelled.
+        failed: u64,
+        /// Wall-clock milliseconds from admission to completion.
+        wall_ms: u64,
+    },
+    /// A `vm-serve` daemon began draining (stopped admitting work).
+    DrainStarted {
+        /// Jobs still queued or running when the drain began.
+        pending: u64,
+    },
 }
 
 impl Event {
@@ -158,6 +188,10 @@ impl Event {
             Event::PointFailed { .. } => "point_failed",
             Event::PointRetried { .. } => "point_retried",
             Event::RunResumed { .. } => "run_resumed",
+            Event::JobAdmitted { .. } => "job_admitted",
+            Event::JobShed { .. } => "job_shed",
+            Event::JobDone { .. } => "job_done",
+            Event::DrainStarted { .. } => "drain_started",
         }
     }
 
@@ -219,6 +253,23 @@ impl Event {
                 put("completed", completed.into());
                 put("remaining", remaining.into());
             }
+            Event::JobAdmitted { job, queue_depth, degraded } => {
+                put("job", job.into());
+                put("queue_depth", queue_depth.into());
+                put("degraded", Value::Bool(degraded));
+            }
+            Event::JobShed { queue_depth } => {
+                put("queue_depth", queue_depth.into());
+            }
+            Event::JobDone { job, points, failed, wall_ms } => {
+                put("job", job.into());
+                put("points", points.into());
+                put("failed", failed.into());
+                put("wall_ms", wall_ms.into());
+            }
+            Event::DrainStarted { pending } => {
+                put("pending", pending.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -252,6 +303,10 @@ mod tests {
             Event::PointFailed { index: 5, attempts: 3, timed_out: false },
             Event::PointRetried { index: 5, attempt: 2 },
             Event::RunResumed { completed: 19, remaining: 5 },
+            Event::JobAdmitted { job: 7, queue_depth: 3, degraded: true },
+            Event::JobShed { queue_depth: 8 },
+            Event::JobDone { job: 7, points: 4, failed: 1, wall_ms: 1250 },
+            Event::DrainStarted { pending: 2 },
         ]
     }
 

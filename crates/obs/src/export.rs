@@ -122,7 +122,11 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
             | Event::PointRetried { .. }
-            | Event::RunResumed { .. } => 7,
+            | Event::RunResumed { .. }
+            | Event::JobAdmitted { .. }
+            | Event::JobShed { .. }
+            | Event::JobDone { .. }
+            | Event::DrainStarted { .. } => 7,
         }
     }
 

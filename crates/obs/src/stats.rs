@@ -396,14 +396,17 @@ impl Sink for StatsSink {
             Event::TlbEviction { class, .. } => {
                 c.tlb_evictions[usize::from(class.is_data())] += 1;
             }
-            // Sweep lifecycle markers are emitted by the explore
-            // executor, outside any single simulation; there is nothing
-            // to aggregate per run.
+            // Sweep and serve lifecycle markers are emitted outside any
+            // single simulation; there is nothing to aggregate per run.
             Event::SweepStarted { .. }
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
             | Event::PointRetried { .. }
-            | Event::RunResumed { .. } => {}
+            | Event::RunResumed { .. }
+            | Event::JobAdmitted { .. }
+            | Event::JobShed { .. }
+            | Event::JobDone { .. }
+            | Event::DrainStarted { .. } => {}
         }
     }
 

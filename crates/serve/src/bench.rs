@@ -1,0 +1,150 @@
+//! The `serve-bench` throughput harness behind `BENCH_serve.json`.
+//!
+//! Boots an in-process daemon, pushes a batch of small sweep jobs
+//! through the full wire protocol (submit → poll → result → drain), and
+//! reports jobs/second. The committed baseline pins the two interesting
+//! worker counts (1 and 4) so a scheduling or admission regression shows
+//! up as a number, not a vibe.
+
+use std::sync::atomic::AtomicBool;
+
+use vm_obs::json::Value;
+
+use crate::client::Client;
+use crate::server::{ServeConfig, Server};
+
+/// One measured throughput point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchPoint {
+    /// Worker threads the daemon ran.
+    pub workers: usize,
+    /// Jobs pushed through.
+    pub jobs: usize,
+    /// Sweep points per job.
+    pub points_per_job: usize,
+    /// Wall time for the whole batch, milliseconds.
+    pub wall_ms: u64,
+    /// Jobs completed per second.
+    pub jobs_per_sec: f64,
+}
+
+/// A tiny but real sweep: ULTRIX × two TLB sizes at short run lengths.
+fn bench_submit() -> Value {
+    Value::obj([
+        ("req", "submit".into()),
+        ("spec", "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n".into()),
+        ("sweep", Value::Arr(vec!["tlb.entries=32,64".into()])),
+        ("warmup", 2_000u64.into()),
+        ("measure", 10_000u64.into()),
+    ])
+}
+
+/// Pushes `jobs` tiny sweeps through a fresh daemon with `workers`
+/// worker threads and measures end-to-end jobs/second.
+///
+/// # Errors
+///
+/// Returns a message when the daemon fails to start or the protocol
+/// round-trips fail.
+pub fn throughput(workers: usize, jobs: usize) -> Result<BenchPoint, String> {
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    let config = ServeConfig {
+        workers,
+        // Benchmarks measure throughput, not shedding: size the queue to
+        // the batch and park the degrade watermark above it.
+        queue_cap: jobs.max(1),
+        degrade_depth: jobs.max(1) + 1,
+        shutdown: Some(&NEVER),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("no local addr: {e}"))?;
+    let serve = std::thread::spawn(move || server.serve());
+
+    let run = || -> Result<(u64, f64), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let started = std::time::Instant::now();
+        let mut ids = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let resp = client.request(&bench_submit())?;
+            match resp.get("job").and_then(Value::as_u64) {
+                Some(id) => ids.push(id),
+                None => return Err(format!("submit rejected: {resp}")),
+            }
+        }
+        for id in ids {
+            loop {
+                let resp =
+                    client.request(&Value::obj([("req", "status".into()), ("job", id.into())]))?;
+                match resp.get("state").and_then(Value::as_str) {
+                    Some("done") => break,
+                    Some("failed") | Some("cancelled") => {
+                        return Err(format!("job {id} did not complete: {resp}"))
+                    }
+                    _ => std::thread::sleep(std::time::Duration::from_millis(2)),
+                }
+            }
+        }
+        let wall = started.elapsed();
+        let wall_ms = wall.as_millis().max(1) as u64;
+        let jobs_per_sec = jobs as f64 / wall.as_secs_f64().max(1e-9);
+        client.request(&Value::obj([("req", "drain".into())]))?;
+        Ok((wall_ms, jobs_per_sec))
+    };
+    let measured = run();
+    let _ = serve.join();
+    let (wall_ms, jobs_per_sec) = measured?;
+    Ok(BenchPoint { workers, jobs, points_per_job: 2, wall_ms, jobs_per_sec })
+}
+
+/// Renders the committed `BENCH_serve.json` body.
+pub fn bench_json(points: &[BenchPoint]) -> Value {
+    Value::obj([
+        ("schema", "vm-serve-bench/1".into()),
+        (
+            "results",
+            Value::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Value::obj([
+                            ("workers", (p.workers as u64).into()),
+                            ("jobs", (p.jobs as u64).into()),
+                            ("points_per_job", (p.points_per_job as u64).into()),
+                            ("wall_ms", p.wall_ms.into()),
+                            ("jobs_per_sec", ((p.jobs_per_sec * 100.0).round() / 100.0).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_schema_is_stable() {
+        let p = BenchPoint {
+            workers: 1,
+            jobs: 4,
+            points_per_job: 2,
+            wall_ms: 250,
+            jobs_per_sec: 16.004,
+        };
+        let v = bench_json(&[p]);
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("vm-serve-bench/1"));
+        let row = &v.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.get("workers").and_then(Value::as_u64), Some(1));
+        assert_eq!(row.get("jobs_per_sec").and_then(Value::as_f64), Some(16.0));
+    }
+
+    #[test]
+    fn throughput_round_trips_a_small_batch() {
+        let p = throughput(2, 3).unwrap();
+        assert_eq!((p.workers, p.jobs), (2, 3));
+        assert!(p.jobs_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! A minimal blocking NDJSON client, for tests, benches, and scripts.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use vm_obs::json::{self, Value};
+
+/// A connected protocol client: writes one request line, reads one
+/// response line.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a daemon with a default 30 s I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, carry: Vec::new() })
+    }
+
+    /// Sends `body` as one request line and parses the response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure, a closed connection, or an
+    /// unparseable response.
+    pub fn request(&mut self, body: &Value) -> Result<Value, String> {
+        self.request_line(&body.to_string())
+    }
+
+    /// Sends a raw request line (no trailing newline) and parses the
+    /// response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure, a closed connection, or an
+    /// unparseable response.
+    pub fn request_line(&mut self, line: &str) -> Result<Value, String> {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("write failed: {e}"))?;
+        let reply = self.read_line()?;
+        json::parse(reply.trim()).map_err(|e| format!("bad response: {e} in {reply:?}"))
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.carry.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.carry.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line).into_owned());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed by daemon".to_owned()),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, both single JSON
+//! objects. Requests carry a `req` field naming the operation; responses
+//! carry `ok` plus an HTTP-flavored `code` so shell clients can branch
+//! without parsing prose:
+//!
+//! ```text
+//! {"req":"submit","spec":"[mmu]\nkind=...","sweep":["tlb.entries=32,64"],"scale":"quick"}
+//! {"ok":true,"code":200,"job":1,"points":2,"degraded":false,"queue_depth":1}
+//! {"req":"status","job":1}
+//! {"req":"result","job":1}
+//! {"ok":false,"code":503,"shed":true,"error":"queue full (8 queued)"}
+//! ```
+//!
+//! The codes are a vocabulary, not an HTTP implementation: `200` served,
+//! `202` not finished yet, `400` malformed request or spec, `404`
+//! unknown job, `413` request line too large, `500` internal fault,
+//! `503` shed (queue full or daemon draining — always with
+//! `"shed":true` so overload is explicit, never silent).
+
+use vm_obs::json::{self, Value};
+
+/// Protocol version, reported by `health`.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A protocol-level rejection: status code plus human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// HTTP-flavored status code (400, 404, 413, 500, 503, ...).
+    pub code: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Builds an error with `code` and `message`.
+    pub fn new(code: u16, message: impl Into<String>) -> ProtoError {
+        ProtoError { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Requested run scale for a submitted sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Smoke-test lengths ([`vm_explore::ExecConfig::QUICK`]).
+    Quick,
+    /// Full experiment lengths ([`vm_explore::ExecConfig::DEFAULT`]).
+    #[default]
+    Default,
+}
+
+impl Scale {
+    /// The `(warmup, measure)` instruction counts this scale names.
+    pub fn lengths(self) -> (u64, u64) {
+        use vm_explore::ExecConfig;
+        match self {
+            Scale::Quick => (ExecConfig::QUICK.warmup, ExecConfig::QUICK.measure),
+            Scale::Default => (ExecConfig::DEFAULT.warmup, ExecConfig::DEFAULT.measure),
+        }
+    }
+}
+
+/// One submitted sweep: a spec, optional axes, and run-length knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubmitRequest {
+    /// The system spec, as TOML text (the same dialect `repro explore
+    /// --spec` reads).
+    pub spec: String,
+    /// Sweep axes in `key=v1,v2,...` grammar (empty = the base point).
+    pub sweep: Vec<String>,
+    /// Named run scale; explicit `warmup`/`measure` override it.
+    pub scale: Scale,
+    /// Explicit warm-up instruction count.
+    pub warmup: Option<u64>,
+    /// Explicit measured instruction count.
+    pub measure: Option<u64>,
+    /// Walk-cycle budget per point (None = unlimited).
+    pub point_budget: Option<u64>,
+    /// Retries for transient point failures.
+    pub retries: Option<u32>,
+    /// Free-form client tag, echoed in status responses.
+    pub tag: Option<String>,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a sweep for execution.
+    Submit(SubmitRequest),
+    /// Poll a job's lifecycle state and progress.
+    Status {
+        /// The job id to poll.
+        job: u64,
+    },
+    /// Fetch a finished job's results.
+    Result {
+        /// The job id to fetch.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id to cancel.
+        job: u64,
+    },
+    /// Liveness probe: daemon state and queue occupancy.
+    Health,
+    /// Lifetime counters and latency/queue-depth histograms.
+    Stats,
+    /// Stop admitting work and drain (same path as SIGTERM).
+    Drain,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a 400 [`ProtoError`] naming what was malformed or missing.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let bad = |msg: String| ProtoError::new(400, msg);
+    let v = json::parse(line).map_err(|e| bad(format!("bad JSON: {e}")))?;
+    let req = v
+        .get("req")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing `req` field".to_owned()))?;
+    let job = || {
+        v.get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad(format!("`{req}` needs a numeric `job` id")))
+    };
+    match req {
+        "submit" => Ok(Request::Submit(parse_submit(&v)?)),
+        "status" => Ok(Request::Status { job: job()? }),
+        "result" => Ok(Request::Result { job: job()? }),
+        "cancel" => Ok(Request::Cancel { job: job()? }),
+        "health" => Ok(Request::Health),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        other => Err(bad(format!("unknown request `{other}`"))),
+    }
+}
+
+fn parse_submit(v: &Value) -> Result<SubmitRequest, ProtoError> {
+    let bad = |msg: String| ProtoError::new(400, msg);
+    let spec = v
+        .get("spec")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("`submit` needs a `spec` string (TOML text)".to_owned()))?
+        .to_owned();
+    let sweep = match v.get("sweep") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_array()
+            .ok_or_else(|| bad("`sweep` must be an array of axis strings".to_owned()))?
+            .iter()
+            .map(|a| {
+                a.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| bad("`sweep` entries must be strings".to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let scale = match v.get("scale").and_then(Value::as_str) {
+        None => Scale::Default,
+        Some("quick") => Scale::Quick,
+        Some("default") => Scale::Default,
+        Some(other) => return Err(bad(format!("unknown scale `{other}` (quick|default)"))),
+    };
+    let int = |key: &str| -> Result<Option<u64>, ProtoError> {
+        match v.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(n) => n
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    Ok(SubmitRequest {
+        spec,
+        sweep,
+        scale,
+        warmup: int("warmup")?,
+        measure: int("measure")?,
+        point_budget: int("point_budget")?,
+        retries: int("retries")?.map(|r| r.min(u32::MAX as u64) as u32),
+        tag: v.get("tag").and_then(Value::as_str).map(str::to_owned),
+    })
+}
+
+/// Builds a success response: `ok:true`, `code:200`, then `fields`.
+pub fn ok_response(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    let mut pairs: Vec<(String, Value)> =
+        vec![("ok".to_owned(), Value::Bool(true)), ("code".to_owned(), 200u64.into())];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    Value::Obj(pairs)
+}
+
+/// Builds a failure response. Shed rejections (code 503) additionally
+/// carry `"shed":true` so overload is machine-distinguishable.
+pub fn error_response(e: &ProtoError) -> Value {
+    let mut pairs: Vec<(String, Value)> =
+        vec![("ok".to_owned(), Value::Bool(false)), ("code".to_owned(), u64::from(e.code).into())];
+    if e.code == 503 {
+        pairs.push(("shed".to_owned(), Value::Bool(true)));
+    }
+    pairs.push(("error".to_owned(), e.message.clone().into()));
+    Value::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_parses_with_defaults_and_overrides() {
+        let line = r#"{"req":"submit","spec":"[mmu]","sweep":["tlb.entries=32,64"],"scale":"quick","tag":"t1"}"#;
+        let Request::Submit(s) = parse_request(line).unwrap() else { panic!("not submit") };
+        assert_eq!(s.spec, "[mmu]");
+        assert_eq!(s.sweep, ["tlb.entries=32,64"]);
+        assert_eq!(s.scale, Scale::Quick);
+        assert_eq!(s.scale.lengths(), (200_000, 500_000));
+        assert_eq!(s.warmup, None);
+        assert_eq!(s.tag.as_deref(), Some("t1"));
+
+        let line = r#"{"req":"submit","spec":"x","warmup":1000,"measure":2000,"retries":2,"point_budget":500}"#;
+        let Request::Submit(s) = parse_request(line).unwrap() else { panic!("not submit") };
+        assert_eq!(s.scale, Scale::Default);
+        assert_eq!((s.warmup, s.measure), (Some(1000), Some(2000)));
+        assert_eq!(s.retries, Some(2));
+        assert_eq!(s.point_budget, Some(500));
+    }
+
+    #[test]
+    fn job_requests_need_a_numeric_id() {
+        for req in ["status", "result", "cancel"] {
+            let ok = parse_request(&format!(r#"{{"req":"{req}","job":7}}"#)).unwrap();
+            match ok {
+                Request::Status { job } | Request::Result { job } | Request::Cancel { job } => {
+                    assert_eq!(job, 7)
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            let err = parse_request(&format!(r#"{{"req":"{req}","job":"x"}}"#)).unwrap_err();
+            assert_eq!(err.code, 400);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        for line in [
+            "not json",
+            "{}",
+            r#"{"req":"warp"}"#,
+            r#"{"req":"submit"}"#,
+            r#"{"req":"submit","spec":"x","scale":"warp"}"#,
+            r#"{"req":"submit","spec":"x","sweep":"not-an-array"}"#,
+            r#"{"req":"submit","spec":"x","warmup":-4}"#,
+        ] {
+            assert_eq!(parse_request(line).unwrap_err().code, 400, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_carry_ok_code_and_shed_marker() {
+        let ok = ok_response([("job", 3u64.into())]);
+        assert_eq!(ok.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(ok.get("code").and_then(Value::as_u64), Some(200));
+        assert_eq!(ok.get("job").and_then(Value::as_u64), Some(3));
+
+        let shed = error_response(&ProtoError::new(503, "queue full"));
+        assert_eq!(shed.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(shed.get("shed"), Some(&Value::Bool(true)));
+        let not_found = error_response(&ProtoError::new(404, "no job 9"));
+        assert_eq!(not_found.get("shed"), None);
+        // Responses are valid single-line JSON (the framing invariant).
+        assert!(json::parse(&shed.to_string()).is_ok());
+        assert!(!not_found.to_string().contains('\n'));
+    }
+}

@@ -1,0 +1,182 @@
+//! The `serve-stats` report: daemon lifecycle telemetry from an obs
+//! JSONL event stream.
+//!
+//! The daemon appends one JSON line per `job_admitted` / `job_shed` /
+//! `job_done` / `drain_started` event (`--events FILE`). This module
+//! folds such a stream back into counters and [`LogHist`] distributions
+//! of queue depth and job latency — the offline twin of the live
+//! `stats` request, and it survives the daemon: streams from several
+//! daemon lifetimes concatenate naturally.
+
+use vm_obs::json::{self, Value};
+use vm_obs::LogHist;
+
+/// Aggregated lifecycle telemetry from one or more event streams.
+#[derive(Debug, Clone, Default)]
+pub struct EventReport {
+    /// Event lines consumed (all kinds, including non-serve events).
+    pub lines: u64,
+    /// `job_admitted` events.
+    pub admitted: u64,
+    /// ... of which were admitted at degraded fidelity.
+    pub degraded: u64,
+    /// `job_shed` events.
+    pub shed: u64,
+    /// `job_done` events.
+    pub done: u64,
+    /// ... of which reported at least one failed point.
+    pub with_failures: u64,
+    /// Total points completed across finished jobs.
+    pub points: u64,
+    /// Total failed points across finished jobs.
+    pub failed_points: u64,
+    /// `drain_started` events.
+    pub drains: u64,
+    /// Jobs pending at the most recent drain.
+    pub last_drain_pending: u64,
+    /// Queue depth at each admission and shed decision.
+    pub queue_depth: LogHist,
+    /// Job wall time, milliseconds.
+    pub latency_ms: LogHist,
+}
+
+impl EventReport {
+    /// Folds a JSONL event stream (possibly spanning several daemon
+    /// lifetimes) into a report. Non-serve events are counted in
+    /// `lines` and otherwise ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed non-empty line.
+    pub fn from_jsonl(text: &str) -> Result<EventReport, String> {
+        let mut report = EventReport::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("event line {}: {e}", i + 1))?;
+            report.lines += 1;
+            let int = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+            match v.get("ev").and_then(Value::as_str) {
+                Some("job_admitted") => {
+                    report.admitted += 1;
+                    if matches!(v.get("degraded"), Some(Value::Bool(true))) {
+                        report.degraded += 1;
+                    }
+                    report.queue_depth.record(int("queue_depth"));
+                }
+                Some("job_shed") => {
+                    report.shed += 1;
+                    report.queue_depth.record(int("queue_depth"));
+                }
+                Some("job_done") => {
+                    report.done += 1;
+                    report.points += int("points");
+                    let failed = int("failed");
+                    report.failed_points += failed;
+                    if failed > 0 {
+                        report.with_failures += 1;
+                    }
+                    report.latency_ms.record(int("wall_ms").max(1));
+                }
+                Some("drain_started") => {
+                    report.drains += 1;
+                    report.last_drain_pending = int("pending");
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("vm-serve event report — {} event line(s)\n", self.lines));
+        out.push_str(&format!(
+            "  jobs     admitted {} ({} degraded), done {} ({} with failed points), shed {}\n",
+            self.admitted, self.degraded, self.done, self.with_failures, self.shed
+        ));
+        out.push_str(&format!(
+            "  points   {} completed, {} failed\n",
+            self.points, self.failed_points
+        ));
+        match self.queue_depth.count() {
+            0 => out.push_str("  queue    (no admission decisions recorded)\n"),
+            _ => out.push_str(&format!(
+                "  queue    {}   (depth at admission/shed)\n",
+                self.queue_depth.summary()
+            )),
+        }
+        match self.latency_ms.count() {
+            0 => out.push_str("  latency  (no finished jobs recorded)\n"),
+            _ => {
+                out.push_str(&format!("  latency  {}   (job wall ms)\n", self.latency_ms.summary()))
+            }
+        }
+        match self.drains {
+            0 => out.push_str("  drains   none\n"),
+            n => out.push_str(&format!(
+                "  drains   {n}, last with {} job(s) pending\n",
+                self.last_drain_pending
+            )),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_obs::{Event, JsonlSink, Sink};
+
+    fn sample_stream() -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            Event::JobAdmitted { job: 1, queue_depth: 1, degraded: false },
+            Event::JobAdmitted { job: 2, queue_depth: 2, degraded: true },
+            Event::JobShed { queue_depth: 2 },
+            Event::JobDone { job: 1, points: 4, failed: 0, wall_ms: 120 },
+            Event::JobDone { job: 2, points: 3, failed: 1, wall_ms: 80 },
+            Event::DrainStarted { pending: 1 },
+        ];
+        for (t, ev) in events.iter().enumerate() {
+            sink.emit(t as u64, ev);
+        }
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folds_the_lifecycle_counters_and_histograms() {
+        let r = EventReport::from_jsonl(&sample_stream()).unwrap();
+        assert_eq!((r.lines, r.admitted, r.degraded, r.shed), (6, 2, 1, 1));
+        assert_eq!((r.done, r.with_failures), (2, 1));
+        assert_eq!((r.points, r.failed_points), (7, 1));
+        assert_eq!((r.drains, r.last_drain_pending), (1, 1));
+        assert_eq!(r.queue_depth.count(), 3); // two admissions + one shed
+        assert_eq!(r.latency_ms.count(), 2);
+    }
+
+    #[test]
+    fn foreign_events_are_tolerated_and_garbage_is_not() {
+        let mut text = sample_stream();
+        text.push_str("{\"t\":9,\"ev\":\"sweep_started\",\"points\":4,\"axes\":1,\"jobs\":2}\n");
+        text.push('\n'); // blank lines are fine
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!(r.lines, 7);
+        assert_eq!(r.admitted, 2);
+        assert!(EventReport::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = EventReport::from_jsonl(&sample_stream()).unwrap();
+        let text = r.render();
+        for needle in ["jobs", "points", "queue", "latency", "drains   1"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let empty = EventReport::from_jsonl("").unwrap();
+        assert!(empty.render().contains("no admission decisions"));
+    }
+}

@@ -1,0 +1,978 @@
+//! The daemon: listener, admission control, worker pool, graceful drain.
+//!
+//! Structure: one accept loop (non-blocking, polling the drain and
+//! external-shutdown flags), detached connection threads speaking the
+//! [`crate::proto`] line protocol, and a fixed pool of worker threads
+//! draining a bounded job queue. All mutable state lives under a single
+//! mutex (queue + job registry + id counter), so admission checks and
+//! queue pushes are atomic and lock ordering is trivial.
+//!
+//! Robustness invariants:
+//!
+//! * **Admission control** — the queue is bounded; a submission past the
+//!   cap (or while draining) is rejected with an explicit `503` +
+//!   `"shed":true`, never silently dropped or unboundedly buffered.
+//! * **Degraded fidelity** — past the degrade watermark, new jobs are
+//!   clamped to quick run lengths; the clamp is recorded in the job, in
+//!   the submit response, and in the persisted state file (so a resumed
+//!   job reruns at the *same* fidelity, keeping bit-identity).
+//! * **Isolation** — each job runs under `catch_unwind` on top of the
+//!   per-point isolation `run_sweep_hardened` already provides; a
+//!   connection handler panic answers `500` and the daemon lives on.
+//! * **Drain** — SIGTERM (via the external flag) and the `drain` request
+//!   take the same path: stop admitting, cancel running sweeps
+//!   cooperatively (the in-flight point finishes and is journaled),
+//!   join workers, flush telemetry, and report a summary. Queued and
+//!   interrupted jobs are re-queued from the state directory on restart
+//!   (`resume`), and their merged results are bit-identical to an
+//!   uninterrupted run.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use vm_explore::{run_header, run_sweep_hardened, seeded_from_journal, HardenPolicy, PointResult};
+use vm_harden::{
+    classify_panic, quiet_panics, ChaosPlan, FailureKind, Journal, JournalWriter, RetryPolicy,
+    SimError, SyncWrite,
+};
+use vm_obs::json::Value;
+use vm_obs::{Event, JsonlSink, LogHist, NopSink, Reporter, Sink};
+
+use crate::job::{JobOutcome, JobSpec, JobState};
+use crate::proto::{
+    self, ok_response, parse_request, ProtoError, Request, Scale, SubmitRequest, PROTO_VERSION,
+};
+
+/// Tuning and policy for one daemon instance.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads running jobs (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs; submissions past this shed.
+    pub queue_cap: usize,
+    /// Queue depth at or past which new jobs degrade to quick scale.
+    pub degrade_depth: usize,
+    /// State directory for job specs and journals; `None` disables
+    /// persistence (and therefore restart/resume).
+    pub state_dir: Option<PathBuf>,
+    /// Reload persisted jobs from `state_dir` at startup.
+    pub resume: bool,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Largest accepted request line, in bytes; longer requests answer
+    /// `413` and the connection closes.
+    pub max_request_bytes: usize,
+    /// Fault injection applied to every job's sweep (chaos testing).
+    pub chaos: ChaosPlan,
+    /// Path for the vm-obs JSONL event stream (appended).
+    pub events: Option<PathBuf>,
+    /// External shutdown flag: the binary's SIGTERM handler sets it and
+    /// the accept loop treats it exactly like a `drain` request.
+    pub shutdown: Option<&'static AtomicBool>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_cap: 8,
+            degrade_depth: 4,
+            state_dir: None,
+            resume: false,
+            io_timeout: Duration::from_secs(10),
+            max_request_bytes: 1 << 20,
+            chaos: ChaosPlan::default(),
+            events: None,
+            shutdown: None,
+        }
+    }
+}
+
+/// Lifetime counters and distributions — the `stats` response body.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Jobs that passed admission.
+    pub admitted: u64,
+    /// Submissions shed (queue full or draining).
+    pub shed: u64,
+    /// Jobs admitted at degraded fidelity.
+    pub degraded: u64,
+    /// Jobs that finished running.
+    pub done: u64,
+    /// Jobs that died at the job level.
+    pub failed_jobs: u64,
+    /// Jobs cancelled (by request or drain).
+    pub cancelled: u64,
+    /// Queue depth observed at each admission and shed decision.
+    pub queue_depth: LogHist,
+    /// Job wall time, milliseconds, admission to completion.
+    pub latency_ms: LogHist,
+}
+
+impl ServeStats {
+    /// Serializes for the `stats` response.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("admitted", self.admitted.into()),
+            ("shed", self.shed.into()),
+            ("degraded", self.degraded.into()),
+            ("done", self.done.into()),
+            ("failed_jobs", self.failed_jobs.into()),
+            ("cancelled", self.cancelled.into()),
+            ("queue_depth", self.queue_depth.to_json()),
+            ("latency_ms", self.latency_ms.to_json()),
+        ])
+    }
+}
+
+/// What a drained daemon did over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Submissions shed.
+    pub shed: u64,
+    /// Jobs finished.
+    pub done: u64,
+    /// Jobs failed at the job level.
+    pub failed_jobs: u64,
+    /// Jobs cancelled (request or drain).
+    pub cancelled: u64,
+    /// Jobs still queued at exit (resumable from the state directory).
+    pub pending: u64,
+}
+
+/// One admitted job and its live bookkeeping.
+#[derive(Debug)]
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    /// Cooperative cancel flag, shared with the running sweep.
+    cancel: Arc<AtomicBool>,
+    total_points: usize,
+    /// Points finished so far (journal lines observed), for status.
+    done_points: Arc<AtomicU64>,
+    outcome: Option<JobOutcome>,
+    /// Job-level failure detail, when `state == Failed`.
+    error: Option<String>,
+    wall_ms: Option<u64>,
+}
+
+/// All mutable registry state, under one lock.
+struct State {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+    draining: AtomicBool,
+    sink: Mutex<Option<JsonlSink<File>>>,
+    /// Event sequence counter (the `t` of daemon lifecycle events).
+    seq: AtomicU64,
+    stats: Mutex<ServeStats>,
+}
+
+impl Shared {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_stats(&self) -> MutexGuard<'_, ServeStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one lifecycle event to the JSONL stream (when configured).
+    fn emit(&self, ev: Event) {
+        let mut guard = self.sink.lock().unwrap_or_else(|e| e.into_inner());
+        let now = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = guard.as_mut() {
+            sink.emit(now, &ev);
+        }
+    }
+
+    fn job_file(&self, id: u64) -> Option<PathBuf> {
+        self.config.state_dir.as_ref().map(|d| d.join(format!("job-{id:06}.json")))
+    }
+
+    fn journal_file(&self, id: u64) -> Option<PathBuf> {
+        self.config.state_dir.as_ref().map(|d| d.join(format!("job-{id:06}.journal")))
+    }
+
+    fn cancel_marker(&self, id: u64) -> Option<PathBuf> {
+        self.config.state_dir.as_ref().map(|d| d.join(format!("job-{id:06}.cancel")))
+    }
+}
+
+/// A bound daemon, ready to [`Server::serve`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener, opens the event stream, and (with
+    /// `config.resume`) reloads persisted jobs from the state directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, state-directory, and event-file failures.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        if let Some(dir) = &config.state_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let sink = match &config.events {
+            Some(path) => {
+                let file = OpenOptions::new().create(true).append(true).open(path)?;
+                Some(JsonlSink::new(file))
+            }
+            None => None,
+        };
+        let resume = config.resume;
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(State { queue: VecDeque::new(), jobs: BTreeMap::new(), next_id: 1 }),
+            wake: Condvar::new(),
+            draining: AtomicBool::new(false),
+            sink: Mutex::new(sink),
+            seq: AtomicU64::new(0),
+            stats: Mutex::new(ServeStats::default()),
+        });
+        if resume {
+            resume_jobs(&shared)?;
+        }
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound socket address (read it before [`Server::serve`] when
+    /// binding to an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until drained (by a `drain` request or the
+    /// external shutdown flag), then joins workers, flushes telemetry,
+    /// and returns the lifetime summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures; per-connection and per-job
+    /// failures never surface here.
+    pub fn serve(self) -> io::Result<ServeSummary> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        loop {
+            if shared.draining.load(Ordering::Relaxed)
+                || shared.config.shutdown.is_some_and(|f| f.load(Ordering::Relaxed))
+            {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    // Detached: a slow or stuck client costs one thread
+                    // bounded by the I/O timeout, never the accept loop.
+                    let _ = std::thread::Builder::new()
+                        .name("serve-conn".to_owned())
+                        .spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (EMFILE, ECONNABORTED...):
+                    // back off but keep the listener alive.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        initiate_drain(&shared);
+        drop(listener);
+        for handle in workers {
+            let _ = handle.join();
+        }
+        if let Some(sink) = shared.sink.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = sink.finish();
+        }
+        let pending = shared.lock_state().queue.len() as u64;
+        let stats = shared.lock_stats();
+        Ok(ServeSummary {
+            admitted: stats.admitted,
+            shed: stats.shed,
+            done: stats.done,
+            failed_jobs: stats.failed_jobs,
+            cancelled: stats.cancelled,
+            pending,
+        })
+    }
+}
+
+/// Flips the daemon into draining mode exactly once: stop admitting,
+/// cancel running sweeps cooperatively, wake idle workers.
+fn initiate_drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let pending = {
+        let mut st = shared.lock_state();
+        let mut pending = st.queue.len() as u64;
+        for job in st.jobs.values_mut() {
+            if job.state == JobState::Running {
+                job.cancel.store(true, Ordering::Relaxed);
+                pending += 1;
+            }
+        }
+        pending
+    };
+    shared.emit(Event::DrainStarted { pending });
+    shared.wake.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // Expected unwinds (chaos, deadlines) are caught and classified;
+    // keep the hook from spraying a backtrace banner per isolated fault.
+    let _quiet = quiet_panics();
+    loop {
+        let id = {
+            let mut st = shared.lock_state();
+            loop {
+                if shared.draining.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    break id;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+/// Runs one job end to end: state transitions, journal, isolation,
+/// terminal event, and stats.
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    let (spec, cancel, done_points) = {
+        let mut st = shared.lock_state();
+        let Some(job) = st.jobs.get_mut(&id) else { return };
+        if job.state != JobState::Queued {
+            return; // cancelled while queued
+        }
+        job.state = JobState::Running;
+        (job.spec.clone(), Arc::clone(&job.cancel), Arc::clone(&job.done_points))
+    };
+    let started = Instant::now();
+    let ran = catch_unwind(AssertUnwindSafe(|| execute_job(shared, &spec, &cancel, &done_points)));
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let (state, points, failed) = {
+        let mut st = shared.lock_state();
+        let job = st.jobs.get_mut(&id).expect("running job stays registered");
+        let state = match ran {
+            Ok(Ok(outcome)) => {
+                let was_cancelled = cancel.load(Ordering::Relaxed)
+                    && outcome.failures.iter().any(|e| e.kind == FailureKind::Cancelled);
+                let state = if was_cancelled { JobState::Cancelled } else { JobState::Done };
+                job.done_points.store(outcome.results.len() as u64, Ordering::Relaxed);
+                job.outcome = Some(outcome);
+                state
+            }
+            Ok(Err(detail)) => {
+                job.error = Some(detail);
+                JobState::Failed
+            }
+            Err(payload) => {
+                let (_, detail) = classify_panic(payload);
+                job.error = Some(format!("job panicked outside point isolation: {detail}"));
+                JobState::Failed
+            }
+        };
+        job.state = state;
+        job.wall_ms = Some(wall_ms);
+        let (points, failed) = match &job.outcome {
+            Some(out) => (out.results.len() as u64, out.failures.len() as u64),
+            None => (0, spec_points(&job.spec) as u64),
+        };
+        (state, points, failed)
+    };
+    shared.emit(Event::JobDone { job: id, points, failed, wall_ms });
+    let mut stats = shared.lock_stats();
+    stats.latency_ms.record(wall_ms.max(1));
+    match state {
+        JobState::Done => stats.done += 1,
+        JobState::Cancelled => stats.cancelled += 1,
+        _ => stats.failed_jobs += 1,
+    }
+}
+
+/// Point count for a job whose outcome is unavailable (best effort).
+fn spec_points(spec: &JobSpec) -> usize {
+    spec.plan().map(|p| p.points.len()).unwrap_or(0)
+}
+
+/// The fallible body of a job: plan, seed from any existing journal,
+/// run the hardened sweep, finish the journal.
+fn execute_job(
+    shared: &Shared,
+    spec: &JobSpec,
+    cancel: &Arc<AtomicBool>,
+    done_points: &Arc<AtomicU64>,
+) -> Result<JobOutcome, String> {
+    let plan = spec.plan()?;
+    let exec = spec.exec();
+    let (seeded, fresh) = match shared.journal_file(spec.id) {
+        Some(path) if path.exists() => {
+            let journal = Journal::load(&path)?;
+            let seeded = seeded_from_journal(&journal, &plan, &exec)?;
+            (seeded, journal.header.is_none())
+        }
+        _ => (BTreeMap::new(), true),
+    };
+    done_points.store(seeded.len() as u64, Ordering::Relaxed);
+
+    let counting = CountingWrite::new(open_journal_target(shared, spec.id)?, done_points);
+    let mut writer = JournalWriter::boxed(counting);
+    if fresh {
+        writer.header(&run_header(&plan, &exec));
+    }
+    let journal = Mutex::new(writer);
+
+    let policy = HardenPolicy {
+        retry: RetryPolicy { retries: spec.retries, backoff_base_ms: 0, backoff_cap_ms: 0 },
+        point_budget: spec.point_budget,
+        chaos: shared.config.chaos.clone(),
+        cancel: Some(Arc::clone(cancel)),
+    };
+    let outcome = run_sweep_hardened(
+        &plan,
+        &exec,
+        &policy,
+        seeded,
+        &Reporter::silent(),
+        &mut NopSink,
+        Some(&journal),
+    );
+    // A broken journal must not fail the job (results are still valid);
+    // it only costs resume coverage, and the writer already went inert.
+    let _ = journal.into_inner().unwrap_or_else(|e| e.into_inner()).finish();
+    let resumed = outcome.resumed;
+    let (results, failures) = outcome.into_parts();
+    Ok(JobOutcome { results, failures, resumed })
+}
+
+fn open_journal_target(shared: &Shared, id: u64) -> Result<Box<dyn SyncWrite + Send>, String> {
+    match shared.journal_file(id) {
+        Some(path) => {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+            Ok(Box::new(file))
+        }
+        None => Ok(Box::new(NullSync)),
+    }
+}
+
+/// A sync-writer that discards everything (journaling without a state
+/// directory still drives live progress counting).
+#[derive(Debug, Default)]
+struct NullSync;
+
+impl Write for NullSync {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SyncWrite for NullSync {}
+
+/// Counts journaled point lines as they stream past, so `status` can
+/// report live progress without touching the sweep executor.
+struct CountingWrite {
+    inner: Box<dyn SyncWrite + Send>,
+    done: Arc<AtomicU64>,
+}
+
+impl CountingWrite {
+    fn new(inner: Box<dyn SyncWrite + Send>, done: &Arc<AtomicU64>) -> CountingWrite {
+        CountingWrite { inner, done: Arc::clone(done) }
+    }
+}
+
+impl Write for CountingWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // The journal writer appends exactly one line per call; count
+        // point entries (not the run header) toward progress.
+        if buf.starts_with(b"{\"j\":\"point\"") {
+            self.done.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl SyncWrite for CountingWrite {
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resume
+// ---------------------------------------------------------------------------
+
+/// Reloads persisted jobs: finished jobs become queryable again,
+/// cancelled jobs stay cancelled, everything else re-queues (seeding
+/// from its journal at run time, so completed points never re-simulate).
+fn resume_jobs(shared: &Arc<Shared>) -> io::Result<()> {
+    let Some(dir) = shared.config.state_dir.clone() else { return Ok(()) };
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name.strip_prefix("job-").and_then(|s| s.strip_suffix(".json")) {
+            if let Ok(id) = id.parse::<u64>() {
+                ids.push(id);
+            }
+        }
+    }
+    ids.sort_unstable();
+    let mut st = shared.lock_state();
+    for id in ids {
+        let path = dir.join(format!("job-{id:06}.json"));
+        let job = match load_persisted_job(shared, &path, id) {
+            Ok(job) => job,
+            Err(detail) => Job {
+                spec: JobSpec {
+                    id,
+                    tag: None,
+                    spec_toml: String::new(),
+                    sweep: Vec::new(),
+                    warmup: 0,
+                    measure: 0,
+                    degraded: false,
+                    point_budget: None,
+                    retries: 0,
+                },
+                state: JobState::Failed,
+                cancel: Arc::new(AtomicBool::new(false)),
+                total_points: 0,
+                done_points: Arc::new(AtomicU64::new(0)),
+                outcome: None,
+                error: Some(detail),
+                wall_ms: None,
+            },
+        };
+        if job.state == JobState::Queued {
+            st.queue.push_back(id);
+        }
+        st.next_id = st.next_id.max(id + 1);
+        st.jobs.insert(id, job);
+    }
+    Ok(())
+}
+
+/// Rebuilds one job from its state files and classifies it.
+fn load_persisted_job(shared: &Shared, path: &Path, id: u64) -> Result<Job, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read job file {}: {e}", path.display()))?;
+    let value = vm_obs::json::parse(text.trim())
+        .map_err(|e| format!("corrupt job file {}: {e}", path.display()))?;
+    let spec = JobSpec::from_json(&value)?;
+    if spec.id != id {
+        return Err(format!("job file {} claims id {}", path.display(), spec.id));
+    }
+    let plan = spec.plan()?;
+    let exec = spec.exec();
+    let total = plan.points.len();
+
+    let seeded = match shared.journal_file(id) {
+        Some(journal_path) if journal_path.exists() => {
+            let journal = Journal::load(&journal_path)?;
+            if journal.header.is_none() {
+                BTreeMap::new()
+            } else {
+                seeded_from_journal(&journal, &plan, &exec)?
+            }
+        }
+        _ => BTreeMap::new(),
+    };
+    let cancelled = shared.cancel_marker(id).is_some_and(|m| m.exists());
+    let seeded_count = seeded.len() as u64;
+
+    let (state, outcome) = if seeded.len() == total {
+        // Every point is journaled as done: the job finished, even if
+        // the daemon died before answering `result`.
+        let results: Vec<PointResult> = seeded.into_values().collect();
+        let n = results.len();
+        (JobState::Done, Some(JobOutcome { results, failures: Vec::new(), resumed: n }))
+    } else if cancelled {
+        let results: Vec<PointResult> = seeded.values().cloned().collect();
+        let n = results.len();
+        let failures = plan
+            .points
+            .iter()
+            .filter(|p| !seeded.contains_key(&p.index))
+            .map(|p| {
+                let mut e = SimError::new(p.label.clone(), FailureKind::Cancelled, "job cancelled");
+                e.settings = p.settings.clone();
+                e
+            })
+            .collect();
+        (JobState::Cancelled, Some(JobOutcome { results, failures, resumed: n }))
+    } else {
+        (JobState::Queued, None)
+    };
+
+    let done = outcome.as_ref().map(|o| o.results.len() as u64).unwrap_or(seeded_count);
+    Ok(Job {
+        spec,
+        state,
+        cancel: Arc::new(AtomicBool::new(false)),
+        total_points: total,
+        done_points: Arc::new(AtomicU64::new(done)),
+        outcome,
+        error: None,
+        wall_ms: None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Connections and request dispatch
+// ---------------------------------------------------------------------------
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let max = shared.config.max_request_bytes;
+    let mut carry: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = carry.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let response = respond(shared, text);
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        if carry.len() > max {
+            let e = ProtoError::new(413, format!("request exceeds {max} bytes"));
+            let _ = write_line(&mut stream, &proto::error_response(&e));
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            // Timeout or reset: drop the connection, never the daemon.
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, v: &Value) -> io::Result<()> {
+    stream.write_all(format!("{v}\n").as_bytes())
+}
+
+/// Parses and dispatches one request line. A handler panic answers
+/// `500`; the connection (and daemon) live on.
+fn respond(shared: &Arc<Shared>, line: &str) -> Value {
+    let handled = catch_unwind(AssertUnwindSafe(|| {
+        parse_request(line).and_then(|req| dispatch(shared, req))
+    }));
+    match handled {
+        Ok(Ok(v)) => v,
+        Ok(Err(e)) => proto::error_response(&e),
+        Err(_) => proto::error_response(&ProtoError::new(500, "internal error handling request")),
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, req: Request) -> Result<Value, ProtoError> {
+    match req {
+        Request::Submit(submit) => handle_submit(shared, submit),
+        Request::Status { job } => handle_status(shared, job),
+        Request::Result { job } => handle_result(shared, job),
+        Request::Cancel { job } => handle_cancel(shared, job),
+        Request::Health => Ok(handle_health(shared)),
+        Request::Stats => Ok(handle_stats(shared)),
+        Request::Drain => {
+            initiate_drain(shared);
+            let st = shared.lock_state();
+            Ok(ok_response([
+                ("draining", Value::Bool(true)),
+                ("pending", (st.queue.len() as u64).into()),
+            ]))
+        }
+    }
+}
+
+/// Records a shed decision (event + counters) and builds its 503.
+fn shed(shared: &Shared, depth: usize, why: String) -> ProtoError {
+    shared.emit(Event::JobShed { queue_depth: depth as u64 });
+    let mut stats = shared.lock_stats();
+    stats.shed += 1;
+    stats.queue_depth.record(depth as u64);
+    ProtoError::new(503, why)
+}
+
+fn handle_submit(shared: &Arc<Shared>, req: SubmitRequest) -> Result<Value, ProtoError> {
+    if shared.draining.load(Ordering::Relaxed) {
+        let depth = shared.lock_state().queue.len();
+        return Err(shed(shared, depth, "daemon is draining".to_owned()));
+    }
+    // Resolve requested run lengths before taking any lock.
+    let (mut warmup, mut measure) = req.scale.lengths();
+    if let Some(w) = req.warmup {
+        warmup = w;
+    }
+    if let Some(m) = req.measure {
+        measure = m;
+    }
+    // Validate the plan outside the lock too: a malformed spec must cost
+    // this request alone (and a panic in parsing answers 500 upstream).
+    let probe = JobSpec {
+        id: 0,
+        tag: None,
+        spec_toml: req.spec.clone(),
+        sweep: req.sweep.clone(),
+        warmup,
+        measure,
+        degraded: false,
+        point_budget: req.point_budget,
+        retries: req.retries.unwrap_or(0),
+    };
+    let total_points = probe.plan().map_err(|e| ProtoError::new(400, e))?.points.len();
+
+    let (id, depth, degraded) = {
+        let mut st = shared.lock_state();
+        if shared.draining.load(Ordering::Relaxed) {
+            let depth = st.queue.len();
+            drop(st);
+            return Err(shed(shared, depth, "daemon is draining".to_owned()));
+        }
+        if st.queue.len() >= shared.config.queue_cap {
+            let depth = st.queue.len();
+            drop(st);
+            return Err(shed(shared, depth, format!("queue full ({depth} queued)")));
+        }
+        // Degraded fidelity: past the watermark, clamp new jobs to quick
+        // scale. Recorded in the job (and its state file) so a resumed
+        // job reruns at the same lengths — bit-identity survives drains.
+        let (quick_w, quick_m) = Scale::Quick.lengths();
+        let (eff_w, eff_m) = if st.queue.len() >= shared.config.degrade_depth {
+            (warmup.min(quick_w), measure.min(quick_m))
+        } else {
+            (warmup, measure)
+        };
+        let degraded = (eff_w, eff_m) != (warmup, measure);
+        let id = st.next_id;
+        st.next_id += 1;
+        let spec = JobSpec {
+            id,
+            tag: req.tag.clone(),
+            spec_toml: req.spec,
+            sweep: req.sweep,
+            warmup: eff_w,
+            measure: eff_m,
+            degraded,
+            point_budget: req.point_budget,
+            retries: req.retries.unwrap_or(0),
+        };
+        if let Some(path) = shared.job_file(id) {
+            // Persist before acknowledging: an admitted job must survive
+            // a kill, or "202 accepted" would be a lie.
+            std::fs::write(&path, format!("{}\n", spec.to_json()))
+                .map_err(|e| ProtoError::new(500, format!("cannot persist job state: {e}")))?;
+        }
+        st.jobs.insert(
+            id,
+            Job {
+                spec,
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                total_points,
+                done_points: Arc::new(AtomicU64::new(0)),
+                outcome: None,
+                error: None,
+                wall_ms: None,
+            },
+        );
+        st.queue.push_back(id);
+        let depth = st.queue.len();
+        shared.wake.notify_one();
+        (id, depth, degraded)
+    };
+    shared.emit(Event::JobAdmitted { job: id, queue_depth: depth as u64, degraded });
+    {
+        let mut stats = shared.lock_stats();
+        stats.admitted += 1;
+        if degraded {
+            stats.degraded += 1;
+        }
+        stats.queue_depth.record(depth as u64);
+    }
+    Ok(ok_response([
+        ("job", id.into()),
+        ("points", (total_points as u64).into()),
+        ("degraded", Value::Bool(degraded)),
+        ("queue_depth", (depth as u64).into()),
+    ]))
+}
+
+fn handle_status(shared: &Shared, id: u64) -> Result<Value, ProtoError> {
+    let st = shared.lock_state();
+    let job = st.jobs.get(&id).ok_or_else(|| ProtoError::new(404, format!("no job {id}")))?;
+    let failed = job.outcome.as_ref().map(|o| o.failures.len() as u64);
+    Ok(ok_response([
+        ("job", id.into()),
+        ("state", job.state.label().into()),
+        ("tag", job.spec.tag.clone().map_or(Value::Null, Value::Str)),
+        ("points", (job.total_points as u64).into()),
+        ("done", job.done_points.load(Ordering::Relaxed).into()),
+        ("failed", failed.map_or(Value::Null, Value::from)),
+        ("degraded", Value::Bool(job.spec.degraded)),
+        ("error", job.error.clone().map_or(Value::Null, Value::Str)),
+    ]))
+}
+
+fn handle_result(shared: &Shared, id: u64) -> Result<Value, ProtoError> {
+    let st = shared.lock_state();
+    let job = st.jobs.get(&id).ok_or_else(|| ProtoError::new(404, format!("no job {id}")))?;
+    if !job.state.is_terminal() {
+        return Err(ProtoError::new(
+            202,
+            format!(
+                "job {id} not finished ({}, {}/{} points)",
+                job.state.label(),
+                job.done_points.load(Ordering::Relaxed),
+                job.total_points
+            ),
+        ));
+    }
+    let (results, failures) = job
+        .outcome
+        .as_ref()
+        .map(JobOutcome::to_json)
+        .unwrap_or((Value::Arr(Vec::new()), Value::Arr(Vec::new())));
+    Ok(ok_response([
+        ("job", id.into()),
+        ("state", job.state.label().into()),
+        ("degraded", Value::Bool(job.spec.degraded)),
+        ("resumed", job.outcome.as_ref().map_or(0u64, |o| o.resumed as u64).into()),
+        ("error", job.error.clone().map_or(Value::Null, Value::Str)),
+        ("results", results),
+        ("failures", failures),
+    ]))
+}
+
+fn handle_cancel(shared: &Shared, id: u64) -> Result<Value, ProtoError> {
+    let prior = {
+        let mut st = shared.lock_state();
+        let job =
+            st.jobs.get_mut(&id).ok_or_else(|| ProtoError::new(404, format!("no job {id}")))?;
+        let prior = job.state;
+        match prior {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.outcome = Some(JobOutcome::default());
+            }
+            JobState::Running => {
+                // Cooperative: the in-flight point finishes and is
+                // journaled; the rest drain as `cancelled` failures and
+                // the state flips when the sweep returns.
+                job.cancel.store(true, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if prior == JobState::Queued {
+            st.queue.retain(|&q| q != id);
+        }
+        prior
+    };
+    if matches!(prior, JobState::Queued | JobState::Running) {
+        // The marker is what distinguishes "cancelled on purpose" from
+        // "interrupted by a drain" at resume time.
+        if let Some(marker) = shared.cancel_marker(id) {
+            let _ = std::fs::write(marker, b"");
+        }
+    }
+    if prior == JobState::Queued {
+        shared.lock_stats().cancelled += 1;
+    }
+    let state = if prior == JobState::Queued { JobState::Cancelled } else { prior };
+    Ok(ok_response([("job", id.into()), ("state", state.label().into())]))
+}
+
+fn handle_health(shared: &Shared) -> Value {
+    let st = shared.lock_state();
+    let running = st.jobs.values().filter(|j| j.state == JobState::Running).count() as u64;
+    let state = if shared.draining.load(Ordering::Relaxed) { "draining" } else { "serving" };
+    ok_response([
+        ("state", state.into()),
+        ("proto", PROTO_VERSION.into()),
+        ("jobs", (st.jobs.len() as u64).into()),
+        ("queued", (st.queue.len() as u64).into()),
+        ("running", running.into()),
+        ("workers", (shared.config.workers.max(1) as u64).into()),
+    ])
+}
+
+fn handle_stats(shared: &Shared) -> Value {
+    let queued = shared.lock_state().queue.len() as u64;
+    let stats = shared.lock_stats();
+    let mut v = stats.to_json();
+    if let Value::Obj(pairs) = &mut v {
+        pairs.insert(0, ("queued".to_owned(), queued.into()));
+        pairs.insert(0, ("code".to_owned(), 200u64.into()));
+        pairs.insert(0, ("ok".to_owned(), Value::Bool(true)));
+    }
+    v
+}

@@ -188,12 +188,7 @@ fn main() -> ExitCode {
                         for diag in &out.skipped {
                             eprintln!("tracegen: skipped {diag}");
                         }
-                        if !out.skipped.is_empty() {
-                            eprintln!(
-                                "tracegen: skipped {} malformed line(s) in {input}",
-                                out.skipped.len()
-                            );
-                        }
+                        eprintln!("tracegen: {} in {input}", out.summary());
                         out.records
                     }
                     Err(e) => return fail(&format!("cannot parse {input}: {e}")),

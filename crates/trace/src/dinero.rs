@@ -90,6 +90,16 @@ pub struct RecoveredDinero {
     pub records: Vec<InstrRecord>,
     /// Skipped lines, in input order (empty for a clean trace).
     pub skipped: Vec<DinDiagnostic>,
+    /// Total input lines read (including blanks, comments, and the
+    /// skipped ones) — the `N` of "skipped K of N lines".
+    pub lines: usize,
+}
+
+impl RecoveredDinero {
+    /// A one-line import summary: `skipped K of N line(s)`.
+    pub fn summary(&self) -> String {
+        format!("skipped {} of {} line(s)", self.skipped.len(), self.lines)
+    }
 }
 
 /// Folds a stream of Dinero references into [`InstrRecord`]s.
@@ -208,7 +218,7 @@ fn read_dinero_inner<R: BufRead>(
             }
         }
     }
-    Ok(RecoveredDinero { records: folder.finish(), skipped })
+    Ok(RecoveredDinero { records: folder.finish(), skipped, lines: number })
 }
 
 /// Reads a Dinero-format trace into [`InstrRecord`]s.
@@ -255,6 +265,7 @@ pub fn read_dinero<R: BufRead>(reader: R) -> Result<Vec<InstrRecord>, TraceIoErr
 /// assert_eq!(out.records.len(), 1);
 /// assert_eq!(out.skipped.len(), 1);
 /// assert_eq!(out.skipped[0].line, 2);
+/// assert_eq!(out.summary(), "skipped 1 of 3 line(s)");
 /// ```
 pub fn read_dinero_recovering<R: BufRead>(
     reader: R,
@@ -358,6 +369,18 @@ mod tests {
         assert_eq!(out.skipped[1].line, 4);
         assert!(out.skipped[1].why.contains("unknown label"));
         assert_eq!(out.skipped[1].text, "9 500");
+        assert_eq!(out.lines, 5);
+        assert_eq!(out.summary(), "skipped 2 of 5 line(s)");
+    }
+
+    #[test]
+    fn summary_counts_every_input_line_even_blanks_and_comments() {
+        let din = "# banner\n\n2 400\nGARBAGE\n";
+        let out = read_dinero_recovering(din.as_bytes(), 1).unwrap();
+        assert_eq!(out.lines, 4);
+        assert_eq!(out.summary(), "skipped 1 of 4 line(s)");
+        let clean = read_dinero_recovering("2 400\n".as_bytes(), 0).unwrap();
+        assert_eq!(clean.summary(), "skipped 0 of 1 line(s)");
     }
 
     #[test]

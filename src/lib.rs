@@ -15,6 +15,9 @@
 //! * [`core`] — the simulator ([`vm_core`]),
 //! * [`explore`] — declarative system specs and parallel design-space
 //!   sweeps with Pareto/sensitivity analysis ([`vm_explore`]),
+//! * [`serve`] — the fault-tolerant simulation service behind
+//!   `repro serve`: admission control, load shedding, graceful drain
+//!   ([`vm_serve`]),
 //! * [`experiments`] — figure/table drivers ([`vm_experiments`]).
 //!
 //! # Quick start
@@ -44,6 +47,7 @@ pub use vm_experiments as experiments;
 pub use vm_explore as explore;
 pub use vm_obs as obs;
 pub use vm_ptable as ptable;
+pub use vm_serve as serve;
 pub use vm_tlb as tlb;
 pub use vm_trace as trace;
 pub use vm_types as types;

@@ -1,0 +1,86 @@
+//! Deadline boundary: the walk-cycle budget fence sits at
+//! `spent > budget`, never `>=`. A point whose cumulative walk cycles
+//! land *exactly* on the budget completes; one cycle less budget
+//! degrades it to a `timeout` outcome (and never a crash).
+
+use std::collections::BTreeMap;
+
+use vm_core::{simulate_with_sink, SystemKind};
+use vm_explore::{
+    run_sweep_hardened, Axis, ExecConfig, HardenPolicy, SweepOutcome, SweepPlan, SystemSpec,
+};
+use vm_harden::{DeadlineExceeded, DeadlineSink, FailureKind, PointOutcome};
+use vm_obs::{Event, NopSink, Reporter, Sink as _};
+use vm_types::HandlerLevel;
+
+fn walk(cycles: u64) -> Event {
+    Event::WalkComplete { level: HandlerLevel::User, cycles, memrefs: 1 }
+}
+
+#[test]
+fn sink_fires_strictly_past_the_budget() {
+    // Landing exactly on the budget is quiet...
+    let mut sink = DeadlineSink::new(1_000);
+    for t in 0..10 {
+        sink.emit(t, &walk(100));
+    }
+    assert_eq!(sink.spent(), 1_000);
+
+    // ...and the very next cycle unwinds with the sentinel.
+    let payload = std::panic::catch_unwind(move || sink.emit(10, &walk(1))).unwrap_err();
+    let d = payload.downcast::<DeadlineExceeded>().expect("sentinel payload");
+    assert_eq!((d.budget, d.spent), (1_000, 1_001));
+}
+
+const EXEC: ExecConfig = ExecConfig { warmup: 2_000, measure: 10_000, jobs: 1 };
+
+fn plan_one() -> SweepPlan {
+    let base = SystemSpec::for_kind(SystemKind::Ultrix);
+    SweepPlan::expand(&base, &[Axis::parse("tlb.entries=64").unwrap()]).unwrap()
+}
+
+fn run_with_budget(plan: &SweepPlan, budget: u64) -> SweepOutcome {
+    let policy = HardenPolicy { point_budget: Some(budget), ..HardenPolicy::default() };
+    run_sweep_hardened(
+        plan,
+        &EXEC,
+        &policy,
+        BTreeMap::new(),
+        &Reporter::silent(),
+        &mut NopSink,
+        None,
+    )
+}
+
+#[test]
+fn executor_honors_the_boundary_exactly() {
+    let plan = plan_one();
+    let point = &plan.points[0];
+
+    // Probe the point's true cumulative walk-cycle spend (warm-up
+    // included — the budget deliberately spans both phases) with an
+    // unlimited budget and the same trace the executor will build.
+    let workload = vm_trace::presets::by_name(point.spec.workload_name()).unwrap();
+    let trace = workload.build(point.spec.trace_seed).unwrap();
+    let (_, probe) = simulate_with_sink(
+        &point.config,
+        trace,
+        EXEC.warmup,
+        EXEC.measure,
+        DeadlineSink::new(u64::MAX),
+    )
+    .unwrap();
+    let exact = probe.spent();
+    assert!(exact > 0, "the probe point must actually walk the page table");
+
+    // Budget == exact spend: the point completes.
+    let out = run_with_budget(&plan, exact);
+    assert!(out.is_clean(), "exact budget must complete, got {:?}", out.outcomes[0].error());
+
+    // One cycle short: degraded to a classified timeout, not a crash.
+    let out = run_with_budget(&plan, exact - 1);
+    assert!(matches!(out.outcomes[0], PointOutcome::TimedOut(_)));
+    let e = out.outcomes[0].error().expect("timed-out point carries its error");
+    assert_eq!(e.kind, FailureKind::Timeout);
+    assert!(e.detail.contains("budget exceeded"), "{e}");
+}

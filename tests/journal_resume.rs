@@ -84,6 +84,64 @@ fn killed_after_any_prefix_resume_is_bit_identical() {
 }
 
 #[test]
+fn truncation_at_every_byte_of_the_final_record_heals_or_rejects() {
+    let plan = plan_12();
+    let policy = HardenPolicy::default();
+    let (uninterrupted, full_text) = journaled_run(&plan, &policy, BTreeMap::new());
+    assert!(uninterrupted.is_clean());
+
+    let lines: Vec<&str> = full_text.lines().collect();
+    let (final_line, kept) = lines.split_last().unwrap();
+    let prefix: String = kept.iter().map(|l| format!("{l}\n")).collect();
+
+    // Cut the final record at *every* byte offset — the on-disk shapes a
+    // kill can leave behind. Every shape must either heal (torn tail
+    // ignored, missing points re-run, merged results bit-identical) or
+    // reject with a clean error. Never a panic, and never a torn f64
+    // smuggled into the seeded results.
+    for cut in 0..=final_line.len() {
+        let mut survived = prefix.clone();
+        survived.push_str(&final_line[..cut]);
+        let journal = match Journal::parse(&survived) {
+            Ok(j) => j,
+            Err(e) => {
+                assert!(!e.is_empty(), "cut={cut}: rejection must carry a message");
+                continue;
+            }
+        };
+        let seeded = match seeded_from_journal(&journal, &plan, &EXEC) {
+            Ok(s) => s,
+            Err(e) => {
+                assert!(!e.is_empty(), "cut={cut}: rejection must carry a message");
+                continue;
+            }
+        };
+        // A strict prefix of the final record is unbalanced JSON, so it
+        // must be dropped as a torn tail; only the full record seeds 12.
+        let expect = if cut == final_line.len() { 12 } else { 11 };
+        assert_eq!(seeded.len(), expect, "cut={cut}");
+        for (ix, r) in &seeded {
+            assert_eq!(
+                Some(r),
+                uninterrupted.outcomes[*ix].completed(),
+                "cut={cut}: seeded point {ix} must be byte-exact, never a torn merge"
+            );
+        }
+        // Seeding integrity is checked at every byte; the (expensive)
+        // full heal-run is sampled — its outcome depends only on the
+        // seeded set, which the loop has already pinned down.
+        if cut % 16 == 0 || cut == final_line.len() {
+            let (resumed, _) = journaled_run(&plan, &policy, seeded);
+            assert_eq!(resumed.resumed, expect, "cut={cut}");
+            assert_eq!(
+                resumed.outcomes, uninterrupted.outcomes,
+                "cut={cut}: healed results must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
 fn resume_rejects_a_journal_from_a_different_sweep() {
     let plan = plan_12();
     let (_, text) = journaled_run(&plan, &HardenPolicy::default(), BTreeMap::new());

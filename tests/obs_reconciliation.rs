@@ -48,13 +48,18 @@ impl Sink for CountingSink {
             Event::ContextSwitchFlush { .. } => self.flush += 1,
             Event::HandlerEviction { .. } => self.handler_eviction += 1,
             Event::TlbEviction { .. } => self.tlb_eviction += 1,
-            // Sweep/harden lifecycle markers come from the explore
-            // executor, never from a single simulation run.
+            // Sweep/harden/serve lifecycle markers come from the explore
+            // executor and the vm-serve daemon, never from a single
+            // simulation run.
             Event::SweepStarted { .. }
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
             | Event::PointRetried { .. }
-            | Event::RunResumed { .. } => {}
+            | Event::RunResumed { .. }
+            | Event::JobAdmitted { .. }
+            | Event::JobShed { .. }
+            | Event::JobDone { .. }
+            | Event::DrainStarted { .. } => {}
         }
     }
 

@@ -1,0 +1,251 @@
+//! vm-serve end-to-end: chaos faults stay isolated in worker jobs while
+//! the listener keeps accepting, overload sheds explicitly, telemetry
+//! reconciles with the drain summary, and a drained daemon restarted
+//! with resume produces bit-identical results.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vm_harden::ChaosPlan;
+use vm_obs::json::{self, Value};
+use vm_serve::{Client, EventReport, ServeConfig, Server};
+
+const SPEC: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vm-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submit_req(sweep: &[&str], warmup: u64, measure: u64) -> Value {
+    Value::obj([
+        ("req", "submit".into()),
+        ("spec", SPEC.into()),
+        ("sweep", Value::Arr(sweep.iter().map(|s| Value::from(*s)).collect())),
+        ("warmup", warmup.into()),
+        ("measure", measure.into()),
+    ])
+}
+
+fn req(kind: &'static str, job: u64) -> Value {
+    Value::obj([("req", kind.into()), ("job", job.into())])
+}
+
+fn status(client: &mut Client, job: u64) -> Value {
+    client.request(&req("status", job)).unwrap()
+}
+
+/// Polls a job until `pred(state)` holds (10s cap).
+fn wait_state(client: &mut Client, job: u64, pred: impl Fn(&str) -> bool) -> String {
+    for _ in 0..2_000 {
+        let r = status(client, job);
+        let s = r.get("state").and_then(Value::as_str).unwrap().to_owned();
+        if pred(&s) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("job {job} never reached the wanted state");
+}
+
+fn code(v: &Value) -> u64 {
+    v.get("code").and_then(Value::as_u64).unwrap()
+}
+
+#[test]
+fn chaos_faults_stay_isolated_and_telemetry_reconciles() {
+    let dir = temp_dir("chaos");
+    let events = dir.join("events.jsonl");
+    let config = ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        degrade_depth: 1,
+        max_request_bytes: 512,
+        // Point index 0 of *every* job's sweep panics: each job loses one
+        // point, never the daemon.
+        chaos: ChaosPlan::parse("panic@0", 7).unwrap(),
+        events: Some(events.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+
+    // Malformed and unknown requests are classified, not fatal.
+    assert_eq!(code(&c.request_line("this is not json").unwrap()), 400);
+    assert_eq!(code(&c.request(&req("status", 99)).unwrap()), 404);
+
+    // Job A: 12 points, long enough to hold the single worker busy
+    // while the admission scenarios below play out.
+    let a = c
+        .request(&submit_req(&["tlb.entries=16,32,64,128", "cache.l1=8K,16K,32K"], 2_000, 20_000))
+        .unwrap();
+    assert_eq!(code(&a), 200);
+    let a_id = a.get("job").and_then(Value::as_u64).unwrap();
+    wait_state(&mut c, a_id, |s| s == "running");
+
+    // Listener stays live mid-chaos: a *fresh* connection gets served.
+    let mut c2 = Client::connect(addr).unwrap();
+    let health = c2.request(&Value::obj([("req", "health".into())])).unwrap();
+    assert_eq!(health.get("state").and_then(Value::as_str), Some("serving"));
+
+    // A result poll on an unfinished job is an explicit 202.
+    assert_eq!(code(&c.request(&req("result", a_id)).unwrap()), 202);
+
+    // B queues below the degrade watermark at full fidelity.
+    let b = c.request(&submit_req(&["tlb.entries=16,32"], 2_000, 10_000)).unwrap();
+    assert_eq!(b.get("degraded"), Some(&Value::Bool(false)));
+    let b_id = b.get("job").and_then(Value::as_u64).unwrap();
+
+    // C asks for more than quick scale while past the watermark: it is
+    // admitted, but clamped to quick lengths and flagged.
+    let d = c.request(&submit_req(&["tlb.entries=16,32"], 300_000, 600_000)).unwrap();
+    assert_eq!(code(&d), 200);
+    assert_eq!(d.get("degraded"), Some(&Value::Bool(true)));
+    let c_id = d.get("job").and_then(Value::as_u64).unwrap();
+
+    // D overflows the bounded queue: explicit shed, never a silent drop.
+    let shed = c.request(&submit_req(&["tlb.entries=16,32"], 2_000, 10_000)).unwrap();
+    assert_eq!(code(&shed), 503);
+    assert_eq!(shed.get("shed"), Some(&Value::Bool(true)));
+
+    // Cancelling the queued jobs frees their slots and is acknowledged
+    // (C would otherwise run a real quick-scale sweep — seconds of debug
+    // simulation that proves nothing the admission flag did not).
+    for id in [b_id, c_id] {
+        let cancel = c.request(&req("cancel", id)).unwrap();
+        assert_eq!(cancel.get("state").and_then(Value::as_str), Some("cancelled"));
+    }
+    // The clamp stays reported on a cancelled job, too.
+    let c_status = status(&mut c, c_id);
+    assert_eq!(c_status.get("degraded"), Some(&Value::Bool(true)));
+
+    // An oversized request answers 413 and costs only its connection.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(&[b'x'; 600]).unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert_eq!(code(&json::parse(reply.trim()).unwrap()), 413);
+    drop(raw);
+
+    // A finishes despite the injected panic: the chaos point is a
+    // classified failure, the other eleven complete.
+    assert_eq!(wait_state(&mut c, a_id, |s| s == "done"), "done");
+    let result = c.request(&req("result", a_id)).unwrap();
+    assert_eq!(result.get("results").unwrap().as_array().unwrap().len(), 11);
+    assert_eq!(result.get("failures").unwrap().as_array().unwrap().len(), 1);
+    assert_eq!(result.get("degraded"), Some(&Value::Bool(false)));
+    let degraded_result = c.request(&req("result", c_id)).unwrap();
+    assert_eq!(degraded_result.get("degraded"), Some(&Value::Bool(true)));
+    assert_eq!(degraded_result.get("state").and_then(Value::as_str), Some("cancelled"));
+
+    // Live stats agree before the drain...
+    let stats = c.request(&Value::obj([("req", "stats".into())])).unwrap();
+    assert_eq!(stats.get("admitted").and_then(Value::as_u64), Some(3));
+    assert_eq!(stats.get("shed").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("degraded").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("cancelled").and_then(Value::as_u64), Some(2));
+
+    // ...and the drain exits cleanly with a matching summary.
+    let drain = c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    assert_eq!(drain.get("draining"), Some(&Value::Bool(true)));
+    let summary = serve.join().unwrap().expect("drain must exit cleanly");
+    assert_eq!(
+        (summary.admitted, summary.shed, summary.done, summary.cancelled, summary.pending),
+        (3, 1, 1, 2, 0)
+    );
+
+    // The obs event stream reconciles with the summary exactly.
+    let report = EventReport::from_jsonl(&std::fs::read_to_string(&events).unwrap()).unwrap();
+    assert_eq!(report.admitted, summary.admitted);
+    assert_eq!(report.degraded, 1);
+    assert_eq!(report.shed, summary.shed);
+    assert_eq!(report.done, summary.done);
+    assert_eq!((report.with_failures, report.failed_points), (1, 1));
+    assert_eq!(report.points, 11);
+    assert_eq!((report.drains, report.last_drain_pending), (1, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn draining_sheds_new_submissions() {
+    let server = Server::start(ServeConfig { workers: 1, ..ServeConfig::default() }).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+
+    let a = c.request(&submit_req(&["tlb.entries=16,32,64,128"], 2_000, 20_000)).unwrap();
+    let a_id = a.get("job").and_then(Value::as_u64).unwrap();
+    wait_state(&mut c, a_id, |s| s == "running");
+
+    // Drain with a job in flight: the connection outlives the listener,
+    // and a late submit is shed with the draining reason.
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    let late = c.request(&submit_req(&["tlb.entries=16"], 2_000, 10_000)).unwrap();
+    assert_eq!(code(&late), 503);
+    assert_eq!(late.get("shed"), Some(&Value::Bool(true)));
+    assert!(late.get("error").and_then(Value::as_str).unwrap().contains("draining"), "{late}");
+
+    let summary = serve.join().unwrap().expect("drain must exit cleanly");
+    assert_eq!(summary.shed, 1);
+    assert_eq!(summary.admitted, 1);
+}
+
+#[test]
+fn drain_then_resume_is_bit_identical() {
+    let run = |state_dir: Option<PathBuf>, resume: bool, interrupt: bool| -> Value {
+        let config = ServeConfig { workers: 1, state_dir, resume, ..ServeConfig::default() };
+        let server = Server::start(config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let serve = std::thread::spawn(move || server.serve());
+        let mut c = Client::connect(addr).unwrap();
+        if !resume {
+            let r = c.request(&submit_req(&["tlb.entries=16,32,64,128"], 2_000, 20_000)).unwrap();
+            assert_eq!(r.get("job").and_then(Value::as_u64), Some(1));
+        }
+        let result = if interrupt {
+            // Drain as soon as the first point lands in the journal; the
+            // in-flight point finishes, the rest are cut off.
+            for _ in 0..2_000 {
+                let done = status(&mut c, 1).get("done").and_then(Value::as_u64).unwrap();
+                if done >= 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Value::Null
+        } else {
+            wait_state(&mut c, 1, |s| s == "done");
+            c.request(&req("result", 1)).unwrap()
+        };
+        c.request(&Value::obj([("req", "drain".into())])).unwrap();
+        serve.join().unwrap().expect("drain must exit cleanly");
+        result
+    };
+
+    // Interrupted lifetime, then a resumed lifetime over the same state.
+    let dir = temp_dir("resume");
+    run(Some(dir.clone()), false, true);
+    let resumed = run(Some(dir.clone()), true, false);
+    assert_eq!(resumed.get("state").and_then(Value::as_str), Some("done"));
+    assert!(
+        resumed.get("resumed").and_then(Value::as_u64).unwrap() >= 1,
+        "the second lifetime must seed from the journal: {resumed}"
+    );
+
+    // Reference: the same job in a single uninterrupted lifetime.
+    let reference = run(None, false, false);
+    assert_eq!(
+        resumed.get("results").unwrap().to_string(),
+        reference.get("results").unwrap().to_string(),
+        "drain + resume must be bit-identical to an uninterrupted run"
+    );
+    assert_eq!(resumed.get("failures").unwrap().to_string(), "[]");
+    let _ = std::fs::remove_dir_all(&dir);
+}
