@@ -26,6 +26,10 @@
 //!           [--check] [--quick|--full] [--out DIR] [--events FILE]
 //!           [--retries N] [--point-budget CYCLES] [--journal FILE]
 //!           [--resume FILE] [--chaos fault@ix,...] [--chaos-seed N]
+//!           [--isolation unwind|process]
+//!   worker                    (internal) supervised sweep-point worker;
+//!                             spawned by --isolation process, speaks
+//!                             NDJSON on stdin/stdout
 //!
 //! one-off simulation:
 //!   run [--system S] [--workload W] [--l1 16K] [--l1-line 64]
@@ -33,8 +37,8 @@
 //!       [--instrs N] [--seed N] [--events FILE] [--chrome-trace FILE]
 //!
 //! simulation service (see docs/serving.md):
-//!   serve [--addr HOST:PORT] [--jobs N] [--queue N] [--degrade-depth N]
-//!         [--state-dir DIR] [--resume] [--events FILE]
+//!   serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]
+//!         [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]
 //!         [--io-timeout-ms N] [--max-request-bytes N]
 //!         [--chaos fault@ix,...] [--chaos-seed N]
 //!   serve-stats <events.jsonl>...
@@ -59,6 +63,7 @@ use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity}
 use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
 use vm_harden::{ChaosPlan, RetryPolicy};
 use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server};
+use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 use vm_trace::presets;
 
 /// Parses "16K" / "1M" / "512" style size strings into bytes.
@@ -256,12 +261,14 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     let mut resume: Option<PathBuf> = None;
     let mut chaos_spec: Option<String> = None;
     let mut chaos_seed: u64 = 42;
+    let mut isolation: String = "unwind".to_owned();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
             |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--sweep" => axes.push(Axis::parse(&value("--sweep")?)?),
+            "--isolation" => isolation = value("--isolation")?,
             "--jobs" => {
                 exec.jobs = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
             }
@@ -308,6 +315,7 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                      \x20                    [--retries N] [--point-budget CYCLES]\n\
                      \x20                    [--journal FILE] [--resume FILE]\n\
                      \x20                    [--chaos fault@ix,...] [--chaos-seed N]\n\
+                     \x20                    [--isolation unwind|process]\n\
                      \x20                    [--verbosity 0|1|2 | -q | -v]\n\
                      specs:   TOML-subset system descriptions (see docs/exploring.md and specs/)\n\
                      sweep:   dotted spec keys, e.g. --sweep tlb.entries=32,64,128 --sweep mmu.table=two-tier,hashed\n\
@@ -317,7 +325,10 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                      \x20 --point-budget  walk-cycle budget per point; over-budget points become `timeout` outcomes\n\
                      \x20 --journal       append finished points to a durable JSONL run journal\n\
                      \x20 --resume        skip a journal's completed points, re-run the rest, keep appending\n\
-                     \x20 --chaos         inject faults (panic|io|corrupt|runaway) at point indices, e.g. panic@2,io@5"
+                     \x20 --chaos         inject faults (panic|io|corrupt|runaway|abort|oom) at point\n\
+                     \x20                 indices, e.g. panic@2,io@5 (abort/oom need --isolation process)\n\
+                     \x20 --isolation     unwind (catch_unwind, default) or process: run every point in a\n\
+                     \x20                 supervised worker process that survives abort/SIGSEGV/SIGKILL/OOM"
                 );
                 return Ok(());
             }
@@ -374,6 +385,26 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     }
     if let Some(spec) = &chaos_spec {
         harden.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+    }
+    match isolation.as_str() {
+        "unwind" => {
+            if let Some((ix, fault)) = harden.chaos.targets().find(|(_, f)| f.is_process_killing())
+            {
+                return Err(format!(
+                    "--chaos {}@{ix} kills the whole process; surviving it needs \
+                     --isolation process",
+                    fault.label()
+                ));
+            }
+        }
+        "process" => {
+            let command = WorkerCommand::current_exe(&["worker"])
+                .map_err(|e| format!("cannot resolve the worker executable: {e}"))?;
+            let mut pool = PoolConfig::new(command);
+            pool.workers = exec.jobs.max(1);
+            harden.process = Some(std::sync::Arc::new(WorkerPool::new(pool)));
+        }
+        other => return Err(format!("bad --isolation `{other}` (unwind|process)")),
     }
     if journal.is_some() && resume.is_some() {
         return Err("--journal and --resume are mutually exclusive (resume keeps \
@@ -461,6 +492,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             "--jobs" => {
                 config.workers = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
             }
+            "--workers" => {
+                config.worker_processes =
+                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?
+            }
             "--queue" => {
                 config.queue_cap =
                     value("--queue")?.parse().map_err(|e| format!("bad --queue: {e}"))?
@@ -492,14 +527,17 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro serve [--addr HOST:PORT] [--jobs N] [--queue N] [--degrade-depth N]\n\
-                     \x20                  [--state-dir DIR] [--resume] [--events FILE]\n\
+                    "usage: repro serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]\n\
+                     \x20                  [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]\n\
                      \x20                  [--io-timeout-ms N] [--max-request-bytes N]\n\
                      \x20                  [--chaos fault@ix,...] [--chaos-seed N]\n\
                      Runs the newline-delimited-JSON simulation service until drained\n\
                      (drain request, SIGTERM, or SIGINT). See docs/serving.md.\n\
                      \x20 --addr          bind address; port 0 picks an ephemeral port (default 127.0.0.1:0)\n\
                      \x20 --jobs          worker threads running sweeps (default 2)\n\
+                     \x20 --workers       supervised worker *subprocesses* for point execution\n\
+                     \x20                 (default 0 = in-process); a crashed point costs its job\n\
+                     \x20                 a 500, never the daemon\n\
                      \x20 --queue         queued-job bound; submissions past it shed with 503 (default 8)\n\
                      \x20 --degrade-depth queue depth at which new jobs clamp to quick scale (default 4)\n\
                      \x20 --state-dir     persist job specs + journals here (enables --resume)\n\
@@ -841,6 +879,20 @@ fn main() -> ExitCode {
     // verbosity flags below override.
     set_global_verbosity(Verbosity::Normal);
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("worker") {
+        // The (internal) supervised worker: NDJSON requests on stdin,
+        // one reply line per point on stdout, heartbeats in between.
+        // Spawned by `--isolation process` / `serve --workers`; exits at
+        // stdin EOF (i.e. when its supervisor goes away).
+        set_global_verbosity(Verbosity::Quiet);
+        return match vm_explore::serve_worker() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("repro worker: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("run") {
         return match run_one(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,

@@ -39,10 +39,11 @@ use std::time::{Duration, Instant};
 use vm_core::cost::CostModel;
 use vm_core::{simulate, simulate_with_sink, SimConfig, SimReport};
 use vm_harden::{
-    quiet_panics, with_retry, ChaosPlan, CheckedTrace, DeadlineSink, DynJournalWriter, FailureKind,
-    Fault, JournalEntry, PointOutcome, RetryPolicy, SimError,
+    quiet_panics, with_retry_salted, ChaosPlan, CheckedTrace, DeadlineSink, DynJournalWriter,
+    FailureKind, Fault, JournalEntry, PointOutcome, RetryPolicy, SimError,
 };
 use vm_obs::{Event, Reporter, Sink};
+use vm_supervise::WorkerPool;
 use vm_types::SplitMix64;
 
 use crate::journal::result_to_value;
@@ -87,6 +88,15 @@ pub struct HardenPolicy {
     /// failures (never journaled, so a resume re-runs them); points
     /// already simulating finish and are journaled normally.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Process-level isolation: when set, every point executes inside a
+    /// sandboxed worker process leased from this supervised pool instead
+    /// of in-process under `catch_unwind`. The worker runs the *same*
+    /// measurement path (chaos, retries, budgets included) and replies
+    /// with the bit-exact journal codec, so merged results are identical
+    /// to in-process runs at any `--jobs` count — but a point that
+    /// aborts, segfaults, or is OOM-killed costs one worker, not the
+    /// sweep ([`FailureKind::Crash`] once the crash-loop breaker trips).
+    pub process: Option<Arc<WorkerPool>>,
 }
 
 /// One measured sweep point.
@@ -322,6 +332,18 @@ pub fn run_sweep_hardened<S: Sink>(
                 }
             }
         }
+        // Supervision telemetry (spawns, crashes, restarts, breaker
+        // trips) trails the per-point events; the pool buffers them
+        // because they happen on worker threads, off the sink.
+        if let Some(pool) = &policy.process {
+            for ev in pool.take_events() {
+                sink.emit(now, &ev);
+            }
+        }
+    } else if let Some(pool) = &policy.process {
+        // Keep a sink-less sweep from accumulating events forever on a
+        // pool that outlives it.
+        pool.take_events();
     }
     SweepOutcome { outcomes, attempts, resumed }
 }
@@ -491,21 +513,31 @@ fn next_point(w: usize, queues: &[Mutex<VecDeque<usize>>], rng: &mut SplitMix64)
 }
 
 /// A [`SimError`] carrying the point's label and axis settings.
-fn point_error(point: &PlannedPoint, kind: FailureKind, detail: impl Into<String>) -> SimError {
+pub(crate) fn point_error(
+    point: &PlannedPoint,
+    kind: FailureKind,
+    detail: impl Into<String>,
+) -> SimError {
     let mut e = SimError::new(point.label.clone(), kind, detail);
     e.settings = point.settings.clone();
     e
 }
 
-/// Measures one point with full isolation: chaos injection, retries for
-/// transient failures, `catch_unwind` classification of panics and
-/// sentinels. Returns the outcome and the attempts consumed.
-fn measure_point_isolated(
+/// Measures one point with full isolation. With
+/// [`HardenPolicy::process`] set the point crosses into a supervised
+/// worker process (which runs this same function, sans pool); otherwise
+/// it runs in-process: chaos injection, retries for transient failures,
+/// `catch_unwind` classification of panics and sentinels. Returns the
+/// outcome and the attempts consumed.
+pub(crate) fn measure_point_isolated(
     point: &PlannedPoint,
     exec: &ExecConfig,
     policy: &HardenPolicy,
 ) -> (SweepPointOutcome, u32) {
-    let (result, attempts) = with_retry(&policy.retry, |attempt| {
+    if let Some(pool) = &policy.process {
+        return crate::process::measure_point_process(pool, point, exec, policy);
+    }
+    let (result, attempts) = with_retry_salted(&policy.retry, point.index as u64, |attempt| {
         if policy.chaos.fault_for(point.index) == Some(Fault::Io) {
             let failures = policy.chaos.io_failures(point.index);
             if attempt <= failures {
@@ -767,7 +799,12 @@ mod tests {
         let plan = tiny_plan();
         let chaos = ChaosPlan::parse("io@3", 5).unwrap();
         let with_retries = HardenPolicy {
-            retry: RetryPolicy { retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 },
+            retry: RetryPolicy {
+                retries: 2,
+                backoff_base_ms: 0,
+                backoff_cap_ms: 0,
+                jitter_seed: None,
+            },
             chaos: chaos.clone(),
             ..HardenPolicy::default()
         };

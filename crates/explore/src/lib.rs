@@ -33,6 +33,7 @@
 pub mod analysis;
 pub mod exec;
 pub mod journal;
+pub mod process;
 pub mod spec;
 pub mod sweep;
 
@@ -44,5 +45,6 @@ pub use exec::{
 pub use journal::{
     plan_fingerprint, result_from_value, result_to_value, run_header, seeded_from_journal,
 };
+pub use process::{handle_request, request_line, serve_worker};
 pub use spec::{SpecError, SystemSpec, ValidateError, PAGE_BYTES};
 pub use sweep::{Axis, PlannedPoint, SkippedPoint, SweepPlan};

@@ -1,7 +1,7 @@
 //! Deterministic fault injection for sweep executors.
 //!
 //! A resilience mechanism that has never seen a fault is a guess. The
-//! chaos harness injects four fault classes into *chosen* sweep points
+//! chaos harness injects six fault classes into *chosen* sweep points
 //! so tests and CI can prove the isolation, retry, deadline, and journal
 //! machinery actually work:
 //!
@@ -13,6 +13,14 @@
 //! * [`Fault::Runaway`] — from the trigger record on, every data
 //!   reference touches a fresh page, detonating a TLB-miss storm that
 //!   blows any sane walk-cycle budget (pair with a deadline).
+//! * [`Fault::Abort`] — the point calls `abort()` mid-stream. **Kills
+//!   the process, not the thread**: no `catch_unwind` survives it, so it
+//!   requires `--isolation process` (a supervised worker dies in the
+//!   point's place).
+//! * [`Fault::Oom`] — from the trigger record on, the point leaks and
+//!   touches memory until something kills it (the supervisor's RSS
+//!   ceiling, ideally). Also process-killing; requires
+//!   `--isolation process`.
 //!
 //! Everything is seeded [`SplitMix64`]: which record triggers, how many
 //! I/O attempts fail — the same plan replays identically, with no clock
@@ -34,11 +42,19 @@ pub enum Fault {
     Corrupt,
     /// A TLB-thrash storm that exceeds any walk-cycle budget.
     Runaway,
+    /// `abort()` mid-stream — process-killing, not unwinding. Only
+    /// survivable under `--isolation process`.
+    Abort,
+    /// Leak-and-touch memory until killed (by the supervisor's RSS
+    /// ceiling). Process-killing; only survivable under
+    /// `--isolation process`.
+    Oom,
 }
 
 impl Fault {
     /// Every fault class.
-    pub const ALL: [Fault; 4] = [Fault::Panic, Fault::Io, Fault::Corrupt, Fault::Runaway];
+    pub const ALL: [Fault; 6] =
+        [Fault::Panic, Fault::Io, Fault::Corrupt, Fault::Runaway, Fault::Abort, Fault::Oom];
 
     /// Stable CLI/journal label.
     pub fn label(self) -> &'static str {
@@ -47,7 +63,16 @@ impl Fault {
             Fault::Io => "io",
             Fault::Corrupt => "corrupt",
             Fault::Runaway => "runaway",
+            Fault::Abort => "abort",
+            Fault::Oom => "oom",
         }
+    }
+
+    /// Whether the fault kills the whole process rather than unwinding
+    /// the point's thread — i.e. whether surviving it needs
+    /// `--isolation process`.
+    pub fn is_process_killing(self) -> bool {
+        matches!(self, Fault::Abort | Fault::Oom)
     }
 
     /// Parses a [`Fault::label`] back.
@@ -85,7 +110,7 @@ impl ChaosPlan {
                 return Err(format!("chaos fault `{part}` must be `fault@index` (e.g. panic@2)"));
             };
             let fault = Fault::from_label(fault.trim()).ok_or_else(|| {
-                format!("unknown chaos fault `{fault}` (panic|io|corrupt|runaway)")
+                format!("unknown chaos fault `{fault}` (panic|io|corrupt|runaway|abort|oom)")
             })?;
             let index: usize =
                 index.trim().parse().map_err(|e| format!("bad chaos index `{index}`: {e}"))?;
@@ -122,6 +147,15 @@ impl ChaosPlan {
         self.targets.iter().map(|(&i, &f)| (i, f))
     }
 
+    /// Renders the plan back into the [`ChaosPlan::parse`] grammar
+    /// (`fault@index,...`, index order) — the wire form sent to
+    /// supervised workers. `parse(render(), seed)` round-trips exactly.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> =
+            self.targets().map(|(i, f)| format!("{}@{i}", f.label())).collect();
+        parts.join(",")
+    }
+
     /// The point's private chaos stream (seed mixed with its index).
     fn stream(&self, index: usize) -> SplitMix64 {
         SplitMix64::new(self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -151,23 +185,37 @@ impl ChaosPlan {
         I: Iterator<Item = InstrRecord>,
     {
         let armed = match self.fault_for(index) {
-            Some(f @ (Fault::Panic | Fault::Corrupt | Fault::Runaway)) => {
-                Some((f, self.trigger_record(index, horizon)))
-            }
+            Some(
+                f @ (Fault::Panic | Fault::Corrupt | Fault::Runaway | Fault::Abort | Fault::Oom),
+            ) => Some((f, self.trigger_record(index, horizon))),
             Some(Fault::Io) | None => None,
         };
-        ChaosTrace { inner, armed, seen: 0 }
+        ChaosTrace { inner, armed, seen: 0, hog: Vec::new() }
     }
 }
+
+/// How much each [`Fault::Oom`] step leaks and touches (16 MiB): big
+/// enough to blow a supervisor RSS ceiling within a few records, small
+/// enough that the ceiling (not the host OOM killer) decides.
+const OOM_STEP_BYTES: usize = 16 << 20;
+
+/// The absolute self-destruct cap for [`Fault::Oom`] (1 GiB): if nothing
+/// has killed the process by then (no supervisor, generous ceiling), the
+/// fault finishes the job itself with `abort()` rather than endangering
+/// the host.
+const OOM_CAP_BYTES: usize = 1 << 30;
 
 /// A trace iterator with one armed in-stream fault.
 #[derive(Debug)]
 pub struct ChaosTrace<I> {
     inner: I,
     /// The fault and the record offset it triggers at; disarmed once
-    /// fired (except [`Fault::Runaway`], which keeps thrashing).
+    /// fired (except [`Fault::Runaway`] and [`Fault::Oom`], which keep
+    /// escalating).
     armed: Option<(Fault, u64)>,
     seen: u64,
+    /// [`Fault::Oom`]'s leak: touched allocations that are never freed.
+    hog: Vec<Vec<u8>>,
 }
 
 impl<I: Iterator<Item = InstrRecord>> Iterator for ChaosTrace<I> {
@@ -195,6 +243,19 @@ impl<I: Iterator<Item = InstrRecord>> Iterator for ChaosTrace<I> {
                         let page = (at.wrapping_mul(PAGE_SIZE)) % USER_SPACE_BYTES;
                         rec.data = Some(DataRef::load(MAddr::user(page)));
                     }
+                    Fault::Abort => {
+                        eprintln!("chaos: injected abort at trace record {at}");
+                        std::process::abort();
+                    }
+                    Fault::Oom => {
+                        // Leak-and-touch until killed: every byte written
+                        // so the pages land in RSS, not just in VSZ.
+                        if self.hog.len() * OOM_STEP_BYTES >= OOM_CAP_BYTES {
+                            eprintln!("chaos: oom fault hit its {OOM_CAP_BYTES}-byte cap unkilled");
+                            std::process::abort();
+                        }
+                        self.hog.push(vec![0xAA; OOM_STEP_BYTES]);
+                    }
                     Fault::Io => unreachable!("io faults act at build time"),
                 }
             }
@@ -214,15 +275,48 @@ mod tests {
 
     #[test]
     fn grammar_parses_and_rejects() {
-        let plan = ChaosPlan::parse("panic@2, io@5 ,corrupt@7,runaway@11", 42).unwrap();
-        assert_eq!(plan.len(), 4);
+        let plan =
+            ChaosPlan::parse("panic@2, io@5 ,corrupt@7,runaway@11,abort@13,oom@17", 42).unwrap();
+        assert_eq!(plan.len(), 6);
         assert_eq!(plan.fault_for(5), Some(Fault::Io));
+        assert_eq!(plan.fault_for(13), Some(Fault::Abort));
+        assert_eq!(plan.fault_for(17), Some(Fault::Oom));
         assert_eq!(plan.fault_for(3), None);
         assert!(ChaosPlan::parse("panic", 0).is_err());
         assert!(ChaosPlan::parse("fire@2", 0).is_err());
         assert!(ChaosPlan::parse("panic@x", 0).is_err());
         assert!(ChaosPlan::parse("panic@1,io@1", 0).is_err());
         assert!(ChaosPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn render_round_trips_and_labels_are_stable() {
+        let text = "panic@2,io@5,corrupt@7,runaway@11,abort@13,oom@17";
+        let plan = ChaosPlan::parse(text, 9).unwrap();
+        assert_eq!(plan.render(), text, "index order, canonical labels");
+        assert_eq!(ChaosPlan::parse(&plan.render(), 9).unwrap(), plan);
+        assert_eq!(ChaosPlan::new(1).render(), "");
+        for fault in Fault::ALL {
+            assert_eq!(Fault::from_label(fault.label()), Some(fault));
+            assert_eq!(
+                fault.is_process_killing(),
+                matches!(fault, Fault::Abort | Fault::Oom),
+                "{fault:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn process_killing_faults_pass_records_through_before_the_trigger() {
+        // Collecting *past* the trigger would abort the test runner, so
+        // only the safe prefix is observable in-process.
+        for fault in [Fault::Abort, Fault::Oom] {
+            let mut plan = ChaosPlan::new(42);
+            plan.inject(0, fault);
+            let trigger = plan.trigger_record(0, 100) as usize;
+            let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).take(trigger).collect();
+            assert_eq!(out, straight_line(trigger as u64).collect::<Vec<_>>());
+        }
     }
 
     #[test]

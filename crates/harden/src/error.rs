@@ -38,11 +38,15 @@ pub enum FailureKind {
     /// The point never ran: its sweep was cancelled (operator request or
     /// daemon drain) before the point was reached.
     Cancelled,
+    /// The point repeatedly killed its worker process (abort, SIGSEGV,
+    /// OOM kill, hung heartbeat) and the supervisor's crash-loop breaker
+    /// gave up on it. Only reachable under `--isolation process`.
+    Crash,
 }
 
 impl FailureKind {
     /// Every kind, for exhaustive tests and documentation tables.
-    pub const ALL: [FailureKind; 8] = [
+    pub const ALL: [FailureKind; 9] = [
         FailureKind::Spec,
         FailureKind::Workload,
         FailureKind::Build,
@@ -51,6 +55,7 @@ impl FailureKind {
         FailureKind::Timeout,
         FailureKind::CorruptTrace,
         FailureKind::Cancelled,
+        FailureKind::Crash,
     ];
 
     /// The stable snake-case label used in journals and reports.
@@ -64,6 +69,7 @@ impl FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::CorruptTrace => "corrupt_trace",
             FailureKind::Cancelled => "cancelled",
+            FailureKind::Crash => "crash",
         }
     }
 

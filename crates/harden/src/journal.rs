@@ -236,6 +236,27 @@ impl JournalEntry {
         Some(e)
     }
 
+    /// Renders the entry as its single journal line (no trailing
+    /// newline) — also the supervised-worker reply wire form.
+    pub fn to_line(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    /// Parses one `point` line (the exact form [`to_line`](Self::to_line)
+    /// emits).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a non-`point` entry, or a
+    /// missing field.
+    pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        match v.get("j").and_then(Value::as_str) {
+            Some("point") => JournalEntry::from_value(&v),
+            other => Err(format!("not a point entry (j = {other:?})")),
+        }
+    }
+
     fn to_value(&self) -> Value {
         let mut pairs: Vec<(String, Value)> = vec![
             ("j".to_owned(), "point".into()),
@@ -282,9 +303,16 @@ impl JournalEntry {
 }
 
 /// Appends journal lines, flushing and syncing every `batch` entries.
+///
+/// Dropping the writer flushes and syncs any pending tail (errors
+/// ignored — `Drop` has nowhere to report them), so an abandoned writer
+/// loses at most the one line a kill tears mid-`write`, which
+/// [`Journal::parse`] already tolerates. Call [`finish`](JournalWriter::finish)
+/// to observe flush errors.
 #[derive(Debug)]
 pub struct JournalWriter<W: SyncWrite> {
-    out: W,
+    /// `None` only after `finish` hands the target back.
+    out: Option<W>,
     batch: usize,
     pending: usize,
     entries: u64,
@@ -317,7 +345,7 @@ impl JournalWriter<Box<dyn SyncWrite + Send>> {
 impl<W: SyncWrite> JournalWriter<W> {
     /// Wraps `out`, syncing every `batch` entries (0 syncs every entry).
     pub fn new(out: W, batch: usize) -> JournalWriter<W> {
-        JournalWriter { out, batch: batch.max(1), pending: 0, entries: 0, error: None }
+        JournalWriter { out: Some(out), batch: batch.max(1), pending: 0, entries: 0, error: None }
     }
 
     /// Entries appended so far (header lines included).
@@ -334,15 +362,19 @@ impl<W: SyncWrite> JournalWriter<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(out) = self.out.as_mut() else { return };
         let mut line = v.to_string();
         line.push('\n');
-        let r = self.out.write_all(line.as_bytes()).and_then(|()| {
-            self.entries += 1;
-            self.pending += 1;
-            if self.pending >= self.batch {
-                self.pending = 0;
-                self.out.flush()?;
-                self.out.sync()?;
+        let entries = &mut self.entries;
+        let pending = &mut self.pending;
+        let batch = self.batch;
+        let r = out.write_all(line.as_bytes()).and_then(|()| {
+            *entries += 1;
+            *pending += 1;
+            if *pending >= batch {
+                *pending = 0;
+                out.flush()?;
+                out.sync()?;
             }
             Ok(())
         });
@@ -371,9 +403,23 @@ impl<W: SyncWrite> JournalWriter<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.out.flush()?;
-        self.out.sync()?;
-        Ok(self.out)
+        let mut out = self.out.take().expect("finish is the only taker");
+        out.flush()?;
+        out.sync()?;
+        Ok(out)
+    }
+}
+
+impl<W: SyncWrite> Drop for JournalWriter<W> {
+    fn drop(&mut self) {
+        // Push the batched tail to stable storage on every exit path —
+        // a SIGKILL between entries then loses at most one torn final
+        // line, which the parser tolerates by design.
+        if self.error.is_none() {
+            if let Some(out) = self.out.as_mut() {
+                let _ = out.flush().and_then(|()| out.sync());
+            }
+        }
     }
 }
 
@@ -539,6 +585,50 @@ mod tests {
         // on append (SharedBuf has no buffering of its own).
         assert_eq!(j.entries.len(), 1);
         assert!(j.header.is_some());
+    }
+
+    #[test]
+    fn drop_flushes_and_syncs_the_batched_tail() {
+        /// A target that only reveals bytes once flushed — so the test
+        /// fails unless `Drop` actually flushes.
+        struct Buffered {
+            inner: SharedBuf,
+            pending: Vec<u8>,
+            synced: Arc<Mutex<u32>>,
+        }
+        impl Write for Buffered {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.pending.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                self.inner.write_all(&self.pending)?;
+                self.pending.clear();
+                Ok(())
+            }
+        }
+        impl SyncWrite for Buffered {
+            fn sync(&mut self) -> io::Result<()> {
+                *self.synced.lock().unwrap() += 1;
+                Ok(())
+            }
+        }
+        let out = SharedBuf::new();
+        let synced = Arc::new(Mutex::new(0u32));
+        {
+            let mut w = JournalWriter::new(
+                Buffered { inner: out.clone(), pending: Vec::new(), synced: Arc::clone(&synced) },
+                100, // far above the entry count: nothing flushes mid-run
+            );
+            w.header(&header());
+            w.record(&done_entry(0));
+            w.record(&failed_entry(1));
+            assert_eq!(out.contents().len(), 0, "tail still buffered before drop");
+        }
+        let j = Journal::parse(&out.text()).unwrap();
+        assert!(j.header.is_some());
+        assert_eq!(j.entries.len(), 2);
+        assert_eq!(*synced.lock().unwrap(), 1, "drop syncs exactly once");
     }
 
     #[test]

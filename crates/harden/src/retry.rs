@@ -1,12 +1,22 @@
-//! Retry policies with capped exponential backoff.
+//! Retry policies with capped exponential backoff and deterministic
+//! jitter.
 //!
 //! Only [`FailureKind::is_transient`](crate::FailureKind::is_transient) errors (simulated or real I/O) are
 //! retried — a panic or a bad spec fails identically on every attempt,
 //! so retrying it would only waste sweep time. Backoff is wall-clock
 //! (it never feeds a result), so results stay bit-identical whatever the
 //! policy.
+//!
+//! An unjittered exponential is a thundering herd in disguise: parallel
+//! workers that trip over the same shared-resource failure all sleep the
+//! same `base * 2^n` and wake in lockstep. [`RetryPolicy::jitter_seed`]
+//! spreads the wake-ups with a SplitMix64-derived *deterministic* jitter
+//! — the sleep for a given `(seed, salt, retry)` triple is a pure
+//! function, so tests (and resumed runs) stay reproducible.
 
 use std::time::Duration;
+
+use vm_types::SplitMix64;
 
 use crate::error::SimError;
 
@@ -19,23 +29,55 @@ pub struct RetryPolicy {
     pub backoff_base_ms: u64,
     /// Backoff ceiling in milliseconds.
     pub backoff_cap_ms: u64,
+    /// When set, backoff sleeps are jittered deterministically: retry
+    /// `n` sleeps between half and all of the exponential step, the
+    /// exact point chosen by SplitMix64 over `(seed, salt, n)`. `None`
+    /// keeps the bare exponential.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
     /// No retries at all.
-    pub const NONE: RetryPolicy = RetryPolicy { retries: 0, backoff_base_ms: 0, backoff_cap_ms: 0 };
+    pub const NONE: RetryPolicy =
+        RetryPolicy { retries: 0, backoff_base_ms: 0, backoff_cap_ms: 0, jitter_seed: None };
 
-    /// `retries` attempts with the default 25 ms → 1 s backoff curve.
+    /// `retries` attempts with the default 25 ms → 1 s backoff curve,
+    /// jittered from a fixed default seed.
     pub fn new(retries: u32) -> RetryPolicy {
-        RetryPolicy { retries, backoff_base_ms: 25, backoff_cap_ms: 1_000 }
+        RetryPolicy {
+            retries,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
+            jitter_seed: Some(0x5eed_ba5e),
+        }
     }
 
-    /// The sleep before retry number `retry` (1-based): capped
-    /// exponential, `base * 2^(retry-1)` up to the cap.
+    /// The unjittered sleep before retry number `retry` (1-based):
+    /// capped exponential, `base * 2^(retry-1)` up to the cap.
     pub fn backoff(&self, retry: u32) -> Duration {
         let exp = retry.saturating_sub(1).min(20);
         let ms = self.backoff_base_ms.saturating_mul(1u64 << exp).min(self.backoff_cap_ms);
         Duration::from_millis(ms)
+    }
+
+    /// The jittered sleep before retry number `retry`, salted by the
+    /// caller's identity (point index, worker slot, ...) so concurrent
+    /// retriers of the same failure spread out instead of waking in
+    /// lockstep. Equal-jitter: uniform in `[step/2, step]`. Without a
+    /// [`jitter_seed`](RetryPolicy::jitter_seed) this is exactly
+    /// [`backoff`](RetryPolicy::backoff).
+    pub fn backoff_jittered(&self, retry: u32, salt: u64) -> Duration {
+        let step = self.backoff(retry).as_millis() as u64;
+        let Some(seed) = self.jitter_seed else {
+            return Duration::from_millis(step);
+        };
+        if step == 0 {
+            return Duration::ZERO;
+        }
+        let mut rng =
+            SplitMix64::new(seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(retry));
+        let half = step / 2;
+        Duration::from_millis(half + rng.next_below(step - half + 1))
     }
 }
 
@@ -45,12 +87,23 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Runs `attempt(n)` (n = 1-based attempt number) until it succeeds, a
-/// non-transient error occurs, or the policy's retries are exhausted.
-/// Returns the final result with its `attempts` field set to the number
-/// of attempts actually consumed.
+/// [`with_retry_salted`] with salt 0 — for callers with no natural
+/// identity to spread jitter over.
 pub fn with_retry<T>(
     policy: &RetryPolicy,
+    attempt: impl FnMut(u32) -> Result<T, SimError>,
+) -> (Result<T, SimError>, u32) {
+    with_retry_salted(policy, 0, attempt)
+}
+
+/// Runs `attempt(n)` (n = 1-based attempt number) until it succeeds, a
+/// non-transient error occurs, or the policy's retries are exhausted.
+/// Between attempts it sleeps the policy's jittered backoff, salted by
+/// `salt` (typically the point index). Returns the final result with
+/// its `attempts` field set to the number of attempts actually consumed.
+pub fn with_retry_salted<T>(
+    policy: &RetryPolicy,
+    salt: u64,
     mut attempt: impl FnMut(u32) -> Result<T, SimError>,
 ) -> (Result<T, SimError>, u32) {
     let mut n = 1u32;
@@ -62,7 +115,7 @@ pub fn with_retry<T>(
                     e.attempts = n;
                     return (Err(e), n);
                 }
-                std::thread::sleep(policy.backoff(n));
+                std::thread::sleep(policy.backoff_jittered(n, salt));
                 n += 1;
             }
         }
@@ -80,7 +133,8 @@ mod tests {
 
     #[test]
     fn backoff_is_capped_exponential() {
-        let p = RetryPolicy { retries: 10, backoff_base_ms: 10, backoff_cap_ms: 45 };
+        let p =
+            RetryPolicy { retries: 10, backoff_base_ms: 10, backoff_cap_ms: 45, jitter_seed: None };
         assert_eq!(p.backoff(1), Duration::from_millis(10));
         assert_eq!(p.backoff(2), Duration::from_millis(20));
         assert_eq!(p.backoff(3), Duration::from_millis(40));
@@ -89,8 +143,40 @@ mod tests {
     }
 
     #[test]
+    fn jitter_is_deterministic_bounded_and_salt_sensitive() {
+        let p = RetryPolicy { jitter_seed: Some(42), ..RetryPolicy::new(5) };
+        for retry in 1..=6 {
+            let step = p.backoff(retry).as_millis();
+            for salt in 0..32u64 {
+                let j = p.backoff_jittered(retry, salt).as_millis();
+                assert_eq!(j, p.backoff_jittered(retry, salt).as_millis(), "pure function");
+                assert!(j >= step / 2 && j <= step, "retry {retry} salt {salt}: {j} vs {step}");
+            }
+        }
+        // Different salts actually spread out (not all identical).
+        let spread: std::collections::BTreeSet<_> =
+            (0..32u64).map(|salt| p.backoff_jittered(3, salt)).collect();
+        assert!(spread.len() > 1, "jitter never varies across salts");
+    }
+
+    #[test]
+    fn without_a_seed_jitter_is_the_bare_exponential() {
+        let p = RetryPolicy {
+            retries: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+            jitter_seed: None,
+        };
+        for retry in 1..=4 {
+            assert_eq!(p.backoff_jittered(retry, 7), p.backoff(retry));
+        }
+        assert_eq!(RetryPolicy::NONE.backoff_jittered(1, 0), Duration::ZERO);
+    }
+
+    #[test]
     fn transient_errors_retry_until_success() {
-        let policy = RetryPolicy { retries: 3, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let policy =
+            RetryPolicy { retries: 3, backoff_base_ms: 0, backoff_cap_ms: 0, jitter_seed: None };
         let (out, attempts) = with_retry(&policy, |n| if n < 3 { Err(io_err()) } else { Ok(n) });
         assert_eq!(out.unwrap(), 3);
         assert_eq!(attempts, 3);
@@ -98,7 +184,8 @@ mod tests {
 
     #[test]
     fn exhausted_retries_report_attempts() {
-        let policy = RetryPolicy { retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0 };
+        let policy =
+            RetryPolicy { retries: 2, backoff_base_ms: 0, backoff_cap_ms: 0, jitter_seed: None };
         let (out, attempts) = with_retry::<u32>(&policy, |_| Err(io_err()));
         let e = out.unwrap_err();
         assert_eq!(attempts, 3); // 1 try + 2 retries

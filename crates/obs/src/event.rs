@@ -170,6 +170,43 @@ pub enum Event {
         /// Jobs still queued or running when the drain began.
         pending: u64,
     },
+    /// A `vm-supervise` worker process was spawned into a pool slot.
+    WorkerSpawned {
+        /// The pool slot the worker occupies.
+        worker: u64,
+        /// The worker's OS process id.
+        pid: u64,
+    },
+    /// A supervised worker died or was killed (abort, signal, hung
+    /// heartbeat, RSS ceiling) while holding a request.
+    WorkerCrashed {
+        /// The pool slot whose worker died.
+        worker: u64,
+        /// The request tag (sweep-point index) the worker was running.
+        point: u64,
+        /// Restarts already consumed by this request before the crash.
+        restarts: u32,
+    },
+    /// A supervised worker was respawned after a crash, with backoff.
+    WorkerRestarted {
+        /// The pool slot that was restarted.
+        worker: u64,
+        /// The restarted worker's OS process id.
+        pid: u64,
+        /// Restart number for the in-flight request (1 = first restart).
+        restarts: u32,
+    },
+    /// The crash-loop breaker gave up on a request: too many restarts
+    /// inside the window, so the point is marked `crash` and the sweep
+    /// moves on.
+    BreakerTripped {
+        /// The pool slot whose worker kept dying.
+        worker: u64,
+        /// The request tag (sweep-point index) being abandoned.
+        point: u64,
+        /// Restarts consumed before the breaker opened.
+        restarts: u32,
+    },
 }
 
 impl Event {
@@ -192,6 +229,10 @@ impl Event {
             Event::JobShed { .. } => "job_shed",
             Event::JobDone { .. } => "job_done",
             Event::DrainStarted { .. } => "drain_started",
+            Event::WorkerSpawned { .. } => "worker_spawned",
+            Event::WorkerCrashed { .. } => "worker_crashed",
+            Event::WorkerRestarted { .. } => "worker_restarted",
+            Event::BreakerTripped { .. } => "breaker_tripped",
         }
     }
 
@@ -270,6 +311,25 @@ impl Event {
             Event::DrainStarted { pending } => {
                 put("pending", pending.into());
             }
+            Event::WorkerSpawned { worker, pid } => {
+                put("worker", worker.into());
+                put("pid", pid.into());
+            }
+            Event::WorkerCrashed { worker, point, restarts } => {
+                put("worker", worker.into());
+                put("point", point.into());
+                put("restarts", restarts.into());
+            }
+            Event::WorkerRestarted { worker, pid, restarts } => {
+                put("worker", worker.into());
+                put("pid", pid.into());
+                put("restarts", restarts.into());
+            }
+            Event::BreakerTripped { worker, point, restarts } => {
+                put("worker", worker.into());
+                put("point", point.into());
+                put("restarts", restarts.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -307,6 +367,10 @@ mod tests {
             Event::JobShed { queue_depth: 8 },
             Event::JobDone { job: 7, points: 4, failed: 1, wall_ms: 1250 },
             Event::DrainStarted { pending: 2 },
+            Event::WorkerSpawned { worker: 0, pid: 4242 },
+            Event::WorkerCrashed { worker: 0, point: 5, restarts: 0 },
+            Event::WorkerRestarted { worker: 0, pid: 4243, restarts: 1 },
+            Event::BreakerTripped { worker: 0, point: 5, restarts: 3 },
         ]
     }
 

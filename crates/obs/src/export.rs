@@ -126,7 +126,11 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::JobAdmitted { .. }
             | Event::JobShed { .. }
             | Event::JobDone { .. }
-            | Event::DrainStarted { .. } => 7,
+            | Event::DrainStarted { .. }
+            | Event::WorkerSpawned { .. }
+            | Event::WorkerCrashed { .. }
+            | Event::WorkerRestarted { .. }
+            | Event::BreakerTripped { .. } => 7,
         }
     }
 

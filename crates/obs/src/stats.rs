@@ -396,8 +396,9 @@ impl Sink for StatsSink {
             Event::TlbEviction { class, .. } => {
                 c.tlb_evictions[usize::from(class.is_data())] += 1;
             }
-            // Sweep and serve lifecycle markers are emitted outside any
-            // single simulation; there is nothing to aggregate per run.
+            // Sweep, serve, and supervision lifecycle markers are
+            // emitted outside any single simulation; there is nothing
+            // to aggregate per run.
             Event::SweepStarted { .. }
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
@@ -406,7 +407,11 @@ impl Sink for StatsSink {
             | Event::JobAdmitted { .. }
             | Event::JobShed { .. }
             | Event::JobDone { .. }
-            | Event::DrainStarted { .. } => {}
+            | Event::DrainStarted { .. }
+            | Event::WorkerSpawned { .. }
+            | Event::WorkerCrashed { .. }
+            | Event::WorkerRestarted { .. }
+            | Event::BreakerTripped { .. } => {}
         }
     }
 

@@ -34,6 +34,14 @@ pub struct EventReport {
     pub drains: u64,
     /// Jobs pending at the most recent drain.
     pub last_drain_pending: u64,
+    /// `worker_spawned` events (worker subprocesses started).
+    pub worker_spawns: u64,
+    /// `worker_crashed` events (a worker subprocess died on a point).
+    pub worker_crashes: u64,
+    /// `worker_restarted` events (supervisor replaced a dead worker).
+    pub worker_restarts: u64,
+    /// `breaker_tripped` events (a point exhausted its restart budget).
+    pub breaker_trips: u64,
     /// Queue depth at each admission and shed decision.
     pub queue_depth: LogHist,
     /// Job wall time, milliseconds.
@@ -84,6 +92,10 @@ impl EventReport {
                     report.drains += 1;
                     report.last_drain_pending = int("pending");
                 }
+                Some("worker_spawned") => report.worker_spawns += 1,
+                Some("worker_crashed") => report.worker_crashes += 1,
+                Some("worker_restarted") => report.worker_restarts += 1,
+                Some("breaker_tripped") => report.breaker_trips += 1,
                 _ => {}
             }
         }
@@ -115,6 +127,12 @@ impl EventReport {
                 out.push_str(&format!("  latency  {}   (job wall ms)\n", self.latency_ms.summary()))
             }
         }
+        if self.worker_spawns + self.worker_crashes + self.breaker_trips > 0 {
+            out.push_str(&format!(
+                "  workers  {} spawned, {} crashed, {} restarted, {} breaker trip(s)\n",
+                self.worker_spawns, self.worker_crashes, self.worker_restarts, self.breaker_trips
+            ));
+        }
         match self.drains {
             0 => out.push_str("  drains   none\n"),
             n => out.push_str(&format!(
@@ -139,6 +157,10 @@ mod tests {
             Event::JobShed { queue_depth: 2 },
             Event::JobDone { job: 1, points: 4, failed: 0, wall_ms: 120 },
             Event::JobDone { job: 2, points: 3, failed: 1, wall_ms: 80 },
+            Event::WorkerSpawned { worker: 0, pid: 4242 },
+            Event::WorkerCrashed { worker: 0, point: 5, restarts: 0 },
+            Event::WorkerRestarted { worker: 0, pid: 4243, restarts: 1 },
+            Event::BreakerTripped { worker: 0, point: 5, restarts: 3 },
             Event::DrainStarted { pending: 1 },
         ];
         for (t, ev) in events.iter().enumerate() {
@@ -150,10 +172,14 @@ mod tests {
     #[test]
     fn folds_the_lifecycle_counters_and_histograms() {
         let r = EventReport::from_jsonl(&sample_stream()).unwrap();
-        assert_eq!((r.lines, r.admitted, r.degraded, r.shed), (6, 2, 1, 1));
+        assert_eq!((r.lines, r.admitted, r.degraded, r.shed), (10, 2, 1, 1));
         assert_eq!((r.done, r.with_failures), (2, 1));
         assert_eq!((r.points, r.failed_points), (7, 1));
         assert_eq!((r.drains, r.last_drain_pending), (1, 1));
+        assert_eq!(
+            (r.worker_spawns, r.worker_crashes, r.worker_restarts, r.breaker_trips),
+            (1, 1, 1, 1)
+        );
         assert_eq!(r.queue_depth.count(), 3); // two admissions + one shed
         assert_eq!(r.latency_ms.count(), 2);
     }
@@ -164,7 +190,7 @@ mod tests {
         text.push_str("{\"t\":9,\"ev\":\"sweep_started\",\"points\":4,\"axes\":1,\"jobs\":2}\n");
         text.push('\n'); // blank lines are fine
         let r = EventReport::from_jsonl(&text).unwrap();
-        assert_eq!(r.lines, 7);
+        assert_eq!(r.lines, 11);
         assert_eq!(r.admitted, 2);
         assert!(EventReport::from_jsonl("not json\n").is_err());
     }
@@ -173,10 +199,13 @@ mod tests {
     fn render_mentions_every_section() {
         let r = EventReport::from_jsonl(&sample_stream()).unwrap();
         let text = r.render();
-        for needle in ["jobs", "points", "queue", "latency", "drains   1"] {
+        for needle in
+            ["jobs", "points", "queue", "latency", "drains   1", "1 spawned", "1 breaker trip"]
+        {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         let empty = EventReport::from_jsonl("").unwrap();
         assert!(empty.render().contains("no admission decisions"));
+        assert!(!empty.render().contains("spawned"), "workers line must be elided when idle");
     }
 }

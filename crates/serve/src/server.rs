@@ -19,6 +19,9 @@
 //! * **Isolation** — each job runs under `catch_unwind` on top of the
 //!   per-point isolation `run_sweep_hardened` already provides; a
 //!   connection handler panic answers `500` and the daemon lives on.
+//!   With `worker_processes > 0`, points execute in supervised worker
+//!   subprocesses (`vm-supervise`), so even a SIGSEGV, `abort()`, or
+//!   OOM kill costs the affected job a `500` — never the daemon.
 //! * **Drain** — SIGTERM (via the external flag) and the `drain` request
 //!   take the same path: stop admitting, cancel running sweeps
 //!   cooperatively (the in-flight point finishes and is journaled),
@@ -44,6 +47,7 @@ use vm_harden::{
 };
 use vm_obs::json::Value;
 use vm_obs::{Event, JsonlSink, LogHist, NopSink, Reporter, Sink};
+use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 
 use crate::job::{JobOutcome, JobSpec, JobState};
 use crate::proto::{
@@ -71,6 +75,14 @@ pub struct ServeConfig {
     /// Largest accepted request line, in bytes; longer requests answer
     /// `413` and the connection closes.
     pub max_request_bytes: usize,
+    /// Worker *subprocesses* for point execution (`0` = in-process).
+    /// With processes, a point that SIGSEGVs or aborts costs that job a
+    /// `500`, never the daemon: the supervisor restarts the worker and
+    /// the crash-loop breaker fails the job instead of wedging it.
+    pub worker_processes: usize,
+    /// Command line for worker subprocesses; `None` re-invokes the
+    /// current executable with the hidden `worker` argument.
+    pub worker_command: Option<WorkerCommand>,
     /// Fault injection applied to every job's sweep (chaos testing).
     pub chaos: ChaosPlan,
     /// Path for the vm-obs JSONL event stream (appended).
@@ -91,6 +103,8 @@ impl Default for ServeConfig {
             resume: false,
             io_timeout: Duration::from_secs(10),
             max_request_bytes: 1 << 20,
+            worker_processes: 0,
+            worker_command: None,
             chaos: ChaosPlan::default(),
             events: None,
             shutdown: None,
@@ -184,6 +198,10 @@ struct Shared {
     /// Event sequence counter (the `t` of daemon lifecycle events).
     seq: AtomicU64,
     stats: Mutex<ServeStats>,
+    /// Supervised worker-process pool, when `worker_processes > 0`.
+    /// Shared across jobs: workers are reused, and the crash-loop
+    /// breaker state spans job boundaries.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Shared {
@@ -243,6 +261,18 @@ impl Server {
             None => None,
         };
         let resume = config.resume;
+        let pool = match config.worker_processes {
+            0 => None,
+            n => {
+                let command = match &config.worker_command {
+                    Some(command) => command.clone(),
+                    None => WorkerCommand::current_exe(&["worker"])?,
+                };
+                let mut pool = PoolConfig::new(command);
+                pool.workers = n;
+                Some(Arc::new(WorkerPool::new(pool)))
+            }
+        };
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State { queue: VecDeque::new(), jobs: BTreeMap::new(), next_id: 1 }),
@@ -251,6 +281,7 @@ impl Server {
             sink: Mutex::new(sink),
             seq: AtomicU64::new(0),
             stats: Mutex::new(ServeStats::default()),
+            pool,
         });
         if resume {
             resume_jobs(&shared)?;
@@ -318,6 +349,14 @@ impl Server {
         drop(listener);
         for handle in workers {
             let _ = handle.join();
+        }
+        if let Some(pool) = &shared.pool {
+            // Reap worker subprocesses before reporting: a drained daemon
+            // must not leave orphans behind.
+            pool.shutdown();
+            for ev in pool.take_events() {
+                shared.emit(ev);
+            }
         }
         if let Some(sink) = shared.sink.lock().unwrap_or_else(|e| e.into_inner()).take() {
             let _ = sink.finish();
@@ -400,6 +439,13 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let started = Instant::now();
     let ran = catch_unwind(AssertUnwindSafe(|| execute_job(shared, &spec, &cancel, &done_points)));
     let wall_ms = started.elapsed().as_millis() as u64;
+    if let Some(pool) = &shared.pool {
+        // Supervision events (spawns, crashes, breaker trips) join the
+        // daemon's lifecycle stream under its sequence counter.
+        for ev in pool.take_events() {
+            shared.emit(ev);
+        }
+    }
 
     let (state, points, failed) = {
         let mut st = shared.lock_state();
@@ -408,7 +454,22 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             Ok(Ok(outcome)) => {
                 let was_cancelled = cancel.load(Ordering::Relaxed)
                     && outcome.failures.iter().any(|e| e.kind == FailureKind::Cancelled);
-                let state = if was_cancelled { JobState::Cancelled } else { JobState::Done };
+                // A crashed worker process (SIGSEGV, abort, OOM kill —
+                // breaker-tripped after restarts) fails the *job*: the
+                // client gets a 500, the daemon keeps serving.
+                let crash = outcome
+                    .failures
+                    .iter()
+                    .find(|e| e.kind == FailureKind::Crash)
+                    .map(|e| format!("point `{}`: {}", e.label, e.detail));
+                let state = if was_cancelled {
+                    JobState::Cancelled
+                } else if let Some(detail) = crash {
+                    job.error = Some(detail);
+                    JobState::Failed
+                } else {
+                    JobState::Done
+                };
                 job.done_points.store(outcome.results.len() as u64, Ordering::Relaxed);
                 job.outcome = Some(outcome);
                 state
@@ -474,10 +535,16 @@ fn execute_job(
     let journal = Mutex::new(writer);
 
     let policy = HardenPolicy {
-        retry: RetryPolicy { retries: spec.retries, backoff_base_ms: 0, backoff_cap_ms: 0 },
+        retry: RetryPolicy {
+            retries: spec.retries,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            jitter_seed: None,
+        },
         point_budget: spec.point_budget,
         chaos: shared.config.chaos.clone(),
         cancel: Some(Arc::clone(cancel)),
+        process: shared.pool.clone(),
     };
     let outcome = run_sweep_hardened(
         &plan,
@@ -897,6 +964,12 @@ fn handle_result(shared: &Shared, id: u64) -> Result<Value, ProtoError> {
             ),
         ));
     }
+    if job.state == JobState::Failed {
+        // Job-level death (crashed worker, panic outside isolation,
+        // broken plan at resume) is a server error, not a result.
+        let detail = job.error.clone().unwrap_or_else(|| "job failed".to_owned());
+        return Err(ProtoError::new(500, format!("job {id} failed: {detail}")));
+    }
     let (results, failures) = job
         .outcome
         .as_ref()
@@ -962,6 +1035,7 @@ fn handle_health(shared: &Shared) -> Value {
         ("queued", (st.queue.len() as u64).into()),
         ("running", running.into()),
         ("workers", (shared.config.workers.max(1) as u64).into()),
+        ("worker_processes", (shared.config.worker_processes as u64).into()),
     ])
 }
 

@@ -6,7 +6,10 @@
 Boots the daemon on an ephemeral port, submits a 4-point quick sweep,
 SIGTERMs it mid-run (graceful drain must exit 0), restarts with
 --resume, and asserts the healed results are bit-identical to an
-uninterrupted run.
+uninterrupted run. Then boots a daemon with a supervised worker
+subprocess (--workers 1), SIGKILLs the worker mid-job, and asserts the
+daemon stays healthy while the job's results come out byte-identical
+anyway (the supervisor restarts the worker and re-dispatches).
 """
 
 import json
@@ -106,8 +109,55 @@ report = subprocess.run(
 )
 assert "admitted 1" in report.stdout, report.stdout
 
+
+# Lifetime 3: a supervised worker subprocess gets SIGKILLed mid-job.
+# The daemon must stay healthy, the supervisor must restart the worker,
+# and the job's merged results must still match the reference byte for
+# byte.
+def find_worker(daemon_pid):
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit():
+            continue
+        try:
+            with open(f"/proc/{pid}/status") as f:
+                status = f.read()
+            with open(f"/proc/{pid}/cmdline", "rb") as f:
+                cmdline = f.read().split(b"\0")
+        except OSError:
+            continue
+        ppid = next(
+            (int(l.split()[1]) for l in status.splitlines() if l.startswith("PPid:")),
+            None,
+        )
+        if ppid == daemon_pid and b"worker" in cmdline:
+            return int(pid)
+    return None
+
+
+proc, port = start(["--workers", "1"])
+r = rpc(port, SUBMIT)
+assert r["ok"] and r["job"] == 1, r
+for _ in range(6000):  # a finished point proves a live, warmed-up worker
+    if rpc(port, {"req": "status", "job": 1})["done"] >= 1:
+        break
+    time.sleep(0.01)
+worker = find_worker(proc.pid)
+assert worker is not None, "no worker subprocess found under the daemon"
+os.kill(worker, signal.SIGKILL)
+wait_done(port, 1)
+health = rpc(port, {"req": "health"})
+assert health["state"] == "serving" and health["worker_processes"] == 1, health
+survived = rpc(port, {"req": "result", "job": 1})
+assert survived["ok"] and survived["failures"] == [], survived
+rpc(port, {"req": "drain"})
+assert proc.wait(timeout=60) == 0, "drain after a worker kill must exit 0"
+assert json.dumps(survived["results"], sort_keys=True) == json.dumps(
+    reference["results"], sort_keys=True
+), "results after a SIGKILLed worker are not bit-identical"
+
 shutil.rmtree(state)
 print(
     f"serve smoke ok: {len(resumed['results'])} points bit-identical after "
-    f"SIGTERM + --resume (seeded {resumed['resumed']} from the journal)"
+    f"SIGTERM + --resume (seeded {resumed['resumed']} from the journal) "
+    f"and after a SIGKILLed worker subprocess"
 )

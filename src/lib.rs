@@ -18,6 +18,10 @@
 //! * [`serve`] — the fault-tolerant simulation service behind
 //!   `repro serve`: admission control, load shedding, graceful drain
 //!   ([`vm_serve`]),
+//! * [`supervise`] — process-level fault isolation: the supervised
+//!   worker-process pool behind `--isolation process` and
+//!   `serve --workers`, with heartbeat liveness, crash-loop breakers,
+//!   and resource ceilings ([`vm_supervise`]),
 //! * [`experiments`] — figure/table drivers ([`vm_experiments`]).
 //!
 //! # Quick start
@@ -48,6 +52,7 @@ pub use vm_explore as explore;
 pub use vm_obs as obs;
 pub use vm_ptable as ptable;
 pub use vm_serve as serve;
+pub use vm_supervise as supervise;
 pub use vm_tlb as tlb;
 pub use vm_trace as trace;
 pub use vm_types as types;

@@ -48,9 +48,9 @@ impl Sink for CountingSink {
             Event::ContextSwitchFlush { .. } => self.flush += 1,
             Event::HandlerEviction { .. } => self.handler_eviction += 1,
             Event::TlbEviction { .. } => self.tlb_eviction += 1,
-            // Sweep/harden/serve lifecycle markers come from the explore
-            // executor and the vm-serve daemon, never from a single
-            // simulation run.
+            // Sweep/harden/serve/supervision lifecycle markers come from
+            // the explore executor, the vm-serve daemon, and the
+            // vm-supervise pool — never from a single simulation run.
             Event::SweepStarted { .. }
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
@@ -59,7 +59,11 @@ impl Sink for CountingSink {
             | Event::JobAdmitted { .. }
             | Event::JobShed { .. }
             | Event::JobDone { .. }
-            | Event::DrainStarted { .. } => {}
+            | Event::DrainStarted { .. }
+            | Event::WorkerSpawned { .. }
+            | Event::WorkerCrashed { .. }
+            | Event::WorkerRestarted { .. }
+            | Event::BreakerTripped { .. } => {}
         }
     }
 

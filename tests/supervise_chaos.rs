@@ -1,0 +1,236 @@
+//! End-to-end process-isolation chaos: a SIGKILLed worker is restarted
+//! and the merged results stay bit-identical to an uninterrupted
+//! in-process run; a point that aborts on every attempt trips the
+//! crash-loop breaker, is journaled as exactly one `crash` failure, and
+//! the sweep still completes with exit 0.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use vm_obs::json::Value;
+use vm_serve::{Client, ServeConfig, Server};
+use vm_supervise::WorkerCommand;
+
+const SPEC: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n";
+const SWEEP: &str = "tlb.entries=16,32,64,128";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vm-supervise-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Locates the `repro` binary next to the test executable, building it
+/// (same profile) when the harness compiled only the test targets.
+fn repro_bin() -> PathBuf {
+    let mut dir = std::env::current_exe().unwrap();
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        return bin;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", "vm-experiments", "--bin", "repro"]);
+    if dir.ends_with("release") {
+        build.arg("--release");
+    }
+    let status = build.status().expect("spawn cargo build for the repro binary");
+    assert!(status.success(), "cargo build -p vm-experiments --bin repro failed");
+    assert!(bin.exists(), "repro binary still missing at {}", bin.display());
+    bin
+}
+
+/// One `repro explore` invocation over [`SPEC`] x [`SWEEP`] at quick
+/// scale. Returns the merged CSV and the journal's line set.
+fn explore(
+    dir: &Path,
+    tag: &str,
+    extra: &[&str],
+    envs: &[(&str, String)],
+) -> (String, BTreeSet<String>) {
+    let spec = dir.join("system.toml");
+    std::fs::write(&spec, SPEC).unwrap();
+    let out = dir.join(format!("out-{tag}"));
+    let journal = dir.join(format!("{tag}.journal"));
+    let mut cmd = Command::new(repro_bin());
+    cmd.arg("explore")
+        .arg(&spec)
+        .args(["--sweep", SWEEP, "--quick", "-q"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--journal")
+        .arg(&journal)
+        .args(extra);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let output = cmd.output().expect("run repro explore");
+    assert!(
+        output.status.success(),
+        "repro explore ({tag}) exited {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read_to_string(out.join("explore.csv")).unwrap();
+    let lines = std::fs::read_to_string(&journal).unwrap().lines().map(str::to_owned).collect();
+    (csv, lines)
+}
+
+#[test]
+fn sigkilled_worker_restarts_and_results_stay_bit_identical() {
+    let dir = temp_dir("sigkill");
+    let (reference_csv, reference_journal) = explore(&dir, "reference", &["--jobs", "2"], &[]);
+
+    // SIGKILL the worker holding point 2, exactly once; the supervisor
+    // must restart it and re-dispatch the point.
+    let marker = dir.join("killed.marker");
+    let (csv, journal) = explore(
+        &dir,
+        "victim",
+        &["--jobs", "2", "--isolation", "process"],
+        &[
+            ("VM_SUPERVISE_KILL_POINT", "2".to_owned()),
+            ("VM_SUPERVISE_KILL_ONCE", marker.display().to_string()),
+        ],
+    );
+    assert!(marker.exists(), "the kill was never injected — the test proved nothing");
+    assert_eq!(csv, reference_csv, "surviving a SIGKILL must not change a single CSV byte");
+    assert_eq!(
+        journal, reference_journal,
+        "process-isolated journal entries must match the in-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_loop_trips_the_breaker_and_the_sweep_completes() {
+    let dir = temp_dir("crashloop");
+    let (reference_csv, reference_journal) = explore(&dir, "reference", &["--jobs", "2"], &[]);
+
+    // Point 1 aborts the worker on *every* attempt: restarts cannot
+    // help, the breaker must trip and fail the point — not the sweep.
+    let (csv, journal) = explore(
+        &dir,
+        "chaos",
+        &["--jobs", "2", "--isolation", "process", "--chaos", "abort@1"],
+        &[],
+    );
+    let failed: Vec<&String> =
+        journal.iter().filter(|l| l.contains("\"status\":\"failed\"")).collect();
+    assert_eq!(failed.len(), 1, "exactly the injected point fails:\n{journal:#?}");
+    assert!(
+        failed[0].contains("\"kind\":\"crash\"") && failed[0].contains("\"index\":1"),
+        "the breaker-tripped point is journaled as a crash: {}",
+        failed[0]
+    );
+    // Every surviving journal entry is byte-identical to the clean run.
+    for line in journal.iter().filter(|l| l.contains("\"status\":\"done\"")) {
+        assert!(
+            reference_journal.contains(line),
+            "surviving point diverged from the in-process run: {line}"
+        );
+    }
+    // The merged CSV is the reference minus the crashed point's row.
+    let reference_rows: BTreeSet<&str> = reference_csv.lines().collect();
+    let rows: Vec<&str> = csv.lines().collect();
+    assert_eq!(rows.len() + 1, reference_rows.len());
+    for row in rows {
+        assert!(reference_rows.contains(row), "CSV row diverged: {row}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn process_isolation_is_bit_identical_across_jobs() {
+    let dir = temp_dir("jobs");
+    let (csv1, journal1) = explore(&dir, "jobs1", &["--jobs", "1", "--isolation", "process"], &[]);
+    let (csv4, journal4) = explore(&dir, "jobs4", &["--jobs", "4", "--isolation", "process"], &[]);
+    assert_eq!(csv1, csv4, "merged CSV must not depend on worker count");
+    assert_eq!(journal1, journal4, "journal entries must not depend on worker count");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_answers_500_for_crashed_jobs_and_keeps_serving() {
+    // Point index 2 of any large-enough job aborts its worker process on
+    // every attempt; a two-point job never reaches the fault.
+    let config = ServeConfig {
+        workers: 1,
+        worker_processes: 1,
+        worker_command: Some(WorkerCommand::new(repro_bin(), &["worker"])),
+        chaos: vm_harden::ChaosPlan::parse("abort@2", 7).unwrap(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+
+    let submit = |c: &mut Client, sweep: &str| -> u64 {
+        let r = c
+            .request(&Value::obj([
+                ("req", "submit".into()),
+                ("spec", SPEC.into()),
+                ("sweep", Value::Arr(vec![Value::from(sweep)])),
+                ("warmup", 2_000u64.into()),
+                ("measure", 10_000u64.into()),
+            ]))
+            .unwrap();
+        r.get("job").and_then(Value::as_u64).unwrap()
+    };
+    let wait_terminal = |c: &mut Client, job: u64| -> String {
+        for _ in 0..4_000 {
+            let r =
+                c.request(&Value::obj([("req", "status".into()), ("job", job.into())])).unwrap();
+            let s = r.get("state").and_then(Value::as_str).unwrap().to_owned();
+            if s != "queued" && s != "running" {
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {job} never finished");
+    };
+
+    let doomed = submit(&mut c, SWEEP);
+    assert_eq!(wait_terminal(&mut c, doomed), "failed");
+    let result =
+        c.request(&Value::obj([("req", "result".into()), ("job", doomed.into())])).unwrap();
+    assert_eq!(result.get("code").and_then(Value::as_u64), Some(500), "{result}");
+    let error = result.get("error").and_then(Value::as_str).unwrap();
+    assert!(error.contains("crash"), "the 500 must name the crash: {error}");
+
+    // The daemon survived its worker's death: the next job completes.
+    let fine = submit(&mut c, "tlb.entries=16,32");
+    assert_eq!(wait_terminal(&mut c, fine), "done");
+    let result = c.request(&Value::obj([("req", "result".into()), ("job", fine.into())])).unwrap();
+    assert_eq!(result.get("code").and_then(Value::as_u64), Some(200), "{result}");
+    assert_eq!(result.get("results").unwrap().as_array().unwrap().len(), 2);
+
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    let summary = serve.join().unwrap().expect("drain must exit cleanly");
+    assert_eq!((summary.done, summary.failed_jobs), (1, 1));
+}
+
+#[test]
+fn process_killing_chaos_is_rejected_without_process_isolation() {
+    let dir = temp_dir("reject");
+    let spec = dir.join("system.toml");
+    std::fs::write(&spec, SPEC).unwrap();
+    let output = Command::new(repro_bin())
+        .arg("explore")
+        .arg(&spec)
+        .args(["--sweep", SWEEP, "--quick", "-q", "--chaos", "abort@1"])
+        .output()
+        .expect("run repro explore");
+    assert!(!output.status.success(), "abort chaos without process isolation must be refused");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--isolation process"), "unhelpful refusal: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
