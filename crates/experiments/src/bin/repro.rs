@@ -40,9 +40,11 @@
 //!   serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]
 //!         [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]
 //!         [--io-timeout-ms N] [--max-request-bytes N]
+//!         [--checkpoint-interval N] [--watch-buffer N]
 //!         [--chaos fault@ix,...] [--chaos-seed N]
 //!   serve-stats <events.jsonl>...
 //!   serve-bench [--batch N]
+//!   watch --addr HOST:PORT [JOB | --all] [--json]   (see docs/live.md)
 //!
 //! Results (tables, claims, CSV) go to stdout; progress (headings,
 //! heartbeats, timings) goes to stderr, gated by --verbosity.
@@ -62,6 +64,7 @@ use vm_experiments::{
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
 use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
 use vm_harden::{ChaosPlan, RetryPolicy};
+use vm_obs::json::Value;
 use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server};
 use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 use vm_trace::presets;
@@ -525,11 +528,22 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                 chaos_seed =
                     value("--chaos-seed")?.parse().map_err(|e| format!("bad --chaos-seed: {e}"))?
             }
+            "--checkpoint-interval" => {
+                config.checkpoint_interval = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-interval: {e}"))?
+            }
+            "--watch-buffer" => {
+                config.watch_buffer = value("--watch-buffer")?
+                    .parse()
+                    .map_err(|e| format!("bad --watch-buffer: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]\n\
                      \x20                  [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]\n\
                      \x20                  [--io-timeout-ms N] [--max-request-bytes N]\n\
+                     \x20                  [--checkpoint-interval N] [--watch-buffer N]\n\
                      \x20                  [--chaos fault@ix,...] [--chaos-seed N]\n\
                      Runs the newline-delimited-JSON simulation service until drained\n\
                      (drain request, SIGTERM, or SIGINT). See docs/serving.md.\n\
@@ -543,6 +557,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                      \x20 --state-dir     persist job specs + journals here (enables --resume)\n\
                      \x20 --resume        reload persisted jobs from --state-dir at startup\n\
                      \x20 --events        append vm-obs lifecycle events (JSONL) for serve-stats\n\
+                     \x20 --checkpoint-interval  instructions between live progress frames\n\
+                     \x20                 on the watch stream (default 100000; see docs/live.md)\n\
+                     \x20 --watch-buffer  per-subscriber frame queue bound; slower subscribers\n\
+                     \x20                 are dropped with a lagged frame (default 256)\n\
                      \x20 --chaos         inject faults into every job's sweep (chaos testing)"
                 );
                 return Ok(());
@@ -608,6 +626,97 @@ fn serve_stats_cmd(args: &[String]) -> Result<(), String> {
     }
     let report = EventReport::from_jsonl(&text)?;
     print!("{}", report.render());
+    Ok(())
+}
+
+/// The `watch` subcommand: subscribe to a daemon's live telemetry
+/// stream and render it as a terminal dashboard (or raw frames with
+/// `--json`). See docs/live.md for the frame schema.
+fn watch_cmd(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut job: Option<u64> = None;
+    let mut all = false;
+    let mut raw = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone()),
+            "--all" => all = true,
+            "--json" => raw = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro watch --addr HOST:PORT [JOB | --all] [--json]\n\
+                     Subscribes to a running vm-serve daemon and renders live job\n\
+                     telemetry: progress bars, instrs/sec, per-system partial VMCPI,\n\
+                     and a worker-health strip. With a JOB id the stream ends at that\n\
+                     job's terminal frame; --all watches everything until the daemon\n\
+                     drains. --json prints the raw NDJSON frames instead (one per\n\
+                     line, schema in docs/live.md)."
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for watch (try --help)"))
+            }
+            id => job = Some(id.parse().map_err(|_| format!("bad job id `{id}` (try --help)"))?),
+        }
+    }
+    let addr = addr.ok_or("watch needs --addr HOST:PORT (try --help)")?;
+    if all && job.is_some() {
+        return Err("pick one of JOB or --all, not both".to_owned());
+    }
+    let mut client =
+        vm_serve::Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut req = vec![("req".to_owned(), Value::from("watch"))];
+    match job {
+        Some(id) => req.push(("job".to_owned(), Value::from(id))),
+        None => req.push(("job".to_owned(), Value::from("*"))),
+    }
+    client.send(&Value::Obj(req)).map_err(|e| format!("cannot subscribe: {e}"))?;
+    let ack = client.next_line().map_err(|e| format!("no subscription ack: {e}"))?;
+    if ack.get("ok") != Some(&Value::Bool(true)) {
+        return Err(format!("daemon refused the watch: {ack}"));
+    }
+    // The daemon emits a keepalive tick every ~5 s of idle, so a read
+    // timeout here means it died rather than went quiet.
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| format!("{e}"))?;
+    let mut board = vm_serve::Dashboard::new();
+    let mut painted_lines = 0usize;
+    let mut saw_done = false;
+    loop {
+        let frame = match client.next_line() {
+            Ok(frame) => frame,
+            // For a single-job watch the daemon hangs up right after the
+            // terminal frame; that close is the normal end of stream.
+            Err(_) if saw_done => break,
+            Err(e) if e.contains("connection closed") => {
+                if !raw {
+                    eprintln!("daemon closed the stream (drained or restarted)");
+                }
+                break;
+            }
+            Err(e) => return Err(format!("watch stream failed: {e}")),
+        };
+        let kind = frame.get("frame").and_then(Value::as_str).unwrap_or("").to_owned();
+        if raw {
+            println!("{frame}");
+        } else {
+            board.apply(&frame);
+            if kind != "tick" {
+                let paint = board.repaint(painted_lines);
+                print!("{paint}");
+                let _ = std::io::stdout().flush();
+                painted_lines = board.render().lines().count();
+            }
+        }
+        match kind.as_str() {
+            "done" if job.is_some() => saw_done = true,
+            "lagged" => return Err("dropped as a slow subscriber — reconnect to resume".to_owned()),
+            _ => {}
+        }
+    }
     Ok(())
 }
 
@@ -911,11 +1020,13 @@ fn main() -> ExitCode {
             }
         };
     }
-    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench")) = args.first().map(String::as_str)
+    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch")) =
+        args.first().map(String::as_str)
     {
         let run = match cmd {
             "serve" => serve_cmd(&args[1..]),
             "serve-stats" => serve_stats_cmd(&args[1..]),
+            "watch" => watch_cmd(&args[1..]),
             _ => serve_bench_cmd(&args[1..]),
         };
         return match run {
@@ -998,7 +1109,8 @@ fn main() -> ExitCode {
                      \x20            document; either implies the `telemetry` experiment\n\
                      exploration: repro explore <spec.toml | dir> [--sweep key=v1,v2]... [--jobs N] (see explore --help)\n\
                      one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)\n\
-                     service:     repro serve | serve-stats | serve-bench (see serve --help and docs/serving.md)",
+                     service:     repro serve | serve-stats | serve-bench | watch (see serve --help, docs/serving.md,\n\
+                     \x20            and docs/live.md)",
                     registry::help_block()
                 );
                 return ExitCode::SUCCESS;

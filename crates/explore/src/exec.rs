@@ -42,11 +42,12 @@ use vm_harden::{
     quiet_panics, with_retry_salted, ChaosPlan, CheckedTrace, DeadlineSink, DynJournalWriter,
     FailureKind, Fault, JournalEntry, PointOutcome, RetryPolicy, SimError,
 };
-use vm_obs::{Event, Reporter, Sink};
+use vm_obs::{Event, Reporter, Sink, SnapshotSink, Tee};
 use vm_supervise::WorkerPool;
 use vm_types::SplitMix64;
 
 use crate::journal::result_to_value;
+use crate::progress::{PointCheckpoint, ProgressConfig};
 use crate::sweep::{PlannedPoint, SweepPlan};
 
 /// Run lengths for one sweep point.
@@ -97,6 +98,16 @@ pub struct HardenPolicy {
     /// aborts, segfaults, or is OOM-killed costs one worker, not the
     /// sweep ([`FailureKind::Crash`] once the crash-loop breaker trips).
     pub process: Option<Arc<WorkerPool>>,
+    /// Live progress reporting: when set, in-process points run with a
+    /// [`SnapshotSink`] attached and fire
+    /// [`SweepObserver::checkpoint`](crate::progress::SweepObserver::checkpoint)
+    /// every `interval` retired instructions; every point (including
+    /// process-isolated ones, which checkpoint only at point
+    /// granularity) fires `point_finished`, and supervised-pool
+    /// lifecycle events are drained to `pool_event` as points complete
+    /// instead of only at sweep teardown. Observers are observers:
+    /// results stay bit-identical with or without one attached.
+    pub progress: Option<ProgressConfig>,
 }
 
 /// One measured sweep point.
@@ -290,7 +301,7 @@ pub fn run_sweep_hardened<S: Sink>(
     }
 
     if !pending.is_empty() {
-        run_pending(points, &pending, exec, policy, reporter, journal, &slots);
+        run_pending(points, &pending, exec, policy, reporter, journal, &slots, S::ENABLED);
     }
 
     let mut outcomes = Vec::with_capacity(total);
@@ -341,9 +352,16 @@ pub fn run_sweep_hardened<S: Sink>(
             }
         }
     } else if let Some(pool) = &policy.process {
-        // Keep a sink-less sweep from accumulating events forever on a
-        // pool that outlives it.
-        pool.take_events();
+        // A sink-less sweep must not accumulate events forever on a pool
+        // that outlives it: drain, and hand any leftovers (events raced
+        // in after the last per-point drain) to the observer instead of
+        // discarding them.
+        let leftovers = pool.take_events();
+        if let Some(progress) = &policy.progress {
+            for ev in &leftovers {
+                progress.observer.pool_event(ev);
+            }
+        }
     }
     SweepOutcome { outcomes, attempts, resumed }
 }
@@ -365,6 +383,7 @@ fn run_pending(
     reporter: &Reporter,
     journal: Option<&Mutex<DynJournalWriter>>,
     slots: &[Mutex<Option<(SweepPointOutcome, u32)>>],
+    sink_enabled: bool,
 ) {
     let jobs = exec.jobs.max(1).min(pending.len());
     let planned_instrs = (exec.warmup + exec.measure) * pending.len() as u64;
@@ -406,6 +425,9 @@ fn run_pending(
                             "sweep cancelled before this point ran",
                         );
                         *lock_slot(&slots[ix]) = Some((PointOutcome::Failed(e), 1));
+                        if let Some(progress) = &policy.progress {
+                            progress.observer.point_finished(ix, false);
+                        }
                         continue;
                     }
                     let t0 = Instant::now();
@@ -429,7 +451,23 @@ fn run_pending(
                         outcome.status_label(),
                         t0.elapsed().as_secs_f64()
                     ));
+                    let ok = matches!(outcome, PointOutcome::Completed(_));
                     *lock_slot(&slots[ix]) = Some((outcome, tries));
+                    if let Some(progress) = &policy.progress {
+                        progress.observer.point_finished(ix, ok);
+                        // Deliver supervision telemetry (crashes,
+                        // restarts, breaker trips) live, per point,
+                        // rather than only at sweep teardown. When a
+                        // recording sink is attached it keeps its
+                        // deterministic teardown drain instead.
+                        if !sink_enabled {
+                            if let Some(pool) = &policy.process {
+                                for ev in pool.take_events() {
+                                    progress.observer.pool_event(&ev);
+                                }
+                            }
+                        }
+                    }
                 }
             }));
         }
@@ -573,8 +611,8 @@ fn try_measure_point(
     let horizon = exec.warmup + exec.measure;
     let checked = CheckedTrace::new(policy.chaos.wrap(point.index, horizon, trace));
     let run = catch_unwind(AssertUnwindSafe(|| {
-        match policy.point_budget {
-            Some(budget) => simulate_with_sink(
+        match (&policy.progress, policy.point_budget) {
+            (None, Some(budget)) => simulate_with_sink(
                 &point.config,
                 checked,
                 exec.warmup,
@@ -582,7 +620,31 @@ fn try_measure_point(
                 DeadlineSink::new(budget),
             )
             .map(|(report, _)| report),
-            None => simulate(&point.config, checked, exec.warmup, exec.measure),
+            (None, None) => simulate(&point.config, checked, exec.warmup, exec.measure),
+            (Some(progress), budget) => {
+                // Sinks are observers by construction, so attaching the
+                // snapshot sink (alone or teed with the deadline) leaves
+                // the measured results bit-identical.
+                let cost = CostModel::paper(point.spec.interrupt_cycles);
+                let observer = &progress.observer;
+                let snap = SnapshotSink::new(progress.interval, |cp| {
+                    observer.checkpoint(&PointCheckpoint::from_snapshot(point, cp, horizon, &cost));
+                });
+                match budget {
+                    Some(budget) => simulate_with_sink(
+                        &point.config,
+                        checked,
+                        exec.warmup,
+                        exec.measure,
+                        Tee(DeadlineSink::new(budget), snap),
+                    )
+                    .map(|(report, _)| report),
+                    None => {
+                        simulate_with_sink(&point.config, checked, exec.warmup, exec.measure, snap)
+                            .map(|(report, _)| report)
+                    }
+                }
+            }
         }
         .map_err(|e| point_error(point, FailureKind::Build, e.to_string()))
     }));
@@ -677,6 +739,71 @@ mod tests {
             .collect();
         assert_eq!(indices, [0, 1, 2, 3]);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn attached_observer_does_not_perturb_results_and_sees_progress() {
+        use crate::progress::SweepObserver;
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Default)]
+        struct Spy {
+            checkpoints: StdMutex<Vec<(usize, u64, u64)>>,
+            finished: StdMutex<Vec<(usize, bool)>>,
+        }
+        impl SweepObserver for Spy {
+            fn checkpoint(&self, cp: &PointCheckpoint) {
+                assert!(cp.instrs <= cp.instrs_total);
+                assert!(cp.vmcpi >= 0.0 && cp.mcpi >= 0.0);
+                self.checkpoints.lock().unwrap().push((cp.index, cp.seq, cp.instrs));
+            }
+            fn point_finished(&self, index: usize, ok: bool) {
+                self.finished.lock().unwrap().push((index, ok));
+            }
+        }
+
+        let plan = tiny_plan();
+        let plain = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &HardenPolicy::default(),
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        let spy = Arc::new(Spy::default());
+        let policy = HardenPolicy {
+            progress: Some(ProgressConfig::new(1_000, spy.clone())),
+            ..HardenPolicy::default()
+        };
+        let watched = run_sweep_hardened(
+            &plan,
+            &tiny_exec(2),
+            &policy,
+            BTreeMap::new(),
+            &Reporter::silent(),
+            &mut NopSink,
+            None,
+        );
+        // The observer is an observer: results are bit-identical.
+        assert_eq!(plain.outcomes, watched.outcomes);
+
+        let mut finished = spy.finished.lock().unwrap().clone();
+        finished.sort_unstable();
+        assert_eq!(finished, vec![(0, true), (1, true), (2, true), (3, true)]);
+        let checkpoints = spy.checkpoints.lock().unwrap().clone();
+        assert!(!checkpoints.is_empty(), "no checkpoints fired");
+        for ix in 0..4 {
+            let per_point: Vec<_> = checkpoints.iter().filter(|c| c.0 == ix).collect();
+            assert!(per_point.len() >= 3, "point {ix} fired {} checkpoints", per_point.len());
+            // seq and cumulative instrs are strictly increasing within
+            // a point.
+            for pair in per_point.windows(2) {
+                assert!(pair[1].1 > pair[0].1);
+                assert!(pair[1].2 > pair[0].2);
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod exec;
 pub mod journal;
 pub mod process;
+pub mod progress;
 pub mod spec;
 pub mod sweep;
 
@@ -46,5 +47,6 @@ pub use journal::{
     plan_fingerprint, result_from_value, result_to_value, run_header, seeded_from_journal,
 };
 pub use process::{handle_request, request_line, serve_worker};
+pub use progress::{PointCheckpoint, ProgressConfig, SweepObserver};
 pub use spec::{SpecError, SystemSpec, ValidateError, PAGE_BYTES};
 pub use sweep::{Axis, PlannedPoint, SkippedPoint, SweepPlan};

@@ -156,6 +156,9 @@ fn parse_request(line: &str) -> Result<WireRequest, String> {
             chaos,
             cancel: None,
             process: None,
+            // Checkpoints do not cross the worker wire: a supervised
+            // point reports progress at point granularity only.
+            progress: None,
         },
     })
 }

@@ -92,6 +92,12 @@ impl From<u64> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
 impl From<u32> for Value {
     fn from(n: u32) -> Value {
         Value::Num(f64::from(n))

@@ -51,10 +51,12 @@ pub mod export;
 pub mod json;
 pub mod reporter;
 pub mod sink;
+pub mod snapshot;
 pub mod stats;
 
 pub use event::{CacheId, Event};
 pub use export::{summary_line, ChromeTraceSink, JsonlSink};
 pub use reporter::{set_global_verbosity, Reporter, Verbosity};
 pub use sink::{NopSink, RecordingSink, SharedSink, Sink, Tee};
+pub use snapshot::{SnapshotCheckpoint, SnapshotSink};
 pub use stats::{HistSummary, LogHist, ObsCounters, ObsSnapshot, StatsSink};

@@ -14,7 +14,9 @@
 //! mechanism instead of ad-hoc stderr prints.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide verbosity, consulted by [`Reporter::global`]. Defaults to
 /// [`Verbosity::Quiet`] so library callers (and tests) stay silent unless
@@ -25,6 +27,21 @@ static GLOBAL_VERBOSITY: AtomicU8 = AtomicU8::new(0);
 /// once by the `repro` binary after parsing `--verbosity`.
 pub fn set_global_verbosity(v: Verbosity) {
     GLOBAL_VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+/// Orders whole stderr lines across threads. Every progress path formats
+/// its complete line (with the trailing newline) *before* taking this
+/// lock, then issues a single `write_all`, so concurrent sweep workers
+/// and the heartbeat thread can never interleave torn fragments.
+static STDERR_LINE: Mutex<()> = Mutex::new(());
+
+/// Writes one complete line to stderr atomically with respect to every
+/// other reporter in the process.
+fn stderr_line(msg: impl Display) {
+    let mut line = msg.to_string();
+    line.push('\n');
+    let _order = STDERR_LINE.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
 }
 
 /// How chatty progress reporting should be.
@@ -94,26 +111,29 @@ impl Reporter {
         println!("{msg}");
     }
 
-    /// A progress line: stderr, at Normal verbosity and above.
+    /// A progress line: stderr, at Normal verbosity and above. Lines are
+    /// written whole — concurrent workers never produce torn output.
     pub fn progress(&self, msg: impl Display) {
         if self.verbosity >= Verbosity::Normal {
-            eprintln!("{msg}");
+            stderr_line(msg);
         }
     }
 
-    /// A detail line (per-job completions, heartbeats): stderr, at
-    /// Verbose only.
+    /// A detail line (per-job completions): stderr, at Verbose only.
+    /// Lines are written whole, like [`Reporter::progress`].
     pub fn detail(&self, msg: impl Display) {
         if self.verbosity >= Verbosity::Verbose {
-            eprintln!("{msg}");
+            stderr_line(msg);
         }
     }
 
     /// A heartbeat line: stderr, at Normal and above. Kept distinct from
-    /// [`Reporter::detail`] so long sweeps stay visible by default.
+    /// [`Reporter::detail`] so long sweeps stay visible by default. The
+    /// heartbeat thread shares the line-ordered writer with the sweep
+    /// workers, so a heartbeat can never land mid-progress-line.
     pub fn heartbeat(&self, msg: impl Display) {
         if self.verbosity >= Verbosity::Normal {
-            eprintln!("{msg}");
+            stderr_line(msg);
         }
     }
 }
@@ -141,5 +161,26 @@ mod tests {
     #[test]
     fn silent_reporter_is_quiet() {
         assert_eq!(Reporter::silent().verbosity(), Verbosity::Quiet);
+    }
+
+    #[test]
+    fn concurrent_reporters_do_not_deadlock() {
+        // Quiet reporters skip the write but the point is that many
+        // threads hammering the reporting paths terminate cleanly.
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let r = Reporter::new(Verbosity::Quiet);
+                    for j in 0..100 {
+                        r.progress(format_args!("t{i} line {j}"));
+                        r.heartbeat(format_args!("t{i} beat {j}"));
+                        r.detail(format_args!("t{i} detail {j}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
     }
 }

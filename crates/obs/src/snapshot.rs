@@ -1,0 +1,219 @@
+//! Periodic progress checkpoints over a live event stream.
+//!
+//! [`SnapshotSink`] wraps a [`StatsSink`] and fires a callback with the
+//! partial [`ObsSnapshot`] every `interval` retired instructions. The
+//! schedule is driven entirely by the simulation's own instruction
+//! clock (`now`), never wall time, so an attached snapshot sink is
+//! deterministic: the same trace produces the same checkpoints at the
+//! same instants, and because sinks are observers by construction the
+//! simulated results are bit-identical with or without one attached.
+//!
+//! The instruction clock restarts at the warm-up boundary (the core
+//! resets sinks there so counters reconcile with the report). The sink
+//! keeps a cumulative instruction count across those resets, so a
+//! consumer tracking overall progress sees a monotonic `instrs` even
+//! though `now` and the snapshot itself restart per phase.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use crate::stats::{ObsSnapshot, StatsSink};
+
+/// One fired checkpoint, passed by reference to the callback.
+#[derive(Debug)]
+pub struct SnapshotCheckpoint<'a> {
+    /// 1-based checkpoint ordinal, monotonic across phase resets.
+    pub seq: u64,
+    /// Instruction clock within the current phase (warm-up or measure).
+    pub now: u64,
+    /// Cumulative instructions across phases — monotonic for the whole
+    /// simulation even though `now` restarts at the warm-up boundary.
+    pub instrs: u64,
+    /// The partial snapshot aggregated since the last phase reset.
+    pub snapshot: &'a ObsSnapshot,
+}
+
+/// A [`Sink`] that aggregates like [`StatsSink`] and additionally fires
+/// `callback` once per `interval` retired instructions.
+///
+/// The callback fires on the first event whose `now` reaches the next
+/// multiple of `interval`; quiet stretches with no events fire late (at
+/// the next event) rather than on a timer, keeping the schedule a pure
+/// function of the event stream.
+pub struct SnapshotSink<F: FnMut(&SnapshotCheckpoint<'_>)> {
+    stats: StatsSink,
+    interval: u64,
+    next: u64,
+    seq: u64,
+    /// Instructions retired in completed (reset-terminated) phases.
+    done: u64,
+    /// Latest `now` observed in the current phase.
+    phase_last: u64,
+    callback: F,
+}
+
+impl<F: FnMut(&SnapshotCheckpoint<'_>)> SnapshotSink<F> {
+    /// Creates a sink firing `callback` every `interval` instructions
+    /// (clamped to at least 1).
+    pub fn new(interval: u64, callback: F) -> SnapshotSink<F> {
+        let interval = interval.max(1);
+        SnapshotSink {
+            stats: StatsSink::new(),
+            interval,
+            next: interval,
+            seq: 0,
+            done: 0,
+            phase_last: 0,
+            callback,
+        }
+    }
+
+    /// Checkpoints fired so far (across phase resets).
+    pub fn checkpoints(&self) -> u64 {
+        self.seq
+    }
+
+    /// The running snapshot for the current phase.
+    pub fn snap(&self) -> &ObsSnapshot {
+        self.stats.snap()
+    }
+}
+
+impl<F: FnMut(&SnapshotCheckpoint<'_>)> std::fmt::Debug for SnapshotSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotSink")
+            .field("interval", &self.interval)
+            .field("next", &self.next)
+            .field("seq", &self.seq)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(&SnapshotCheckpoint<'_>)> Sink for SnapshotSink<F> {
+    fn emit(&mut self, now: u64, ev: &Event) {
+        self.stats.emit(now, ev);
+        self.phase_last = self.phase_last.max(now);
+        if now >= self.next {
+            self.seq += 1;
+            let cp = SnapshotCheckpoint {
+                seq: self.seq,
+                now,
+                instrs: self.done.saturating_add(now),
+                snapshot: self.stats.snap(),
+            };
+            (self.callback)(&cp);
+            self.next = (now / self.interval + 1).saturating_mul(self.interval);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stats.reset();
+        self.done = self.done.saturating_add(self.phase_last);
+        self.phase_last = 0;
+        self.next = self.interval;
+        // `seq` keeps counting: checkpoint ordinals stay monotonic for
+        // the whole simulation, not per phase.
+    }
+
+    fn snapshot(&self) -> Option<ObsSnapshot> {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_types::{AccessKind, AddressSpace, HandlerLevel, Vpn};
+
+    fn miss(now: u64) -> (u64, Event) {
+        (
+            now,
+            Event::TlbMiss {
+                class: AccessKind::Load,
+                level: HandlerLevel::User,
+                vpn: Vpn::new(AddressSpace::User, now),
+                asid: 0,
+            },
+        )
+    }
+
+    fn walk(now: u64, cycles: u64) -> (u64, Event) {
+        (now, Event::WalkComplete { level: HandlerLevel::User, cycles, memrefs: 2 })
+    }
+
+    fn drive<F: FnMut(&SnapshotCheckpoint<'_>)>(
+        sink: &mut SnapshotSink<F>,
+        events: &[(u64, Event)],
+    ) {
+        for (now, ev) in events {
+            sink.emit(*now, ev);
+        }
+    }
+
+    #[test]
+    fn fires_once_per_interval_boundary() {
+        let mut fired = Vec::new();
+        let mut sink = SnapshotSink::new(100, |cp| fired.push((cp.seq, cp.now, cp.instrs)));
+        drive(&mut sink, &[miss(10), walk(99, 30), miss(100), miss(150), walk(305, 40)]);
+        // 100 trips the first boundary; 150 is inside the same window;
+        // 305 skips the 200 window entirely and fires at 305.
+        assert_eq!(sink.checkpoints(), 2);
+        assert_eq!(fired, vec![(1, 100, 100), (2, 305, 305)]);
+    }
+
+    #[test]
+    fn interval_zero_is_clamped_and_every_event_checkpoints() {
+        let mut fired = 0u64;
+        let mut sink = SnapshotSink::new(0, |_| fired += 1);
+        drive(&mut sink, &[miss(1), miss(2), miss(3)]);
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn reset_restarts_the_phase_but_instrs_stay_cumulative() {
+        let mut fired = Vec::new();
+        let mut sink = SnapshotSink::new(50, |cp| {
+            fired.push((cp.seq, cp.instrs, cp.snapshot.counters.tlb_misses.iter().sum::<u64>()))
+        });
+        drive(&mut sink, &[miss(20), miss(60)]);
+        sink.reset();
+        drive(&mut sink, &[miss(55)]);
+        // Warm-up phase ended at now=60: the measure-phase checkpoint at
+        // now=55 reports 60 + 55 cumulative instructions but only the
+        // one post-reset miss (stats reconcile with the measured report).
+        assert_eq!(fired, vec![(1, 60, 2), (2, 115, 1)]);
+    }
+
+    #[test]
+    fn identical_streams_checkpoint_identically() {
+        let stream: Vec<(u64, Event)> =
+            (1..40).map(|i| if i % 3 == 0 { walk(i * 7, i) } else { miss(i * 7) }).collect();
+        let run = |events: &[(u64, Event)]| {
+            let mut fired = Vec::new();
+            let mut sink = SnapshotSink::new(64, |cp| {
+                fired.push((cp.seq, cp.now, cp.instrs, cp.snapshot.clone()))
+            });
+            drive(&mut sink, events);
+            fired
+        };
+        let (a, b) = (run(&stream), run(&stream));
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.0, x.1, x.2), (y.0, y.1, y.2));
+            assert_eq!(x.3, y.3, "snapshots diverged at seq {}", x.0);
+        }
+    }
+
+    #[test]
+    fn aggregation_matches_a_plain_stats_sink() {
+        let stream: Vec<(u64, Event)> = (1..30).map(|i| walk(i * 11, i + 3)).collect();
+        let mut plain = StatsSink::new();
+        let mut snap = SnapshotSink::new(1 << 20, |_| {});
+        for (now, ev) in &stream {
+            plain.emit(*now, ev);
+            snap.emit(*now, ev);
+        }
+        assert_eq!(plain.snapshot(), snap.snapshot());
+    }
+}

@@ -53,6 +53,39 @@ impl Client {
         json::parse(reply.trim()).map_err(|e| format!("bad response: {e} in {reply:?}"))
     }
 
+    /// Sends `body` as one line without waiting for a response — the
+    /// first half of a `watch` stream upgrade.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn send(&mut self, body: &Value) -> Result<(), String> {
+        self.stream
+            .write_all(format!("{body}\n").as_bytes())
+            .map_err(|e| format!("write failed: {e}"))
+    }
+
+    /// Reads and parses the next line from the stream — watch frames
+    /// after a [`Client::send`] of a `watch` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure (including a read timeout), a
+    /// closed connection, or an unparseable line.
+    pub fn next_line(&mut self) -> Result<Value, String> {
+        let line = self.read_line()?;
+        json::parse(line.trim()).map_err(|e| format!("bad frame: {e} in {line:?}"))
+    }
+
+    /// Overrides the read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     fn read_line(&mut self) -> Result<String, String> {
         let mut chunk = [0u8; 4096];
         loop {

@@ -1,0 +1,318 @@
+//! The `repro watch` terminal dashboard: a pure state machine over
+//! watch frames.
+//!
+//! [`Dashboard::apply`] folds raw frames (the `watch` stream documented
+//! in `docs/live.md`) into per-job views; [`Dashboard::render`] turns
+//! the state into plain text — progress bars, rolling instruction
+//! rates, per-system partial VMCPI, a worker-health strip. Rendering is
+//! side-effect free so tests can pin its content; the binary wraps it
+//! in minimal ANSI cursor movement ([`Dashboard::repaint`]) to repaint
+//! in place. No external crates, no terminfo — plain ANSI only.
+
+use std::collections::BTreeMap;
+
+use vm_obs::json::Value;
+
+const BAR_WIDTH: usize = 24;
+
+/// Latest partial metrics for one system label within a job.
+#[derive(Debug, Clone, Default)]
+struct SystemView {
+    vmcpi: f64,
+    mcpi: f64,
+    tlb_misses: u64,
+    walks: u64,
+}
+
+/// Live view of one job.
+#[derive(Debug, Clone, Default)]
+struct JobView {
+    state: String,
+    done: u64,
+    points: u64,
+    percent: f64,
+    degraded: bool,
+    queue_depth: u64,
+    failed: u64,
+    /// `(t_ms, overall_instrs)` of the previous progress frame, for the
+    /// instruction-rate estimate.
+    last: Option<(u64, u64)>,
+    /// Exponentially-smoothed instructions per second.
+    rate: f64,
+    /// Partial metrics per system label, latest checkpoint wins.
+    systems: BTreeMap<String, SystemView>,
+}
+
+/// Worker-health strip counters, folded from `worker` frames.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStrip {
+    spawned: u64,
+    crashed: u64,
+    restarted: u64,
+    breaker_trips: u64,
+}
+
+/// Terminal dashboard state: feed it frames, ask it to render.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    jobs: BTreeMap<u64, JobView>,
+    workers: WorkerStrip,
+    draining: bool,
+    lagged: bool,
+    frames: u64,
+}
+
+impl Dashboard {
+    /// An empty dashboard.
+    pub fn new() -> Dashboard {
+        Dashboard::default()
+    }
+
+    /// Total frames applied (ticks included).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// True once a `lagged` frame arrived (the stream is over).
+    pub fn lagged(&self) -> bool {
+        self.lagged
+    }
+
+    /// Folds one frame into the state. Returns `true` if the frame was
+    /// recognized (unknown frame kinds are ignored — forward
+    /// compatibility, mirroring how `serve-stats` skips foreign events).
+    pub fn apply(&mut self, frame: &Value) -> bool {
+        self.frames += 1;
+        let int = |k: &str| frame.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let num = |k: &str| frame.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let flag = |k: &str| matches!(frame.get(k), Some(Value::Bool(true)));
+        match frame.get("frame").and_then(Value::as_str) {
+            Some("admitted") => {
+                let job = self.jobs.entry(int("job")).or_default();
+                job.state = "queued".to_owned();
+                job.points = int("points");
+                job.degraded = flag("degraded");
+                job.queue_depth = int("queue_depth");
+            }
+            Some("progress") => {
+                let t = int("t");
+                let (instrs, total) = (int("instrs"), int("instrs_total"));
+                let done = int("done");
+                let job = self.jobs.entry(int("job")).or_default();
+                job.state = "running".to_owned();
+                job.done = done;
+                job.points = int("points").max(job.points);
+                job.percent = num("percent");
+                job.degraded = flag("degraded");
+                job.queue_depth = int("queue_depth");
+                let overall = done * total + instrs.min(total);
+                if let Some((t0, prev)) = job.last {
+                    let dt_s = t.saturating_sub(t0) as f64 / 1_000.0;
+                    if dt_s > 0.0 && overall > prev {
+                        let inst = (overall - prev) as f64 / dt_s;
+                        // Light smoothing: steady enough to read, live
+                        // enough to notice a stall.
+                        job.rate = if job.rate > 0.0 { 0.7 * job.rate + 0.3 * inst } else { inst };
+                    }
+                }
+                job.last = Some((t, overall));
+                if let Some(label) = frame.get("label").and_then(Value::as_str) {
+                    let system = job.systems.entry(label.to_owned()).or_default();
+                    system.vmcpi = num("vmcpi");
+                    system.mcpi = num("mcpi");
+                    system.tlb_misses = int("tlb_misses");
+                    system.walks = int("walks");
+                }
+            }
+            Some("point_done") => {
+                let ok = flag("ok");
+                let job = self.jobs.entry(int("job")).or_default();
+                job.done = int("done").max(job.done);
+                job.points = int("points").max(job.points);
+                if !ok {
+                    job.failed += 1;
+                }
+            }
+            Some("done") => {
+                let job = self.jobs.entry(int("job")).or_default();
+                job.state = frame.get("state").and_then(Value::as_str).unwrap_or("done").to_owned();
+                job.done = int("points").max(job.done);
+                job.points = job.points.max(job.done);
+                job.failed = int("failed");
+                if job.state == "done" {
+                    job.percent = 100.0;
+                }
+            }
+            Some("worker") => match frame.get("kind").and_then(Value::as_str) {
+                Some("worker_spawned") => self.workers.spawned += 1,
+                Some("worker_crashed") => self.workers.crashed += 1,
+                Some("worker_restarted") => self.workers.restarted += 1,
+                Some("breaker_tripped") => self.workers.breaker_trips += 1,
+                _ => {}
+            },
+            Some("drain") => self.draining = true,
+            Some("lagged") => self.lagged = true,
+            Some("tick") => {}
+            _ => return false,
+        }
+        true
+    }
+
+    /// Renders the dashboard as plain text (no ANSI), one trailing
+    /// newline per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let drain = if self.draining { " — draining" } else { "" };
+        out.push_str(&format!("vm-live  {} job(s){drain}\n", self.jobs.len()));
+        for (id, job) in &self.jobs {
+            let flags = match (job.degraded, job.failed > 0) {
+                (true, true) => "  [degraded, failures]",
+                (true, false) => "  [degraded]",
+                (false, true) => "  [failures]",
+                (false, false) => "",
+            };
+            let rate = if job.rate > 0.0 {
+                format!("  {:.1}M instrs/s", job.rate / 1e6)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                " job {id} [{}] {:5.1}%  {}/{} pts  {}{rate}{flags}\n",
+                bar(job.percent),
+                job.percent,
+                job.done,
+                job.points,
+                job.state,
+            ));
+            for (label, s) in &job.systems {
+                out.push_str(&format!(
+                    "   {label}: vmcpi {:.4}  mcpi {:.4}  ({} misses, {} walks)\n",
+                    s.vmcpi, s.mcpi, s.tlb_misses, s.walks
+                ));
+            }
+        }
+        let w = &self.workers;
+        if w.spawned + w.crashed + w.restarted + w.breaker_trips > 0 {
+            out.push_str(&format!(
+                " workers  {} spawned, {} crashed, {} restarted, {} breaker trip(s)\n",
+                w.spawned, w.crashed, w.restarted, w.breaker_trips
+            ));
+        }
+        if self.lagged {
+            out.push_str(" stream lagged: dropped as a slow subscriber — reconnect to resume\n");
+        }
+        out
+    }
+
+    /// Renders with an ANSI prefix that erases the previous paint of
+    /// `prev_lines` lines. The caller tracks the line count between
+    /// calls (count the `\n`s of what it last wrote).
+    pub fn repaint(&self, prev_lines: usize) -> String {
+        let body = self.render();
+        if prev_lines == 0 {
+            return body;
+        }
+        // Cursor up N, then erase to end of screen, then repaint.
+        format!("\x1b[{prev_lines}A\x1b[0J{body}")
+    }
+}
+
+/// A `####----` progress bar, `BAR_WIDTH` characters wide.
+fn bar(percent: f64) -> String {
+    let filled = ((percent.clamp(0.0, 100.0) / 100.0) * BAR_WIDTH as f64).round() as usize;
+    let mut s = String::with_capacity(BAR_WIDTH);
+    for i in 0..BAR_WIDTH {
+        s.push(if i < filled { '#' } else { '-' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watch;
+    use vm_explore::PointCheckpoint;
+    use vm_obs::Event;
+
+    fn checkpoint(instrs: u64) -> PointCheckpoint {
+        PointCheckpoint {
+            index: 0,
+            label: "ULTRIX tlb.entries=64".to_owned(),
+            workload: "gcc".to_owned(),
+            seq: 1,
+            instrs,
+            instrs_total: 1_000,
+            vmcpi: 0.08,
+            mcpi: 0.31,
+            tlb_misses: 42,
+            walks: 42,
+        }
+    }
+
+    #[test]
+    fn frames_fold_into_a_readable_board() {
+        let mut d = Dashboard::new();
+        assert!(d.apply(&watch::admitted_frame(1, 1, 4, 1, false)));
+        assert!(d.apply(&watch::progress_frame(10, 1, &checkpoint(500), 0, 4, 0, false)));
+        assert!(d.apply(&watch::point_frame(20, 1, 0, true, 1, 4)));
+        let text = d.render();
+        assert!(text.contains("vm-live  1 job(s)"), "{text}");
+        assert!(text.contains("job 1 ["), "{text}");
+        assert!(text.contains("1/4 pts"), "{text}");
+        assert!(text.contains("ULTRIX tlb.entries=64: vmcpi 0.0800"), "{text}");
+        assert!(!text.contains("workers"), "idle strip must be elided: {text}");
+    }
+
+    #[test]
+    fn rate_needs_two_progress_frames_and_smooths() {
+        let mut d = Dashboard::new();
+        d.apply(&watch::progress_frame(1_000, 1, &checkpoint(100), 0, 4, 0, false));
+        assert!(!d.render().contains("instrs/s"));
+        // +400 instrs in 1 s → 400 instrs/s.
+        d.apply(&watch::progress_frame(2_000, 1, &checkpoint(500), 0, 4, 0, false));
+        let job = d.jobs.get(&1).unwrap();
+        assert!((job.rate - 400.0).abs() < 1e-6, "rate {}", job.rate);
+    }
+
+    #[test]
+    fn done_and_worker_and_drain_frames_update_the_board() {
+        let mut d = Dashboard::new();
+        d.apply(&watch::admitted_frame(1, 7, 4, 0, true));
+        d.apply(&watch::worker_frame(2, &Event::WorkerSpawned { worker: 0, pid: 42 }));
+        d.apply(&watch::worker_frame(
+            3,
+            &Event::WorkerCrashed { worker: 0, point: 1, restarts: 0 },
+        ));
+        d.apply(&watch::done_frame(9, 7, "done", 4, 0, 1234));
+        d.apply(&watch::drain_frame(10, 0));
+        let text = d.render();
+        assert!(text.contains("— draining"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(text.contains("[degraded]"), "{text}");
+        assert!(text.contains("1 spawned, 1 crashed"), "{text}");
+        assert!(d.apply(&watch::tick_frame(11)), "ticks are recognized");
+        assert!(!d.apply(&Value::obj([("frame", "hologram".into())])), "unknown frames refused");
+    }
+
+    #[test]
+    fn lagged_frame_ends_the_board_with_a_notice() {
+        let mut d = Dashboard::new();
+        d.apply(&watch::lagged_frame(5));
+        assert!(d.lagged());
+        assert!(d.render().contains("lagged"));
+    }
+
+    #[test]
+    fn repaint_prefixes_cursor_movement_only_after_a_first_paint() {
+        let d = Dashboard::new();
+        assert!(!d.repaint(0).starts_with('\x1b'));
+        assert!(d.repaint(3).starts_with("\x1b[3A\x1b[0J"));
+    }
+
+    #[test]
+    fn bars_scale_with_percent() {
+        assert_eq!(bar(0.0), "-".repeat(BAR_WIDTH));
+        assert_eq!(bar(100.0), "#".repeat(BAR_WIDTH));
+        assert_eq!(bar(50.0).chars().filter(|&c| c == '#').count(), BAR_WIDTH / 2);
+    }
+}

@@ -39,13 +39,16 @@
 
 pub mod bench;
 pub mod client;
+pub mod dashboard;
 pub mod job;
 pub mod proto;
 pub mod report;
 pub mod server;
+pub mod watch;
 
 pub use bench::{bench_json, throughput, BenchPoint};
 pub use client::Client;
+pub use dashboard::Dashboard;
 pub use job::{JobOutcome, JobSpec, JobState};
 pub use proto::{
     error_response, ok_response, parse_request, ProtoError, Request, Scale, SubmitRequest,
@@ -53,3 +56,4 @@ pub use proto::{
 };
 pub use report::EventReport;
 pub use server::{ServeConfig, ServeStats, ServeSummary, Server};
+pub use watch::{SubNext, WatchHub, WatchSub};

@@ -117,6 +117,14 @@ pub enum Request {
     Stats,
     /// Stop admitting work and drain (same path as SIGTERM).
     Drain,
+    /// Subscribe to live progress frames for one job (`Some(id)`) or
+    /// for everything the daemon does (`None`, requested as `"*"` or by
+    /// omitting `job`). The connection becomes a one-way frame stream —
+    /// see `docs/live.md` for the frame schema and lag semantics.
+    Watch {
+        /// The job to watch, or `None` for all jobs.
+        job: Option<u64>,
+    },
 }
 
 /// Parses one request line.
@@ -144,6 +152,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "health" => Ok(Request::Health),
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
+        "watch" => {
+            let job = match v.get("job") {
+                None => None,
+                Some(Value::Str(s)) if s == "*" => None,
+                Some(j) => Some(j.as_u64().ok_or_else(|| {
+                    bad("`watch` needs a numeric `job` id, \"*\", or no `job` at all".to_owned())
+                })?),
+            };
+            Ok(Request::Watch { job })
+        }
         other => Err(bad(format!("unknown request `{other}`"))),
     }
 }
@@ -251,6 +269,21 @@ mod tests {
             let err = parse_request(&format!(r#"{{"req":"{req}","job":"x"}}"#)).unwrap_err();
             assert_eq!(err.code, 400);
         }
+    }
+
+    #[test]
+    fn watch_parses_job_star_and_absent() {
+        assert_eq!(
+            parse_request(r#"{"req":"watch","job":5}"#).unwrap(),
+            Request::Watch { job: Some(5) }
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"watch","job":"*"}"#).unwrap(),
+            Request::Watch { job: None }
+        );
+        assert_eq!(parse_request(r#"{"req":"watch"}"#).unwrap(), Request::Watch { job: None });
+        assert_eq!(parse_request(r#"{"req":"watch","job":"x"}"#).unwrap_err().code, 400);
+        assert_eq!(parse_request(r#"{"req":"watch","job":-1}"#).unwrap_err().code, 400);
     }
 
     #[test]

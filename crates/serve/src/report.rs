@@ -46,6 +46,9 @@ pub struct EventReport {
     pub queue_depth: LogHist,
     /// Job wall time, milliseconds.
     pub latency_ms: LogHist,
+    /// End-to-end job latency: `job_admitted` → `job_done` wall-clock
+    /// delta, milliseconds (includes queue wait, unlike `latency_ms`).
+    pub admit_to_done_ms: LogHist,
 }
 
 impl EventReport {
@@ -58,6 +61,11 @@ impl EventReport {
     /// Returns a message naming the first malformed non-empty line.
     pub fn from_jsonl(text: &str) -> Result<EventReport, String> {
         let mut report = EventReport::default();
+        // Admission timestamps by job id, for the end-to-end latency
+        // distribution. `t` is milliseconds since daemon start, so the
+        // delta is only meaningful within one lifetime; a job that was
+        // admitted in an earlier lifetime (resume) simply isn't paired.
+        let mut admitted_at = std::collections::BTreeMap::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
@@ -73,6 +81,7 @@ impl EventReport {
                         report.degraded += 1;
                     }
                     report.queue_depth.record(int("queue_depth"));
+                    admitted_at.insert(int("job"), int("t"));
                 }
                 Some("job_shed") => {
                     report.shed += 1;
@@ -87,6 +96,15 @@ impl EventReport {
                         report.with_failures += 1;
                     }
                     report.latency_ms.record(int("wall_ms").max(1));
+                    // Pair with the admission within this lifetime only:
+                    // across a restart `t` resets, so the delta would go
+                    // negative and is dropped instead of recorded as 0.
+                    if let Some(t0) = admitted_at.remove(&int("job")) {
+                        let t = int("t");
+                        if t >= t0 {
+                            report.admit_to_done_ms.record((t - t0).max(1));
+                        }
+                    }
                 }
                 Some("drain_started") => {
                     report.drains += 1;
@@ -126,6 +144,12 @@ impl EventReport {
             _ => {
                 out.push_str(&format!("  latency  {}   (job wall ms)\n", self.latency_ms.summary()))
             }
+        }
+        if self.admit_to_done_ms.count() > 0 {
+            out.push_str(&format!(
+                "  e2e      {}   (admission-to-done ms)\n",
+                self.admit_to_done_ms.summary()
+            ));
         }
         if self.worker_spawns + self.worker_crashes + self.breaker_trips > 0 {
             out.push_str(&format!(
@@ -182,6 +206,29 @@ mod tests {
         );
         assert_eq!(r.queue_depth.count(), 3); // two admissions + one shed
         assert_eq!(r.latency_ms.count(), 2);
+        // job 1: admitted t=0, done t=3; job 2: admitted t=1, done t=4.
+        assert_eq!(r.admit_to_done_ms.count(), 2);
+        assert_eq!(r.admit_to_done_ms.sum(), 6);
+    }
+
+    #[test]
+    fn admit_to_done_pairs_within_one_lifetime_only() {
+        // A resumed daemon restarts `t` at 0: job 9 is admitted late in
+        // lifetime A and finishes early in lifetime B, so its delta
+        // would be negative and must be dropped, not recorded as zero.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(5_000, &Event::JobAdmitted { job: 9, queue_depth: 1, degraded: false });
+        sink.emit(100, &Event::JobDone { job: 9, points: 4, failed: 0, wall_ms: 90 });
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!(r.latency_ms.count(), 1, "wall time still counts");
+        assert_eq!(r.admit_to_done_ms.count(), 0, "cross-lifetime pair dropped");
+        // An unmatched done (admission line lost entirely) is also fine.
+        let r = EventReport::from_jsonl(
+            "{\"t\":7,\"ev\":\"job_done\",\"job\":1,\"points\":1,\"failed\":0,\"wall_ms\":5}\n",
+        )
+        .unwrap();
+        assert_eq!(r.admit_to_done_ms.count(), 0);
     }
 
     #[test]
@@ -199,9 +246,16 @@ mod tests {
     fn render_mentions_every_section() {
         let r = EventReport::from_jsonl(&sample_stream()).unwrap();
         let text = r.render();
-        for needle in
-            ["jobs", "points", "queue", "latency", "drains   1", "1 spawned", "1 breaker trip"]
-        {
+        for needle in [
+            "jobs",
+            "points",
+            "queue",
+            "latency",
+            "e2e",
+            "drains   1",
+            "1 spawned",
+            "1 breaker trip",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         let empty = EventReport::from_jsonl("").unwrap();

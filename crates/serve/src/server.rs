@@ -50,6 +50,8 @@ use vm_obs::{Event, JsonlSink, LogHist, NopSink, Reporter, Sink};
 use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 
 use crate::job::{JobOutcome, JobSpec, JobState};
+use crate::watch::{self, SubNext, WatchHub};
+
 use crate::proto::{
     self, ok_response, parse_request, ProtoError, Request, Scale, SubmitRequest, PROTO_VERSION,
 };
@@ -90,6 +92,14 @@ pub struct ServeConfig {
     /// External shutdown flag: the binary's SIGTERM handler sets it and
     /// the accept loop treats it exactly like a `drain` request.
     pub shutdown: Option<&'static AtomicBool>,
+    /// Progress-checkpoint interval in retired instructions for running
+    /// jobs (the `watch` stream's `progress` frame cadence). The
+    /// schedule rides the simulation's instruction clock, so watching a
+    /// job cannot perturb its results.
+    pub checkpoint_interval: u64,
+    /// Bound on each `watch` subscriber's frame queue; a subscriber
+    /// that falls further behind is dropped with a `lagged` frame.
+    pub watch_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +118,8 @@ impl Default for ServeConfig {
             chaos: ChaosPlan::default(),
             events: None,
             shutdown: None,
+            checkpoint_interval: 100_000,
+            watch_buffer: crate::watch::DEFAULT_WATCH_BUFFER,
         }
     }
 }
@@ -195,13 +207,16 @@ struct Shared {
     wake: Condvar,
     draining: AtomicBool,
     sink: Mutex<Option<JsonlSink<File>>>,
-    /// Event sequence counter (the `t` of daemon lifecycle events).
-    seq: AtomicU64,
     stats: Mutex<ServeStats>,
     /// Supervised worker-process pool, when `worker_processes > 0`.
     /// Shared across jobs: workers are reused, and the crash-loop
     /// breaker state spans job boundaries.
     pool: Option<Arc<WorkerPool>>,
+    /// Fan-out for `watch` subscribers.
+    hub: WatchHub,
+    /// Daemon start instant: the `t` (milliseconds) of lifecycle events
+    /// and watch frames.
+    started: Instant,
 }
 
 impl Shared {
@@ -213,10 +228,17 @@ impl Shared {
         self.stats.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Milliseconds since the daemon started — the `t` of lifecycle
+    /// events and watch frames (monotonic within one daemon lifetime,
+    /// so `serve-stats` can derive admission→done latencies).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     /// Appends one lifecycle event to the JSONL stream (when configured).
     fn emit(&self, ev: Event) {
         let mut guard = self.sink.lock().unwrap_or_else(|e| e.into_inner());
-        let now = self.seq.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_ms();
         if let Some(sink) = guard.as_mut() {
             sink.emit(now, &ev);
         }
@@ -279,9 +301,10 @@ impl Server {
             wake: Condvar::new(),
             draining: AtomicBool::new(false),
             sink: Mutex::new(sink),
-            seq: AtomicU64::new(0),
             stats: Mutex::new(ServeStats::default()),
             pool,
+            hub: WatchHub::new(),
+            started: Instant::now(),
         });
         if resume {
             resume_jobs(&shared)?;
@@ -361,6 +384,9 @@ impl Server {
         if let Some(sink) = shared.sink.lock().unwrap_or_else(|e| e.into_inner()).take() {
             let _ = sink.finish();
         }
+        // End every watch stream: subscribers see Closed (after any
+        // queued frames, including the drain frame) and disconnect.
+        shared.hub.close();
         let pending = shared.lock_state().queue.len() as u64;
         let stats = shared.lock_stats();
         Ok(ServeSummary {
@@ -392,6 +418,7 @@ fn initiate_drain(shared: &Shared) {
         pending
     };
     shared.emit(Event::DrainStarted { pending });
+    shared.hub.publish(None, &watch::drain_frame(shared.now_ms(), pending));
     shared.wake.notify_all();
 }
 
@@ -493,6 +520,12 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         (state, points, failed)
     };
     shared.emit(Event::JobDone { job: id, points, failed, wall_ms });
+    // Terminal frame last, after the state transition is visible: a
+    // watcher that acts on `done` can immediately fetch the result.
+    shared.hub.publish(
+        Some(id),
+        &watch::done_frame(shared.now_ms(), id, state.label(), points, failed, wall_ms),
+    );
     let mut stats = shared.lock_stats();
     stats.latency_ms.record(wall_ms.max(1));
     match state {
@@ -507,10 +540,59 @@ fn spec_points(spec: &JobSpec) -> usize {
     spec.plan().map(|p| p.points.len()).unwrap_or(0)
 }
 
+/// Bridges executor progress callbacks onto the daemon: checkpoints
+/// and point completions become watch frames, and supervised-pool
+/// lifecycle events reach the event stream *live* (mid-job) instead of
+/// only at job teardown.
+struct JobObserver {
+    shared: Arc<Shared>,
+    job: u64,
+    degraded: bool,
+    points: u64,
+    done_points: Arc<AtomicU64>,
+}
+
+impl vm_explore::SweepObserver for JobObserver {
+    fn checkpoint(&self, cp: &vm_explore::PointCheckpoint) {
+        let queue_depth = self.shared.lock_state().queue.len() as u64;
+        let frame = watch::progress_frame(
+            self.shared.now_ms(),
+            self.job,
+            cp,
+            self.done_points.load(Ordering::Relaxed),
+            self.points,
+            queue_depth,
+            self.degraded,
+        );
+        self.shared.hub.publish(Some(self.job), &frame);
+    }
+
+    fn point_finished(&self, index: usize, ok: bool) {
+        let frame = watch::point_frame(
+            self.shared.now_ms(),
+            self.job,
+            index as u64,
+            ok,
+            self.done_points.load(Ordering::Relaxed),
+            self.points,
+        );
+        self.shared.hub.publish(Some(self.job), &frame);
+    }
+
+    fn pool_event(&self, ev: &Event) {
+        // Into the JSONL event stream immediately (previously these
+        // buffered until the job finished)...
+        self.shared.emit(*ev);
+        // ...and to every subscriber: with concurrent jobs a worker
+        // event cannot be attributed to one job, so it is daemon-scoped.
+        self.shared.hub.publish(None, &watch::worker_frame(self.shared.now_ms(), ev));
+    }
+}
+
 /// The fallible body of a job: plan, seed from any existing journal,
 /// run the hardened sweep, finish the journal.
 fn execute_job(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     spec: &JobSpec,
     cancel: &Arc<AtomicBool>,
     done_points: &Arc<AtomicU64>,
@@ -545,6 +627,19 @@ fn execute_job(
         chaos: shared.config.chaos.clone(),
         cancel: Some(Arc::clone(cancel)),
         process: shared.pool.clone(),
+        // Always-on: publishing to a hub with no subscribers is a few
+        // mutex grabs per checkpoint, and the snapshot schedule rides
+        // the instruction clock, so results are identical either way.
+        progress: Some(vm_explore::ProgressConfig::new(
+            shared.config.checkpoint_interval,
+            Arc::new(JobObserver {
+                shared: Arc::clone(shared),
+                job: spec.id,
+                degraded: spec.degraded,
+                points: plan.points.len() as u64,
+                done_points: Arc::clone(done_points),
+            }),
+        )),
     };
     let outcome = run_sweep_hardened(
         &plan,
@@ -766,6 +861,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             if text.is_empty() {
                 continue;
             }
+            // `watch` upgrades the connection to a one-way frame stream
+            // and consumes it; everything else stays request/response.
+            if let Ok(Request::Watch { job }) = parse_request(text) {
+                watch_stream(shared, &mut stream, job);
+                return;
+            }
             let response = respond(shared, text);
             if write_line(&mut stream, &response).is_err() {
                 return;
@@ -818,7 +919,103 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Result<Value, ProtoError> {
                 ("pending", (st.queue.len() as u64).into()),
             ]))
         }
+        // Intercepted in handle_connection before dispatch; kept
+        // exhaustive so a future refactor cannot silently drop it.
+        Request::Watch { .. } => Err(ProtoError::new(
+            400,
+            "watch upgrades its connection to a stream and cannot be dispatched here".to_owned(),
+        )),
     }
+}
+
+/// Serves one `watch` subscription: ack, then frames until the job
+/// finishes (single-job watch), the subscriber lags out, the hub
+/// closes, or the client disconnects.
+fn watch_stream(shared: &Arc<Shared>, stream: &mut TcpStream, job: Option<u64>) {
+    // Validate before subscribing so an unknown id is a 404, not a
+    // stream that never speaks.
+    if let Some(id) = job {
+        if !shared.lock_state().jobs.contains_key(&id) {
+            let e = ProtoError::new(404, format!("no job {id}"));
+            let _ = write_line(stream, &proto::error_response(&e));
+            return;
+        }
+    }
+    // Subscribe *before* the terminal check: a job finishing between
+    // the two is caught either by the check or by its queued `done`
+    // frame — never missed.
+    let sub = shared.hub.subscribe(job, shared.config.watch_buffer);
+    let ack = ok_response([
+        (
+            "watching",
+            match job {
+                Some(id) => id.into(),
+                None => "*".into(),
+            },
+        ),
+        ("proto", PROTO_VERSION.into()),
+    ]);
+    if write_line(stream, &ack).is_err() {
+        shared.hub.unsubscribe(&sub);
+        return;
+    }
+    if let Some(id) = job {
+        let synthetic = {
+            let st = shared.lock_state();
+            st.jobs.get(&id).filter(|j| j.state.is_terminal()).map(|j| {
+                let (points, failed) = match &j.outcome {
+                    Some(out) => (out.results.len() as u64, out.failures.len() as u64),
+                    None => (0, 0),
+                };
+                watch::done_frame(
+                    shared.now_ms(),
+                    id,
+                    j.state.label(),
+                    points,
+                    failed,
+                    j.wall_ms.unwrap_or(0),
+                )
+            })
+        };
+        if let Some(frame) = synthetic {
+            // Already terminal: one done frame and the stream ends.
+            let _ = write_line(stream, &frame);
+            shared.hub.unsubscribe(&sub);
+            return;
+        }
+    }
+    let mut idle = Duration::ZERO;
+    let poll = Duration::from_millis(200);
+    let keepalive = Duration::from_secs(5);
+    loop {
+        match sub.next(poll) {
+            SubNext::Frame(frame) => {
+                idle = Duration::ZERO;
+                let terminal = job.is_some()
+                    && frame.get("frame").and_then(Value::as_str) == Some("done")
+                    && frame.get("job").and_then(Value::as_u64) == job;
+                if write_line(stream, &frame).is_err() || terminal {
+                    break;
+                }
+            }
+            SubNext::Lagged => {
+                // The explicit last word on a dropped stream.
+                let _ = write_line(stream, &watch::lagged_frame(shared.now_ms()));
+                break;
+            }
+            SubNext::Closed => break,
+            SubNext::Idle => {
+                idle += poll;
+                if idle >= keepalive {
+                    idle = Duration::ZERO;
+                    if write_line(stream, &watch::tick_frame(shared.now_ms())).is_err() {
+                        break; // dead peer detected by the failed write
+                    }
+                }
+            }
+        }
+    }
+    shared.hub.unsubscribe(&sub);
 }
 
 /// Records a shed decision (event + counters) and builds its 503.
@@ -918,6 +1115,10 @@ fn handle_submit(shared: &Arc<Shared>, req: SubmitRequest) -> Result<Value, Prot
         (id, depth, degraded)
     };
     shared.emit(Event::JobAdmitted { job: id, queue_depth: depth as u64, degraded });
+    shared.hub.publish(
+        Some(id),
+        &watch::admitted_frame(shared.now_ms(), id, total_points as u64, depth as u64, degraded),
+    );
     {
         let mut stats = shared.lock_stats();
         stats.admitted += 1;
@@ -1019,6 +1220,12 @@ fn handle_cancel(shared: &Shared, id: u64) -> Result<Value, ProtoError> {
     }
     if prior == JobState::Queued {
         shared.lock_stats().cancelled += 1;
+        // A queued job cancels synchronously (no run_job will publish
+        // for it): its watchers get their terminal frame here.
+        shared.hub.publish(
+            Some(id),
+            &watch::done_frame(shared.now_ms(), id, JobState::Cancelled.label(), 0, 0, 0),
+        );
     }
     let state = if prior == JobState::Queued { JobState::Cancelled } else { prior };
     Ok(ok_response([("job", id.into()), ("state", state.label().into())]))

@@ -6,10 +6,16 @@
 Boots the daemon on an ephemeral port, submits a 4-point quick sweep,
 SIGTERMs it mid-run (graceful drain must exit 0), restarts with
 --resume, and asserts the healed results are bit-identical to an
-uninterrupted run. Then boots a daemon with a supervised worker
-subprocess (--workers 1), SIGKILLs the worker mid-job, and asserts the
-daemon stays healthy while the job's results come out byte-identical
-anyway (the supervisor restarts the worker and re-dispatches).
+uninterrupted run. The uninterrupted reference run is watched over the
+live `watch` stream (docs/live.md): progress frames must advance
+monotonically, end in a terminal `done` frame, and — because the
+resumed run was unwatched — the existing bit-identity assert doubles as
+proof that watching never perturbs results. Then boots a daemon with a
+supervised worker subprocess (--workers 1), SIGKILLs the worker
+mid-job, and asserts the watch stream carries the `worker_crashed`
+frame while the daemon stays healthy and the job's results come out
+byte-identical anyway (the supervisor restarts the worker and
+re-dispatches).
 """
 
 import json
@@ -53,6 +59,31 @@ def start(extra_args):
     return proc, int(line.rsplit(":", 1)[1])
 
 
+def watch_stream(port, job="*", timeout=120):
+    """Opens a `watch` subscription; returns (socket, file) past the ack."""
+    s = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    f = s.makefile("rw")
+    f.write(json.dumps({"req": "watch", "job": job}) + "\n")
+    f.flush()
+    ack = json.loads(f.readline())
+    assert ack["ok"] and ack["watching"] == job, ack
+    return s, f
+
+
+def collect_frames(f, job):
+    """Reads frames (keepalive ticks dropped) until `job`'s terminal frame."""
+    frames = []
+    while True:
+        line = f.readline()
+        assert line, "watch stream ended before the job's terminal frame"
+        frame = json.loads(line)
+        if frame["frame"] == "tick":
+            continue
+        frames.append(frame)
+        if frame["frame"] == "done" and frame.get("job") == job:
+            return frames
+
+
 def wait_done(port, job):
     for _ in range(6000):
         r = rpc(port, {"req": "status", "job": job})
@@ -63,17 +94,23 @@ def wait_done(port, job):
     raise SystemExit(f"job {job} never finished")
 
 
-def run_to_completion(extra_args, submit):
+def run_to_completion(extra_args, submit, watch=False):
     proc, port = start(extra_args)
+    watcher = watch_stream(port) if watch else None  # subscribe pre-submit
     if submit:
         r = rpc(port, SUBMIT)
         assert r["ok"] and r["job"] == 1, r
+    frames = []
+    if watcher:
+        ws, wf = watcher
+        frames = collect_frames(wf, 1)
+        ws.close()
     wait_done(port, 1)
     result = rpc(port, {"req": "result", "job": 1})
     assert result["ok"] and result["state"] == "done", result
     rpc(port, {"req": "drain"})
     assert proc.wait(timeout=60) == 0, "drain must exit 0"
-    return result
+    return result, frames
 
 
 state = tempfile.mkdtemp(prefix="vm-serve-smoke-")
@@ -91,17 +128,35 @@ proc.send_signal(signal.SIGTERM)
 assert proc.wait(timeout=60) == 0, "SIGTERM drain must exit 0"
 
 # Lifetime 2: restart with --resume; the job heals from its journal.
-resumed = run_to_completion(
+resumed, _ = run_to_completion(
     ["--state-dir", state, "--resume", "--events", events], submit=False
 )
 assert resumed["resumed"] >= 1, resumed
 assert resumed["failures"] == [], resumed
 
-# Reference: the same submission, uninterrupted, in a fresh daemon.
-reference = run_to_completion([], submit=True)
+# Reference: the same submission, uninterrupted, in a fresh daemon —
+# watched live, so the bit-identity assert below also proves a watch
+# subscriber never perturbs results (the resumed run was unwatched).
+reference, frames = run_to_completion([], submit=True, watch=True)
 assert json.dumps(resumed["results"], sort_keys=True) == json.dumps(
     reference["results"], sort_keys=True
-), "resumed results are not bit-identical to the uninterrupted run"
+), "watched results are not bit-identical to the unwatched resumed run"
+
+# The stream brackets the job (admitted ... done) and progress frames
+# advance monotonically through the sweep.
+assert frames[0]["frame"] == "admitted" and frames[0]["job"] == 1, frames[0]
+assert frames[-1]["frame"] == "done" and frames[-1]["state"] == "done", frames[-1]
+assert frames[-1]["points"] == 4 and frames[-1]["failed"] == 0, frames[-1]
+progress = [f for f in frames if f["frame"] == "progress"]
+assert len(progress) >= 3, f"want >= 3 progress checkpoints, got {len(progress)}"
+overall = [
+    f["done"] * f["instrs_total"] + min(f["instrs"], f["instrs_total"])
+    for f in progress
+]
+assert all(a < b for a, b in zip(overall, overall[1:])), overall
+percents = [f["percent"] for f in progress]
+assert all(a <= b for a, b in zip(percents, percents[1:])), percents
+assert all(0.0 <= p <= 100.0 for p in percents), percents
 
 # The event stream spans both lifetimes and folds into a report.
 report = subprocess.run(
@@ -135,6 +190,7 @@ def find_worker(daemon_pid):
 
 
 proc, port = start(["--workers", "1"])
+ws3, wf3 = watch_stream(port)  # the crash must be visible live
 r = rpc(port, SUBMIT)
 assert r["ok"] and r["job"] == 1, r
 for _ in range(6000):  # a finished point proves a live, warmed-up worker
@@ -144,6 +200,13 @@ for _ in range(6000):  # a finished point proves a live, warmed-up worker
 worker = find_worker(proc.pid)
 assert worker is not None, "no worker subprocess found under the daemon"
 os.kill(worker, signal.SIGKILL)
+crash_frames = collect_frames(wf3, 1)  # stops at the job's done frame
+ws3.close()
+worker_kinds = {f["kind"] for f in crash_frames if f["frame"] == "worker"}
+assert "worker_crashed" in worker_kinds, (
+    f"the SIGKILL must surface as a worker_crashed frame before the job "
+    f"finishes; saw {sorted(worker_kinds)}"
+)
 wait_done(port, 1)
 health = rpc(port, {"req": "health"})
 assert health["state"] == "serving" and health["worker_processes"] == 1, health

@@ -1,0 +1,149 @@
+//! Golden tests for the live telemetry wire format.
+//!
+//! These pin the *external contract* of the `watch` stream: the
+//! per-frame key sets `repro watch --json` exposes must not drift —
+//! downstream tooling (the smoke script included) parses these frames.
+//! The companion of `obs_golden.rs`, one layer up the stack.
+
+use std::collections::BTreeSet;
+
+use vm_explore::PointCheckpoint;
+use vm_obs::json::Value;
+use vm_obs::Event;
+use vm_serve::watch;
+
+fn keys(v: &Value) -> BTreeSet<String> {
+    v.as_object().unwrap().iter().map(|(k, _)| k.clone()).collect()
+}
+
+fn set(names: &[&str]) -> BTreeSet<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+fn checkpoint() -> PointCheckpoint {
+    PointCheckpoint {
+        index: 3,
+        label: "MIPS tlb.entries=64".to_owned(),
+        workload: "gcc".to_owned(),
+        seq: 2,
+        instrs: 200_000,
+        instrs_total: 500_000,
+        vmcpi: 0.0825,
+        mcpi: 0.3100,
+        tlb_misses: 1_234,
+        walks: 1_234,
+    }
+}
+
+#[test]
+fn progress_frame_key_set_is_stable() {
+    let v = watch::progress_frame(17, 4, &checkpoint(), 1, 24, 2, true);
+    assert_eq!(
+        keys(&v),
+        set(&[
+            "frame",
+            "t",
+            "job",
+            "point",
+            "label",
+            "workload",
+            "seq",
+            "instrs",
+            "instrs_total",
+            "done",
+            "points",
+            "percent",
+            "vmcpi",
+            "mcpi",
+            "tlb_misses",
+            "walks",
+            "queue_depth",
+            "degraded",
+        ])
+    );
+    assert_eq!(v.get("frame").and_then(Value::as_str), Some("progress"));
+    // Spot-check the payload wiring, not just the shape.
+    assert_eq!(v.get("label").and_then(Value::as_str), Some("MIPS tlb.entries=64"));
+    assert_eq!(v.get("instrs").and_then(Value::as_u64), Some(200_000));
+    assert_eq!(v.get("degraded"), Some(&Value::Bool(true)));
+}
+
+#[test]
+fn lifecycle_frame_key_sets_are_stable() {
+    let cases: [(Value, &[&str]); 6] = [
+        (
+            watch::admitted_frame(1, 9, 24, 3, false),
+            &["frame", "t", "job", "points", "queue_depth", "degraded"],
+        ),
+        (
+            watch::point_frame(2, 9, 5, true, 6, 24),
+            &["frame", "t", "job", "point", "ok", "done", "points"],
+        ),
+        (
+            watch::done_frame(3, 9, "done", 24, 1, 5_500),
+            &["frame", "t", "job", "state", "points", "failed", "wall_ms"],
+        ),
+        (watch::lagged_frame(4), &["frame", "t"]),
+        (watch::drain_frame(5, 2), &["frame", "t", "pending"]),
+        (watch::tick_frame(6), &["frame", "t"]),
+    ];
+    for (v, want) in cases {
+        let kind = v.get("frame").and_then(Value::as_str).unwrap().to_owned();
+        assert_eq!(keys(&v), set(want), "key set drift for frame {kind:?}");
+    }
+}
+
+#[test]
+fn worker_frame_carries_the_event_payload_under_kind() {
+    let cases = [
+        (
+            Event::WorkerSpawned { worker: 1, pid: 77 },
+            "worker_spawned",
+            set(&["frame", "t", "kind", "worker", "pid"]),
+        ),
+        (
+            Event::WorkerCrashed { worker: 1, point: 4, restarts: 0 },
+            "worker_crashed",
+            set(&["frame", "t", "kind", "worker", "point", "restarts"]),
+        ),
+        (
+            Event::WorkerRestarted { worker: 1, pid: 78, restarts: 1 },
+            "worker_restarted",
+            set(&["frame", "t", "kind", "worker", "pid", "restarts"]),
+        ),
+        (
+            Event::BreakerTripped { worker: 1, point: 4, restarts: 3 },
+            "breaker_tripped",
+            set(&["frame", "t", "kind", "worker", "point", "restarts"]),
+        ),
+    ];
+    for (ev, kind, want) in cases {
+        let v = watch::worker_frame(11, &ev);
+        assert_eq!(v.get("frame").and_then(Value::as_str), Some("worker"));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some(kind));
+        assert_eq!(keys(&v), want, "key set drift for worker kind {kind:?}");
+        assert!(v.get("ev").is_none(), "the raw event name key must not leak into frames");
+    }
+}
+
+#[test]
+fn frames_survive_a_json_round_trip() {
+    // The stream is NDJSON: every frame must parse back to itself
+    // through the serializer tooling actually reads.
+    let frames = [
+        watch::progress_frame(17, 4, &checkpoint(), 1, 24, 2, true),
+        watch::admitted_frame(1, 9, 24, 3, false),
+        watch::point_frame(2, 9, 5, false, 6, 24),
+        watch::done_frame(3, 9, "cancelled", 24, 1, 5_500),
+        watch::worker_frame(11, &Event::WorkerCrashed { worker: 1, point: 4, restarts: 0 }),
+        watch::lagged_frame(4),
+        watch::drain_frame(5, 2),
+        watch::tick_frame(6),
+    ];
+    for frame in frames {
+        let line = frame.to_string();
+        assert!(!line.contains('\n'), "frames must be single lines: {line}");
+        let back = vm_obs::json::parse(&line).expect("frame must parse");
+        assert_eq!(back, frame, "round trip must be lossless for {line}");
+    }
+}

