@@ -37,7 +37,7 @@
 //!       [--instrs N] [--seed N] [--events FILE] [--chrome-trace FILE]
 //!
 //! simulation service (see docs/serving.md):
-//!   serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]
+//!   serve [--addr HOST:PORT] [--port N] [--jobs N] [--workers N] [--queue N]
 //!         [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]
 //!         [--io-timeout-ms N] [--max-request-bytes N]
 //!         [--checkpoint-interval N] [--watch-buffer N]
@@ -45,6 +45,13 @@
 //!   serve-stats <events.jsonl>...
 //!   serve-bench [--batch N]
 //!   watch --addr HOST:PORT [JOB | --all] [--json]   (see docs/live.md)
+//!
+//! fleet exploration (see docs/fleet.md):
+//!   fleet <spec.toml | dir>... [--sweep key=v1,v2,...]...
+//!         (--spawn N | --backend HOST:PORT)... [--quick|--full]
+//!         [--out DIR] [--journal FILE] [--events FILE] [--retries N]
+//!         [--point-budget CYCLES] [--hedge-ms N] [--evict-after N]
+//!         [--evict-window-ms N] [--watch-addr HOST:PORT]
 //!
 //! Results (tables, claims, CSV) go to stdout; progress (headings,
 //! heartbeats, timings) goes to stderr, gated by --verbosity.
@@ -54,6 +61,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use vm_core::cost::CostModel;
 use vm_core::{SimConfig, SystemKind};
@@ -63,9 +71,11 @@ use vm_experiments::{
 };
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
 use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
+use vm_fleet::{fleet_plan, fleet_throughput, run_fleet, Backend, FleetOptions, WatchProxy};
 use vm_harden::{ChaosPlan, RetryPolicy};
 use vm_obs::json::Value;
-use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server};
+use vm_obs::JsonlSink;
+use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server, WatchHub};
 use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 use vm_trace::presets;
 
@@ -486,12 +496,16 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     let mut config = ServeConfig { shutdown: Some(&SHUTDOWN), ..ServeConfig::default() };
     let mut chaos_spec: Option<String> = None;
     let mut chaos_seed: u64 = 42;
+    let mut port: Option<u16> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value =
             |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--addr" => config.addr = value("--addr")?,
+            "--port" => {
+                port = Some(value("--port")?.parse().map_err(|e| format!("bad --port: {e}"))?)
+            }
             "--jobs" => {
                 config.workers = value("--jobs")?.parse().map_err(|e| format!("bad --jobs: {e}"))?
             }
@@ -540,7 +554,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro serve [--addr HOST:PORT] [--jobs N] [--workers N] [--queue N]\n\
+                    "usage: repro serve [--addr HOST:PORT] [--port N] [--jobs N] [--workers N] [--queue N]\n\
                      \x20                  [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]\n\
                      \x20                  [--io-timeout-ms N] [--max-request-bytes N]\n\
                      \x20                  [--checkpoint-interval N] [--watch-buffer N]\n\
@@ -548,6 +562,9 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                      Runs the newline-delimited-JSON simulation service until drained\n\
                      (drain request, SIGTERM, or SIGINT). See docs/serving.md.\n\
                      \x20 --addr          bind address; port 0 picks an ephemeral port (default 127.0.0.1:0)\n\
+                     \x20 --port          rewrite just the port of the bind address; 0 binds an\n\
+                     \x20                 ephemeral port and the bound address is printed as the\n\
+                     \x20                 first stdout line (the fleet spawner's contract)\n\
                      \x20 --jobs          worker threads running sweeps (default 2)\n\
                      \x20 --workers       supervised worker *subprocesses* for point execution\n\
                      \x20                 (default 0 = in-process); a crashed point costs its job\n\
@@ -570,6 +587,13 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     }
     if let Some(spec) = &chaos_spec {
         config.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+    }
+    // `--port` rewrites the bind address's port, whichever order the
+    // flags came in; `--port 0` is the fleet spawner's contract (bind
+    // ephemeral, print the bound address on the first stdout line).
+    if let Some(port) = port {
+        let host = config.addr.rsplit_once(':').map_or("127.0.0.1", |(host, _)| host);
+        config.addr = format!("{host}:{port}");
     }
     if config.resume && config.state_dir.is_none() {
         return Err("--resume needs --state-dir (that is where jobs persist)".to_owned());
@@ -721,7 +745,8 @@ fn watch_cmd(args: &[String]) -> Result<(), String> {
 }
 
 /// The `serve-bench` subcommand: throughput baseline at 1 and 4 workers
-/// (the committed `BENCH_serve.json` body goes to stdout).
+/// plus the 1/2/4-backend fleet scaling curve (the committed
+/// `BENCH_serve.json` body goes to stdout).
 fn serve_bench_cmd(args: &[String]) -> Result<(), String> {
     let mut batch: usize = 8;
     let mut it = args.iter();
@@ -738,7 +763,8 @@ fn serve_bench_cmd(args: &[String]) -> Result<(), String> {
                 println!(
                     "usage: repro serve-bench [--batch N]\n\
                      Boots an in-process daemon at 1 then 4 workers, pushes N small sweep\n\
-                     jobs through the wire protocol, and prints BENCH_serve.json to stdout."
+                     jobs through the wire protocol, then runs a fixed grid through fleets\n\
+                     of 1, 2, and 4 in-process daemons, and prints BENCH_serve.json."
                 );
                 return Ok(());
             }
@@ -754,7 +780,238 @@ fn serve_bench_cmd(args: &[String]) -> Result<(), String> {
         );
         points.push(p);
     }
-    println!("{}", bench_json(&points));
+    let mut fleet_rows = Vec::new();
+    for backends in [1usize, 2, 4] {
+        let p = fleet_throughput(backends)?;
+        eprintln!(
+            "serve-bench: fleet of {}, {} points -> {:.2} points/s ({} ms)",
+            p.backends, p.points, p.points_per_sec, p.wall_ms
+        );
+        fleet_rows.push(p.to_value());
+    }
+    println!("{}", bench_json(&points, &fleet_rows));
+    Ok(())
+}
+
+/// The `fleet` subcommand: shard one sweep across several serve
+/// daemons (spawned locally and/or already running) and merge the
+/// shards back byte-identically to a single-node run. See docs/fleet.md.
+fn fleet_cmd(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut axes: Vec<Axis> = Vec::new();
+    let mut exec = ExecConfig { jobs: 1, ..ExecConfig::DEFAULT };
+    let mut spawn: usize = 0;
+    let mut addrs: Vec<String> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut watch_addr: Option<String> = None;
+    let mut opts = FleetOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--sweep" => axes.push(Axis::parse(&value("--sweep")?)?),
+            "--spawn" => {
+                spawn = value("--spawn")?.parse().map_err(|e| format!("bad --spawn: {e}"))?
+            }
+            "--backend" => addrs.push(value("--backend")?),
+            "--quick" => {
+                (exec.warmup, exec.measure) = (RunScale::QUICK.warmup, RunScale::QUICK.measure)
+            }
+            "--full" => {
+                (exec.warmup, exec.measure) = (RunScale::FULL.warmup, RunScale::FULL.measure)
+            }
+            "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+            "--events" => events = Some(PathBuf::from(value("--events")?)),
+            "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--watch-addr" => watch_addr = Some(value("--watch-addr")?),
+            "--retries" => {
+                opts.retries =
+                    value("--retries")?.parse().map_err(|e| format!("bad --retries: {e}"))?
+            }
+            "--point-budget" => {
+                opts.point_budget = Some(
+                    value("--point-budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --point-budget: {e}"))?,
+                )
+            }
+            "--hedge-ms" => {
+                let ms: u64 =
+                    value("--hedge-ms")?.parse().map_err(|e| format!("bad --hedge-ms: {e}"))?;
+                opts.hedge_after = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--evict-after" => {
+                opts.evict.max_failures = value("--evict-after")?
+                    .parse()
+                    .map_err(|e| format!("bad --evict-after: {e}"))?
+            }
+            "--evict-window-ms" => {
+                opts.evict.window = std::time::Duration::from_millis(
+                    value("--evict-window-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --evict-window-ms: {e}"))?,
+                )
+            }
+            "--poll-ms" => {
+                opts.poll = std::time::Duration::from_millis(
+                    value("--poll-ms")?.parse().map_err(|e| format!("bad --poll-ms: {e}"))?,
+                )
+            }
+            "--verbosity" => {
+                let v = value("--verbosity")?;
+                set_global_verbosity(
+                    Verbosity::parse(&v).ok_or_else(|| format!("bad --verbosity `{v}`"))?,
+                );
+            }
+            "-q" | "--quiet" => set_global_verbosity(Verbosity::Quiet),
+            "-v" | "--verbose" => set_global_verbosity(Verbosity::Verbose),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro fleet <spec.toml | dir>... [--sweep key=v1,v2,...]...\n\
+                     \x20                  (--spawn N | --backend HOST:PORT)...\n\
+                     \x20                  [--quick|--full] [--out DIR] [--journal FILE] [--events FILE]\n\
+                     \x20                  [--retries N] [--point-budget CYCLES]\n\
+                     \x20                  [--hedge-ms N] [--evict-after N] [--evict-window-ms N]\n\
+                     \x20                  [--poll-ms N] [--watch-addr HOST:PORT]\n\
+                     \x20                  [--verbosity 0|1|2 | -q | -v]\n\
+                     Shards the sweep across a fleet of vm-serve daemons and merges the\n\
+                     shards back byte-identically to a single-node `repro explore --jobs 1`\n\
+                     run — same tables, same CSV, same journal bytes. See docs/fleet.md.\n\
+                     \x20 --spawn         fork N local `repro serve --port 0` children\n\
+                     \x20                 (drained and reaped at exit)\n\
+                     \x20 --backend       dispatch to an already-running daemon (repeatable,\n\
+                     \x20                 mixes with --spawn)\n\
+                     \x20 --journal       write the merged run journal (readable by\n\
+                     \x20                 `repro explore --resume`)\n\
+                     \x20 --events        append fleet lifecycle events (JSONL) for serve-stats\n\
+                     \x20 --hedge-ms      re-dispatch a point in flight longer than this on an\n\
+                     \x20                 idle backend; first result wins (0 disables; default 2000)\n\
+                     \x20 --evict-after   failures inside the window before a backend is\n\
+                     \x20                 evicted from rotation (default 3)\n\
+                     \x20 --evict-window-ms  the sliding eviction window (default 60000)\n\
+                     \x20 --watch-addr    serve the fleet's aggregated live telemetry here for\n\
+                     \x20                 `repro watch` (port 0 binds an ephemeral port; the\n\
+                     \x20                 bound address is printed on stdout)"
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for fleet (try --help)"))
+            }
+            path => collect_specs(Path::new(path), &mut paths)?,
+        }
+    }
+    if paths.is_empty() {
+        return Err(
+            "fleet needs at least one spec file or directory (e.g. `repro fleet specs --spawn 2`)"
+                .to_owned(),
+        );
+    }
+    if spawn == 0 && addrs.is_empty() {
+        return Err("fleet needs backends: --spawn N and/or --backend HOST:PORT".to_owned());
+    }
+    let mut specs = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        // Parse errors surface here with the file name; fleet_plan only
+        // re-parses known-good text.
+        SystemSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        specs.push(text);
+    }
+    let fplan = fleet_plan(&specs, &axes)?;
+    let reporter = Reporter::global();
+
+    let mut backends: Vec<Backend> = Vec::new();
+    for addr in addrs {
+        backends.push(Backend::from_addr(backends.len(), addr));
+    }
+    if spawn > 0 {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot resolve my own executable: {e}"))?;
+        // Spawned children get queue headroom and a parked degrade
+        // watermark: a degraded admission would clamp run lengths and
+        // break bit-identity, so the coordinator treats it as a fault.
+        let extra = ["--queue", "64", "--degrade-depth", "64"].map(String::from);
+        for _ in 0..spawn {
+            let b = Backend::spawn(backends.len(), &exe, &extra)?;
+            // The smoke harness scrapes these lines to find (and kill)
+            // specific children mid-sweep.
+            println!("vm-fleet backend {} pid {} at {}", b.id, b.pid().unwrap_or(0), b.addr);
+            backends.push(b);
+        }
+        std::io::stdout().flush().ok();
+    }
+
+    static WATCH_STOP: AtomicBool = AtomicBool::new(false);
+    let mut hub: Option<Arc<WatchHub>> = None;
+    let mut proxy_thread = None;
+    if let Some(addr) = &watch_addr {
+        let h = Arc::new(WatchHub::new());
+        let proxy =
+            WatchProxy::bind(addr.as_str()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let bound = proxy.local_addr().map_err(|e| format!("no local address: {e}"))?;
+        println!("vm-fleet watching on {bound}");
+        std::io::stdout().flush().ok();
+        let serve_hub = Arc::clone(&h);
+        proxy_thread = Some(std::thread::spawn(move || proxy.serve(&serve_hub, &WATCH_STOP)));
+        hub = Some(h);
+    }
+
+    let mut sink = events.is_some().then(|| JsonlSink::new(Vec::new()));
+    let run_result = run_fleet(&fplan, &exec, &backends, &opts, &reporter, &mut sink, hub.as_ref());
+    WATCH_STOP.store(true, Ordering::Release);
+    if let Some(t) = proxy_thread {
+        let _ = t.join();
+    }
+    for b in &mut backends {
+        b.shutdown();
+    }
+    let outcome = run_result?;
+
+    let vm_fleet::MergedRun { results, failures, journal: journal_bytes } = outcome.merged;
+    let run =
+        explore::ExploreRun::from_results(results, failures, fplan.plan.skipped.clone(), &axes);
+    println!("{}", run.render());
+    if !run.failures.is_empty() {
+        reporter.progress(format!(
+            "{} of {} point(s) failed permanently (each was dispatched to several backends)",
+            run.failures.len(),
+            run.failures.len() + run.results.len(),
+        ));
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for (name, csv) in [
+            ("explore", run.to_csv()),
+            ("explore-frontier", run.frontier_to_csv()),
+            ("explore-sensitivity", run.sensitivity_to_csv()),
+        ] {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, csv.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            reporter.progress(format!("wrote {}", path.display()));
+        }
+    }
+    if let Some(path) = &journal {
+        std::fs::write(path, &journal_bytes)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        reporter.progress(format!(
+            "wrote {} ({} bytes, byte-identical to a single-node --jobs 1 journal)",
+            path.display(),
+            journal_bytes.len()
+        ));
+    }
+    if let (Some(path), Some(sink)) = (&events, sink) {
+        match sink.finish() {
+            Ok(buf) => write_export(&reporter, path, &buf),
+            Err(e) => eprintln!("events capture failed: {e}"),
+        }
+    }
     Ok(())
 }
 
@@ -1020,13 +1277,14 @@ fn main() -> ExitCode {
             }
         };
     }
-    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch")) =
+    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch" | "fleet")) =
         args.first().map(String::as_str)
     {
         let run = match cmd {
             "serve" => serve_cmd(&args[1..]),
             "serve-stats" => serve_stats_cmd(&args[1..]),
             "watch" => watch_cmd(&args[1..]),
+            "fleet" => fleet_cmd(&args[1..]),
             _ => serve_bench_cmd(&args[1..]),
         };
         return match run {
@@ -1110,7 +1368,9 @@ fn main() -> ExitCode {
                      exploration: repro explore <spec.toml | dir> [--sweep key=v1,v2]... [--jobs N] (see explore --help)\n\
                      one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)\n\
                      service:     repro serve | serve-stats | serve-bench | watch (see serve --help, docs/serving.md,\n\
-                     \x20            and docs/live.md)",
+                     \x20            and docs/live.md)\n\
+                     fleet:       repro fleet <spec.toml | dir> --spawn N [--sweep ...] shards a sweep across\n\
+                     \x20            several serve daemons and merges it back bit-identically (see docs/fleet.md)",
                     registry::help_block()
                 );
                 return ExitCode::SUCCESS;

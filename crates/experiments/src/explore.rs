@@ -218,6 +218,30 @@ fn points_table(points: &[PointResult]) -> TextTable {
 }
 
 impl ExploreRun {
+    /// Builds a run report from results produced elsewhere — the fleet
+    /// coordinator hands its merged points through here so `repro fleet`
+    /// renders the same tables and CSV as a single-node `repro explore`
+    /// (the byte-identity contract in docs/fleet.md rides on this being
+    /// the one code path that formats exploration output).
+    pub fn from_results(
+        results: Vec<PointResult>,
+        failures: Vec<SimError>,
+        skipped: Vec<SkippedPoint>,
+        axes: &[Axis],
+    ) -> ExploreRun {
+        let frontier = pareto_frontier(&results);
+        let sens = sensitivity(&results, axes);
+        ExploreRun {
+            results,
+            failures,
+            resumed: 0,
+            skipped,
+            frontier,
+            sensitivity: sens,
+            events_jsonl: None,
+        }
+    }
+
     /// The full report: measured points, skipped corners, the Pareto
     /// frontier, and the sensitivity ranking.
     pub fn render(&self) -> String {

@@ -1,0 +1,246 @@
+//! One fleet slot: a serve daemon we spawned or were pointed at.
+//!
+//! Backends come in two flavors that the coordinator treats
+//! identically: *spawned* (`--spawn N` forks `repro serve --port 0`
+//! children and scrapes the bound address off their first stdout line)
+//! and *remote* (`--backend host:port`). Either way a backend is just
+//! an address the NDJSON protocol answers on; the only difference is
+//! that spawned children are drained and reaped at shutdown.
+//!
+//! Eviction reuses the supervise crash-loop breaker semantics: a
+//! backend that accumulates more than `max_failures` transport or job
+//! failures inside a sliding `window` is removed from rotation and its
+//! in-flight points return to the pending pool. The default budget
+//! matches `vm_supervise`'s `BreakerConfig` (3 failures / 60 s) so one
+//! mental model covers both layers.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use vm_harden::{with_retry_salted, FailureKind, RetryPolicy, SimError};
+use vm_obs::json::Value;
+use vm_serve::Client;
+
+/// The address line every daemon prints first on stdout.
+const LISTENING_PREFIX: &str = "vm-serve listening on ";
+
+/// When to evict a backend: strictly more than `max_failures` failures
+/// inside a sliding `window`, mirroring the supervise crash-loop
+/// breaker (`BreakerConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictPolicy {
+    /// Failures tolerated inside the window before eviction.
+    pub max_failures: u32,
+    /// Sliding window the failures must fall inside.
+    pub window: Duration,
+}
+
+impl Default for EvictPolicy {
+    fn default() -> EvictPolicy {
+        // Same budget as vm_supervise::BreakerConfig: the fourth
+        // failure inside a minute evicts.
+        EvictPolicy { max_failures: 3, window: Duration::from_secs(60) }
+    }
+}
+
+/// A sliding-window failure counter with the supervise breaker's trip
+/// rule. Time is passed in, not sampled, so tests never sleep.
+#[derive(Debug)]
+pub struct Breaker {
+    policy: EvictPolicy,
+    window: VecDeque<Instant>,
+}
+
+impl Breaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: EvictPolicy) -> Breaker {
+        Breaker { policy, window: VecDeque::new() }
+    }
+
+    /// Records one failure at `now`; returns `true` when the breaker
+    /// trips (the failure count inside the window exceeds the budget).
+    pub fn record(&mut self, now: Instant) -> bool {
+        self.window.push_back(now);
+        while let Some(&front) = self.window.front() {
+            if now.duration_since(front) > self.policy.window {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.window.len() as u32 > self.policy.max_failures
+    }
+
+    /// Failures currently inside the window.
+    pub fn failures(&self) -> u32 {
+        self.window.len() as u32
+    }
+}
+
+/// One backend daemon the coordinator dispatches to.
+#[derive(Debug)]
+pub struct Backend {
+    /// The backend's fleet slot (index into the fleet, event `backend`).
+    pub id: usize,
+    /// The daemon's `host:port` address.
+    pub addr: String,
+    child: Option<Child>,
+    // Held open so a spawned child never takes SIGPIPE on a stray
+    // stdout write after we have scraped the address line.
+    _stdout: Option<ChildStdout>,
+}
+
+impl Backend {
+    /// A backend at an operator-supplied address (nothing to reap).
+    pub fn from_addr(id: usize, addr: impl Into<String>) -> Backend {
+        Backend { id, addr: addr.into(), child: None, _stdout: None }
+    }
+
+    /// Spawns `exe serve --port 0 <extra args>` and scrapes the bound
+    /// address off the child's first stdout line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the child cannot be started or its first
+    /// stdout line is not the listening banner.
+    pub fn spawn(id: usize, exe: &Path, extra: &[String]) -> Result<Backend, String> {
+        let mut child = Command::new(exe)
+            .arg("serve")
+            .args(["--port", "0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn backend {id} ({}): {e}", exe.display()))?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("backend {id}: cannot read address line: {e}"))?;
+        let Some(addr) = line.trim().strip_prefix(LISTENING_PREFIX) else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("backend {id}: unexpected first line {:?}", line.trim()));
+        };
+        Ok(Backend {
+            id,
+            addr: addr.to_owned(),
+            child: Some(child),
+            _stdout: Some(reader.into_inner()),
+        })
+    }
+
+    /// The spawned child's pid, when this backend is a local child.
+    pub fn pid(&self) -> Option<u32> {
+        self.child.as_ref().map(Child::id)
+    }
+
+    /// One health round-trip: connect, `{"req":"health"}`, expect `ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transient [`SimError`] naming the failing step, so the
+    /// probe composes with [`with_retry_salted`].
+    pub fn probe(&self) -> Result<(), SimError> {
+        let fail = |detail: String| SimError::new(self.addr.clone(), FailureKind::Io, detail);
+        let mut client = Client::connect(&*self.addr).map_err(|e| fail(format!("connect: {e}")))?;
+        let resp = client
+            .request(&Value::obj([("req", "health".into())]))
+            .map_err(|e| fail(format!("health: {e}")))?;
+        match resp.get("ok") {
+            Some(Value::Bool(true)) => Ok(()),
+            _ => Err(fail(format!("health refused: {resp}"))),
+        }
+    }
+
+    /// Probes the backend until it answers, with the policy's jittered
+    /// backoff (salted by the backend id so a cold fleet spreads its
+    /// probes). Returns the attempts consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final probe error once the retries are exhausted.
+    pub fn health_check(&self, retry: &RetryPolicy) -> Result<u32, SimError> {
+        let (out, attempts) = with_retry_salted(retry, self.id as u64, |_| self.probe());
+        out.map(|()| attempts)
+    }
+
+    /// Drains and reaps a spawned child (no-op for address backends).
+    /// Best-effort: a dead or hung child is killed rather than waited
+    /// on forever.
+    pub fn shutdown(&mut self) {
+        let Some(mut child) = self.child.take() else { return };
+        // Ask nicely first: drain finishes journals and exits cleanly.
+        if let Ok(mut client) = Client::connect(&*self.addr) {
+            let _ = client.request(&Value::obj([("req", "drain".into())]));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_past_the_budget_inside_the_window() {
+        let mut b = Breaker::new(EvictPolicy { max_failures: 3, window: Duration::from_secs(60) });
+        let t0 = Instant::now();
+        assert!(!b.record(t0));
+        assert!(!b.record(t0));
+        assert!(!b.record(t0));
+        assert!(b.record(t0), "fourth failure inside the window trips");
+        assert_eq!(b.failures(), 4);
+    }
+
+    #[test]
+    fn old_failures_age_out_of_the_window() {
+        let mut b = Breaker::new(EvictPolicy { max_failures: 1, window: Duration::from_secs(60) });
+        let t0 = Instant::now();
+        assert!(!b.record(t0));
+        // Two minutes later the first failure no longer counts.
+        let late = t0 + Duration::from_secs(120);
+        assert!(!b.record(late));
+        assert_eq!(b.failures(), 1);
+        assert!(b.record(late), "second failure inside the fresh window trips");
+    }
+
+    #[test]
+    fn probing_a_dead_address_fails_transiently() {
+        // Bind-then-drop guarantees a port nothing listens on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let b = Backend::from_addr(0, format!("127.0.0.1:{port}"));
+        let err = b.probe().unwrap_err();
+        assert_eq!(err.kind, FailureKind::Io, "refused connections must be retryable");
+        assert!(b.pid().is_none());
+        let quick = RetryPolicy { retries: 1, backoff_base_ms: 0, ..RetryPolicy::new(1) };
+        assert!(b.health_check(&quick).is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! The fleet dispatch loop: drivers, stealing, hedging, re-queues.
+//!
+//! One driver thread per backend pulls work from a shared pool. A
+//! point's *home* backend (its hash shard) gets first claim, but the
+//! pool is work-conserving: an idle backend steals any pending point,
+//! and once nothing is pending it *hedges* — re-dispatches the
+//! longest-in-flight point of a slower backend, with first-result-wins
+//! dedup in the [`crate::merge::MergeSet`]. Dedup is safe because every
+//! backend computes bit-identical results; hedging can only change
+//! *when* a result arrives, never *what* it is.
+//!
+//! Failures split along a line that decides who pays:
+//!
+//! * **Transport/job failures** (connect refused, dead socket, `500`,
+//!   degraded admission) are the backend's fault: the point goes back
+//!   to pending with its dispatch budget refunded, and the failure
+//!   counts toward that backend's eviction [`Breaker`].
+//! * **Point failures** (the backend ran the job; the point itself
+//!   failed — chaos, deadline, panic) burn one unit of the point's
+//!   dispatch budget and also count against the backend (a backend
+//!   whose jobs keep dying *is* flapping). A point that fails on
+//!   `max_dispatch` distinct dispatches is recorded as permanently
+//!   failed; until then other backends retry it, which is how a chaos-
+//!   injected shard still converges to a clean merged run.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use vm_explore::ExecConfig;
+use vm_harden::{FailureKind, RetryPolicy, SimError};
+use vm_obs::json::Value;
+use vm_obs::{Event, Reporter, Sink};
+use vm_serve::{Client, WatchHub};
+
+use crate::backend::{Backend, Breaker, EvictPolicy};
+use crate::merge::{merge, rebind_payload, MergeSet, MergedRun};
+use crate::plan::FleetPlan;
+use crate::shard::shard_of;
+use crate::watch::fan_in_backend;
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Startup health-probe budget per backend (jittered backoff).
+    pub health_retry: RetryPolicy,
+    /// Eviction breaker: failures-in-window before a backend is
+    /// removed from rotation.
+    pub evict: EvictPolicy,
+    /// How long a point may be in flight before an idle backend hedges
+    /// it. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Status-poll interval while a job runs.
+    pub poll: Duration,
+    /// Distinct dispatches a point may fail on before it is recorded as
+    /// permanently failed.
+    pub max_dispatch: u32,
+    /// Per-point walk-cycle budget forwarded to backends.
+    pub point_budget: Option<u64>,
+    /// Backend-side retries for transient point failures.
+    pub retries: u32,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            health_retry: RetryPolicy::new(3),
+            evict: EvictPolicy::default(),
+            hedge_after: Some(Duration::from_millis(2_000)),
+            poll: Duration::from_millis(5),
+            max_dispatch: 3,
+            point_budget: None,
+            retries: 0,
+        }
+    }
+}
+
+/// What a fleet run produced.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The merged results, failures, and journal bytes.
+    pub merged: MergedRun,
+    /// Point-jobs dispatched (primary dispatches, not hedges).
+    pub dispatched: u64,
+    /// Hedge dispatches issued.
+    pub hedged: u64,
+    /// Duplicate results discarded by first-result-wins dedup.
+    pub duplicates: u64,
+    /// Backends evicted during the run, by fleet slot.
+    pub evicted: Vec<usize>,
+    /// Backends still healthy at merge time.
+    pub healthy: usize,
+}
+
+/// One claim on an in-flight point.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    backend: usize,
+    since: Instant,
+}
+
+#[derive(Debug)]
+struct State {
+    pending: BTreeSet<usize>,
+    inflight: BTreeMap<usize, Vec<Claim>>,
+    set: MergeSet,
+    failed: BTreeMap<usize, SimError>,
+    /// Dispatches that reached a verdict (or are in flight), per point.
+    dispatch_count: Vec<u32>,
+    healthy: Vec<bool>,
+    alive: usize,
+    evicted: Vec<usize>,
+    dispatched: u64,
+    hedged: u64,
+    events: Vec<(u64, Event)>,
+    fatal: Option<String>,
+}
+
+impl State {
+    fn resolved(&self) -> usize {
+        self.set.accepted() + self.failed.len()
+    }
+}
+
+struct Shared<'a> {
+    state: Mutex<State>,
+    cv: Condvar,
+    t0: Instant,
+    total: usize,
+    home: Vec<usize>,
+    opts: &'a FleetOptions,
+}
+
+struct Work {
+    index: usize,
+}
+
+impl Shared<'_> {
+    fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push_event(&self, st: &mut State, ev: Event) {
+        st.events.push((self.now_ms(), ev));
+    }
+
+    /// Blocks until there is work for backend `b`, the run resolves, or
+    /// `b` is evicted. Claims the returned point.
+    fn next_work(&self, b: usize) -> Option<Work> {
+        let mut st = self.lock();
+        loop {
+            if st.fatal.is_some() || st.resolved() == self.total {
+                self.cv.notify_all();
+                return None;
+            }
+            if !st.healthy[b] {
+                return None;
+            }
+            // Pending work: own shard first, then steal the lowest
+            // pending point (work conservation beats affinity).
+            let pick = st
+                .pending
+                .iter()
+                .copied()
+                .find(|&ix| self.home[ix] == b)
+                .or_else(|| st.pending.iter().next().copied());
+            if let Some(ix) = pick {
+                st.pending.remove(&ix);
+                st.inflight.insert(ix, vec![Claim { backend: b, since: Instant::now() }]);
+                st.dispatched += 1;
+                st.dispatch_count[ix] += 1;
+                let ev = Event::ShardDispatched {
+                    point: ix as u64,
+                    shard: self.home[ix] as u64,
+                    backend: b as u64,
+                };
+                self.push_event(&mut st, ev);
+                return Some(Work { index: ix });
+            }
+            // Nothing pending: hedge the longest-running straggler on
+            // another backend (one hedge per point at a time).
+            if let Some(hedge_after) = self.opts.hedge_after {
+                let now = Instant::now();
+                let straggler = st
+                    .inflight
+                    .iter()
+                    .filter(|(_, claims)| {
+                        claims.len() == 1
+                            && claims[0].backend != b
+                            && now.duration_since(claims[0].since) >= hedge_after
+                    })
+                    .max_by_key(|(_, claims)| now.duration_since(claims[0].since))
+                    .map(|(&ix, claims)| (ix, claims[0].backend));
+                if let Some((ix, from)) = straggler {
+                    st.inflight
+                        .get_mut(&ix)
+                        .expect("straggler is in flight")
+                        .push(Claim { backend: b, since: now });
+                    st.hedged += 1;
+                    let ev =
+                        Event::ShardHedged { point: ix as u64, from: from as u64, to: b as u64 };
+                    self.push_event(&mut st, ev);
+                    return Some(Work { index: ix });
+                }
+            }
+            // Bounded wait so the hedge clock is re-checked.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Records a winning (or duplicate) result for `ix`.
+    fn complete(&self, ix: usize, payload: Value, b: usize) {
+        let mut st = self.lock();
+        if let Some(claims) = st.inflight.get_mut(&ix) {
+            claims.retain(|c| c.backend != b);
+            if claims.is_empty() {
+                st.inflight.remove(&ix);
+            }
+        }
+        // A late success outranks an earlier provisional failure: the
+        // result exists, so the point did not permanently fail.
+        if st.set.get(ix).is_none() {
+            st.failed.remove(&ix);
+        }
+        st.set.offer(ix, payload);
+        self.cv.notify_all();
+    }
+
+    /// Records a point-level failure of `ix` on backend `b`.
+    fn point_failed(&self, ix: usize, err: SimError, b: usize) {
+        let mut st = self.lock();
+        let remaining = match st.inflight.get_mut(&ix) {
+            Some(claims) => {
+                claims.retain(|c| c.backend != b);
+                claims.len()
+            }
+            None => return, // already resolved by a hedge partner
+        };
+        if remaining > 0 || st.set.get(ix).is_some() {
+            if remaining == 0 {
+                st.inflight.remove(&ix);
+            }
+            self.cv.notify_all();
+            return; // someone else may still win it
+        }
+        st.inflight.remove(&ix);
+        if st.dispatch_count[ix] >= self.opts.max_dispatch {
+            let attempts = st.dispatch_count[ix];
+            st.failed.insert(ix, SimError { attempts, ..err });
+        } else {
+            st.pending.insert(ix);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Returns `ix` to pending after a transport failure on `b` — the
+    /// backend's fault, so the point's dispatch budget is refunded.
+    fn release(&self, ix: usize, b: usize) {
+        let mut st = self.lock();
+        let remaining = match st.inflight.get_mut(&ix) {
+            Some(claims) => {
+                claims.retain(|c| c.backend != b);
+                claims.len()
+            }
+            None => return,
+        };
+        st.dispatch_count[ix] = st.dispatch_count[ix].saturating_sub(1);
+        if remaining == 0 {
+            st.inflight.remove(&ix);
+            if st.set.get(ix).is_none() && !st.failed.contains_key(&ix) {
+                st.pending.insert(ix);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Removes backend `b` from rotation and re-pools its claims.
+    fn evict(&self, b: usize, failures: u32) {
+        let mut st = self.lock();
+        if !st.healthy[b] {
+            return;
+        }
+        st.healthy[b] = false;
+        st.alive -= 1;
+        st.evicted.push(b);
+        self.push_event(&mut st, Event::BackendEvicted { backend: b as u64, failures });
+        let orphaned: Vec<usize> = st
+            .inflight
+            .iter_mut()
+            .filter_map(|(&ix, claims)| {
+                claims.retain(|c| c.backend != b);
+                claims.is_empty().then_some(ix)
+            })
+            .collect();
+        for ix in orphaned {
+            st.inflight.remove(&ix);
+            st.dispatch_count[ix] = st.dispatch_count[ix].saturating_sub(1);
+            if st.set.get(ix).is_none() && !st.failed.contains_key(&ix) {
+                st.pending.insert(ix);
+            }
+        }
+        if st.alive == 0 && st.resolved() < self.total {
+            st.fatal = Some(format!(
+                "all {} backend(s) evicted with {} point(s) unresolved",
+                st.healthy.len(),
+                self.total - st.resolved()
+            ));
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// One driver: health-gate the backend, then pull work until the run
+/// resolves or the breaker evicts us.
+fn driver(backend: &Backend, shared: &Shared<'_>, fplan: &FleetPlan, exec: &ExecConfig) {
+    let opts = shared.opts;
+    if let Err(e) = backend.health_check(&opts.health_retry) {
+        let _ = e;
+        shared.evict(backend.id, opts.health_retry.retries + 1);
+        return;
+    }
+    let mut client: Option<Client> = None;
+    let mut breaker = Breaker::new(opts.evict);
+    let mut consecutive = 0u32;
+    while let Some(work) = shared.next_work(backend.id) {
+        match run_point(&mut client, backend, fplan, exec, opts, work.index) {
+            Ok(Ok(payload)) => {
+                consecutive = 0;
+                shared.complete(work.index, payload, backend.id);
+            }
+            Ok(Err(err)) => {
+                // The backend ran the job; the *point* failed. Burn one
+                // unit of the point's budget and one of the backend's.
+                consecutive = 0;
+                shared.point_failed(work.index, err, backend.id);
+                if breaker.record(Instant::now()) {
+                    shared.evict(backend.id, breaker.failures());
+                    return;
+                }
+            }
+            Err(_transport) => {
+                client = None;
+                shared.release(work.index, backend.id);
+                if breaker.record(Instant::now()) {
+                    shared.evict(backend.id, breaker.failures());
+                    return;
+                }
+                consecutive += 1;
+                std::thread::sleep(
+                    opts.health_retry.backoff_jittered(consecutive, backend.id as u64),
+                );
+            }
+        }
+    }
+}
+
+/// Decodes one wire failure object into a [`SimError`].
+fn decode_failure(v: &Value, fallback_label: &str) -> SimError {
+    let s = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_owned);
+    let kind = s("kind").as_deref().and_then(FailureKind::from_label).unwrap_or(FailureKind::Panic);
+    SimError {
+        label: s("label").unwrap_or_else(|| fallback_label.to_owned()),
+        settings: Vec::new(),
+        kind,
+        detail: s("detail").unwrap_or_default(),
+        attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
+    }
+}
+
+/// Runs point `ix` on `backend` as one single-point job.
+///
+/// Outer `Err` = transport/backend fault (requeue, blame the backend);
+/// inner `Err` = the point itself failed on a working backend.
+fn run_point(
+    client: &mut Option<Client>,
+    backend: &Backend,
+    fplan: &FleetPlan,
+    exec: &ExecConfig,
+    opts: &FleetOptions,
+    ix: usize,
+) -> Result<Result<Value, SimError>, String> {
+    let point = &fplan.plan.points[ix];
+    if client.is_none() {
+        *client = Some(Client::connect(&*backend.addr).map_err(|e| format!("connect: {e}"))?);
+    }
+    let c = client.as_mut().expect("client was just connected");
+    let mut fields = vec![
+        ("req", Value::from("submit")),
+        ("spec", Value::from(&*fplan.spec_toml[ix])),
+        ("sweep", Value::Arr(fplan.pinned_axes(ix).into_iter().map(Value::from).collect())),
+        ("warmup", exec.warmup.into()),
+        ("measure", exec.measure.into()),
+        ("retries", u64::from(opts.retries).into()),
+        ("tag", format!("fleet-{ix}").into()),
+    ];
+    if let Some(budget) = opts.point_budget {
+        fields.push(("point_budget", budget.into()));
+    }
+    let resp = c.request(&Value::obj(fields))?;
+    if resp.get("ok") != Some(&Value::Bool(true)) {
+        return Err(format!("submit refused: {resp}"));
+    }
+    // A degraded admission would clamp run lengths and break
+    // bit-identity — treat it like an unhealthy backend and requeue.
+    if resp.get("degraded") == Some(&Value::Bool(true)) {
+        return Err("backend admitted the job at degraded fidelity".to_owned());
+    }
+    let job = resp.get("job").and_then(Value::as_u64).ok_or("submit response without job id")?;
+    loop {
+        let resp = c.request(&Value::obj([("req", "status".into()), ("job", job.into())]))?;
+        match resp.get("state").and_then(Value::as_str) {
+            Some("done") => break,
+            Some(s @ ("failed" | "cancelled")) => {
+                let detail = resp.get("error").and_then(Value::as_str).unwrap_or("");
+                return Err(format!("job {job} {s} on {}: {detail}", backend.addr));
+            }
+            Some(_) => std::thread::sleep(opts.poll),
+            None => return Err(format!("malformed status: {resp}")),
+        }
+    }
+    let resp = c.request(&Value::obj([("req", "result".into()), ("job", job.into())]))?;
+    if resp.get("ok") != Some(&Value::Bool(true)) {
+        return Err(format!("result refused: {resp}"));
+    }
+    let failures = resp.get("failures").and_then(Value::as_array).unwrap_or(&[]);
+    if let Some(f) = failures.first() {
+        let mut err = decode_failure(f, &point.label);
+        err.settings = point.settings.clone();
+        return Ok(Err(err));
+    }
+    let results = resp.get("results").and_then(Value::as_array).unwrap_or(&[]);
+    match results {
+        [payload] => Ok(Ok(rebind_payload(payload, ix, &point.label)?)),
+        other => Err(format!("expected exactly one result, got {}", other.len())),
+    }
+}
+
+/// Runs the whole fleet: health-gate, dispatch, hedge, merge.
+///
+/// Fans every backend's `watch` stream into `hub` when one is given, so
+/// a proxy listener can serve `repro watch` for the fleet.
+///
+/// # Errors
+///
+/// Returns a message when the plan is empty, no backend is usable, or
+/// every backend was evicted before the grid resolved. Point failures
+/// are not errors — they come back in the merged run.
+pub fn run_fleet<S: Sink>(
+    fplan: &FleetPlan,
+    exec: &ExecConfig,
+    backends: &[Backend],
+    opts: &FleetOptions,
+    reporter: &Reporter,
+    sink: &mut S,
+    hub: Option<&Arc<WatchHub>>,
+) -> Result<FleetOutcome, String> {
+    if backends.is_empty() {
+        return Err("fleet needs at least one backend".to_owned());
+    }
+    let total = fplan.plan.points.len();
+    if total == 0 {
+        return Err("no runnable points in the sweep".to_owned());
+    }
+    let home: Vec<usize> =
+        fplan.plan.points.iter().map(|p| shard_of(&p.label, backends.len())).collect();
+    let shared = Shared {
+        state: Mutex::new(State {
+            pending: (0..total).collect(),
+            inflight: BTreeMap::new(),
+            set: MergeSet::new(total),
+            failed: BTreeMap::new(),
+            dispatch_count: vec![0; total],
+            healthy: vec![true; backends.len()],
+            alive: backends.len(),
+            evicted: Vec::new(),
+            dispatched: 0,
+            hedged: 0,
+            events: Vec::new(),
+            fatal: None,
+        }),
+        cv: Condvar::new(),
+        t0: Instant::now(),
+        total,
+        home,
+        opts,
+    };
+    reporter.progress(format!("fleet: {total} point(s) across {} backend(s)", backends.len()));
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Some(hub) = hub {
+        for b in backends {
+            let (id, addr) = (b.id, b.addr.clone());
+            let (hub, stop) = (Arc::clone(hub), Arc::clone(&stop));
+            // Detached on purpose: a fan-in stream that only notices the
+            // stop flag at its next keepalive must not stall the merge.
+            std::thread::spawn(move || fan_in_backend(id, &addr, &hub, &stop));
+        }
+    }
+    std::thread::scope(|scope| {
+        for b in backends {
+            scope.spawn(|| driver(b, &shared, fplan, exec));
+        }
+        // The main thread is the sink pump: sinks are not `Sync`, so
+        // drivers buffer events under the state lock and we drain them
+        // here in arrival order.
+        let mut st = shared.lock();
+        loop {
+            for (t, ev) in std::mem::take(&mut st.events) {
+                sink.emit(t, &ev);
+            }
+            if st.fatal.is_some() || st.resolved() == total {
+                break;
+            }
+            reporter.detail(format!("fleet: {}/{} resolved", st.resolved(), total));
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        drop(st);
+        stop.store(true, Ordering::Release);
+        shared.cv.notify_all();
+    });
+    let end_ms = shared.now_ms();
+    let mut st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    for (t, ev) in std::mem::take(&mut st.events) {
+        sink.emit(t, &ev);
+    }
+    if let Some(msg) = st.fatal {
+        return Err(msg);
+    }
+    let merged = merge(&fplan.plan, exec, &st.set, &st.failed)?;
+    let healthy = st.healthy.iter().filter(|h| **h).count();
+    sink.emit(
+        end_ms,
+        &Event::FleetMerged {
+            points: total as u64,
+            backends: healthy as u64,
+            hedged: st.hedged,
+            duplicates: st.set.duplicates(),
+        },
+    );
+    if let Some(hub) = hub {
+        hub.close();
+    }
+    reporter.progress(format!(
+        "fleet: merged {} result(s), {} failure(s); {} dispatched, {} hedged, {} evicted",
+        merged.results.len(),
+        merged.failures.len(),
+        st.dispatched,
+        st.hedged,
+        st.evicted.len()
+    ));
+    Ok(FleetOutcome {
+        merged,
+        dispatched: st.dispatched,
+        hedged: st.hedged,
+        duplicates: st.set.duplicates(),
+        evicted: st.evicted,
+        healthy,
+    })
+}

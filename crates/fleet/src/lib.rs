@@ -1,0 +1,50 @@
+//! `vm-fleet` — shard one sweep across many `repro serve` daemons.
+//!
+//! A single hardened daemon (vm-serve) is one process on one box; the
+//! north star is campaign-scale sweeps. This crate adds the scale-out
+//! coordinator behind `repro fleet`: it partitions a sweep grid across
+//! N backends speaking the existing NDJSON job protocol as a plain
+//! client, and merges the shards back into artifacts that are
+//! *byte-identical* to a single-node run — sharding is an operational
+//! choice, never a scientific one.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`shard`] — deterministic FNV-1a hash-sharding of points by label,
+//!   so the same grid lands on the same backends run after run.
+//! * [`plan`] — the global fleet plan: the merged sweep grid plus the
+//!   per-point base-spec text each single-point job re-expands from.
+//! * [`backend`] — one fleet slot: spawn-or-connect, health checks with
+//!   `vm_harden` backoff, and an eviction breaker with the same
+//!   failures-in-window semantics as the supervise crash-loop breaker.
+//! * [`coordinator`] — the dispatch loop: one driver thread per
+//!   backend, home-shard affinity with work stealing, hedged re-dispatch
+//!   of stragglers (first result wins), and point re-queue when a
+//!   backend dies mid-job.
+//! * [`mod@merge`] — first-result-wins dedup and the bit-exact merge: shard
+//!   payloads round-trip through the `vm_explore` result codec into a
+//!   journal byte-identical to a clean single-node `--jobs 1` run.
+//! * [`watch`] — fan-in of every backend's `watch` stream into one
+//!   [`vm_serve::WatchHub`], plus a tiny proxy listener so `repro
+//!   watch` points at a fleet exactly like it points at a daemon.
+//! * [`mod@bench`] — the 1/2/4-backend scaling curve committed in
+//!   `BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod bench;
+pub mod coordinator;
+pub mod merge;
+pub mod plan;
+pub mod shard;
+pub mod watch;
+
+pub use backend::{Backend, Breaker, EvictPolicy};
+pub use bench::{fleet_throughput, FleetBenchPoint};
+pub use coordinator::{run_fleet, FleetOptions, FleetOutcome};
+pub use merge::{merge, rebind_payload, MergeSet, MergedRun};
+pub use plan::{fleet_plan, FleetPlan};
+pub use shard::{partition, shard_of};
+pub use watch::{fan_in_backend, WatchProxy};

@@ -1,0 +1,237 @@
+//! First-result-wins dedup and the bit-exact fleet merge.
+//!
+//! Hedging means the same point can finish on two backends; a fleet
+//! run is only trustworthy if that redundancy is *invisible* in the
+//! artifacts. Two properties make it so:
+//!
+//! 1. The determinism contract: every backend computes bit-identical
+//!    results for the same point (proven per-layer since vm-explore),
+//!    so whichever copy arrives first is *the* result.
+//! 2. The codec round-trip: payloads cross the wire as
+//!    [`vm_explore::result_to_value`] objects (f64s as exact bit
+//!    strings) and are re-encoded through the same codec at merge time,
+//!    so the merged journal is byte-for-byte what a clean single-node
+//!    `repro explore --jobs 1 --journal` run of the same grid writes.
+//!
+//! The merge writes points in global index order with `attempts` 1 —
+//! the fleet's re-dispatch and hedging history lives in the obs event
+//! stream (`shard_dispatched` / `shard_hedged`), not in the scientific
+//! record, which must not depend on which backends happened to flake.
+
+use std::collections::BTreeMap;
+
+use vm_explore::{result_from_value, result_to_value, run_header, ExecConfig, SweepPlan};
+use vm_harden::journal::DEFAULT_SYNC_BATCH;
+use vm_harden::{FailureKind, JournalEntry, JournalWriter, PointOutcome, SimError};
+use vm_obs::json::Value;
+
+/// Rebinds a backend's single-point payload to its global identity:
+/// decodes through the bit-exact codec, checks the label matches the
+/// planned point, stamps the global index, and re-encodes.
+///
+/// # Errors
+///
+/// Returns a message when the payload does not decode or its label is
+/// not the expected one (a backend answering for the wrong point).
+pub fn rebind_payload(payload: &Value, index: usize, label: &str) -> Result<Value, String> {
+    let mut result = result_from_value(payload)?;
+    if result.label != label {
+        return Err(format!(
+            "backend returned point {:?}, expected {:?} (index {index})",
+            result.label, label
+        ));
+    }
+    result.index = index;
+    Ok(result_to_value(&result))
+}
+
+/// First-result-wins accumulator for rebound payloads, indexed by
+/// global point index.
+#[derive(Debug, Default)]
+pub struct MergeSet {
+    slots: Vec<Option<Value>>,
+    duplicates: u64,
+}
+
+impl MergeSet {
+    /// An empty set sized for `points` slots.
+    pub fn new(points: usize) -> MergeSet {
+        MergeSet { slots: vec![None; points], duplicates: 0 }
+    }
+
+    /// Offers a rebound payload for `index`. The first offer wins and
+    /// returns `true`; later copies (hedge losers) are counted and
+    /// discarded.
+    pub fn offer(&mut self, index: usize, payload: Value) -> bool {
+        match &mut self.slots[index] {
+            slot @ None => {
+                *slot = Some(payload);
+                true
+            }
+            Some(_) => {
+                self.duplicates += 1;
+                false
+            }
+        }
+    }
+
+    /// The winning payload for `index`, when one has arrived.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.slots.get(index).and_then(Option::as_ref)
+    }
+
+    /// Points with a winning payload.
+    pub fn accepted(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Late duplicates discarded so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Indices still without a result.
+    pub fn missing(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(ix, _)| ix)
+    }
+}
+
+/// A merged fleet run: decoded results, permanent failures, and the
+/// single-node-identical journal bytes.
+#[derive(Debug)]
+pub struct MergedRun {
+    /// Completed points in global index order.
+    pub results: Vec<vm_explore::PointResult>,
+    /// Permanently failed points in global index order.
+    pub failures: Vec<SimError>,
+    /// The merged run journal, byte-identical to a clean single-node
+    /// `--jobs 1 --journal` run when every point completed.
+    pub journal: Vec<u8>,
+}
+
+/// Merges the accumulated shard results into the final artifacts.
+///
+/// Every point must be accounted for: either a payload in `set` or a
+/// permanent failure in `failed`.
+///
+/// # Errors
+///
+/// Returns a message when a point is missing from both maps or a
+/// payload fails to decode.
+pub fn merge(
+    plan: &SweepPlan,
+    exec: &ExecConfig,
+    set: &MergeSet,
+    failed: &BTreeMap<usize, SimError>,
+) -> Result<MergedRun, String> {
+    let mut writer = JournalWriter::new(Vec::new(), DEFAULT_SYNC_BATCH);
+    writer.header(&run_header(plan, exec));
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for point in &plan.points {
+        let ix = point.index;
+        let outcome: PointOutcome<vm_explore::PointResult> = match (set.get(ix), failed.get(&ix)) {
+            (Some(payload), _) => PointOutcome::Completed(result_from_value(payload)?),
+            (None, Some(err)) if err.kind == FailureKind::Timeout => {
+                PointOutcome::TimedOut(err.clone())
+            }
+            (None, Some(err)) => PointOutcome::Failed(err.clone()),
+            (None, None) => return Err(format!("point {ix} ({}) was never resolved", point.label)),
+        };
+        // Attempts are normalized to 1 for completed points: redundant
+        // hedge copies and cross-backend re-dispatch are fleet
+        // logistics, and the journal must match a clean single-node
+        // run. Failures keep their recorded attempts.
+        let attempts = match &outcome {
+            PointOutcome::Completed(_) => 1,
+            other => other.error().map_or(1, |e| e.attempts.max(1)),
+        };
+        writer.record(&JournalEntry::from_outcome(
+            ix as u64,
+            &point.label,
+            &outcome,
+            attempts,
+            result_to_value,
+        ));
+        match outcome {
+            PointOutcome::Completed(r) => results.push(r),
+            PointOutcome::Failed(e) | PointOutcome::TimedOut(e) => failures.push(e),
+        }
+    }
+    let journal = writer.finish().map_err(|e| format!("journal encode failed: {e}"))?;
+    Ok(MergedRun { results, failures, journal })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm_explore::{Axis, SweepPlan, SystemSpec};
+
+    fn tiny() -> (SweepPlan, ExecConfig) {
+        let base =
+            SystemSpec::parse("[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n").unwrap();
+        let axes = vec![Axis::parse("tlb.entries=32,64").unwrap()];
+        let plan = SweepPlan::expand(&base, &axes).unwrap();
+        let exec = ExecConfig { warmup: 1_000, measure: 5_000, jobs: 1 };
+        (plan, exec)
+    }
+
+    fn run_points(plan: &SweepPlan, exec: &ExecConfig) -> Vec<vm_explore::PointResult> {
+        let outcome = vm_explore::run_sweep_hardened(
+            plan,
+            exec,
+            &Default::default(),
+            Default::default(),
+            &vm_obs::Reporter::silent(),
+            &mut vm_obs::NopSink,
+            None,
+        );
+        let (results, failures) = outcome.into_parts();
+        assert!(failures.is_empty());
+        results
+    }
+
+    #[test]
+    fn first_result_wins_and_duplicates_are_counted() {
+        let (plan, exec) = tiny();
+        let results = run_points(&plan, &exec);
+        let mut set = MergeSet::new(plan.points.len());
+        for r in &results {
+            assert!(set.offer(r.index, result_to_value(r)));
+        }
+        assert!(!set.offer(0, result_to_value(&results[0])), "hedge loser must be discarded");
+        assert_eq!((set.accepted(), set.duplicates()), (2, 1));
+        assert_eq!(set.missing().count(), 0);
+        let merged = merge(&plan, &exec, &set, &BTreeMap::new()).unwrap();
+        assert_eq!(merged.results, results, "codec round-trip is exact");
+    }
+
+    #[test]
+    fn rebind_checks_the_label_and_stamps_the_index() {
+        let (plan, exec) = tiny();
+        let results = run_points(&plan, &exec);
+        // A backend runs point 1 as its own single-point plan (local
+        // index 0); rebinding restores the global identity exactly.
+        let mut local = results[1].clone();
+        local.index = 0;
+        let rebound = rebind_payload(&result_to_value(&local), 1, &results[1].label).unwrap();
+        assert_eq!(rebound, result_to_value(&results[1]));
+        assert!(rebind_payload(&result_to_value(&local), 0, &results[0].label).is_err());
+    }
+
+    #[test]
+    fn unresolved_points_are_an_error_and_failures_are_journaled() {
+        let (plan, exec) = tiny();
+        let results = run_points(&plan, &exec);
+        let mut set = MergeSet::new(plan.points.len());
+        set.offer(0, result_to_value(&results[0]));
+        assert!(merge(&plan, &exec, &set, &BTreeMap::new()).is_err(), "point 1 unaccounted");
+        let mut failed = BTreeMap::new();
+        failed.insert(1usize, SimError::new(plan.points[1].label.clone(), FailureKind::Io, "gone"));
+        let merged = merge(&plan, &exec, &set, &failed).unwrap();
+        assert_eq!(merged.results.len(), 1);
+        assert_eq!(merged.failures.len(), 1);
+        let text = String::from_utf8(merged.journal).unwrap();
+        assert!(text.contains("\"status\":\"failed\""), "journal records the failure: {text}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The global fleet plan: one merged grid, plus what each backend
+//! needs to rebuild its slice of it.
+//!
+//! The coordinator never ships simulation state over the wire — a
+//! dispatched point is just the base spec text plus every swept axis
+//! pinned to that point's value (`tlb.entries=64`). The backend
+//! re-expands that one-point grid through the same
+//! [`vm_explore::SweepPlan`] machinery the coordinator used, so labels,
+//! settings order, and therefore results are identical *by
+//! construction*, not by protocol discipline.
+
+use std::sync::Arc;
+
+use vm_explore::{Axis, SweepPlan, SystemSpec};
+
+/// The merged sweep grid plus, for every point, the base-spec TOML text
+/// the owning backend re-expands it from.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// The global plan: points carry fleet-wide indices and labels.
+    pub plan: SweepPlan,
+    /// Per-point base spec text, parallel to `plan.points`.
+    pub spec_toml: Vec<Arc<str>>,
+}
+
+impl FleetPlan {
+    /// The pinned single-value axes that re-expand to exactly point
+    /// `ix` on a backend (`["tlb.entries=64", "cache.l1=8K"]`).
+    pub fn pinned_axes(&self, ix: usize) -> Vec<String> {
+        self.plan.points[ix].settings.iter().map(|(k, v)| format!("{k}={v}")).collect()
+    }
+}
+
+/// Expands the grid over every base spec and merges with global
+/// reindexing — the same merge the single-node `repro explore` planner
+/// performs, so fleet point labels and indices match it exactly.
+///
+/// `specs` holds raw spec TOML texts (the coordinator keeps the text
+/// because that is what the wire protocol carries).
+///
+/// # Errors
+///
+/// Returns a message when a spec fails to parse, or when an axis key
+/// is rejected by every base (a key meaningless for one base but valid
+/// for another only skips that base, mirroring single-node planning).
+pub fn fleet_plan(specs: &[String], axes: &[Axis]) -> Result<FleetPlan, String> {
+    let mut merged = SweepPlan::default();
+    let mut spec_toml = Vec::new();
+    let mut last_err = None;
+    for text in specs {
+        let base = SystemSpec::parse(text).map_err(|e| e.to_string())?;
+        match SweepPlan::expand(&base, axes) {
+            Ok(mut plan) => {
+                let shared: Arc<str> = Arc::from(text.as_str());
+                for mut point in plan.points.drain(..) {
+                    point.index = merged.points.len();
+                    merged.points.push(point);
+                    spec_toml.push(Arc::clone(&shared));
+                }
+                merged.skipped.append(&mut plan.skipped);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    if merged.points.is_empty() && merged.skipped.is_empty() {
+        if let Some(e) = last_err {
+            return Err(e);
+        }
+    }
+    Ok(FleetPlan { plan: merged, spec_toml })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ULTRIX: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n";
+    const MACH: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"inverted\"\n";
+
+    #[test]
+    fn pinned_axes_re_expand_to_the_same_point() {
+        let axes = vec![Axis::parse("tlb.entries=32,64,128").unwrap()];
+        let fp = fleet_plan(&[ULTRIX.to_owned(), MACH.to_owned()], &axes).unwrap();
+        assert_eq!(fp.plan.points.len(), 6);
+        assert_eq!(fp.spec_toml.len(), 6);
+        for (ix, point) in fp.plan.points.iter().enumerate() {
+            assert_eq!(point.index, ix, "global reindex");
+            // A backend re-expands the pinned axes over the shipped
+            // spec text and must land on one point with the same label.
+            let pinned: Vec<Axis> =
+                fp.pinned_axes(ix).iter().map(|s| Axis::parse(s).unwrap()).collect();
+            let base = SystemSpec::parse(&fp.spec_toml[ix]).unwrap();
+            let sub = SweepPlan::expand(&base, &pinned).unwrap();
+            assert_eq!(sub.points.len(), 1);
+            assert_eq!(sub.points[0].label, point.label);
+            assert_eq!(sub.points[0].settings, point.settings);
+        }
+    }
+
+    #[test]
+    fn bad_spec_text_is_a_hard_error() {
+        assert!(fleet_plan(&["[mmu]\nkind = \"warp\"\n".to_owned()], &[]).is_err());
+    }
+}

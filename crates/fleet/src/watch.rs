@@ -1,0 +1,248 @@
+//! Watch fan-in: one aggregated frame stream for the whole fleet.
+//!
+//! Each backend already speaks the `watch` protocol (ack, then one
+//! JSON frame per line). The fleet subscribes to every backend's
+//! firehose (`"job":"*"`), tags each frame with the originating
+//! backend's fleet slot, and republishes it into one shared
+//! [`WatchHub`]. A tiny proxy listener then answers `watch` requests
+//! against that hub, so `repro watch --addr <fleet>` works exactly as
+//! it does against a single daemon — same ack, same frames, plus a
+//! `backend` field saying where each frame came from.
+//!
+//! Fan-in readers cannot reliably tell a quiet backend from a dead one
+//! through the string-error client interface, so they time the read:
+//! an error that arrives as fast as the socket can fail is a dead
+//! connection; an error that took the whole read timeout is just an
+//! idle stream (backends keep quiet streams alive with ~5 s ticks).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vm_obs::json::{self, Value};
+use vm_serve::{ok_response, Client, SubNext, WatchHub, PROTO_VERSION};
+
+/// Subscribes to one backend's `watch` firehose and republishes every
+/// frame into `hub`, tagged with the backend's fleet slot. Returns when
+/// the backend's stream dies or `stop` is set.
+pub fn fan_in_backend(id: usize, addr: &str, hub: &WatchHub, stop: &AtomicBool) {
+    let Ok(mut client) = Client::connect(addr) else { return };
+    let sub = Value::obj([("req", "watch".into()), ("job", "*".into())]);
+    if client.send(&sub).is_err() {
+        return;
+    }
+    match client.next_line() {
+        Ok(ack) if ack.get("ok") == Some(&Value::Bool(true)) => {}
+        _ => return,
+    }
+    let timeout = Duration::from_millis(500);
+    if client.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    let mut fast_errors = 0u32;
+    while !stop.load(Ordering::Acquire) {
+        let started = Instant::now();
+        match client.next_line() {
+            Ok(mut frame) => {
+                fast_errors = 0;
+                if let Value::Obj(pairs) = &mut frame {
+                    pairs.push(("backend".to_owned(), (id as u64).into()));
+                }
+                hub.publish(None, &frame);
+            }
+            Err(_) if started.elapsed() >= timeout / 2 => {
+                // Took the whole timeout: an idle stream, keep polling.
+                fast_errors = 0;
+            }
+            Err(_) => {
+                // Instant failure twice in a row: the socket is dead.
+                fast_errors += 1;
+                if fast_errors >= 2 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A minimal `watch`-only listener serving the fleet's aggregated hub.
+#[derive(Debug)]
+pub struct WatchProxy {
+    listener: TcpListener,
+}
+
+impl WatchProxy {
+    /// Binds the proxy (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<WatchProxy> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(WatchProxy { listener })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts watch subscribers until `stop` is set. Each connection
+    /// gets its own thread streaming frames from `hub`; when the hub
+    /// closes (the run finished), streams end and clients disconnect.
+    pub fn serve(&self, hub: &Arc<WatchHub>, stop: &AtomicBool) {
+        let t0 = Instant::now();
+        while !stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let hub = Arc::clone(hub);
+                    std::thread::spawn(move || watch_conn(stream, &hub, t0));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, v: &Value) -> std::io::Result<()> {
+    stream.write_all(v.to_string().as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Serves one proxy subscriber: read the request line, ack, stream.
+fn watch_conn(mut stream: TcpStream, hub: &Arc<WatchHub>, t0: Instant) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut line = String::new();
+    if BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    })
+    .read_line(&mut line)
+    .is_err()
+    {
+        return;
+    }
+    let is_watch = json::parse(line.trim())
+        .ok()
+        .and_then(|v| v.get("req").and_then(Value::as_str).map(|r| r == "watch"))
+        .unwrap_or(false);
+    if !is_watch {
+        let e = vm_serve::ProtoError::new(400, "the fleet proxy only serves watch".to_owned());
+        let _ = write_line(&mut stream, &vm_serve::error_response(&e));
+        return;
+    }
+    let sub = hub.subscribe(None, vm_serve::watch::DEFAULT_WATCH_BUFFER);
+    let ack = ok_response([("watching", "*".into()), ("proto", PROTO_VERSION.into())]);
+    if write_line(&mut stream, &ack).is_err() {
+        hub.unsubscribe(&sub);
+        return;
+    }
+    let now_ms = || t0.elapsed().as_millis() as u64;
+    let mut idle = Duration::ZERO;
+    let poll = Duration::from_millis(200);
+    let keepalive = Duration::from_secs(5);
+    loop {
+        match sub.next(poll) {
+            SubNext::Frame(frame) => {
+                idle = Duration::ZERO;
+                if write_line(&mut stream, &frame).is_err() {
+                    break;
+                }
+            }
+            SubNext::Lagged => {
+                let _ = write_line(&mut stream, &vm_serve::watch::lagged_frame(now_ms()));
+                break;
+            }
+            SubNext::Closed => break,
+            SubNext::Idle => {
+                idle += poll;
+                if idle >= keepalive {
+                    idle = Duration::ZERO;
+                    if write_line(&mut stream, &vm_serve::watch::tick_frame(now_ms())).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    hub.unsubscribe(&sub);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_acks_watch_and_streams_hub_frames() {
+        let hub = Arc::new(WatchHub::new());
+        let proxy = WatchProxy::bind("127.0.0.1:0").unwrap();
+        let addr = proxy.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve = {
+            let (hub, stop) = (Arc::clone(&hub), Arc::clone(&stop));
+            std::thread::spawn(move || proxy.serve(&hub, &stop))
+        };
+        let mut client = Client::connect(addr).unwrap();
+        client.send(&Value::obj([("req", "watch".into()), ("job", "*".into())])).unwrap();
+        let ack = client.next_line().unwrap();
+        assert_eq!(ack.get("ok"), Some(&Value::Bool(true)));
+        // Wait for the proxy thread to register its subscriber, then
+        // publish a tagged frame and see it arrive verbatim.
+        for _ in 0..100 {
+            if hub.subscribers() > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(hub.subscribers() > 0, "proxy never subscribed");
+        let frame = Value::obj([("frame", "progress".into()), ("backend", 2u64.into())]);
+        hub.publish(None, &frame);
+        let got = client.next_line().unwrap();
+        assert_eq!(got, frame);
+        // Closing the hub ends the stream and the client sees EOF.
+        hub.close();
+        assert!(client.next_line().is_err());
+        stop.store(true, Ordering::Release);
+        serve.join().unwrap();
+    }
+
+    #[test]
+    fn proxy_rejects_non_watch_requests() {
+        let hub = Arc::new(WatchHub::new());
+        let proxy = WatchProxy::bind("127.0.0.1:0").unwrap();
+        let addr = proxy.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve = {
+            let (hub, stop) = (Arc::clone(&hub), Arc::clone(&stop));
+            std::thread::spawn(move || proxy.serve(&hub, &stop))
+        };
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client.request(&Value::obj([("req", "health".into())])).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(resp.get("code").and_then(Value::as_u64), Some(400));
+        stop.store(true, Ordering::Release);
+        serve.join().unwrap();
+    }
+
+    #[test]
+    fn fan_in_exits_cleanly_when_the_backend_is_gone() {
+        // Bind-then-drop: nothing listens, fan-in must return, not hang.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let hub = WatchHub::new();
+        let stop = AtomicBool::new(false);
+        fan_in_backend(0, &format!("127.0.0.1:{port}"), &hub, &stop);
+    }
+}

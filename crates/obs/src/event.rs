@@ -207,6 +207,48 @@ pub enum Event {
         /// Restarts consumed before the breaker opened.
         restarts: u32,
     },
+    /// A `vm-fleet` coordinator dispatched one sweep point to a backend
+    /// as a single-point serve job.
+    ShardDispatched {
+        /// The point's index in global sweep order.
+        point: u64,
+        /// The point's home shard (hash of its label mod fleet size).
+        shard: u64,
+        /// The backend the job actually went to (differs from `shard`
+        /// when the home backend was evicted and the point re-homed).
+        backend: u64,
+    },
+    /// A straggling in-flight point was hedged: duplicated onto an idle
+    /// healthy backend, first result wins.
+    ShardHedged {
+        /// The point's index in global sweep order.
+        point: u64,
+        /// The backend the original dispatch is still running on.
+        from: u64,
+        /// The idle backend the duplicate was dispatched to.
+        to: u64,
+    },
+    /// A fleet backend tripped its eviction breaker (too many transport
+    /// or job failures inside the window) and was removed from rotation;
+    /// its in-flight points return to the pending pool.
+    BackendEvicted {
+        /// The evicted backend's fleet slot.
+        backend: u64,
+        /// Failures inside the breaker window when it tripped.
+        failures: u32,
+    },
+    /// A fleet run merged its shard results into the final journal and
+    /// CSV (bit-identical to a single-node run of the same grid).
+    FleetMerged {
+        /// Points in the merged run (completed plus failed).
+        points: u64,
+        /// Backends still healthy at merge time.
+        backends: u64,
+        /// Hedge dispatches issued over the whole run.
+        hedged: u64,
+        /// Duplicate results discarded by first-result-wins dedup.
+        duplicates: u64,
+    },
 }
 
 impl Event {
@@ -233,6 +275,10 @@ impl Event {
             Event::WorkerCrashed { .. } => "worker_crashed",
             Event::WorkerRestarted { .. } => "worker_restarted",
             Event::BreakerTripped { .. } => "breaker_tripped",
+            Event::ShardDispatched { .. } => "shard_dispatched",
+            Event::ShardHedged { .. } => "shard_hedged",
+            Event::BackendEvicted { .. } => "backend_evicted",
+            Event::FleetMerged { .. } => "fleet_merged",
         }
     }
 
@@ -330,6 +376,26 @@ impl Event {
                 put("point", point.into());
                 put("restarts", restarts.into());
             }
+            Event::ShardDispatched { point, shard, backend } => {
+                put("point", point.into());
+                put("shard", shard.into());
+                put("backend", backend.into());
+            }
+            Event::ShardHedged { point, from, to } => {
+                put("point", point.into());
+                put("from", from.into());
+                put("to", to.into());
+            }
+            Event::BackendEvicted { backend, failures } => {
+                put("backend", backend.into());
+                put("failures", failures.into());
+            }
+            Event::FleetMerged { points, backends, hedged, duplicates } => {
+                put("points", points.into());
+                put("backends", backends.into());
+                put("hedged", hedged.into());
+                put("duplicates", duplicates.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -371,6 +437,10 @@ mod tests {
             Event::WorkerCrashed { worker: 0, point: 5, restarts: 0 },
             Event::WorkerRestarted { worker: 0, pid: 4243, restarts: 1 },
             Event::BreakerTripped { worker: 0, point: 5, restarts: 3 },
+            Event::ShardDispatched { point: 11, shard: 2, backend: 1 },
+            Event::ShardHedged { point: 11, from: 1, to: 3 },
+            Event::BackendEvicted { backend: 1, failures: 4 },
+            Event::FleetMerged { points: 24, backends: 3, hedged: 1, duplicates: 1 },
         ]
     }
 

@@ -130,7 +130,11 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::WorkerSpawned { .. }
             | Event::WorkerCrashed { .. }
             | Event::WorkerRestarted { .. }
-            | Event::BreakerTripped { .. } => 7,
+            | Event::BreakerTripped { .. }
+            | Event::ShardDispatched { .. }
+            | Event::ShardHedged { .. }
+            | Event::BackendEvicted { .. }
+            | Event::FleetMerged { .. } => 7,
         }
     }
 

@@ -396,9 +396,9 @@ impl Sink for StatsSink {
             Event::TlbEviction { class, .. } => {
                 c.tlb_evictions[usize::from(class.is_data())] += 1;
             }
-            // Sweep, serve, and supervision lifecycle markers are
-            // emitted outside any single simulation; there is nothing
-            // to aggregate per run.
+            // Sweep, serve, supervision, and fleet lifecycle markers
+            // are emitted outside any single simulation; there is
+            // nothing to aggregate per run.
             Event::SweepStarted { .. }
             | Event::SweepPointDone { .. }
             | Event::PointFailed { .. }
@@ -411,7 +411,11 @@ impl Sink for StatsSink {
             | Event::WorkerSpawned { .. }
             | Event::WorkerCrashed { .. }
             | Event::WorkerRestarted { .. }
-            | Event::BreakerTripped { .. } => {}
+            | Event::BreakerTripped { .. }
+            | Event::ShardDispatched { .. }
+            | Event::ShardHedged { .. }
+            | Event::BackendEvicted { .. }
+            | Event::FleetMerged { .. } => {}
         }
     }
 

@@ -97,10 +97,13 @@ pub fn throughput(workers: usize, jobs: usize) -> Result<BenchPoint, String> {
     Ok(BenchPoint { workers, jobs, points_per_job: 2, wall_ms, jobs_per_sec })
 }
 
-/// Renders the committed `BENCH_serve.json` body.
-pub fn bench_json(points: &[BenchPoint]) -> Value {
+/// Renders the committed `BENCH_serve.json` body: the single-daemon
+/// throughput rows plus a fleet scaling curve. The fleet rows are
+/// passed pre-rendered (`vm-fleet` sits above this crate and owns
+/// their shape); schema `2` added the `fleet` array.
+pub fn bench_json(points: &[BenchPoint], fleet: &[Value]) -> Value {
     Value::obj([
-        ("schema", "vm-serve-bench/1".into()),
+        ("schema", "vm-serve-bench/2".into()),
         (
             "results",
             Value::Arr(
@@ -118,6 +121,7 @@ pub fn bench_json(points: &[BenchPoint]) -> Value {
                     .collect(),
             ),
         ),
+        ("fleet", Value::Arr(fleet.to_vec())),
     ])
 }
 
@@ -134,11 +138,15 @@ mod tests {
             wall_ms: 250,
             jobs_per_sec: 16.004,
         };
-        let v = bench_json(&[p]);
-        assert_eq!(v.get("schema").and_then(Value::as_str), Some("vm-serve-bench/1"));
+        let fleet_row = Value::obj([("backends", 2u64.into()), ("points", 8u64.into())]);
+        let v = bench_json(&[p], &[fleet_row]);
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("vm-serve-bench/2"));
         let row = &v.get("results").unwrap().as_array().unwrap()[0];
         assert_eq!(row.get("workers").and_then(Value::as_u64), Some(1));
         assert_eq!(row.get("jobs_per_sec").and_then(Value::as_f64), Some(16.0));
+        let fleet = v.get("fleet").unwrap().as_array().unwrap();
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet[0].get("backends").and_then(Value::as_u64), Some(2));
     }
 
     #[test]

@@ -11,6 +11,25 @@
 use vm_obs::json::{self, Value};
 use vm_obs::LogHist;
 
+/// Event kinds this report deliberately ignores: simulation-level
+/// telemetry with nothing to fold into daemon lifecycle counters.
+/// Anything not here and not matched explicitly is *unknown* and gets
+/// counted and reported, never silently dropped.
+const KNOWN_SIM_EVENTS: &[&str] = &[
+    "tlb_miss",
+    "walk_complete",
+    "handler_eviction",
+    "context_switch_flush",
+    "interrupt",
+    "cache_miss",
+    "tlb_eviction",
+    "sweep_started",
+    "sweep_point_done",
+    "point_failed",
+    "point_retried",
+    "run_resumed",
+];
+
 /// Aggregated lifecycle telemetry from one or more event streams.
 #[derive(Debug, Clone, Default)]
 pub struct EventReport {
@@ -42,6 +61,21 @@ pub struct EventReport {
     pub worker_restarts: u64,
     /// `breaker_tripped` events (a point exhausted its restart budget).
     pub breaker_trips: u64,
+    /// `shard_dispatched` events (fleet point-jobs sent to backends).
+    pub shard_dispatches: u64,
+    /// `shard_hedged` events (straggler points duplicated to an idle
+    /// backend).
+    pub shard_hedges: u64,
+    /// `backend_evicted` events (fleet backends removed from rotation).
+    pub backend_evictions: u64,
+    /// `fleet_merged` events (fleet runs that reached the merge).
+    pub fleet_merges: u64,
+    /// Duplicate results discarded across merged fleet runs.
+    pub fleet_duplicates: u64,
+    /// Event kinds outside the known vocabulary, with occurrence
+    /// counts. Unknown kinds are *reported*, not silently skipped: a
+    /// typo'd or newer-than-this-binary event should be visible.
+    pub unknown: std::collections::BTreeMap<String, u64>,
     /// Queue depth at each admission and shed decision.
     pub queue_depth: LogHist,
     /// Job wall time, milliseconds.
@@ -114,7 +148,18 @@ impl EventReport {
                 Some("worker_crashed") => report.worker_crashes += 1,
                 Some("worker_restarted") => report.worker_restarts += 1,
                 Some("breaker_tripped") => report.breaker_trips += 1,
-                _ => {}
+                Some("shard_dispatched") => report.shard_dispatches += 1,
+                Some("shard_hedged") => report.shard_hedges += 1,
+                Some("backend_evicted") => report.backend_evictions += 1,
+                Some("fleet_merged") => {
+                    report.fleet_merges += 1;
+                    report.fleet_duplicates += int("duplicates");
+                }
+                // Simulation-level events are known but carry nothing
+                // this report aggregates.
+                Some(kind) if KNOWN_SIM_EVENTS.contains(&kind) => {}
+                Some(kind) => *report.unknown.entry(kind.to_owned()).or_insert(0) += 1,
+                None => *report.unknown.entry("(no ev field)".to_owned()).or_insert(0) += 1,
             }
         }
         Ok(report)
@@ -157,12 +202,29 @@ impl EventReport {
                 self.worker_spawns, self.worker_crashes, self.worker_restarts, self.breaker_trips
             ));
         }
+        if self.shard_dispatches + self.shard_hedges + self.backend_evictions + self.fleet_merges
+            > 0
+        {
+            out.push_str(&format!(
+                "  fleet    {} dispatched, {} hedged, {} backend eviction(s), {} merge(s) ({} duplicate(s) discarded)\n",
+                self.shard_dispatches,
+                self.shard_hedges,
+                self.backend_evictions,
+                self.fleet_merges,
+                self.fleet_duplicates
+            ));
+        }
         match self.drains {
             0 => out.push_str("  drains   none\n"),
             n => out.push_str(&format!(
                 "  drains   {n}, last with {} job(s) pending\n",
                 self.last_drain_pending
             )),
+        }
+        if !self.unknown.is_empty() {
+            let kinds: Vec<String> =
+                self.unknown.iter().map(|(k, n)| format!("{k} ×{n}")).collect();
+            out.push_str(&format!("  unknown  {}\n", kinds.join(", ")));
         }
         out
     }
@@ -239,7 +301,48 @@ mod tests {
         let r = EventReport::from_jsonl(&text).unwrap();
         assert_eq!(r.lines, 11);
         assert_eq!(r.admitted, 2);
+        assert!(r.unknown.is_empty(), "simulation events are known, not unknown");
         assert!(EventReport::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn fleet_events_are_folded_into_their_own_section() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            Event::ShardDispatched { point: 0, shard: 1, backend: 1 },
+            Event::ShardDispatched { point: 1, shard: 0, backend: 0 },
+            Event::ShardHedged { point: 1, from: 0, to: 1 },
+            Event::BackendEvicted { backend: 0, failures: 4 },
+            Event::FleetMerged { points: 2, backends: 1, hedged: 1, duplicates: 1 },
+        ];
+        for (t, ev) in events.iter().enumerate() {
+            sink.emit(t as u64, ev);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!((r.shard_dispatches, r.shard_hedges), (2, 1));
+        assert_eq!((r.backend_evictions, r.fleet_merges, r.fleet_duplicates), (1, 1, 1));
+        let rendered = r.render();
+        assert!(rendered.contains("fleet    2 dispatched, 1 hedged"), "{rendered}");
+        // A stream with no fleet activity elides the section entirely.
+        let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
+        assert!(!plain.render().contains("fleet"), "fleet line must be elided when idle");
+    }
+
+    #[test]
+    fn unknown_kinds_are_counted_and_reported_once() {
+        let mut text = sample_stream();
+        text.push_str("{\"t\":1,\"ev\":\"mystery_event\"}\n");
+        text.push_str("{\"t\":2,\"ev\":\"mystery_event\"}\n");
+        text.push_str("{\"t\":3,\"ev\":\"other_thing\",\"x\":1}\n");
+        text.push_str("{\"t\":4,\"x\":1}\n"); // no ev field at all
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!(r.unknown.get("mystery_event"), Some(&2));
+        assert_eq!(r.unknown.get("other_thing"), Some(&1));
+        assert_eq!(r.unknown.get("(no ev field)"), Some(&1));
+        let rendered = r.render();
+        assert_eq!(rendered.matches("mystery_event").count(), 1, "reported once: {rendered}");
+        assert!(rendered.contains("mystery_event ×2"), "{rendered}");
     }
 
     #[test]

@@ -16,6 +16,15 @@ mid-job, and asserts the watch stream carries the `worker_crashed`
 frame while the daemon stays healthy and the job's results come out
 byte-identical anyway (the supervisor restarts the worker and
 re-dispatches).
+
+Finally the fleet phase (docs/fleet.md): a 12-point sweep runs once
+through `repro explore --jobs 1` as the reference, once through
+`repro fleet --spawn 1`, and once through `repro fleet --spawn 3`
+where one backend is SIGKILLed mid-sweep (the fleet's watch proxy
+reports the first completed point, so the kill provably lands with
+work still pending). All three must produce byte-identical CSVs and
+journals, the killed run must exit 0, and its event stream must record
+the `backend_evicted`.
 """
 
 import json
@@ -218,9 +227,95 @@ assert json.dumps(survived["results"], sort_keys=True) == json.dumps(
     reference["results"], sort_keys=True
 ), "results after a SIGKILLed worker are not bit-identical"
 
+
+# Fleet phase: the same sweep sharded across daemons must merge back
+# byte-identically to a single-node run — including when one of three
+# backends is SIGKILLed while points are still pending.
+FLEET_SWEEP = ["--sweep", "tlb.entries=16,32,64,128", "--sweep", "cache.l1=4K,8K,16K"]
+spec_path = os.path.join(state, "smoke.toml")
+with open(spec_path, "w") as f:
+    f.write(SPEC)
+
+
+def artifacts(tag):
+    return os.path.join(state, f"{tag}.journal"), os.path.join(state, tag)
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+ref_journal, ref_out = artifacts("ref")
+subprocess.run(
+    [REPRO, "explore", spec_path, *FLEET_SWEEP, "--quick", "--jobs", "1",
+     "--journal", ref_journal, "--out", ref_out, "-q"],
+    check=True, stdout=subprocess.DEVNULL,
+)
+
+one_journal, one_out = artifacts("fleet1")
+subprocess.run(
+    [REPRO, "fleet", spec_path, *FLEET_SWEEP, "--quick", "--spawn", "1",
+     "--journal", one_journal, "--out", one_out, "-q"],
+    check=True, stdout=subprocess.DEVNULL,
+)
+
+three_journal, three_out = artifacts("fleet3")
+fleet_events = os.path.join(state, "fleet-events.jsonl")
+fleet = subprocess.Popen(
+    [REPRO, "fleet", spec_path, *FLEET_SWEEP, "--quick", "--spawn", "3",
+     "--evict-after", "1", "--watch-addr", "127.0.0.1:0",
+     "--journal", three_journal, "--out", three_out,
+     "--events", fleet_events, "-q"],
+    stdout=subprocess.PIPE, text=True,
+)
+pids = {}
+watch_port = None
+while watch_port is None:  # the documented startup contract, in order
+    line = fleet.stdout.readline()
+    if line.startswith("vm-fleet backend "):
+        _, _, bid, _, pid, _, _ = line.split()
+        pids[int(bid)] = int(pid)
+    elif line.startswith("vm-fleet watching on "):
+        watch_port = int(line.rsplit(":", 1)[1])
+    else:
+        raise SystemExit(f"unexpected fleet startup line: {line!r}")
+assert sorted(pids) == [0, 1, 2], pids
+
+# Subscribe to the fleet's aggregated watch stream and wait for the
+# first completed point: killing after it provably lands mid-sweep
+# (11 of 12 points still owed) on a backend that was doing real work.
+fs, ff = watch_stream(watch_port)
+victim = None
+while victim is None:
+    frame = json.loads(ff.readline())
+    if frame.get("frame") == "done":
+        victim = frame["backend"]
+fs.close()
+os.kill(pids[victim], signal.SIGKILL)
+fleet.stdout.read()  # drain the results table
+assert fleet.wait(timeout=300) == 0, "a SIGKILLed backend must not fail the run"
+
+for tag, (journal, out) in (("fleet1", (one_journal, one_out)),
+                            ("fleet3", (three_journal, three_out))):
+    assert read_bytes(journal) == read_bytes(ref_journal), f"{tag}: journal drifted"
+    for csv in os.listdir(ref_out):
+        assert read_bytes(os.path.join(out, csv)) == read_bytes(
+            os.path.join(ref_out, csv)
+        ), f"{tag}: {csv} drifted"
+
+kinds = [json.loads(l).get("ev") for l in open(fleet_events)]
+assert "backend_evicted" in kinds, kinds
+assert "fleet_merged" in kinds, kinds
+fleet_report = subprocess.run(
+    [REPRO, "serve-stats", fleet_events], capture_output=True, text=True, check=True
+)
+assert "1 backend eviction(s)" in fleet_report.stdout, fleet_report.stdout
+
 shutil.rmtree(state)
 print(
     f"serve smoke ok: {len(resumed['results'])} points bit-identical after "
     f"SIGTERM + --resume (seeded {resumed['resumed']} from the journal) "
-    f"and after a SIGKILLed worker subprocess"
+    f"and after a SIGKILLed worker subprocess; 12-point fleet merge "
+    f"byte-identical at 1 and 3 backends (one SIGKILLed mid-sweep and evicted)"
 )

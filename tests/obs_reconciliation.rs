@@ -63,7 +63,11 @@ impl Sink for CountingSink {
             | Event::WorkerSpawned { .. }
             | Event::WorkerCrashed { .. }
             | Event::WorkerRestarted { .. }
-            | Event::BreakerTripped { .. } => {}
+            | Event::BreakerTripped { .. }
+            | Event::ShardDispatched { .. }
+            | Event::ShardHedged { .. }
+            | Event::BackendEvicted { .. }
+            | Event::FleetMerged { .. } => {}
         }
     }
 
