@@ -71,8 +71,11 @@ use vm_experiments::{
 };
 use vm_experiments::{set_global_verbosity, Claim, Reporter, RunScale, Verbosity};
 use vm_explore::{Axis, ExecConfig, HardenPolicy, SystemSpec};
-use vm_fleet::{fleet_plan, fleet_throughput, run_fleet, Backend, FleetOptions, WatchProxy};
-use vm_harden::{ChaosPlan, RetryPolicy};
+use vm_fleet::{
+    fleet_plan, fleet_throughput, run_fleet, seed_fleet_resume, Backend, ControlChannel,
+    FleetOptions, FleetSession, WatchProxy,
+};
+use vm_harden::{ChaosPlan, JournalWriter, RetryPolicy};
 use vm_obs::json::Value;
 use vm_obs::JsonlSink;
 use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server, WatchHub};
@@ -805,7 +808,10 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
     let mut out_dir: Option<PathBuf> = None;
     let mut events: Option<PathBuf> = None;
     let mut journal: Option<PathBuf> = None;
+    let mut fleet_journal: Option<PathBuf> = None;
+    let mut resume = false;
     let mut watch_addr: Option<String> = None;
+    let mut join_addr: Option<String> = None;
     let mut opts = FleetOptions::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -826,7 +832,22 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
             "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
             "--events" => events = Some(PathBuf::from(value("--events")?)),
             "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            "--fleet-journal" => fleet_journal = Some(PathBuf::from(value("--fleet-journal")?)),
+            "--resume" => resume = true,
             "--watch-addr" => watch_addr = Some(value("--watch-addr")?),
+            "--join-addr" => join_addr = Some(value("--join-addr")?),
+            "--probation-ms" => {
+                let ms: u64 = value("--probation-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --probation-ms: {e}"))?;
+                opts.probation = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--keepalive-ms" => {
+                let ms: u64 = value("--keepalive-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --keepalive-ms: {e}"))?;
+                opts.keepalive = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--retries" => {
                 opts.retries =
                     value("--retries")?.parse().map_err(|e| format!("bad --retries: {e}"))?
@@ -873,9 +894,11 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
                     "usage: repro fleet <spec.toml | dir>... [--sweep key=v1,v2,...]...\n\
                      \x20                  (--spawn N | --backend HOST:PORT)...\n\
                      \x20                  [--quick|--full] [--out DIR] [--journal FILE] [--events FILE]\n\
+                     \x20                  [--fleet-journal FILE [--resume]]\n\
                      \x20                  [--retries N] [--point-budget CYCLES]\n\
                      \x20                  [--hedge-ms N] [--evict-after N] [--evict-window-ms N]\n\
-                     \x20                  [--poll-ms N] [--watch-addr HOST:PORT]\n\
+                     \x20                  [--probation-ms N] [--keepalive-ms N]\n\
+                     \x20                  [--poll-ms N] [--watch-addr HOST:PORT] [--join-addr HOST:PORT]\n\
                      \x20                  [--verbosity 0|1|2 | -q | -v]\n\
                      Shards the sweep across a fleet of vm-serve daemons and merges the\n\
                      shards back byte-identically to a single-node `repro explore --jobs 1`\n\
@@ -886,12 +909,23 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
                      \x20                 mixes with --spawn)\n\
                      \x20 --journal       write the merged run journal (readable by\n\
                      \x20                 `repro explore --resume`)\n\
+                     \x20 --fleet-journal append the coordinator's own crash-resume journal\n\
+                     \x20                 (assignments + payloads) as the run progresses\n\
+                     \x20 --resume        seed completed points from an existing --fleet-journal\n\
+                     \x20                 and dispatch only the remainder\n\
                      \x20 --events        append fleet lifecycle events (JSONL) for serve-stats\n\
                      \x20 --hedge-ms      re-dispatch a point in flight longer than this on an\n\
                      \x20                 idle backend; first result wins (0 disables; default 2000)\n\
                      \x20 --evict-after   failures inside the window before a backend is\n\
                      \x20                 evicted from rotation (default 3)\n\
                      \x20 --evict-window-ms  the sliding eviction window (default 60000)\n\
+                     \x20 --probation-ms  cool-down before an evicted backend is re-probed for\n\
+                     \x20                 rejoin (0 makes eviction permanent; default 5000)\n\
+                     \x20 --keepalive-ms  idle health-probe interval so dead-idle backends are\n\
+                     \x20                 evicted promptly (0 disables; default 1000)\n\
+                     \x20 --join-addr     listen here for join/leave/roster control verbs\n\
+                     \x20                 (NDJSON; port 0 binds an ephemeral port; the bound\n\
+                     \x20                 address is printed on stdout)\n\
                      \x20 --watch-addr    serve the fleet's aggregated live telemetry here for\n\
                      \x20                 `repro watch` (port 0 binds an ephemeral port; the\n\
                      \x20                 bound address is printed on stdout)"
@@ -913,6 +947,9 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
     if spawn == 0 && addrs.is_empty() {
         return Err("fleet needs backends: --spawn N and/or --backend HOST:PORT".to_owned());
     }
+    if resume && fleet_journal.is_none() {
+        return Err("--resume needs --fleet-journal FILE".to_owned());
+    }
     let mut specs = Vec::new();
     for path in &paths {
         let text = std::fs::read_to_string(path)
@@ -924,6 +961,60 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
     }
     let fplan = fleet_plan(&specs, &axes)?;
     let reporter = Reporter::global();
+
+    let mut session = FleetSession::default();
+    if let Some(path) = &fleet_journal {
+        if resume {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let prior = seed_fleet_resume(&text, &fplan.plan, &exec)?;
+            reporter.progress(format!(
+                "resume: {} completed point(s) restored from {} ({} dispatch note(s))",
+                prior.seeded.len(),
+                path.display(),
+                prior.assigns
+            ));
+            session.seeded = prior.seeded;
+            // The prior coordinator already wrote the header; this run
+            // appends to its lines.
+            session.write_header = false;
+            // A SIGKILL can tear the final line mid-write; appending
+            // after it would fuse the torn tail with this run's first
+            // line. Drop the tail (seeding already tolerated it).
+            if !text.is_empty() && !text.ends_with('\n') {
+                let keep = text.rfind('\n').map_or(0, |p| p + 1);
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot reopen {}: {e}", path.display()))?;
+                file.set_len(keep as u64)
+                    .map_err(|e| format!("cannot trim {}: {e}", path.display()))?;
+            }
+        } else {
+            // A fresh run owns the file outright: stale lines from an
+            // unrelated run must never leak into this run's resume.
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("cannot reset {}: {e}", path.display())),
+            }
+            session.write_header = true;
+        }
+        session.journal = Some(
+            JournalWriter::open_path(path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
+        );
+    }
+    if let Some(addr) = &join_addr {
+        let control =
+            ControlChannel::bind(addr.as_str()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let bound = control.local_addr().map_err(|e| format!("no local address: {e}"))?;
+        // The smoke harness (and operators) scrape this line to reach
+        // the control channel.
+        println!("vm-fleet control on {bound}");
+        std::io::stdout().flush().ok();
+        session.control = Some(control);
+    }
 
     let mut backends: Vec<Backend> = Vec::new();
     for addr in addrs {
@@ -962,15 +1053,24 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
     }
 
     let mut sink = events.is_some().then(|| JsonlSink::new(Vec::new()));
-    let run_result = run_fleet(&fplan, &exec, &backends, &opts, &reporter, &mut sink, hub.as_ref());
+    let run_result =
+        run_fleet(&fplan, &exec, backends, &opts, &reporter, &mut sink, hub.as_ref(), session);
     WATCH_STOP.store(true, Ordering::Release);
     if let Some(t) = proxy_thread {
         let _ = t.join();
     }
-    for b in &mut backends {
-        b.shutdown();
-    }
     let outcome = run_result?;
+    for row in &outcome.roster {
+        reporter.progress(format!(
+            "backend {} at {}: {}{}, {} point(s) completed, teardown {}",
+            row.slot,
+            row.addr,
+            row.state,
+            if row.joined { " (joined mid-run)" } else { "" },
+            row.completed,
+            row.shutdown.label()
+        ));
+    }
 
     let vm_fleet::MergedRun { results, failures, journal: journal_bytes } = outcome.merged;
     let run =

@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use vm_harden::{with_retry_salted, FailureKind, RetryPolicy, SimError};
@@ -80,23 +81,58 @@ impl Breaker {
     }
 }
 
+/// How a backend's teardown went: whether the daemon acknowledged the
+/// `drain` verb, whether it exited cleanly inside the deadline, and
+/// whether we had to fall back to `kill`. Address (non-spawned)
+/// backends report `spawned: false` and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShutdownOutcome {
+    /// Whether this backend was a spawned child we had to reap.
+    pub spawned: bool,
+    /// Whether the daemon acknowledged the `drain` request.
+    pub drained: bool,
+    /// The child's exit status: `Some(true)` for exit 0, `Some(false)`
+    /// for a nonzero/ signalled exit, `None` when it had to be killed.
+    pub exit_ok: Option<bool>,
+    /// Whether the deadline lapsed and the child was killed.
+    pub killed: bool,
+}
+
+impl ShutdownOutcome {
+    /// One-line human summary for the coordinator's teardown report.
+    pub fn label(&self) -> &'static str {
+        if !self.spawned {
+            return "remote, left running";
+        }
+        match (self.drained, self.exit_ok, self.killed) {
+            (true, Some(true), _) => "drained, exit 0",
+            (false, Some(true), _) => "exit 0 (drain refused)",
+            (_, Some(false), _) => "nonzero exit",
+            _ => "killed after drain deadline",
+        }
+    }
+}
+
 /// One backend daemon the coordinator dispatches to.
+///
+/// The spawned child handle lives behind a [`Mutex`] so a backend can be
+/// shared across driver threads (`Arc<Backend>`) while still supporting
+/// `shutdown(&self)` from whichever thread tears the fleet down.
 #[derive(Debug)]
 pub struct Backend {
     /// The backend's fleet slot (index into the fleet, event `backend`).
     pub id: usize,
     /// The daemon's `host:port` address.
     pub addr: String,
-    child: Option<Child>,
-    // Held open so a spawned child never takes SIGPIPE on a stray
-    // stdout write after we have scraped the address line.
-    _stdout: Option<ChildStdout>,
+    // The stdout handle is held open so a spawned child never takes
+    // SIGPIPE on a stray stdout write after we scraped the address line.
+    child: Mutex<Option<(Child, ChildStdout)>>,
 }
 
 impl Backend {
     /// A backend at an operator-supplied address (nothing to reap).
     pub fn from_addr(id: usize, addr: impl Into<String>) -> Backend {
-        Backend { id, addr: addr.into(), child: None, _stdout: None }
+        Backend { id, addr: addr.into(), child: Mutex::new(None) }
     }
 
     /// Spawns `exe serve --port 0 <extra args>` and scrapes the bound
@@ -130,14 +166,13 @@ impl Backend {
         Ok(Backend {
             id,
             addr: addr.to_owned(),
-            child: Some(child),
-            _stdout: Some(reader.into_inner()),
+            child: Mutex::new(Some((child, reader.into_inner()))),
         })
     }
 
     /// The spawned child's pid, when this backend is a local child.
     pub fn pid(&self) -> Option<u32> {
-        self.child.as_ref().map(Child::id)
+        self.child.lock().expect("child lock").as_ref().map(|(c, _)| c.id())
     }
 
     /// One health round-trip: connect, `{"req":"health"}`, expect `ok`.
@@ -170,26 +205,43 @@ impl Backend {
         out.map(|()| attempts)
     }
 
-    /// Drains and reaps a spawned child (no-op for address backends).
-    /// Best-effort: a dead or hung child is killed rather than waited
-    /// on forever.
-    pub fn shutdown(&mut self) {
-        let Some(mut child) = self.child.take() else { return };
+    /// Drains and reaps a spawned child (no-op for address backends)
+    /// with the default 2 s deadline. See
+    /// [`shutdown_within`](Backend::shutdown_within).
+    pub fn shutdown(&self) -> ShutdownOutcome {
+        self.shutdown_within(Duration::from_secs(2))
+    }
+
+    /// Graceful teardown with a reconciled summary: send `drain` first
+    /// so the daemon finishes its journals and exits 0 on its own, wait
+    /// up to `deadline`, and only then fall back to `kill`. Idempotent —
+    /// a second call (including the `Drop` fallback) is a no-op
+    /// reporting `spawned: false`.
+    pub fn shutdown_within(&self, deadline: Duration) -> ShutdownOutcome {
+        let taken = self.child.lock().expect("child lock").take();
+        let Some((mut child, _stdout)) = taken else { return ShutdownOutcome::default() };
+        let mut out = ShutdownOutcome { spawned: true, ..ShutdownOutcome::default() };
         // Ask nicely first: drain finishes journals and exits cleanly.
         if let Ok(mut client) = Client::connect(&*self.addr) {
-            let _ = client.request(&Value::obj([("req", "drain".into())]));
+            if let Ok(resp) = client.request(&Value::obj([("req", "drain".into())])) {
+                out.drained = matches!(resp.get("ok"), Some(Value::Bool(true)));
+            }
         }
-        let deadline = Instant::now() + Duration::from_secs(5);
+        let until = Instant::now() + deadline;
         loop {
             match child.try_wait() {
-                Ok(Some(_)) => return,
-                Ok(None) if Instant::now() < deadline => {
+                Ok(Some(status)) => {
+                    out.exit_ok = Some(status.success());
+                    return out;
+                }
+                Ok(None) if Instant::now() < until => {
                     std::thread::sleep(Duration::from_millis(25));
                 }
                 _ => {
+                    out.killed = true;
                     let _ = child.kill();
                     let _ = child.wait();
-                    return;
+                    return out;
                 }
             }
         }
@@ -242,5 +294,26 @@ mod tests {
         assert!(b.pid().is_none());
         let quick = RetryPolicy { retries: 1, backoff_base_ms: 0, ..RetryPolicy::new(1) };
         assert!(b.health_check(&quick).is_err());
+        // Nothing to reap for an address backend; shutdown is a no-op.
+        let out = b.shutdown();
+        assert!(!out.spawned);
+        assert_eq!(out.label(), "remote, left running");
+    }
+
+    #[test]
+    fn shutdown_outcome_labels_reconcile_every_path() {
+        let clean = ShutdownOutcome {
+            spawned: true,
+            drained: true,
+            exit_ok: Some(true),
+            killed: false,
+        };
+        assert_eq!(clean.label(), "drained, exit 0");
+        let refused = ShutdownOutcome { drained: false, ..clean };
+        assert_eq!(refused.label(), "exit 0 (drain refused)");
+        let dirty = ShutdownOutcome { exit_ok: Some(false), ..clean };
+        assert_eq!(dirty.label(), "nonzero exit");
+        let hung = ShutdownOutcome { spawned: true, killed: true, ..ShutdownOutcome::default() };
+        assert_eq!(hung.label(), "killed after drain deadline");
     }
 }

@@ -97,7 +97,16 @@ pub fn fleet_throughput(backends: usize) -> Result<FleetBenchPoint, String> {
         ..FleetOptions::default()
     };
     let started = std::time::Instant::now();
-    let run = run_fleet(&fplan, &exec, &fleet, &opts, &Reporter::silent(), &mut NopSink, None);
+    let run = run_fleet(
+        &fplan,
+        &exec,
+        fleet,
+        &opts,
+        &Reporter::silent(),
+        &mut NopSink,
+        None,
+        crate::coordinator::FleetSession::default(),
+    );
     let wall = started.elapsed();
 
     for (addr, handle) in servers {

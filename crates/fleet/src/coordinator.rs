@@ -1,13 +1,14 @@
-//! The fleet dispatch loop: drivers, stealing, hedging, re-queues.
+//! The fleet dispatch loop: drivers, stealing, hedging, re-queues —
+//! now with elastic membership and coordinator crash-resume.
 //!
-//! One driver thread per backend pulls work from a shared pool. A
-//! point's *home* backend (its hash shard) gets first claim, but the
-//! pool is work-conserving: an idle backend steals any pending point,
-//! and once nothing is pending it *hedges* — re-dispatches the
-//! longest-in-flight point of a slower backend, with first-result-wins
-//! dedup in the [`crate::merge::MergeSet`]. Dedup is safe because every
-//! backend computes bit-identical results; hedging can only change
-//! *when* a result arrives, never *what* it is.
+//! One driver thread per roster slot pulls work from a shared pool. A
+//! point's *home* backend (its hash shard over the launch fleet) gets
+//! first claim, but the pool is work-conserving: an idle backend steals
+//! any pending point, and once nothing is pending it *hedges* —
+//! re-dispatches the longest-in-flight point of a slower backend, with
+//! first-result-wins dedup in the [`crate::merge::MergeSet`]. Dedup is
+//! safe because every backend computes bit-identical results; hedging
+//! can only change *when* a result arrives, never *what* it is.
 //!
 //! Failures split along a line that decides who pays:
 //!
@@ -22,21 +23,43 @@
 //!   `max_dispatch` distinct dispatches is recorded as permanently
 //!   failed; until then other backends retry it, which is how a chaos-
 //!   injected shard still converges to a clean merged run.
+//!
+//! Three elasticity layers sit on top of that core:
+//!
+//! * **Dynamic membership** ([`crate::membership`]): the pump loop
+//!   polls an optional control channel; `join` appends a roster slot
+//!   whose driver steals from the *pending* pool only (completed points
+//!   are never reassigned), `leave` requeues a slot's in-flight points
+//!   exactly like eviction.
+//! * **Probation rejoin**: eviction is no longer forever. With a
+//!   probation policy set, an evicted slot cools down, is re-probed via
+//!   [`Backend::probe`], and on a passing probe rejoins with a fresh
+//!   [`Breaker`] but a *reduced* dispatch budget — no hedging — until
+//!   it completes one point cleanly.
+//! * **Crash-resume** ([`crate::resume`]): an optional fleet journal
+//!   records every dispatch (`assign` note) and every resolution
+//!   (standard point entry, payload included) as they happen, so a
+//!   SIGKILLed coordinator can be restarted with the completed points
+//!   seeded and only the remainder re-dispatched.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use vm_explore::ExecConfig;
-use vm_harden::{FailureKind, RetryPolicy, SimError};
+use vm_explore::{run_header, ExecConfig};
+use vm_harden::{
+    DynJournalWriter, FailureKind, JournalEntry, PointOutcome, RetryPolicy, SimError,
+};
 use vm_obs::json::Value;
-use vm_obs::{Event, Reporter, Sink};
+use vm_obs::{Event, EvictReason, Reporter, Sink};
 use vm_serve::{Client, WatchHub};
 
-use crate::backend::{Backend, Breaker, EvictPolicy};
+use crate::backend::{Backend, Breaker, EvictPolicy, ShutdownOutcome};
+use crate::membership::{join_response, ControlChannel, ControlCmd, Slot, SlotState};
 use crate::merge::{merge, rebind_payload, MergeSet, MergedRun};
 use crate::plan::FleetPlan;
+use crate::resume::assign_note;
 use crate::shard::shard_of;
 use crate::watch::fan_in_backend;
 
@@ -60,6 +83,17 @@ pub struct FleetOptions {
     pub point_budget: Option<u64>,
     /// Backend-side retries for transient point failures.
     pub retries: u32,
+    /// Cool-down before an evicted backend is re-probed for rejoin.
+    /// `None` makes eviction permanent (the pre-elastic behavior).
+    pub probation: Option<Duration>,
+    /// Failed probes before a probationary backend is declared dead.
+    pub probation_probes: u32,
+    /// Idle keepalive: how long a driver may sit idle before it probes
+    /// its backend, so a dead-idle backend is evicted promptly instead
+    /// of on next dispatch. `None` disables the idle probe.
+    pub keepalive: Option<Duration>,
+    /// Drain deadline for spawned backends at teardown before `kill`.
+    pub drain: Duration,
 }
 
 impl Default for FleetOptions {
@@ -72,8 +106,64 @@ impl Default for FleetOptions {
             max_dispatch: 3,
             point_budget: None,
             retries: 0,
+            probation: Some(Duration::from_millis(5_000)),
+            probation_probes: 10,
+            keepalive: Some(Duration::from_millis(1_000)),
+            drain: Duration::from_secs(2),
         }
     }
+}
+
+/// Per-run I/O the coordinator threads share: the fleet journal,
+/// resume seed, and control channel. [`FleetSession::default`] is the
+/// plain ephemeral run (no journal, no control, cold start).
+#[derive(Default)]
+pub struct FleetSession {
+    /// Fleet journal appended as the run progresses (crash-resume).
+    pub journal: Option<DynJournalWriter>,
+    /// Whether to write a fresh run header into the journal (`false`
+    /// when appending to a resumed journal that already has one).
+    pub write_header: bool,
+    /// Completed payloads replayed from a prior coordinator's journal;
+    /// these points are never re-dispatched.
+    pub seeded: BTreeMap<usize, Value>,
+    /// Control channel polled for `join` / `leave` / `roster` verbs.
+    pub control: Option<ControlChannel>,
+}
+
+impl FleetSession {
+    /// A session journaling to `journal` from a cold start.
+    pub fn journaled(journal: DynJournalWriter) -> FleetSession {
+        FleetSession { journal: Some(journal), write_header: true, ..FleetSession::default() }
+    }
+}
+
+impl std::fmt::Debug for FleetSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSession")
+            .field("journal", &self.journal.is_some())
+            .field("write_header", &self.write_header)
+            .field("seeded", &self.seeded.len())
+            .field("control", &self.control)
+            .finish()
+    }
+}
+
+/// One roster row in the final [`FleetOutcome`].
+#[derive(Debug)]
+pub struct SlotReport {
+    /// The fleet slot.
+    pub slot: usize,
+    /// The backend's address.
+    pub addr: String,
+    /// Final membership state label (`active`, `probation`, …).
+    pub state: &'static str,
+    /// Points this slot completed (wins only).
+    pub completed: u64,
+    /// Whether the slot joined mid-run via the control channel.
+    pub joined: bool,
+    /// How the backend's teardown reconciled.
+    pub shutdown: ShutdownOutcome,
 }
 
 /// What a fleet run produced.
@@ -87,10 +177,15 @@ pub struct FleetOutcome {
     pub hedged: u64,
     /// Duplicate results discarded by first-result-wins dedup.
     pub duplicates: u64,
-    /// Backends evicted during the run, by fleet slot.
+    /// Eviction history by fleet slot (a slot that rejoins and is
+    /// evicted again appears twice).
     pub evicted: Vec<usize>,
-    /// Backends still healthy at merge time.
+    /// Slots still in rotation at merge time.
     pub healthy: usize,
+    /// Points restored from a fleet journal instead of dispatched.
+    pub resumed: usize,
+    /// Final roster, one row per slot, with teardown reconciliation.
+    pub roster: Vec<SlotReport>,
 }
 
 /// One claim on an in-flight point.
@@ -108,9 +203,10 @@ struct State {
     failed: BTreeMap<usize, SimError>,
     /// Dispatches that reached a verdict (or are in flight), per point.
     dispatch_count: Vec<u32>,
-    healthy: Vec<bool>,
-    alive: usize,
+    slots: Vec<Slot>,
     evicted: Vec<usize>,
+    /// Joined slots waiting for the pump to spawn their driver.
+    spawn_queue: Vec<usize>,
     dispatched: u64,
     hedged: u64,
     events: Vec<(u64, Event)>,
@@ -130,10 +226,19 @@ struct Shared<'a> {
     total: usize,
     home: Vec<usize>,
     opts: &'a FleetOptions,
+    fplan: &'a FleetPlan,
+    exec: &'a ExecConfig,
+    /// The fleet journal, behind its own lock so whole lines serialize.
+    /// Lock order: state first, journal second — or journal alone.
+    journal: Option<Mutex<DynJournalWriter>>,
 }
 
-struct Work {
-    index: usize,
+enum Work {
+    /// Run this point as a single-point job.
+    Point(usize),
+    /// Nothing to dispatch and the slot has idled past the keepalive:
+    /// health-probe the backend so a dead-idle one is caught promptly.
+    Probe,
 }
 
 impl Shared<'_> {
@@ -149,20 +254,36 @@ impl Shared<'_> {
         st.events.push((self.now_ms(), ev));
     }
 
-    /// Blocks until there is work for backend `b`, the run resolves, or
-    /// `b` is evicted. Claims the returned point.
-    fn next_work(&self, b: usize) -> Option<Work> {
+    /// Appends one line to the fleet journal (no state lock needed).
+    fn journal_note(&self, v: &Value) {
+        if let Some(j) = &self.journal {
+            j.lock().unwrap_or_else(|e| e.into_inner()).note(v);
+        }
+    }
+
+    /// Appends one point entry to the fleet journal.
+    fn journal_entry(&self, entry: &JournalEntry) {
+        if let Some(j) = &self.journal {
+            j.lock().unwrap_or_else(|e| e.into_inner()).record(entry);
+        }
+    }
+
+    /// Blocks until there is work for slot `b`, the run resolves, or
+    /// the slot leaves rotation. Claims the returned point.
+    fn next_work(&self, b: usize, last_active: &mut Instant) -> Option<Work> {
         let mut st = self.lock();
         loop {
             if st.fatal.is_some() || st.resolved() == self.total {
                 self.cv.notify_all();
                 return None;
             }
-            if !st.healthy[b] {
+            if !st.slots[b].is_active() {
                 return None;
             }
             // Pending work: own shard first, then steal the lowest
-            // pending point (work conservation beats affinity).
+            // pending point (work conservation beats affinity). Joined
+            // slots have no home shard, so they always steal — which is
+            // exactly "re-shard only the pending set".
             let pick = st
                 .pending
                 .iter()
@@ -180,35 +301,52 @@ impl Shared<'_> {
                     backend: b as u64,
                 };
                 self.push_event(&mut st, ev);
-                return Some(Work { index: ix });
+                *last_active = Instant::now();
+                return Some(Work::Point(ix));
             }
             // Nothing pending: hedge the longest-running straggler on
-            // another backend (one hedge per point at a time).
-            if let Some(hedge_after) = self.opts.hedge_after {
-                let now = Instant::now();
-                let straggler = st
-                    .inflight
-                    .iter()
-                    .filter(|(_, claims)| {
-                        claims.len() == 1
-                            && claims[0].backend != b
-                            && now.duration_since(claims[0].since) >= hedge_after
-                    })
-                    .max_by_key(|(_, claims)| now.duration_since(claims[0].since))
-                    .map(|(&ix, claims)| (ix, claims[0].backend));
-                if let Some((ix, from)) = straggler {
-                    st.inflight
-                        .get_mut(&ix)
-                        .expect("straggler is in flight")
-                        .push(Claim { backend: b, since: now });
-                    st.hedged += 1;
-                    let ev =
-                        Event::ShardHedged { point: ix as u64, from: from as u64, to: b as u64 };
-                    self.push_event(&mut st, ev);
-                    return Some(Work { index: ix });
+            // another backend (one hedge per point at a time). A slot
+            // on its reduced post-rejoin budget may not hedge until it
+            // completes a point cleanly.
+            if !st.slots[b].reduced {
+                if let Some(hedge_after) = self.opts.hedge_after {
+                    let now = Instant::now();
+                    let straggler = st
+                        .inflight
+                        .iter()
+                        .filter(|(_, claims)| {
+                            claims.len() == 1
+                                && claims[0].backend != b
+                                && now.duration_since(claims[0].since) >= hedge_after
+                        })
+                        .max_by_key(|(_, claims)| now.duration_since(claims[0].since))
+                        .map(|(&ix, claims)| (ix, claims[0].backend));
+                    if let Some((ix, from)) = straggler {
+                        st.inflight
+                            .get_mut(&ix)
+                            .expect("straggler is in flight")
+                            .push(Claim { backend: b, since: now });
+                        st.hedged += 1;
+                        let ev = Event::ShardHedged {
+                            point: ix as u64,
+                            from: from as u64,
+                            to: b as u64,
+                        };
+                        self.push_event(&mut st, ev);
+                        *last_active = Instant::now();
+                        return Some(Work::Point(ix));
+                    }
                 }
             }
-            // Bounded wait so the hedge clock is re-checked.
+            // Idle past the keepalive: hand back a probe so a dead-idle
+            // backend is discovered now, not on next dispatch.
+            if let Some(keepalive) = self.opts.keepalive {
+                if last_active.elapsed() >= keepalive {
+                    *last_active = Instant::now();
+                    return Some(Work::Probe);
+                }
+            }
+            // Bounded wait so the hedge and keepalive clocks re-check.
             let (guard, _) = self
                 .cv
                 .wait_timeout(st, Duration::from_millis(50))
@@ -231,8 +369,29 @@ impl Shared<'_> {
         if st.set.get(ix).is_none() {
             st.failed.remove(&ix);
         }
-        st.set.offer(ix, payload);
+        let won = st.set.offer(ix, payload.clone());
+        let mut entry = None;
+        if won {
+            st.slots[b].completed += 1;
+            if st.slots[b].reduced {
+                // One clean completion clears the post-rejoin budget.
+                st.slots[b].reduced = false;
+                let ev = Event::BackendRecovered { backend: b as u64, point: ix as u64 };
+                self.push_event(&mut st, ev);
+            }
+            entry = Some(JournalEntry::from_outcome(
+                ix as u64,
+                &self.fplan.plan.points[ix].label,
+                &PointOutcome::Completed(payload),
+                1,
+                |p| p.clone(),
+            ));
+        }
         self.cv.notify_all();
+        drop(st);
+        if let Some(entry) = entry {
+            self.journal_entry(&entry);
+        }
     }
 
     /// Records a point-level failure of `ix` on backend `b`.
@@ -253,13 +412,31 @@ impl Shared<'_> {
             return; // someone else may still win it
         }
         st.inflight.remove(&ix);
+        let mut entry = None;
         if st.dispatch_count[ix] >= self.opts.max_dispatch {
             let attempts = st.dispatch_count[ix];
-            st.failed.insert(ix, SimError { attempts, ..err });
+            let err = SimError { attempts, ..err };
+            let outcome: PointOutcome<Value> = if err.kind == FailureKind::Timeout {
+                PointOutcome::TimedOut(err.clone())
+            } else {
+                PointOutcome::Failed(err.clone())
+            };
+            entry = Some(JournalEntry::from_outcome(
+                ix as u64,
+                &self.fplan.plan.points[ix].label,
+                &outcome,
+                attempts.max(1),
+                Value::clone,
+            ));
+            st.failed.insert(ix, err);
         } else {
             st.pending.insert(ix);
         }
         self.cv.notify_all();
+        drop(st);
+        if let Some(entry) = entry {
+            self.journal_entry(&entry);
+        }
     }
 
     /// Returns `ix` to pending after a transport failure on `b` — the
@@ -283,16 +460,44 @@ impl Shared<'_> {
         self.cv.notify_all();
     }
 
-    /// Removes backend `b` from rotation and re-pools its claims.
-    fn evict(&self, b: usize, failures: u32) {
+    /// Declares the run stuck when no slot can ever work again.
+    fn check_stuck(&self, st: &mut State) {
+        if st.resolved() < self.total && !st.slots.iter().any(|s| s.state.can_work()) {
+            st.fatal = Some(format!(
+                "all {} backend(s) out of rotation with {} point(s) unresolved",
+                st.slots.len(),
+                self.total - st.resolved()
+            ));
+        }
+    }
+
+    /// Removes slot `b` from rotation and re-pools its claims. With a
+    /// probation policy (and a reason other than `left`) the slot cools
+    /// down for a rejoin probe instead of dying outright.
+    fn evict(&self, b: usize, failures: u32, reason: EvictReason) {
         let mut st = self.lock();
-        if !st.healthy[b] {
+        let evictable = match reason {
+            // An operator can drain any slot that could still return.
+            EvictReason::Left => st.slots[b].state.can_work(),
+            // Breaker and health-gate evictions come from the slot's
+            // own driver, which only runs while the slot is active.
+            _ => st.slots[b].is_active(),
+        };
+        if !evictable {
             return;
         }
-        st.healthy[b] = false;
-        st.alive -= 1;
         st.evicted.push(b);
-        self.push_event(&mut st, Event::BackendEvicted { backend: b as u64, failures });
+        self.push_event(&mut st, Event::BackendEvicted { backend: b as u64, failures, reason });
+        st.slots[b].state = match (reason, self.opts.probation) {
+            (EvictReason::Left, _) => SlotState::Left,
+            (_, Some(cool)) => {
+                let ev =
+                    Event::BackendProbation { backend: b as u64, retry_ms: cool.as_millis() as u64 };
+                self.push_event(&mut st, ev);
+                SlotState::Probation { until: Instant::now() + cool, probes: 0 }
+            }
+            (_, None) => SlotState::Dead,
+        };
         let orphaned: Vec<usize> = st
             .inflight
             .iter_mut()
@@ -308,59 +513,124 @@ impl Shared<'_> {
                 st.pending.insert(ix);
             }
         }
-        if st.alive == 0 && st.resolved() < self.total {
-            st.fatal = Some(format!(
-                "all {} backend(s) evicted with {} point(s) unresolved",
-                st.healthy.len(),
-                self.total - st.resolved()
-            ));
-        }
+        self.check_stuck(&mut st);
         self.cv.notify_all();
     }
 }
 
-/// One driver: health-gate the backend, then pull work until the run
-/// resolves or the breaker evicts us.
-fn driver(backend: &Backend, shared: &Shared<'_>, fplan: &FleetPlan, exec: &ExecConfig) {
+/// One driver: optionally health-gate the backend, then pull work until
+/// the run resolves or the breaker evicts the slot.
+fn driver(b: usize, backend: &Backend, shared: &Shared<'_>, gate: bool) {
     let opts = shared.opts;
-    if let Err(e) = backend.health_check(&opts.health_retry) {
-        let _ = e;
-        shared.evict(backend.id, opts.health_retry.retries + 1);
-        return;
+    {
+        // A resumed-complete or already-fatal run needs no gate probes.
+        let st = shared.lock();
+        if st.fatal.is_some() || st.resolved() == shared.total {
+            return;
+        }
+    }
+    if gate {
+        if let Err(e) = backend.health_check(&opts.health_retry) {
+            let _ = e;
+            shared.evict(b, opts.health_retry.retries + 1, EvictReason::Health);
+            return;
+        }
     }
     let mut client: Option<Client> = None;
     let mut breaker = Breaker::new(opts.evict);
     let mut consecutive = 0u32;
-    while let Some(work) = shared.next_work(backend.id) {
-        match run_point(&mut client, backend, fplan, exec, opts, work.index) {
+    let mut last_active = Instant::now();
+    while let Some(work) = shared.next_work(b, &mut last_active) {
+        let ix = match work {
+            Work::Point(ix) => ix,
+            Work::Probe => {
+                if backend.probe().is_ok() {
+                    consecutive = 0;
+                    continue;
+                }
+                // Dead while idle: count it like any transport failure.
+                client = None;
+                if breaker.record(Instant::now()) {
+                    shared.evict(b, breaker.failures(), EvictReason::Health);
+                    return;
+                }
+                consecutive += 1;
+                std::thread::sleep(opts.health_retry.backoff_jittered(consecutive, b as u64));
+                continue;
+            }
+        };
+        shared.journal_note(&assign_note(ix, b));
+        match run_point(&mut client, backend, shared.fplan, shared.exec, opts, ix) {
             Ok(Ok(payload)) => {
                 consecutive = 0;
-                shared.complete(work.index, payload, backend.id);
+                shared.complete(ix, payload, b);
             }
             Ok(Err(err)) => {
                 // The backend ran the job; the *point* failed. Burn one
                 // unit of the point's budget and one of the backend's.
                 consecutive = 0;
-                shared.point_failed(work.index, err, backend.id);
+                shared.point_failed(ix, err, b);
                 if breaker.record(Instant::now()) {
-                    shared.evict(backend.id, breaker.failures());
+                    shared.evict(b, breaker.failures(), EvictReason::PointFault);
                     return;
                 }
             }
             Err(_transport) => {
                 client = None;
-                shared.release(work.index, backend.id);
+                shared.release(ix, b);
                 if breaker.record(Instant::now()) {
-                    shared.evict(backend.id, breaker.failures());
+                    shared.evict(b, breaker.failures(), EvictReason::Transport);
                     return;
                 }
                 consecutive += 1;
-                std::thread::sleep(
-                    opts.health_retry.backoff_jittered(consecutive, backend.id as u64),
-                );
+                std::thread::sleep(opts.health_retry.backoff_jittered(consecutive, b as u64));
             }
         }
     }
+}
+
+/// One probation probe: health-check a cooled-down slot and either
+/// re-admit it (becoming its new driver) or re-arm the cool-down.
+fn probation_probe(b: usize, probes: u32, shared: &Shared<'_>) {
+    let backend = {
+        let st = shared.lock();
+        if st.slots[b].state != SlotState::Probing {
+            return; // left or killed while the probe was scheduled
+        }
+        Arc::clone(&st.slots[b].backend)
+    };
+    if backend.probe().is_ok() {
+        {
+            let mut st = shared.lock();
+            if st.slots[b].state != SlotState::Probing {
+                return; // `leave` raced the probe
+            }
+            st.slots[b].state = SlotState::Active;
+            st.slots[b].reduced = true;
+            let ev = Event::BackendRejoined { backend: b as u64, probes: probes + 1 };
+            shared.push_event(&mut st, ev);
+        }
+        shared.cv.notify_all();
+        // Re-admitted with a fresh breaker; the probe was the gate.
+        driver(b, &backend, shared, false);
+        return;
+    }
+    let mut st = shared.lock();
+    if st.slots[b].state != SlotState::Probing {
+        return;
+    }
+    let failed = probes + 1;
+    if failed >= shared.opts.probation_probes {
+        st.slots[b].state = SlotState::Dead;
+        shared.check_stuck(&mut st);
+    } else {
+        let cool = shared.opts.probation.unwrap_or(Duration::from_secs(5));
+        st.slots[b].state = SlotState::Probation { until: Instant::now() + cool, probes: failed };
+        let ev = Event::BackendProbation { backend: b as u64, retry_ms: cool.as_millis() as u64 };
+        shared.push_event(&mut st, ev);
+    }
+    shared.cv.notify_all();
+    drop(st);
 }
 
 /// Decodes one wire failure object into a [`SimError`].
@@ -444,7 +714,65 @@ fn run_point(
     }
 }
 
-/// Runs the whole fleet: health-gate, dispatch, hedge, merge.
+/// Answers one control-channel verb against the shared state. Runs on
+/// the pump thread, so membership mutations never race the dispatch
+/// state from a socket thread.
+fn handle_control(cmd: ControlCmd, shared: &Shared<'_>) -> Result<Value, String> {
+    match cmd {
+        ControlCmd::Join { addr } => {
+            let mut st = shared.lock();
+            if st.fatal.is_some() {
+                return Err("the run is already failing; join refused".to_owned());
+            }
+            if st.resolved() == shared.total {
+                return Err("the run is complete; nothing left to dispatch".to_owned());
+            }
+            let slot = st.slots.len();
+            st.slots.push(Slot::new(Backend::from_addr(slot, addr), true));
+            st.spawn_queue.push(slot);
+            let pending = st.pending.len();
+            let ev = Event::BackendJoined { backend: slot as u64, pending: pending as u64 };
+            shared.push_event(&mut st, ev);
+            shared.cv.notify_all();
+            Ok(join_response(slot, pending))
+        }
+        ControlCmd::Leave { slot } => {
+            let state = {
+                let st = shared.lock();
+                st.slots.get(slot).map(|s| s.state)
+            };
+            match state {
+                None => Err(format!("slot {slot} is not in the roster")),
+                Some(SlotState::Left) => Err(format!("slot {slot} already left")),
+                Some(SlotState::Dead) => Err(format!("slot {slot} is already dead")),
+                Some(_) => {
+                    shared.evict(slot, 0, EvictReason::Left);
+                    Ok(vm_serve::ok_response([
+                        ("slot", (slot as u64).into()),
+                        ("state", "left".into()),
+                    ]))
+                }
+            }
+        }
+        ControlCmd::Roster => {
+            let st = shared.lock();
+            let rows: Vec<Value> =
+                st.slots.iter().enumerate().map(|(id, s)| s.describe(id)).collect();
+            Ok(vm_serve::ok_response([
+                ("slots", Value::Arr(rows)),
+                ("pending", (st.pending.len() as u64).into()),
+                ("resolved", (st.resolved() as u64).into()),
+            ]))
+        }
+    }
+}
+
+/// Runs the whole fleet: health-gate, dispatch, hedge, merge — plus the
+/// elastic layers (control channel, probation rejoin, fleet journal).
+///
+/// Takes ownership of `backends`: slots are shared with their driver
+/// threads and gracefully drained (then reaped) at the end of the run,
+/// with the reconciliation reported per-slot in the outcome's roster.
 ///
 /// Fans every backend's `watch` stream into `hub` when one is given, so
 /// a proxy listener can serve `repro watch` for the fleet.
@@ -452,16 +780,18 @@ fn run_point(
 /// # Errors
 ///
 /// Returns a message when the plan is empty, no backend is usable, or
-/// every backend was evicted before the grid resolved. Point failures
-/// are not errors — they come back in the merged run.
+/// no slot that could still work remains while points are unresolved.
+/// Point failures are not errors — they come back in the merged run.
+#[allow(clippy::too_many_arguments)]
 pub fn run_fleet<S: Sink>(
     fplan: &FleetPlan,
     exec: &ExecConfig,
-    backends: &[Backend],
+    backends: Vec<Backend>,
     opts: &FleetOptions,
     reporter: &Reporter,
     sink: &mut S,
     hub: Option<&Arc<WatchHub>>,
+    session: FleetSession,
 ) -> Result<FleetOutcome, String> {
     if backends.is_empty() {
         return Err("fleet needs at least one backend".to_owned());
@@ -470,18 +800,36 @@ pub fn run_fleet<S: Sink>(
     if total == 0 {
         return Err("no runnable points in the sweep".to_owned());
     }
+    let FleetSession { journal, write_header, seeded, control } = session;
+    let initial = backends.len();
     let home: Vec<usize> =
-        fplan.plan.points.iter().map(|p| shard_of(&p.label, backends.len())).collect();
+        fplan.plan.points.iter().map(|p| shard_of(&p.label, initial)).collect();
+    let mut set = MergeSet::new(total);
+    let mut resumed = 0usize;
+    for (ix, payload) in seeded {
+        if ix < total && set.offer(ix, payload) {
+            resumed += 1;
+        }
+    }
+    let pending: BTreeSet<usize> = (0..total).filter(|&ix| set.get(ix).is_none()).collect();
+    let mut journal = journal;
+    if let Some(j) = journal.as_mut() {
+        if write_header {
+            j.header(&run_header(&fplan.plan, exec));
+        }
+    }
+    let slots: Vec<Slot> = backends.into_iter().map(|b| Slot::new(b, false)).collect();
+    let launch_arcs: Vec<Arc<Backend>> = slots.iter().map(|s| Arc::clone(&s.backend)).collect();
     let shared = Shared {
         state: Mutex::new(State {
-            pending: (0..total).collect(),
+            pending,
             inflight: BTreeMap::new(),
-            set: MergeSet::new(total),
+            set,
             failed: BTreeMap::new(),
             dispatch_count: vec![0; total],
-            healthy: vec![true; backends.len()],
-            alive: backends.len(),
+            slots,
             evicted: Vec::new(),
+            spawn_queue: Vec::new(),
             dispatched: 0,
             hedged: 0,
             events: Vec::new(),
@@ -492,11 +840,25 @@ pub fn run_fleet<S: Sink>(
         total,
         home,
         opts,
+        fplan,
+        exec,
+        journal: journal.map(Mutex::new),
     };
-    reporter.progress(format!("fleet: {total} point(s) across {} backend(s)", backends.len()));
+    if resumed > 0 {
+        let ev = Event::RunResumed {
+            completed: resumed as u64,
+            remaining: (total - resumed) as u64,
+        };
+        let mut st = shared.lock();
+        shared.push_event(&mut st, ev);
+    }
+    reporter.progress(format!(
+        "fleet: {total} point(s) across {initial} backend(s){}",
+        if resumed > 0 { format!(", {resumed} resumed from the fleet journal") } else { String::new() }
+    ));
     let stop = Arc::new(AtomicBool::new(false));
     if let Some(hub) = hub {
-        for b in backends {
+        for b in &launch_arcs {
             let (id, addr) = (b.id, b.addr.clone());
             let (hub, stop) = (Arc::clone(hub), Arc::clone(&stop));
             // Detached on purpose: a fan-in stream that only notices the
@@ -505,41 +867,97 @@ pub fn run_fleet<S: Sink>(
         }
     }
     std::thread::scope(|scope| {
-        for b in backends {
-            scope.spawn(|| driver(b, &shared, fplan, exec));
+        let shared = &shared;
+        for (b, backend) in launch_arcs.iter().enumerate() {
+            scope.spawn(move || driver(b, backend, shared, true));
         }
-        // The main thread is the sink pump: sinks are not `Sync`, so
-        // drivers buffer events under the state lock and we drain them
-        // here in arrival order.
-        let mut st = shared.lock();
+        // The main thread is the pump: sinks are not `Sync`, so workers
+        // buffer events under the state lock and we drain them here in
+        // arrival order; the same loop polls the control channel, fires
+        // due probation probes, and spawns drivers for joined slots.
         loop {
-            for (t, ev) in std::mem::take(&mut st.events) {
-                sink.emit(t, &ev);
-            }
-            if st.fatal.is_some() || st.resolved() == total {
+            let mut to_probe: Vec<(usize, u32)> = Vec::new();
+            let mut to_spawn: Vec<(usize, Arc<Backend>)> = Vec::new();
+            let done = {
+                let mut st = shared.lock();
+                for (t, ev) in std::mem::take(&mut st.events) {
+                    sink.emit(t, &ev);
+                }
+                let done = st.fatal.is_some() || st.resolved() == total;
+                if !done {
+                    let now = Instant::now();
+                    for (b, slot) in st.slots.iter_mut().enumerate() {
+                        if let SlotState::Probation { until, probes } = slot.state {
+                            if now >= until {
+                                slot.state = SlotState::Probing;
+                                to_probe.push((b, probes));
+                            }
+                        }
+                    }
+                    for b in std::mem::take(&mut st.spawn_queue) {
+                        to_spawn.push((b, Arc::clone(&st.slots[b].backend)));
+                    }
+                    reporter.detail(format!("fleet: {}/{} resolved", st.resolved(), total));
+                }
+                done
+            };
+            if done {
                 break;
             }
-            reporter.detail(format!("fleet: {}/{} resolved", st.resolved(), total));
-            let (guard, _) = shared
+            for (b, probes) in to_probe {
+                scope.spawn(move || probation_probe(b, probes, shared));
+            }
+            for (b, backend) in to_spawn {
+                if let Some(hub) = hub {
+                    let (addr, hub, stop) = (backend.addr.clone(), Arc::clone(hub), Arc::clone(&stop));
+                    std::thread::spawn(move || fan_in_backend(b, &addr, &hub, &stop));
+                }
+                scope.spawn(move || driver(b, &backend, shared, true));
+            }
+            if let Some(control) = &control {
+                control.poll(&mut |cmd| handle_control(cmd, shared));
+            }
+            let st = shared.lock();
+            let (st, _) = shared
                 .cv
                 .wait_timeout(st, Duration::from_millis(100))
                 .unwrap_or_else(|e| e.into_inner());
-            st = guard;
+            drop(st);
         }
-        drop(st);
         stop.store(true, Ordering::Release);
         shared.cv.notify_all();
     });
     let end_ms = shared.now_ms();
-    let mut st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    let Shared { state, journal, .. } = shared;
+    let mut st = state.into_inner().unwrap_or_else(|e| e.into_inner());
     for (t, ev) in std::mem::take(&mut st.events) {
         sink.emit(t, &ev);
     }
+    // Seal the fleet journal before teardown: a resume must never find
+    // a longer-lived journal than the artifacts it vouches for.
+    if let Some(j) = journal {
+        let writer = j.into_inner().unwrap_or_else(|e| e.into_inner());
+        writer.finish().map_err(|e| format!("fleet journal: {e}"))?;
+    }
+    // Drain-then-reap every spawned backend, reconciling the teardown.
+    let roster: Vec<SlotReport> = st
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(id, s)| SlotReport {
+            slot: id,
+            addr: s.backend.addr.clone(),
+            state: s.state.label(),
+            completed: s.completed,
+            joined: s.joined,
+            shutdown: s.backend.shutdown_within(opts.drain),
+        })
+        .collect();
     if let Some(msg) = st.fatal {
         return Err(msg);
     }
     let merged = merge(&fplan.plan, exec, &st.set, &st.failed)?;
-    let healthy = st.healthy.iter().filter(|h| **h).count();
+    let healthy = st.slots.iter().filter(|s| s.is_active()).count();
     sink.emit(
         end_ms,
         &Event::FleetMerged {
@@ -567,5 +985,7 @@ pub fn run_fleet<S: Sink>(
         duplicates: st.set.duplicates(),
         evicted: st.evicted,
         healthy,
+        resumed,
+        roster,
     })
 }

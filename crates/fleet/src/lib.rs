@@ -21,6 +21,12 @@
 //!   backend, home-shard affinity with work stealing, hedged re-dispatch
 //!   of stragglers (first result wins), and point re-queue when a
 //!   backend dies mid-job.
+//! * [`membership`] — elastic membership: the slot lifecycle
+//!   (active → probation → rejoin, or dead/left) and the coordinator's
+//!   `join`/`leave`/`roster` control channel.
+//! * [`resume`] — coordinator crash-resume: the fleet-journal dialect
+//!   (assignment notes plus payload-bearing point entries) and the
+//!   fingerprint-checked seeding a restarted coordinator replays.
 //! * [`mod@merge`] — first-result-wins dedup and the bit-exact merge: shard
 //!   payloads round-trip through the `vm_explore` result codec into a
 //!   journal byte-identical to a clean single-node `--jobs 1` run.
@@ -36,15 +42,19 @@
 pub mod backend;
 pub mod bench;
 pub mod coordinator;
+pub mod membership;
 pub mod merge;
 pub mod plan;
+pub mod resume;
 pub mod shard;
 pub mod watch;
 
-pub use backend::{Backend, Breaker, EvictPolicy};
+pub use backend::{Backend, Breaker, EvictPolicy, ShutdownOutcome};
 pub use bench::{fleet_throughput, FleetBenchPoint};
-pub use coordinator::{run_fleet, FleetOptions, FleetOutcome};
+pub use coordinator::{run_fleet, FleetOptions, FleetOutcome, FleetSession, SlotReport};
+pub use membership::{ControlChannel, ControlCmd, Slot, SlotState};
 pub use merge::{merge, rebind_payload, MergeSet, MergedRun};
 pub use plan::{fleet_plan, FleetPlan};
+pub use resume::{assign_note, read_fleet_journal, seed_fleet_resume, FleetResume};
 pub use shard::{partition, shard_of};
 pub use watch::{fan_in_backend, WatchProxy};

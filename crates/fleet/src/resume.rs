@@ -1,0 +1,167 @@
+//! Coordinator crash-resume: the fleet-journal dialect and its reader.
+//!
+//! The coordinator appends to a *fleet journal* as the run progresses,
+//! reusing `vm_harden`'s fsync-batched JSONL writer and FNV-1a plan
+//! fingerprint: the standard run header first, then an `assign` note
+//! per dispatch and a standard point entry (payload included) per
+//! resolution, in arrival order. A SIGKILLed coordinator therefore
+//! leaves behind everything needed to continue: `repro fleet --resume`
+//! replays the completed points out of the journal, re-shards only the
+//! remainder, and converges to artifacts byte-identical to an
+//! uninterrupted run.
+//!
+//! [`vm_harden::Journal::parse`] deliberately rejects unknown `"j"`
+//! kinds, so this dialect brings its own reader: [`read_fleet_journal`]
+//! strips (and counts) the `assign` notes and feeds the standard lines
+//! to the standard parser, keeping its torn-final-line tolerance — the
+//! exact crash artifact resume exists to survive.
+
+use std::collections::BTreeMap;
+
+use vm_explore::{run_header, ExecConfig, SweepPlan};
+use vm_harden::Journal;
+use vm_obs::json::{self, Value};
+
+use crate::merge::rebind_payload;
+
+/// The `assign` note recorded per dispatch: which backend a point went
+/// to. Pure provenance — resume seeds from point entries only.
+pub fn assign_note(point: usize, backend: usize) -> Value {
+    Value::obj([
+        ("j", "assign".into()),
+        ("point", (point as u64).into()),
+        ("backend", (backend as u64).into()),
+    ])
+}
+
+/// What a prior coordinator's journal contributes to a resumed run.
+#[derive(Debug, Default)]
+pub struct FleetResume {
+    /// Completed payloads by global point index, ready to offer to the
+    /// merge set; pending excludes these and they are never
+    /// re-dispatched.
+    pub seeded: BTreeMap<usize, Value>,
+    /// `assign` notes found (dispatch provenance, reported not replayed).
+    pub assigns: u64,
+}
+
+/// Splits fleet-journal text into the standard journal plus the count
+/// of `assign` notes.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line. A torn final
+/// line is tolerated exactly as in [`Journal::parse`].
+pub fn read_fleet_journal(text: &str) -> Result<(Journal, u64), String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut standard = String::new();
+    let mut assigns = 0u64;
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match json::parse(trimmed) {
+            Ok(v) if v.get("j").and_then(Value::as_str) == Some("assign") => assigns += 1,
+            Ok(_) => {
+                standard.push_str(trimmed);
+                standard.push('\n');
+            }
+            // A torn final line is a crash artifact, not corruption;
+            // hand it to the standard parser (as its final line) so the
+            // tolerance lives in exactly one place.
+            Err(_) if i + 1 == lines.len() => standard.push_str(trimmed),
+            Err(e) => return Err(format!("fleet journal line {}: {e}", i + 1)),
+        }
+    }
+    Ok((Journal::parse(&standard)?, assigns))
+}
+
+/// Reads a fleet journal and extracts the completed points to seed a
+/// resumed run with, after verifying the journal belongs to exactly
+/// this plan at this scale (version, point count, FNV-1a fingerprint).
+/// Failed points are *not* seeded — resume re-runs them.
+///
+/// # Errors
+///
+/// Returns a message when the journal is malformed, has no header, was
+/// written by a different plan or scale, or a payload fails the
+/// bit-exact codec round-trip.
+pub fn seed_fleet_resume(
+    text: &str,
+    plan: &SweepPlan,
+    exec: &ExecConfig,
+) -> Result<FleetResume, String> {
+    let (journal, assigns) = read_fleet_journal(text)?;
+    let header = journal.header.ok_or("fleet journal has no run header")?;
+    let expect = run_header(plan, exec);
+    if header.version != expect.version {
+        return Err(format!(
+            "fleet journal version {} does not match this build's {}",
+            header.version, expect.version
+        ));
+    }
+    if header.points != expect.points || header.fingerprint != expect.fingerprint {
+        return Err("fleet journal does not match this sweep (different points, axes, or run \
+                    lengths)"
+            .to_owned());
+    }
+    let mut resume = FleetResume { seeded: BTreeMap::new(), assigns };
+    for (ix, entry) in journal.latest() {
+        let ix = ix as usize;
+        if ix >= plan.points.len() {
+            return Err(format!("fleet journal point {ix} is out of range for this sweep"));
+        }
+        if entry.is_done() {
+            let payload = entry.payload.as_ref().ok_or_else(|| {
+                format!("fleet journal point {ix} is done but carries no payload")
+            })?;
+            let rebound = rebind_payload(payload, ix, &plan.points[ix].label)
+                .map_err(|e| format!("fleet journal point {ix}: {e}"))?;
+            resume.seeded.insert(ix, rebound);
+        }
+    }
+    Ok(resume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_notes_are_counted_and_stripped() {
+        let text = format!(
+            "{}\n{}\n",
+            assign_note(3, 1),
+            assign_note(4, 0)
+        );
+        let (journal, assigns) = read_fleet_journal(&text).unwrap();
+        assert_eq!(assigns, 2);
+        assert!(journal.header.is_none());
+        assert!(journal.entries.is_empty());
+    }
+
+    #[test]
+    fn torn_final_assign_line_is_tolerated() {
+        let whole = assign_note(0, 0).to_string();
+        let torn = &whole[..whole.len() - 4];
+        let (journal, assigns) = read_fleet_journal(&format!("{whole}\n{torn}")).unwrap();
+        assert_eq!(assigns, 1, "the torn copy must not count");
+        assert!(journal.entries.is_empty());
+    }
+
+    #[test]
+    fn a_malformed_interior_line_is_an_error() {
+        let text = format!("{{\"j\":\"ass\n{}\n", assign_note(1, 1));
+        let err = read_fleet_journal(&text).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn seeding_requires_a_header() {
+        let plan = SweepPlan::default();
+        let exec = ExecConfig::default();
+        let err = seed_fleet_resume("", &plan, &exec).unwrap_err();
+        assert!(err.contains("no run header"), "{err}");
+    }
+}

@@ -393,6 +393,14 @@ impl<W: SyncWrite> JournalWriter<W> {
         self.append(&entry.to_value());
     }
 
+    /// Appends an arbitrary JSON line — for journal dialects (like the
+    /// vm-fleet coordinator journal) that interleave their own record
+    /// kinds with standard header/point lines. [`Journal::parse`] rejects
+    /// unknown `"j"` kinds, so such dialects bring their own reader.
+    pub fn note(&mut self, v: &Value) {
+        self.append(v);
+    }
+
     /// Flushes, syncs, and returns the target (or the first error).
     ///
     /// # Errors

@@ -34,6 +34,46 @@ impl CacheId {
     }
 }
 
+/// Why a fleet backend was removed from rotation.
+///
+/// Carried on [`Event::BackendEvicted`] so serve-stats can break
+/// evictions down by cause instead of reporting one opaque count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictReason {
+    /// The startup health gate (or an idle keepalive probe) failed.
+    Health,
+    /// Transport errors talking to the daemon (connect/read/write).
+    Transport,
+    /// The backend kept failing the points it was given.
+    PointFault,
+    /// An operator drained the slot via the control channel's `leave`.
+    Left,
+}
+
+impl EvictReason {
+    /// Stable lower-case label (the `reason` field in JSONL).
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictReason::Health => "health",
+            EvictReason::Transport => "transport",
+            EvictReason::PointFault => "point_fault",
+            EvictReason::Left => "left",
+        }
+    }
+
+    /// Parses a label back into a reason (`None` for unknown labels, so
+    /// readers can count rather than drop reasons newer than they are).
+    pub fn from_label(s: &str) -> Option<EvictReason> {
+        match s {
+            "health" => Some(EvictReason::Health),
+            "transport" => Some(EvictReason::Transport),
+            "point_fault" => Some(EvictReason::PointFault),
+            "left" => Some(EvictReason::Left),
+            _ => None,
+        }
+    }
+}
+
 /// A single observable occurrence inside the simulator.
 ///
 /// The `now` timestamp (user instructions retired so far) is passed
@@ -236,6 +276,42 @@ pub enum Event {
         backend: u64,
         /// Failures inside the breaker window when it tripped.
         failures: u32,
+        /// Why the slot was removed from rotation.
+        reason: EvictReason,
+    },
+    /// A backend joined the fleet mid-run via the control channel. It
+    /// receives only still-pending points — completed points are never
+    /// reassigned, preserving first-result-wins dedup.
+    BackendJoined {
+        /// The fleet slot assigned to the new backend.
+        backend: u64,
+        /// Points still pending when the backend joined.
+        pending: u64,
+    },
+    /// An evicted backend entered probation: it will be re-probed after
+    /// the probation interval instead of staying dead forever.
+    BackendProbation {
+        /// The slot placed on probation.
+        backend: u64,
+        /// Milliseconds until the next health probe.
+        retry_ms: u64,
+    },
+    /// A probationary backend passed its health probe and was re-admitted
+    /// with a fresh breaker but a reduced dispatch budget (no hedging)
+    /// until it completes a point cleanly.
+    BackendRejoined {
+        /// The slot that rejoined.
+        backend: u64,
+        /// Health probes spent before one passed.
+        probes: u32,
+    },
+    /// A rejoined backend completed a point cleanly and left its reduced
+    /// dispatch budget — it is back to full rotation.
+    BackendRecovered {
+        /// The slot that recovered.
+        backend: u64,
+        /// The point whose clean completion cleared probation.
+        point: u64,
     },
     /// A fleet run merged its shard results into the final journal and
     /// CSV (bit-identical to a single-node run of the same grid).
@@ -278,6 +354,10 @@ impl Event {
             Event::ShardDispatched { .. } => "shard_dispatched",
             Event::ShardHedged { .. } => "shard_hedged",
             Event::BackendEvicted { .. } => "backend_evicted",
+            Event::BackendJoined { .. } => "backend_joined",
+            Event::BackendProbation { .. } => "backend_probation",
+            Event::BackendRejoined { .. } => "backend_rejoined",
+            Event::BackendRecovered { .. } => "backend_recovered",
             Event::FleetMerged { .. } => "fleet_merged",
         }
     }
@@ -386,9 +466,26 @@ impl Event {
                 put("from", from.into());
                 put("to", to.into());
             }
-            Event::BackendEvicted { backend, failures } => {
+            Event::BackendEvicted { backend, failures, reason } => {
                 put("backend", backend.into());
                 put("failures", failures.into());
+                put("reason", reason.label().into());
+            }
+            Event::BackendJoined { backend, pending } => {
+                put("backend", backend.into());
+                put("pending", pending.into());
+            }
+            Event::BackendProbation { backend, retry_ms } => {
+                put("backend", backend.into());
+                put("retry_ms", retry_ms.into());
+            }
+            Event::BackendRejoined { backend, probes } => {
+                put("backend", backend.into());
+                put("probes", probes.into());
+            }
+            Event::BackendRecovered { backend, point } => {
+                put("backend", backend.into());
+                put("point", point.into());
             }
             Event::FleetMerged { points, backends, hedged, duplicates } => {
                 put("points", points.into());
@@ -439,7 +536,11 @@ mod tests {
             Event::BreakerTripped { worker: 0, point: 5, restarts: 3 },
             Event::ShardDispatched { point: 11, shard: 2, backend: 1 },
             Event::ShardHedged { point: 11, from: 1, to: 3 },
-            Event::BackendEvicted { backend: 1, failures: 4 },
+            Event::BackendEvicted { backend: 1, failures: 4, reason: EvictReason::Transport },
+            Event::BackendJoined { backend: 3, pending: 9 },
+            Event::BackendProbation { backend: 1, retry_ms: 5000 },
+            Event::BackendRejoined { backend: 1, probes: 2 },
+            Event::BackendRecovered { backend: 1, point: 17 },
             Event::FleetMerged { points: 24, backends: 3, hedged: 1, duplicates: 1 },
         ]
     }
@@ -454,6 +555,19 @@ mod tests {
         for n in names {
             assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
         }
+    }
+
+    #[test]
+    fn evict_reason_labels_round_trip() {
+        for r in [
+            EvictReason::Health,
+            EvictReason::Transport,
+            EvictReason::PointFault,
+            EvictReason::Left,
+        ] {
+            assert_eq!(EvictReason::from_label(r.label()), Some(r));
+        }
+        assert_eq!(EvictReason::from_label("cosmic_rays"), None);
     }
 
     #[test]

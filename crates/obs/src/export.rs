@@ -134,6 +134,10 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::ShardDispatched { .. }
             | Event::ShardHedged { .. }
             | Event::BackendEvicted { .. }
+            | Event::BackendJoined { .. }
+            | Event::BackendProbation { .. }
+            | Event::BackendRejoined { .. }
+            | Event::BackendRecovered { .. }
             | Event::FleetMerged { .. } => 7,
         }
     }

@@ -54,7 +54,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod stats;
 
-pub use event::{CacheId, Event};
+pub use event::{CacheId, Event, EvictReason};
 pub use export::{summary_line, ChromeTraceSink, JsonlSink};
 pub use reporter::{set_global_verbosity, Reporter, Verbosity};
 pub use sink::{NopSink, RecordingSink, SharedSink, Sink, Tee};

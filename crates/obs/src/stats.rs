@@ -415,6 +415,10 @@ impl Sink for StatsSink {
             | Event::ShardDispatched { .. }
             | Event::ShardHedged { .. }
             | Event::BackendEvicted { .. }
+            | Event::BackendJoined { .. }
+            | Event::BackendProbation { .. }
+            | Event::BackendRejoined { .. }
+            | Event::BackendRecovered { .. }
             | Event::FleetMerged { .. } => {}
         }
     }

@@ -68,6 +68,22 @@ pub struct EventReport {
     pub shard_hedges: u64,
     /// `backend_evicted` events (fleet backends removed from rotation).
     pub backend_evictions: u64,
+    /// Eviction counts by `reason` label (`health`, `transport`,
+    /// `point_fault`, `left`, …). Reasons newer than this binary are
+    /// counted under their label, never dropped; a missing field is
+    /// `(unspecified)`.
+    pub evict_reasons: std::collections::BTreeMap<String, u64>,
+    /// `backend_joined` events (backends added mid-run via the control
+    /// channel).
+    pub backend_joins: u64,
+    /// `backend_probation` events (evicted backends scheduled for a
+    /// rejoin probe).
+    pub backend_probations: u64,
+    /// `backend_rejoined` events (probationary backends re-admitted).
+    pub backend_rejoins: u64,
+    /// `backend_recovered` events (rejoined backends back to a full
+    /// dispatch budget after a clean point).
+    pub backend_recoveries: u64,
     /// `fleet_merged` events (fleet runs that reached the merge).
     pub fleet_merges: u64,
     /// Duplicate results discarded across merged fleet runs.
@@ -150,7 +166,21 @@ impl EventReport {
                 Some("breaker_tripped") => report.breaker_trips += 1,
                 Some("shard_dispatched") => report.shard_dispatches += 1,
                 Some("shard_hedged") => report.shard_hedges += 1,
-                Some("backend_evicted") => report.backend_evictions += 1,
+                Some("backend_evicted") => {
+                    report.backend_evictions += 1;
+                    // Count unknown reason labels too: a reason newer
+                    // than this binary should surface, not vanish.
+                    let reason = v
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("(unspecified)")
+                        .to_owned();
+                    *report.evict_reasons.entry(reason).or_insert(0) += 1;
+                }
+                Some("backend_joined") => report.backend_joins += 1,
+                Some("backend_probation") => report.backend_probations += 1,
+                Some("backend_rejoined") => report.backend_rejoins += 1,
+                Some("backend_recovered") => report.backend_recoveries += 1,
                 Some("fleet_merged") => {
                     report.fleet_merges += 1;
                     report.fleet_duplicates += int("duplicates");
@@ -205,13 +235,33 @@ impl EventReport {
         if self.shard_dispatches + self.shard_hedges + self.backend_evictions + self.fleet_merges
             > 0
         {
+            let reasons = if self.evict_reasons.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> =
+                    self.evict_reasons.iter().map(|(k, n)| format!("{k} ×{n}")).collect();
+                format!(" [{}]", parts.join(", "))
+            };
             out.push_str(&format!(
-                "  fleet    {} dispatched, {} hedged, {} backend eviction(s), {} merge(s) ({} duplicate(s) discarded)\n",
+                "  fleet    {} dispatched, {} hedged, {} backend eviction(s){}, {} merge(s) ({} duplicate(s) discarded)\n",
                 self.shard_dispatches,
                 self.shard_hedges,
                 self.backend_evictions,
+                reasons,
                 self.fleet_merges,
                 self.fleet_duplicates
+            ));
+        }
+        if self.backend_joins + self.backend_probations + self.backend_rejoins
+            + self.backend_recoveries
+            > 0
+        {
+            out.push_str(&format!(
+                "  elastic  {} joined, {} probation(s), {} rejoined, {} recovered\n",
+                self.backend_joins,
+                self.backend_probations,
+                self.backend_rejoins,
+                self.backend_recoveries
             ));
         }
         match self.drains {
@@ -233,7 +283,7 @@ impl EventReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vm_obs::{Event, JsonlSink, Sink};
+    use vm_obs::{Event, EvictReason, JsonlSink, Sink};
 
     fn sample_stream() -> String {
         let mut sink = JsonlSink::new(Vec::new());
@@ -312,7 +362,7 @@ mod tests {
             Event::ShardDispatched { point: 0, shard: 1, backend: 1 },
             Event::ShardDispatched { point: 1, shard: 0, backend: 0 },
             Event::ShardHedged { point: 1, from: 0, to: 1 },
-            Event::BackendEvicted { backend: 0, failures: 4 },
+            Event::BackendEvicted { backend: 0, failures: 4, reason: EvictReason::Transport },
             Event::FleetMerged { points: 2, backends: 1, hedged: 1, duplicates: 1 },
         ];
         for (t, ev) in events.iter().enumerate() {
@@ -322,11 +372,59 @@ mod tests {
         let r = EventReport::from_jsonl(&text).unwrap();
         assert_eq!((r.shard_dispatches, r.shard_hedges), (2, 1));
         assert_eq!((r.backend_evictions, r.fleet_merges, r.fleet_duplicates), (1, 1, 1));
+        assert_eq!(r.evict_reasons.get("transport"), Some(&1));
         let rendered = r.render();
         assert!(rendered.contains("fleet    2 dispatched, 1 hedged"), "{rendered}");
+        assert!(rendered.contains("1 backend eviction(s) [transport ×1]"), "{rendered}");
         // A stream with no fleet activity elides the section entirely.
         let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
         assert!(!plain.render().contains("fleet"), "fleet line must be elided when idle");
+    }
+
+    #[test]
+    fn elastic_membership_events_get_their_own_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            Event::BackendJoined { backend: 2, pending: 7 },
+            Event::BackendEvicted { backend: 0, failures: 3, reason: EvictReason::Health },
+            Event::BackendProbation { backend: 0, retry_ms: 250 },
+            Event::BackendRejoined { backend: 0, probes: 2 },
+            Event::BackendRecovered { backend: 0, point: 5 },
+            Event::BackendEvicted { backend: 1, failures: 0, reason: EvictReason::Left },
+        ];
+        for (t, ev) in events.iter().enumerate() {
+            sink.emit(t as u64, ev);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!(
+            (r.backend_joins, r.backend_probations, r.backend_rejoins, r.backend_recoveries),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.evict_reasons.get("health"), Some(&1));
+        assert_eq!(r.evict_reasons.get("left"), Some(&1));
+        assert!(r.unknown.is_empty(), "membership events are known: {:?}", r.unknown);
+        let rendered = r.render();
+        assert!(
+            rendered.contains("elastic  1 joined, 1 probation(s), 1 rejoined, 1 recovered"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("[health ×1, left ×1]"), "{rendered}");
+        // No elastic activity → no elastic line.
+        let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
+        assert!(!plain.render().contains("elastic"), "elastic line must be elided when idle");
+    }
+
+    #[test]
+    fn an_unknown_evict_reason_is_counted_not_dropped() {
+        let text = "{\"t\":1,\"ev\":\"backend_evicted\",\"backend\":0,\"failures\":2,\"reason\":\"cosmic_rays\"}\n\
+                    {\"t\":2,\"ev\":\"backend_evicted\",\"backend\":1,\"failures\":2}\n";
+        let r = EventReport::from_jsonl(text).unwrap();
+        assert_eq!(r.backend_evictions, 2);
+        assert_eq!(r.evict_reasons.get("cosmic_rays"), Some(&1));
+        assert_eq!(r.evict_reasons.get("(unspecified)"), Some(&1));
+        let rendered = r.render();
+        assert!(rendered.contains("cosmic_rays ×1"), "{rendered}");
     }
 
     #[test]

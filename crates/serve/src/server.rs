@@ -867,6 +867,23 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 watch_stream(shared, &mut stream, job);
                 return;
             }
+            // `drain` is acked before the flag flips: the accept loop
+            // exits (and with it, eventually, the process) the instant
+            // `draining` is set, so a response written afterwards races
+            // the daemon's death and the requester can read EOF instead
+            // of its ack. The connection stays open — a drain summary
+            // or a late (shed) request may still follow on it.
+            if let Ok(Request::Drain) = parse_request(text) {
+                let pending = shared.lock_state().queue.len() as u64;
+                let resp =
+                    ok_response([("draining", Value::Bool(true)), ("pending", pending.into())]);
+                let acked = write_line(&mut stream, &resp).is_ok();
+                initiate_drain(shared);
+                if !acked {
+                    return;
+                }
+                continue;
+            }
             let response = respond(shared, text);
             if write_line(&mut stream, &response).is_err() {
                 return;
@@ -911,6 +928,9 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Result<Value, ProtoError> {
         Request::Cancel { job } => handle_cancel(shared, job),
         Request::Health => Ok(handle_health(shared)),
         Request::Stats => Ok(handle_stats(shared)),
+        // Normally intercepted in `handle_connection` so the ack is on
+        // the wire before the accept loop is released; kept functional
+        // here as a safety net for any future dispatch path.
         Request::Drain => {
             initiate_drain(shared);
             let st = shared.lock_state();

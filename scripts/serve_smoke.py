@@ -25,6 +25,15 @@ reports the first completed point, so the kill provably lands with
 work still pending). All three must produce byte-identical CSVs and
 journals, the killed run must exit 0, and its event stream must record
 the `backend_evicted`.
+
+The elasticity phase exercises the elastic membership layer
+(docs/fleet.md): a backend that starts dead is evicted, heals, and
+rejoins through probation while a fourth backend joins mid-sweep over
+the join/leave/roster control channel — artifacts must stay
+byte-identical and the probation/rejoin events must fold into
+serve-stats. The final phase SIGKILLs the *coordinator* mid-merge and
+restarts it with `--fleet-journal ... --resume`: the resumed run replays
+the journaled points and converges to the same bytes.
 """
 
 import json
@@ -312,10 +321,165 @@ fleet_report = subprocess.run(
 )
 assert "1 backend eviction(s)" in fleet_report.stdout, fleet_report.stdout
 
+
+# Elasticity phase (docs/fleet.md, Elasticity): a fleet whose membership
+# changes mid-run — one backend starts dead, is evicted, heals, and
+# rejoins through probation; a fourth backend joins over the control
+# channel — must still merge byte-identically to a single-node run at
+# the same scale. Default (non-quick) scale keeps the run long enough
+# that every membership transition provably lands mid-sweep.
+E_SWEEP = ["--sweep", "tlb.entries=16,32,64,128",
+           "--sweep", "cache.l1=4K,8K,16K",
+           "--sweep", "mmu.table=two-tier,hashed"]
+
+eref_journal, eref_out = artifacts("eref")
+subprocess.run(
+    [REPRO, "explore", spec_path, *E_SWEEP, "--jobs", "1",
+     "--journal", eref_journal, "--out", eref_out, "-q"],
+    check=True, stdout=subprocess.DEVNULL,
+)
+
+SERVE_HEADROOM = ["--queue", "64", "--degrade-depth", "64"]
+daemon_a, port_a = start(SERVE_HEADROOM)
+daemon_b, port_b = start(SERVE_HEADROOM)
+
+# Reserve a port for backend C but leave it dead: the health gate must
+# evict it, probation must pick it back up once a daemon appears there.
+with socket.socket() as s:
+    s.bind(("127.0.0.1", 0))
+    port_c = s.getsockname()[1]
+
+# The elastic fleet launches with the dead backend as its ONLY member,
+# so the run cannot outpace the choreography below: no work can start
+# until C heals, and the join lands while C still has points pending.
+e1_journal, e1_out = artifacts("elastic")
+e1_events = os.path.join(state, "elastic-events.jsonl")
+elastic = subprocess.Popen(
+    [REPRO, "fleet", spec_path, *E_SWEEP,
+     "--backend", f"127.0.0.1:{port_c}",
+     "--join-addr", "127.0.0.1:0", "--probation-ms", "500",
+     "--journal", e1_journal, "--out", e1_out, "--events", e1_events, "-q"],
+    stdout=subprocess.PIPE, text=True,
+)
+line = elastic.stdout.readline()  # the documented control-scrape contract
+assert line.startswith("vm-fleet control on "), repr(line)
+control_port = int(line.rsplit(":", 1)[1])
+
+
+def roster_slot(slot):
+    r = rpc(control_port, {"req": "roster"})
+    assert r["ok"], r
+    return r["slots"][slot] if slot < len(r["slots"]) else None
+
+
+def await_slot_state(slot, states, timeout=30):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        row = roster_slot(slot)
+        if row is not None and row["state"] in states:
+            return row
+        time.sleep(0.02)
+    raise SystemExit(f"slot {slot} never reached {states}")
+
+
+# The dead backend must leave rotation for probation, not kill the
+# run: a probation slot still counts as able to return, so the fleet
+# idles instead of declaring itself stuck.
+await_slot_state(0, ("probation", "probing"))
+
+# Backend C "heals": a daemon comes up on the reserved port, and the
+# next probation probe must re-admit the slot — which, alone in the
+# fleet, then starts completing points.
+daemon_c, _ = start(["--port", str(port_c), *SERVE_HEADROOM])
+healed = await_slot_state(0, ("active",))
+assert healed["state"] == "active", healed
+
+# Join daemon A while the healed slot still has most of the grid
+# pending; the joined slot receives only still-pending points
+# (tests/fleet_elastic.rs pins the property; this proves the verb).
+joined = rpc(control_port, {"req": "join", "addr": f"127.0.0.1:{port_a}"})
+assert joined["ok"] and joined["slot"] == 1, joined
+assert joined["pending"] >= 1, joined
+
+elastic.stdout.read()  # drain the results table
+assert elastic.wait(timeout=600) == 0, "the elastic run must exit 0"
+
+assert read_bytes(e1_journal) == read_bytes(eref_journal), "elastic: journal drifted"
+for csv in os.listdir(eref_out):
+    assert read_bytes(os.path.join(e1_out, csv)) == read_bytes(
+        os.path.join(eref_out, csv)
+    ), f"elastic: {csv} drifted"
+
+ekinds = [json.loads(l).get("ev") for l in open(e1_events)]
+for needed in ("backend_evicted", "backend_probation", "backend_rejoined",
+               "backend_recovered", "backend_joined", "fleet_merged"):
+    assert needed in ekinds, (needed, ekinds)
+elastic_report = subprocess.run(
+    [REPRO, "serve-stats", e1_events], capture_output=True, text=True, check=True
+)
+assert "1 joined" in elastic_report.stdout, elastic_report.stdout
+assert "1 rejoined" in elastic_report.stdout, elastic_report.stdout
+assert "health ×" in elastic_report.stdout, elastic_report.stdout
+
+
+# Coordinator crash-resume phase (docs/fleet.md, Coordinator resume):
+# SIGKILL the *coordinator* mid-merge — the harshest stop — and restart
+# it with --resume against the same (surviving) daemons. The resumed
+# run must exit 0, replay the journaled points, and produce artifacts
+# byte-identical to the uninterrupted single-node reference.
+e2_journal, e2_out = artifacts("resumefleet")
+fj = os.path.join(state, "fleet.journal")
+crash = subprocess.Popen(
+    [REPRO, "fleet", spec_path, *E_SWEEP,
+     "--backend", f"127.0.0.1:{port_a}", "--backend", f"127.0.0.1:{port_b}",
+     "--fleet-journal", fj,
+     "--journal", e2_journal, "--out", e2_out, "-q"],
+    stdout=subprocess.DEVNULL,
+)
+for _ in range(6000):  # >= 2 journaled payloads prove a mid-run kill
+    try:
+        done_lines = sum(
+            1 for l in open(fj) if '"j":"point"' in l and '"status":"done"' in l
+        )
+    except OSError:
+        done_lines = 0
+    if done_lines >= 2:
+        break
+    time.sleep(0.01)
+else:
+    raise SystemExit("fleet journal never accumulated two completed points")
+crash.send_signal(signal.SIGKILL)
+assert crash.wait(timeout=60) == -signal.SIGKILL, "the coordinator must die hard"
+assert not os.path.exists(e2_journal), "a killed coordinator must not have merged"
+
+e2_events = os.path.join(state, "resume-events.jsonl")
+subprocess.run(
+    [REPRO, "fleet", spec_path, *E_SWEEP,
+     "--backend", f"127.0.0.1:{port_a}", "--backend", f"127.0.0.1:{port_b}",
+     "--fleet-journal", fj, "--resume",
+     "--journal", e2_journal, "--out", e2_out, "--events", e2_events, "-q"],
+    check=True, stdout=subprocess.DEVNULL,
+)
+rkinds = [json.loads(l).get("ev") for l in open(e2_events)]
+assert "run_resumed" in rkinds, rkinds
+assert read_bytes(e2_journal) == read_bytes(eref_journal), "resume: journal drifted"
+for csv in os.listdir(eref_out):
+    assert read_bytes(os.path.join(e2_out, csv)) == read_bytes(
+        os.path.join(eref_out, csv)
+    ), f"resume: {csv} drifted"
+
+for daemon, port in ((daemon_a, port_a), (daemon_b, port_b),
+                     (daemon_c, port_c)):
+    rpc(port, {"req": "drain"})
+    assert daemon.wait(timeout=60) == 0, f"daemon on {port} must drain to exit 0"
+
 shutil.rmtree(state)
 print(
     f"serve smoke ok: {len(resumed['results'])} points bit-identical after "
     f"SIGTERM + --resume (seeded {resumed['resumed']} from the journal) "
     f"and after a SIGKILLed worker subprocess; 12-point fleet merge "
-    f"byte-identical at 1 and 3 backends (one SIGKILLed mid-sweep and evicted)"
+    f"byte-identical at 1 and 3 backends (one SIGKILLed mid-sweep and evicted); "
+    f"24-point elastic fleet byte-identical through a probation rejoin and a "
+    f"mid-sweep join; coordinator SIGKILL + --resume byte-identical with "
+    f"{done_lines} points replayed from the fleet journal"
 )

@@ -223,15 +223,27 @@ fn a_real_fleet_evicts_a_poisoned_backend_and_converges_bit_exactly() {
         .collect();
 
     let opts = FleetOptions {
-        // Trip fast: the second failure inside the window evicts.
+        // Trip fast: the second failure inside the window evicts. No
+        // probation — this test pins the pre-elastic "evicted once,
+        // evicted forever" contract.
         evict: EvictPolicy { max_failures: 1, window: Duration::from_secs(60) },
         hedge_after: None,
         poll: Duration::from_millis(2),
+        probation: None,
         ..FleetOptions::default()
     };
     let mut sink = RecordingSink::new();
-    let outcome =
-        run_fleet(&fplan, &exec, &backends, &opts, &Reporter::silent(), &mut sink, None).unwrap();
+    let outcome = run_fleet(
+        &fplan,
+        &exec,
+        backends,
+        &opts,
+        &Reporter::silent(),
+        &mut sink,
+        None,
+        vm_fleet::FleetSession::default(),
+    )
+    .unwrap();
 
     for (addr, handle) in servers {
         if let Ok(mut client) = Client::connect(addr) {

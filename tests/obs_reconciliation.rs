@@ -67,6 +67,10 @@ impl Sink for CountingSink {
             | Event::ShardDispatched { .. }
             | Event::ShardHedged { .. }
             | Event::BackendEvicted { .. }
+            | Event::BackendJoined { .. }
+            | Event::BackendProbation { .. }
+            | Event::BackendRejoined { .. }
+            | Event::BackendRecovered { .. }
             | Event::FleetMerged { .. } => {}
         }
     }
