@@ -45,6 +45,9 @@
 //!   serve-stats <events.jsonl>...
 //!   serve-bench [--batch N]
 //!   watch --addr HOST:PORT [JOB | --all] [--json]   (see docs/live.md)
+//!   trace-export --out FILE [--workload W] [--seed N] [--instrs N]
+//!   upload --addr HOST:PORT --name NAME <trace.bin> [--chunk-bytes SIZE]
+//!          [--max-retries N] [--chaos corrupt@seq|truncate@seq|stall@seq,...]
 //!
 //! fleet exploration (see docs/fleet.md):
 //!   fleet <spec.toml | dir>... [--sweep key=v1,v2,...]...
@@ -341,8 +344,8 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
                      \x20 --point-budget  walk-cycle budget per point; over-budget points become `timeout` outcomes\n\
                      \x20 --journal       append finished points to a durable JSONL run journal\n\
                      \x20 --resume        skip a journal's completed points, re-run the rest, keep appending\n\
-                     \x20 --chaos         inject faults (panic|io|corrupt|runaway|abort|oom) at point\n\
-                     \x20                 indices, e.g. panic@2,io@5 (abort/oom need --isolation process)\n\
+                     \x20 --chaos         inject faults (panic|io|corrupt|runaway|abort|oom|stall|truncate)\n\
+                     \x20                 at point indices, e.g. panic@2,io@5 (abort/oom need --isolation process)\n\
                      \x20 --isolation     unwind (catch_unwind, default) or process: run every point in a\n\
                      \x20                 supervised worker process that survives abort/SIGSEGV/SIGKILL/OOM"
                 );
@@ -401,18 +404,13 @@ fn explore_cmd(args: &[String]) -> Result<(), String> {
     }
     if let Some(spec) = &chaos_spec {
         harden.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+        // Refuse nonsensical combinations up front, with the offending
+        // spec part and column: a process-killing fault without process
+        // isolation would kill the whole exploration.
+        ChaosPlan::check_isolation(spec, isolation == "process")?;
     }
     match isolation.as_str() {
-        "unwind" => {
-            if let Some((ix, fault)) = harden.chaos.targets().find(|(_, f)| f.is_process_killing())
-            {
-                return Err(format!(
-                    "--chaos {}@{ix} kills the whole process; surviving it needs \
-                     --isolation process",
-                    fault.label()
-                ));
-            }
-        }
+        "unwind" => {}
         "process" => {
             let command = WorkerCommand::current_exe(&["worker"])
                 .map_err(|e| format!("cannot resolve the worker executable: {e}"))?;
@@ -540,6 +538,30 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --max-request-bytes: {e}"))?
             }
+            "--max-trace-bytes" => {
+                config.ingest.max_trace_bytes = parse_size(&value("--max-trace-bytes")?)
+                    .ok_or("bad --max-trace-bytes size (e.g. 64M)")?
+            }
+            "--conn-upload-quota" => {
+                config.ingest.max_conn_bytes = parse_size(&value("--conn-upload-quota")?)
+                    .ok_or("bad --conn-upload-quota size (e.g. 256M)")?
+            }
+            "--staging-watermark" => {
+                config.ingest.staging_watermark = parse_size(&value("--staging-watermark")?)
+                    .ok_or("bad --staging-watermark size (e.g. 256M)")?
+            }
+            "--upload-ttl-secs" => {
+                config.ingest.partial_ttl = std::time::Duration::from_secs(
+                    value("--upload-ttl-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --upload-ttl-secs: {e}"))?,
+                )
+            }
+            "--retry-after-ms" => {
+                config.ingest.retry_after_ms = value("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-after-ms: {e}"))?
+            }
             "--chaos" => chaos_spec = Some(value("--chaos")?),
             "--chaos-seed" => {
                 chaos_seed =
@@ -561,6 +583,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                      \x20                  [--degrade-depth N] [--state-dir DIR] [--resume] [--events FILE]\n\
                      \x20                  [--io-timeout-ms N] [--max-request-bytes N]\n\
                      \x20                  [--checkpoint-interval N] [--watch-buffer N]\n\
+                     \x20                  [--max-trace-bytes SIZE] [--conn-upload-quota SIZE]\n\
+                     \x20                  [--staging-watermark SIZE] [--upload-ttl-secs N] [--retry-after-ms N]\n\
                      \x20                  [--chaos fault@ix,...] [--chaos-seed N]\n\
                      Runs the newline-delimited-JSON simulation service until drained\n\
                      (drain request, SIGTERM, or SIGINT). See docs/serving.md.\n\
@@ -581,15 +605,54 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
                      \x20                 on the watch stream (default 100000; see docs/live.md)\n\
                      \x20 --watch-buffer  per-subscriber frame queue bound; slower subscribers\n\
                      \x20                 are dropped with a lagged frame (default 256)\n\
-                     \x20 --chaos         inject faults into every job's sweep (chaos testing)"
+                     trace ingestion (needs --state-dir; see docs/serving.md):\n\
+                     \x20 --max-trace-bytes    largest accepted trace (default 64M; sizes take K/M)\n\
+                     \x20 --conn-upload-quota  upload bytes one connection may declare (default 256M)\n\
+                     \x20 --staging-watermark  staged-bytes level past which upload-begin answers\n\
+                     \x20                      429 + retry_after instead of admitting (default 256M)\n\
+                     \x20 --upload-ttl-secs    GC idle partial uploads after this (default 3600)\n\
+                     \x20 --retry-after-ms     the retry hint carried by 429 responses (default 500)\n\
+                     \x20 --chaos         inject faults into every job's sweep (chaos testing);\n\
+                     \x20                 abort/oom faults need --workers N (process isolation)"
                 );
                 return Ok(());
             }
             other => return Err(format!("unknown flag `{other}` for serve (try --help)")),
         }
     }
+    // Limits are validated here, at parse time: a daemon that boots and
+    // then rejects every request (or drops every watcher) is a
+    // misconfiguration, not a service.
+    if config.max_request_bytes == 0 {
+        return Err("--max-request-bytes 0 would reject every request line; \
+                    give a positive byte bound (default 1048576)"
+            .to_owned());
+    }
+    if config.watch_buffer == 0 {
+        return Err("--watch-buffer 0 would drop every subscriber on its first frame; \
+                    give a positive frame bound (default 256)"
+            .to_owned());
+    }
+    if config.ingest.max_trace_bytes == 0 {
+        return Err("--max-trace-bytes 0 would reject every upload; \
+                    give a positive per-trace quota (default 64M)"
+            .to_owned());
+    }
+    if config.ingest.max_conn_bytes == 0 {
+        return Err("--conn-upload-quota 0 would reject every upload; \
+                    give a positive per-connection quota (default 256M)"
+            .to_owned());
+    }
+    if config.ingest.staging_watermark == 0 {
+        return Err("--staging-watermark 0 would backpressure every upload; \
+                    give a positive staging bound (default 256M)"
+            .to_owned());
+    }
     if let Some(spec) = &chaos_spec {
         config.chaos = ChaosPlan::parse(spec, chaos_seed)?;
+        // Serve-side chaos applies to every job's sweep: a fault that
+        // kills the host process needs worker subprocesses to absorb it.
+        ChaosPlan::check_isolation(spec, config.worker_processes > 0)?;
     }
     // `--port` rewrites the bind address's port, whichever order the
     // flags came in; `--port 0` is the fleet spawner's contract (bind
@@ -654,6 +717,346 @@ fn serve_stats_cmd(args: &[String]) -> Result<(), String> {
     let report = EventReport::from_jsonl(&text)?;
     print!("{}", report.render());
     Ok(())
+}
+
+/// The `trace-export` subcommand: synthesize a workload trace into the
+/// compact binary format — the file `repro upload` ships to a daemon.
+fn trace_export_cmd(args: &[String]) -> Result<(), String> {
+    let mut workload = "gcc".to_owned();
+    let mut seed: u64 = 42;
+    let mut instrs: u64 = 100_000;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--workload" => workload = value("--workload")?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--instrs" => {
+                instrs = value("--instrs")?.parse().map_err(|e| format!("bad --instrs: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro trace-export --out FILE [--workload W] [--seed N] [--instrs N]\n\
+                     Synthesizes a workload's instruction trace into the compact binary\n\
+                     format and prints its size and FNV-1a fingerprint. Feed the file to\n\
+                     `repro upload` to ingest it into a daemon as a trace:NAME workload."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}` for trace-export (try --help)")),
+        }
+    }
+    let out = out.ok_or("trace-export needs --out FILE (try --help)")?;
+    let spec = presets::by_name(&workload).ok_or_else(|| format!("unknown workload `{workload}`"))?;
+    if instrs == 0 {
+        return Err("--instrs 0 would export an empty trace; give a positive count".to_owned());
+    }
+    let gen = spec.build(seed).map_err(|e| format!("cannot build `{workload}`: {e:?}"))?;
+    let file = std::fs::File::create(&out)
+        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let mut writer = std::io::BufWriter::new(file);
+    let records = vm_trace::write_trace(&mut writer, gen.take(instrs as usize))
+        .map_err(|e| format!("cannot write {}: {e:?}", out.display()))?;
+    writer.flush().map_err(|e| format!("cannot flush {}: {e}", out.display()))?;
+    let bytes = std::fs::read(&out).map_err(|e| format!("cannot re-read {}: {e}", out.display()))?;
+    println!(
+        "wrote {} — {} record(s), {} bytes, fnv {}",
+        out.display(),
+        records,
+        bytes.len(),
+        vm_serve::proto::hex64(vm_trace::wire::fnv1a(&bytes))
+    );
+    Ok(())
+}
+
+/// One chunk-granular fault for `repro upload --chaos`: the client
+/// corrupts, truncates (drops the connection), or stalls exactly once
+/// at the given sequence number, then heals — exercising the server's
+/// checksum rejection and resume paths end to end.
+struct UploadFault {
+    kind: String,
+    seq: u64,
+    spent: bool,
+}
+
+fn parse_upload_chaos(spec: &str) -> Result<Vec<UploadFault>, String> {
+    spec.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (kind, seq) = part
+                .split_once('@')
+                .ok_or_else(|| format!("bad upload chaos `{part}` (want fault@seq)"))?;
+            let kind = kind.trim();
+            if !matches!(kind, "corrupt" | "truncate" | "stall") {
+                return Err(format!(
+                    "bad upload chaos fault `{kind}` (corrupt|truncate|stall)"
+                ));
+            }
+            let seq = seq.trim().parse().map_err(|e| format!("bad chaos seq in `{part}`: {e}"))?;
+            Ok(UploadFault { kind: kind.to_owned(), seq, spent: false })
+        })
+        .collect()
+}
+
+/// The `upload` subcommand: stream a binary trace into a daemon's
+/// library over the chunked upload protocol — checksummed, quota- and
+/// backpressure-aware, and resumable across connection loss, daemon
+/// restarts, and its own `--chaos` faults.
+fn upload_cmd(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut chunk_bytes: usize = 256 << 10;
+    let mut chaos: Vec<UploadFault> = Vec::new();
+    let mut max_retries: u32 = 30;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--name" => name = Some(value("--name")?),
+            "--chunk-bytes" => {
+                chunk_bytes = parse_size(&value("--chunk-bytes")?)
+                    .ok_or("bad --chunk-bytes size (e.g. 256K)")?
+                    as usize
+            }
+            "--chaos" => chaos = parse_upload_chaos(&value("--chaos")?)?,
+            "--max-retries" => {
+                max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-retries: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro upload --addr HOST:PORT --name NAME <trace.bin>\n\
+                     \x20                   [--chunk-bytes SIZE] [--max-retries N]\n\
+                     \x20                   [--chaos corrupt@seq|truncate@seq|stall@seq,...]\n\
+                     Streams a binary trace (see `repro trace-export`) into a daemon's\n\
+                     library as the workload `trace:NAME`. Every chunk carries an FNV-1a\n\
+                     checksum; commit verifies a whole-trace fingerprint. 429 backpressure\n\
+                     is honored via its retry_after hint, and a dropped connection (or a\n\
+                     daemon restart) resumes from the first missing chunk via\n\
+                     upload-status — the committed trace is byte-identical either way.\n\
+                     \x20 --chunk-bytes  raw bytes per chunk (default 256K; must fit the\n\
+                     \x20                daemon's --max-request-bytes after base64)\n\
+                     \x20 --max-retries  give up after this many retryable faults (default 30)\n\
+                     \x20 --chaos        inject one client-side fault per entry, then heal:\n\
+                     \x20                corrupt@2 flips a byte of chunk 2 (server must 400),\n\
+                     \x20                truncate@2 drops the connection after sending chunk 2,\n\
+                     \x20                stall@2 sleeps 100ms before chunk 2"
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for upload (try --help)"))
+            }
+            path => file = Some(PathBuf::from(path)),
+        }
+    }
+    let addr = addr.ok_or("upload needs --addr HOST:PORT (try --help)")?;
+    let name = name.ok_or("upload needs --name NAME (try --help)")?;
+    let file = file.ok_or("upload needs a trace file (see `repro trace-export`)")?;
+    if chunk_bytes == 0 {
+        return Err("--chunk-bytes 0 would never make progress; give a positive size".to_owned());
+    }
+    let bytes =
+        std::fs::read(&file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    upload_trace(&addr, &name, &bytes, chunk_bytes, &mut chaos, max_retries)
+}
+
+/// The upload state machine: sync via `upload-status`, open or resume
+/// via `upload-begin`, stream chunks, commit. Any transport loss or
+/// sequence drift re-enters the sync step; `max_retries` bounds the
+/// total number of retryable faults before giving up.
+fn upload_trace(
+    addr: &str,
+    name: &str,
+    bytes: &[u8],
+    chunk_bytes: usize,
+    chaos: &mut [UploadFault],
+    max_retries: u32,
+) -> Result<(), String> {
+    use vm_serve::proto::hex64;
+    use vm_trace::wire::{b64_encode, fnv1a};
+    let reporter = Reporter::global();
+    let total = bytes.len() as u64;
+    let fnv = fnv1a(bytes);
+    let mut retries = 0u32;
+    let mut spend_retry = |what: &str| -> Result<(), String> {
+        retries += 1;
+        if retries > max_retries {
+            return Err(format!("giving up after {max_retries} retryable fault(s): {what}"));
+        }
+        Ok(())
+    };
+    let connect = || -> Result<vm_serve::Client, String> {
+        vm_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    };
+    let code_of = |v: &Value| v.get("code").and_then(Value::as_u64).unwrap_or(0);
+    let mut client = connect()?;
+    'sync: loop {
+        // Where does the daemon think this upload stands?
+        let status = client.request(&Value::obj([
+            ("req", "upload-status".into()),
+            ("name", name.into()),
+        ]));
+        let status = match status {
+            Ok(v) => v,
+            Err(e) => {
+                spend_retry(&e)?;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                client = connect()?;
+                continue 'sync;
+            }
+        };
+        if status.get("state").and_then(Value::as_str) == Some("committed") {
+            println!(
+                "trace `{name}` is already committed — submit jobs against workload trace:{name}"
+            );
+            return Ok(());
+        }
+        // Open or resume. Identical declaration resumes the partial;
+        // the daemon answers with the first missing sequence number.
+        let begin = client.request(&Value::obj([
+            ("req", "upload-begin".into()),
+            ("name", name.into()),
+            ("bytes", total.into()),
+            ("fnv", hex64(fnv).into()),
+        ]));
+        let begin = match begin {
+            Ok(v) => v,
+            Err(e) => {
+                spend_retry(&e)?;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                client = connect()?;
+                continue 'sync;
+            }
+        };
+        match code_of(&begin) {
+            200 => {}
+            429 => {
+                let wait = begin.get("retry_after").and_then(Value::as_u64).unwrap_or(500);
+                spend_retry("backpressure (429)")?;
+                reporter.progress(format!("daemon backpressured; retrying in {wait}ms"));
+                std::thread::sleep(std::time::Duration::from_millis(wait.min(5_000)));
+                continue 'sync;
+            }
+            code => {
+                let detail = begin.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                return Err(format!("upload-begin rejected ({code}): {detail}"));
+            }
+        }
+        let id = begin.get("upload").and_then(Value::as_u64).ok_or("response lacks upload id")?;
+        let mut offset = begin.get("staged").and_then(Value::as_u64).unwrap_or(0) as usize;
+        let mut seq = begin.get("next_seq").and_then(Value::as_u64).unwrap_or(0);
+        if begin.get("resumed") == Some(&Value::Bool(true)) {
+            reporter.progress(format!("resuming upload {id} at chunk {seq} ({offset} bytes staged)"));
+        }
+        while offset < bytes.len() {
+            let end = (offset + chunk_bytes).min(bytes.len());
+            let chunk = &bytes[offset..end];
+            let mut body = chunk.to_vec();
+            let mut drop_connection = false;
+            for fault in chaos.iter_mut().filter(|f| !f.spent && f.seq == seq) {
+                fault.spent = true;
+                match fault.kind.as_str() {
+                    "corrupt" => {
+                        // Checksum is computed over the true bytes, so
+                        // the daemon must detect the flipped body.
+                        body[0] ^= 0x01;
+                        reporter.progress(format!("chaos: corrupting chunk {seq}"));
+                    }
+                    "stall" => {
+                        reporter.progress(format!("chaos: stalling before chunk {seq}"));
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                    _ => {
+                        reporter.progress(format!("chaos: dropping connection after chunk {seq}"));
+                        drop_connection = true;
+                    }
+                }
+            }
+            let req = Value::obj([
+                ("req", "upload-chunk".into()),
+                ("upload", id.into()),
+                ("seq", seq.into()),
+                ("fnv", hex64(fnv1a(chunk)).into()),
+                ("data", b64_encode(&body).into()),
+            ]);
+            if drop_connection {
+                // Send without reading the reply, then sever — the
+                // daemon may or may not have staged the chunk; resync
+                // via upload-status decides.
+                let _ = client.send(&req);
+                spend_retry("chaos truncate")?;
+                client = connect()?;
+                continue 'sync;
+            }
+            let resp = match client.request(&req) {
+                Ok(v) => v,
+                Err(e) => {
+                    spend_retry(&e)?;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    client = connect()?;
+                    continue 'sync;
+                }
+            };
+            match code_of(&resp) {
+                200 => {
+                    seq = resp.get("next_seq").and_then(Value::as_u64).unwrap_or(seq + 1);
+                    offset = resp.get("staged").and_then(Value::as_u64).unwrap_or(end as u64)
+                        as usize;
+                }
+                400 => {
+                    // Checksum/encoding rejection: the staged prefix is
+                    // intact, resend this same sequence number.
+                    let detail =
+                        resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                    spend_retry(detail)?;
+                    reporter.progress(format!("chunk {seq} rejected ({detail}); resending"));
+                }
+                409 => {
+                    spend_retry("sequence drift (409)")?;
+                    continue 'sync;
+                }
+                code => {
+                    let detail =
+                        resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                    return Err(format!("chunk {seq} rejected ({code}): {detail}"));
+                }
+            }
+        }
+        let commit = match client
+            .request(&Value::obj([("req", "upload-commit".into()), ("upload", id.into())]))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                spend_retry(&e)?;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                client = connect()?;
+                continue 'sync;
+            }
+        };
+        match code_of(&commit) {
+            200 => {
+                let records = commit.get("records").and_then(Value::as_u64).unwrap_or(0);
+                println!(
+                    "committed trace `{name}`: {total} bytes, {records} record(s), fnv {} — \
+                     submit jobs against workload trace:{name}",
+                    hex64(fnv)
+                );
+                return Ok(());
+            }
+            code => {
+                let detail = commit.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                return Err(format!("upload-commit rejected ({code}): {detail}"));
+            }
+        }
+    }
 }
 
 /// The `watch` subcommand: subscribe to a daemon's live telemetry
@@ -1377,14 +1780,18 @@ fn main() -> ExitCode {
             }
         };
     }
-    if let Some(cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch" | "fleet")) =
-        args.first().map(String::as_str)
+    if let Some(
+        cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch" | "fleet" | "upload"
+        | "trace-export"),
+    ) = args.first().map(String::as_str)
     {
         let run = match cmd {
             "serve" => serve_cmd(&args[1..]),
             "serve-stats" => serve_stats_cmd(&args[1..]),
             "watch" => watch_cmd(&args[1..]),
             "fleet" => fleet_cmd(&args[1..]),
+            "upload" => upload_cmd(&args[1..]),
+            "trace-export" => trace_export_cmd(&args[1..]),
             _ => serve_bench_cmd(&args[1..]),
         };
         return match run {
@@ -1469,6 +1876,8 @@ fn main() -> ExitCode {
                      one-off:     repro run [--system S] [--workload W] [--l1 16K] [--l2 1M] ... (see --help in source)\n\
                      service:     repro serve | serve-stats | serve-bench | watch (see serve --help, docs/serving.md,\n\
                      \x20            and docs/live.md)\n\
+                     ingestion:   repro trace-export --out t.bin; repro upload --addr H:P --name NAME t.bin\n\
+                     \x20            streams a binary trace into a daemon as workload trace:NAME (see docs/serving.md)\n\
                      fleet:       repro fleet <spec.toml | dir> --spawn N [--sweep ...] shards a sweep across\n\
                      \x20            several serve daemons and merges it back bit-identically (see docs/fleet.md)",
                     registry::help_block()

@@ -108,6 +108,13 @@ pub struct HardenPolicy {
     /// instead of only at sweep teardown. Observers are observers:
     /// results stay bit-identical with or without one attached.
     pub progress: Option<ProgressConfig>,
+    /// Where `trace:NAME` workloads are loaded from. `None` falls back
+    /// to the `VM_TRACE_LIBRARY` environment variable; a point that
+    /// names a library trace with neither set fails as
+    /// [`FailureKind::Ingest`]. The serve daemon sets this to
+    /// `<state-dir>/traces` so uploaded traces resolve identically
+    /// in-process and across the worker wire.
+    pub trace_library: Option<std::path::PathBuf>,
 }
 
 /// One measured sweep point.
@@ -595,6 +602,54 @@ pub(crate) fn measure_point_isolated(
     }
 }
 
+/// A point's record source: a synthetic preset or a replayed library
+/// trace. Both feed the same infallible-iterator pipeline (chaos wrap,
+/// [`CheckedTrace`], `simulate`); a library trace is fully decoded and
+/// validated *before* this enum exists, so decode failures surface as
+/// structured [`FailureKind::Ingest`] errors, never mid-simulation.
+enum PointTrace {
+    Synth(vm_trace::SyntheticTrace),
+    Replay(std::vec::IntoIter<vm_trace::InstrRecord>),
+}
+
+impl Iterator for PointTrace {
+    type Item = vm_trace::InstrRecord;
+
+    fn next(&mut self) -> Option<vm_trace::InstrRecord> {
+        match self {
+            PointTrace::Synth(t) => t.next(),
+            PointTrace::Replay(t) => t.next(),
+        }
+    }
+}
+
+/// Resolves a point's workload into a record source and display label.
+fn point_trace(point: &PlannedPoint, policy: &HardenPolicy) -> Result<(String, PointTrace), SimError> {
+    let name = point.spec.workload_name();
+    if let Some(trace_name) = vm_trace::trace_workload(name) {
+        let library = policy
+            .trace_library
+            .clone()
+            .map(vm_trace::TraceLibrary::new)
+            .or_else(vm_trace::TraceLibrary::from_env)
+            .ok_or_else(|| {
+                point_error(point, FailureKind::Ingest, vm_trace::LibraryError::NoLibrary.to_string())
+            })?;
+        let records = library
+            .load(trace_name)
+            .map_err(|e| point_error(point, FailureKind::Ingest, e.to_string()))?;
+        Ok((name.to_owned(), PointTrace::Replay(records.into_iter())))
+    } else {
+        let workload = vm_trace::presets::by_name(name).ok_or_else(|| {
+            point_error(point, FailureKind::Workload, "workload vanished after validation")
+        })?;
+        let trace = workload
+            .build(point.spec.trace_seed)
+            .map_err(|e| point_error(point, FailureKind::Workload, e.to_string()))?;
+        Ok((workload.name, PointTrace::Synth(trace)))
+    }
+}
+
 /// One attempt at simulating a point, every failure mode mapped to a
 /// structured [`SimError`].
 fn try_measure_point(
@@ -602,12 +657,7 @@ fn try_measure_point(
     exec: &ExecConfig,
     policy: &HardenPolicy,
 ) -> Result<PointResult, SimError> {
-    let workload = vm_trace::presets::by_name(point.spec.workload_name()).ok_or_else(|| {
-        point_error(point, FailureKind::Workload, "workload vanished after validation")
-    })?;
-    let trace = workload
-        .build(point.spec.trace_seed)
-        .map_err(|e| point_error(point, FailureKind::Workload, e.to_string()))?;
+    let (workload_label, trace) = point_trace(point, policy)?;
     let horizon = exec.warmup + exec.measure;
     let checked = CheckedTrace::new(policy.chaos.wrap(point.index, horizon, trace));
     let run = catch_unwind(AssertUnwindSafe(|| {
@@ -656,7 +706,7 @@ fn try_measure_point(
             return Err(e);
         }
     };
-    Ok(result_row(point, workload.name, report))
+    Ok(result_row(point, workload_label, report))
 }
 
 /// Derives a result row from a point's finished simulation.
@@ -1014,5 +1064,52 @@ mod tests {
                 "sweep_point_done"
             ]
         );
+    }
+
+    #[test]
+    fn trace_workloads_replay_from_the_library_or_fail_as_ingest() {
+        let dir = std::env::temp_dir().join(format!("vm-exec-lib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let records: Vec<vm_trace::InstrRecord> =
+            vm_trace::presets::by_name("gcc").unwrap().build(3).unwrap().take(12_000).collect();
+        let staged = dir.join("staged");
+        vm_trace::write_trace(std::fs::File::create(&staged).unwrap(), records.iter().copied())
+            .unwrap();
+        vm_trace::TraceLibrary::new(&dir).install("captured", &staged).unwrap();
+
+        let mut base = SystemSpec::for_kind(SystemKind::Ultrix);
+        base.workload = Some("trace:captured".to_owned());
+        let axes: [Axis; 0] = [];
+        let plan = SweepPlan::expand(&base, &axes).unwrap();
+        let exec = tiny_exec(1);
+
+        // No library configured (explicit or env): a structured ingest
+        // failure — not a panic, not a workload error.
+        let (outcome, _) =
+            measure_point_isolated(&plan.points[0], &exec, &HardenPolicy::default());
+        assert_eq!(outcome.error().expect("no library").kind, FailureKind::Ingest);
+
+        let policy =
+            HardenPolicy { trace_library: Some(dir.clone()), ..HardenPolicy::default() };
+        let (first, _) = measure_point_isolated(&plan.points[0], &exec, &policy);
+        let first = first.completed().expect("replay completes").clone();
+        assert_eq!(first.workload, "trace:captured");
+        // Replay is deterministic: a second run is bit-identical.
+        let (again, _) = measure_point_isolated(&plan.points[0], &exec, &policy);
+        assert_eq!(
+            again.completed().unwrap().vm_total.to_bits(),
+            first.vm_total.to_bits()
+        );
+
+        // A missing trace is also an ingest failure, naming the trace.
+        let mut missing = base.clone();
+        missing.workload = Some("trace:nope".to_owned());
+        let plan = SweepPlan::expand(&missing, &axes).unwrap();
+        let (outcome, _) = measure_point_isolated(&plan.points[0], &exec, &policy);
+        let e = outcome.error().expect("missing trace fails");
+        assert_eq!(e.kind, FailureKind::Ingest);
+        assert!(e.detail.contains("`nope`"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

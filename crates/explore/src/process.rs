@@ -77,6 +77,13 @@ pub fn request_line(point: &PlannedPoint, exec: &ExecConfig, policy: &HardenPoli
         ("jitter", policy.retry.jitter_seed.map_or(Value::Null, u64_hex)),
         ("chaos", policy.chaos.render().into()),
         ("chaos_seed", u64_hex(policy.chaos.seed)),
+        (
+            "library",
+            policy
+                .trace_library
+                .as_ref()
+                .map_or(Value::Null, |p| p.display().to_string().into()),
+        ),
     ])
     .to_string()
 }
@@ -159,6 +166,13 @@ fn parse_request(line: &str) -> Result<WireRequest, String> {
             // Checkpoints do not cross the worker wire: a supervised
             // point reports progress at point granularity only.
             progress: None,
+            // Optional so requests from older coordinators still parse;
+            // the worker then falls back to VM_TRACE_LIBRARY (inherited
+            // from the daemon that spawned it).
+            trace_library: v
+                .get("library")
+                .and_then(Value::as_str)
+                .map(std::path::PathBuf::from),
         },
     })
 }

@@ -360,9 +360,23 @@ impl SystemSpec {
                 ));
             }
         }
-        if vm_trace::presets::by_name(self.workload_name()).is_none() {
+        if let Some(trace) = vm_trace::trace_workload(self.workload_name()) {
+            // A `trace:NAME` workload replays a library trace. Only the
+            // name's grammar is checkable here — whether the trace
+            // exists depends on the library directory the executor runs
+            // against, so existence is resolved at measure time (as a
+            // structured `ingest` failure, not a crash).
+            if !vm_trace::valid_trace_name(trace) {
+                return err(format!(
+                    "invalid trace workload `{}` (want trace:NAME with 1-64 chars \
+                     of [a-z0-9._-], not starting with `.` or `-`)",
+                    self.workload_name()
+                ));
+            }
+        } else if vm_trace::presets::by_name(self.workload_name()).is_none() {
             return err(format!(
-                "unknown workload `{}` (known: gcc, vortex, ijpeg, li, compress, perl)",
+                "unknown workload `{}` (known: gcc, vortex, ijpeg, li, compress, perl; \
+                 or trace:NAME for an ingested library trace)",
                 self.workload_name()
             ));
         }

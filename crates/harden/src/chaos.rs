@@ -1,7 +1,7 @@
 //! Deterministic fault injection for sweep executors.
 //!
 //! A resilience mechanism that has never seen a fault is a guess. The
-//! chaos harness injects six fault classes into *chosen* sweep points
+//! chaos harness injects eight fault classes into *chosen* sweep points
 //! so tests and CI can prove the isolation, retry, deadline, and journal
 //! machinery actually work:
 //!
@@ -21,6 +21,19 @@
 //!   touches memory until something kills it (the supervisor's RSS
 //!   ceiling, ideally). Also process-killing; requires
 //!   `--isolation process`.
+//! * [`Fault::Stall`] — the stream freezes for a beat at the trigger
+//!   record, then continues unchanged. Results stay bit-identical;
+//!   wall-clock machinery (I/O timeouts, heartbeats, upload clients)
+//!   gets exercised.
+//! * [`Fault::Truncate`] — the stream ends early at the trigger record,
+//!   as a torn file or a cut connection would end it. The records that
+//!   do arrive are genuine; everything after is simply missing.
+//!
+//! `Stall` and `Truncate` double as the ingestion chaos hooks: the
+//! `repro upload` client applies the same plan at chunk granularity
+//! (stall before a chunk, cut a chunk short, corrupt a chunk body) to
+//! prove the server's checksums and resume contract hold under exactly
+//! these faults.
 //!
 //! Everything is seeded [`SplitMix64`]: which record triggers, how many
 //! I/O attempts fail — the same plan replays identically, with no clock
@@ -49,12 +62,26 @@ pub enum Fault {
     /// ceiling). Process-killing; only survivable under
     /// `--isolation process`.
     Oom,
+    /// Freeze the stream briefly at the trigger record, then continue.
+    /// Perturbs wall-clock only — results stay bit-identical.
+    Stall,
+    /// End the stream early at the trigger record, as truncated input
+    /// would.
+    Truncate,
 }
 
 impl Fault {
     /// Every fault class.
-    pub const ALL: [Fault; 6] =
-        [Fault::Panic, Fault::Io, Fault::Corrupt, Fault::Runaway, Fault::Abort, Fault::Oom];
+    pub const ALL: [Fault; 8] = [
+        Fault::Panic,
+        Fault::Io,
+        Fault::Corrupt,
+        Fault::Runaway,
+        Fault::Abort,
+        Fault::Oom,
+        Fault::Stall,
+        Fault::Truncate,
+    ];
 
     /// Stable CLI/journal label.
     pub fn label(self) -> &'static str {
@@ -65,6 +92,8 @@ impl Fault {
             Fault::Runaway => "runaway",
             Fault::Abort => "abort",
             Fault::Oom => "oom",
+            Fault::Stall => "stall",
+            Fault::Truncate => "truncate",
         }
     }
 
@@ -110,7 +139,10 @@ impl ChaosPlan {
                 return Err(format!("chaos fault `{part}` must be `fault@index` (e.g. panic@2)"));
             };
             let fault = Fault::from_label(fault.trim()).ok_or_else(|| {
-                format!("unknown chaos fault `{fault}` (panic|io|corrupt|runaway|abort|oom)")
+                format!(
+                    "unknown chaos fault `{fault}` \
+                     (panic|io|corrupt|runaway|abort|oom|stall|truncate)"
+                )
             })?;
             let index: usize =
                 index.trim().parse().map_err(|e| format!("bad chaos index `{index}`: {e}"))?;
@@ -119,6 +151,44 @@ impl ChaosPlan {
             }
         }
         Ok(plan)
+    }
+
+    /// Validates a chaos spec against the isolation level it will run
+    /// under, *before* any point runs: a process-killing fault
+    /// ([`Fault::is_process_killing`]) outside process isolation would
+    /// take the whole daemon or sweep down with the point, so the
+    /// combination is refused up front. The diagnostic names the
+    /// offending part by its 1-based position and column in the spec.
+    ///
+    /// # Errors
+    ///
+    /// A positioned message for the first process-killing fault when
+    /// `process_isolated` is false. Parts that do not parse are ignored
+    /// here — [`ChaosPlan::parse`] owns grammar errors.
+    pub fn check_isolation(spec: &str, process_isolated: bool) -> Result<(), String> {
+        if process_isolated {
+            return Ok(());
+        }
+        let mut col = 1usize;
+        for (i, raw) in spec.split(',').enumerate() {
+            let part = raw.trim();
+            if let Some((fault, _)) = part.split_once('@') {
+                if let Some(f) = Fault::from_label(fault.trim()) {
+                    if f.is_process_killing() {
+                        return Err(format!(
+                            "chaos spec part {} (column {}): `{}` kills the whole process, \
+                             not just the point — run it under process isolation \
+                             (explore: --isolation process; serve: --workers N)",
+                            i + 1,
+                            col + (raw.len() - raw.trim_start().len()),
+                            part,
+                        ));
+                    }
+                }
+            }
+            col += raw.len() + 1;
+        }
+        Ok(())
     }
 
     /// Adds a fault at a point index (replacing any previous one).
@@ -185,14 +255,17 @@ impl ChaosPlan {
         I: Iterator<Item = InstrRecord>,
     {
         let armed = match self.fault_for(index) {
-            Some(
-                f @ (Fault::Panic | Fault::Corrupt | Fault::Runaway | Fault::Abort | Fault::Oom),
-            ) => Some((f, self.trigger_record(index, horizon))),
             Some(Fault::Io) | None => None,
+            Some(f) => Some((f, self.trigger_record(index, horizon))),
         };
         ChaosTrace { inner, armed, seen: 0, hog: Vec::new() }
     }
 }
+
+/// How long a [`Fault::Stall`] freezes the stream (once): long enough
+/// to trip tight I/O timeouts and heartbeat windows in tests, short
+/// enough not to slow a suite noticeably.
+const STALL_DURATION: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// How much each [`Fault::Oom`] step leaks and touches (16 MiB): big
 /// enough to blow a supervisor RSS ceiling within a few records, small
@@ -228,6 +301,11 @@ impl<I: Iterator<Item = InstrRecord>> Iterator for ChaosTrace<I> {
         if let Some((fault, trigger)) = self.armed {
             if at >= trigger {
                 match fault {
+                    Fault::Truncate => return None,
+                    Fault::Stall => {
+                        self.armed = None;
+                        std::thread::sleep(STALL_DURATION);
+                    }
                     Fault::Panic => {
                         panic!("chaos: injected panic at trace record {at}")
                     }
@@ -291,7 +369,7 @@ mod tests {
 
     #[test]
     fn render_round_trips_and_labels_are_stable() {
-        let text = "panic@2,io@5,corrupt@7,runaway@11,abort@13,oom@17";
+        let text = "panic@2,io@5,corrupt@7,runaway@11,abort@13,oom@17,stall@19,truncate@23";
         let plan = ChaosPlan::parse(text, 9).unwrap();
         assert_eq!(plan.render(), text, "index order, canonical labels");
         assert_eq!(ChaosPlan::parse(&plan.render(), 9).unwrap(), plan);
@@ -334,6 +412,35 @@ mod tests {
         let t = a.trigger_record(3, 12_000);
         assert!((1_500..6_000).contains(&t), "{t}");
         assert!((1..=2).contains(&a.io_failures(9)));
+    }
+
+    #[test]
+    fn truncate_fault_ends_the_stream_at_the_trigger() {
+        let plan = ChaosPlan::parse("truncate@0", 42).unwrap();
+        let trigger = plan.trigger_record(0, 100);
+        let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
+        assert_eq!(out, straight_line(trigger).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stall_fault_delays_but_never_alters_records() {
+        let plan = ChaosPlan::parse("stall@0", 42).unwrap();
+        let start = std::time::Instant::now();
+        let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
+        assert_eq!(out, straight_line(100).collect::<Vec<_>>(), "bit-identical records");
+        assert!(start.elapsed() >= STALL_DURATION, "the stall actually happened");
+    }
+
+    #[test]
+    fn process_killing_faults_without_isolation_are_refused_with_position() {
+        let err = ChaosPlan::check_isolation("panic@1, abort@5,oom@9", false).unwrap_err();
+        assert!(err.contains("part 2"), "{err}");
+        assert!(err.contains("column 10"), "{err}");
+        assert!(err.contains("`abort@5`"), "{err}");
+        assert!(err.contains("--isolation process"), "{err}");
+        assert!(ChaosPlan::check_isolation("panic@1, abort@5,oom@9", true).is_ok());
+        assert!(ChaosPlan::check_isolation("panic@1,stall@2,truncate@3", false).is_ok());
+        assert!(ChaosPlan::check_isolation("", false).is_ok());
     }
 
     #[test]

@@ -42,11 +42,16 @@ pub enum FailureKind {
     /// OOM kill, hung heartbeat) and the supervisor's crash-loop breaker
     /// gave up on it. Only reachable under `--isolation process`.
     Crash,
+    /// An ingested (uploaded or library) trace could not back the point:
+    /// the library is unconfigured, the named trace is missing, or the
+    /// file fails to decode. Deterministic — the trace on disk is what
+    /// it is — so never retried.
+    Ingest,
 }
 
 impl FailureKind {
     /// Every kind, for exhaustive tests and documentation tables.
-    pub const ALL: [FailureKind; 9] = [
+    pub const ALL: [FailureKind; 10] = [
         FailureKind::Spec,
         FailureKind::Workload,
         FailureKind::Build,
@@ -56,6 +61,7 @@ impl FailureKind {
         FailureKind::CorruptTrace,
         FailureKind::Cancelled,
         FailureKind::Crash,
+        FailureKind::Ingest,
     ];
 
     /// The stable snake-case label used in journals and reports.
@@ -70,6 +76,7 @@ impl FailureKind {
             FailureKind::CorruptTrace => "corrupt_trace",
             FailureKind::Cancelled => "cancelled",
             FailureKind::Crash => "crash",
+            FailureKind::Ingest => "ingest",
         }
     }
 

@@ -325,6 +325,51 @@ pub enum Event {
         /// Duplicate results discarded by first-result-wins dedup.
         duplicates: u64,
     },
+    /// A `vm-serve` trace upload was admitted and a staging file opened
+    /// (`resumed` when it reattached to an existing partial).
+    UploadStarted {
+        /// The daemon-assigned upload id.
+        upload: u64,
+        /// Bytes the client declared it will send.
+        declared_bytes: u64,
+        /// Bytes already staged (0 for a fresh upload, more on resume).
+        staged_bytes: u64,
+    },
+    /// One upload chunk passed its checksum and was staged durably.
+    ChunkReceived {
+        /// The upload the chunk belongs to.
+        upload: u64,
+        /// The chunk's sequence number.
+        seq: u64,
+        /// Decoded payload bytes in the chunk.
+        bytes: u64,
+    },
+    /// An upload committed: fingerprint verified, trace decoded end to
+    /// end, file installed into the library.
+    UploadCommitted {
+        /// The committed upload's id.
+        upload: u64,
+        /// Total bytes in the committed trace.
+        bytes: u64,
+        /// Instruction records the trace decodes to.
+        records: u64,
+    },
+    /// An upload (or one of its chunks) was rejected; `code` is the
+    /// HTTP-flavored response code (400 checksum/decode, 409 conflict,
+    /// 413 quota, 429 backpressure, 499 client abort).
+    UploadRejected {
+        /// The rejected upload's id (0 when rejected before admission).
+        upload: u64,
+        /// The response code the client saw.
+        code: u64,
+    },
+    /// An orphaned staged upload passed its TTL and was garbage-collected.
+    UploadGc {
+        /// The collected upload's id.
+        upload: u64,
+        /// Staged bytes reclaimed.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -359,6 +404,11 @@ impl Event {
             Event::BackendRejoined { .. } => "backend_rejoined",
             Event::BackendRecovered { .. } => "backend_recovered",
             Event::FleetMerged { .. } => "fleet_merged",
+            Event::UploadStarted { .. } => "upload_started",
+            Event::ChunkReceived { .. } => "chunk_received",
+            Event::UploadCommitted { .. } => "upload_committed",
+            Event::UploadRejected { .. } => "upload_rejected",
+            Event::UploadGc { .. } => "upload_gc",
         }
     }
 
@@ -493,6 +543,29 @@ impl Event {
                 put("hedged", hedged.into());
                 put("duplicates", duplicates.into());
             }
+            Event::UploadStarted { upload, declared_bytes, staged_bytes } => {
+                put("upload", upload.into());
+                put("declared_bytes", declared_bytes.into());
+                put("staged_bytes", staged_bytes.into());
+            }
+            Event::ChunkReceived { upload, seq, bytes } => {
+                put("upload", upload.into());
+                put("seq", seq.into());
+                put("bytes", bytes.into());
+            }
+            Event::UploadCommitted { upload, bytes, records } => {
+                put("upload", upload.into());
+                put("bytes", bytes.into());
+                put("records", records.into());
+            }
+            Event::UploadRejected { upload, code } => {
+                put("upload", upload.into());
+                put("code", code.into());
+            }
+            Event::UploadGc { upload, bytes } => {
+                put("upload", upload.into());
+                put("bytes", bytes.into());
+            }
         }
         Value::Obj(pairs)
     }
@@ -542,6 +615,11 @@ mod tests {
             Event::BackendRejoined { backend: 1, probes: 2 },
             Event::BackendRecovered { backend: 1, point: 17 },
             Event::FleetMerged { points: 24, backends: 3, hedged: 1, duplicates: 1 },
+            Event::UploadStarted { upload: 2, declared_bytes: 8_388_608, staged_bytes: 0 },
+            Event::ChunkReceived { upload: 2, seq: 4, bytes: 262_144 },
+            Event::UploadCommitted { upload: 2, bytes: 8_388_608, records: 491_520 },
+            Event::UploadRejected { upload: 3, code: 413 },
+            Event::UploadGc { upload: 1, bytes: 524_288 },
         ]
     }
 

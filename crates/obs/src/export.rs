@@ -138,7 +138,12 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::BackendProbation { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
-            | Event::FleetMerged { .. } => 7,
+            | Event::FleetMerged { .. }
+            | Event::UploadStarted { .. }
+            | Event::ChunkReceived { .. }
+            | Event::UploadCommitted { .. }
+            | Event::UploadRejected { .. }
+            | Event::UploadGc { .. } => 7,
         }
     }
 

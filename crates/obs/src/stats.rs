@@ -419,7 +419,12 @@ impl Sink for StatsSink {
             | Event::BackendProbation { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
-            | Event::FleetMerged { .. } => {}
+            | Event::FleetMerged { .. }
+            | Event::UploadStarted { .. }
+            | Event::ChunkReceived { .. }
+            | Event::UploadCommitted { .. }
+            | Event::UploadRejected { .. }
+            | Event::UploadGc { .. } => {}
         }
     }
 

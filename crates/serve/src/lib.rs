@@ -30,9 +30,10 @@
 //!
 //! The crate splits along those lines: [`proto`] (wire format),
 //! [`job`] (the persisted unit of work), [`server`] (listener, workers,
-//! drain), [`client`] (a minimal test/bench client), [`report`] (the
-//! `serve-stats` telemetry report), and [`mod@bench`] (the throughput
-//! baseline behind `BENCH_serve.json`).
+//! drain), [`ingest`] (chunked trace uploads: checksums, quotas,
+//! crash-safe staging), [`client`] (a minimal test/bench client),
+//! [`report`] (the `serve-stats` telemetry report), and [`mod@bench`]
+//! (the throughput baseline behind `BENCH_serve.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +41,7 @@
 pub mod bench;
 pub mod client;
 pub mod dashboard;
+pub mod ingest;
 pub mod job;
 pub mod proto;
 pub mod report;
@@ -49,6 +51,7 @@ pub mod watch;
 pub use bench::{bench_json, throughput, BenchPoint};
 pub use client::Client;
 pub use dashboard::Dashboard;
+pub use ingest::{ConnQuota, Ingest, IngestSettings};
 pub use job::{JobOutcome, JobSpec, JobState};
 pub use proto::{
     error_response, ok_response, parse_request, ProtoError, Request, Scale, SubmitRequest,

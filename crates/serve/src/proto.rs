@@ -15,9 +15,16 @@
 //!
 //! The codes are a vocabulary, not an HTTP implementation: `200` served,
 //! `202` not finished yet, `400` malformed request or spec, `404`
-//! unknown job, `413` request line too large, `500` internal fault,
-//! `503` shed (queue full or daemon draining — always with
-//! `"shed":true` so overload is explicit, never silent).
+//! unknown job, `409` upload conflict (sequence gap, name collision),
+//! `413` request line or upload quota exceeded, `429` upload
+//! backpressure (always with `"retry_after"` milliseconds), `500`
+//! internal fault, `503` shed (queue full or daemon draining — always
+//! with `"shed":true` so overload is explicit, never silent).
+//!
+//! Upload verbs (`upload-begin`/`upload-chunk`/`upload-commit`/
+//! `upload-abort`/`upload-status`) move binary trace bytes as base64
+//! chunk bodies; 64-bit checksums cross the wire as 16-hex-digit
+//! strings because a JSON number is an `f64` and drops bits past 2^53.
 
 use vm_obs::json::{self, Value};
 
@@ -125,6 +132,57 @@ pub enum Request {
         /// The job to watch, or `None` for all jobs.
         job: Option<u64>,
     },
+    /// Open (or resume) a staged trace upload.
+    UploadBegin {
+        /// The library name the trace will commit under.
+        name: String,
+        /// Total raw bytes the client will send.
+        bytes: u64,
+        /// FNV-1a fingerprint over the whole raw trace.
+        fnv: u64,
+    },
+    /// Stage one chunk of an open upload.
+    UploadChunk {
+        /// The upload id from `upload-begin`.
+        upload: u64,
+        /// The chunk's sequence number (0-based, contiguous).
+        seq: u64,
+        /// FNV-1a checksum over the chunk's raw (decoded) bytes.
+        fnv: u64,
+        /// The chunk body, base64-encoded.
+        data: String,
+    },
+    /// Verify and commit a fully staged upload into the trace library.
+    UploadCommit {
+        /// The upload id to commit.
+        upload: u64,
+    },
+    /// Abandon an open upload and delete its staging files.
+    UploadAbort {
+        /// The upload id to abort.
+        upload: u64,
+    },
+    /// Query an upload's staging state — by id, or by name so a client
+    /// that reconnected (or outlived a daemon restart) can find its
+    /// partial and resume from the first missing sequence number.
+    UploadStatus {
+        /// The upload id, when known.
+        upload: Option<u64>,
+        /// The upload's library name (resume path).
+        name: Option<String>,
+    },
+}
+
+/// Encodes a `u64` checksum/fingerprint for the wire (16 hex digits).
+#[must_use]
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Decodes [`hex64`].
+#[must_use]
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok()).flatten()
 }
 
 /// Parses one request line.
@@ -162,8 +220,65 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             };
             Ok(Request::Watch { job })
         }
+        "upload-begin" => {
+            let name = v
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("`upload-begin` needs a `name` string".to_owned()))?
+                .to_owned();
+            let bytes = v
+                .get("bytes")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad("`upload-begin` needs a numeric `bytes` total".to_owned()))?;
+            Ok(Request::UploadBegin { name, bytes, fnv: fnv_field(&v, "upload-begin")? })
+        }
+        "upload-chunk" => {
+            let upload = upload_id(&v, req)?;
+            let seq = v
+                .get("seq")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad("`upload-chunk` needs a numeric `seq`".to_owned()))?;
+            let data = v
+                .get("data")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("`upload-chunk` needs a base64 `data` body".to_owned()))?
+                .to_owned();
+            Ok(Request::UploadChunk { upload, seq, fnv: fnv_field(&v, "upload-chunk")?, data })
+        }
+        "upload-commit" => Ok(Request::UploadCommit { upload: upload_id(&v, req)? }),
+        "upload-abort" => Ok(Request::UploadAbort { upload: upload_id(&v, req)? }),
+        "upload-status" => {
+            let upload = match v.get("upload") {
+                None | Some(Value::Null) => None,
+                Some(u) => Some(u.as_u64().ok_or_else(|| {
+                    bad("`upload-status` `upload` must be a numeric id".to_owned())
+                })?),
+            };
+            let name = v.get("name").and_then(Value::as_str).map(str::to_owned);
+            if upload.is_none() && name.is_none() {
+                return Err(bad("`upload-status` needs an `upload` id or a `name`".to_owned()));
+            }
+            Ok(Request::UploadStatus { upload, name })
+        }
         other => Err(bad(format!("unknown request `{other}`"))),
     }
+}
+
+/// The numeric `upload` id field shared by the chunk/commit/abort verbs.
+fn upload_id(v: &Value, req: &str) -> Result<u64, ProtoError> {
+    v.get("upload")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ProtoError::new(400, format!("`{req}` needs a numeric `upload` id")))
+}
+
+/// The 16-hex-digit `fnv` checksum field of the upload verbs.
+fn fnv_field(v: &Value, req: &str) -> Result<u64, ProtoError> {
+    v.get("fnv")
+        .and_then(Value::as_str)
+        .and_then(parse_hex64)
+        .ok_or_else(|| {
+            ProtoError::new(400, format!("`{req}` needs an `fnv` checksum (16 hex digits)"))
+        })
 }
 
 fn parse_submit(v: &Value) -> Result<SubmitRequest, ProtoError> {
@@ -233,6 +348,16 @@ pub fn error_response(e: &ProtoError) -> Value {
     Value::Obj(pairs)
 }
 
+/// Builds a 429-style backpressure response: the standard error shape
+/// plus `"retry_after"` (milliseconds) telling the client when trying
+/// again is worthwhile. Explicit shed, never a blocked connection.
+pub fn backpressure_response(message: impl Into<String>, retry_after_ms: u64) -> Value {
+    let mut v = error_response(&ProtoError::new(429, message));
+    let Value::Obj(pairs) = &mut v else { unreachable!("error_response builds an object") };
+    pairs.push(("retry_after".to_owned(), retry_after_ms.into()));
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +424,80 @@ mod tests {
         ] {
             assert_eq!(parse_request(line).unwrap_err().code, 400, "{line}");
         }
+    }
+
+    #[test]
+    fn upload_verbs_parse_with_hex_checksums() {
+        let fnv = 0xdead_beef_0123_4567u64;
+        let line = format!(
+            r#"{{"req":"upload-begin","name":"gcc-run","bytes":4096,"fnv":"{}"}}"#,
+            hex64(fnv)
+        );
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::UploadBegin { name: "gcc-run".to_owned(), bytes: 4096, fnv }
+        );
+        let line = format!(
+            r#"{{"req":"upload-chunk","upload":3,"seq":0,"fnv":"{}","data":"Zm9vYmFy"}}"#,
+            hex64(fnv)
+        );
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::UploadChunk { upload: 3, seq: 0, fnv, data: "Zm9vYmFy".to_owned() }
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"upload-commit","upload":3}"#).unwrap(),
+            Request::UploadCommit { upload: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"upload-abort","upload":3}"#).unwrap(),
+            Request::UploadAbort { upload: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"upload-status","name":"gcc-run"}"#).unwrap(),
+            Request::UploadStatus { upload: None, name: Some("gcc-run".to_owned()) }
+        );
+        assert_eq!(
+            parse_request(r#"{"req":"upload-status","upload":3}"#).unwrap(),
+            Request::UploadStatus { upload: Some(3), name: None }
+        );
+    }
+
+    #[test]
+    fn malformed_upload_requests_are_400() {
+        for line in [
+            r#"{"req":"upload-begin","bytes":10,"fnv":"00000000000000ab"}"#, // no name
+            r#"{"req":"upload-begin","name":"t","fnv":"00000000000000ab"}"#, // no bytes
+            r#"{"req":"upload-begin","name":"t","bytes":10}"#,               // no fnv
+            r#"{"req":"upload-begin","name":"t","bytes":10,"fnv":"xyz"}"#,   // short hex
+            r#"{"req":"upload-begin","name":"t","bytes":10,"fnv":12}"#,      // numeric fnv
+            r#"{"req":"upload-chunk","upload":1,"seq":0,"fnv":"00000000000000ab"}"#, // no data
+            r#"{"req":"upload-chunk","seq":0,"fnv":"00000000000000ab","data":""}"#,  // no id
+            r#"{"req":"upload-commit"}"#,
+            r#"{"req":"upload-status"}"#, // needs id or name
+        ] {
+            assert_eq!(parse_request(line).unwrap_err().code, 400, "{line}");
+        }
+    }
+
+    #[test]
+    fn hex64_round_trips_and_rejects_junk() {
+        for v in [0u64, 1, u64::MAX, 0x8594_4171_f739_67e8] {
+            assert_eq!(parse_hex64(&hex64(v)), Some(v));
+        }
+        assert_eq!(parse_hex64("ab"), None, "too short");
+        assert_eq!(parse_hex64("00000000000000abcd"), None, "too long");
+        assert_eq!(parse_hex64("zz944171f73967e8"), None, "not hex");
+    }
+
+    #[test]
+    fn backpressure_responses_carry_retry_after() {
+        let v = backpressure_response("staging full", 250);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("code").and_then(Value::as_u64), Some(429));
+        assert_eq!(v.get("retry_after").and_then(Value::as_u64), Some(250));
+        assert_eq!(v.get("shed"), None, "429 is backpressure, not shed");
+        assert!(json::parse(&v.to_string()).is_ok());
     }
 
     #[test]

@@ -88,6 +88,24 @@ pub struct EventReport {
     pub fleet_merges: u64,
     /// Duplicate results discarded across merged fleet runs.
     pub fleet_duplicates: u64,
+    /// `upload_started` events (new uploads plus resumes).
+    pub uploads_started: u64,
+    /// ... of which resumed an existing partial (`staged_bytes > 0`).
+    pub uploads_resumed: u64,
+    /// Raw trace bytes staged across `chunk_received` events.
+    pub bytes_staged: u64,
+    /// `upload_committed` events.
+    pub uploads_committed: u64,
+    /// Total records across committed uploads.
+    pub records_committed: u64,
+    /// `upload_rejected` events, by status code label (`400`, `413`,
+    /// `429`, `499`, …). Codes newer than this binary are counted
+    /// under their label, never dropped.
+    pub upload_rejects: std::collections::BTreeMap<String, u64>,
+    /// `upload_gc` events (orphaned partials swept on TTL).
+    pub uploads_gcd: u64,
+    /// Staged bytes reclaimed by those sweeps.
+    pub bytes_gcd: u64,
     /// Event kinds outside the known vocabulary, with occurrence
     /// counts. Unknown kinds are *reported*, not silently skipped: a
     /// typo'd or newer-than-this-binary event should be visible.
@@ -185,6 +203,28 @@ impl EventReport {
                     report.fleet_merges += 1;
                     report.fleet_duplicates += int("duplicates");
                 }
+                Some("upload_started") => {
+                    report.uploads_started += 1;
+                    if int("staged_bytes") > 0 {
+                        report.uploads_resumed += 1;
+                    }
+                }
+                Some("chunk_received") => report.bytes_staged += int("bytes"),
+                Some("upload_committed") => {
+                    report.uploads_committed += 1;
+                    report.records_committed += int("records");
+                }
+                Some("upload_rejected") => {
+                    let code = v
+                        .get("code")
+                        .and_then(Value::as_u64)
+                        .map_or_else(|| "(unspecified)".to_owned(), |c| c.to_string());
+                    *report.upload_rejects.entry(code).or_insert(0) += 1;
+                }
+                Some("upload_gc") => {
+                    report.uploads_gcd += 1;
+                    report.bytes_gcd += int("bytes");
+                }
                 // Simulation-level events are known but carry nothing
                 // this report aggregates.
                 Some(kind) if KNOWN_SIM_EVENTS.contains(&kind) => {}
@@ -262,6 +302,28 @@ impl EventReport {
                 self.backend_probations,
                 self.backend_rejoins,
                 self.backend_recoveries
+            ));
+        }
+        let rejects: u64 = self.upload_rejects.values().sum();
+        if self.uploads_started + rejects + self.uploads_gcd > 0 {
+            let reject_detail = if self.upload_rejects.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> =
+                    self.upload_rejects.iter().map(|(k, n)| format!("{k} ×{n}")).collect();
+                format!(" [{}]", parts.join(", "))
+            };
+            out.push_str(&format!(
+                "  ingest   {} upload(s) ({} resumed), {} byte(s) staged, {} committed ({} record(s)), {} rejection(s){}, {} GC'd ({} byte(s))\n",
+                self.uploads_started,
+                self.uploads_resumed,
+                self.bytes_staged,
+                self.uploads_committed,
+                self.records_committed,
+                rejects,
+                reject_detail,
+                self.uploads_gcd,
+                self.bytes_gcd
             ));
         }
         match self.drains {
@@ -413,6 +475,44 @@ mod tests {
         // No elastic activity → no elastic line.
         let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
         assert!(!plain.render().contains("elastic"), "elastic line must be elided when idle");
+    }
+
+    #[test]
+    fn ingest_events_fold_into_their_own_section() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            Event::UploadStarted { upload: 1, declared_bytes: 4096, staged_bytes: 0 },
+            Event::ChunkReceived { upload: 1, seq: 0, bytes: 2048 },
+            Event::UploadStarted { upload: 1, declared_bytes: 4096, staged_bytes: 2048 },
+            Event::ChunkReceived { upload: 1, seq: 1, bytes: 2048 },
+            Event::UploadCommitted { upload: 1, bytes: 4096, records: 250 },
+            Event::UploadRejected { upload: 0, code: 429 },
+            Event::UploadRejected { upload: 2, code: 400 },
+            Event::UploadRejected { upload: 2, code: 400 },
+            Event::UploadGc { upload: 3, bytes: 777 },
+        ];
+        for (t, ev) in events.iter().enumerate() {
+            sink.emit(t as u64, ev);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!((r.uploads_started, r.uploads_resumed), (2, 1));
+        assert_eq!(r.bytes_staged, 4096);
+        assert_eq!((r.uploads_committed, r.records_committed), (1, 250));
+        assert_eq!(r.upload_rejects.get("429"), Some(&1));
+        assert_eq!(r.upload_rejects.get("400"), Some(&2));
+        assert_eq!((r.uploads_gcd, r.bytes_gcd), (1, 777));
+        assert!(r.unknown.is_empty(), "ingest events are known: {:?}", r.unknown);
+        let rendered = r.render();
+        assert!(
+            rendered.contains("ingest   2 upload(s) (1 resumed), 4096 byte(s) staged"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("3 rejection(s) [400 ×2, 429 ×1]"), "{rendered}");
+        assert!(rendered.contains("1 GC'd (777 byte(s))"), "{rendered}");
+        // No ingest activity → no ingest line.
+        let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
+        assert!(!plain.render().contains("ingest"), "ingest line must be elided when idle");
     }
 
     #[test]

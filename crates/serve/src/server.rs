@@ -49,6 +49,7 @@ use vm_obs::json::Value;
 use vm_obs::{Event, JsonlSink, LogHist, NopSink, Reporter, Sink};
 use vm_supervise::{PoolConfig, WorkerCommand, WorkerPool};
 
+use crate::ingest::{ConnQuota, Ingest, IngestSettings};
 use crate::job::{JobOutcome, JobSpec, JobState};
 use crate::watch::{self, SubNext, WatchHub};
 
@@ -100,6 +101,9 @@ pub struct ServeConfig {
     /// Bound on each `watch` subscriber's frame queue; a subscriber
     /// that falls further behind is dropped with a `lagged` frame.
     pub watch_buffer: usize,
+    /// Trace-ingestion quotas, watermarks, and the partial-upload TTL.
+    /// Uploads also require `state_dir` (staging must be durable).
+    pub ingest: IngestSettings,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +124,7 @@ impl Default for ServeConfig {
             shutdown: None,
             checkpoint_interval: 100_000,
             watch_buffer: crate::watch::DEFAULT_WATCH_BUFFER,
+            ingest: IngestSettings::default(),
         }
     }
 }
@@ -214,6 +219,9 @@ struct Shared {
     pool: Option<Arc<WorkerPool>>,
     /// Fan-out for `watch` subscribers.
     hub: WatchHub,
+    /// Trace ingestion (staging, quotas, the committed library), when
+    /// a state directory exists to stage into.
+    ingest: Option<Ingest>,
     /// Daemon start instant: the `t` (milliseconds) of lifecycle events
     /// and watch frames.
     started: Instant,
@@ -283,13 +291,26 @@ impl Server {
             None => None,
         };
         let resume = config.resume;
+        let ingest = match &config.state_dir {
+            Some(dir) => Some(Ingest::open(dir, config.ingest.clone())?),
+            None => None,
+        };
         let pool = match config.worker_processes {
             0 => None,
             n => {
-                let command = match &config.worker_command {
+                let mut command = match &config.worker_command {
                     Some(command) => command.clone(),
                     None => WorkerCommand::current_exe(&["worker"])?,
                 };
+                if let Some(ingest) = &ingest {
+                    // Workers resolve `trace:NAME` workloads from the
+                    // same library commits land in; the request line
+                    // carries the path too, this is the fallback.
+                    command.envs.push((
+                        vm_trace::TRACE_LIBRARY_ENV.to_owned(),
+                        ingest.library_dir().display().to_string(),
+                    ));
+                }
                 let mut pool = PoolConfig::new(command);
                 pool.workers = n;
                 Some(Arc::new(WorkerPool::new(pool)))
@@ -304,10 +325,15 @@ impl Server {
             stats: Mutex::new(ServeStats::default()),
             pool,
             hub: WatchHub::new(),
+            ingest,
             started: Instant::now(),
         });
         if resume {
             resume_jobs(&shared)?;
+        }
+        if let Some(ingest) = &shared.ingest {
+            // Sweep orphaned partials left by previous lifetimes.
+            ingest.gc(&|ev| shared.emit(ev));
         }
         Ok(Server { listener, shared })
     }
@@ -626,6 +652,9 @@ fn execute_job(
         point_budget: spec.point_budget,
         chaos: shared.config.chaos.clone(),
         cancel: Some(Arc::clone(cancel)),
+        // `trace:NAME` workloads resolve against the ingestion library
+        // (the directory committed uploads land in).
+        trace_library: shared.ingest.as_ref().map(Ingest::library_dir),
         process: shared.pool.clone(),
         // Always-on: publishing to a hub with no subscribers is a few
         // mutex grabs per checkpoint, and the snapshot schedule rides
@@ -853,6 +882,9 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let max = shared.config.max_request_bytes;
     let mut carry: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // Per-connection upload accounting: one client cannot stage more
+    // than its quota no matter how many uploads it opens.
+    let mut conn = ConnQuota::default();
     loop {
         while let Some(pos) = carry.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = carry.drain(..=pos).collect();
@@ -884,7 +916,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 }
                 continue;
             }
-            let response = respond(shared, text);
+            let response = respond(shared, &mut conn, text);
             if write_line(&mut stream, &response).is_err() {
                 return;
             }
@@ -909,9 +941,9 @@ fn write_line(stream: &mut TcpStream, v: &Value) -> io::Result<()> {
 
 /// Parses and dispatches one request line. A handler panic answers
 /// `500`; the connection (and daemon) live on.
-fn respond(shared: &Arc<Shared>, line: &str) -> Value {
+fn respond(shared: &Arc<Shared>, conn: &mut ConnQuota, line: &str) -> Value {
     let handled = catch_unwind(AssertUnwindSafe(|| {
-        parse_request(line).and_then(|req| dispatch(shared, req))
+        parse_request(line).and_then(|req| dispatch(shared, conn, req))
     }));
     match handled {
         Ok(Ok(v)) => v,
@@ -920,9 +952,24 @@ fn respond(shared: &Arc<Shared>, line: &str) -> Value {
     }
 }
 
-fn dispatch(shared: &Arc<Shared>, req: Request) -> Result<Value, ProtoError> {
+fn dispatch(shared: &Arc<Shared>, conn: &mut ConnQuota, req: Request) -> Result<Value, ProtoError> {
     match req {
         Request::Submit(submit) => handle_submit(shared, submit),
+        Request::UploadBegin { name, bytes, fnv } => {
+            handle_upload_begin(shared, conn, &name, bytes, fnv)
+        }
+        Request::UploadChunk { upload, seq, fnv, data } => {
+            ingest_of(shared)?.chunk(upload, seq, fnv, &data, &|ev| shared.emit(ev))
+        }
+        Request::UploadCommit { upload } => {
+            ingest_of(shared)?.commit(upload, &|ev| shared.emit(ev))
+        }
+        Request::UploadAbort { upload } => {
+            ingest_of(shared)?.abort(upload, &|ev| shared.emit(ev))
+        }
+        Request::UploadStatus { upload, name } => {
+            ingest_of(shared)?.status(upload, name.as_deref())
+        }
         Request::Status { job } => handle_status(shared, job),
         Request::Result { job } => handle_result(shared, job),
         Request::Cancel { job } => handle_cancel(shared, job),
@@ -1036,6 +1083,36 @@ fn watch_stream(shared: &Arc<Shared>, stream: &mut TcpStream, job: Option<u64>) 
         }
     }
     shared.hub.unsubscribe(&sub);
+}
+
+/// Uploads need durable staging: without a state directory they are
+/// refused outright (a clear 400, not silent in-memory staging that a
+/// restart would vaporize).
+fn ingest_of(shared: &Shared) -> Result<&Ingest, ProtoError> {
+    shared.ingest.as_ref().ok_or_else(|| {
+        ProtoError::new(400, "trace upload needs a state directory (start with --state-dir)")
+    })
+}
+
+/// Admission for `upload-begin`: drain and queue pressure are checked
+/// here (they are daemon state, not ingestion state); everything else
+/// lives in [`Ingest::begin`].
+fn handle_upload_begin(
+    shared: &Arc<Shared>,
+    conn: &mut ConnQuota,
+    name: &str,
+    bytes: u64,
+    fnv: u64,
+) -> Result<Value, ProtoError> {
+    let ingest = ingest_of(shared)?;
+    let emit = |ev: Event| shared.emit(ev);
+    ingest.gc(&emit);
+    if shared.draining.load(Ordering::Relaxed) {
+        emit(Event::UploadRejected { upload: 0, code: 503 });
+        return Err(ProtoError::new(503, "daemon is draining"));
+    }
+    let queue_full = shared.lock_state().queue.len() >= shared.config.queue_cap;
+    ingest.begin(conn, name, bytes, fnv, queue_full, &emit)
 }
 
 /// Records a shed decision (event + counters) and builds its 503.

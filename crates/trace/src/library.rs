@@ -1,0 +1,267 @@
+//! A directory of committed binary traces addressable as workloads.
+//!
+//! The serve ingestion path ([serving docs](https://example.invalid) —
+//! see `docs/serving.md`) stages uploads chunk by chunk and, on commit,
+//! installs the verified trace into a *library* directory as
+//! `NAME.trace`. From then on the trace is a first-class workload: a
+//! spec whose `workload` is `trace:NAME` replays the file instead of
+//! synthesizing a preset, on every execution path (in-process sweeps,
+//! supervised workers, serve jobs) — which is what makes an uploaded
+//! trace simulate byte-identically to the same file run from disk.
+//!
+//! The library directory travels explicitly where possible (serve
+//! threads it through the executor policy) and falls back to the
+//! `VM_TRACE_LIBRARY` environment variable for standalone
+//! `repro explore` runs.
+
+use std::fs::{self, File};
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+use crate::record::{read_trace, InstrRecord};
+
+/// The workload-name prefix that selects a library trace.
+pub const TRACE_WORKLOAD_PREFIX: &str = "trace:";
+
+/// The environment variable naming the library directory when no
+/// explicit path is configured.
+pub const TRACE_LIBRARY_ENV: &str = "VM_TRACE_LIBRARY";
+
+/// If `workload` is a `trace:NAME` reference, returns `NAME`.
+#[must_use]
+pub fn trace_workload(workload: &str) -> Option<&str> {
+    workload.strip_prefix(TRACE_WORKLOAD_PREFIX)
+}
+
+/// Whether `name` is a valid library trace name: 1–64 characters of
+/// `[a-z0-9._-]`, not starting with `.` or `-`. The grammar is what
+/// makes a name safe to use as a file stem — no separators, no parent
+/// references, no hidden files.
+#[must_use]
+pub fn valid_trace_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with(['.', '-'])
+        && name.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Why a library trace could not be produced.
+#[derive(Debug)]
+pub enum LibraryError {
+    /// The workload name fails [`valid_trace_name`].
+    BadName(String),
+    /// No library directory is configured (neither explicit nor via
+    /// [`TRACE_LIBRARY_ENV`]).
+    NoLibrary,
+    /// The named trace is not in the library.
+    Missing {
+        /// The requested trace name.
+        name: String,
+        /// The library directory searched.
+        dir: PathBuf,
+    },
+    /// The file exists but is not a well-formed trace.
+    Corrupt {
+        /// The requested trace name.
+        name: String,
+        /// What the decoder rejected.
+        detail: String,
+    },
+    /// Filesystem trouble reading the library.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LibraryError::BadName(name) => write!(
+                f,
+                "invalid trace name `{name}` (want 1-64 chars of [a-z0-9._-], not starting with `.` or `-`)"
+            ),
+            LibraryError::NoLibrary => write!(
+                f,
+                "no trace library configured (set {TRACE_LIBRARY_ENV} or pass a library directory)"
+            ),
+            LibraryError::Missing { name, dir } => {
+                write!(f, "trace `{name}` is not in the library at {}", dir.display())
+            }
+            LibraryError::Corrupt { name, detail } => {
+                write!(f, "trace `{name}` does not decode: {detail}")
+            }
+            LibraryError::Io(e) => write!(f, "trace library I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+impl From<io::Error> for LibraryError {
+    fn from(e: io::Error) -> LibraryError {
+        LibraryError::Io(e)
+    }
+}
+
+/// A directory of committed `NAME.trace` files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLibrary {
+    dir: PathBuf,
+}
+
+impl TraceLibrary {
+    /// A library rooted at `dir` (not created until first install).
+    pub fn new(dir: impl Into<PathBuf>) -> TraceLibrary {
+        TraceLibrary { dir: dir.into() }
+    }
+
+    /// The library named by [`TRACE_LIBRARY_ENV`], if set and non-empty.
+    #[must_use]
+    pub fn from_env() -> Option<TraceLibrary> {
+        let dir = std::env::var_os(TRACE_LIBRARY_ENV)?;
+        (!dir.is_empty()).then(|| TraceLibrary::new(PathBuf::from(dir)))
+    }
+
+    /// The library root.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path for `name` (no validation, no existence check).
+    #[must_use]
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.trace"))
+    }
+
+    /// Whether a committed trace named `name` exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        valid_trace_name(name) && self.path(name).is_file()
+    }
+
+    /// Sorted names of every committed trace.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut names: Vec<String> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let path = e.path();
+                let stem = path.file_stem()?.to_str()?.to_owned();
+                (path.extension()?.to_str()? == "trace" && valid_trace_name(&stem))
+                    .then_some(stem)
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Loads the named trace fully into memory, validating every
+    /// record. The simulation pipeline consumes infallible record
+    /// iterators, so decoding errors must surface here — before any
+    /// simulation starts — not mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`LibraryError`] on a bad name, a missing file, or any decode
+    /// failure (truncation, bad magic, bad tag, bad address bits).
+    pub fn load(&self, name: &str) -> Result<Vec<InstrRecord>, LibraryError> {
+        if !valid_trace_name(name) {
+            return Err(LibraryError::BadName(name.to_owned()));
+        }
+        let path = self.path(name);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(LibraryError::Missing { name: name.to_owned(), dir: self.dir.clone() })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let replay = read_trace(BufReader::new(file)).map_err(|e| LibraryError::Corrupt {
+            name: name.to_owned(),
+            detail: e.to_string(),
+        })?;
+        replay
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| LibraryError::Corrupt { name: name.to_owned(), detail: e.to_string() })
+    }
+
+    /// Atomically installs `staged` (a fully verified trace file on the
+    /// same filesystem) as `name`: creates the library directory and
+    /// renames the file into place. Rename is the commit point — a
+    /// crash before it leaves the library unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LibraryError::BadName`] or the underlying I/O failure.
+    pub fn install(&self, name: &str, staged: &Path) -> Result<PathBuf, LibraryError> {
+        if !valid_trace_name(name) {
+            return Err(LibraryError::BadName(name.to_owned()));
+        }
+        fs::create_dir_all(&self.dir)?;
+        let dest = self.path(name);
+        fs::rename(staged, &dest)?;
+        Ok(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::write_trace;
+    use crate::presets;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("vm-trace-library-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn name_grammar_rejects_separators_and_hidden_files() {
+        for good in ["gcc", "trace-01", "a.b_c", "x"] {
+            assert!(valid_trace_name(good), "{good}");
+        }
+        for bad in ["", "..", ".hidden", "-flag", "UPPER", "a/b", "a\\b", "a b", "a:b"] {
+            assert!(!valid_trace_name(bad), "{bad}");
+        }
+        assert!(valid_trace_name(&"x".repeat(64)));
+        assert!(!valid_trace_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn trace_workload_strips_only_the_prefix() {
+        assert_eq!(trace_workload("trace:gcc"), Some("gcc"));
+        assert_eq!(trace_workload("gcc"), None);
+        assert_eq!(trace_workload("trace:"), Some(""));
+    }
+
+    #[test]
+    fn install_then_load_round_trips_records() {
+        let dir = tmp_dir("round-trip");
+        let records: Vec<InstrRecord> =
+            presets::by_name("gcc").unwrap().build(7).unwrap().take(500).collect();
+        let staged = dir.join("staged.part");
+        write_trace(File::create(&staged).unwrap(), records.iter().copied()).unwrap();
+
+        let lib = TraceLibrary::new(dir.join("lib"));
+        assert!(!lib.contains("g1"));
+        lib.install("g1", &staged).unwrap();
+        assert!(lib.contains("g1"));
+        assert_eq!(lib.names(), vec!["g1".to_owned()]);
+        assert_eq!(lib.load("g1").unwrap(), records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_classifies_missing_corrupt_and_bad_names() {
+        let dir = tmp_dir("classify");
+        let lib = TraceLibrary::new(&dir);
+        assert!(matches!(lib.load("nope"), Err(LibraryError::Missing { .. })));
+        assert!(matches!(lib.load("../evil"), Err(LibraryError::BadName(_))));
+        fs::write(lib.path("junk"), b"not a trace at all").unwrap();
+        assert!(matches!(lib.load("junk"), Err(LibraryError::Corrupt { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -189,12 +189,15 @@ impl<R: Read> ReplayTrace<R> {
 /// Rebuilds an [`MAddr`] from its raw tagged encoding: the space tag
 /// lives in bits 32-33 and the ASID above bit 34 (user space only).
 fn raw_to_addr(raw: u64) -> Result<MAddr, TraceIoError> {
-    use vm_types::AddressSpace;
+    use vm_types::{AddressSpace, MAX_ASID};
     let offset = raw & 0xFFFF_FFFF;
     let tag = raw >> 32;
-    let (space, asid) = (tag & 0b11, (tag >> 2) as u16);
+    // The full asid field, *before* narrowing: a truncating cast here
+    // would let adversarial bytes slip past the range check and panic
+    // the MAddr constructor instead of erroring.
+    let (space, asid) = (tag & 0b11, tag >> 2);
     match (space, asid) {
-        (0, asid) => Ok(MAddr::user_in(asid, offset)),
+        (0, asid) if asid <= u64::from(MAX_ASID) => Ok(MAddr::user_in(asid as u16, offset)),
         (1, 0) => Ok(MAddr::new(AddressSpace::Kernel, offset)),
         (2, 0) => Ok(MAddr::new(AddressSpace::Physical, offset)),
         _ => Err(TraceIoError::BadTag((tag & 0xFF) as u8)),

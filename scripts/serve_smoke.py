@@ -473,6 +473,130 @@ for daemon, port in ((daemon_a, port_a), (daemon_b, port_b),
     rpc(port, {"req": "drain"})
     assert daemon.wait(timeout=60) == 0, f"daemon on {port} must drain to exit 0"
 
+
+# Ingest phase (docs/serving.md, Trace ingestion): a binary trace
+# travels to the daemon in checksummed chunks. Backpressure sheds
+# uploads past the staging watermark while the job path keeps admitting;
+# a corrupt chunk is rejected without losing the staged prefix; a
+# SIGKILL mid-upload leaves a resumable partial that `repro upload`
+# heals into a byte-identical committed trace; and an orphaned partial
+# is GC'd on TTL at the next startup.
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+
+def b64(data):
+    import base64
+
+    return base64.b64encode(data).decode()
+
+
+ingest_state = os.path.join(state, "ingest-state")
+ingest_events = os.path.join(state, "ingest-events.jsonl")
+trace_bin = os.path.join(state, "smoke.trace")
+export = subprocess.run(
+    [REPRO, "trace-export", "--out", trace_bin, "--instrs", "30000", "--seed", "9"],
+    capture_output=True, text=True, check=True,
+)
+trace_blob = read_bytes(trace_bin)
+assert f"{len(trace_blob)} bytes" in export.stdout, export.stdout
+assert f"fnv {fnv1a(trace_blob)}" in export.stdout, export.stdout
+
+CHUNK = 4096
+proc, port = start(["--state-dir", ingest_state, "--events", ingest_events,
+                    "--staging-watermark", "8K"])
+begin = rpc(port, {"req": "upload-begin", "name": "smoke",
+                   "bytes": len(trace_blob), "fnv": fnv1a(trace_blob)})
+assert begin["ok"] and begin["upload"] == 1, begin
+for seq in range(4):  # stage 16K: provably past the 8K watermark
+    chunk = trace_blob[seq * CHUNK:(seq + 1) * CHUNK]
+    r = rpc(port, {"req": "upload-chunk", "upload": 1, "seq": seq,
+                   "fnv": fnv1a(chunk), "data": b64(chunk)})
+    assert r["ok"] and r["staged"] == (seq + 1) * CHUNK, r
+
+# A flipped chunk body fails its checksum; the staged prefix survives.
+chunk = trace_blob[4 * CHUNK:5 * CHUNK]
+flipped = bytes([chunk[0] ^ 1]) + chunk[1:]
+bad = rpc(port, {"req": "upload-chunk", "upload": 1, "seq": 4,
+                 "fnv": fnv1a(chunk), "data": b64(flipped)})
+assert bad["code"] == 400 and "checksum" in bad["error"], bad
+
+# Past the watermark a second upload is backpressured with a retry
+# hint — while a job submitted the same instant is admitted and runs to
+# completion: ingestion sheds, the job path never blocks.
+held = rpc(port, {"req": "upload-begin", "name": "held",
+                  "bytes": len(trace_blob), "fnv": fnv1a(trace_blob)})
+assert held["code"] == 429 and held["retry_after"] >= 1, held
+assert "shed" not in held, held  # backpressure is not a job shed
+r = rpc(port, SUBMIT)
+assert r["ok"] and r["job"] == 1, r
+wait_done(port, 1)
+
+# SIGKILL mid-upload: the fsynced prefix must survive the hard stop.
+proc.kill()
+assert proc.wait(timeout=60) == -signal.SIGKILL
+
+proc, port = start(["--state-dir", ingest_state, "--resume",
+                    "--events", ingest_events])
+st = rpc(port, {"req": "upload-status", "name": "smoke"})
+assert st["state"] == "staging" and st["next_seq"] == 4, st
+assert st["staged"] == 4 * CHUNK, st
+
+# `repro upload` heals the partial: an identical declaration resumes
+# from the first missing chunk and commits the exact source bytes.
+healed = subprocess.run(
+    [REPRO, "upload", "--addr", f"127.0.0.1:{port}", "--name", "smoke",
+     "--chunk-bytes", str(CHUNK), trace_bin],
+    capture_output=True, text=True, check=True,
+)
+assert "committed trace `smoke`" in healed.stdout, healed.stdout
+committed = read_bytes(os.path.join(ingest_state, "traces", "smoke.trace"))
+assert committed == trace_blob, "resumed upload drifted from the source trace"
+
+# The committed trace is a workload: status answers by name, and a
+# submit against trace:smoke runs clean.
+st = rpc(port, {"req": "upload-status", "name": "smoke"})
+assert st["state"] == "committed" and st["workload"] == "trace:smoke", st
+r = rpc(port, {"req": "submit",
+               "spec": SPEC + '\n[workload]\nname = "trace:smoke"\n',
+               "sweep": ["tlb.entries=32,64"], "scale": "quick"})
+assert r["ok"], r
+wait_done(port, r["job"])
+trace_job = rpc(port, {"req": "result", "job": r["job"]})
+assert trace_job["failures"] == [] and len(trace_job["results"]) == 2, trace_job
+
+# Leave an orphaned partial behind, then restart with a 1s TTL: the
+# startup sweep reclaims it without touching the committed trace.
+ob = rpc(port, {"req": "upload-begin", "name": "orphan",
+                "bytes": len(trace_blob), "fnv": fnv1a(trace_blob)})
+assert ob["ok"], ob
+chunk = trace_blob[:CHUNK]
+r = rpc(port, {"req": "upload-chunk", "upload": ob["upload"], "seq": 0,
+               "fnv": fnv1a(chunk), "data": b64(chunk)})
+assert r["ok"], r
+rpc(port, {"req": "drain"})
+assert proc.wait(timeout=60) == 0, "drain with a staged partial must exit 0"
+time.sleep(1.2)
+proc, port = start(["--state-dir", ingest_state, "--resume",
+                    "--events", ingest_events, "--upload-ttl-secs", "1"])
+gone = rpc(port, {"req": "upload-status", "name": "orphan"})
+assert gone["code"] == 404, gone
+st = rpc(port, {"req": "upload-status", "name": "smoke"})
+assert st["state"] == "committed", st
+rpc(port, {"req": "drain"})
+assert proc.wait(timeout=60) == 0
+
+ingest_report = subprocess.run(
+    [REPRO, "serve-stats", ingest_events], capture_output=True, text=True, check=True
+)
+assert "3 upload(s) (1 resumed)" in ingest_report.stdout, ingest_report.stdout
+assert "1 committed" in ingest_report.stdout, ingest_report.stdout
+assert "[400 ×1, 429 ×1]" in ingest_report.stdout, ingest_report.stdout
+assert "1 GC'd" in ingest_report.stdout, ingest_report.stdout
+
 shutil.rmtree(state)
 print(
     f"serve smoke ok: {len(resumed['results'])} points bit-identical after "
@@ -481,5 +605,7 @@ print(
     f"byte-identical at 1 and 3 backends (one SIGKILLed mid-sweep and evicted); "
     f"24-point elastic fleet byte-identical through a probation rejoin and a "
     f"mid-sweep join; coordinator SIGKILL + --resume byte-identical with "
-    f"{done_lines} points replayed from the fleet journal"
+    f"{done_lines} points replayed from the fleet journal; ingest: uploaded "
+    f"trace byte-identical after SIGKILL mid-upload + resume, corrupt chunk "
+    f"rejected, backpressured job path stayed live, orphan partial GC'd"
 )

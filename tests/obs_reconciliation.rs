@@ -71,7 +71,12 @@ impl Sink for CountingSink {
             | Event::BackendProbation { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
-            | Event::FleetMerged { .. } => {}
+            | Event::FleetMerged { .. }
+            | Event::UploadStarted { .. }
+            | Event::ChunkReceived { .. }
+            | Event::UploadCommitted { .. }
+            | Event::UploadRejected { .. }
+            | Event::UploadGc { .. } => {}
         }
     }
 

@@ -1,0 +1,345 @@
+//! vm-serve trace ingestion end to end: a chunked, checksummed upload
+//! becomes a `trace:NAME` workload whose simulation results are
+//! byte-identical to running the same trace from a server-side library;
+//! a daemon restart mid-upload resumes the staged prefix exactly; and
+//! corruption — flipped chunks, wrong fingerprints, early commits — can
+//! never produce a committed trace.
+
+use std::path::{Path, PathBuf};
+
+use vm_obs::json::Value;
+use vm_serve::proto::hex64;
+use vm_serve::{Client, ServeConfig, Server};
+use vm_trace::wire::fnv1a;
+use vm_trace::{presets, write_trace, TraceLibrary};
+
+const SPEC: &str = "[mmu]\nkind = \"software-tlb\"\ntable = \"two-tier\"\n\n\
+                    [workload]\nname = \"trace:captured\"\n";
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vm-ingest-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but non-trivial binary trace (the wire payload under test).
+fn trace_bytes() -> Vec<u8> {
+    let gen = presets::by_name("gcc").unwrap().build(11).unwrap();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, gen.take(4_000)).unwrap();
+    buf
+}
+
+fn code(v: &Value) -> u64 {
+    v.get("code").and_then(Value::as_u64).unwrap()
+}
+
+fn begin_req(name: &str, bytes: &[u8]) -> Value {
+    Value::obj([
+        ("req", "upload-begin".into()),
+        ("name", name.into()),
+        ("bytes", (bytes.len() as u64).into()),
+        ("fnv", hex64(fnv1a(bytes)).into()),
+    ])
+}
+
+fn chunk_req(upload: u64, seq: u64, chunk: &[u8]) -> Value {
+    Value::obj([
+        ("req", "upload-chunk".into()),
+        ("upload", upload.into()),
+        ("seq", seq.into()),
+        ("fnv", hex64(fnv1a(chunk)).into()),
+        ("data", vm_trace::wire::b64_encode(chunk).into()),
+    ])
+}
+
+/// Uploads `bytes[skip_chunks..]` in `chunk_len` pieces and returns the
+/// last staged byte count the daemon acknowledged.
+fn push_chunks(c: &mut Client, upload: u64, bytes: &[u8], chunk_len: usize, from_seq: u64) -> u64 {
+    let mut staged = 0;
+    for (seq, chunk) in bytes.chunks(chunk_len).enumerate().skip(from_seq as usize) {
+        let ack = c.request(&chunk_req(upload, seq as u64, chunk)).unwrap();
+        assert_eq!(code(&ack), 200, "chunk {seq}: {ack}");
+        staged = ack.get("staged").and_then(Value::as_u64).unwrap();
+    }
+    staged
+}
+
+fn run_job(addr: std::net::SocketAddr) -> Value {
+    let mut c = Client::connect(addr).unwrap();
+    let sub = c
+        .request(&Value::obj([
+            ("req", "submit".into()),
+            ("spec", SPEC.into()),
+            ("sweep", Value::Arr(vec![Value::from("tlb.entries=16,64")])),
+            ("warmup", 500u64.into()),
+            ("measure", 3_000u64.into()),
+        ]))
+        .unwrap();
+    assert_eq!(code(&sub), 200, "{sub}");
+    let job = sub.get("job").and_then(Value::as_u64).unwrap();
+    for _ in 0..4_000 {
+        let s = c
+            .request(&Value::obj([("req", "status".into()), ("job", job.into())]))
+            .unwrap();
+        match s.get("state").and_then(Value::as_str).unwrap() {
+            "done" => {
+                return c
+                    .request(&Value::obj([("req", "result".into()), ("job", job.into())]))
+                    .unwrap()
+            }
+            "failed" => panic!("job failed: {s}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    panic!("job {job} never finished");
+}
+
+fn start(state_dir: &Path) -> Server {
+    Server::start(ServeConfig {
+        workers: 1,
+        state_dir: Some(state_dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn uploaded_trace_simulates_byte_identical_to_a_library_run() {
+    let bytes = trace_bytes();
+
+    // Daemon A: the trace arrives over the wire, chunked and checksummed.
+    let dir_a = temp_dir("wire");
+    let server = start(&dir_a);
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+    let begin = c.request(&begin_req("captured", &bytes)).unwrap();
+    assert_eq!(code(&begin), 200, "{begin}");
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+    assert_eq!(push_chunks(&mut c, upload, &bytes, 1 << 10, 0), bytes.len() as u64);
+    let commit = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&commit), 200, "{commit}");
+    assert_eq!(commit.get("workload").and_then(Value::as_str), Some("trace:captured"));
+    assert_eq!(commit.get("fnv").and_then(Value::as_str), Some(hex64(fnv1a(&bytes)).as_str()));
+
+    // The committed library file is the uploaded bytes, exactly.
+    assert_eq!(std::fs::read(dir_a.join("traces").join("captured.trace")).unwrap(), bytes);
+
+    // Status now reports the committed workload by name.
+    let status = c
+        .request(&Value::obj([("req", "upload-status".into()), ("name", "captured".into())]))
+        .unwrap();
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("committed"));
+    let wire_result = run_job(addr);
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().unwrap();
+
+    // Daemon B: the same trace pre-installed server-side, no upload.
+    let dir_b = temp_dir("disk");
+    let staged = dir_b.join("captured.bin");
+    std::fs::write(&staged, &bytes).unwrap();
+    std::fs::create_dir_all(dir_b.join("traces")).unwrap();
+    TraceLibrary::new(dir_b.join("traces")).install("captured", &staged).unwrap();
+    let server = start(&dir_b);
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let disk_result = run_job(addr);
+    Client::connect(addr)
+        .unwrap()
+        .request(&Value::obj([("req", "drain".into())]))
+        .unwrap();
+    serve.join().unwrap().unwrap();
+
+    assert_eq!(
+        wire_result.get("results").unwrap().to_string(),
+        disk_result.get("results").unwrap().to_string(),
+        "an uploaded trace must simulate byte-identically to a server-side library run"
+    );
+    for dir in [dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn restart_mid_upload_resumes_and_commits_the_same_bytes() {
+    let bytes = trace_bytes();
+    let dir = temp_dir("resume");
+    let chunk_len = 1 << 10;
+    let half_chunks = (bytes.len() / chunk_len / 2) as u64;
+
+    // First lifetime: stage roughly half the trace, then drain away.
+    let server = start(&dir);
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+    let begin = c.request(&begin_req("captured", &bytes)).unwrap();
+    assert_eq!(code(&begin), 200, "{begin}");
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+    for (seq, chunk) in bytes.chunks(chunk_len).take(half_chunks as usize).enumerate() {
+        let ack = c.request(&chunk_req(upload, seq as u64, chunk)).unwrap();
+        assert_eq!(code(&ack), 200, "{ack}");
+    }
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().unwrap();
+
+    // Second lifetime over the same state: the daemon rediscovers the
+    // partial, status names the first missing chunk, and an identical
+    // declaration resumes rather than restarts.
+    let server = start(&dir);
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+    let status = c
+        .request(&Value::obj([("req", "upload-status".into()), ("name", "captured".into())]))
+        .unwrap();
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("staging"));
+    assert_eq!(status.get("next_seq").and_then(Value::as_u64), Some(half_chunks));
+    assert_eq!(
+        status.get("staged").and_then(Value::as_u64),
+        Some(half_chunks * chunk_len as u64)
+    );
+
+    // A mismatched declaration is refused — resume never mixes traces.
+    let mut wrong = bytes.clone();
+    wrong.push(0xFF);
+    assert_eq!(code(&c.request(&begin_req("captured", &wrong)).unwrap()), 409);
+
+    let begin = c.request(&begin_req("captured", &bytes)).unwrap();
+    assert_eq!(code(&begin), 200, "{begin}");
+    assert_eq!(begin.get("resumed"), Some(&Value::Bool(true)));
+    assert_eq!(begin.get("next_seq").and_then(Value::as_u64), Some(half_chunks));
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+
+    // A duplicate of an already-staged chunk is acknowledged idempotently.
+    let dup = c.request(&chunk_req(upload, 0, &bytes[..chunk_len])).unwrap();
+    assert_eq!(code(&dup), 200);
+    assert_eq!(dup.get("dup"), Some(&Value::Bool(true)));
+
+    assert_eq!(
+        push_chunks(&mut c, upload, &bytes, chunk_len, half_chunks),
+        bytes.len() as u64
+    );
+    let commit = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&commit), 200, "{commit}");
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().unwrap();
+
+    assert_eq!(
+        std::fs::read(dir.join("traces").join("captured.trace")).unwrap(),
+        bytes,
+        "a resumed upload must commit the exact original bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_is_rejected_at_every_stage_and_never_commits() {
+    let bytes = trace_bytes();
+    let dir = temp_dir("corrupt");
+    let server = start(&dir);
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+
+    // A flipped chunk body fails its checksum: 400, upload survives,
+    // and resending the intact chunk succeeds.
+    let begin = c.request(&begin_req("captured", &bytes)).unwrap();
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+    let chunk_len = 1 << 10;
+    let mut flipped = bytes[..chunk_len].to_vec();
+    flipped[17] ^= 0x40;
+    let bad = c
+        .request(&Value::obj([
+            ("req", "upload-chunk".into()),
+            ("upload", upload.into()),
+            ("seq", 0u64.into()),
+            ("fnv", hex64(fnv1a(&bytes[..chunk_len])).into()),
+            ("data", vm_trace::wire::b64_encode(&flipped).into()),
+        ]))
+        .unwrap();
+    assert_eq!(code(&bad), 400);
+    assert!(bad.get("error").and_then(Value::as_str).unwrap().contains("checksum"), "{bad}");
+
+    // Committing before every byte is staged is refused.
+    let early = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&early), 400);
+
+    // A sequence gap is a 409 with the expected seq, not silent loss.
+    let gap = c.request(&chunk_req(upload, 5, &bytes[..chunk_len])).unwrap();
+    assert_eq!(code(&gap), 409);
+    assert!(gap.get("error").and_then(Value::as_str).unwrap().contains("expected seq 0"));
+
+    push_chunks(&mut c, upload, &bytes, chunk_len, 0);
+    let commit = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&commit), 200, "{commit}");
+
+    // A whole-trace fingerprint mismatch discards the staging entirely:
+    // declare the wrong fnv, upload matching chunks, watch commit refuse.
+    let mut doctored = bytes.clone();
+    doctored[0] ^= 0x01;
+    let begin = c
+        .request(&Value::obj([
+            ("req", "upload-begin".into()),
+            ("name", "doctored".into()),
+            ("bytes", (doctored.len() as u64).into()),
+            ("fnv", hex64(fnv1a(&bytes)).into()), // fingerprint of the *other* bytes
+        ]))
+        .unwrap();
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+    push_chunks(&mut c, upload, &doctored, chunk_len, 0);
+    let refused = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&refused), 400);
+    assert!(
+        refused.get("error").and_then(Value::as_str).unwrap().contains("fingerprint"),
+        "{refused}"
+    );
+    assert!(!dir.join("traces").join("doctored.trace").exists(), "must never commit");
+    let gone = c
+        .request(&Value::obj([("req", "upload-status".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&gone), 404, "a failed fingerprint discards the staging: {gone}");
+
+    // Garbage that is not a trace at all fails structural validation
+    // even with an honest fingerprint.
+    let junk = vec![0xABu8; 64];
+    let begin = c.request(&begin_req("junk", &junk)).unwrap();
+    let upload = begin.get("upload").and_then(Value::as_u64).unwrap();
+    push_chunks(&mut c, upload, &junk, chunk_len, 0);
+    let refused = c
+        .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
+        .unwrap();
+    assert_eq!(code(&refused), 400);
+    assert!(!dir.join("traces").join("junk.trace").exists());
+
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uploads_need_a_state_directory() {
+    let server = Server::start(ServeConfig { workers: 1, ..ServeConfig::default() }).unwrap();
+    let addr = server.local_addr().unwrap();
+    let serve = std::thread::spawn(move || server.serve());
+    let mut c = Client::connect(addr).unwrap();
+    let refused = c.request(&begin_req("captured", &[0u8; 64])).unwrap();
+    assert_eq!(code(&refused), 400);
+    assert!(
+        refused.get("error").and_then(Value::as_str).unwrap().contains("--state-dir"),
+        "{refused}"
+    );
+    c.request(&Value::obj([("req", "drain".into())])).unwrap();
+    serve.join().unwrap().unwrap();
+}
