@@ -54,7 +54,10 @@
 //!         (--spawn N | --backend HOST:PORT)... [--quick|--full]
 //!         [--out DIR] [--journal FILE] [--events FILE] [--retries N]
 //!         [--point-budget CYCLES] [--hedge-ms N] [--evict-after N]
-//!         [--evict-window-ms N] [--watch-addr HOST:PORT]
+//!         [--evict-window-ms N] [--audit-rate P] [--watch-addr HOST:PORT]
+//!
+//! result integrity (see docs/robustness.md):
+//!   verify <explore.csv> --journal FILE [--spec system.toml]
 //!
 //! Results (tables, claims, CSV) go to stdout; progress (headings,
 //! heartbeats, timings) goes to stderr, gated by --verbosity.
@@ -78,7 +81,7 @@ use vm_fleet::{
     fleet_plan, fleet_throughput, run_fleet, seed_fleet_resume, Backend, ControlChannel,
     FleetOptions, FleetSession, WatchProxy,
 };
-use vm_harden::{ChaosPlan, JournalWriter, RetryPolicy};
+use vm_harden::{ChaosPlan, Journal, JournalWriter, RetryPolicy};
 use vm_obs::json::Value;
 use vm_obs::JsonlSink;
 use vm_serve::{bench_json, throughput, EventReport, ServeConfig, Server, WatchHub};
@@ -750,18 +753,20 @@ fn trace_export_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     let out = out.ok_or("trace-export needs --out FILE (try --help)")?;
-    let spec = presets::by_name(&workload).ok_or_else(|| format!("unknown workload `{workload}`"))?;
+    let spec =
+        presets::by_name(&workload).ok_or_else(|| format!("unknown workload `{workload}`"))?;
     if instrs == 0 {
         return Err("--instrs 0 would export an empty trace; give a positive count".to_owned());
     }
     let gen = spec.build(seed).map_err(|e| format!("cannot build `{workload}`: {e:?}"))?;
-    let file = std::fs::File::create(&out)
-        .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let file =
+        std::fs::File::create(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let mut writer = std::io::BufWriter::new(file);
     let records = vm_trace::write_trace(&mut writer, gen.take(instrs as usize))
         .map_err(|e| format!("cannot write {}: {e:?}", out.display()))?;
     writer.flush().map_err(|e| format!("cannot flush {}: {e}", out.display()))?;
-    let bytes = std::fs::read(&out).map_err(|e| format!("cannot re-read {}: {e}", out.display()))?;
+    let bytes =
+        std::fs::read(&out).map_err(|e| format!("cannot re-read {}: {e}", out.display()))?;
     println!(
         "wrote {} — {} record(s), {} bytes, fnv {}",
         out.display(),
@@ -791,9 +796,7 @@ fn parse_upload_chaos(spec: &str) -> Result<Vec<UploadFault>, String> {
                 .ok_or_else(|| format!("bad upload chaos `{part}` (want fault@seq)"))?;
             let kind = kind.trim();
             if !matches!(kind, "corrupt" | "truncate" | "stall") {
-                return Err(format!(
-                    "bad upload chaos fault `{kind}` (corrupt|truncate|stall)"
-                ));
+                return Err(format!("bad upload chaos fault `{kind}` (corrupt|truncate|stall)"));
             }
             let seq = seq.trim().parse().map_err(|e| format!("bad chaos seq in `{part}`: {e}"))?;
             Ok(UploadFault { kind: kind.to_owned(), seq, spent: false })
@@ -863,8 +866,7 @@ fn upload_cmd(args: &[String]) -> Result<(), String> {
     if chunk_bytes == 0 {
         return Err("--chunk-bytes 0 would never make progress; give a positive size".to_owned());
     }
-    let bytes =
-        std::fs::read(&file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let bytes = std::fs::read(&file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
     upload_trace(&addr, &name, &bytes, chunk_bytes, &mut chaos, max_retries)
 }
 
@@ -900,10 +902,8 @@ fn upload_trace(
     let mut client = connect()?;
     'sync: loop {
         // Where does the daemon think this upload stands?
-        let status = client.request(&Value::obj([
-            ("req", "upload-status".into()),
-            ("name", name.into()),
-        ]));
+        let status =
+            client.request(&Value::obj([("req", "upload-status".into()), ("name", name.into())]));
         let status = match status {
             Ok(v) => v,
             Err(e) => {
@@ -954,7 +954,8 @@ fn upload_trace(
         let mut offset = begin.get("staged").and_then(Value::as_u64).unwrap_or(0) as usize;
         let mut seq = begin.get("next_seq").and_then(Value::as_u64).unwrap_or(0);
         if begin.get("resumed") == Some(&Value::Bool(true)) {
-            reporter.progress(format!("resuming upload {id} at chunk {seq} ({offset} bytes staged)"));
+            reporter
+                .progress(format!("resuming upload {id} at chunk {seq} ({offset} bytes staged)"));
         }
         while offset < bytes.len() {
             let end = (offset + chunk_bytes).min(bytes.len());
@@ -1008,14 +1009,13 @@ fn upload_trace(
             match code_of(&resp) {
                 200 => {
                     seq = resp.get("next_seq").and_then(Value::as_u64).unwrap_or(seq + 1);
-                    offset = resp.get("staged").and_then(Value::as_u64).unwrap_or(end as u64)
-                        as usize;
+                    offset =
+                        resp.get("staged").and_then(Value::as_u64).unwrap_or(end as u64) as usize;
                 }
                 400 => {
                     // Checksum/encoding rejection: the staged prefix is
                     // intact, resend this same sequence number.
-                    let detail =
-                        resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                    let detail = resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
                     spend_retry(detail)?;
                     reporter.progress(format!("chunk {seq} rejected ({detail}); resending"));
                 }
@@ -1024,8 +1024,7 @@ fn upload_trace(
                     continue 'sync;
                 }
                 code => {
-                    let detail =
-                        resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
+                    let detail = resp.get("error").and_then(Value::as_str).unwrap_or("(no detail)");
                     return Err(format!("chunk {seq} rejected ({code}): {detail}"));
                 }
             }
@@ -1284,6 +1283,14 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
                     value("--poll-ms")?.parse().map_err(|e| format!("bad --poll-ms: {e}"))?,
                 )
             }
+            "--audit-rate" => {
+                let rate: f64 =
+                    value("--audit-rate")?.parse().map_err(|e| format!("bad --audit-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("bad --audit-rate: {rate} is not in 0..=1"));
+                }
+                opts.audit_rate = rate;
+            }
             "--verbosity" => {
                 let v = value("--verbosity")?;
                 set_global_verbosity(
@@ -1300,7 +1307,7 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
                      \x20                  [--fleet-journal FILE [--resume]]\n\
                      \x20                  [--retries N] [--point-budget CYCLES]\n\
                      \x20                  [--hedge-ms N] [--evict-after N] [--evict-window-ms N]\n\
-                     \x20                  [--probation-ms N] [--keepalive-ms N]\n\
+                     \x20                  [--probation-ms N] [--keepalive-ms N] [--audit-rate P]\n\
                      \x20                  [--poll-ms N] [--watch-addr HOST:PORT] [--join-addr HOST:PORT]\n\
                      \x20                  [--verbosity 0|1|2 | -q | -v]\n\
                      Shards the sweep across a fleet of vm-serve daemons and merges the\n\
@@ -1326,6 +1333,9 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
                      \x20                 rejoin (0 makes eviction permanent; default 5000)\n\
                      \x20 --keepalive-ms  idle health-probe interval so dead-idle backends are\n\
                      \x20                 evicted promptly (0 disables; default 1000)\n\
+                     \x20 --audit-rate    re-run this fraction of completed points on a second\n\
+                     \x20                 backend and compare bit-for-bit; a mismatch quarantines\n\
+                     \x20                 the losing backend (0 disables; default 0)\n\
                      \x20 --join-addr     listen here for join/leave/roster control verbs\n\
                      \x20                 (NDJSON; port 0 binds an ephemeral port; the bound\n\
                      \x20                 address is printed on stdout)\n\
@@ -1515,6 +1525,149 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("events capture failed: {e}"),
         }
     }
+    Ok(())
+}
+
+/// The `verify` subcommand: offline integrity audit of committed run
+/// artifacts. Re-derives every attestation in a journal, optionally
+/// re-derives every context fingerprint from the base spec, and checks
+/// the exported CSV is exactly what the journal's payloads render to.
+/// Every failure names the point index and the stage that caught it
+/// (`decode`, `attestation`, `context`, `csv`).
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    let mut csv_path: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut spec_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--journal" => journal_path = Some(PathBuf::from(value("--journal")?)),
+            "--spec" => spec_path = Some(PathBuf::from(value("--spec")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro verify <explore.csv> --journal FILE [--spec system.toml]\n\
+                     Offline result-integrity audit of committed artifacts: re-derives the\n\
+                     attestation of every journaled payload, optionally re-derives each\n\
+                     point's context fingerprint from the base spec, and re-renders the\n\
+                     CSV from the journal to prove the two artifacts agree byte-for-byte.\n\
+                     Failures name the point index and stage (decode | attestation |\n\
+                     context | csv). See docs/robustness.md.\n\
+                     \x20 --journal  the run journal the CSV was merged from (required)\n\
+                     \x20 --spec     the base spec TOML the sweep expanded from; enables the\n\
+                     \x20            context stage (detects payloads signed by a different\n\
+                     \x20            spec, seed, or scale)"
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` for verify (try --help)"))
+            }
+            path => csv_path = Some(PathBuf::from(path)),
+        }
+    }
+    let csv_path = csv_path.ok_or("verify needs the exported CSV file (try --help)")?;
+    let journal_path = journal_path.ok_or("verify needs --journal FILE (try --help)")?;
+    let journal = Journal::load(&journal_path)?;
+    let header = journal.header.ok_or("journal has no run header — nothing pins the scale")?;
+    let exec = ExecConfig { warmup: header.warmup, measure: header.measure, jobs: 1 };
+    let base = match &spec_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            Some(SystemSpec::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?)
+        }
+        None => None,
+    };
+
+    // Later journal lines supersede earlier ones (resume appends), so
+    // fold entries in order before judging anything but decode.
+    let mut results: std::collections::BTreeMap<u64, vm_explore::PointResult> =
+        std::collections::BTreeMap::new();
+    for entry in &journal.entries {
+        let ix = entry.index;
+        if entry.status != "done" {
+            results.remove(&ix);
+            continue;
+        }
+        let payload = entry
+            .payload
+            .as_ref()
+            .ok_or_else(|| format!("point {ix} [decode]: done entry carries no payload"))?;
+        let r = vm_explore::result_from_value(payload)
+            .map_err(|e| format!("point {ix} [decode]: {e}"))?;
+        if r.index as u64 != ix || r.label != entry.label {
+            return Err(format!(
+                "point {ix} [decode]: entry is `{}` but its payload claims point {} `{}`",
+                entry.label, r.index, r.label
+            ));
+        }
+        vm_explore::verify_sealed(&r).map_err(|e| format!("point {ix} [attestation]: {e}"))?;
+        if let Some(base) = &base {
+            // Re-expand the point exactly as a fleet backend would: the
+            // payload's settings are the pinned axis assignment.
+            let pinned: Vec<Axis> = r
+                .settings
+                .iter()
+                .map(|(k, v)| Axis::parse(&format!("{k}={v}")))
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("point {ix} [context]: {e}"))?;
+            let sub = vm_explore::SweepPlan::expand(base, &pinned)
+                .map_err(|e| format!("point {ix} [context]: {e}"))?;
+            let point = match sub.points.as_slice() {
+                [point] => point,
+                other => {
+                    return Err(format!(
+                        "point {ix} [context]: settings re-expand to {} point(s), not one",
+                        other.len()
+                    ))
+                }
+            };
+            if point.label != r.label {
+                return Err(format!(
+                    "point {ix} [context]: settings re-expand to `{}`, not `{}`",
+                    point.label, r.label
+                ));
+            }
+            let expect = vm_explore::context_for(point, &exec);
+            vm_explore::verify_in_context(&r, expect)
+                .map_err(|e| format!("point {ix} [context]: {e}"))?;
+        }
+        results.insert(ix, r);
+    }
+
+    let csv_text = std::fs::read_to_string(&csv_path)
+        .map_err(|e| format!("cannot read {}: {e}", csv_path.display()))?;
+    let ordered: Vec<vm_explore::PointResult> = results.into_values().collect();
+    let count = ordered.len();
+    let derived = explore::ExploreRun::from_results(ordered, Vec::new(), Vec::new(), &[]).to_csv();
+    if derived != csv_text {
+        let want: Vec<&str> = derived.lines().collect();
+        let got: Vec<&str> = csv_text.lines().collect();
+        let row = (0..want.len().max(got.len()))
+            .find(|&i| want.get(i) != got.get(i))
+            .expect("unequal text differs on some line");
+        let name = if row == 0 {
+            "csv header row".to_owned()
+        } else {
+            // Row i renders the i-th journaled result; name it by the
+            // label so the operator can find the point without counting.
+            want.get(row)
+                .or_else(|| got.get(row))
+                .and_then(|line| line.split(',').next())
+                .map_or_else(|| format!("csv row {row}"), |l| format!("point `{l}`"))
+        };
+        return Err(format!(
+            "{name} [csv]: journal renders `{}` but the CSV says `{}`",
+            want.get(row).copied().unwrap_or("<nothing — CSV has extra rows>"),
+            got.get(row).copied().unwrap_or("<nothing — CSV is short>"),
+        ));
+    }
+    println!(
+        "verified {count} point(s): decode ok, attestation ok, context {}, csv ok",
+        if base.is_some() { "ok" } else { "skipped (no --spec)" }
+    );
     Ok(())
 }
 
@@ -1782,7 +1935,7 @@ fn main() -> ExitCode {
     }
     if let Some(
         cmd @ ("serve" | "serve-stats" | "serve-bench" | "watch" | "fleet" | "upload"
-        | "trace-export"),
+        | "trace-export" | "verify"),
     ) = args.first().map(String::as_str)
     {
         let run = match cmd {
@@ -1792,6 +1945,7 @@ fn main() -> ExitCode {
             "fleet" => fleet_cmd(&args[1..]),
             "upload" => upload_cmd(&args[1..]),
             "trace-export" => trace_export_cmd(&args[1..]),
+            "verify" => verify_cmd(&args[1..]),
             _ => serve_bench_cmd(&args[1..]),
         };
         return match run {

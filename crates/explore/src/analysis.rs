@@ -127,6 +127,8 @@ mod tests {
             tlb_area_bytes: area,
             tlb_miss_ratio: None,
             user_instrs: 1,
+            ctx: 0,
+            att: 0,
         }
     }
 

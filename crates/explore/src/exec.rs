@@ -145,6 +145,13 @@ pub struct PointResult {
     pub tlb_miss_ratio: Option<f64>,
     /// User instructions measured.
     pub user_instrs: u64,
+    /// Lineage-context fingerprint: canonical spec TOML, label, trace
+    /// seed, and exec scale, hashed where the simulation ran (see
+    /// [`crate::attest`]).
+    pub ctx: u64,
+    /// Attestation over `ctx` plus every payload bit (index excluded);
+    /// re-verified at every trust boundary downstream.
+    pub att: u64,
 }
 
 /// The per-point outcome a hardened sweep produces.
@@ -608,7 +615,7 @@ pub(crate) fn measure_point_isolated(
 /// validated *before* this enum exists, so decode failures surface as
 /// structured [`FailureKind::Ingest`] errors, never mid-simulation.
 enum PointTrace {
-    Synth(vm_trace::SyntheticTrace),
+    Synth(Box<vm_trace::SyntheticTrace>),
     Replay(std::vec::IntoIter<vm_trace::InstrRecord>),
 }
 
@@ -624,7 +631,10 @@ impl Iterator for PointTrace {
 }
 
 /// Resolves a point's workload into a record source and display label.
-fn point_trace(point: &PlannedPoint, policy: &HardenPolicy) -> Result<(String, PointTrace), SimError> {
+fn point_trace(
+    point: &PlannedPoint,
+    policy: &HardenPolicy,
+) -> Result<(String, PointTrace), SimError> {
     let name = point.spec.workload_name();
     if let Some(trace_name) = vm_trace::trace_workload(name) {
         let library = policy
@@ -633,7 +643,11 @@ fn point_trace(point: &PlannedPoint, policy: &HardenPolicy) -> Result<(String, P
             .map(vm_trace::TraceLibrary::new)
             .or_else(vm_trace::TraceLibrary::from_env)
             .ok_or_else(|| {
-                point_error(point, FailureKind::Ingest, vm_trace::LibraryError::NoLibrary.to_string())
+                point_error(
+                    point,
+                    FailureKind::Ingest,
+                    vm_trace::LibraryError::NoLibrary.to_string(),
+                )
             })?;
         let records = library
             .load(trace_name)
@@ -646,7 +660,7 @@ fn point_trace(point: &PlannedPoint, policy: &HardenPolicy) -> Result<(String, P
         let trace = workload
             .build(point.spec.trace_seed)
             .map_err(|e| point_error(point, FailureKind::Workload, e.to_string()))?;
-        Ok((workload.name, PointTrace::Synth(trace)))
+        Ok((workload.name, PointTrace::Synth(Box::new(trace))))
     }
 }
 
@@ -706,7 +720,17 @@ fn try_measure_point(
             return Err(e);
         }
     };
-    Ok(result_row(point, workload_label, report))
+    let mut result = result_row(point, workload_label, report);
+    if policy.chaos.fault_for(point.index) == Some(Fault::Lie) {
+        // The Byzantine chaos fault: an honest simulation, then one ulp
+        // of corruption — applied BEFORE signing, so the lie leaves here
+        // with a perfectly valid attestation. Only divergence detection
+        // or an audit against another backend can catch it.
+        result.vmcpi = f64::from_bits(result.vmcpi.to_bits() ^ 1);
+        result.vm_total = result.vmcpi + result.interrupt_cpi;
+    }
+    crate::attest::seal(&mut result, crate::attest::context_for(point, exec));
+    Ok(result)
 }
 
 /// Derives a result row from a point's finished simulation.
@@ -729,6 +753,9 @@ fn result_row(point: &PlannedPoint, workload: String, report: SimReport) -> Poin
         tlb_area_bytes: tlb_area_bytes(&point.config),
         tlb_miss_ratio,
         user_instrs: report.counts.user_instrs,
+        // Unsigned until the caller seals it (after any lie chaos).
+        ctx: 0,
+        att: 0,
     }
 }
 
@@ -1086,21 +1113,16 @@ mod tests {
 
         // No library configured (explicit or env): a structured ingest
         // failure — not a panic, not a workload error.
-        let (outcome, _) =
-            measure_point_isolated(&plan.points[0], &exec, &HardenPolicy::default());
+        let (outcome, _) = measure_point_isolated(&plan.points[0], &exec, &HardenPolicy::default());
         assert_eq!(outcome.error().expect("no library").kind, FailureKind::Ingest);
 
-        let policy =
-            HardenPolicy { trace_library: Some(dir.clone()), ..HardenPolicy::default() };
+        let policy = HardenPolicy { trace_library: Some(dir.clone()), ..HardenPolicy::default() };
         let (first, _) = measure_point_isolated(&plan.points[0], &exec, &policy);
         let first = first.completed().expect("replay completes").clone();
         assert_eq!(first.workload, "trace:captured");
         // Replay is deterministic: a second run is bit-identical.
         let (again, _) = measure_point_isolated(&plan.points[0], &exec, &policy);
-        assert_eq!(
-            again.completed().unwrap().vm_total.to_bits(),
-            first.vm_total.to_bits()
-        );
+        assert_eq!(again.completed().unwrap().vm_total.to_bits(), first.vm_total.to_bits());
 
         // A missing trace is also an ingest failure, naming the trace.
         let mut missing = base.clone();

@@ -18,6 +18,19 @@ use vm_obs::json::Value;
 use crate::exec::{ExecConfig, PointResult};
 use crate::sweep::SweepPlan;
 
+/// Parses the canonical hex64 rendering: exactly 16 lowercase hex
+/// digits, nothing else. Encoders only ever emit this form, so the
+/// strictness costs nothing — and it means a journal byte is either
+/// canonical or rejected, never silently normalized (uppercase or
+/// whitespace surviving a round-trip would break byte-identity and
+/// would let two renderings of one value carry one attestation).
+pub(crate) fn hex64_strict(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// Encodes an `f64` as the hex string of its bit pattern, so decoding
 /// reproduces the exact bits (a decimal rendering may not).
 fn f64_bits(f: f64) -> Value {
@@ -26,9 +39,7 @@ fn f64_bits(f: f64) -> Value {
 
 /// Decodes [`f64_bits`].
 fn f64_from_bits(v: &Value) -> Option<f64> {
-    let s = v.as_str()?;
-    (s.len() == 16).then_some(())?;
-    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+    hex64_strict(v.as_str()?).map(f64::from_bits)
 }
 
 /// Serializes a point result for a journal `payload`.
@@ -51,6 +62,8 @@ pub fn result_to_value(r: &PointResult) -> Value {
         ("tlb_area_bytes", r.tlb_area_bytes.into()),
         ("tlb_miss_ratio", r.tlb_miss_ratio.map_or(Value::Null, f64_bits)),
         ("user_instrs", r.user_instrs.into()),
+        ("ctx", Value::Str(format!("{:016x}", r.ctx))),
+        ("att", Value::Str(format!("{:016x}", r.att))),
     ])
 }
 
@@ -73,6 +86,13 @@ pub fn result_from_value(v: &Value) -> Result<PointResult, String> {
     let float = |k: &str| {
         need(k).and_then(|f| {
             f64_from_bits(f).ok_or_else(|| format!("payload field `{k}` not an f64 bit pattern"))
+        })
+    };
+    let hex = |k: &str| {
+        need(k).and_then(|f| {
+            f.as_str()
+                .and_then(hex64_strict)
+                .ok_or_else(|| format!("payload field `{k}` not a canonical hex64 string"))
         })
     };
     let settings = need("settings")?
@@ -106,6 +126,8 @@ pub fn result_from_value(v: &Value) -> Result<PointResult, String> {
         tlb_area_bytes: int("tlb_area_bytes")?,
         tlb_miss_ratio,
         user_instrs: int("user_instrs")?,
+        ctx: hex("ctx")?,
+        att: hex("att")?,
     })
 }
 
@@ -160,6 +182,16 @@ pub fn seeded_from_journal(
         if entry.is_done() {
             let payload = entry.payload.as_ref().expect("is_done implies payload");
             let r = result_from_value(payload).map_err(|e| format!("journal point {ix}: {e}"))?;
+            // The header fingerprint proves the *labels* match; the
+            // attestation proves the *payload* was produced for exactly
+            // this spec, seed, and scale by a binary that agrees with
+            // this one — a stale-binary restart fails here instead of
+            // silently merging unreproducible results.
+            crate::attest::verify_in_context(
+                &r,
+                crate::attest::context_for(&plan.points[ix as usize], exec),
+            )
+            .map_err(|e| format!("journal point {ix} [integrity]: {e}"))?;
             seeded.insert(ix as usize, r);
         }
     }
@@ -171,7 +203,7 @@ mod tests {
     use super::*;
 
     fn sample() -> PointResult {
-        PointResult {
+        let mut r = PointResult {
             index: 3,
             label: "ULTRIX tlb.entries=64".to_owned(),
             settings: vec![("tlb.entries".to_owned(), "64".to_owned())],
@@ -184,7 +216,11 @@ mod tests {
             tlb_area_bytes: 2048,
             tlb_miss_ratio: Some(0.001953125),
             user_instrs: 500_000,
-        }
+            ctx: 0,
+            att: 0,
+        };
+        crate::attest::seal(&mut r, 0x0123_4567_89ab_cdef);
+        r
     }
 
     #[test]

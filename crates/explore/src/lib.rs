@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod attest;
 pub mod exec;
 pub mod journal;
 pub mod process;
@@ -39,6 +40,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use analysis::{pareto_frontier, sensitivity, AxisSensitivity};
+pub use attest::{context_for, point_context, verify_in_context, verify_sealed};
 pub use exec::{
     run_sweep, run_sweep_hardened, tlb_area_bytes, ExecConfig, HardenPolicy, PointResult,
     SweepOutcome, SweepPointOutcome,

@@ -47,11 +47,10 @@ fn u64_hex(v: u64) -> Value {
     Value::Str(format!("{v:016x}"))
 }
 
-/// Decodes [`u64_hex`].
+/// Decodes [`u64_hex`] (canonical lowercase hex64 only — the encoder
+/// never emits anything else, so anything else is corruption).
 fn u64_from_hex(v: &Value) -> Option<u64> {
-    let s = v.as_str()?;
-    (s.len() == 16).then_some(())?;
-    u64::from_str_radix(s, 16).ok()
+    crate::journal::hex64_strict(v.as_str()?)
 }
 
 /// Serializes one sweep point plus everything its measurement depends
@@ -79,10 +78,7 @@ pub fn request_line(point: &PlannedPoint, exec: &ExecConfig, policy: &HardenPoli
         ("chaos_seed", u64_hex(policy.chaos.seed)),
         (
             "library",
-            policy
-                .trace_library
-                .as_ref()
-                .map_or(Value::Null, |p| p.display().to_string().into()),
+            policy.trace_library.as_ref().map_or(Value::Null, |p| p.display().to_string().into()),
         ),
     ])
     .to_string()
@@ -169,10 +165,7 @@ fn parse_request(line: &str) -> Result<WireRequest, String> {
             // Optional so requests from older coordinators still parse;
             // the worker then falls back to VM_TRACE_LIBRARY (inherited
             // from the daemon that spawned it).
-            trace_library: v
-                .get("library")
-                .and_then(Value::as_str)
-                .map(std::path::PathBuf::from),
+            trace_library: v.get("library").and_then(Value::as_str).map(std::path::PathBuf::from),
         },
     })
 }
@@ -230,7 +223,7 @@ pub(crate) fn measure_point_process(
 ) -> (SweepPointOutcome, u32) {
     let request = request_line(point, exec, policy);
     match pool.execute(point.index as u64, &request) {
-        Ok(reply) => decode_reply(point, &reply),
+        Ok(reply) => decode_reply(point, exec, &reply),
         Err(PoolError::CrashLoop { restarts, detail }) => {
             let mut e = point_error(
                 point,
@@ -252,8 +245,12 @@ pub(crate) fn measure_point_process(
 }
 
 /// Decodes a worker reply back into the outcome the in-process path
-/// would have produced.
-fn decode_reply(point: &PlannedPoint, reply: &str) -> (SweepPointOutcome, u32) {
+/// would have produced. The supervisor trusts nothing across the wire:
+/// a completed payload must verify against the attestation the worker
+/// signed AND the context this side expected — a mismatch (stale worker
+/// binary, corrupted pipe, lying subprocess) fails the point as
+/// [`FailureKind::Integrity`] instead of merging a wrong number.
+fn decode_reply(point: &PlannedPoint, exec: &ExecConfig, reply: &str) -> (SweepPointOutcome, u32) {
     let entry = match JournalEntry::parse_line(reply) {
         Ok(entry) => entry,
         Err(_) => {
@@ -267,7 +264,20 @@ fn decode_reply(point: &PlannedPoint, reply: &str) -> (SweepPointOutcome, u32) {
     if entry.is_done() {
         let payload = entry.payload.as_ref().expect("is_done implies payload");
         return match result_from_value(payload) {
-            Ok(r) => (PointOutcome::Completed(r), attempts),
+            Ok(r) => {
+                let expect = crate::attest::context_for(point, exec);
+                match crate::attest::verify_in_context(&r, expect) {
+                    Ok(()) => (PointOutcome::Completed(r), attempts),
+                    Err(e) => (
+                        PointOutcome::Failed(point_error(
+                            point,
+                            FailureKind::Integrity,
+                            format!("worker reply: {e}"),
+                        )),
+                        attempts,
+                    ),
+                }
+            }
             Err(e) => (
                 PointOutcome::Failed(point_error(
                     point,
@@ -362,7 +372,7 @@ mod tests {
             ..HardenPolicy::default()
         };
         let reply = handle_request(&request_line(&plan.points[0], &tiny_exec(), &policy));
-        let (outcome, _) = decode_reply(&plan.points[0], &reply);
+        let (outcome, _) = decode_reply(&plan.points[0], &tiny_exec(), &reply);
         let e = outcome.error().expect("point 0 panics");
         assert_eq!(e.kind, FailureKind::Panic);
         assert!(e.detail.contains("injected panic"), "{e}");
@@ -372,14 +382,41 @@ mod tests {
     #[test]
     fn malformed_requests_become_err_replies_not_dead_workers() {
         let reply = handle_request("{\"j\":\"run\"}");
-        let (outcome, attempts) = decode_reply(&tiny_plan().points[0], &reply);
+        let (outcome, attempts) = decode_reply(&tiny_plan().points[0], &tiny_exec(), &reply);
         assert_eq!(attempts, 1);
         let e = outcome.error().expect("malformed request fails");
         assert_eq!(e.kind, FailureKind::Build);
         assert!(e.detail.contains("worker rejected"), "{e}");
 
-        let (outcome, _) = decode_reply(&tiny_plan().points[0], "garbage");
+        let (outcome, _) = decode_reply(&tiny_plan().points[0], &tiny_exec(), "garbage");
         assert!(outcome.error().unwrap().detail.contains("unintelligible"));
+    }
+
+    #[test]
+    fn tampered_reply_payloads_fail_closed_as_integrity() {
+        let plan = tiny_plan();
+        let exec = tiny_exec();
+        let reply = handle_request(&request_line(&plan.points[0], &exec, &HardenPolicy::default()));
+
+        // Flip one hex digit of the signed vmcpi bit pattern in transit:
+        // the payload still decodes, but the attestation no longer holds.
+        let pos = reply.find("\"vmcpi\":\"").expect("reply carries vmcpi") + "\"vmcpi\":\"".len();
+        let mut bytes = reply.clone().into_bytes();
+        let last = pos + 15;
+        bytes[last] = if bytes[last] == b'0' { b'1' } else { b'0' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        let (outcome, _) = decode_reply(&plan.points[0], &exec, &tampered);
+        let e = outcome.error().expect("tampered payload must not complete");
+        assert_eq!(e.kind, FailureKind::Integrity);
+        assert!(e.detail.contains("attestation mismatch"), "{e}");
+
+        // A well-formed reply signed for a different scale (stale worker
+        // binary) is a context mismatch, not a silent merge.
+        let other = ExecConfig { measure: exec.measure + 1, ..exec };
+        let (outcome, _) = decode_reply(&plan.points[0], &other, &reply);
+        let e = outcome.error().expect("wrong-context payload must not complete");
+        assert_eq!(e.kind, FailureKind::Integrity);
+        assert!(e.detail.contains("context mismatch"), "{e}");
     }
 
     #[test]

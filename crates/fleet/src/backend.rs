@@ -302,12 +302,8 @@ mod tests {
 
     #[test]
     fn shutdown_outcome_labels_reconcile_every_path() {
-        let clean = ShutdownOutcome {
-            spawned: true,
-            drained: true,
-            exit_ok: Some(true),
-            killed: false,
-        };
+        let clean =
+            ShutdownOutcome { spawned: true, drained: true, exit_ok: Some(true), killed: false };
         assert_eq!(clean.label(), "drained, exit 0");
         let refused = ShutdownOutcome { drained: false, ..clean };
         assert_eq!(refused.label(), "exit 0 (drain refused)");

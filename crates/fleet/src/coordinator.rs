@@ -41,23 +41,39 @@
 //!   (standard point entry, payload included) as they happen, so a
 //!   SIGKILLed coordinator can be restarted with the completed points
 //!   seeded and only the remainder re-dispatched.
+//!
+//! On top of all of that sits the **integrity layer** (docs/robustness.md).
+//! Attestations catch payloads mutated *after* signing, but a backend
+//! that lies *before* signing produces a validly-sealed wrong answer.
+//! Three mechanisms catch it:
+//!
+//! * **Divergence detection**: a hedge duplicate is compared against
+//!   the winner instead of blindly discarded; a mismatch marks both
+//!   sources suspect and sends the point to arbitration.
+//! * **Audit sampling** (`audit_rate`): a deterministic sample of
+//!   accepted points is re-executed on a *different* backend; a
+//!   mismatch is treated exactly like a divergent hedge.
+//! * **2-of-3 quorum + quarantine**: a contested point is re-run on a
+//!   third backend with both disputants banned; the minority side is
+//!   quarantined (evicted with reason `integrity`), its unconfirmed
+//!   wins are invalidated and re-run elsewhere, and it can only rejoin
+//!   by reproducing an accepted result bit-for-bit — a health probe is
+//!   no longer enough.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use vm_explore::{run_header, ExecConfig};
-use vm_harden::{
-    DynJournalWriter, FailureKind, JournalEntry, PointOutcome, RetryPolicy, SimError,
-};
+use vm_explore::{plan_fingerprint, run_header, ExecConfig};
+use vm_harden::{DynJournalWriter, FailureKind, JournalEntry, PointOutcome, RetryPolicy, SimError};
 use vm_obs::json::Value;
 use vm_obs::{Event, EvictReason, Reporter, Sink};
 use vm_serve::{Client, WatchHub};
 
 use crate::backend::{Backend, Breaker, EvictPolicy, ShutdownOutcome};
 use crate::membership::{join_response, ControlChannel, ControlCmd, Slot, SlotState};
-use crate::merge::{merge, rebind_payload, MergeSet, MergedRun};
+use crate::merge::{merge, rebind_payload, MergeSet, MergedRun, Offer};
 use crate::plan::FleetPlan;
 use crate::resume::assign_note;
 use crate::shard::shard_of;
@@ -94,6 +110,11 @@ pub struct FleetOptions {
     pub keepalive: Option<Duration>,
     /// Drain deadline for spawned backends at teardown before `kill`.
     pub drain: Duration,
+    /// Fraction of accepted points (0.0–1.0) re-executed on a different
+    /// backend as an integrity audit. The sample is deterministic
+    /// (seeded from the plan fingerprint), so the same run audits the
+    /// same points. `0.0` disables auditing.
+    pub audit_rate: f64,
 }
 
 impl Default for FleetOptions {
@@ -110,6 +131,7 @@ impl Default for FleetOptions {
             probation_probes: 10,
             keepalive: Some(Duration::from_millis(1_000)),
             drain: Duration::from_secs(2),
+            audit_rate: 0.0,
         }
     }
 }
@@ -162,6 +184,9 @@ pub struct SlotReport {
     pub completed: u64,
     /// Whether the slot joined mid-run via the control channel.
     pub joined: bool,
+    /// Whether the slot ended the run quarantined for an integrity
+    /// violation (wrong results over a healthy socket).
+    pub quarantined: bool,
     /// How the backend's teardown reconciled.
     pub shutdown: ShutdownOutcome,
 }
@@ -175,8 +200,12 @@ pub struct FleetOutcome {
     pub dispatched: u64,
     /// Hedge dispatches issued.
     pub hedged: u64,
-    /// Duplicate results discarded by first-result-wins dedup.
-    pub duplicates: u64,
+    /// Duplicate results that matched their winner bit-for-bit (the
+    /// determinism contract holding under hedging).
+    pub duplicates_identical: u64,
+    /// Duplicate results that disagreed with their winner — each one an
+    /// integrity incident that went to 2-of-3 arbitration.
+    pub duplicates_divergent: u64,
     /// Eviction history by fleet slot (a slot that rejoins and is
     /// evicted again appears twice).
     pub evicted: Vec<usize>,
@@ -195,6 +224,16 @@ struct Claim {
     since: Instant,
 }
 
+/// The two disagreeing parties of a contested point, held until a
+/// third (un-implicated) backend arbitrates the 2-of-3 quorum.
+#[derive(Debug)]
+struct Contest {
+    /// `(backend, payload)` whose copy was accepted first.
+    first: (usize, Value),
+    /// `(backend, payload)` whose later copy disagreed.
+    second: (usize, Value),
+}
+
 #[derive(Debug)]
 struct State {
     pending: BTreeSet<usize>,
@@ -209,6 +248,21 @@ struct State {
     spawn_queue: Vec<usize>,
     dispatched: u64,
     hedged: u64,
+    /// Which backend produced the accepted payload, per won point
+    /// (absent for resumed points, which are never re-audited).
+    winner: BTreeMap<usize, usize>,
+    /// Backends barred from a point: quorum disputants, and anywhere a
+    /// quarantined backend's invalidated win is being re-run.
+    banned: BTreeMap<usize, BTreeSet<usize>>,
+    /// Contested points awaiting a third-backend arbitration.
+    contests: BTreeMap<usize, Contest>,
+    /// Accepted points sampled for audit, not yet picked up.
+    audit_due: BTreeSet<usize>,
+    /// Audits running right now: point → auditor slot.
+    audit_inflight: BTreeMap<usize, usize>,
+    /// Points whose acceptance was independently confirmed (audit pass
+    /// or quorum); immune to quarantine invalidation.
+    audited: BTreeSet<usize>,
     events: Vec<(u64, Event)>,
     fatal: Option<String>,
 }
@@ -217,6 +271,30 @@ impl State {
     fn resolved(&self) -> usize {
         self.set.accepted() + self.failed.len()
     }
+
+    /// The run is only finished when every point is resolved *and* the
+    /// integrity machinery has drained: no audit queued or running, no
+    /// contest unarbitrated. Drivers and the pump both gate on this, so
+    /// a lying backend cannot escape detection by being last.
+    fn done(&self, total: usize) -> bool {
+        self.resolved() == total
+            && self.audit_due.is_empty()
+            && self.audit_inflight.is_empty()
+            && self.contests.is_empty()
+    }
+
+    /// Whether slot `b` may work on point `ix`.
+    fn allowed(&self, ix: usize, b: usize) -> bool {
+        self.banned.get(&ix).is_none_or(|s| !s.contains(&b))
+    }
+}
+
+/// SplitMix64 — drives the deterministic audit sample.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 struct Shared<'a> {
@@ -231,11 +309,17 @@ struct Shared<'a> {
     /// The fleet journal, behind its own lock so whole lines serialize.
     /// Lock order: state first, journal second — or journal alone.
     journal: Option<Mutex<DynJournalWriter>>,
+    /// Seed for the deterministic audit sample (the plan fingerprint,
+    /// so the same run always audits the same points).
+    audit_seed: u64,
 }
 
 enum Work {
     /// Run this point as a single-point job.
     Point(usize),
+    /// Re-execute this already-accepted point as an integrity audit:
+    /// the fresh result is compared against the winner, not merged.
+    Audit(usize),
     /// Nothing to dispatch and the slot has idled past the keepalive:
     /// health-probe the backend so a dead-idle one is caught promptly.
     Probe,
@@ -268,12 +352,25 @@ impl Shared<'_> {
         }
     }
 
+    /// Whether point `ix` falls in the deterministic audit sample.
+    fn audit_selected(&self, ix: usize) -> bool {
+        let rate = self.opts.audit_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let draw = splitmix64(self.audit_seed ^ ix as u64) >> 11;
+        (draw as f64 / (1u64 << 53) as f64) < rate
+    }
+
     /// Blocks until there is work for slot `b`, the run resolves, or
     /// the slot leaves rotation. Claims the returned point.
     fn next_work(&self, b: usize, last_active: &mut Instant) -> Option<Work> {
         let mut st = self.lock();
         loop {
-            if st.fatal.is_some() || st.resolved() == self.total {
+            if st.fatal.is_some() || st.done(self.total) {
                 self.cv.notify_all();
                 return None;
             }
@@ -283,13 +380,15 @@ impl Shared<'_> {
             // Pending work: own shard first, then steal the lowest
             // pending point (work conservation beats affinity). Joined
             // slots have no home shard, so they always steal — which is
-            // exactly "re-shard only the pending set".
+            // exactly "re-shard only the pending set". Either way a slot
+            // never claims a point it is banned from (quorum disputant
+            // or invalidated win).
             let pick = st
                 .pending
                 .iter()
                 .copied()
-                .find(|&ix| self.home[ix] == b)
-                .or_else(|| st.pending.iter().next().copied());
+                .find(|&ix| self.home[ix] == b && st.allowed(ix, b))
+                .or_else(|| st.pending.iter().copied().find(|&ix| st.allowed(ix, b)));
             if let Some(ix) = pick {
                 st.pending.remove(&ix);
                 st.inflight.insert(ix, vec![Claim { backend: b, since: Instant::now() }]);
@@ -303,6 +402,23 @@ impl Shared<'_> {
                 self.push_event(&mut st, ev);
                 *last_active = Instant::now();
                 return Some(Work::Point(ix));
+            }
+            // Due audits next: re-execute an accepted point, but never
+            // on the backend that produced it (self-confirmation proves
+            // nothing) and never on a suspect slot (an unresolved
+            // incident already implicates it).
+            if !st.slots[b].suspect {
+                let pick = st.audit_due.iter().copied().find(|&ix| {
+                    st.winner.get(&ix).is_some_and(|&w| w != b)
+                        && st.allowed(ix, b)
+                        && st.set.get(ix).is_some()
+                });
+                if let Some(ix) = pick {
+                    st.audit_due.remove(&ix);
+                    st.audit_inflight.insert(ix, b);
+                    *last_active = Instant::now();
+                    return Some(Work::Audit(ix));
+                }
             }
             // Nothing pending: hedge the longest-running straggler on
             // another backend (one hedge per point at a time). A slot
@@ -355,7 +471,10 @@ impl Shared<'_> {
         }
     }
 
-    /// Records a winning (or duplicate) result for `ix`.
+    /// Records a winning (or duplicate) result for `ix`. Duplicates are
+    /// *compared*, not discarded: a divergent hedge copy opens a
+    /// contest. A win for a contested point is the arbitration verdict
+    /// and resolves the 2-of-3 quorum.
     fn complete(&self, ix: usize, payload: Value, b: usize) {
         let mut st = self.lock();
         if let Some(claims) = st.inflight.get_mut(&ix) {
@@ -364,34 +483,196 @@ impl Shared<'_> {
                 st.inflight.remove(&ix);
             }
         }
+        // A quarantined or point-banned source gets no say: its claims
+        // were re-pooled at eviction, and a late result racing in from
+        // it must not be allowed to win the re-run of its own lie.
+        if st.slots[b].quarantined || !st.allowed(ix, b) {
+            self.cv.notify_all();
+            return;
+        }
         // A late success outranks an earlier provisional failure: the
         // result exists, so the point did not permanently fail.
         if st.set.get(ix).is_none() {
             st.failed.remove(&ix);
         }
-        let won = st.set.offer(ix, payload.clone());
         let mut entry = None;
-        if won {
-            st.slots[b].completed += 1;
-            if st.slots[b].reduced {
-                // One clean completion clears the post-rejoin budget.
-                st.slots[b].reduced = false;
-                let ev = Event::BackendRecovered { backend: b as u64, point: ix as u64 };
-                self.push_event(&mut st, ev);
+        match st.set.offer(ix, payload.clone()) {
+            Offer::Won => {
+                st.slots[b].completed += 1;
+                if st.slots[b].reduced {
+                    // One clean completion clears the post-rejoin budget.
+                    st.slots[b].reduced = false;
+                    let ev = Event::BackendRecovered { backend: b as u64, point: ix as u64 };
+                    self.push_event(&mut st, ev);
+                }
+                st.winner.insert(ix, b);
+                if let Some(c) = st.contests.remove(&ix) {
+                    self.resolve_contest(&mut st, ix, &payload, b, c);
+                } else if self.audit_selected(ix) && !st.audited.contains(&ix) {
+                    st.audit_due.insert(ix);
+                }
+                entry = Some(JournalEntry::from_outcome(
+                    ix as u64,
+                    &self.fplan.plan.points[ix].label,
+                    &PointOutcome::Completed(payload),
+                    1,
+                    |p| p.clone(),
+                ));
             }
-            entry = Some(JournalEntry::from_outcome(
-                ix as u64,
-                &self.fplan.plan.points[ix].label,
-                &PointOutcome::Completed(payload),
-                1,
-                |p| p.clone(),
-            ));
+            Offer::DuplicateIdentical => {}
+            Offer::DuplicateDivergent => {
+                let w = *st.winner.get(&ix).expect("a divergent duplicate implies a winner");
+                let winner_payload =
+                    st.set.get(ix).cloned().expect("a divergent duplicate implies a payload");
+                let ev =
+                    Event::ResultDiverged { point: ix as u64, first: w as u64, second: b as u64 };
+                self.push_event(&mut st, ev);
+                self.open_contest(&mut st, ix, (w, winner_payload), (b, payload));
+            }
         }
         self.cv.notify_all();
         drop(st);
         if let Some(entry) = entry {
             self.journal_entry(&entry);
         }
+    }
+
+    /// Opens a 2-of-3 contest for `ix`: both disputants become suspect
+    /// and are banned from the point, the accepted payload (if any) is
+    /// withdrawn, and the point returns to pending so an un-implicated
+    /// backend can arbitrate.
+    fn open_contest(
+        &self,
+        st: &mut State,
+        ix: usize,
+        first: (usize, Value),
+        second: (usize, Value),
+    ) {
+        st.slots[first.0].suspect = true;
+        st.slots[second.0].suspect = true;
+        st.set.clear(ix);
+        st.winner.remove(&ix);
+        st.audited.remove(&ix);
+        st.audit_due.remove(&ix);
+        st.banned.entry(ix).or_default().extend([first.0, second.0]);
+        st.contests.insert(ix, Contest { first, second });
+        st.pending.insert(ix);
+    }
+
+    /// Resolves a contest: the arbitrating payload sides with one
+    /// disputant; the other is the 1-of-3 minority and is quarantined.
+    /// Three mutually distinct results mean no quorum exists — fatal,
+    /// because no arbitration can ever certify this point.
+    fn resolve_contest(
+        &self,
+        st: &mut State,
+        ix: usize,
+        payload: &Value,
+        arbiter: usize,
+        c: Contest,
+    ) {
+        let verdict = if *payload == c.first.1 {
+            Some((c.first.0, c.second.0))
+        } else if *payload == c.second.1 {
+            Some((c.second.0, c.first.0))
+        } else {
+            None
+        };
+        match verdict {
+            Some((honest, liar)) => {
+                st.slots[honest].suspect = false;
+                st.slots[arbiter].suspect = false;
+                // Confirmed by two independent backends: immune to
+                // later invalidation and never re-audited.
+                st.audited.insert(ix);
+                st.banned.remove(&ix);
+                self.quarantine(st, liar, ix);
+            }
+            None => {
+                st.fatal = Some(format!(
+                    "no quorum on point {ix}: three backends returned three distinct results"
+                ));
+            }
+        }
+    }
+
+    /// Compares an audit re-execution against the accepted result.
+    fn audit_result(&self, ix: usize, payload: Value, auditor: usize) {
+        let mut st = self.lock();
+        st.audit_inflight.remove(&ix);
+        if st.slots[auditor].quarantined {
+            self.cv.notify_all();
+            return;
+        }
+        let (winner, winner_payload) = match (st.winner.get(&ix), st.set.get(ix)) {
+            (Some(&w), Some(p)) => (w, p.clone()),
+            // The win was invalidated while the audit ran (contest or
+            // quarantine); the point is being re-run anyway.
+            _ => {
+                self.cv.notify_all();
+                return;
+            }
+        };
+        if winner_payload == payload {
+            st.audited.insert(ix);
+            let ev = Event::AuditPassed { point: ix as u64, backend: winner as u64 };
+            self.push_event(&mut st, ev);
+        } else {
+            let ev = Event::AuditFailed {
+                point: ix as u64,
+                backend: winner as u64,
+                auditor: auditor as u64,
+            };
+            self.push_event(&mut st, ev);
+            self.open_contest(&mut st, ix, (winner, winner_payload), (auditor, payload));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Returns an unfinished audit to the due queue (auditor transport
+    /// failure or the audit run itself failed).
+    fn audit_release(&self, ix: usize) {
+        let mut st = self.lock();
+        if st.audit_inflight.remove(&ix).is_some()
+            && st.set.get(ix).is_some()
+            && !st.audited.contains(&ix)
+        {
+            st.audit_due.insert(ix);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Quarantines slot `b`, convicted by the arbitration of `point`:
+    /// every win of its that was not independently confirmed is
+    /// withdrawn and re-run with `b` banned, and the slot is evicted
+    /// with reason `integrity` (probation cool-down applies, but
+    /// re-admission will demand a passed audit, not just a live socket).
+    fn quarantine(&self, st: &mut State, b: usize, point: usize) {
+        if st.slots[b].quarantined {
+            // A second contest convicting the same slot adds nothing:
+            // the first conviction already withdrew its unaudited wins.
+            return;
+        }
+        let ev = Event::BackendQuarantined { backend: b as u64, point: point as u64 };
+        self.push_event(st, ev);
+        st.slots[b].quarantined = true;
+        st.slots[b].suspect = false;
+        let dirty: Vec<usize> = st
+            .winner
+            .iter()
+            .filter(|&(ix, &w)| w == b && !st.audited.contains(ix))
+            .map(|(&ix, _)| ix)
+            .collect();
+        for ix in dirty {
+            st.set.clear(ix);
+            st.winner.remove(&ix);
+            st.audit_due.remove(&ix);
+            st.banned.entry(ix).or_default().insert(b);
+            if !st.contests.contains_key(&ix) {
+                st.pending.insert(ix);
+            }
+        }
+        self.evict_locked(st, b, 0, EvictReason::Integrity);
     }
 
     /// Records a point-level failure of `ix` on backend `b`.
@@ -471,11 +752,46 @@ impl Shared<'_> {
         }
     }
 
+    /// Guards the integrity machinery against deadlock. Audits that no
+    /// eligible backend can ever run are waived (an audit is opportunistic
+    /// extra assurance, not a liveness obligation); a *contest* with no
+    /// eligible arbiter is fatal, because the point's accepted value can
+    /// never be certified.
+    fn check_integrity_progress(&self, st: &mut State) {
+        let eligible = |st: &State, ix: usize, exclude: Option<usize>| {
+            st.slots.iter().enumerate().any(|(i, s)| {
+                s.state.can_work() && !s.quarantined && Some(i) != exclude && st.allowed(ix, i)
+            })
+        };
+        let waived: Vec<usize> = st
+            .audit_due
+            .iter()
+            .copied()
+            .filter(|&ix| !eligible(st, ix, st.winner.get(&ix).copied()))
+            .collect();
+        for ix in waived {
+            st.audit_due.remove(&ix);
+        }
+        if st.fatal.is_none() {
+            if let Some(&ix) = st.contests.keys().find(|&&ix| !eligible(st, ix, None)) {
+                st.fatal = Some(format!(
+                    "point {ix} diverged and no un-implicated backend remains to arbitrate it"
+                ));
+            }
+        }
+    }
+
     /// Removes slot `b` from rotation and re-pools its claims. With a
     /// probation policy (and a reason other than `left`) the slot cools
     /// down for a rejoin probe instead of dying outright.
     fn evict(&self, b: usize, failures: u32, reason: EvictReason) {
         let mut st = self.lock();
+        self.evict_locked(&mut st, b, failures, reason);
+    }
+
+    /// [`Self::evict`] with the state lock already held (the quarantine
+    /// path evicts from inside a completion).
+    fn evict_locked(&self, st: &mut State, b: usize, failures: u32, reason: EvictReason) {
         let evictable = match reason {
             // An operator can drain any slot that could still return.
             EvictReason::Left => st.slots[b].state.can_work(),
@@ -487,13 +803,15 @@ impl Shared<'_> {
             return;
         }
         st.evicted.push(b);
-        self.push_event(&mut st, Event::BackendEvicted { backend: b as u64, failures, reason });
+        self.push_event(st, Event::BackendEvicted { backend: b as u64, failures, reason });
         st.slots[b].state = match (reason, self.opts.probation) {
             (EvictReason::Left, _) => SlotState::Left,
             (_, Some(cool)) => {
-                let ev =
-                    Event::BackendProbation { backend: b as u64, retry_ms: cool.as_millis() as u64 };
-                self.push_event(&mut st, ev);
+                let ev = Event::BackendProbation {
+                    backend: b as u64,
+                    retry_ms: cool.as_millis() as u64,
+                };
+                self.push_event(st, ev);
                 SlotState::Probation { until: Instant::now() + cool, probes: 0 }
             }
             (_, None) => SlotState::Dead,
@@ -513,7 +831,18 @@ impl Shared<'_> {
                 st.pending.insert(ix);
             }
         }
-        self.check_stuck(&mut st);
+        // Audits the evicted slot was running go back to the due queue
+        // for another backend to pick up.
+        let stale_audits: Vec<usize> =
+            st.audit_inflight.iter().filter(|&(_, &a)| a == b).map(|(&ix, _)| ix).collect();
+        for ix in stale_audits {
+            st.audit_inflight.remove(&ix);
+            if st.set.get(ix).is_some() && !st.audited.contains(&ix) {
+                st.audit_due.insert(ix);
+            }
+        }
+        self.check_stuck(st);
+        self.check_integrity_progress(st);
         self.cv.notify_all();
     }
 }
@@ -525,7 +854,7 @@ fn driver(b: usize, backend: &Backend, shared: &Shared<'_>, gate: bool) {
     {
         // A resumed-complete or already-fatal run needs no gate probes.
         let st = shared.lock();
-        if st.fatal.is_some() || st.resolved() == shared.total {
+        if st.fatal.is_some() || st.done(shared.total) {
             return;
         }
     }
@@ -543,6 +872,37 @@ fn driver(b: usize, backend: &Backend, shared: &Shared<'_>, gate: bool) {
     while let Some(work) = shared.next_work(b, &mut last_active) {
         let ix = match work {
             Work::Point(ix) => ix,
+            Work::Audit(ix) => {
+                match run_point(&mut client, backend, shared.fplan, shared.exec, opts, ix) {
+                    Ok(Ok(payload)) => {
+                        consecutive = 0;
+                        shared.audit_result(ix, payload, b);
+                    }
+                    Ok(Err(_)) => {
+                        // The audit *run* failed (not a mismatch): hand
+                        // the audit back and charge this backend.
+                        consecutive = 0;
+                        shared.audit_release(ix);
+                        if breaker.record(Instant::now()) {
+                            shared.evict(b, breaker.failures(), EvictReason::PointFault);
+                            return;
+                        }
+                    }
+                    Err(_transport) => {
+                        client = None;
+                        shared.audit_release(ix);
+                        if breaker.record(Instant::now()) {
+                            shared.evict(b, breaker.failures(), EvictReason::Transport);
+                            return;
+                        }
+                        consecutive += 1;
+                        std::thread::sleep(
+                            opts.health_retry.backoff_jittered(consecutive, b as u64),
+                        );
+                    }
+                }
+                continue;
+            }
             Work::Probe => {
                 if backend.probe().is_ok() {
                     consecutive = 0;
@@ -589,8 +949,22 @@ fn driver(b: usize, backend: &Backend, shared: &Shared<'_>, gate: bool) {
     }
 }
 
+/// What a quarantined slot must do beyond a live socket to rejoin.
+enum RejoinGate {
+    /// Not quarantined: the health probe alone re-admits.
+    Probe,
+    /// Quarantined: reproduce this accepted `(point, payload)` exactly.
+    Audit(usize, Value),
+    /// Quarantined but nothing is accepted yet to audit against; stay
+    /// in probation until there is.
+    Defer,
+}
+
 /// One probation probe: health-check a cooled-down slot and either
-/// re-admit it (becoming its new driver) or re-arm the cool-down.
+/// re-admit it (becoming its new driver) or re-arm the cool-down. A
+/// *quarantined* slot has a higher bar: it was caught returning wrong
+/// results over a perfectly healthy socket, so it must additionally
+/// re-run an accepted point and match it bit-for-bit.
 fn probation_probe(b: usize, probes: u32, shared: &Shared<'_>) {
     let backend = {
         let st = shared.lock();
@@ -599,7 +973,49 @@ fn probation_probe(b: usize, probes: u32, shared: &Shared<'_>) {
         }
         Arc::clone(&st.slots[b].backend)
     };
-    if backend.probe().is_ok() {
+    let mut passed = backend.probe().is_ok();
+    if passed {
+        let gate = {
+            let st = shared.lock();
+            if st.slots[b].state != SlotState::Probing {
+                return; // `leave` raced the probe
+            }
+            if !st.slots[b].quarantined {
+                RejoinGate::Probe
+            } else {
+                match st
+                    .winner
+                    .keys()
+                    .copied()
+                    .find_map(|ix| st.set.get(ix).map(|p| (ix, p.clone())))
+                {
+                    Some((ix, payload)) => RejoinGate::Audit(ix, payload),
+                    None => RejoinGate::Defer,
+                }
+            }
+        };
+        match gate {
+            RejoinGate::Probe => {}
+            RejoinGate::Defer => passed = false,
+            RejoinGate::Audit(ix, expected) => {
+                let reran =
+                    run_point(&mut None, &backend, shared.fplan, shared.exec, shared.opts, ix);
+                match reran {
+                    Ok(Ok(payload)) if payload == expected => {
+                        let mut st = shared.lock();
+                        if st.slots[b].state != SlotState::Probing {
+                            return;
+                        }
+                        st.slots[b].quarantined = false;
+                        let ev = Event::AuditPassed { point: ix as u64, backend: b as u64 };
+                        shared.push_event(&mut st, ev);
+                    }
+                    _ => passed = false,
+                }
+            }
+        }
+    }
+    if passed {
         {
             let mut st = shared.lock();
             if st.slots[b].state != SlotState::Probing {
@@ -709,7 +1125,11 @@ fn run_point(
     }
     let results = resp.get("results").and_then(Value::as_array).unwrap_or(&[]);
     match results {
-        [payload] => Ok(Ok(rebind_payload(payload, ix, &point.label)?)),
+        // Fan-in trust boundary: the payload must carry a valid
+        // attestation for exactly the context the coordinator expects.
+        [payload] => {
+            Ok(Ok(rebind_payload(payload, ix, &point.label, vm_explore::context_for(point, exec))?))
+        }
         other => Err(format!("expected exactly one result, got {}", other.len())),
     }
 }
@@ -802,12 +1222,11 @@ pub fn run_fleet<S: Sink>(
     }
     let FleetSession { journal, write_header, seeded, control } = session;
     let initial = backends.len();
-    let home: Vec<usize> =
-        fplan.plan.points.iter().map(|p| shard_of(&p.label, initial)).collect();
+    let home: Vec<usize> = fplan.plan.points.iter().map(|p| shard_of(&p.label, initial)).collect();
     let mut set = MergeSet::new(total);
     let mut resumed = 0usize;
     for (ix, payload) in seeded {
-        if ix < total && set.offer(ix, payload) {
+        if ix < total && set.offer(ix, payload) == Offer::Won {
             resumed += 1;
         }
     }
@@ -832,6 +1251,12 @@ pub fn run_fleet<S: Sink>(
             spawn_queue: Vec::new(),
             dispatched: 0,
             hedged: 0,
+            winner: BTreeMap::new(),
+            banned: BTreeMap::new(),
+            contests: BTreeMap::new(),
+            audit_due: BTreeSet::new(),
+            audit_inflight: BTreeMap::new(),
+            audited: BTreeSet::new(),
             events: Vec::new(),
             fatal: None,
         }),
@@ -843,18 +1268,21 @@ pub fn run_fleet<S: Sink>(
         fplan,
         exec,
         journal: journal.map(Mutex::new),
+        audit_seed: plan_fingerprint(&fplan.plan, exec),
     };
     if resumed > 0 {
-        let ev = Event::RunResumed {
-            completed: resumed as u64,
-            remaining: (total - resumed) as u64,
-        };
+        let ev =
+            Event::RunResumed { completed: resumed as u64, remaining: (total - resumed) as u64 };
         let mut st = shared.lock();
         shared.push_event(&mut st, ev);
     }
     reporter.progress(format!(
         "fleet: {total} point(s) across {initial} backend(s){}",
-        if resumed > 0 { format!(", {resumed} resumed from the fleet journal") } else { String::new() }
+        if resumed > 0 {
+            format!(", {resumed} resumed from the fleet journal")
+        } else {
+            String::new()
+        }
     ));
     let stop = Arc::new(AtomicBool::new(false));
     if let Some(hub) = hub {
@@ -883,7 +1311,8 @@ pub fn run_fleet<S: Sink>(
                 for (t, ev) in std::mem::take(&mut st.events) {
                     sink.emit(t, &ev);
                 }
-                let done = st.fatal.is_some() || st.resolved() == total;
+                shared.check_integrity_progress(&mut st);
+                let done = st.fatal.is_some() || st.done(total);
                 if !done {
                     let now = Instant::now();
                     for (b, slot) in st.slots.iter_mut().enumerate() {
@@ -909,7 +1338,8 @@ pub fn run_fleet<S: Sink>(
             }
             for (b, backend) in to_spawn {
                 if let Some(hub) = hub {
-                    let (addr, hub, stop) = (backend.addr.clone(), Arc::clone(hub), Arc::clone(&stop));
+                    let (addr, hub, stop) =
+                        (backend.addr.clone(), Arc::clone(hub), Arc::clone(&stop));
                     std::thread::spawn(move || fan_in_backend(b, &addr, &hub, &stop));
                 }
                 scope.spawn(move || driver(b, &backend, shared, true));
@@ -950,6 +1380,7 @@ pub fn run_fleet<S: Sink>(
             state: s.state.label(),
             completed: s.completed,
             joined: s.joined,
+            quarantined: s.quarantined,
             shutdown: s.backend.shutdown_within(opts.drain),
         })
         .collect();
@@ -964,7 +1395,8 @@ pub fn run_fleet<S: Sink>(
             points: total as u64,
             backends: healthy as u64,
             hedged: st.hedged,
-            duplicates: st.set.duplicates(),
+            duplicates_identical: st.set.duplicates_identical(),
+            duplicates_divergent: st.set.duplicates_divergent(),
         },
     );
     if let Some(hub) = hub {
@@ -982,7 +1414,8 @@ pub fn run_fleet<S: Sink>(
         merged,
         dispatched: st.dispatched,
         hedged: st.hedged,
-        duplicates: st.set.duplicates(),
+        duplicates_identical: st.set.duplicates_identical(),
+        duplicates_divergent: st.set.duplicates_divergent(),
         evicted: st.evicted,
         healthy,
         resumed,

@@ -53,7 +53,7 @@ pub use backend::{Backend, Breaker, EvictPolicy, ShutdownOutcome};
 pub use bench::{fleet_throughput, FleetBenchPoint};
 pub use coordinator::{run_fleet, FleetOptions, FleetOutcome, FleetSession, SlotReport};
 pub use membership::{ControlChannel, ControlCmd, Slot, SlotState};
-pub use merge::{merge, rebind_payload, MergeSet, MergedRun};
+pub use merge::{merge, rebind_payload, MergeSet, MergedRun, Offer};
 pub use plan::{fleet_plan, FleetPlan};
 pub use resume::{assign_note, read_fleet_journal, seed_fleet_resume, FleetResume};
 pub use shard::{partition, shard_of};

@@ -83,6 +83,14 @@ pub struct Slot {
     pub completed: u64,
     /// Whether the slot joined mid-run via the control channel.
     pub joined: bool,
+    /// Implicated in an unresolved integrity incident (divergent
+    /// duplicate or failed audit): barred from auditing and from
+    /// arbitration dispatches until the incident resolves.
+    pub suspect: bool,
+    /// Convicted of an integrity violation and evicted. Unlike other
+    /// evictions, rejoining requires *passing an audit* (re-running a
+    /// completed point bit-for-bit), not just a health probe.
+    pub quarantined: bool,
 }
 
 impl Slot {
@@ -94,6 +102,8 @@ impl Slot {
             reduced: false,
             completed: 0,
             joined,
+            suspect: false,
+            quarantined: false,
         }
     }
 
@@ -110,6 +120,7 @@ impl Slot {
             ("state", self.state.label().into()),
             ("completed", self.completed.into()),
             ("joined", Value::Bool(self.joined)),
+            ("quarantined", Value::Bool(self.quarantined)),
         ])
     }
 }
@@ -135,8 +146,8 @@ pub enum ControlCmd {
 
 /// The coordinator's membership listener.
 ///
-/// Connections are handled synchronously inside [`poll`]
-/// (`ControlChannel::poll`) — one request line, one response line,
+/// Connections are handled synchronously inside
+/// [`ControlChannel::poll`] — one request line, one response line,
 /// close — so membership mutations happen on the coordinator's pump
 /// thread and never race the dispatch state from a socket thread.
 #[derive(Debug)]
@@ -197,8 +208,7 @@ fn parse_cmd(v: &Value) -> Result<ControlCmd, String> {
             Ok(ControlCmd::Join { addr: addr.to_owned() })
         }
         Some("leave") => {
-            let slot =
-                v.get("slot").and_then(Value::as_u64).ok_or("leave needs a `slot` field")?;
+            let slot = v.get("slot").and_then(Value::as_u64).ok_or("leave needs a `slot` field")?;
             Ok(ControlCmd::Leave { slot: slot as usize })
         }
         Some("roster") => Ok(ControlCmd::Roster),
@@ -207,7 +217,10 @@ fn parse_cmd(v: &Value) -> Result<ControlCmd, String> {
     }
 }
 
-fn control_conn(mut stream: TcpStream, handle: &mut dyn FnMut(ControlCmd) -> Result<Value, String>) {
+fn control_conn(
+    mut stream: TcpStream,
+    handle: &mut dyn FnMut(ControlCmd) -> Result<Value, String>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut line = String::new();
     let Ok(reader) = stream.try_clone() else { return };
@@ -264,9 +277,7 @@ mod tests {
                 seen.lock().unwrap().push(cmd.clone());
                 match cmd {
                     ControlCmd::Join { .. } => Ok(join_response(3, 7)),
-                    ControlCmd::Leave { slot } => {
-                        Ok(ok_response([("slot", (slot as u64).into())]))
-                    }
+                    ControlCmd::Leave { slot } => Ok(ok_response([("slot", (slot as u64).into())])),
                     ControlCmd::Roster => Ok(ok_response([("slots", Value::Arr(vec![]))])),
                 }
             }
@@ -280,9 +291,8 @@ mod tests {
         assert_eq!(resp.get("slot").and_then(Value::as_u64), Some(3));
         assert_eq!(resp.get("pending").and_then(Value::as_u64), Some(7));
         let mut client = Client::connect(addr).unwrap();
-        let resp = client
-            .request(&Value::obj([("req", "leave".into()), ("slot", 1u64.into())]))
-            .unwrap();
+        let resp =
+            client.request(&Value::obj([("req", "leave".into()), ("slot", 1u64.into())])).unwrap();
         assert_eq!(resp.get("ok"), Some(&Value::Bool(true)));
         let mut client = Client::connect(addr).unwrap();
         let resp = client.request(&Value::obj([("req", "roster".into())])).unwrap();

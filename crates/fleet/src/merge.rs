@@ -20,20 +20,32 @@
 
 use std::collections::BTreeMap;
 
-use vm_explore::{result_from_value, result_to_value, run_header, ExecConfig, SweepPlan};
+use vm_explore::{
+    result_from_value, result_to_value, run_header, verify_in_context, ExecConfig, SweepPlan,
+};
 use vm_harden::journal::DEFAULT_SYNC_BATCH;
 use vm_harden::{FailureKind, JournalEntry, JournalWriter, PointOutcome, SimError};
 use vm_obs::json::Value;
 
 /// Rebinds a backend's single-point payload to its global identity:
-/// decodes through the bit-exact codec, checks the label matches the
-/// planned point, stamps the global index, and re-encodes.
+/// decodes through the bit-exact codec, verifies the attestation
+/// against the context the coordinator expects for this point, checks
+/// the label matches the planned point, stamps the global index, and
+/// re-encodes. This is the fleet's fan-in trust boundary — a payload
+/// that fails here never touches the merge set.
 ///
 /// # Errors
 ///
-/// Returns a message when the payload does not decode or its label is
-/// not the expected one (a backend answering for the wrong point).
-pub fn rebind_payload(payload: &Value, index: usize, label: &str) -> Result<Value, String> {
+/// Returns a message when the payload does not decode, fails its
+/// attestation or context check (a corrupted or stale-binary result),
+/// or its label is not the expected one (a backend answering for the
+/// wrong point).
+pub fn rebind_payload(
+    payload: &Value,
+    index: usize,
+    label: &str,
+    expect_ctx: u64,
+) -> Result<Value, String> {
     let mut result = result_from_value(payload)?;
     if result.label != label {
         return Err(format!(
@@ -41,38 +53,69 @@ pub fn rebind_payload(payload: &Value, index: usize, label: &str) -> Result<Valu
             result.label, label
         ));
     }
+    verify_in_context(&result, expect_ctx).map_err(|e| format!("[integrity] {e}"))?;
     result.index = index;
     Ok(result_to_value(&result))
 }
 
+/// What happened to a payload offered to the [`MergeSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// First arrival for this point: it is now the candidate winner.
+    Won,
+    /// A later copy, byte-identical to the winner — the determinism
+    /// contract holding. Counted and discarded.
+    DuplicateIdentical,
+    /// A later copy that *disagrees* with the winner. One of the two
+    /// backends computed a wrong answer; the caller must treat both
+    /// sources as suspect and arbitrate. The offered copy is discarded
+    /// (the winner stays, pending arbitration).
+    DuplicateDivergent,
+}
+
 /// First-result-wins accumulator for rebound payloads, indexed by
-/// global point index.
+/// global point index. Duplicate arrivals are *compared*, not blindly
+/// discarded: hedged redundancy is the fleet's only free integrity
+/// probe, and a divergent duplicate is the loudest possible signal
+/// that a backend is silently corrupting results.
 #[derive(Debug, Default)]
 pub struct MergeSet {
     slots: Vec<Option<Value>>,
-    duplicates: u64,
+    duplicates_identical: u64,
+    duplicates_divergent: u64,
 }
 
 impl MergeSet {
     /// An empty set sized for `points` slots.
     pub fn new(points: usize) -> MergeSet {
-        MergeSet { slots: vec![None; points], duplicates: 0 }
+        MergeSet { slots: vec![None; points], duplicates_identical: 0, duplicates_divergent: 0 }
     }
 
-    /// Offers a rebound payload for `index`. The first offer wins and
-    /// returns `true`; later copies (hedge losers) are counted and
-    /// discarded.
-    pub fn offer(&mut self, index: usize, payload: Value) -> bool {
+    /// Offers a rebound payload for `index`. The first offer wins;
+    /// later copies are compared against the winner and counted as
+    /// identical (expected) or divergent (integrity incident).
+    pub fn offer(&mut self, index: usize, payload: Value) -> Offer {
         match &mut self.slots[index] {
             slot @ None => {
                 *slot = Some(payload);
-                true
+                Offer::Won
+            }
+            Some(winner) if *winner == payload => {
+                self.duplicates_identical += 1;
+                Offer::DuplicateIdentical
             }
             Some(_) => {
-                self.duplicates += 1;
-                false
+                self.duplicates_divergent += 1;
+                Offer::DuplicateDivergent
             }
         }
+    }
+
+    /// Evicts the winning payload for `index`, if any — used when the
+    /// backend that produced it is quarantined and its unconfirmed
+    /// wins must be re-run. Returns whether a payload was removed.
+    pub fn clear(&mut self, index: usize) -> bool {
+        self.slots.get_mut(index).is_some_and(|slot| slot.take().is_some())
     }
 
     /// The winning payload for `index`, when one has arrived.
@@ -85,9 +128,14 @@ impl MergeSet {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Late duplicates discarded so far.
-    pub fn duplicates(&self) -> u64 {
-        self.duplicates
+    /// Late duplicates that matched their winner bit-for-bit.
+    pub fn duplicates_identical(&self) -> u64 {
+        self.duplicates_identical
+    }
+
+    /// Late duplicates that disagreed with their winner.
+    pub fn duplicates_divergent(&self) -> u64 {
+        self.duplicates_divergent
     }
 
     /// Indices still without a result.
@@ -131,7 +179,15 @@ pub fn merge(
     for point in &plan.points {
         let ix = point.index;
         let outcome: PointOutcome<vm_explore::PointResult> = match (set.get(ix), failed.get(&ix)) {
-            (Some(payload), _) => PointOutcome::Completed(result_from_value(payload)?),
+            (Some(payload), _) => {
+                let r = result_from_value(payload)?;
+                // Last line of defense: nothing reaches the merged
+                // artifacts without reproducing its attestation here,
+                // even if every earlier boundary was bypassed.
+                verify_in_context(&r, vm_explore::context_for(point, exec))
+                    .map_err(|e| format!("merge point {ix} [integrity]: {e}"))?;
+                PointOutcome::Completed(r)
+            }
             (None, Some(err)) if err.kind == FailureKind::Timeout => {
                 PointOutcome::TimedOut(err.clone())
             }
@@ -192,31 +248,86 @@ mod tests {
     }
 
     #[test]
-    fn first_result_wins_and_duplicates_are_counted() {
+    fn first_result_wins_and_duplicates_are_compared_not_discarded() {
         let (plan, exec) = tiny();
         let results = run_points(&plan, &exec);
         let mut set = MergeSet::new(plan.points.len());
         for r in &results {
-            assert!(set.offer(r.index, result_to_value(r)));
+            assert_eq!(set.offer(r.index, result_to_value(r)), Offer::Won);
         }
-        assert!(!set.offer(0, result_to_value(&results[0])), "hedge loser must be discarded");
-        assert_eq!((set.accepted(), set.duplicates()), (2, 1));
+        assert_eq!(
+            set.offer(0, result_to_value(&results[0])),
+            Offer::DuplicateIdentical,
+            "an honest hedge loser matches the winner bit-for-bit"
+        );
+        assert_eq!(
+            set.offer(0, result_to_value(&results[1])),
+            Offer::DuplicateDivergent,
+            "a disagreeing duplicate is an integrity incident, not noise"
+        );
+        assert_eq!(
+            (set.accepted(), set.duplicates_identical(), set.duplicates_divergent()),
+            (2, 1, 1)
+        );
         assert_eq!(set.missing().count(), 0);
         let merged = merge(&plan, &exec, &set, &BTreeMap::new()).unwrap();
         assert_eq!(merged.results, results, "codec round-trip is exact");
     }
 
     #[test]
+    fn clearing_a_quarantined_win_reopens_the_point() {
+        let (plan, exec) = tiny();
+        let results = run_points(&plan, &exec);
+        let mut set = MergeSet::new(plan.points.len());
+        set.offer(0, result_to_value(&results[0]));
+        assert!(set.clear(0), "a present winner is evicted");
+        assert!(!set.clear(0), "clearing twice is a no-op");
+        assert_eq!(set.accepted(), 0);
+        assert_eq!(set.missing().next(), Some(0));
+        assert_eq!(set.offer(0, result_to_value(&results[0])), Offer::Won, "point is re-winnable");
+    }
+
+    #[test]
     fn rebind_checks_the_label_and_stamps_the_index() {
         let (plan, exec) = tiny();
         let results = run_points(&plan, &exec);
+        let ctx1 = vm_explore::context_for(&plan.points[1], &exec);
         // A backend runs point 1 as its own single-point plan (local
         // index 0); rebinding restores the global identity exactly.
         let mut local = results[1].clone();
         local.index = 0;
-        let rebound = rebind_payload(&result_to_value(&local), 1, &results[1].label).unwrap();
+        let rebound = rebind_payload(&result_to_value(&local), 1, &results[1].label, ctx1).unwrap();
         assert_eq!(rebound, result_to_value(&results[1]));
-        assert!(rebind_payload(&result_to_value(&local), 0, &results[0].label).is_err());
+        let ctx0 = vm_explore::context_for(&plan.points[0], &exec);
+        assert!(rebind_payload(&result_to_value(&local), 0, &results[0].label, ctx0).is_err());
+    }
+
+    #[test]
+    fn rebind_rejects_tampered_and_wrong_context_payloads() {
+        let (plan, exec) = tiny();
+        let results = run_points(&plan, &exec);
+        let ctx0 = vm_explore::context_for(&plan.points[0], &exec);
+
+        // Flip one ulp after signing: decodes fine, attestation fails.
+        let mut lied = results[0].clone();
+        lied.vmcpi = f64::from_bits(lied.vmcpi.to_bits() ^ 1);
+        let err = rebind_payload(&result_to_value(&lied), 0, &lied.label, ctx0).unwrap_err();
+        assert!(err.contains("[integrity]"), "{err}");
+        assert!(err.contains("attestation mismatch"), "{err}");
+
+        // A validly sealed payload from a different context (stale
+        // binary / wrong scale) is refused too.
+        let err = rebind_payload(&result_to_value(&results[0]), 0, &results[0].label, ctx0 ^ 1)
+            .unwrap_err();
+        assert!(err.contains("context mismatch"), "{err}");
+
+        // And the merge itself re-verifies: a tampered payload smuggled
+        // directly into the set never reaches the artifacts.
+        let mut set = MergeSet::new(plan.points.len());
+        set.offer(0, result_to_value(&lied));
+        set.offer(1, result_to_value(&results[1]));
+        let err = merge(&plan, &exec, &set, &BTreeMap::new()).unwrap_err();
+        assert!(err.contains("merge point 0 [integrity]"), "{err}");
     }
 
     #[test]

@@ -79,14 +79,20 @@ pub fn read_fleet_journal(text: &str) -> Result<(Journal, u64), String> {
 
 /// Reads a fleet journal and extracts the completed points to seed a
 /// resumed run with, after verifying the journal belongs to exactly
-/// this plan at this scale (version, point count, FNV-1a fingerprint).
-/// Failed points are *not* seeded — resume re-runs them.
+/// this plan at this scale (version, point count, FNV-1a fingerprint)
+/// and that every replayed payload still carries a valid attestation
+/// for the context this plan expects. The header fingerprint only
+/// proves the *labels* match; the per-point attestation is what catches
+/// a stale-binary restart, where the labels agree but the journaled
+/// numbers were computed by a different simulator. Failed points are
+/// *not* seeded — resume re-runs them.
 ///
 /// # Errors
 ///
 /// Returns a message when the journal is malformed, has no header, was
 /// written by a different plan or scale, or a payload fails the
-/// bit-exact codec round-trip.
+/// bit-exact codec round-trip or its attestation/context check (the
+/// message carries `[integrity]`).
 pub fn seed_fleet_resume(
     text: &str,
     plan: &SweepPlan,
@@ -116,7 +122,8 @@ pub fn seed_fleet_resume(
             let payload = entry.payload.as_ref().ok_or_else(|| {
                 format!("fleet journal point {ix} is done but carries no payload")
             })?;
-            let rebound = rebind_payload(payload, ix, &plan.points[ix].label)
+            let expect_ctx = vm_explore::context_for(&plan.points[ix], exec);
+            let rebound = rebind_payload(payload, ix, &plan.points[ix].label, expect_ctx)
                 .map_err(|e| format!("fleet journal point {ix}: {e}"))?;
             resume.seeded.insert(ix, rebound);
         }
@@ -130,11 +137,7 @@ mod tests {
 
     #[test]
     fn assign_notes_are_counted_and_stripped() {
-        let text = format!(
-            "{}\n{}\n",
-            assign_note(3, 1),
-            assign_note(4, 0)
-        );
+        let text = format!("{}\n{}\n", assign_note(3, 1), assign_note(4, 0));
         let (journal, assigns) = read_fleet_journal(&text).unwrap();
         assert_eq!(assigns, 2);
         assert!(journal.header.is_none());

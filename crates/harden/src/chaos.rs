@@ -1,7 +1,7 @@
 //! Deterministic fault injection for sweep executors.
 //!
 //! A resilience mechanism that has never seen a fault is a guess. The
-//! chaos harness injects eight fault classes into *chosen* sweep points
+//! chaos harness injects nine fault classes into *chosen* sweep points
 //! so tests and CI can prove the isolation, retry, deadline, and journal
 //! machinery actually work:
 //!
@@ -28,6 +28,11 @@
 //! * [`Fault::Truncate`] — the stream ends early at the trigger record,
 //!   as a torn file or a cut connection would end it. The records that
 //!   do arrive are genuine; everything after is simply missing.
+//! * [`Fault::Lie`] — the point simulates honestly, then the executor
+//!   deterministically perturbs the finished payload *before* signing
+//!   its attestation: a Byzantine backend whose results are well-formed,
+//!   signed, and wrong. Exercises divergence detection, audits, and
+//!   quarantine (docs/robustness.md, Result integrity).
 //!
 //! `Stall` and `Truncate` double as the ingestion chaos hooks: the
 //! `repro upload` client applies the same plan at chunk granularity
@@ -68,11 +73,18 @@ pub enum Fault {
     /// End the stream early at the trigger record, as truncated input
     /// would.
     Truncate,
+    /// Lie about the result: the point simulates honestly, then its
+    /// measured payload is deterministically perturbed *after*
+    /// simulation but *before* attestation signing — the lie goes out
+    /// with a valid signature, exactly as a Byzantine backend would
+    /// send it. Only divergence detection or an audit can catch it;
+    /// the stream and the process are untouched.
+    Lie,
 }
 
 impl Fault {
     /// Every fault class.
-    pub const ALL: [Fault; 8] = [
+    pub const ALL: [Fault; 9] = [
         Fault::Panic,
         Fault::Io,
         Fault::Corrupt,
@@ -81,6 +93,7 @@ impl Fault {
         Fault::Oom,
         Fault::Stall,
         Fault::Truncate,
+        Fault::Lie,
     ];
 
     /// Stable CLI/journal label.
@@ -94,6 +107,7 @@ impl Fault {
             Fault::Oom => "oom",
             Fault::Stall => "stall",
             Fault::Truncate => "truncate",
+            Fault::Lie => "lie",
         }
     }
 
@@ -141,7 +155,7 @@ impl ChaosPlan {
             let fault = Fault::from_label(fault.trim()).ok_or_else(|| {
                 format!(
                     "unknown chaos fault `{fault}` \
-                     (panic|io|corrupt|runaway|abort|oom|stall|truncate)"
+                     (panic|io|corrupt|runaway|abort|oom|stall|truncate|lie)"
                 )
             })?;
             let index: usize =
@@ -248,14 +262,14 @@ impl ChaosPlan {
     }
 
     /// Wraps a point's trace in its injected fault, if the fault acts on
-    /// the stream ([`Fault::Io`] acts at build time and leaves the
-    /// stream alone).
+    /// the stream ([`Fault::Io`] acts at build time, [`Fault::Lie`] on
+    /// the finished result payload; both leave the stream alone).
     pub fn wrap<I>(&self, index: usize, horizon: u64, inner: I) -> ChaosTrace<I>
     where
         I: Iterator<Item = InstrRecord>,
     {
         let armed = match self.fault_for(index) {
-            Some(Fault::Io) | None => None,
+            Some(Fault::Io | Fault::Lie) | None => None,
             Some(f) => Some((f, self.trigger_record(index, horizon))),
         };
         ChaosTrace { inner, armed, seen: 0, hog: Vec::new() }
@@ -335,6 +349,7 @@ impl<I: Iterator<Item = InstrRecord>> Iterator for ChaosTrace<I> {
                         self.hog.push(vec![0xAA; OOM_STEP_BYTES]);
                     }
                     Fault::Io => unreachable!("io faults act at build time"),
+                    Fault::Lie => unreachable!("lie faults act on the result payload"),
                 }
             }
         }
@@ -369,7 +384,7 @@ mod tests {
 
     #[test]
     fn render_round_trips_and_labels_are_stable() {
-        let text = "panic@2,io@5,corrupt@7,runaway@11,abort@13,oom@17,stall@19,truncate@23";
+        let text = "panic@2,io@5,corrupt@7,runaway@11,abort@13,oom@17,stall@19,truncate@23,lie@29";
         let plan = ChaosPlan::parse(text, 9).unwrap();
         assert_eq!(plan.render(), text, "index order, canonical labels");
         assert_eq!(ChaosPlan::parse(&plan.render(), 9).unwrap(), plan);
@@ -448,6 +463,16 @@ mod tests {
         let plan = ChaosPlan::parse("panic@1", 42).unwrap();
         let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
         assert_eq!(out, straight_line(100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lie_fault_leaves_the_stream_untouched() {
+        // The lie acts on the finished payload (in the executor), never
+        // on the trace: a lying backend's simulation is honest work.
+        let plan = ChaosPlan::parse("lie@0", 42).unwrap();
+        let out: Vec<_> = plan.wrap(0, 100, straight_line(100)).collect();
+        assert_eq!(out, straight_line(100).collect::<Vec<_>>());
+        assert!(!Fault::Lie.is_process_killing());
     }
 
     #[test]

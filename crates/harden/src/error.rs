@@ -47,11 +47,18 @@ pub enum FailureKind {
     /// file fails to decode. Deterministic — the trace on disk is what
     /// it is — so never retried.
     Ingest,
+    /// A result failed attestation: its payload does not match the
+    /// lineage fingerprint it was signed with, or the fingerprint does
+    /// not match the context the coordinator expected. The payload is
+    /// well-formed but cannot be trusted — silent corruption, a stale
+    /// binary, or a lying backend. Never retried against the same
+    /// source (retrying would re-accept the same lie).
+    Integrity,
 }
 
 impl FailureKind {
     /// Every kind, for exhaustive tests and documentation tables.
-    pub const ALL: [FailureKind; 10] = [
+    pub const ALL: [FailureKind; 11] = [
         FailureKind::Spec,
         FailureKind::Workload,
         FailureKind::Build,
@@ -62,6 +69,7 @@ impl FailureKind {
         FailureKind::Cancelled,
         FailureKind::Crash,
         FailureKind::Ingest,
+        FailureKind::Integrity,
     ];
 
     /// The stable snake-case label used in journals and reports.
@@ -77,6 +85,7 @@ impl FailureKind {
             FailureKind::Cancelled => "cancelled",
             FailureKind::Crash => "crash",
             FailureKind::Ingest => "ingest",
+            FailureKind::Integrity => "integrity",
         }
     }
 

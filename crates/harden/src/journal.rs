@@ -431,6 +431,22 @@ impl<W: SyncWrite> Drop for JournalWriter<W> {
     }
 }
 
+/// At most this many characters of a corrupt line appear in the parse
+/// diagnostic — enough to recognize the damage, short enough that a
+/// megabyte of binary garbage doesn't become the error message.
+const SNIPPET_CHARS: usize = 48;
+
+/// The leading slice of a corrupt line shown in parse diagnostics.
+fn snippet(line: &str) -> String {
+    if line.chars().count() <= SNIPPET_CHARS {
+        line.to_owned()
+    } else {
+        let mut s: String = line.chars().take(SNIPPET_CHARS).collect();
+        s.push('…');
+        s
+    }
+}
+
 /// A parsed journal: the most recent header and every point entry in
 /// file order.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -453,8 +469,8 @@ impl Journal {
     pub fn parse(text: &str) -> Result<Journal, String> {
         let mut journal = Journal::default();
         let lines: Vec<&str> = text.lines().collect();
-        for (i, line) in lines.iter().enumerate() {
-            let line = line.trim();
+        for (i, raw) in lines.iter().enumerate() {
+            let line = raw.trim();
             if line.is_empty() {
                 continue;
             }
@@ -462,7 +478,19 @@ impl Journal {
                 Ok(v) => v,
                 // A torn final line is a crash artifact, not corruption.
                 Err(_) if i + 1 == lines.len() => continue,
-                Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+                // Mid-file garbage is corruption; locate it precisely
+                // (line, byte offset, a snippet) so an operator can find
+                // and hand-repair the damaged line.
+                Err(e) => {
+                    // `lines()` yields subslices of `text`, so pointer
+                    // distance is the line's exact byte offset.
+                    let offset = raw.as_ptr() as usize - text.as_ptr() as usize;
+                    return Err(format!(
+                        "journal line {} (byte offset {offset}): {e} in `{}`",
+                        i + 1,
+                        snippet(line)
+                    ));
+                }
             };
             match v.get("j").and_then(Value::as_str) {
                 Some("run") => {
@@ -557,7 +585,21 @@ mod tests {
         let j = Journal::parse(&text).unwrap();
         assert_eq!(j.entries.len(), 1);
         let mid = text.replace("{\"j\":\"point\",\"index\":0", "garbage{") + "{\"j\":\"point\"}\n";
-        assert!(Journal::parse(&mid).is_err());
+        // The diagnostic locates the damage for hand repair: 1-based
+        // line number, exact byte offset, and a snippet of the line.
+        let err = Journal::parse(&mid).unwrap_err();
+        let offset = mid.find("garbage{").unwrap();
+        assert!(err.starts_with(&format!("journal line 2 (byte offset {offset}):")), "{err}");
+        assert!(err.contains("`garbage{"), "snippet names the offending line: {err}");
+    }
+
+    #[test]
+    fn corruption_snippet_is_truncated_and_utf8_safe() {
+        let long = format!("xyzzy{}\n{{\"j\":\"run\"}}\n", "é".repeat(100));
+        let err = Journal::parse(&long).unwrap_err();
+        assert!(err.starts_with("journal line 1 (byte offset 0):"), "{err}");
+        assert!(err.contains("xyzzy"), "{err}");
+        assert!(err.ends_with("…`"), "long lines are elided: {err}");
     }
 
     #[test]

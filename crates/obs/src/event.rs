@@ -48,6 +48,11 @@ pub enum EvictReason {
     PointFault,
     /// An operator drained the slot via the control channel's `leave`.
     Left,
+    /// The backend returned a result that failed an integrity check
+    /// (divergent duplicate, failed audit, or quorum minority) and was
+    /// quarantined. Re-admission requires passing an audit, not just a
+    /// health probe.
+    Integrity,
 }
 
 impl EvictReason {
@@ -58,6 +63,7 @@ impl EvictReason {
             EvictReason::Transport => "transport",
             EvictReason::PointFault => "point_fault",
             EvictReason::Left => "left",
+            EvictReason::Integrity => "integrity",
         }
     }
 
@@ -69,6 +75,7 @@ impl EvictReason {
             "transport" => Some(EvictReason::Transport),
             "point_fault" => Some(EvictReason::PointFault),
             "left" => Some(EvictReason::Left),
+            "integrity" => Some(EvictReason::Integrity),
             _ => None,
         }
     }
@@ -313,6 +320,46 @@ pub enum Event {
         /// The point whose clean completion cleared probation.
         point: u64,
     },
+    /// Two copies of the same point (hedge winner and loser) disagreed
+    /// bit-for-bit — one of the two backends computed a wrong answer.
+    /// Both sources are marked suspect and the point is arbitrated by a
+    /// third backend (2-of-3 quorum).
+    ResultDiverged {
+        /// The point whose copies disagreed.
+        point: u64,
+        /// The backend whose copy arrived first (the candidate winner).
+        first: u64,
+        /// The backend whose later copy disagreed.
+        second: u64,
+    },
+    /// An audit re-execution reproduced the accepted result bit-for-bit
+    /// on a different backend.
+    AuditPassed {
+        /// The audited point.
+        point: u64,
+        /// The backend whose accepted result was confirmed.
+        backend: u64,
+    },
+    /// An audit re-execution disagreed with the accepted result — the
+    /// original backend or the auditor is lying; the point goes to
+    /// quorum and both backends are suspect until it resolves.
+    AuditFailed {
+        /// The audited point.
+        point: u64,
+        /// The backend whose accepted result failed confirmation.
+        backend: u64,
+        /// The backend that ran the audit.
+        auditor: u64,
+    },
+    /// A backend was quarantined for an integrity violation: its
+    /// unconfirmed results are invalidated and re-run elsewhere, and it
+    /// only rejoins by passing an audit, not just a health probe.
+    BackendQuarantined {
+        /// The quarantined backend's fleet slot.
+        backend: u64,
+        /// The point whose arbitration convicted it.
+        point: u64,
+    },
     /// A fleet run merged its shard results into the final journal and
     /// CSV (bit-identical to a single-node run of the same grid).
     FleetMerged {
@@ -322,8 +369,12 @@ pub enum Event {
         backends: u64,
         /// Hedge dispatches issued over the whole run.
         hedged: u64,
-        /// Duplicate results discarded by first-result-wins dedup.
-        duplicates: u64,
+        /// Duplicate results that matched their winner bit-for-bit
+        /// (the determinism contract holding under hedging).
+        duplicates_identical: u64,
+        /// Duplicate results that disagreed with their winner (each one
+        /// an integrity incident that went to quorum).
+        duplicates_divergent: u64,
     },
     /// A `vm-serve` trace upload was admitted and a staging file opened
     /// (`resumed` when it reattached to an existing partial).
@@ -403,6 +454,10 @@ impl Event {
             Event::BackendProbation { .. } => "backend_probation",
             Event::BackendRejoined { .. } => "backend_rejoined",
             Event::BackendRecovered { .. } => "backend_recovered",
+            Event::ResultDiverged { .. } => "result_diverged",
+            Event::AuditPassed { .. } => "audit_passed",
+            Event::AuditFailed { .. } => "audit_failed",
+            Event::BackendQuarantined { .. } => "backend_quarantined",
             Event::FleetMerged { .. } => "fleet_merged",
             Event::UploadStarted { .. } => "upload_started",
             Event::ChunkReceived { .. } => "chunk_received",
@@ -537,11 +592,36 @@ impl Event {
                 put("backend", backend.into());
                 put("point", point.into());
             }
-            Event::FleetMerged { points, backends, hedged, duplicates } => {
+            Event::ResultDiverged { point, first, second } => {
+                put("point", point.into());
+                put("first", first.into());
+                put("second", second.into());
+            }
+            Event::AuditPassed { point, backend } => {
+                put("point", point.into());
+                put("backend", backend.into());
+            }
+            Event::AuditFailed { point, backend, auditor } => {
+                put("point", point.into());
+                put("backend", backend.into());
+                put("auditor", auditor.into());
+            }
+            Event::BackendQuarantined { backend, point } => {
+                put("backend", backend.into());
+                put("point", point.into());
+            }
+            Event::FleetMerged {
+                points,
+                backends,
+                hedged,
+                duplicates_identical,
+                duplicates_divergent,
+            } => {
                 put("points", points.into());
                 put("backends", backends.into());
                 put("hedged", hedged.into());
-                put("duplicates", duplicates.into());
+                put("duplicates_identical", duplicates_identical.into());
+                put("duplicates_divergent", duplicates_divergent.into());
             }
             Event::UploadStarted { upload, declared_bytes, staged_bytes } => {
                 put("upload", upload.into());
@@ -614,7 +694,17 @@ mod tests {
             Event::BackendProbation { backend: 1, retry_ms: 5000 },
             Event::BackendRejoined { backend: 1, probes: 2 },
             Event::BackendRecovered { backend: 1, point: 17 },
-            Event::FleetMerged { points: 24, backends: 3, hedged: 1, duplicates: 1 },
+            Event::ResultDiverged { point: 11, first: 1, second: 3 },
+            Event::AuditPassed { point: 7, backend: 2 },
+            Event::AuditFailed { point: 9, backend: 0, auditor: 2 },
+            Event::BackendQuarantined { backend: 0, point: 9 },
+            Event::FleetMerged {
+                points: 24,
+                backends: 3,
+                hedged: 1,
+                duplicates_identical: 1,
+                duplicates_divergent: 0,
+            },
             Event::UploadStarted { upload: 2, declared_bytes: 8_388_608, staged_bytes: 0 },
             Event::ChunkReceived { upload: 2, seq: 4, bytes: 262_144 },
             Event::UploadCommitted { upload: 2, bytes: 8_388_608, records: 491_520 },
@@ -642,6 +732,7 @@ mod tests {
             EvictReason::Transport,
             EvictReason::PointFault,
             EvictReason::Left,
+            EvictReason::Integrity,
         ] {
             assert_eq!(EvictReason::from_label(r.label()), Some(r));
         }

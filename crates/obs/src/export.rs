@@ -138,6 +138,10 @@ impl<W: Write> ChromeTraceSink<W> {
             | Event::BackendProbation { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
+            | Event::ResultDiverged { .. }
+            | Event::AuditPassed { .. }
+            | Event::AuditFailed { .. }
+            | Event::BackendQuarantined { .. }
             | Event::FleetMerged { .. }
             | Event::UploadStarted { .. }
             | Event::ChunkReceived { .. }

@@ -417,6 +417,10 @@ impl Sink for StatsSink {
             | Event::BackendEvicted { .. }
             | Event::BackendJoined { .. }
             | Event::BackendProbation { .. }
+            | Event::ResultDiverged { .. }
+            | Event::AuditPassed { .. }
+            | Event::AuditFailed { .. }
+            | Event::BackendQuarantined { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
             | Event::FleetMerged { .. }

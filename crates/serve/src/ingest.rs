@@ -236,11 +236,7 @@ impl Ingest {
             );
         }
         if self.library.contains(name) {
-            return reject(
-                0,
-                409,
-                format!("trace `{name}` is already committed; pick a new name"),
-            );
+            return reject(0, 409, format!("trace `{name}` is already committed; pick a new name"));
         }
         if bytes < 8 {
             return reject(
@@ -260,9 +256,7 @@ impl Ingest {
             );
         }
         let mut st = self.lock();
-        if let Some((&id, upload)) =
-            st.uploads.iter_mut().find(|(_, u)| u.name == name)
-        {
+        if let Some((&id, upload)) = st.uploads.iter_mut().find(|(_, u)| u.name == name) {
             if (upload.declared_bytes, upload.declared_fnv) != (bytes, fnv) {
                 return reject(
                     id,
@@ -635,10 +629,8 @@ fn reload_partial(dir: &Path, name: &str) -> Option<Upload> {
         return None;
     }
     let declared_bytes = begin.get("bytes").and_then(Value::as_u64)?;
-    let declared_fnv = begin
-        .get("fnv")
-        .and_then(Value::as_str)
-        .and_then(crate::proto::parse_hex64)?;
+    let declared_fnv =
+        begin.get("fnv").and_then(Value::as_str).and_then(crate::proto::parse_hex64)?;
     let mut next_seq = 0u64;
     let mut total = 0u64;
     for line in lines {
@@ -735,13 +727,10 @@ mod tests {
     fn stage_all(ingest: &Ingest, conn: &mut ConnQuota, name: &str, bytes: &[u8]) -> u64 {
         let emit = no_events();
         let fnv = fnv1a(bytes);
-        let resp =
-            ingest.begin(conn, name, bytes.len() as u64, fnv, false, &emit).unwrap();
+        let resp = ingest.begin(conn, name, bytes.len() as u64, fnv, false, &emit).unwrap();
         let id = resp.get("upload").and_then(Value::as_u64).unwrap();
         for (seq, chunk) in bytes.chunks(64).enumerate() {
-            ingest
-                .chunk(id, seq as u64, fnv1a(chunk), &b64_encode(chunk), &emit)
-                .unwrap();
+            ingest.chunk(id, seq as u64, fnv1a(chunk), &b64_encode(chunk), &emit).unwrap();
         }
         id
     }
@@ -896,14 +885,13 @@ mod tests {
             let resp =
                 ingest.begin(&mut conn, "res", bytes.len() as u64, fnv, false, &emit).unwrap();
             let id = resp.get("upload").and_then(Value::as_u64).unwrap();
-            ingest.chunk(id, 0, fnv1a(&bytes[..split]), &b64_encode(&bytes[..split]), &emit)
+            ingest
+                .chunk(id, 0, fnv1a(&bytes[..split]), &b64_encode(&bytes[..split]), &emit)
                 .unwrap();
             // Simulate a crash *mid-chunk*: part bytes appended but the
             // manifest line never written (the torn tail).
-            let mut f = OpenOptions::new()
-                .append(true)
-                .open(dir.join("ingest").join("res.part"))
-                .unwrap();
+            let mut f =
+                OpenOptions::new().append(true).open(dir.join("ingest").join("res.part")).unwrap();
             f.write_all(&bytes[split..split + 40]).unwrap();
             // Ingest dropped here: the "daemon" dies.
         }
@@ -918,9 +906,7 @@ mod tests {
         let resp = ingest.begin(&mut conn, "res", bytes.len() as u64, fnv, false, &emit).unwrap();
         assert_eq!(resp.get("resumed"), Some(&Value::Bool(true)));
         assert_eq!(resp.get("upload").and_then(Value::as_u64), Some(id));
-        ingest
-            .chunk(id, 1, fnv1a(&bytes[split..]), &b64_encode(&bytes[split..]), &emit)
-            .unwrap();
+        ingest.chunk(id, 1, fnv1a(&bytes[split..]), &b64_encode(&bytes[split..]), &emit).unwrap();
         ingest.commit(id, &emit).unwrap();
         let committed = std::fs::read(dir.join("traces").join("res.trace")).unwrap();
         assert_eq!(committed, bytes, "resumed upload must be byte-identical");

@@ -54,8 +54,8 @@ pub use dashboard::Dashboard;
 pub use ingest::{ConnQuota, Ingest, IngestSettings};
 pub use job::{JobOutcome, JobSpec, JobState};
 pub use proto::{
-    error_response, ok_response, parse_request, ProtoError, Request, Scale, SubmitRequest,
-    PROTO_VERSION,
+    error_response, hex64, ok_response, parse_hex64, parse_request, ProtoError, Request, Scale,
+    SubmitRequest, PROTO_VERSION,
 };
 pub use report::EventReport;
 pub use server::{ServeConfig, ServeStats, ServeSummary, Server};

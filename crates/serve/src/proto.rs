@@ -179,10 +179,17 @@ pub fn hex64(v: u64) -> String {
     format!("{v:016x}")
 }
 
-/// Decodes [`hex64`].
+/// Decodes [`hex64`]: exactly 16 *lowercase* hex digits, nothing else.
+/// Encoders only emit the canonical form, so the strictness costs
+/// nothing — and it keeps a checksum byte-for-byte re-renderable
+/// (`from_str_radix` alone would admit uppercase and a leading `+`,
+/// two renderings of one value).
 #[must_use]
 pub fn parse_hex64(s: &str) -> Option<u64> {
-    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok()).flatten()
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
 }
 
 /// Parses one request line.
@@ -273,12 +280,9 @@ fn upload_id(v: &Value, req: &str) -> Result<u64, ProtoError> {
 
 /// The 16-hex-digit `fnv` checksum field of the upload verbs.
 fn fnv_field(v: &Value, req: &str) -> Result<u64, ProtoError> {
-    v.get("fnv")
-        .and_then(Value::as_str)
-        .and_then(parse_hex64)
-        .ok_or_else(|| {
-            ProtoError::new(400, format!("`{req}` needs an `fnv` checksum (16 hex digits)"))
-        })
+    v.get("fnv").and_then(Value::as_str).and_then(parse_hex64).ok_or_else(|| {
+        ProtoError::new(400, format!("`{req}` needs an `fnv` checksum (16 hex digits)"))
+    })
 }
 
 fn parse_submit(v: &Value) -> Result<SubmitRequest, ProtoError> {
@@ -472,7 +476,7 @@ mod tests {
             r#"{"req":"upload-begin","name":"t","bytes":10,"fnv":"xyz"}"#,   // short hex
             r#"{"req":"upload-begin","name":"t","bytes":10,"fnv":12}"#,      // numeric fnv
             r#"{"req":"upload-chunk","upload":1,"seq":0,"fnv":"00000000000000ab"}"#, // no data
-            r#"{"req":"upload-chunk","seq":0,"fnv":"00000000000000ab","data":""}"#,  // no id
+            r#"{"req":"upload-chunk","seq":0,"fnv":"00000000000000ab","data":""}"#, // no id
             r#"{"req":"upload-commit"}"#,
             r#"{"req":"upload-status"}"#, // needs id or name
         ] {
@@ -488,6 +492,9 @@ mod tests {
         assert_eq!(parse_hex64("ab"), None, "too short");
         assert_eq!(parse_hex64("00000000000000abcd"), None, "too long");
         assert_eq!(parse_hex64("zz944171f73967e8"), None, "not hex");
+        assert_eq!(parse_hex64("85944171F73967E8"), None, "uppercase is non-canonical");
+        assert_eq!(parse_hex64("+5944171f73967e8"), None, "from_str_radix signs rejected");
+        assert_eq!(parse_hex64(" 5944171f73967e8"), None, "whitespace rejected");
     }
 
     #[test]

@@ -86,8 +86,24 @@ pub struct EventReport {
     pub backend_recoveries: u64,
     /// `fleet_merged` events (fleet runs that reached the merge).
     pub fleet_merges: u64,
-    /// Duplicate results discarded across merged fleet runs.
-    pub fleet_duplicates: u64,
+    /// Duplicate results that matched their winner bit-for-bit across
+    /// merged fleet runs (legacy streams with an unsplit `duplicates`
+    /// field count here — a pre-split merge never kept a divergent
+    /// duplicate alive).
+    pub fleet_duplicates_identical: u64,
+    /// Duplicate results that disagreed with their winner — each one an
+    /// integrity incident that went to quorum.
+    pub fleet_duplicates_divergent: u64,
+    /// `result_diverged` events (hedge duplicates that disagreed
+    /// bit-for-bit with the first result).
+    pub result_divergences: u64,
+    /// `audit_passed` events (sampled re-executions that matched).
+    pub audits_passed: u64,
+    /// `audit_failed` events (sampled re-executions that disagreed).
+    pub audits_failed: u64,
+    /// `backend_quarantined` events (backends pulled from rotation for
+    /// returning wrong bits).
+    pub backend_quarantines: u64,
     /// `upload_started` events (new uploads plus resumes).
     pub uploads_started: u64,
     /// ... of which resumed an existing partial (`staged_bytes > 0`).
@@ -201,8 +217,17 @@ impl EventReport {
                 Some("backend_recovered") => report.backend_recoveries += 1,
                 Some("fleet_merged") => {
                     report.fleet_merges += 1;
-                    report.fleet_duplicates += int("duplicates");
+                    // Streams older than the identical/divergent split
+                    // carry one `duplicates` field; those merges only
+                    // ever kept identical duplicates.
+                    report.fleet_duplicates_identical +=
+                        int("duplicates_identical") + int("duplicates");
+                    report.fleet_duplicates_divergent += int("duplicates_divergent");
                 }
+                Some("result_diverged") => report.result_divergences += 1,
+                Some("audit_passed") => report.audits_passed += 1,
+                Some("audit_failed") => report.audits_failed += 1,
+                Some("backend_quarantined") => report.backend_quarantines += 1,
                 Some("upload_started") => {
                     report.uploads_started += 1;
                     if int("staged_bytes") > 0 {
@@ -283,16 +308,33 @@ impl EventReport {
                 format!(" [{}]", parts.join(", "))
             };
             out.push_str(&format!(
-                "  fleet    {} dispatched, {} hedged, {} backend eviction(s){}, {} merge(s) ({} duplicate(s) discarded)\n",
+                "  fleet    {} dispatched, {} hedged, {} backend eviction(s){}, {} merge(s) ({} identical / {} divergent duplicate(s))\n",
                 self.shard_dispatches,
                 self.shard_hedges,
                 self.backend_evictions,
                 reasons,
                 self.fleet_merges,
-                self.fleet_duplicates
+                self.fleet_duplicates_identical,
+                self.fleet_duplicates_divergent
             ));
         }
-        if self.backend_joins + self.backend_probations + self.backend_rejoins
+        if self.result_divergences
+            + self.audits_passed
+            + self.audits_failed
+            + self.backend_quarantines
+            > 0
+        {
+            out.push_str(&format!(
+                "  integrity {} divergence(s), {} audit(s) passed, {} failed, {} quarantine(s)\n",
+                self.result_divergences,
+                self.audits_passed,
+                self.audits_failed,
+                self.backend_quarantines
+            ));
+        }
+        if self.backend_joins
+            + self.backend_probations
+            + self.backend_rejoins
             + self.backend_recoveries
             > 0
         {
@@ -425,7 +467,13 @@ mod tests {
             Event::ShardDispatched { point: 1, shard: 0, backend: 0 },
             Event::ShardHedged { point: 1, from: 0, to: 1 },
             Event::BackendEvicted { backend: 0, failures: 4, reason: EvictReason::Transport },
-            Event::FleetMerged { points: 2, backends: 1, hedged: 1, duplicates: 1 },
+            Event::FleetMerged {
+                points: 2,
+                backends: 1,
+                hedged: 1,
+                duplicates_identical: 1,
+                duplicates_divergent: 0,
+            },
         ];
         for (t, ev) in events.iter().enumerate() {
             sink.emit(t as u64, ev);
@@ -433,10 +481,12 @@ mod tests {
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         let r = EventReport::from_jsonl(&text).unwrap();
         assert_eq!((r.shard_dispatches, r.shard_hedges), (2, 1));
-        assert_eq!((r.backend_evictions, r.fleet_merges, r.fleet_duplicates), (1, 1, 1));
+        assert_eq!((r.backend_evictions, r.fleet_merges, r.fleet_duplicates_identical), (1, 1, 1));
+        assert_eq!(r.fleet_duplicates_divergent, 0);
         assert_eq!(r.evict_reasons.get("transport"), Some(&1));
         let rendered = r.render();
         assert!(rendered.contains("fleet    2 dispatched, 1 hedged"), "{rendered}");
+        assert!(rendered.contains("(1 identical / 0 divergent duplicate(s))"), "{rendered}");
         assert!(rendered.contains("1 backend eviction(s) [transport ×1]"), "{rendered}");
         // A stream with no fleet activity elides the section entirely.
         let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
@@ -513,6 +563,48 @@ mod tests {
         // No ingest activity → no ingest line.
         let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
         assert!(!plain.render().contains("ingest"), "ingest line must be elided when idle");
+    }
+
+    #[test]
+    fn integrity_events_fold_into_their_own_section() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            Event::ResultDiverged { point: 4, first: 1, second: 2 },
+            Event::AuditFailed { point: 4, backend: 2, auditor: 0 },
+            Event::BackendQuarantined { backend: 2, point: 4 },
+            Event::AuditPassed { point: 6, backend: 1 },
+            Event::BackendEvicted { backend: 2, failures: 1, reason: EvictReason::Integrity },
+        ];
+        for (t, ev) in events.iter().enumerate() {
+            sink.emit(t as u64, ev);
+        }
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let r = EventReport::from_jsonl(&text).unwrap();
+        assert_eq!(
+            (r.result_divergences, r.audits_passed, r.audits_failed, r.backend_quarantines),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(r.evict_reasons.get("integrity"), Some(&1));
+        assert!(r.unknown.is_empty(), "integrity events are known: {:?}", r.unknown);
+        let rendered = r.render();
+        assert!(
+            rendered.contains(
+                "integrity 1 divergence(s), 1 audit(s) passed, 1 failed, 1 quarantine(s)"
+            ),
+            "{rendered}"
+        );
+        // No integrity incidents → no integrity line.
+        let plain = EventReport::from_jsonl(&sample_stream()).unwrap();
+        assert!(!plain.render().contains("integrity"), "integrity line must be elided when idle");
+    }
+
+    #[test]
+    fn legacy_unsplit_duplicates_count_as_identical() {
+        let text = "{\"t\":1,\"ev\":\"fleet_merged\",\"points\":4,\"backends\":2,\"hedged\":3,\"duplicates\":2}\n";
+        let r = EventReport::from_jsonl(text).unwrap();
+        assert_eq!(r.fleet_merges, 1);
+        assert_eq!(r.fleet_duplicates_identical, 2, "pre-split merges never kept divergent copies");
+        assert_eq!(r.fleet_duplicates_divergent, 0);
     }
 
     #[test]

@@ -964,9 +964,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &mut ConnQuota, req: Request) -> Result<
         Request::UploadCommit { upload } => {
             ingest_of(shared)?.commit(upload, &|ev| shared.emit(ev))
         }
-        Request::UploadAbort { upload } => {
-            ingest_of(shared)?.abort(upload, &|ev| shared.emit(ev))
-        }
+        Request::UploadAbort { upload } => ingest_of(shared)?.abort(upload, &|ev| shared.emit(ev)),
         Request::UploadStatus { upload, name } => {
             ingest_of(shared)?.status(upload, name.as_deref())
         }

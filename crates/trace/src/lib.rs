@@ -49,7 +49,10 @@ pub mod presets;
 pub mod wire;
 
 pub use dinero::{read_dinero, read_dinero_recovering, DinDiagnostic, RecoveredDinero};
-pub use library::{trace_workload, valid_trace_name, LibraryError, TraceLibrary, TRACE_LIBRARY_ENV, TRACE_WORKLOAD_PREFIX};
+pub use library::{
+    trace_workload, valid_trace_name, LibraryError, TraceLibrary, TRACE_LIBRARY_ENV,
+    TRACE_WORKLOAD_PREFIX,
+};
 pub use multi::Multiprogram;
 pub use phased::Phased;
 pub use record::{read_trace, write_trace, DataRef, InstrRecord, ReplayTrace, TraceIoError};

@@ -42,7 +42,9 @@ pub fn valid_trace_name(name: &str) -> bool {
     !name.is_empty()
         && name.len() <= 64
         && !name.starts_with(['.', '-'])
-        && name.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_' || b == b'-')
+        && name.bytes().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_' || b == b'-'
+        })
 }
 
 /// Why a library trace could not be produced.
@@ -147,8 +149,7 @@ impl TraceLibrary {
             .filter_map(|e| {
                 let path = e.path();
                 let stem = path.file_stem()?.to_str()?.to_owned();
-                (path.extension()?.to_str()? == "trace" && valid_trace_name(&stem))
-                    .then_some(stem)
+                (path.extension()?.to_str()? == "trace" && valid_trace_name(&stem)).then_some(stem)
             })
             .collect();
         names.sort();
@@ -176,10 +177,8 @@ impl TraceLibrary {
             }
             Err(e) => return Err(e.into()),
         };
-        let replay = read_trace(BufReader::new(file)).map_err(|e| LibraryError::Corrupt {
-            name: name.to_owned(),
-            detail: e.to_string(),
-        })?;
+        let replay = read_trace(BufReader::new(file))
+            .map_err(|e| LibraryError::Corrupt { name: name.to_owned(), detail: e.to_string() })?;
         replay
             .collect::<Result<Vec<_>, _>>()
             .map_err(|e| LibraryError::Corrupt { name: name.to_owned(), detail: e.to_string() })
@@ -207,12 +206,12 @@ impl TraceLibrary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::write_trace;
     use crate::presets;
+    use crate::record::write_trace;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("vm-trace-library-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vm-trace-library-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir

@@ -113,7 +113,7 @@ impl std::error::Error for B64Error {}
 /// [`B64Error`] on any malformed input.
 pub fn b64_decode(s: &str) -> Result<Vec<u8>, B64Error> {
     let bytes = s.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(B64Error::BadLength(bytes.len()));
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -206,7 +206,7 @@ mod tests {
         assert_eq!(b64_decode("Zg="), Err(B64Error::BadLength(3)));
         assert_eq!(b64_decode("Zm9v Zg=="), Err(B64Error::BadLength(9)));
         assert!(matches!(b64_decode("Zm9$"), Err(B64Error::BadChar('$'))));
-        assert!(matches!(b64_decode("====" ), Err(B64Error::BadChar('='))));
+        assert!(matches!(b64_decode("===="), Err(B64Error::BadChar('='))));
         // Padding mid-stream is corruption, not formatting.
         assert!(matches!(b64_decode("Zg==Zg=="), Err(B64Error::BadChar('='))));
     }

@@ -24,7 +24,12 @@ where one backend is SIGKILLed mid-sweep (the fleet's watch proxy
 reports the first completed point, so the kill provably lands with
 work still pending). All three must produce byte-identical CSVs and
 journals, the killed run must exit 0, and its event stream must record
-the `backend_evicted`.
+the `backend_evicted`. The integrity phase (docs/robustness.md) then
+re-runs the sweep across three daemons where one *lies* about its
+results (`--chaos lie@0`): full audit sampling must quarantine it with
+eviction reason `integrity`, the merge must stay byte-identical
+anyway, and `repro verify` must pass the honest artifacts offline but
+name the exact point and stage when handed a tampered journal.
 
 The elasticity phase exercises the elastic membership layer
 (docs/fleet.md): a backend that starts dead is evicted, heals, and
@@ -322,6 +327,85 @@ fleet_report = subprocess.run(
 assert "1 backend eviction(s)" in fleet_report.stdout, fleet_report.stdout
 
 
+# Integrity phase (docs/robustness.md, Result integrity): the same
+# 12-point sweep runs across three daemons, one of which *lies* —
+# `--chaos lie@0` perturbs every result one ulp after simulating
+# honestly, then signs the lie with a valid attestation. Only
+# cross-backend comparison can catch it: with --audit-rate 1.0 every
+# point is re-executed on a second backend, the divergence is charged
+# to the lying daemon by 2-of-3 quorum, it is quarantined (eviction
+# reason `integrity`), and the merged artifacts must still come out
+# byte-identical to the honest single-node reference. Afterwards
+# `repro verify` re-checks the artifacts offline — and must name the
+# exact point and stage when handed a tampered journal.
+SERVE_HEADROOM = ["--queue", "64", "--degrade-depth", "64"]
+int_daemons = []
+int_ports = []
+for extra in ([], [], ["--chaos", "lie@0", "--chaos-seed", "7"]):
+    d, p = start([*SERVE_HEADROOM, *extra])
+    int_daemons.append(d)
+    int_ports.append(p)
+
+int_journal, int_out = artifacts("integrity")
+int_events = os.path.join(state, "integrity-events.jsonl")
+subprocess.run(
+    [REPRO, "fleet", spec_path, *FLEET_SWEEP, "--quick",
+     *(a for p in int_ports for a in ("--backend", f"127.0.0.1:{p}")),
+     "--audit-rate", "1.0",
+     "--journal", int_journal, "--out", int_out,
+     "--events", int_events, "-q"],
+    check=True, stdout=subprocess.DEVNULL,
+)
+
+int_lines = [json.loads(l) for l in open(int_events)]
+ikinds = [l.get("ev") for l in int_lines]
+for needed in ("audit_failed", "backend_quarantined", "backend_evicted",
+               "fleet_merged"):
+    assert needed in ikinds, (needed, ikinds)
+quarantined = [l["backend"] for l in int_lines if l.get("ev") == "backend_quarantined"]
+assert quarantined == [2], f"the lying backend must be the one quarantined: {quarantined}"
+evictions = [l for l in int_lines if l.get("ev") == "backend_evicted"]
+assert [e["reason"] for e in evictions] == ["integrity"], evictions
+
+assert read_bytes(int_journal) == read_bytes(ref_journal), "integrity: journal drifted"
+for csv in os.listdir(ref_out):
+    assert read_bytes(os.path.join(int_out, csv)) == read_bytes(
+        os.path.join(ref_out, csv)
+    ), f"integrity: {csv} drifted"
+int_report = subprocess.run(
+    [REPRO, "serve-stats", int_events], capture_output=True, text=True, check=True
+)
+assert "quarantine(s)" in int_report.stdout, int_report.stdout
+
+for daemon, port in zip(int_daemons, int_ports):
+    rpc(port, {"req": "drain"})
+    assert daemon.wait(timeout=60) == 0, f"daemon on {port} must drain to exit 0"
+
+# Offline re-verification: the committed artifacts pass end to end...
+verified = subprocess.run(
+    [REPRO, "verify", os.path.join(int_out, "explore.csv"),
+     "--journal", int_journal, "--spec", spec_path],
+    capture_output=True, text=True, check=True,
+)
+assert "verified 12 point(s)" in verified.stdout, verified.stdout
+
+# ... and a single flipped attestation digit is caught by name.
+tampered = os.path.join(state, "tampered.journal")
+text = open(int_journal).read()
+marker = '"att":"'
+at = text.index(marker) + len(marker)
+text = text[:at] + ("1" if text[at] != "1" else "2") + text[at + 1:]
+with open(tampered, "w") as f:
+    f.write(text)
+caught = subprocess.run(
+    [REPRO, "verify", os.path.join(int_out, "explore.csv"),
+     "--journal", tampered, "--spec", spec_path],
+    capture_output=True, text=True,
+)
+assert caught.returncode != 0, "a tampered journal must fail verification"
+assert "[attestation]" in caught.stderr, caught.stderr
+
+
 # Elasticity phase (docs/fleet.md, Elasticity): a fleet whose membership
 # changes mid-run — one backend starts dead, is evicted, heals, and
 # rejoins through probation; a fourth backend joins over the control
@@ -339,7 +423,6 @@ subprocess.run(
     check=True, stdout=subprocess.DEVNULL,
 )
 
-SERVE_HEADROOM = ["--queue", "64", "--degrade-depth", "64"]
 daemon_a, port_a = start(SERVE_HEADROOM)
 daemon_b, port_b = start(SERVE_HEADROOM)
 
@@ -603,6 +686,8 @@ print(
     f"SIGTERM + --resume (seeded {resumed['resumed']} from the journal) "
     f"and after a SIGKILLed worker subprocess; 12-point fleet merge "
     f"byte-identical at 1 and 3 backends (one SIGKILLed mid-sweep and evicted); "
+    f"lying backend quarantined for integrity with the merge byte-identical "
+    f"and `repro verify` catching a tampered attestation by name; "
     f"24-point elastic fleet byte-identical through a probation rejoin and a "
     f"mid-sweep join; coordinator SIGKILL + --resume byte-identical with "
     f"{done_lines} points replayed from the fleet journal; ingest: uploaded "

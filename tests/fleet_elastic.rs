@@ -14,8 +14,8 @@ use std::time::Duration;
 use vm_experiments::explore::ExploreRun;
 use vm_explore::{run_header, run_sweep_hardened, Axis, ExecConfig, HardenPolicy, PointResult};
 use vm_fleet::{
-    fleet_plan, run_fleet, seed_fleet_resume, Backend, ControlChannel, FleetOptions,
-    FleetPlan, FleetSession,
+    fleet_plan, run_fleet, seed_fleet_resume, Backend, ControlChannel, FleetOptions, FleetPlan,
+    FleetSession,
 };
 use vm_harden::{JournalWriter, RetryPolicy, SharedBuf};
 use vm_obs::json::Value;
@@ -146,10 +146,7 @@ fn a_joined_backend_receives_only_pending_points() {
         // Join daemon B while the (single-backend) run is under way.
         let mut client = Client::connect(control_addr).unwrap();
         let resp = client
-            .request(&Value::obj([
-                ("req", "join".into()),
-                ("addr", addr_b.to_string().into()),
-            ]))
+            .request(&Value::obj([("req", "join".into()), ("addr", addr_b.to_string().into())]))
             .unwrap();
         (run.join().unwrap(), resp)
     });
@@ -180,10 +177,8 @@ fn a_joined_backend_receives_only_pending_points() {
                     );
                 }
             }
-            Some("point") => {
-                if v.get("status").and_then(Value::as_str) == Some("done") {
-                    done.insert(v.get("index").and_then(Value::as_u64).unwrap());
-                }
+            Some("point") if v.get("status").and_then(Value::as_str) == Some("done") => {
+                done.insert(v.get("index").and_then(Value::as_u64).unwrap());
             }
             _ => {}
         }
@@ -389,10 +384,8 @@ fn the_leave_verb_drains_a_slot_and_the_rest_converge() {
     let (addr_b, handle_b) = healthy_server();
     let control = ControlChannel::bind("127.0.0.1:0").unwrap();
     let control_addr = control.local_addr().unwrap();
-    let backends = vec![
-        Backend::from_addr(0, addr_a.to_string()),
-        Backend::from_addr(1, addr_b.to_string()),
-    ];
+    let backends =
+        vec![Backend::from_addr(0, addr_a.to_string()), Backend::from_addr(1, addr_b.to_string())];
 
     let mut sink = RecordingSink::new();
     let (outcome, responses) = std::thread::scope(|scope| {

@@ -17,7 +17,7 @@ use vm_explore::{
 };
 use vm_fleet::{
     fleet_plan, merge, partition, rebind_payload, run_fleet, Backend, EvictPolicy, FleetOptions,
-    FleetPlan, MergeSet,
+    FleetPlan, MergeSet, Offer,
 };
 use vm_harden::{ChaosPlan, JournalWriter, SharedBuf, SimError};
 use vm_obs::{Event, NopSink, RecordingSink, Reporter};
@@ -82,7 +82,9 @@ fn run_point_like_a_backend(
     let (results, mut failures) = outcome.into_parts();
     match results.first() {
         Some(r) => {
-            Ok(rebind_payload(&result_to_value(r), ix, &fplan.plan.points[ix].label).unwrap())
+            let expect_ctx = vm_explore::context_for(&fplan.plan.points[ix], exec);
+            Ok(rebind_payload(&result_to_value(r), ix, &fplan.plan.points[ix].label, expect_ctx)
+                .unwrap())
         }
         None => Err(failures.remove(0)),
     }
@@ -131,7 +133,7 @@ fn any_shard_partition_merges_byte_identical_to_single_node() {
                 if let Some(&ix) = part.get(cursors[s]) {
                     cursors[s] += 1;
                     offered += 1;
-                    assert!(set.offer(ix, payloads[ix].clone()));
+                    assert_eq!(set.offer(ix, payloads[ix].clone()), Offer::Won);
                 }
             }
         }
@@ -162,7 +164,7 @@ fn chaos_failures_and_hedge_duplicates_still_merge_byte_identical() {
         assert_eq!(err.label, labels[ix]);
         let retried = run_point_like_a_backend(&fplan, &exec, &HardenPolicy::default(), ix)
             .expect("the re-dispatch runs on a healthy backend");
-        assert!(set.offer(ix, retried));
+        assert_eq!(set.offer(ix, retried), Offer::Won);
     }
     // The other shards complete normally; shard 1 is also hedged, so
     // every one of its results arrives twice and the copy is discarded.
@@ -170,13 +172,18 @@ fn chaos_failures_and_hedge_duplicates_still_merge_byte_identical() {
         for &ix in part {
             let payload =
                 run_point_like_a_backend(&fplan, &exec, &HardenPolicy::default(), ix).unwrap();
-            assert!(set.offer(ix, payload.clone()));
+            assert_eq!(set.offer(ix, payload.clone()), Offer::Won);
             if s == 1 {
-                assert!(!set.offer(ix, payload), "the hedge loser must be discarded");
+                assert_eq!(
+                    set.offer(ix, payload),
+                    Offer::DuplicateIdentical,
+                    "the hedge loser must be compared and found identical"
+                );
             }
         }
     }
-    assert_eq!(set.duplicates(), parts[1].len() as u64);
+    assert_eq!(set.duplicates_identical(), parts[1].len() as u64);
+    assert_eq!(set.duplicates_divergent(), 0);
     let merged = merge(&fplan.plan, &exec, &set, &BTreeMap::new()).unwrap();
     assert_eq!(merged.results, reference);
     assert_eq!(merged.journal, reference_journal, "chaos + hedging must leave no trace");

@@ -71,6 +71,10 @@ impl Sink for CountingSink {
             | Event::BackendProbation { .. }
             | Event::BackendRejoined { .. }
             | Event::BackendRecovered { .. }
+            | Event::ResultDiverged { .. }
+            | Event::AuditPassed { .. }
+            | Event::AuditFailed { .. }
+            | Event::BackendQuarantined { .. }
             | Event::FleetMerged { .. }
             | Event::UploadStarted { .. }
             | Event::ChunkReceived { .. }

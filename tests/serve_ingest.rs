@@ -80,9 +80,7 @@ fn run_job(addr: std::net::SocketAddr) -> Value {
     assert_eq!(code(&sub), 200, "{sub}");
     let job = sub.get("job").and_then(Value::as_u64).unwrap();
     for _ in 0..4_000 {
-        let s = c
-            .request(&Value::obj([("req", "status".into()), ("job", job.into())]))
-            .unwrap();
+        let s = c.request(&Value::obj([("req", "status".into()), ("job", job.into())])).unwrap();
         match s.get("state").and_then(Value::as_str).unwrap() {
             "done" => {
                 return c
@@ -148,10 +146,7 @@ fn uploaded_trace_simulates_byte_identical_to_a_library_run() {
     let addr = server.local_addr().unwrap();
     let serve = std::thread::spawn(move || server.serve());
     let disk_result = run_job(addr);
-    Client::connect(addr)
-        .unwrap()
-        .request(&Value::obj([("req", "drain".into())]))
-        .unwrap();
+    Client::connect(addr).unwrap().request(&Value::obj([("req", "drain".into())])).unwrap();
     serve.join().unwrap().unwrap();
 
     assert_eq!(
@@ -198,10 +193,7 @@ fn restart_mid_upload_resumes_and_commits_the_same_bytes() {
         .unwrap();
     assert_eq!(status.get("state").and_then(Value::as_str), Some("staging"));
     assert_eq!(status.get("next_seq").and_then(Value::as_u64), Some(half_chunks));
-    assert_eq!(
-        status.get("staged").and_then(Value::as_u64),
-        Some(half_chunks * chunk_len as u64)
-    );
+    assert_eq!(status.get("staged").and_then(Value::as_u64), Some(half_chunks * chunk_len as u64));
 
     // A mismatched declaration is refused — resume never mixes traces.
     let mut wrong = bytes.clone();
@@ -219,10 +211,7 @@ fn restart_mid_upload_resumes_and_commits_the_same_bytes() {
     assert_eq!(code(&dup), 200);
     assert_eq!(dup.get("dup"), Some(&Value::Bool(true)));
 
-    assert_eq!(
-        push_chunks(&mut c, upload, &bytes, chunk_len, half_chunks),
-        bytes.len() as u64
-    );
+    assert_eq!(push_chunks(&mut c, upload, &bytes, chunk_len, half_chunks), bytes.len() as u64);
     let commit = c
         .request(&Value::obj([("req", "upload-commit".into()), ("upload", upload.into())]))
         .unwrap();

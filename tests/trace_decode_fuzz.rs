@@ -69,10 +69,7 @@ fn every_single_bit_flip_is_structured() {
                 // fine: the decoder's only duty is staying structured,
                 // and the decode is bounded by `decode_bounded`.
                 Ok(records) => {
-                    assert!(
-                        byte >= 8,
-                        "a flipped magic must not decode (byte {byte} bit {bit})"
-                    );
+                    assert!(byte >= 8, "a flipped magic must not decode (byte {byte} bit {bit})");
                     assert!(!records.is_empty() || full.is_empty());
                 }
                 Err(e) => {
